@@ -1,0 +1,79 @@
+//===- bench/baselines/RegexLib.cpp ---------------------------------------===//
+
+#include "bench/baselines/RegexLib.h"
+
+#include "frontends/regex/Automata.h"
+
+using namespace efc;
+using namespace efc::baselines;
+
+std::optional<InterpretedRegex>
+InterpretedRegex::compile(const std::string &Pattern) {
+  auto Parsed = fe::parseRegex(Pattern);
+  if (!Parsed)
+    return std::nullopt;
+  fe::Nfa N = fe::buildNfa(Parsed->Root);
+  auto D = fe::determinize(N);
+  if (!D)
+    return std::nullopt;
+
+  InterpretedRegex R;
+  R.Start = D->Start;
+  for (const fe::Dfa::State &S : D->States) {
+    State St;
+    St.Accepting = S.Accepting;
+    St.Cap = S.Cap;
+    for (const fe::Dfa::Transition &T : S.Out) {
+      Transition Tr;
+      for (const fe::CharRange &CR : T.Cls.ranges())
+        Tr.Ranges.push_back({CR.Lo, CR.Hi});
+      Tr.Target = T.Target;
+      Tr.Tag = T.Tag;
+      St.Out.push_back(std::move(Tr));
+    }
+    R.States.push_back(std::move(St));
+  }
+  return R;
+}
+
+std::optional<std::vector<std::u16string>>
+InterpretedRegex::findAll(std::u16string_view Input) const {
+  std::vector<std::u16string> Captures;
+  unsigned Cur = Start;
+  int ActiveCap = fe::NoCapture;
+  std::u16string Pending;
+
+  for (char16_t C : Input) {
+    const State &St = States[Cur];
+    const Transition *Taken = nullptr;
+    for (const Transition &T : St.Out) {
+      for (auto [Lo, Hi] : T.Ranges) {
+        if (C >= Lo && C <= Hi) {
+          Taken = &T;
+          break;
+        }
+        if (C < Lo)
+          break;
+      }
+      if (Taken)
+        break;
+    }
+    if (!Taken)
+      return std::nullopt;
+    if (Taken->Tag != ActiveCap) {
+      if (ActiveCap != fe::NoCapture) {
+        Captures.push_back(Pending);
+        Pending.clear();
+      }
+      ActiveCap = Taken->Tag;
+    }
+    if (Taken->Tag != fe::NoCapture)
+      Pending.push_back(C);
+    Cur = Taken->Target;
+  }
+  if (!States[Cur].Accepting)
+    return std::nullopt;
+  if (ActiveCap != fe::NoCapture)
+    Captures.push_back(Pending);
+  return Captures;
+}

@@ -1,0 +1,50 @@
+//===- bench/baselines/RegexLib.h - Interpreted regex baseline --*- C++ -*-===//
+///
+/// \file
+/// A general-purpose interpreted regex engine with capture extraction —
+/// the role .NET's Regex library plays in the paper's hand-written
+/// baselines: the pattern is compiled once to a DFA, matching interprets
+/// transition tables per character, and captured substrings are
+/// *materialized* before downstream processing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BENCH_BASELINES_REGEXLIB_H
+#define EFC_BENCH_BASELINES_REGEXLIB_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efc::baselines {
+
+/// Compiled interpreted regex.
+class InterpretedRegex {
+public:
+  /// Compiles \p Pattern (same syntax as the regex frontend); nullopt on
+  /// parse/ambiguity errors.
+  static std::optional<InterpretedRegex> compile(const std::string &Pattern);
+
+  /// Matches the whole input; returns all captured substrings in match
+  /// order, or nullopt when the input does not match.
+  std::optional<std::vector<std::u16string>>
+  findAll(std::u16string_view Input) const;
+
+private:
+  struct Transition {
+    std::vector<std::pair<uint16_t, uint16_t>> Ranges; // sorted, inclusive
+    unsigned Target;
+    int Tag;
+  };
+  struct State {
+    std::vector<Transition> Out;
+    bool Accepting;
+    int Cap;
+  };
+  std::vector<State> States;
+  unsigned Start = 0;
+};
+
+} // namespace efc::baselines
+
+#endif // EFC_BENCH_BASELINES_REGEXLIB_H

@@ -1,0 +1,246 @@
+//===- bench/baselines/XmlLib.cpp -----------------------------------------===//
+
+#include "bench/baselines/XmlLib.h"
+
+using namespace efc;
+using namespace efc::baselines;
+
+namespace {
+
+/// Shared tokenizer-ish cursor over the document.
+struct Cursor {
+  std::u16string_view Doc;
+  size_t Pos = 0;
+
+  bool eof() const { return Pos >= Doc.size(); }
+  char16_t peek() const { return Doc[Pos]; }
+};
+
+bool isNameChar(char16_t C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_' || C == '-' || C == ':';
+}
+
+/// After '<' + name: consumes attributes; returns '>' kind.
+enum class TagEnd { Open, SelfClose, Malformed };
+
+TagEnd consumeAttrs(Cursor &C) {
+  while (!C.eof()) {
+    char16_t Ch = C.Doc[C.Pos++];
+    if (Ch == '>')
+      return TagEnd::Open;
+    if (Ch == '/') {
+      if (!C.eof() && C.peek() == '>') {
+        ++C.Pos;
+        return TagEnd::SelfClose;
+      }
+    }
+  }
+  return TagEnd::Malformed;
+}
+
+bool parseElement(Cursor &C, XmlNode &Node);
+
+/// Parses children/text until the matching close tag; assumes the open
+/// tag of \p Node was just consumed.
+bool parseContent(Cursor &C, XmlNode &Node) {
+  for (;;) {
+    if (C.eof())
+      return false;
+    char16_t Ch = C.Doc[C.Pos];
+    if (Ch != '<') {
+      Node.Text.push_back(Ch);
+      ++C.Pos;
+      continue;
+    }
+    // '<': close tag, child, or declaration.
+    if (C.Pos + 1 < C.Doc.size() && C.Doc[C.Pos + 1] == '/') {
+      C.Pos += 2;
+      std::u16string Name;
+      while (!C.eof() && isNameChar(C.peek()))
+        Name.push_back(C.Doc[C.Pos++]);
+      if (C.eof() || C.Doc[C.Pos++] != '>')
+        return false;
+      return Name == Node.Tag;
+    }
+    if (C.Pos + 1 < C.Doc.size() &&
+        (C.Doc[C.Pos + 1] == '?' || C.Doc[C.Pos + 1] == '!')) {
+      while (!C.eof() && C.Doc[C.Pos] != '>')
+        ++C.Pos;
+      if (C.eof())
+        return false;
+      ++C.Pos;
+      continue;
+    }
+    auto Child = std::make_unique<XmlNode>();
+    if (!parseElement(C, *Child))
+      return false;
+    Node.Children.push_back(std::move(Child));
+  }
+}
+
+bool parseElement(Cursor &C, XmlNode &Node) {
+  if (C.eof() || C.Doc[C.Pos] != '<')
+    return false;
+  ++C.Pos;
+  while (!C.eof() && isNameChar(C.peek()))
+    Node.Tag.push_back(C.Doc[C.Pos++]);
+  if (Node.Tag.empty())
+    return false;
+  switch (consumeAttrs(C)) {
+  case TagEnd::Malformed:
+    return false;
+  case TagEnd::SelfClose:
+    return true;
+  case TagEnd::Open:
+    return parseContent(C, Node);
+  }
+  return false;
+}
+
+} // namespace
+
+std::optional<std::unique_ptr<XmlNode>>
+efc::baselines::parseXmlDom(std::u16string_view Doc) {
+  Cursor C{Doc, 0};
+  // Skip prolog: text and declarations before the root element.
+  while (!C.eof()) {
+    if (C.peek() == '<') {
+      if (C.Pos + 1 < Doc.size() &&
+          (Doc[C.Pos + 1] == '?' || Doc[C.Pos + 1] == '!')) {
+        while (!C.eof() && C.peek() != '>')
+          ++C.Pos;
+        if (C.eof())
+          return std::nullopt;
+        ++C.Pos;
+        continue;
+      }
+      break;
+    }
+    ++C.Pos;
+  }
+  auto Root = std::make_unique<XmlNode>();
+  if (!parseElement(C, *Root))
+    return std::nullopt;
+  // Trailing whitespace/text allowed.
+  return Root;
+}
+
+namespace {
+
+void domQueryRec(const XmlNode &Node,
+                 const std::vector<std::u16string> &Path, size_t Depth,
+                 std::vector<std::u16string> &Out) {
+  if (Node.Tag != Path[Depth])
+    return;
+  if (Depth + 1 == Path.size()) {
+    Out.push_back(Node.Text);
+    return;
+  }
+  for (const auto &Child : Node.Children)
+    domQueryRec(*Child, Path, Depth + 1, Out);
+}
+
+} // namespace
+
+std::vector<std::u16string>
+efc::baselines::domQuery(const XmlNode &Root,
+                         const std::vector<std::u16string> &Path) {
+  std::vector<std::u16string> Out;
+  if (!Path.empty())
+    domQueryRec(Root, Path, 0, Out);
+  return Out;
+}
+
+std::optional<std::vector<std::u16string>>
+efc::baselines::streamingXPath(std::u16string_view Doc,
+                               const std::vector<std::u16string> &Path) {
+  std::vector<std::u16string> Out;
+  std::vector<std::u16string> Stack;
+  std::u16string Current; ///< direct text of the currently matched element
+  size_t MatchedPrefix = 0;
+  size_t I = 0;
+
+  auto fullyMatched = [&] {
+    return MatchedPrefix == Path.size() && Stack.size() == Path.size();
+  };
+
+  while (I < Doc.size()) {
+    char16_t Ch = Doc[I];
+    if (Ch != '<') {
+      if (fullyMatched())
+        Current.push_back(Ch);
+      ++I;
+      continue;
+    }
+    if (I + 1 < Doc.size() && (Doc[I + 1] == '?' || Doc[I + 1] == '!')) {
+      while (I < Doc.size() && Doc[I] != '>')
+        ++I;
+      if (I == Doc.size())
+        return std::nullopt;
+      ++I;
+      continue;
+    }
+    if (I + 1 < Doc.size() && Doc[I + 1] == '/') {
+      // Closing tag.
+      I += 2;
+      std::u16string Name;
+      while (I < Doc.size() && isNameChar(Doc[I]))
+        Name.push_back(Doc[I++]);
+      if (I == Doc.size() || Doc[I] != '>')
+        return std::nullopt;
+      ++I;
+      if (Stack.empty() || Stack.back() != Name)
+        return std::nullopt;
+      if (fullyMatched()) {
+        Out.push_back(Current);
+        Current.clear();
+      }
+      if (MatchedPrefix == Stack.size())
+        --MatchedPrefix;
+      Stack.pop_back();
+      continue;
+    }
+    // Opening tag.
+    ++I;
+    std::u16string Name;
+    while (I < Doc.size() && isNameChar(Doc[I]))
+      Name.push_back(Doc[I++]);
+    if (Name.empty())
+      return std::nullopt;
+    bool SelfClose = false;
+    while (I < Doc.size()) {
+      char16_t A = Doc[I++];
+      if (A == '>')
+        break;
+      if (A == '/' && I < Doc.size() && Doc[I] == '>') {
+        ++I;
+        SelfClose = true;
+        break;
+      }
+    }
+    if (SelfClose)
+      continue; // empty element: no text, no stack change
+    Stack.push_back(Name);
+    if (MatchedPrefix + 1 == Stack.size() &&
+        MatchedPrefix < Path.size() && Name == Path[MatchedPrefix])
+      ++MatchedPrefix;
+  }
+  return Stack.empty() ? std::optional(Out) : std::nullopt;
+}
+
+std::vector<std::u16string>
+efc::baselines::splitPath(const std::string &Query) {
+  std::vector<std::u16string> Out;
+  std::u16string Cur;
+  for (size_t I = 1; I <= Query.size(); ++I) {
+    if (I == Query.size() || Query[I] == '/') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(char16_t(Query[I]));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- bench/baselines/XmlLib.h - DOM and streaming XPath -------*- C++ -*-===//
+///
+/// \file
+/// Two general-purpose XML query baselines, standing in for the paper's
+/// XmlDocument (DOM) and XPathReader (streaming) comparisons in Figure 10:
+///
+///  * MiniDom — parses the whole document into a node tree, then walks the
+///    tree evaluating `/a/b/c`, collecting matched elements' direct text.
+///  * streamingXPath — one pass with an explicit open-element name stack
+///    and string comparisons per tag (no per-query code generation).
+///
+/// Both operate on UTF-16 text (decode counted by the caller).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BENCH_BASELINES_XMLLIB_H
+#define EFC_BENCH_BASELINES_XMLLIB_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efc::baselines {
+
+/// A DOM node.
+struct XmlNode {
+  std::u16string Tag;
+  std::u16string Text; ///< direct text content (children's text excluded)
+  std::vector<std::unique_ptr<XmlNode>> Children;
+};
+
+/// Parses the document; nullopt on malformed input (same subset as the
+/// XPath frontend).
+std::optional<std::unique_ptr<XmlNode>> parseXmlDom(std::u16string_view Doc);
+
+/// Evaluates an absolute path query over a DOM, returning matched
+/// elements' direct text in document order.
+std::vector<std::u16string> domQuery(const XmlNode &Root,
+                                     const std::vector<std::u16string> &Path);
+
+/// Single-pass streaming evaluation of the same query.
+std::optional<std::vector<std::u16string>>
+streamingXPath(std::u16string_view Doc,
+               const std::vector<std::u16string> &Path);
+
+/// Splits "/a/b/c" into path components (UTF-16).
+std::vector<std::u16string> splitPath(const std::string &Query);
+
+} // namespace efc::baselines
+
+#endif // EFC_BENCH_BASELINES_XMLLIB_H

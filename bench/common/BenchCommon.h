@@ -1,0 +1,96 @@
+//===- bench/common/BenchCommon.h - Shared benchmark plumbing ---*- C++ -*-===//
+///
+/// \file
+/// Builds every evaluation pipeline of the paper (Figures 9, 10, 11, 13)
+/// in all execution variants:
+///
+///  * Stages — the unfused per-stage BSTs compiled for the VM, run either
+///    pull-style ("LINQ") or push-style ("Method call").
+///  * Fused — the ⊗-fused, RBBE-cleaned BST compiled for the VM.
+///
+/// Hand-written baselines live in the individual benchmark binaries next
+/// to the reference implementations (stdlib/Reference.h) and the
+/// general-purpose XML/regex baseline engines (bench/baselines/).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BENCH_COMMON_BENCHCOMMON_H
+#define EFC_BENCH_COMMON_BENCHCOMMON_H
+
+#include "bst/Bst.h"
+#include "codegen/NativeCompile.h"
+#include "fusion/Fusion.h"
+#include "rbbe/Rbbe.h"
+#include "vm/Pipeline.h"
+#include "vm/Vm.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efc::bench {
+
+/// A pipeline prepared for benchmarking.
+struct BuiltPipeline {
+  std::string Name;
+  std::shared_ptr<TermContext> Ctx; ///< owns all terms the BSTs reference
+
+  std::vector<Bst> Stages;
+  std::optional<Bst> Fused; ///< fused + RBBE
+
+  std::vector<CompiledTransducer> CompiledStages;
+  std::optional<CompiledTransducer> CompiledFused;
+  /// Generated C++ compiled by the host compiler and dlopen'd — the
+  /// paper's deployment backend.  Absent when no compiler is available.
+  std::optional<NativeTransducer> Native;
+
+  // Compilation statistics (Figure 11).
+  FusionStats FStats;
+  RbbeStats RStats;
+  double TotalSeconds = 0; ///< fusion + RBBE + code generation
+
+  std::vector<const CompiledTransducer *> stagePtrs() const {
+    std::vector<const CompiledTransducer *> Ps;
+    for (const CompiledTransducer &T : CompiledStages)
+      Ps.push_back(&T);
+    return Ps;
+  }
+};
+
+/// Builds Name from its stage factory; fuses, cleans, compiles.
+BuiltPipeline buildPipeline(const std::string &Name,
+                            std::vector<Bst> Stages, TermContext &Ctx,
+                            std::shared_ptr<TermContext> Owner);
+
+// Figure 9 pipelines.
+BuiltPipeline makeBase64AvgPipeline();
+BuiltPipeline makeCsvMaxPipeline();
+BuiltPipeline makeBase64DeltaPipeline();
+BuiltPipeline makeUtf8LinesPipeline();
+BuiltPipeline makeChsiPipeline(const std::string &Which); // cancer|births|deaths
+BuiltPipeline makeSboPipeline(const std::string &Which);  // employees|receipts|payroll
+BuiltPipeline makeCcIdPipeline();
+
+// Figure 10 pipelines.
+BuiltPipeline makeTpcDiSqlPipeline();
+BuiltPipeline makePirProteinsPipeline();
+BuiltPipeline makeDblpOldestPipeline();
+BuiltPipeline makeMondialPipeline();
+
+// Figure 13 pipeline (Rep ⊗ HtmlEncode).
+BuiltPipeline makeHtmlEncodePipeline();
+
+/// The §1 pipeline (Utf8Decode ⊗ ToInt): the RBBE showcase.
+BuiltPipeline makeUtf8ToIntPipeline();
+
+/// Raw input conversions for the VM.
+std::vector<uint64_t> rawOfBytes(const std::string &Bytes);
+std::vector<uint64_t> rawOfChars(const std::u16string &Chars);
+
+/// Benchmark input scale in bytes: EFC_BENCH_MB env var (default 2 MB).
+size_t benchBytes();
+
+} // namespace efc::bench
+
+#endif // EFC_BENCH_COMMON_BENCHCOMMON_H

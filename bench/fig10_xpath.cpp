@@ -1,0 +1,192 @@
+//===- bench/fig10_xpath.cpp - Figure 10: XML query throughputs -----------===//
+//
+// Regenerates the paper's Figure 10: XPath extraction pipelines in four
+// variants:
+//
+//   XmlDocument — DOM baseline: parse the whole document, walk the tree
+//   XPathReader — streaming baseline with string comparisons per tag
+//   MethodCall  — per-element push composition of compiled stages
+//   Fused       — single fused transducer
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/baselines/XmlLib.h"
+#include "bench/common/BenchCommon.h"
+#include "data/Datasets.h"
+#include "stdlib/Reference.h"
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+using namespace efc;
+using namespace efc::bench;
+
+namespace {
+
+enum class Agg { Max, Min, Avg, Sql };
+
+/// Aggregates matched text contents the way each pipeline does.
+std::string aggregate(const std::vector<std::u16string> &Matches,
+                      Agg Kind) {
+  if (Kind == Agg::Sql) {
+    std::u16string Out;
+    for (const std::u16string &M : Matches) {
+      Out += u"INSERT INTO account VALUES (";
+      Out += M;
+      Out += u");\n";
+    }
+    return *ref::utf8Encode(Out);
+  }
+  uint64_t Acc = Kind == Agg::Min ? ~uint64_t(0) : 0;
+  uint64_t Sum = 0, Count = 0;
+  for (const std::u16string &M : Matches) {
+    uint32_t V = *ref::toInt(M);
+    switch (Kind) {
+    case Agg::Max:
+      Acc = std::max<uint64_t>(Acc, V);
+      break;
+    case Agg::Min:
+      Acc = std::min<uint64_t>(Acc, V);
+      break;
+    default:
+      Sum += V;
+      ++Count;
+      break;
+    }
+  }
+  if (Kind == Agg::Avg)
+    Acc = Count ? Sum / Count : 0;
+  std::u16string Line = ref::intToDecimal(uint32_t(Acc));
+  Line.push_back(u'\n');
+  return *ref::utf8Encode(Line);
+}
+
+struct Case {
+  std::string Name;
+  std::function<BuiltPipeline()> Make;
+  std::string Query;
+  std::string Xml;
+  Agg Kind;
+};
+
+void registerCase(const Case &C,
+                  std::vector<std::shared_ptr<BuiltPipeline>> &Keep) {
+  auto In = std::make_shared<std::vector<uint64_t>>(rawOfBytes(C.Xml));
+  auto Xml = std::make_shared<std::string>(C.Xml);
+  auto Path = std::make_shared<std::vector<std::u16string>>(
+      baselines::splitPath(C.Query));
+  Agg Kind = C.Kind;
+
+  // DOM baseline.
+  benchmark::RegisterBenchmark(
+      (C.Name + "/XmlDocument").c_str(),
+      [Xml, Path, Kind](benchmark::State &S) {
+        for (auto _ : S) {
+          std::u16string Chars = *ref::utf8Decode(*Xml);
+          auto Dom = baselines::parseXmlDom(Chars);
+          if (!Dom) {
+            S.SkipWithError("malformed XML");
+            return;
+          }
+          std::string Out = aggregate(baselines::domQuery(**Dom, *Path),
+                                      Kind);
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) *
+                            int64_t(Xml->size()));
+      });
+
+  // Streaming baseline.
+  benchmark::RegisterBenchmark(
+      (C.Name + "/XPathReader").c_str(),
+      [Xml, Path, Kind](benchmark::State &S) {
+        for (auto _ : S) {
+          std::u16string Chars = *ref::utf8Decode(*Xml);
+          auto Matches = baselines::streamingXPath(Chars, *Path);
+          if (!Matches) {
+            S.SkipWithError("malformed XML");
+            return;
+          }
+          std::string Out = aggregate(*Matches, Kind);
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) *
+                            int64_t(Xml->size()));
+      });
+
+  auto P = std::make_shared<BuiltPipeline>(C.Make());
+  Keep.push_back(P);
+
+  benchmark::RegisterBenchmark(
+      (C.Name + "/MethodCall").c_str(), [P, In](benchmark::State &S) {
+        PushPipeline Push(P->stagePtrs());
+        std::vector<uint64_t> Out;
+        for (auto _ : S) {
+          Out.clear();
+          if (!Push.run(*In, Out)) {
+            S.SkipWithError("pipeline rejected its input");
+            return;
+          }
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * int64_t(In->size()));
+      });
+
+  benchmark::RegisterBenchmark(
+      (C.Name + "/Fused").c_str(), [P, In](benchmark::State &S) {
+        for (auto _ : S) {
+          auto Out = P->CompiledFused->run(*In);
+          if (!Out) {
+            S.SkipWithError("pipeline rejected its input");
+            return;
+          }
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * int64_t(In->size()));
+      });
+
+  if (P->Native) {
+    benchmark::RegisterBenchmark(
+        (C.Name + "/FusedNative").c_str(), [P, In](benchmark::State &S) {
+          for (auto _ : S) {
+            auto Out = P->Native->run(*In);
+            if (!Out) {
+              S.SkipWithError("pipeline rejected its input");
+              return;
+            }
+            benchmark::DoNotOptimize(Out);
+          }
+          S.SetBytesProcessed(int64_t(S.iterations()) *
+                              int64_t(In->size()));
+        });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t MB = benchBytes();
+  std::vector<Case> Cases;
+  Cases.push_back({"TPC-DI-SQL", [] { return makeTpcDiSqlPipeline(); },
+                   "/customers/customer/account",
+                   data::makeTpcDiXml(201, MB), Agg::Sql});
+  Cases.push_back({"PIR-proteins", [] { return makePirProteinsPipeline(); },
+                   "/proteins/protein/length", data::makePirXml(202, MB),
+                   Agg::Avg});
+  Cases.push_back({"DBLP-oldest", [] { return makeDblpOldestPipeline(); },
+                   "/dblp/article/year", data::makeDblpXml(203, MB),
+                   Agg::Min});
+  Cases.push_back({"MONDIAL", [] { return makeMondialPipeline(); },
+                   "/mondial/country/city/population",
+                   data::makeMondialXml(204, MB), Agg::Max});
+
+  std::vector<std::shared_ptr<BuiltPipeline>> Keep;
+  for (const Case &C : Cases)
+    registerCase(C, Keep);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

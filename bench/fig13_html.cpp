@@ -1,0 +1,105 @@
+//===- bench/fig13_html.cpp - Figure 13: HTML encoding throughputs --------===//
+//
+// Regenerates the paper's Figure 13: Rep ⊗ HtmlEncode (fused with our
+// tool) vs the hand-fused AntiXssEncoder.HtmlEncode equivalent vs the
+// modular method-call composition, on three datasets: uniformly Random
+// chars (including misplaced surrogates), English, and Chinese.
+// Throughput is reported over the UTF-16 size (2 bytes per code unit), as
+// in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "data/Datasets.h"
+#include "stdlib/Reference.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace efc;
+using namespace efc::bench;
+
+namespace {
+
+void registerDataset(const std::string &Name, const std::u16string &Text,
+                     std::vector<std::shared_ptr<BuiltPipeline>> &Keep) {
+  auto P = std::make_shared<BuiltPipeline>(makeHtmlEncodePipeline());
+  Keep.push_back(P);
+  auto In = std::make_shared<std::vector<uint64_t>>(rawOfChars(Text));
+  auto Chars = std::make_shared<std::u16string>(Text);
+  int64_t Utf16Bytes = int64_t(Text.size()) * 2;
+
+  benchmark::RegisterBenchmark(
+      (Name + "/Fused").c_str(), [P, In, Utf16Bytes](benchmark::State &S) {
+        for (auto _ : S) {
+          auto Out = P->CompiledFused->run(*In);
+          if (!Out) {
+            S.SkipWithError("rejected");
+            return;
+          }
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * Utf16Bytes);
+      });
+
+  if (P->Native) {
+    benchmark::RegisterBenchmark(
+        (Name + "/FusedNative").c_str(),
+        [P, In, Utf16Bytes](benchmark::State &S) {
+          for (auto _ : S) {
+            auto Out = P->Native->run(*In);
+            if (!Out) {
+              S.SkipWithError("rejected");
+              return;
+            }
+            benchmark::DoNotOptimize(Out);
+          }
+          S.SetBytesProcessed(int64_t(S.iterations()) * Utf16Bytes);
+        });
+  }
+
+  benchmark::RegisterBenchmark(
+      (Name + "/AntiXss").c_str(),
+      [Chars, Utf16Bytes](benchmark::State &S) {
+        for (auto _ : S) {
+          std::u16string Out = ref::antiXssHtmlEncode(*Chars);
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * Utf16Bytes);
+      });
+
+  benchmark::RegisterBenchmark(
+      (Name + "/MethodCall").c_str(),
+      [P, In, Utf16Bytes](benchmark::State &S) {
+        PushPipeline Push(P->stagePtrs());
+        std::vector<uint64_t> Out;
+        for (auto _ : S) {
+          Out.clear();
+          if (!Push.run(*In, Out)) {
+            S.SkipWithError("rejected");
+            return;
+          }
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * Utf16Bytes);
+      });
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t Chars = benchBytes() / 2; // UTF-16 code units
+  std::vector<std::shared_ptr<BuiltPipeline>> Keep;
+  registerDataset("Random", data::makeRandomUtf16(301, Chars, true), Keep);
+  registerDataset("English",
+                  [&] {
+                    std::string T = data::makeEnglishText(302, Chars);
+                    return std::u16string(T.begin(), T.end());
+                  }(),
+                  Keep);
+  registerDataset("Chinese", data::makeChineseText(303, Chars), Keep);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,294 @@
+//===- bench/fig9_pipelines.cpp - Figure 9: pipeline throughputs ----------===//
+//
+// Regenerates the paper's Figure 9: for each data-processing pipeline,
+// throughput of four variants:
+//
+//   LINQ        — per-stage enumerators pulling through buffers
+//   MethodCall  — per-element push composition of the compiled stages
+//   HandWritten — idiomatic C++ with arrays between phases (reference
+//                 implementations + general-purpose regex library)
+//   Fused       — the ⊗-fused, RBBE-cleaned transducer, one pass
+//
+// Reported counter: bytes_per_second over the input size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/baselines/RegexLib.h"
+#include "bench/common/BenchCommon.h"
+#include "data/Datasets.h"
+#include "stdlib/Reference.h"
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+using namespace efc;
+using namespace efc::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Variant runners over a BuiltPipeline
+//===----------------------------------------------------------------------===
+
+void runLinq(benchmark::State &State, const BuiltPipeline &P,
+             const std::vector<uint64_t> &In) {
+  for (auto _ : State) {
+    auto Out = runPullPipeline(P.stagePtrs(), In);
+    benchmark::DoNotOptimize(Out);
+    if (!Out)
+      State.SkipWithError("pipeline rejected its input");
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(In.size()));
+}
+
+void runMethodCall(benchmark::State &State, const BuiltPipeline &P,
+                   const std::vector<uint64_t> &In) {
+  PushPipeline Push(P.stagePtrs());
+  std::vector<uint64_t> Out;
+  for (auto _ : State) {
+    Out.clear();
+    bool Ok = Push.run(In, Out);
+    benchmark::DoNotOptimize(Out);
+    if (!Ok)
+      State.SkipWithError("pipeline rejected its input");
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(In.size()));
+}
+
+void runFused(benchmark::State &State, const BuiltPipeline &P,
+              const std::vector<uint64_t> &In) {
+  for (auto _ : State) {
+    auto Out = P.CompiledFused->run(In);
+    benchmark::DoNotOptimize(Out);
+    if (!Out)
+      State.SkipWithError("pipeline rejected its input");
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(In.size()));
+}
+
+//===----------------------------------------------------------------------===
+// Hand-written implementations (arrays between phases)
+//===----------------------------------------------------------------------===
+
+std::vector<uint32_t> assembleInts(const std::string &Bytes) {
+  std::vector<uint32_t> Out;
+  for (size_t I = 0; I + 4 <= Bytes.size(); I += 4)
+    Out.push_back(uint32_t(uint8_t(Bytes[I])) |
+                  (uint32_t(uint8_t(Bytes[I + 1])) << 8) |
+                  (uint32_t(uint8_t(Bytes[I + 2])) << 16) |
+                  (uint32_t(uint8_t(Bytes[I + 3])) << 24));
+  return Out;
+}
+
+std::string handBase64Avg(const std::string &In) {
+  auto Raw = ref::base64Decode(In);
+  std::vector<uint32_t> Ints = assembleInts(*Raw);
+  std::vector<uint32_t> Avg = ref::windowedAverage(Ints, 10);
+  std::string Ser;
+  Ser.reserve(Avg.size() * 4);
+  for (uint32_t V : Avg) {
+    Ser.push_back(char(V & 0xFF));
+    Ser.push_back(char((V >> 8) & 0xFF));
+    Ser.push_back(char((V >> 16) & 0xFF));
+    Ser.push_back(char((V >> 24) & 0xFF));
+  }
+  return ref::base64Encode(Ser);
+}
+
+std::string handBase64Delta(const std::string &In) {
+  auto Raw = ref::base64Decode(In);
+  std::vector<uint32_t> Ints = assembleInts(*Raw);
+  std::vector<uint32_t> Ds = ref::deltas(Ints);
+  std::u16string Text;
+  for (uint32_t D : Ds) {
+    Text += ref::intToDecimal(D);
+    Text.push_back(u'\n');
+  }
+  return *ref::utf8Encode(Text);
+}
+
+std::string handUtf8Lines(const std::string &In) {
+  std::u16string Chars = *ref::utf8Decode(In);
+  uint32_t Lines = 0;
+  for (char16_t C : Chars)
+    if (C == u'\n')
+      ++Lines;
+  return *ref::utf8Encode(ref::intToDecimal(Lines));
+}
+
+/// Hand-written CSV pipelines: decode, run the general-purpose regex
+/// library (captures materialized), then aggregate.
+enum class Agg { Max, Min, Avg, MaxLen };
+
+std::string handCsv(const std::string &In,
+                    const baselines::InterpretedRegex &Re, Agg Kind) {
+  std::u16string Chars = *ref::utf8Decode(In);
+  auto Captures = Re.findAll(Chars);
+  if (!Captures)
+    return "";
+  uint64_t Acc = Kind == Agg::Min ? ~uint64_t(0) : 0;
+  uint64_t Sum = 0, Count = 0;
+  for (const std::u16string &C : *Captures) {
+    uint32_t V = Kind == Agg::MaxLen ? uint32_t(C.size())
+                                     : *ref::toInt(C);
+    switch (Kind) {
+    case Agg::Max:
+    case Agg::MaxLen:
+      Acc = std::max<uint64_t>(Acc, V);
+      break;
+    case Agg::Min:
+      Acc = std::min<uint64_t>(Acc, V);
+      break;
+    case Agg::Avg:
+      Sum += V;
+      ++Count;
+      break;
+    }
+  }
+  if (Kind == Agg::Avg)
+    Acc = Count ? Sum / Count : 0;
+  return *ref::utf8Encode(ref::intToDecimal(uint32_t(Acc)));
+}
+
+void runHand(benchmark::State &State,
+             const std::function<std::string()> &Fn, size_t Bytes) {
+  for (auto _ : State) {
+    std::string Out = Fn();
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(Bytes));
+}
+
+//===----------------------------------------------------------------------===
+// Registration
+//===----------------------------------------------------------------------===
+
+struct Registered {
+  std::shared_ptr<BuiltPipeline> P;
+  std::shared_ptr<std::vector<uint64_t>> In;
+};
+
+Registered registerVariants(BuiltPipeline Built, std::vector<uint64_t> In) {
+  Registered R;
+  R.P = std::make_shared<BuiltPipeline>(std::move(Built));
+  R.In = std::make_shared<std::vector<uint64_t>>(std::move(In));
+  auto P = R.P;
+  auto Data = R.In;
+  benchmark::RegisterBenchmark((P->Name + "/LINQ").c_str(),
+                               [P, Data](benchmark::State &S) {
+                                 runLinq(S, *P, *Data);
+                               });
+  benchmark::RegisterBenchmark((P->Name + "/MethodCall").c_str(),
+                               [P, Data](benchmark::State &S) {
+                                 runMethodCall(S, *P, *Data);
+                               });
+  benchmark::RegisterBenchmark((P->Name + "/Fused").c_str(),
+                               [P, Data](benchmark::State &S) {
+                                 runFused(S, *P, *Data);
+                               });
+  if (P->Native) {
+    benchmark::RegisterBenchmark(
+        (P->Name + "/FusedNative").c_str(),
+        [P, Data](benchmark::State &S) {
+          for (auto _ : S) {
+            auto Out = P->Native->run(*Data);
+            benchmark::DoNotOptimize(Out);
+            if (!Out)
+              S.SkipWithError("pipeline rejected its input");
+          }
+          S.SetBytesProcessed(int64_t(S.iterations()) *
+                              int64_t(Data->size()));
+        });
+  }
+  return R;
+}
+
+void registerHand(const std::string &Name,
+                  std::function<std::string()> Fn, size_t Bytes) {
+  benchmark::RegisterBenchmark(
+      (Name + "/HandWritten").c_str(),
+      [Fn = std::move(Fn), Bytes](benchmark::State &S) {
+        runHand(S, Fn, Bytes);
+      });
+}
+
+std::string csvPattern(unsigned Column, bool AnyText) {
+  return "(?:(?:[^,\\n]*,){" + std::to_string(Column) + "}(?<v>" +
+         (AnyText ? "[^,\\n]+" : "\\d+") + "),[^\\n]*\\n)*";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  size_t MB = benchBytes();
+  std::vector<Registered> Keep;
+
+  // Base64-avg / Base64-delta.
+  {
+    std::string In = data::makeBase64Ints(101, MB / 4, 1u << 30);
+    Keep.push_back(
+        registerVariants(makeBase64AvgPipeline(), rawOfBytes(In)));
+    registerHand("Base64-avg", [In] { return handBase64Avg(In); },
+                 In.size());
+    Keep.push_back(
+        registerVariants(makeBase64DeltaPipeline(), rawOfBytes(In)));
+    registerHand("Base64-delta", [In] { return handBase64Delta(In); },
+                 In.size());
+  }
+  // UTF8-lines over English text.
+  {
+    std::string In = data::makeEnglishText(102, MB);
+    Keep.push_back(
+        registerVariants(makeUtf8LinesPipeline(), rawOfBytes(In)));
+    registerHand("UTF8-lines", [In] { return handUtf8Lines(In); },
+                 In.size());
+  }
+  // CSV-max (third column, max length).
+  {
+    std::string In = data::makeCsv(103, MB, 6, 4, 100000);
+    auto Re = baselines::InterpretedRegex::compile(csvPattern(2, true));
+    Keep.push_back(registerVariants(makeCsvMaxPipeline(), rawOfBytes(In)));
+    registerHand("CSV-max",
+                 [In, Re] { return handCsv(In, *Re, Agg::MaxLen); },
+                 In.size());
+  }
+  // CHSI (10 columns), SBO (8 columns), CC (18 columns).
+  struct CsvCase {
+    const char *Name;
+    std::function<BuiltPipeline()> Make;
+    std::string Data;
+    unsigned Column;
+    Agg Kind;
+  };
+  std::vector<CsvCase> Cases = {
+      {"CHSI-cancer", [] { return makeChsiPipeline("cancer"); },
+       data::makeChsiCsv(104, MB, 7), 7, Agg::Avg},
+      {"CHSI-births", [] { return makeChsiPipeline("births"); },
+       data::makeChsiCsv(105, MB, 5), 5, Agg::Min},
+      {"CHSI-deaths", [] { return makeChsiPipeline("deaths"); },
+       data::makeChsiCsv(106, MB, 3), 3, Agg::Max},
+      {"SBO-employees", [] { return makeSboPipeline("employees"); },
+       data::makeSboCsv(107, MB, 5), 5, Agg::Max},
+      {"SBO-receipts", [] { return makeSboPipeline("receipts"); },
+       data::makeSboCsv(108, MB, 6), 6, Agg::Min},
+      {"SBO-payroll", [] { return makeSboPipeline("payroll"); },
+       data::makeSboCsv(109, MB, 7), 7, Agg::Avg},
+      {"CC-id", [] { return makeCcIdPipeline(); },
+       data::makeCcCsv(110, MB), 0, Agg::Max},
+  };
+  for (CsvCase &C : Cases) {
+    Keep.push_back(registerVariants(C.Make(), rawOfBytes(C.Data)));
+    auto Re =
+        baselines::InterpretedRegex::compile(csvPattern(C.Column, false));
+    std::string In = C.Data;
+    Agg Kind = C.Kind;
+    registerHand(C.Name, [In, Re, Kind] { return handCsv(In, *Re, Kind); },
+                 In.size());
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- bst/Bst.cpp --------------------------------------------------------===//
+
+#include "bst/Bst.h"
+
+#include "term/Rewrite.h"
+
+using namespace efc;
+
+Bst::Bst(TermContext &Ctx, const Type *InputTy, const Type *OutputTy,
+         const Type *RegTy, unsigned NumStates, unsigned InitState,
+         Value InitReg)
+    : Ctx(&Ctx), InputTy(InputTy), OutputTy(OutputTy), RegTy(RegTy),
+      InitState(InitState), InitReg(std::move(InitReg)),
+      Delta(NumStates, Rule::undef()), Fin(NumStates, Rule::undef()),
+      StateNames(NumStates) {
+  assert(InitState < NumStates);
+  assert(this->InitReg.hasType(RegTy) && "initial register has wrong type");
+  for (unsigned I = 0; I < NumStates; ++I)
+    StateNames[I] = "q" + std::to_string(I);
+}
+
+TermRef Bst::initialRegisterTerm() const {
+  return Ctx->constOf(RegTy, InitReg);
+}
+
+TermRef Bst::inputVar() const { return Ctx->var("x", InputTy); }
+
+TermRef Bst::regVar() const { return Ctx->var("r", RegTy); }
+
+unsigned Bst::addState(std::string Name) {
+  unsigned Id = numStates();
+  Delta.push_back(Rule::undef());
+  Fin.push_back(Rule::undef());
+  StateNames.push_back(Name.empty() ? "q" + std::to_string(Id)
+                                    : std::move(Name));
+  return Id;
+}
+
+unsigned Bst::countBranches() const {
+  unsigned N = 0;
+  for (const RulePtr &R : Delta)
+    N += R->countBaseLeaves();
+  for (const RulePtr &R : Fin)
+    N += R->countBaseLeaves();
+  return N;
+}
+
+bool Bst::checkTermVars(TermRef T, bool IsFinalizer, std::string *Err) const {
+  std::unordered_set<TermRef> Vars;
+  collectVars(T, Vars);
+  for (TermRef V : Vars) {
+    if (V == regVar())
+      continue;
+    if (!IsFinalizer && V == inputVar())
+      continue;
+    if (Err)
+      *Err = "rule term mentions unexpected variable '" +
+             Ctx->varName(V->varId()) + "'";
+    return false;
+  }
+  return true;
+}
+
+bool Bst::checkRule(const Rule *R, bool IsFinalizer, unsigned State,
+                    std::string *Err) const {
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return true;
+  case Rule::Kind::Ite:
+    if (!R->cond()->type()->isBool()) {
+      if (Err)
+        *Err = "guard is not boolean in state " + StateNames[State];
+      return false;
+    }
+    return checkTermVars(R->cond(), IsFinalizer, Err) &&
+           checkRule(R->thenRule().get(), IsFinalizer, State, Err) &&
+           checkRule(R->elseRule().get(), IsFinalizer, State, Err);
+  case Rule::Kind::Base: {
+    if (R->target() >= numStates()) {
+      if (Err)
+        *Err = "target state out of range in state " + StateNames[State];
+      return false;
+    }
+    for (TermRef O : R->outputs()) {
+      if (O->type() != OutputTy) {
+        if (Err)
+          *Err = "output term has wrong type in state " + StateNames[State];
+        return false;
+      }
+      if (!checkTermVars(O, IsFinalizer, Err))
+        return false;
+    }
+    if (R->update()->type() != RegTy) {
+      if (Err)
+        *Err = "register update has wrong type in state " + StateNames[State];
+      return false;
+    }
+    return checkTermVars(R->update(), IsFinalizer, Err);
+  }
+  }
+  return false;
+}
+
+bool Bst::wellFormed(std::string *Err) const {
+  if (!InitReg.hasType(RegTy)) {
+    if (Err)
+      *Err = "initial register value does not match register type";
+    return false;
+  }
+  for (unsigned Q = 0; Q < numStates(); ++Q) {
+    if (!checkRule(Delta[Q].get(), /*IsFinalizer=*/false, Q, Err))
+      return false;
+    if (!checkRule(Fin[Q].get(), /*IsFinalizer=*/true, Q, Err))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,101 @@
+//===- bst/Bst.h - Branching symbolic transducers ---------------*- C++ -*-===//
+///
+/// \file
+/// The branching symbolic transducer (BST) of paper §2: a tuple
+/// (ι, o, ρ, Q, q0, r0, δ, $) where δ maps each control state to a
+/// transition rule over the input variable `x : ι` and register variable
+/// `r : ρ`, and $ maps each control state to a finalizer rule over `r : ρ`
+/// alone.  A BST denotes a partial function [ι] → [o].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_BST_H
+#define EFC_BST_BST_H
+
+#include "bst/Rule.h"
+#include "term/TermContext.h"
+#include "term/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace efc {
+
+/// A deterministic symbolic transducer with branching rules.
+class Bst {
+public:
+  Bst(TermContext &Ctx, const Type *InputTy, const Type *OutputTy,
+      const Type *RegTy, unsigned NumStates, unsigned InitState,
+      Value InitReg);
+
+  TermContext &context() const { return *Ctx; }
+  const Type *inputType() const { return InputTy; }
+  const Type *outputType() const { return OutputTy; }
+  const Type *registerType() const { return RegTy; }
+  unsigned numStates() const { return unsigned(Delta.size()); }
+  unsigned initialState() const { return InitState; }
+  const Value &initialRegister() const { return InitReg; }
+  /// The initial register value as a constant term.
+  TermRef initialRegisterTerm() const;
+
+  /// The canonical input variable `x : ι` used in transition rules.
+  TermRef inputVar() const;
+  /// The canonical register variable `r : ρ` used in rules.
+  TermRef regVar() const;
+
+  const RulePtr &delta(unsigned State) const {
+    assert(State < Delta.size());
+    return Delta[State];
+  }
+  const RulePtr &finalizer(unsigned State) const {
+    assert(State < Fin.size());
+    return Fin[State];
+  }
+  void setDelta(unsigned State, RulePtr R) {
+    assert(State < Delta.size());
+    Delta[State] = std::move(R);
+  }
+  void setFinalizer(unsigned State, RulePtr R) {
+    assert(State < Fin.size());
+    Fin[State] = std::move(R);
+  }
+
+  /// True when the state's finalizer accepts at least syntactically (is not
+  /// plain Undef).
+  bool isFinal(unsigned State) const { return !Fin[State]->isUndef(); }
+
+  const std::string &stateName(unsigned State) const {
+    return StateNames[State];
+  }
+  void setStateName(unsigned State, std::string Name) {
+    StateNames[State] = std::move(Name);
+  }
+
+  /// Appends a fresh control state (with Undef rules) and returns its id.
+  unsigned addState(std::string Name = "");
+
+  /// Total Base leaves over all transition rules and finalizers
+  /// (the "branches" counted in Figure 11).
+  unsigned countBranches() const;
+
+  /// Checks structural and type well-formedness; on failure returns false
+  /// and, when \p Err is non-null, stores a diagnostic.
+  bool wellFormed(std::string *Err = nullptr) const;
+
+private:
+  TermContext *Ctx;
+  const Type *InputTy, *OutputTy, *RegTy;
+  unsigned InitState;
+  Value InitReg;
+  std::vector<RulePtr> Delta;
+  std::vector<RulePtr> Fin;
+  std::vector<std::string> StateNames;
+
+  bool checkRule(const Rule *R, bool IsFinalizer, unsigned State,
+                 std::string *Err) const;
+  bool checkTermVars(TermRef T, bool IsFinalizer, std::string *Err) const;
+};
+
+} // namespace efc
+
+#endif // EFC_BST_BST_H

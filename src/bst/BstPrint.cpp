@@ -1,0 +1,76 @@
+//===- bst/BstPrint.cpp ---------------------------------------------------===//
+
+#include "bst/BstPrint.h"
+
+#include "bst/Moves.h"
+#include "term/Print.h"
+
+using namespace efc;
+
+std::string efc::ruleToString(const TermContext &Ctx, const Rule *R,
+                              unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return Pad + "undef\n";
+  case Rule::Kind::Base: {
+    std::string S = Pad + "emit [";
+    for (size_t I = 0; I < R->outputs().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += termToString(Ctx, R->outputs()[I]);
+    }
+    S += "] -> q" + std::to_string(R->target()) +
+         "; r := " + termToString(Ctx, R->update()) + "\n";
+    return S;
+  }
+  case Rule::Kind::Ite:
+    return Pad + "if " + termToString(Ctx, R->cond()) + "\n" +
+           ruleToString(Ctx, R->thenRule().get(), Indent + 1) + Pad +
+           "else\n" + ruleToString(Ctx, R->elseRule().get(), Indent + 1);
+  }
+  return "";
+}
+
+std::string efc::bstToString(const Bst &A) {
+  const TermContext &Ctx = A.context();
+  std::string S;
+  S += "BST: " + A.inputType()->str() + " -> " + A.outputType()->str() +
+       ", register " + A.registerType()->str() + ", " +
+       std::to_string(A.numStates()) + " states, init " +
+       A.stateName(A.initialState()) + " r0=" + A.initialRegister().str() +
+       "\n";
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    S += "state " + A.stateName(Q) + ":\n";
+    S += "  delta:\n" + ruleToString(Ctx, A.delta(Q).get(), 2);
+    S += "  finalizer:\n" + ruleToString(Ctx, A.finalizer(Q).get(), 2);
+  }
+  return S;
+}
+
+std::string efc::bstToDot(const Bst &A, const std::string &Name) {
+  const TermContext &Ctx = A.context();
+  std::string S = "digraph " + Name + " {\n  rankdir=LR;\n";
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    S += "  q" + std::to_string(Q) + " [label=\"" + A.stateName(Q) +
+         "\" shape=" + (A.isFinal(Q) ? "doublecircle" : "circle") +
+         "];\n";
+  }
+  S += "  start [shape=point];\n  start -> q" +
+       std::to_string(A.initialState()) + ";\n";
+  for (const Move &M : movesOf(A)) {
+    std::string Guard = termToString(Ctx, M.Guard);
+    // Escape quotes for dot.
+    std::string Esc;
+    for (char C : Guard) {
+      if (C == '"')
+        Esc += "\\\"";
+      else
+        Esc.push_back(C);
+    }
+    S += "  q" + std::to_string(M.Src) + " -> q" +
+         std::to_string(M.Dst) + " [label=\"" + Esc + "\"];\n";
+  }
+  S += "}\n";
+  return S;
+}

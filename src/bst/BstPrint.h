@@ -1,0 +1,32 @@
+//===- bst/BstPrint.h - Diagnostics printing for BSTs -----------*- C++ -*-===//
+///
+/// \file
+/// Text rendering of BSTs for debugging, tests and documentation: one
+/// indented block per control state showing the rule tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_BSTPRINT_H
+#define EFC_BST_BSTPRINT_H
+
+#include "bst/Bst.h"
+
+#include <string>
+
+namespace efc {
+
+/// Multi-line description of the whole transducer.
+std::string bstToString(const Bst &A);
+
+/// Multi-line description of one rule tree.
+std::string ruleToString(const TermContext &Ctx, const Rule *R,
+                         unsigned Indent = 0);
+
+/// Graphviz rendering of the control graph: one node per state (double
+/// circle when accepting), one edge per flattened move labelled with its
+/// guard.
+std::string bstToDot(const Bst &A, const std::string &Name = "bst");
+
+} // namespace efc
+
+#endif // EFC_BST_BSTPRINT_H

@@ -1,0 +1,68 @@
+//===- bst/Interp.cpp -----------------------------------------------------===//
+
+#include "bst/Interp.h"
+
+#include "term/Eval.h"
+
+using namespace efc;
+
+std::optional<StepResult> efc::stepRule(const Bst &A, const Rule *R,
+                                        const Value *Input,
+                                        const Value &Reg) {
+  Env E;
+  if (Input)
+    E.bind(A.inputVar(), *Input);
+  E.bind(A.regVar(), Reg);
+
+  const Rule *Cur = R;
+  while (Cur->isIte())
+    Cur = evalTerm(Cur->cond(), E).boolValue() ? Cur->thenRule().get()
+                                               : Cur->elseRule().get();
+  if (Cur->isUndef())
+    return std::nullopt;
+
+  StepResult Res;
+  Res.Outputs.reserve(Cur->outputs().size());
+  for (TermRef O : Cur->outputs())
+    Res.Outputs.push_back(evalTerm(O, E));
+  Res.NextState = Cur->target();
+  Res.NextReg = evalTerm(Cur->update(), E);
+  return Res;
+}
+
+Trace efc::traceBst(const Bst &A, std::span<const Value> Input) {
+  Trace T;
+  unsigned State = A.initialState();
+  Value Reg = A.initialRegister();
+  T.States.push_back(State);
+  T.Registers.push_back(Reg);
+
+  for (const Value &In : Input) {
+    std::optional<StepResult> R = stepRule(A, A.delta(State).get(), &In, Reg);
+    if (!R)
+      return T; // rejected mid-stream
+    for (Value &O : R->Outputs)
+      T.Outputs.push_back(std::move(O));
+    State = R->NextState;
+    Reg = std::move(R->NextReg);
+    T.States.push_back(State);
+    T.Registers.push_back(Reg);
+  }
+
+  std::optional<StepResult> F =
+      stepRule(A, A.finalizer(State).get(), nullptr, Reg);
+  if (!F)
+    return T; // rejected at end of input
+  for (Value &O : F->Outputs)
+    T.Outputs.push_back(std::move(O));
+  T.Accepted = true;
+  return T;
+}
+
+std::optional<std::vector<Value>> efc::runBst(const Bst &A,
+                                              std::span<const Value> Input) {
+  Trace T = traceBst(A, Input);
+  if (!T.Accepted)
+    return std::nullopt;
+  return std::move(T.Outputs);
+}

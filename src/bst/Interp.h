@@ -1,0 +1,51 @@
+//===- bst/Interp.h - Reference interpreter for BSTs ------------*- C++ -*-===//
+///
+/// \file
+/// Direct implementation of the transduction semantics of paper §2
+/// (Equation 1): step the transition rule over each input element, thread
+/// the (control state, register) pair, then run the finalizer.  This is the
+/// executable ground truth that fusion, RBBE and the VM are tested against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_INTERP_H
+#define EFC_BST_INTERP_H
+
+#include "bst/Bst.h"
+
+#include <optional>
+#include <span>
+
+namespace efc {
+
+/// Result of stepping a rule: outputs plus successor configuration, or
+/// rejection.
+struct StepResult {
+  std::vector<Value> Outputs;
+  unsigned NextState = 0;
+  Value NextReg;
+};
+
+/// Evaluates one rule on a concrete (input, register) pair; std::nullopt
+/// means the rule maps to ⊥ (Undef).  Pass \p Input = nullptr for
+/// finalizer rules.
+std::optional<StepResult> stepRule(const Bst &A, const Rule *R,
+                                   const Value *Input, const Value &Reg);
+
+/// The transduction ⟦A⟧ applied to \p Input; std::nullopt when rejected.
+std::optional<std::vector<Value>> runBst(const Bst &A,
+                                         std::span<const Value> Input);
+
+/// Like runBst but also exposes the visited configurations (for tests and
+/// the forward reachability under-approximation's sanity checks).
+struct Trace {
+  bool Accepted = false;
+  std::vector<Value> Outputs;
+  std::vector<unsigned> States;  ///< q0, q1, ..., qn (before finalizer)
+  std::vector<Value> Registers;  ///< r0, r1, ..., rn
+};
+Trace traceBst(const Bst &A, std::span<const Value> Input);
+
+} // namespace efc
+
+#endif // EFC_BST_INTERP_H

@@ -1,0 +1,144 @@
+//===- bst/Minimize.cpp ---------------------------------------------------===//
+
+#include "bst/Minimize.h"
+
+#include "bst/Transform.h"
+
+#include <functional>
+#include <map>
+#include <vector>
+
+using namespace efc;
+
+namespace {
+
+/// Structural rule equality where Base targets compare through the
+/// current partition (class ids).
+bool rulesEqualModulo(const Rule *A, const Rule *B,
+                      const std::vector<unsigned> &ClassOf) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Rule::Kind::Undef:
+    return true;
+  case Rule::Kind::Base:
+    return ClassOf[A->target()] == ClassOf[B->target()] &&
+           A->update() == B->update() && A->outputs() == B->outputs();
+  case Rule::Kind::Ite:
+    return A->cond() == B->cond() &&
+           rulesEqualModulo(A->thenRule().get(), B->thenRule().get(),
+                            ClassOf) &&
+           rulesEqualModulo(A->elseRule().get(), B->elseRule().get(),
+                            ClassOf);
+  }
+  return false;
+}
+
+} // namespace
+
+Bst efc::minimizeStates(const Bst &A, MinimizeStats *Stats) {
+  unsigned N = A.numStates();
+  MinimizeStats Local;
+  MinimizeStats &St = Stats ? *Stats : Local;
+  St.StatesBefore = N;
+
+  // Initial partition: group by the finalizer rule.  Finalizer Base
+  // targets are semantically ignored, so compare them through the
+  // all-equal partition.
+  std::vector<unsigned> ClassOf(N, 0);
+  {
+    const std::vector<unsigned> AllSame(N, 0);
+    std::vector<const Rule *> Reps;
+    for (unsigned Q = 0; Q < N; ++Q) {
+      unsigned C = UINT_MAX;
+      for (unsigned I = 0; I < Reps.size(); ++I)
+        if (rulesEqualModulo(Reps[I], A.finalizer(Q).get(), AllSame)) {
+          C = I;
+          break;
+        }
+      if (C == UINT_MAX) {
+        C = unsigned(Reps.size());
+        Reps.push_back(A.finalizer(Q).get());
+      }
+      ClassOf[Q] = C;
+    }
+  }
+
+  // Refine until stable: states stay together only if their delta rules
+  // are equal modulo the partition.
+  for (;;) {
+    ++St.Rounds;
+    // New class = (old class, representative-equivalence within class).
+    std::vector<unsigned> NewClass(N, UINT_MAX);
+    unsigned NextClass = 0;
+    std::map<unsigned, std::vector<unsigned>> Buckets; // class -> reps
+    for (unsigned Q = 0; Q < N; ++Q) {
+      auto &Reps = Buckets[ClassOf[Q]];
+      unsigned Found = UINT_MAX;
+      for (unsigned Rep : Reps)
+        if (rulesEqualModulo(A.delta(Rep).get(), A.delta(Q).get(),
+                             ClassOf)) {
+          Found = NewClass[Rep];
+          break;
+        }
+      if (Found == UINT_MAX) {
+        Found = NextClass++;
+        Reps.push_back(Q);
+      }
+      NewClass[Q] = Found;
+    }
+    bool Changed = NewClass != ClassOf;
+    ClassOf = std::move(NewClass);
+    if (!Changed)
+      break;
+  }
+
+  unsigned NumClasses = 0;
+  for (unsigned C : ClassOf)
+    NumClasses = std::max(NumClasses, C + 1);
+  St.StatesAfter = NumClasses;
+  if (NumClasses == N)
+    return cloneBst(A);
+
+  // Build the quotient: one representative per class, targets remapped.
+  std::vector<unsigned> RepOf(NumClasses, UINT_MAX);
+  for (unsigned Q = 0; Q < N; ++Q)
+    if (RepOf[ClassOf[Q]] == UINT_MAX)
+      RepOf[ClassOf[Q]] = Q;
+
+  Bst B(A.context(), A.inputType(), A.outputType(), A.registerType(),
+        NumClasses, ClassOf[A.initialState()], A.initialRegister());
+
+  // Remap rule targets through ClassOf.
+  std::function<RulePtr(const RulePtr &)> Remap =
+      [&](const RulePtr &R) -> RulePtr {
+    switch (R->kind()) {
+    case Rule::Kind::Undef:
+      return R;
+    case Rule::Kind::Base: {
+      unsigned T = ClassOf[R->target()];
+      if (T == R->target())
+        return R;
+      return Rule::base(R->outputs(), T, R->update());
+    }
+    case Rule::Kind::Ite: {
+      RulePtr T = Remap(R->thenRule());
+      RulePtr E = Remap(R->elseRule());
+      if (T == R->thenRule() && E == R->elseRule())
+        return R;
+      return Rule::ite(R->cond(), std::move(T), std::move(E));
+    }
+    }
+    return R;
+  };
+
+  for (unsigned C = 0; C < NumClasses; ++C) {
+    unsigned Q = RepOf[C];
+    B.setDelta(C, Remap(A.delta(Q)));
+    B.setFinalizer(C, Remap(A.finalizer(Q)));
+    B.setStateName(C, A.stateName(Q));
+  }
+  return B;
+}

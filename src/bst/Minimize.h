@@ -1,0 +1,35 @@
+//===- bst/Minimize.h - Control-state minimization --------------*- C++ -*-===//
+///
+/// \file
+/// The optimization the paper's conclusion defers to future work:
+/// "minimization of symbolic finite automata to simplify control flow".
+/// Implemented as Moore-style partition refinement on control states: two
+/// states are merged when their finalizers are structurally equal and
+/// their transition rules are structurally equal *up to the current state
+/// partition* on Base targets.  Structural equality is conservative (no
+/// solver), so the result is always sound; fusion products often contain
+/// exact duplicates that this pass removes (e.g. ToInt's p0/p1 pattern
+/// replicated across producer states).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_MINIMIZE_H
+#define EFC_BST_MINIMIZE_H
+
+#include "bst/Bst.h"
+
+namespace efc {
+
+struct MinimizeStats {
+  unsigned StatesBefore = 0;
+  unsigned StatesAfter = 0;
+  unsigned Rounds = 0;
+};
+
+/// Returns an equivalent transducer with structurally-duplicate control
+/// states merged.
+Bst minimizeStates(const Bst &A, MinimizeStats *Stats = nullptr);
+
+} // namespace efc
+
+#endif // EFC_BST_MINIMIZE_H

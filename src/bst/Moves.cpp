@@ -1,0 +1,75 @@
+//===- bst/Moves.cpp ------------------------------------------------------===//
+
+#include "bst/Moves.h"
+
+using namespace efc;
+
+namespace {
+
+void flattenDelta(TermContext &Ctx, unsigned Src, const Rule *R,
+                  TermRef PathCond, std::vector<Move> &Out) {
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return;
+  case Rule::Kind::Base:
+    Out.push_back(Move{Src, PathCond, R->update(), R->target(), R});
+    return;
+  case Rule::Kind::Ite:
+    flattenDelta(Ctx, Src, R->thenRule().get(),
+                 Ctx.mkAnd(PathCond, R->cond()), Out);
+    flattenDelta(Ctx, Src, R->elseRule().get(),
+                 Ctx.mkAnd(PathCond, Ctx.mkNot(R->cond())), Out);
+    return;
+  }
+}
+
+void flattenFin(TermContext &Ctx, unsigned Src, const Rule *R,
+                TermRef PathCond, std::vector<FinalMove> &Out) {
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return;
+  case Rule::Kind::Base:
+    Out.push_back(FinalMove{Src, PathCond, R});
+    return;
+  case Rule::Kind::Ite:
+    flattenFin(Ctx, Src, R->thenRule().get(), Ctx.mkAnd(PathCond, R->cond()),
+               Out);
+    flattenFin(Ctx, Src, R->elseRule().get(),
+               Ctx.mkAnd(PathCond, Ctx.mkNot(R->cond())), Out);
+    return;
+  }
+}
+
+} // namespace
+
+void efc::appendMovesOf(const Bst &A, unsigned State, std::vector<Move> &Out) {
+  flattenDelta(A.context(), State, A.delta(State).get(),
+               A.context().trueConst(), Out);
+}
+
+std::vector<Move> efc::movesOf(const Bst &A) {
+  std::vector<Move> Out;
+  for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    appendMovesOf(A, Q, Out);
+  return Out;
+}
+
+std::vector<FinalMove> efc::finalMovesOf(const Bst &A) {
+  std::vector<FinalMove> Out;
+  for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    flattenFin(A.context(), Q, A.finalizer(Q).get(), A.context().trueConst(),
+               Out);
+  return Out;
+}
+
+RulePtr efc::eliminateLeaf(const RulePtr &R, const Rule *Leaf) {
+  if (R.get() == Leaf)
+    return Rule::undef();
+  if (!R->isIte())
+    return R;
+  RulePtr NewThen = eliminateLeaf(R->thenRule(), Leaf);
+  RulePtr NewElse = eliminateLeaf(R->elseRule(), Leaf);
+  if (NewThen == R->thenRule() && NewElse == R->elseRule())
+    return R;
+  return Rule::ite(R->cond(), std::move(NewThen), std::move(NewElse));
+}

@@ -1,0 +1,53 @@
+//===- bst/Moves.h - Flattened move representation --------------*- C++ -*-===//
+///
+/// \file
+/// The `Paths` / `Moves` flattening of paper §4: each Base leaf of a rule
+/// becomes a move carrying the conjunction of the guards along its path.
+/// RBBE reasons over moves; leaves are identified by their Rule node
+/// pointer so individual branches can be surgically eliminated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_MOVES_H
+#define EFC_BST_MOVES_H
+
+#include "bst/Bst.h"
+
+#include <vector>
+
+namespace efc {
+
+/// One flattened transition: from state Src, under Guard (a term over
+/// x and r), update the register with Update and move to Dst.
+struct Move {
+  unsigned Src;
+  TermRef Guard;
+  TermRef Update;
+  unsigned Dst;
+  const Rule *Leaf; ///< identity of the Base leaf inside delta(Src)
+};
+
+/// One flattened finalizer branch.
+struct FinalMove {
+  unsigned Src;
+  TermRef Guard; ///< over r only
+  const Rule *Leaf;
+};
+
+/// Flattens all transition rules of \p A (outputs are dropped: they do not
+/// affect reachability).
+std::vector<Move> movesOf(const Bst &A);
+
+/// Flattens the transition rule of one state.
+void appendMovesOf(const Bst &A, unsigned State, std::vector<Move> &Out);
+
+/// Flattens all finalizers of \p A.
+std::vector<FinalMove> finalMovesOf(const Bst &A);
+
+/// Rebuilds \p R with the Base leaf identified by \p Leaf replaced by
+/// Undef.  Returns the (simplified) new rule.
+RulePtr eliminateLeaf(const RulePtr &R, const Rule *Leaf);
+
+} // namespace efc
+
+#endif // EFC_BST_MOVES_H

@@ -1,0 +1,76 @@
+//===- bst/Rule.cpp -------------------------------------------------------===//
+
+#include "bst/Rule.h"
+
+using namespace efc;
+
+RulePtr Rule::undef() {
+  static const RulePtr U = RulePtr(new Rule(Kind::Undef));
+  return U;
+}
+
+RulePtr Rule::base(std::vector<TermRef> Outputs, unsigned Target,
+                   TermRef Update) {
+  auto R = new Rule(Kind::Base);
+  R->Outputs = std::move(Outputs);
+  R->Target = Target;
+  R->Update = Update;
+  return RulePtr(R);
+}
+
+RulePtr Rule::ite(TermRef Cond, RulePtr Then, RulePtr Else) {
+  assert(Cond->type()->isBool());
+  if (Cond->isTrue())
+    return Then;
+  if (Cond->isFalse())
+    return Else;
+  if (equal(Then, Else))
+    return Then;
+  auto R = new Rule(Kind::Ite);
+  R->Cond = Cond;
+  R->Then = std::move(Then);
+  R->Else = std::move(Else);
+  return RulePtr(R);
+}
+
+bool Rule::equal(const Rule *A, const Rule *B) {
+  if (A == B)
+    return true;
+  if (A->K != B->K)
+    return false;
+  switch (A->K) {
+  case Kind::Undef:
+    return true;
+  case Kind::Base:
+    return A->Target == B->Target && A->Update == B->Update &&
+           A->Outputs == B->Outputs;
+  case Kind::Ite:
+    return A->Cond == B->Cond && equal(A->Then.get(), B->Then.get()) &&
+           equal(A->Else.get(), B->Else.get());
+  }
+  return false;
+}
+
+unsigned Rule::countBaseLeaves() const {
+  switch (K) {
+  case Kind::Undef:
+    return 0;
+  case Kind::Base:
+    return 1;
+  case Kind::Ite:
+    return Then->countBaseLeaves() + Else->countBaseLeaves();
+  }
+  return 0;
+}
+
+unsigned Rule::countIteNodes() const {
+  if (K != Kind::Ite)
+    return 0;
+  return 1 + Then->countIteNodes() + Else->countIteNodes();
+}
+
+unsigned Rule::depth() const {
+  if (K != Kind::Ite)
+    return 1;
+  return 1 + std::max(Then->depth(), Else->depth());
+}

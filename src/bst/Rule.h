@@ -1,0 +1,103 @@
+//===- bst/Rule.h - Branching transducer rules ------------------*- C++ -*-===//
+///
+/// \file
+/// Rules of branching symbolic transducers (paper §2): trees whose interior
+/// nodes are Ite choices over guard terms and whose leaves either perform a
+/// transition (`Base`: output list, target control state, register update)
+/// or reject (`Undef`).  Rule nodes are immutable and shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_RULE_H
+#define EFC_BST_RULE_H
+
+#include "term/Term.h"
+#include "term/TermContext.h"
+
+#include <memory>
+#include <vector>
+
+namespace efc {
+
+class Rule;
+using RulePtr = std::shared_ptr<const Rule>;
+
+/// One node of a branching rule.
+class Rule {
+public:
+  enum class Kind : uint8_t { Ite, Base, Undef };
+
+  /// Builds an Ite node; simplifies constant conditions and
+  /// structurally-equal branches.
+  static RulePtr ite(TermRef Cond, RulePtr Then, RulePtr Else);
+
+  /// Builds a Base leaf: emit \p Outputs, go to \p Target, set the register
+  /// to \p Update.
+  static RulePtr base(std::vector<TermRef> Outputs, unsigned Target,
+                      TermRef Update);
+
+  /// The (shared) Undef leaf: reject the input.
+  static RulePtr undef();
+
+  Kind kind() const { return K; }
+  bool isIte() const { return K == Kind::Ite; }
+  bool isBase() const { return K == Kind::Base; }
+  bool isUndef() const { return K == Kind::Undef; }
+
+  // Ite accessors.
+  TermRef cond() const {
+    assert(isIte());
+    return Cond;
+  }
+  const RulePtr &thenRule() const {
+    assert(isIte());
+    return Then;
+  }
+  const RulePtr &elseRule() const {
+    assert(isIte());
+    return Else;
+  }
+
+  // Base accessors.
+  const std::vector<TermRef> &outputs() const {
+    assert(isBase());
+    return Outputs;
+  }
+  unsigned target() const {
+    assert(isBase());
+    return Target;
+  }
+  TermRef update() const {
+    assert(isBase());
+    return Update;
+  }
+
+  /// Structural equality (terms compare by pointer thanks to interning).
+  static bool equal(const Rule *A, const Rule *B);
+  static bool equal(const RulePtr &A, const RulePtr &B) {
+    return equal(A.get(), B.get());
+  }
+
+  /// Number of Base leaves in the tree ("branches" of Figure 11).
+  unsigned countBaseLeaves() const;
+  /// Number of Ite nodes in the tree.
+  unsigned countIteNodes() const;
+  /// Depth of the tree (Undef/Base = 1).
+  unsigned depth() const;
+
+private:
+  Kind K;
+  // Ite.
+  TermRef Cond = nullptr;
+  RulePtr Then, Else;
+  // Base.
+  std::vector<TermRef> Outputs;
+  unsigned Target = 0;
+  TermRef Update = nullptr;
+
+  explicit Rule(Kind K) : K(K) {}
+};
+
+} // namespace efc
+
+#endif // EFC_BST_RULE_H

@@ -1,0 +1,277 @@
+//===- bst/Transform.cpp --------------------------------------------------===//
+
+#include "bst/Transform.h"
+
+#include "bst/Moves.h"
+#include "term/Rewrite.h"
+
+#include <functional>
+
+#include <deque>
+
+using namespace efc;
+
+std::vector<bool> efc::forwardReachableStates(const Bst &A) {
+  std::vector<std::vector<unsigned>> Succ(A.numStates());
+  for (const Move &M : movesOf(A))
+    Succ[M.Src].push_back(M.Dst);
+
+  std::vector<bool> Seen(A.numStates(), false);
+  std::deque<unsigned> Work{A.initialState()};
+  Seen[A.initialState()] = true;
+  while (!Work.empty()) {
+    unsigned Q = Work.front();
+    Work.pop_front();
+    for (unsigned S : Succ[Q])
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+  }
+  return Seen;
+}
+
+std::vector<bool> efc::coReachableStates(const Bst &A) {
+  std::vector<std::vector<unsigned>> Pred(A.numStates());
+  for (const Move &M : movesOf(A))
+    Pred[M.Dst].push_back(M.Src);
+
+  std::vector<bool> Seen(A.numStates(), false);
+  std::deque<unsigned> Work;
+  for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    if (A.isFinal(Q)) {
+      Seen[Q] = true;
+      Work.push_back(Q);
+    }
+  while (!Work.empty()) {
+    unsigned Q = Work.front();
+    Work.pop_front();
+    for (unsigned P : Pred[Q])
+      if (!Seen[P]) {
+        Seen[P] = true;
+        Work.push_back(P);
+      }
+  }
+  return Seen;
+}
+
+namespace {
+
+/// Rebuilds a rule with every Base leaf remapped (or dropped) through
+/// \p MapTarget: a vector where value == UINT_MAX means "eliminate".
+/// Rebuilds a rule with every Base leaf remapped through \p MapTarget
+/// (value == UINT_MAX means the target state was removed).  For
+/// transition rules a removed target eliminates the leaf; for finalizer
+/// rules the target is semantically ignored, so the leaf survives with
+/// \p FinalizerFallback as its target instead.
+RulePtr remapRule(const RulePtr &R, const std::vector<unsigned> &MapTarget,
+                  unsigned FinalizerFallback = UINT_MAX) {
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return R;
+  case Rule::Kind::Base: {
+    unsigned NewT = MapTarget[R->target()];
+    if (NewT == UINT_MAX) {
+      if (FinalizerFallback == UINT_MAX)
+        return Rule::undef();
+      NewT = FinalizerFallback;
+    }
+    if (NewT == R->target())
+      return R;
+    return Rule::base(R->outputs(), NewT, R->update());
+  }
+  case Rule::Kind::Ite: {
+    RulePtr T = remapRule(R->thenRule(), MapTarget, FinalizerFallback);
+    RulePtr E = remapRule(R->elseRule(), MapTarget, FinalizerFallback);
+    if (T == R->thenRule() && E == R->elseRule())
+      return R;
+    return Rule::ite(R->cond(), std::move(T), std::move(E));
+  }
+  }
+  return R;
+}
+
+} // namespace
+
+Bst efc::restrictStates(const Bst &A, const std::vector<bool> &Keep) {
+  assert(Keep.size() == A.numStates());
+  assert(Keep[A.initialState()] && "cannot remove the initial state");
+
+  std::vector<unsigned> Remap(A.numStates(), UINT_MAX);
+  unsigned Next = 0;
+  for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    if (Keep[Q])
+      Remap[Q] = Next++;
+
+  Bst B(A.context(), A.inputType(), A.outputType(), A.registerType(), Next,
+        Remap[A.initialState()], A.initialRegister());
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    if (!Keep[Q])
+      continue;
+    B.setDelta(Remap[Q], remapRule(A.delta(Q), Remap));
+    B.setFinalizer(Remap[Q], remapRule(A.finalizer(Q), Remap,
+                                       /*FinalizerFallback=*/Remap[Q]));
+    B.setStateName(Remap[Q], A.stateName(Q));
+  }
+  return B;
+}
+
+Bst efc::eliminateDeadEnds(const Bst &A) {
+  std::vector<bool> Keep = coReachableStates(A);
+  // Never drop the initial state: a transducer whose initial state is a
+  // dead-end rejects everything, which an empty rule set also expresses.
+  Keep[A.initialState()] = true;
+  Bst B = restrictStates(A, Keep);
+  std::vector<bool> Fwd = forwardReachableStates(B);
+  Fwd[B.initialState()] = true;
+  return restrictStates(B, Fwd);
+}
+
+namespace {
+
+/// Rebuilds a rule with terms rewritten through \p Map and updates passed
+/// through \p RewriteUpdate.
+RulePtr mapRuleTerms(TermContext &Ctx, const RulePtr &R,
+                     const std::function<TermRef(TermRef)> &MapTerm,
+                     const std::function<TermRef(TermRef)> &MapUpdate) {
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return R;
+  case Rule::Kind::Ite: {
+    TermRef C = MapTerm(R->cond());
+    RulePtr T = mapRuleTerms(Ctx, R->thenRule(), MapTerm, MapUpdate);
+    RulePtr E = mapRuleTerms(Ctx, R->elseRule(), MapTerm, MapUpdate);
+    return Rule::ite(C, std::move(T), std::move(E));
+  }
+  case Rule::Kind::Base: {
+    std::vector<TermRef> Outs;
+    Outs.reserve(R->outputs().size());
+    for (TermRef O : R->outputs())
+      Outs.push_back(MapTerm(O));
+    return Rule::base(std::move(Outs), R->target(), MapUpdate(R->update()));
+  }
+  }
+  return R;
+}
+
+void flatLeafTypes(const Type *Ty, std::vector<const Type *> &Out) {
+  Ty->flatten(Out);
+}
+
+void flattenRegValue(const Value &V, std::vector<Value> &Out) {
+  switch (V.kind()) {
+  case TypeKind::Bool:
+  case TypeKind::BitVec:
+    Out.push_back(V);
+    return;
+  case TypeKind::Unit:
+    return;
+  case TypeKind::Tuple:
+    for (const Value &E : V.elems())
+      flattenRegValue(E, Out);
+    return;
+  }
+}
+
+/// Builds a term of (possibly nested) type \p Ty from consecutive
+/// elements of \p FlatLeaves, starting at \p Next.
+TermRef buildNestedFromFlat(TermContext &Ctx, const Type *Ty,
+                            const std::vector<TermRef> &FlatLeaves,
+                            unsigned &Next) {
+  switch (Ty->kind()) {
+  case TypeKind::Bool:
+  case TypeKind::BitVec:
+    return FlatLeaves[Next++];
+  case TypeKind::Unit:
+    return Ctx.unitConst();
+  case TypeKind::Tuple: {
+    std::vector<TermRef> Es;
+    Es.reserve(Ty->arity());
+    for (const Type *E : Ty->elems())
+      Es.push_back(buildNestedFromFlat(Ctx, E, FlatLeaves, Next));
+    return Ctx.mkTuple(std::move(Es));
+  }
+  }
+  return Ctx.unitConst();
+}
+
+/// Collects the scalar leaves of a (possibly nested) tuple term.
+void leavesOfTerm(TermContext &Ctx, TermRef T, std::vector<TermRef> &Out) {
+  const Type *Ty = T->type();
+  switch (Ty->kind()) {
+  case TypeKind::Bool:
+  case TypeKind::BitVec:
+    Out.push_back(T);
+    return;
+  case TypeKind::Unit:
+    return;
+  case TypeKind::Tuple:
+    for (unsigned I = 0; I < Ty->arity(); ++I)
+      leavesOfTerm(Ctx, Ctx.mkTupleGet(T, I), Out);
+    return;
+  }
+}
+
+} // namespace
+
+Bst efc::flattenRegisters(const Bst &A) {
+  TermContext &Ctx = A.context();
+  std::vector<const Type *> LeafTys;
+  flatLeafTypes(A.registerType(), LeafTys);
+  const Type *FlatTy = LeafTys.empty() ? Ctx.unitTy()
+                       : LeafTys.size() == 1 ? LeafTys[0]
+                                             : Ctx.tupleTy(LeafTys);
+  if (FlatTy == A.registerType())
+    return cloneBst(A);
+
+  std::vector<Value> LeafVals;
+  flattenRegValue(A.initialRegister(), LeafVals);
+  Value FlatInit = LeafTys.empty() ? Value::unit()
+                   : LeafTys.size() == 1 ? LeafVals[0]
+                                         : Value::tuple(LeafVals);
+
+  Bst B(Ctx, A.inputType(), A.outputType(), FlatTy, A.numStates(),
+        A.initialState(), FlatInit);
+  TermRef FlatVar = B.regVar();
+
+  // Old register variable expressed over the flat one.
+  std::vector<TermRef> FlatLeaves;
+  if (FlatTy->isScalar())
+    FlatLeaves.push_back(FlatVar);
+  else
+    for (unsigned I = 0; I < unsigned(LeafTys.size()); ++I)
+      FlatLeaves.push_back(Ctx.mkTupleGet(FlatVar, I));
+  unsigned Next = 0;
+  TermRef OldAsFlat =
+      buildNestedFromFlat(Ctx, A.registerType(), FlatLeaves, Next);
+  Subst Sub;
+  Sub.set(A.regVar(), OldAsFlat);
+
+  auto MapTerm = [&](TermRef T) { return substitute(Ctx, T, Sub); };
+  auto MapUpdate = [&](TermRef U) {
+    TermRef Rewritten = substitute(Ctx, U, Sub);
+    if (LeafTys.empty())
+      return Ctx.unitConst();
+    std::vector<TermRef> Leaves;
+    leavesOfTerm(Ctx, Rewritten, Leaves);
+    return Leaves.size() == 1 ? Leaves[0] : Ctx.mkTuple(Leaves);
+  };
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    B.setDelta(Q, mapRuleTerms(Ctx, A.delta(Q), MapTerm, MapUpdate));
+    B.setFinalizer(Q,
+                   mapRuleTerms(Ctx, A.finalizer(Q), MapTerm, MapUpdate));
+    B.setStateName(Q, A.stateName(Q));
+  }
+  return B;
+}
+
+Bst efc::cloneBst(const Bst &A) {
+  Bst B(A.context(), A.inputType(), A.outputType(), A.registerType(),
+        A.numStates(), A.initialState(), A.initialRegister());
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    B.setDelta(Q, A.delta(Q));
+    B.setFinalizer(Q, A.finalizer(Q));
+    B.setStateName(Q, A.stateName(Q));
+  }
+  return B;
+}

@@ -1,0 +1,47 @@
+//===- bst/Transform.h - Structural BST transformations ---------*- C++ -*-===//
+///
+/// \file
+/// Control-graph level clean-ups used by fusion and RBBE: pruning states
+/// unreachable from the initial state, and the classical dead-end
+/// elimination (paper §3.2: states that cannot reach a final state are
+/// removed, and Base leaves targeting them become Undef).  Both operate on
+/// the syntactic move graph and are therefore conservative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BST_TRANSFORM_H
+#define EFC_BST_TRANSFORM_H
+
+#include "bst/Bst.h"
+
+#include <vector>
+
+namespace efc {
+
+/// States reachable from the initial state in the syntactic move graph.
+std::vector<bool> forwardReachableStates(const Bst &A);
+
+/// States from which some final state (non-Undef finalizer) is reachable.
+std::vector<bool> coReachableStates(const Bst &A);
+
+/// Removes states not in \p Keep, renumbering the rest; Base leaves
+/// targeting removed states become Undef.  The initial state must be kept.
+/// Returns the new BST.
+Bst restrictStates(const Bst &A, const std::vector<bool> &Keep);
+
+/// Dead-end elimination followed by unreachable-state pruning.  Returns
+/// the cleaned transducer.  Rejecting runs still reject (possibly earlier),
+/// so the denoted transduction is unchanged.
+Bst eliminateDeadEnds(const Bst &A);
+
+/// Deep-copies \p A (rules are shared; states/names copied).
+Bst cloneBst(const Bst &A);
+
+/// Rewrites \p A so its register type is a flat tuple of scalar leaves
+/// (fusion nests pairs; flattening simplifies exploration, the VM and
+/// code generation).  No-op when already flat.
+Bst flattenRegisters(const Bst &A);
+
+} // namespace efc
+
+#endif // EFC_BST_TRANSFORM_H

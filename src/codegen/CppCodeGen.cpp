@@ -1,0 +1,354 @@
+//===- codegen/CppCodeGen.cpp ---------------------------------------------===//
+
+#include "codegen/CppCodeGen.h"
+
+#include <unordered_map>
+
+using namespace efc;
+
+namespace {
+
+std::string hex(uint64_t V) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "0x%llxull", (unsigned long long)V);
+  return Buf;
+}
+
+std::string maskExpr(unsigned Width, const std::string &E) {
+  if (Width >= 64)
+    return E;
+  return "(" + E + " & " + hex((uint64_t(1) << Width) - 1) + ")";
+}
+
+/// Emits terms as C expressions over the register-leaf variables r<i> and
+/// the input variable x.  Shared subterms become local t<i> temporaries.
+class ExprEmitter {
+public:
+  ExprEmitter(TermContext &Ctx,
+              const std::unordered_map<TermRef, std::string> &Leaves,
+              std::string Indent)
+      : Ctx(Ctx), Leaves(Leaves), Indent(std::move(Indent)) {}
+
+  /// Returns an expression (usually a temporary name) for T, appending
+  /// any needed temporary definitions to Body.
+  std::string emit(TermRef T, std::string &Body) {
+    auto It = Memo.find(T);
+    if (It != Memo.end())
+      return It->second;
+    std::string E = build(T, Body);
+    // Name multi-use subterms; constants and leaves stay inline.
+    if (!T->isConst() && T->op() != Op::Var && T->op() != Op::TupleGet) {
+      std::string Name = "t" + std::to_string(NextTemp++);
+      Body += Indent + "const uint64_t " + Name + " = " + E + ";\n";
+      E = Name;
+    }
+    Memo.emplace(T, E);
+    return E;
+  }
+
+private:
+  TermContext &Ctx;
+  const std::unordered_map<TermRef, std::string> &Leaves;
+  std::string Indent;
+  std::unordered_map<TermRef, std::string> Memo;
+  unsigned NextTemp = 0;
+
+  static unsigned widthOf(TermRef T) {
+    return T->type()->isBool() ? 1 : T->type()->width();
+  }
+
+  std::string build(TermRef T, std::string &Body) {
+    auto Bin = [&](const char *Sym) {
+      return "(" + emit(T->operand(0), Body) + " " + Sym + " " +
+             emit(T->operand(1), Body) + ")";
+    };
+    auto MaskedBin = [&](const char *Sym) {
+      return maskExpr(widthOf(T), Bin(Sym));
+    };
+    auto Sext = [&](TermRef Operand, std::string E) {
+      unsigned W = widthOf(Operand);
+      if (W >= 64)
+        return "(int64_t)" + E;
+      return "efc_sext(" + E + ", " + std::to_string(W) + ")";
+    };
+    switch (T->op()) {
+    case Op::ConstBool:
+    case Op::ConstBv:
+      return hex(T->constBits());
+    case Op::ConstUnit:
+      return "0";
+    case Op::Var:
+    case Op::TupleGet: {
+      auto It = Leaves.find(T);
+      assert(It != Leaves.end() && "unmapped leaf term");
+      return It->second;
+    }
+    case Op::Not:
+      return "(" + emit(T->operand(0), Body) + " ^ 1ull)";
+    case Op::And:
+      return Bin("&");
+    case Op::Or:
+      return Bin("|");
+    case Op::Ite:
+      return "(" + emit(T->operand(0), Body) + " ? " +
+             emit(T->operand(1), Body) + " : " + emit(T->operand(2), Body) +
+             ")";
+    case Op::Eq:
+      return "(uint64_t)" + Bin("==");
+    case Op::Ult:
+      return "(uint64_t)" + Bin("<");
+    case Op::Ule:
+      return "(uint64_t)" + Bin("<=");
+    case Op::Slt:
+      return "(uint64_t)(" + Sext(T->operand(0), emit(T->operand(0), Body)) +
+             " < " + Sext(T->operand(1), emit(T->operand(1), Body)) + ")";
+    case Op::Sle:
+      return "(uint64_t)(" + Sext(T->operand(0), emit(T->operand(0), Body)) +
+             " <= " + Sext(T->operand(1), emit(T->operand(1), Body)) + ")";
+    case Op::Add:
+      return MaskedBin("+");
+    case Op::Sub:
+      return MaskedBin("-");
+    case Op::Mul:
+      return MaskedBin("*");
+    case Op::UDiv:
+      return "efc_udiv(" + emit(T->operand(0), Body) + ", " +
+             emit(T->operand(1), Body) + ", " +
+             hex(T->type()->mask()) + ")";
+    case Op::URem:
+      return "efc_urem(" + emit(T->operand(0), Body) + ", " +
+             emit(T->operand(1), Body) + ")";
+    case Op::Neg:
+      return maskExpr(widthOf(T), "(~" + emit(T->operand(0), Body) +
+                                      " + 1ull)");
+    case Op::BvAnd:
+      return Bin("&");
+    case Op::BvOr:
+      return Bin("|");
+    case Op::BvXor:
+      return Bin("^");
+    case Op::BvNot:
+      return maskExpr(widthOf(T), "(~" + emit(T->operand(0), Body) + ")");
+    case Op::Shl:
+      return "efc_shl(" + emit(T->operand(0), Body) + ", " +
+             emit(T->operand(1), Body) + ", " + std::to_string(widthOf(T)) +
+             ")";
+    case Op::LShr:
+      return "efc_lshr(" + emit(T->operand(0), Body) + ", " +
+             emit(T->operand(1), Body) + ", " + std::to_string(widthOf(T)) +
+             ")";
+    case Op::AShr:
+      return "efc_ashr(" + emit(T->operand(0), Body) + ", " +
+             emit(T->operand(1), Body) + ", " + std::to_string(widthOf(T)) +
+             ")";
+    case Op::ZExt:
+      return emit(T->operand(0), Body);
+    case Op::SExt:
+      return maskExpr(widthOf(T),
+                      "(uint64_t)" + Sext(T->operand(0),
+                                          emit(T->operand(0), Body)));
+    case Op::Extract:
+      return maskExpr(widthOf(T), "(" + emit(T->operand(0), Body) + " >> " +
+                                      std::to_string(T->extractLo()) + ")");
+    case Op::MkTuple:
+      break;
+    }
+    assert(false && "non-scalar term reached codegen");
+    return "0";
+  }
+};
+
+void collectLeaves(TermContext &Ctx, TermRef T, std::vector<TermRef> &Out) {
+  const Type *Ty = T->type();
+  if (Ty->isScalar()) {
+    Out.push_back(T);
+    return;
+  }
+  if (Ty->isTuple())
+    for (unsigned I = 0; I < Ty->arity(); ++I)
+      collectLeaves(Ctx, Ctx.mkTupleGet(T, I), Out);
+}
+
+void flattenInit(const Value &V, std::vector<uint64_t> &Out) {
+  switch (V.kind()) {
+  case TypeKind::Bool:
+  case TypeKind::BitVec:
+    Out.push_back(V.bits());
+    return;
+  case TypeKind::Unit:
+    return;
+  case TypeKind::Tuple:
+    for (const Value &E : V.elems())
+      flattenInit(E, Out);
+    return;
+  }
+}
+
+class UnitEmitter {
+public:
+  UnitEmitter(const Bst &A, const CodeGenOptions &Opts) : A(A), Opts(Opts) {
+    TermContext &Ctx = A.context();
+    std::vector<TermRef> RegLeaves;
+    collectLeaves(Ctx, A.regVar(), RegLeaves);
+    for (unsigned I = 0; I < RegLeaves.size(); ++I)
+      Leaves[RegLeaves[I]] = "r" + std::to_string(I);
+    Leaves[A.inputVar()] = "x";
+    NumLeaves = unsigned(RegLeaves.size());
+  }
+
+  std::string function() {
+    std::string S;
+    S += "static bool " + Opts.FunctionName +
+         "(const uint64_t *in, size_t n, std::vector<uint64_t> &out) {\n";
+    std::vector<uint64_t> Init;
+    flattenInit(A.initialRegister(), Init);
+    for (unsigned I = 0; I < NumLeaves; ++I)
+      S += "  uint64_t r" + std::to_string(I) + " = " + hex(Init[I]) +
+           ";\n";
+    S += "  size_t i = 0;\n  uint64_t x = 0;\n  (void)x;\n";
+    S += "  goto S" + std::to_string(A.initialState()) + ";\n";
+    // Each state's rule body is brace-scoped so its temporaries neither
+    // collide across states nor are crossed by gotos.
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+      S += "S" + std::to_string(Q) + ":\n";
+      S += "  if (i >= n) goto F" + std::to_string(Q) + ";\n";
+      S += "  x = in[i++];\n  {\n";
+      S += ruleCode(A.delta(Q).get(), /*IsFinalizer=*/false, 1);
+      S += "  }\n";
+    }
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+      S += "F" + std::to_string(Q) + ":\n  {\n";
+      S += ruleCode(A.finalizer(Q).get(), /*IsFinalizer=*/true, 1);
+      S += "  }\n";
+    }
+    S += "}\n";
+    return S;
+  }
+
+private:
+  const Bst &A;
+  const CodeGenOptions &Opts;
+  std::unordered_map<TermRef, std::string> Leaves;
+  unsigned NumLeaves = 0;
+
+  std::string ruleCode(const Rule *R, bool IsFinalizer, unsigned Depth) {
+    std::string Pad(Depth * 2, ' ');
+    TermContext &Ctx = A.context();
+    switch (R->kind()) {
+    case Rule::Kind::Undef:
+      return Pad + "return false;\n";
+    case Rule::Kind::Ite: {
+      std::string Body;
+      ExprEmitter E(Ctx, Leaves, Pad);
+      std::string C = E.emit(R->cond(), Body);
+      std::string S = Body;
+      S += Pad + "if (" + C + ") {\n";
+      S += ruleCode(R->thenRule().get(), IsFinalizer, Depth + 1);
+      S += Pad + "} else {\n";
+      S += ruleCode(R->elseRule().get(), IsFinalizer, Depth + 1);
+      S += Pad + "}\n";
+      return S;
+    }
+    case Rule::Kind::Base: {
+      std::string Body;
+      ExprEmitter E(Ctx, Leaves, Pad);
+      std::string S;
+      for (TermRef O : R->outputs()) {
+        std::string Expr = E.emit(O, Body);
+        S += Pad + "out.push_back(" + Expr + ");\n";
+      }
+      if (IsFinalizer) {
+        std::string Out = Body + S;
+        Out += Pad + "return true;\n";
+        return Out;
+      }
+      // New register values into temporaries, then commit.
+      std::vector<TermRef> NewLeaves;
+      collectLeaves(Ctx, R->update(), NewLeaves);
+      std::vector<TermRef> OldLeaves;
+      collectLeaves(Ctx, A.regVar(), OldLeaves);
+      std::vector<std::pair<unsigned, std::string>> Writes;
+      for (unsigned I = 0; I < NumLeaves; ++I) {
+        if (NewLeaves[I] == OldLeaves[I])
+          continue;
+        Writes.push_back({I, E.emit(NewLeaves[I], Body)});
+      }
+      std::string Out = Body + S;
+      // Stage register-sourced writes.
+      for (auto &[Idx, Expr] : Writes) {
+        std::string Staged = "n" + std::to_string(Idx);
+        Out += Pad + "const uint64_t " + Staged + " = " + Expr + ";\n";
+        Expr = Staged;
+      }
+      for (auto &[Idx, Expr] : Writes)
+        Out += Pad + "r" + std::to_string(Idx) + " = " + Expr + ";\n";
+      Out += Pad + "goto S" + std::to_string(R->target()) + ";\n";
+      return Out;
+    }
+    }
+    return "";
+  }
+};
+
+} // namespace
+
+std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
+                             const std::vector<CodeGenTestVector> &Vectors) {
+  assert(A.inputType()->isScalar() && A.outputType()->isScalar() &&
+         "codegen requires scalar element types");
+  std::string S;
+  S += "// Generated by efc (Fusing Effectful Comprehensions, PLDI'17 "
+       "reproduction).\n";
+  S += "#include <cstddef>\n#include <cstdint>\n#include <vector>\n\n";
+  S += "static inline int64_t efc_sext(uint64_t v, unsigned w) {\n"
+       "  uint64_t sb = 1ull << (w - 1);\n"
+       "  return (int64_t)((v & ((sb << 1) - 1)) ^ sb) - (int64_t)sb;\n"
+       "}\n";
+  S += "static inline uint64_t efc_udiv(uint64_t a, uint64_t b, uint64_t "
+       "mask) { return b ? a / b : mask; }\n";
+  S += "static inline uint64_t efc_urem(uint64_t a, uint64_t b) { return b "
+       "? a % b : a; }\n";
+  S += "static inline uint64_t efc_shl(uint64_t a, uint64_t b, unsigned w) "
+       "{ uint64_t m = w >= 64 ? ~0ull : (1ull << w) - 1; return b >= w ? 0 "
+       ": (a << b) & m; }\n";
+  S += "static inline uint64_t efc_lshr(uint64_t a, uint64_t b, unsigned w) "
+       "{ return b >= w ? 0 : a >> b; }\n";
+  S += "static inline uint64_t efc_ashr(uint64_t a, uint64_t b, unsigned w) "
+       "{ int64_t s = efc_sext(a, w); uint64_t m = w >= 64 ? ~0ull : (1ull "
+       "<< w) - 1; return b >= w ? (uint64_t)(s < 0 ? -1 : 0) & m : "
+       "(uint64_t)(s >> b) & m; }\n\n";
+
+  UnitEmitter U(A, Opts);
+  S += U.function();
+
+  if (Opts.EmitMain) {
+    S += "\nint main() {\n";
+    unsigned Idx = 0;
+    for (const CodeGenTestVector &V : Vectors) {
+      std::string In = "in" + std::to_string(Idx);
+      S += "  {\n    const uint64_t " + In + "[] = {0";
+      for (uint64_t X : V.Input)
+        S += ", " + hex(X);
+      S += "};\n    std::vector<uint64_t> out;\n";
+      S += "    bool ok = " + Opts.FunctionName + "(" + In + " + 1, " +
+           std::to_string(V.Input.size()) + ", out);\n";
+      if (!V.Accepts) {
+        S += "    if (ok) return " + std::to_string(Idx + 1) + ";\n";
+      } else {
+        S += "    if (!ok) return " + std::to_string(Idx + 1) + ";\n";
+        S += "    const uint64_t want[] = {0";
+        for (uint64_t X : V.Output)
+          S += ", " + hex(X);
+        S += "};\n    if (out.size() != " + std::to_string(V.Output.size()) +
+             ") return " + std::to_string(Idx + 1) + ";\n";
+        S += "    for (size_t k = 0; k < out.size(); ++k)\n"
+             "      if (out[k] != want[k + 1]) return " +
+             std::to_string(Idx + 1) + ";\n";
+      }
+      S += "  }\n";
+      ++Idx;
+    }
+    S += "  return 0;\n}\n";
+  }
+  return S;
+}

@@ -1,0 +1,47 @@
+//===- codegen/CppCodeGen.h - C++ source generation from BSTs ---*- C++ -*-===//
+///
+/// \file
+/// Serial code generation as described in paper §6: for each control state
+/// a labeled code block implements its transition rule as a tree of
+/// if/else statements whose leaves emit outputs, update register fields
+/// and jump (goto) to the target state's block.  The generated unit is
+/// self-contained C++17 operating on uint64_t elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_CODEGEN_CPPCODEGEN_H
+#define EFC_CODEGEN_CPPCODEGEN_H
+
+#include "bst/Bst.h"
+
+#include <string>
+#include <vector>
+
+namespace efc {
+
+/// Options for the generated unit.
+struct CodeGenOptions {
+  /// Name of the generated function.
+  std::string FunctionName = "transduce";
+  /// Also emit a main() that checks embedded test vectors and returns 0
+  /// on success (used by the self-check test which compiles and runs the
+  /// generated code with the host compiler).
+  bool EmitMain = false;
+};
+
+/// One embedded test vector for EmitMain.
+struct CodeGenTestVector {
+  std::vector<uint64_t> Input;
+  bool Accepts = true;
+  std::vector<uint64_t> Output; // checked only when Accepts
+};
+
+/// Generates a self-contained C++ translation unit implementing ⟦A⟧ as
+///   bool <name>(const uint64_t *in, size_t n, std::vector<uint64_t> &out)
+/// returning false on rejection.  Input and output types must be scalar.
+std::string generateCpp(const Bst &A, const CodeGenOptions &Opts = {},
+                        const std::vector<CodeGenTestVector> &Vectors = {});
+
+} // namespace efc
+
+#endif // EFC_CODEGEN_CPPCODEGEN_H

@@ -1,0 +1,87 @@
+//===- codegen/NativeCompile.cpp ------------------------------------------===//
+
+#include "codegen/NativeCompile.h"
+
+#include "codegen/CppCodeGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <unistd.h>
+
+using namespace efc;
+
+NativeTransducer::~NativeTransducer() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+NativeTransducer::NativeTransducer(NativeTransducer &&O) noexcept
+    : Handle(O.Handle), Func(O.Func) {
+  O.Handle = nullptr;
+  O.Func = nullptr;
+}
+
+NativeTransducer &NativeTransducer::operator=(NativeTransducer &&O) noexcept {
+  if (this != &O) {
+    if (Handle)
+      dlclose(Handle);
+    Handle = O.Handle;
+    Func = O.Func;
+    O.Handle = nullptr;
+    O.Func = nullptr;
+  }
+  return *this;
+}
+
+std::optional<NativeTransducer>
+NativeTransducer::compile(const Bst &A, const std::string &Tag,
+                          std::string *Error) {
+  CodeGenOptions Opts;
+  Opts.FunctionName = "efc_impl";
+  std::string Source = generateCpp(A, Opts);
+  // Exported entry point with a stable name.
+  Source += "\nextern \"C\" bool efc_transduce(const uint64_t *in, size_t "
+            "n, std::vector<uint64_t> &out) { return efc_impl(in, n, out); "
+            "}\n";
+
+  std::string Base = "/tmp/efc_native_" + Tag + "_" +
+                     std::to_string(uint64_t(getpid()));
+  std::string Src = Base + ".cpp";
+  std::string Lib = Base + ".so";
+  {
+    std::ofstream F(Src);
+    F << Source;
+  }
+  std::string Cmd = "c++ -std=c++17 -O2 -fPIC -shared -o " + Lib + " " +
+                    Src + " 2>" + Base + ".log";
+  if (std::system(Cmd.c_str()) != 0) {
+    if (Error)
+      *Error = "native compilation failed; see " + Base + ".log";
+    return std::nullopt;
+  }
+
+  NativeTransducer T;
+  T.Handle = dlopen(Lib.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!T.Handle) {
+    if (Error)
+      *Error = std::string("dlopen: ") + dlerror();
+    return std::nullopt;
+  }
+  T.Func = reinterpret_cast<Fn>(dlsym(T.Handle, "efc_transduce"));
+  if (!T.Func) {
+    if (Error)
+      *Error = "missing efc_transduce symbol";
+    return std::nullopt;
+  }
+  return T;
+}
+
+std::optional<std::vector<uint64_t>>
+NativeTransducer::run(const uint64_t *In, size_t N) const {
+  std::vector<uint64_t> Out;
+  if (!Func(In, N, Out))
+    return std::nullopt;
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- codegen/NativeCompile.h - Runtime-compiled transducers ---*- C++ -*-===//
+///
+/// \file
+/// The paper's actual deployment story: the tool generates source code
+/// for the fused transducer and compiles it ahead of time (C# + NGen in
+/// the paper).  Here, the generated C++ is compiled with the host
+/// compiler into a shared object and loaded with dlopen, yielding a
+/// native function with the same semantics as the BST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_CODEGEN_NATIVECOMPILE_H
+#define EFC_CODEGEN_NATIVECOMPILE_H
+
+#include "bst/Bst.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efc {
+
+/// A natively compiled transducer loaded from a shared object.
+class NativeTransducer {
+public:
+  ~NativeTransducer();
+  NativeTransducer(NativeTransducer &&) noexcept;
+  NativeTransducer &operator=(NativeTransducer &&) noexcept;
+
+  /// Generates C++ for \p A, compiles it (host `c++ -O2 -shared`), and
+  /// loads it.  Returns std::nullopt when no compiler is available or
+  /// compilation fails (diagnostics in \p Error when non-null).
+  static std::optional<NativeTransducer>
+  compile(const Bst &A, const std::string &Tag, std::string *Error = nullptr);
+
+  /// Runs the transduction; std::nullopt when the input is rejected.
+  std::optional<std::vector<uint64_t>>
+  run(const uint64_t *In, size_t N) const;
+  std::optional<std::vector<uint64_t>>
+  run(const std::vector<uint64_t> &In) const {
+    return run(In.data(), In.size());
+  }
+
+private:
+  NativeTransducer() = default;
+  void *Handle = nullptr;
+  using Fn = bool (*)(const uint64_t *, size_t, std::vector<uint64_t> &);
+  Fn Func = nullptr;
+};
+
+} // namespace efc
+
+#endif // EFC_CODEGEN_NATIVECOMPILE_H

@@ -1,0 +1,257 @@
+//===- data/Datasets.cpp --------------------------------------------------===//
+
+#include "data/Datasets.h"
+
+#include "stdlib/Reference.h"
+
+#include <cstring>
+
+using namespace efc;
+
+namespace {
+
+const char *const Words[] = {
+    "the",    "whale",  "sea",     "ship",    "captain", "white",  "man",
+    "water",  "time",   "hand",    "head",    "world",   "way",    "day",
+    "boat",   "old",    "great",   "long",    "last",    "deck",   "side",
+    "night",  "sperm",  "air",     "eye",     "life",    "crew",   "wind",
+    "sail",   "harpoon","voyage",  "ocean",   "mast",    "rope",   "wave",
+    "storm",  "quiet",  "deep",    "bone",    "oil"};
+constexpr size_t NumWords = sizeof(Words) / sizeof(Words[0]);
+
+/// Short alphanumeric token without commas/newlines.
+void appendToken(SplitMix64 &Rng, std::string &Out) {
+  size_t N = 2 + Rng.below(8);
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t K = Rng.below(36);
+    Out.push_back(K < 26 ? char('a' + K) : char('0' + (K - 26)));
+  }
+}
+
+void appendUInt(uint64_t V, std::string &Out) {
+  char Buf[24];
+  int N = snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  Out.append(Buf, size_t(N));
+}
+
+} // namespace
+
+std::string data::makeCsv(uint64_t Seed, size_t ApproxBytes,
+                          unsigned Columns, unsigned IntColumn,
+                          uint32_t MaxValue) {
+  SplitMix64 Rng(Seed);
+  std::string Out;
+  Out.reserve(ApproxBytes + 256);
+  while (Out.size() < ApproxBytes) {
+    for (unsigned C = 0; C < Columns; ++C) {
+      if (C == IntColumn)
+        appendUInt(Rng.below(uint64_t(MaxValue) + 1), Out);
+      else
+        appendToken(Rng, Out);
+      Out.push_back(C + 1 == Columns ? '\n' : ',');
+    }
+  }
+  return Out;
+}
+
+std::string data::makeChsiCsv(uint64_t Seed, size_t ApproxBytes,
+                              unsigned IntColumn) {
+  return makeCsv(Seed, ApproxBytes, /*Columns=*/10, IntColumn,
+                 /*MaxValue=*/500000);
+}
+
+std::string data::makeSboCsv(uint64_t Seed, size_t ApproxBytes,
+                             unsigned IntColumn) {
+  // 9 columns so the deepest queried column (payroll, index 7) still has
+  // a trailing comma-separated column after it.
+  return makeCsv(Seed, ApproxBytes, /*Columns=*/9, IntColumn,
+                 /*MaxValue=*/90000000);
+}
+
+std::string data::makeCcCsv(uint64_t Seed, size_t ApproxBytes) {
+  // Complaint id in column 0, many text columns.
+  return makeCsv(Seed, ApproxBytes, /*Columns=*/18, /*IntColumn=*/0,
+                 /*MaxValue=*/4000000);
+}
+
+//===----------------------------------------------------------------------===
+// XML
+//===----------------------------------------------------------------------===
+
+std::string data::makeTpcDiXml(uint64_t Seed, size_t ApproxBytes) {
+  SplitMix64 Rng(Seed);
+  std::string Out = "<?xml version='1.0'?><customers>";
+  Out.reserve(ApproxBytes + 512);
+  while (Out.size() < ApproxBytes) {
+    Out += "<customer id='";
+    appendUInt(Rng.below(1000000), Out);
+    Out += "'><name>";
+    appendToken(Rng, Out);
+    Out += "</name><address><city>";
+    appendToken(Rng, Out);
+    Out += "</city><zip>";
+    appendUInt(10000 + Rng.below(90000), Out);
+    Out += "</zip></address><account>";
+    appendUInt(Rng.below(100000000), Out);
+    Out += "</account><phone>";
+    appendUInt(Rng.below(10000000), Out);
+    Out += "</phone></customer>";
+  }
+  Out += "</customers>";
+  return Out;
+}
+
+std::string data::makePirXml(uint64_t Seed, size_t ApproxBytes) {
+  SplitMix64 Rng(Seed);
+  std::string Out = "<proteins>";
+  Out.reserve(ApproxBytes + 512);
+  const char *Acids = "ACDEFGHIKLMNPQRSTVWY";
+  while (Out.size() < ApproxBytes) {
+    size_t SeqLen = 40 + Rng.below(400);
+    Out += "<protein><header><id>PIR";
+    appendUInt(Rng.below(1000000), Out);
+    Out += "</id><organism>";
+    appendToken(Rng, Out);
+    Out += "</organism></header><sequence>";
+    for (size_t I = 0; I < SeqLen; ++I)
+      Out.push_back(Acids[Rng.below(20)]);
+    Out += "</sequence><length>";
+    appendUInt(SeqLen, Out);
+    Out += "</length></protein>";
+  }
+  Out += "</proteins>";
+  return Out;
+}
+
+std::string data::makeDblpXml(uint64_t Seed, size_t ApproxBytes) {
+  SplitMix64 Rng(Seed);
+  std::string Out = "<dblp>";
+  Out.reserve(ApproxBytes + 512);
+  while (Out.size() < ApproxBytes) {
+    Out += "<article key='journals/";
+    appendToken(Rng, Out);
+    Out += "'><author>";
+    appendToken(Rng, Out);
+    Out += " ";
+    appendToken(Rng, Out);
+    Out += "</author><title>";
+    for (int W = 0; W < 6; ++W) {
+      Out += Words[Rng.below(NumWords)];
+      Out.push_back(W == 5 ? '.' : ' ');
+    }
+    Out += "</title><year>";
+    appendUInt(1950 + Rng.below(75), Out);
+    Out += "</year><journal>";
+    appendToken(Rng, Out);
+    Out += "</journal></article>";
+  }
+  Out += "</dblp>";
+  return Out;
+}
+
+std::string data::makeMondialXml(uint64_t Seed, size_t ApproxBytes) {
+  SplitMix64 Rng(Seed);
+  std::string Out = "<mondial>";
+  Out.reserve(ApproxBytes + 512);
+  while (Out.size() < ApproxBytes) {
+    Out += "<country name='";
+    appendToken(Rng, Out);
+    Out += "'>";
+    size_t Cities = 1 + Rng.below(6);
+    for (size_t C = 0; C < Cities; ++C) {
+      Out += "<city><name>";
+      appendToken(Rng, Out);
+      Out += "</name><population>";
+      appendUInt(Rng.below(30000000), Out);
+      Out += "</population><located><latitude>";
+      appendUInt(Rng.below(90), Out);
+      Out += "</latitude></located></city>";
+    }
+    Out += "<gdp>";
+    appendUInt(Rng.below(1000000), Out);
+    Out += "</gdp></country>";
+  }
+  Out += "</mondial>";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Text
+//===----------------------------------------------------------------------===
+
+std::string data::makeEnglishText(uint64_t Seed, size_t ApproxBytes) {
+  SplitMix64 Rng(Seed);
+  std::string Out;
+  Out.reserve(ApproxBytes + 64);
+  size_t LineLen = 0;
+  while (Out.size() < ApproxBytes) {
+    const char *W = Words[Rng.below(NumWords)];
+    Out += W;
+    LineLen += strlen(W) + 1;
+    if (LineLen > 60 + Rng.below(20)) {
+      Out.push_back('\n');
+      LineLen = 0;
+    } else {
+      Out.push_back(Rng.below(12) ? ' ' : ',');
+    }
+  }
+  Out.push_back('\n');
+  return Out;
+}
+
+std::u16string data::makeChineseText(uint64_t Seed, size_t ApproxChars) {
+  SplitMix64 Rng(Seed);
+  std::u16string Out;
+  Out.reserve(ApproxChars + 16);
+  while (Out.size() < ApproxChars) {
+    // CJK Unified Ideographs block.
+    Out.push_back(char16_t(0x4E00 + Rng.below(0x51A5)));
+    if (Rng.below(18) == 0)
+      Out.push_back(u'\x3002'); // ideographic full stop
+    if (Rng.below(40) == 0)
+      Out.push_back(u'\n');
+  }
+  return Out;
+}
+
+std::u16string data::makeRandomUtf16(uint64_t Seed, size_t Chars,
+                                     bool IncludeSurrogates) {
+  SplitMix64 Rng(Seed);
+  std::u16string Out;
+  Out.reserve(Chars);
+  while (Out.size() < Chars) {
+    uint16_t C = uint16_t(Rng.below(0x10000));
+    if (!IncludeSurrogates && C >= 0xD800 && C <= 0xDFFF)
+      C = uint16_t(C - 0xD800 + 0x400);
+    Out.push_back(char16_t(C));
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Base64 streams
+//===----------------------------------------------------------------------===
+
+std::vector<uint32_t> data::base64IntsPayload(uint64_t Seed, size_t Count,
+                                              uint32_t MaxValue) {
+  SplitMix64 Rng(Seed);
+  std::vector<uint32_t> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Out.push_back(uint32_t(Rng.below(uint64_t(MaxValue) + 1)));
+  return Out;
+}
+
+std::string data::makeBase64Ints(uint64_t Seed, size_t Count,
+                                 uint32_t MaxValue) {
+  std::vector<uint32_t> Ints = base64IntsPayload(Seed, Count, MaxValue);
+  std::string Raw;
+  Raw.reserve(Ints.size() * 4);
+  for (uint32_t V : Ints) {
+    Raw.push_back(char(V & 0xFF));
+    Raw.push_back(char((V >> 8) & 0xFF));
+    Raw.push_back(char((V >> 16) & 0xFF));
+    Raw.push_back(char((V >> 24) & 0xFF));
+  }
+  return ref::base64Encode(Raw);
+}

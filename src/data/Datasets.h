@@ -1,0 +1,81 @@
+//===- data/Datasets.h - Synthetic benchmark datasets -----------*- C++ -*-===//
+///
+/// \file
+/// Deterministic synthetic stand-ins for the paper's evaluation datasets
+/// (see DESIGN.md, Substitutions).  Each generator reproduces the schema
+/// and value distributions the pipelines actually observe:
+///
+///  * CSV: CHSI health indicators, SBO business owners, CC consumer
+///    complaints — column counts, digit columns at the queried positions,
+///    free-text elsewhere.
+///  * XML: TPC-DI customers, PIR protein entries, DBLP articles, MONDIAL
+///    cities — nesting structure with the queried tag paths.
+///  * Text: English-like prose (word sampling with newlines, "Moby Dick"
+///    stand-in), Chinese text (CJK range, "Three Kingdoms" stand-in),
+///    uniform random chars.
+///  * Base64 streams of serialized 32-bit integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_DATA_DATASETS_H
+#define EFC_DATA_DATASETS_H
+
+#include "support/Stopwatch.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efc::data {
+
+/// CSV with \p Columns columns; the 0-based \p IntColumn holds decimal
+/// integers in [0, MaxValue]; other columns are short alphanumeric text
+/// free of commas and newlines.  Returns ASCII text of roughly
+/// \p ApproxBytes bytes.
+std::string makeCsv(uint64_t Seed, size_t ApproxBytes, unsigned Columns,
+                    unsigned IntColumn, uint32_t MaxValue);
+
+/// The CHSI-style health-indicator table: 10 columns, column 3 (deaths),
+/// column 5 (births), column 7 (lung cancer) are integer-valued; the
+/// generator exposes the requested one at \p IntColumn.
+std::string makeChsiCsv(uint64_t Seed, size_t ApproxBytes,
+                        unsigned IntColumn);
+
+/// SBO-style business-owner table: 8 columns, integer employees /
+/// receipts / payroll at columns 5, 6, 7.
+std::string makeSboCsv(uint64_t Seed, size_t ApproxBytes,
+                       unsigned IntColumn);
+
+/// CC-style consumer complaints: 18 columns, integer complaint id at
+/// column 0, longer free-text columns.
+std::string makeCcCsv(uint64_t Seed, size_t ApproxBytes);
+
+/// XML documents.  All return ASCII text.
+std::string makeTpcDiXml(uint64_t Seed, size_t ApproxBytes);   // /customers/customer/account
+std::string makePirXml(uint64_t Seed, size_t ApproxBytes);     // /proteins/protein/length
+std::string makeDblpXml(uint64_t Seed, size_t ApproxBytes);    // /dblp/article/year
+std::string makeMondialXml(uint64_t Seed, size_t ApproxBytes); // /mondial/country/city/population
+
+/// English-like prose with newlines (UTF-8 == ASCII here).
+std::string makeEnglishText(uint64_t Seed, size_t ApproxBytes);
+
+/// Chinese-like text: CJK ideographs with occasional ASCII punctuation,
+/// returned as UTF-16 code units.
+std::u16string makeChineseText(uint64_t Seed, size_t ApproxChars);
+
+/// Uniform random UTF-16 code units, surrogates excluded unless
+/// \p IncludeSurrogates (Figure 13's Random dataset repairs them).
+std::u16string makeRandomUtf16(uint64_t Seed, size_t Chars,
+                               bool IncludeSurrogates);
+
+/// Base64 text encoding \p Count serialized little-endian 32-bit ints.
+std::string makeBase64Ints(uint64_t Seed, size_t Count, uint32_t MaxValue);
+
+/// The raw integers that makeBase64Ints(Seed, Count, MaxValue) encodes
+/// (for computing expected results).
+std::vector<uint32_t> base64IntsPayload(uint64_t Seed, size_t Count,
+                                        uint32_t MaxValue);
+
+} // namespace efc::data
+
+#endif // EFC_DATA_DATASETS_H

@@ -1,0 +1,434 @@
+//===- frontends/comprehension/Comprehension.cpp --------------------------===//
+
+#include "frontends/comprehension/Comprehension.h"
+
+#include "bst/Transform.h"
+#include "term/Rewrite.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+using namespace efc;
+using namespace efc::fe;
+
+//===----------------------------------------------------------------------===
+// Statement constructors
+//===----------------------------------------------------------------------===
+
+StmtPtr efc::fe::block(std::vector<StmtPtr> Stmts) {
+  auto S = new Stmt(Stmt::Kind::Block);
+  S->Stmts = std::move(Stmts);
+  return StmtPtr(S);
+}
+
+StmtPtr efc::fe::ifS(TermRef Cond, StmtPtr Then, StmtPtr Else) {
+  auto S = new Stmt(Stmt::Kind::If);
+  S->Cond = Cond;
+  S->Then = std::move(Then);
+  S->Else = std::move(Else);
+  return StmtPtr(S);
+}
+
+StmtPtr efc::fe::emit(TermRef Expr) {
+  auto S = new Stmt(Stmt::Kind::Emit);
+  S->Expr = Expr;
+  return StmtPtr(S);
+}
+
+StmtPtr efc::fe::set(TermRef FieldRef, TermRef Expr) {
+  assert(FieldRef->isVar() && "set() takes a field reference");
+  auto S = new Stmt(Stmt::Kind::Set);
+  S->Field = FieldRef->varId();
+  S->Expr = Expr;
+  S->Cond = FieldRef; // stash the placeholder for the builder
+  return StmtPtr(S);
+}
+
+StmtPtr efc::fe::reject() { return StmtPtr(new Stmt(Stmt::Kind::Reject)); }
+
+//===----------------------------------------------------------------------===
+// ComprehensionBuilder
+//===----------------------------------------------------------------------===
+
+ComprehensionBuilder::ComprehensionBuilder(TermContext &Ctx,
+                                           const Type *InputTy,
+                                           const Type *OutputTy)
+    : Ctx(Ctx), InputTy(InputTy), OutputTy(OutputTy) {}
+
+const Type *ComprehensionBuilder::registerType() const {
+  if (FieldTys.empty())
+    return Ctx.unitTy();
+  if (FieldTys.size() == 1)
+    return FieldTys[0];
+  return Ctx.tupleTy(FieldTys);
+}
+
+TermRef ComprehensionBuilder::field(const std::string &Name, const Type *Ty,
+                                    Value Init) {
+  assert(Init.hasType(Ty));
+  FieldNames.push_back(Name);
+  FieldTys.push_back(Ty);
+  FieldInits.push_back(std::move(Init));
+  // Placeholder variable, replaced during build().
+  return Ctx.var("field$" + Name, Ty);
+}
+
+TermRef ComprehensionBuilder::input() const {
+  return Ctx.var("x", InputTy);
+}
+
+namespace {
+
+/// Symbolic execution of statement trees into rules (the execution-tree
+/// extraction of §5.1).
+class StmtExecutor {
+public:
+  StmtExecutor(TermContext &Ctx, Solver &S, bool Prune,
+               const std::vector<TermRef> &Placeholders)
+      : Ctx(Ctx), S(S), Prune(Prune), Placeholders(Placeholders) {}
+
+  struct ExecState {
+    std::vector<TermRef> Fields;
+    std::vector<TermRef> Outputs;
+  };
+  using Cont = std::function<RulePtr(ExecState)>;
+
+  RulePtr exec(const Stmt *St, ExecState State, const Cont &K) {
+    if (!St)
+      return K(std::move(State));
+    switch (St->kind()) {
+    case Stmt::Kind::Block:
+      return execSeq(St->stmts(), 0, std::move(State), K);
+    case Stmt::Kind::If: {
+      TermRef C = resolve(St->cond(), State);
+      RulePtr T = Rule::undef(), E = Rule::undef();
+      bool ThenFeasible = feasible(C);
+      bool ElseFeasible = feasible(Ctx.mkNot(C));
+      if (ThenFeasible) {
+        S.push();
+        S.add(C);
+        T = exec(St->thenStmt().get(), State, K);
+        S.pop();
+      }
+      if (ElseFeasible) {
+        S.push();
+        S.add(Ctx.mkNot(C));
+        E = exec(St->elseStmt().get(), std::move(State), K);
+        S.pop();
+      }
+      return Rule::ite(C, std::move(T), std::move(E));
+    }
+    case Stmt::Kind::Emit:
+      State.Outputs.push_back(resolve(St->expr(), State));
+      return K(std::move(State));
+    case Stmt::Kind::Set: {
+      unsigned Idx = fieldIndexOf(St->cond());
+      State.Fields[Idx] = resolve(St->expr(), State);
+      return K(std::move(State));
+    }
+    case Stmt::Kind::Reject:
+      return Rule::undef();
+    }
+    return Rule::undef();
+  }
+
+private:
+  TermContext &Ctx;
+  Solver &S;
+  bool Prune;
+  const std::vector<TermRef> &Placeholders;
+
+  unsigned fieldIndexOf(TermRef Placeholder) const {
+    for (unsigned I = 0; I < Placeholders.size(); ++I)
+      if (Placeholders[I] == Placeholder)
+        return I;
+    assert(false && "set() on an undeclared field");
+    return 0;
+  }
+
+  bool feasible(TermRef C) {
+    if (C->isFalse())
+      return false;
+    if (!Prune)
+      return true;
+    return S.checkWith(C) != SatResult::Unsat;
+  }
+
+  TermRef resolve(TermRef T, const ExecState &State) {
+    Subst Sub;
+    for (unsigned I = 0; I < Placeholders.size(); ++I)
+      Sub.set(Placeholders[I], State.Fields[I]);
+    return substitute(Ctx, T, Sub);
+  }
+
+  RulePtr execSeq(const std::vector<StmtPtr> &Sts, size_t I,
+                  ExecState State, const Cont &K) {
+    if (I == Sts.size())
+      return K(std::move(State));
+    return exec(Sts[I].get(), std::move(State),
+                [&, I](ExecState St2) {
+                  return execSeq(Sts, I + 1, std::move(St2), K);
+                });
+  }
+};
+
+} // namespace
+
+Bst ComprehensionBuilder::build(Solver &S, const BuildOptions &Opts) {
+  const Type *RegTy = registerType();
+  Value Init = FieldTys.empty()    ? Value::unit()
+               : FieldTys.size() == 1 ? FieldInits[0]
+                                      : Value::tuple(FieldInits);
+  Bst A(Ctx, InputTy, OutputTy, RegTy, 1, 0, std::move(Init));
+
+  std::vector<TermRef> Placeholders;
+  for (unsigned I = 0; I < FieldNames.size(); ++I)
+    Placeholders.push_back(Ctx.var("field$" + FieldNames[I], FieldTys[I]));
+
+  // Field values at entry: projections of the register variable.
+  StmtExecutor::ExecState Entry;
+  for (unsigned I = 0; I < FieldTys.size(); ++I)
+    Entry.Fields.push_back(FieldTys.size() == 1 ? A.regVar()
+                                                : Ctx.mkTupleGet(A.regVar(),
+                                                                 I));
+
+  auto PackRegister = [&](const std::vector<TermRef> &Fields) -> TermRef {
+    if (FieldTys.empty())
+      return Ctx.unitConst();
+    if (FieldTys.size() == 1)
+      return Fields[0];
+    return Ctx.mkTuple(Fields);
+  };
+
+  StmtExecutor Exec(Ctx, S, Opts.PrunePaths, Placeholders);
+  A.setDelta(0, Exec.exec(UpdateBody.get(), Entry,
+                          [&](StmtExecutor::ExecState St) {
+                            return Rule::base(St.Outputs, 0,
+                                              PackRegister(St.Fields));
+                          }));
+  A.setFinalizer(0, Exec.exec(FinishBody.get(), Entry,
+                              [&](StmtExecutor::ExecState St) {
+                                return Rule::base(St.Outputs, 0, A.regVar());
+                              }));
+
+  assert(A.wellFormed());
+  if (Opts.Explore)
+    return exploreFiniteRegisters(A, S);
+  return A;
+}
+
+//===----------------------------------------------------------------------===
+// Finite exploration (§5.1)
+//===----------------------------------------------------------------------===
+
+namespace {
+
+constexpr unsigned MaxExploredStates = 4096;
+
+struct ExploreResult {
+  bool Ok = false;
+  unsigned FailingLeaf = 0; ///< when !Ok: leaf whose update is not constant
+  std::optional<Bst> Result;
+};
+
+ExploreResult tryExplore(const Bst &A, const std::vector<unsigned> &F) {
+  TermContext &Ctx = A.context();
+  const Type *RegTy = A.registerType();
+  std::vector<const Type *> LeafTys;
+  RegTy->flatten(LeafTys);
+  unsigned NumLeaves = unsigned(LeafTys.size());
+
+  std::vector<bool> IsFinite(NumLeaves, false);
+  for (unsigned I : F)
+    IsFinite[I] = true;
+
+  // Remaining (register) leaves.
+  std::vector<const Type *> KeepTys;
+  std::vector<unsigned> KeepIdx;
+  for (unsigned I = 0; I < NumLeaves; ++I)
+    if (!IsFinite[I]) {
+      KeepTys.push_back(LeafTys[I]);
+      KeepIdx.push_back(I);
+    }
+  const Type *NewRegTy = KeepTys.empty()    ? Ctx.unitTy()
+                         : KeepTys.size() == 1 ? KeepTys[0]
+                                               : Ctx.tupleTy(KeepTys);
+
+  // Helpers to view the old register leaves.
+  auto OldLeaf = [&](TermRef OldVar, unsigned I) -> TermRef {
+    return RegTy->isTuple() ? Ctx.mkTupleGet(OldVar, I) : OldVar;
+  };
+
+  Bst B(Ctx, A.inputType(), A.outputType(), NewRegTy, 1, 0,
+        Value::unit() /* placeholder, set below */);
+  // Rebuild with the proper initial register.
+  std::vector<Value> InitLeaves;
+  {
+    std::vector<Value> AllLeaves;
+    const Value &V = A.initialRegister();
+    if (RegTy->isTuple())
+      AllLeaves = V.elems();
+    else if (!RegTy->isUnit())
+      AllLeaves = {V};
+    for (unsigned I : KeepIdx)
+      InitLeaves.push_back(AllLeaves[I]);
+  }
+  Value NewInit = KeepTys.empty()    ? Value::unit()
+                  : KeepTys.size() == 1 ? InitLeaves[0]
+                                        : Value::tuple(InitLeaves);
+  B = Bst(Ctx, A.inputType(), A.outputType(), NewRegTy, 1, 0, NewInit);
+
+  // Initial kappa: F-leaf values of the initial register.
+  using Kappa = std::vector<uint64_t>;
+  Kappa Kappa0;
+  {
+    std::vector<Value> AllLeaves;
+    const Value &V = A.initialRegister();
+    if (RegTy->isTuple())
+      AllLeaves = V.elems();
+    else if (!RegTy->isUnit())
+      AllLeaves = {V};
+    for (unsigned I : F)
+      Kappa0.push_back(AllLeaves[I].bits());
+  }
+
+  std::map<std::pair<unsigned, Kappa>, unsigned> StateIds;
+  std::vector<std::pair<unsigned, Kappa>> Worklist;
+  auto stateId = [&](unsigned Q, const Kappa &K) -> unsigned {
+    auto [It, Inserted] = StateIds.try_emplace({Q, K}, 0);
+    if (Inserted) {
+      unsigned Id = StateIds.size() == 1 ? 0 : B.addState();
+      It->second = Id;
+      std::string Name = A.stateName(Q);
+      for (uint64_t V : K)
+        Name += "." + std::to_string(V);
+      B.setStateName(Id, Name);
+      Worklist.push_back({Q, K});
+    }
+    return It->second;
+  };
+
+  // The old register expressed over (kappa constants, new register var).
+  auto oldRegFor = [&](const Kappa &K) -> TermRef {
+    std::vector<TermRef> Leaves(NumLeaves, nullptr);
+    for (unsigned J = 0; J < F.size(); ++J)
+      Leaves[F[J]] = LeafTys[F[J]]->isBool()
+                         ? Ctx.boolConst(K[J] != 0)
+                         : Ctx.bvConst(LeafTys[F[J]], K[J]);
+    for (unsigned J = 0; J < KeepIdx.size(); ++J)
+      Leaves[KeepIdx[J]] =
+          KeepTys.size() == 1 ? B.regVar() : Ctx.mkTupleGet(B.regVar(), J);
+    if (RegTy->isUnit())
+      return Ctx.unitConst();
+    if (!RegTy->isTuple())
+      return Leaves[0];
+    return Ctx.mkTuple(Leaves);
+  };
+
+  ExploreResult Res;
+
+  // Rewrites one rule under a kappa assignment.
+  std::function<RulePtr(const Rule *, const Kappa &, bool)> Rewrite =
+      [&](const Rule *R, const Kappa &K, bool IsFinalizer) -> RulePtr {
+    switch (R->kind()) {
+    case Rule::Kind::Undef:
+      return Rule::undef();
+    case Rule::Kind::Ite: {
+      Subst Sub;
+      Sub.set(A.regVar(), oldRegFor(K));
+      TermRef C = substitute(Ctx, R->cond(), Sub);
+      RulePtr T = C->isFalse()
+                      ? Rule::undef()
+                      : Rewrite(R->thenRule().get(), K, IsFinalizer);
+      if (!Res.Ok && Res.FailingLeaf != UINT_MAX)
+        return Rule::undef(); // abort fast on failure
+      RulePtr E = C->isTrue()
+                      ? Rule::undef()
+                      : Rewrite(R->elseRule().get(), K, IsFinalizer);
+      return Rule::ite(C, std::move(T), std::move(E));
+    }
+    case Rule::Kind::Base: {
+      Subst Sub;
+      Sub.set(A.regVar(), oldRegFor(K));
+      std::vector<TermRef> Outs;
+      for (TermRef O : R->outputs())
+        Outs.push_back(substitute(Ctx, O, Sub));
+      if (IsFinalizer)
+        return Rule::base(std::move(Outs), 0 /* remapped later */,
+                          B.regVar());
+      TermRef U = substitute(Ctx, R->update(), Sub);
+      // F components must be constants under kappa.
+      Kappa NextK;
+      for (unsigned J = 0; J < F.size(); ++J) {
+        TermRef Leaf = OldLeaf(U, F[J]);
+        if (!Leaf->isConst()) {
+          Res.FailingLeaf = F[J];
+          return Rule::undef();
+        }
+        NextK.push_back(Leaf->constBits());
+      }
+      std::vector<TermRef> KeepLeaves;
+      for (unsigned I : KeepIdx)
+        KeepLeaves.push_back(OldLeaf(U, I));
+      TermRef NewU = KeepTys.empty()    ? Ctx.unitConst()
+                     : KeepTys.size() == 1 ? KeepLeaves[0]
+                                           : Ctx.mkTuple(KeepLeaves);
+      unsigned Tgt = stateId(R->target(), NextK);
+      return Rule::base(std::move(Outs), Tgt, NewU);
+    }
+    }
+    return Rule::undef();
+  };
+
+  Res.FailingLeaf = UINT_MAX;
+  stateId(A.initialState(), Kappa0);
+  while (!Worklist.empty()) {
+    auto [Q, K] = Worklist.back();
+    Worklist.pop_back();
+    unsigned Id = StateIds.at({Q, K});
+    RulePtr D = Rewrite(A.delta(Q).get(), K, /*IsFinalizer=*/false);
+    if (Res.FailingLeaf != UINT_MAX)
+      return Res;
+    RulePtr Fn = Rewrite(A.finalizer(Q).get(), K, /*IsFinalizer=*/true);
+    if (Res.FailingLeaf != UINT_MAX)
+      return Res;
+    B.setDelta(Id, std::move(D));
+    B.setFinalizer(Id, std::move(Fn));
+    if (B.numStates() > MaxExploredStates) {
+      Res.FailingLeaf = UINT_MAX;
+      Res.Ok = false;
+      return Res; // explosion: give up entirely
+    }
+  }
+  Res.Ok = true;
+  Res.Result.emplace(std::move(B));
+  return Res;
+}
+
+} // namespace
+
+Bst efc::fe::exploreFiniteRegisters(const Bst &A0, Solver &S,
+                                    std::vector<unsigned> ExtraFiniteLeaves) {
+  (void)S;
+  Bst A = flattenRegisters(A0);
+  std::vector<const Type *> LeafTys;
+  A.registerType()->flatten(LeafTys);
+
+  std::vector<unsigned> F;
+  for (unsigned I = 0; I < LeafTys.size(); ++I)
+    if (LeafTys[I]->isBool() ||
+        std::find(ExtraFiniteLeaves.begin(), ExtraFiniteLeaves.end(), I) !=
+            ExtraFiniteLeaves.end())
+      F.push_back(I);
+
+  while (!F.empty()) {
+    ExploreResult R = tryExplore(A, F);
+    if (R.Ok)
+      return std::move(*R.Result);
+    if (R.FailingLeaf == UINT_MAX)
+      break; // state explosion: keep the register representation
+    F.erase(std::remove(F.begin(), F.end(), R.FailingLeaf), F.end());
+  }
+  return A;
+}

@@ -1,0 +1,137 @@
+//===- frontends/comprehension/Comprehension.h ------------------*- C++ -*-===//
+///
+/// \file
+/// The effectful-comprehension authoring frontend (paper §5.1).  In the
+/// paper users subclass `Transducer<I, O>` in C#, overriding Update and
+/// Finish; Roslyn extracts an execution tree per method.  Here the same
+/// content is expressed as an imperative statement EDSL over symbolic
+/// expressions:
+///
+/// \code
+///   ComprehensionBuilder B(Ctx, Ctx.charTy(), Ctx.intTy());
+///   auto I = B.field("i", Ctx.intTy(), Value::bv(32, 0));
+///   auto Defined = B.field("defined", Ctx.boolTy(), Value::boolV(false));
+///   auto X = B.input();
+///   B.update(block({
+///       ifS(Ctx.mkInRange(X, 0x30, 0x39),
+///           set(I, ...),
+///           reject()),
+///       set(Defined, Ctx.trueConst())}));
+///   B.finish(block({ifS(Ctx.mkNot(Defined), reject(), emit(I))}));
+///   Bst A = B.build(S); // execution-tree extraction + finite exploration
+/// \endcode
+///
+/// `build` performs the paper's two steps: symbolic execution of the
+/// statement tree into a single-state BST with a branching rule (pruning
+/// infeasible paths with the solver), then *finite exploration* migrating
+/// finite register components (booleans) into control states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_FRONTENDS_COMPREHENSION_H
+#define EFC_FRONTENDS_COMPREHENSION_H
+
+#include "bst/Bst.h"
+#include "solver/Solver.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace efc::fe {
+
+class Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// A statement of an Update/Finish body.
+class Stmt {
+public:
+  enum class Kind : uint8_t { Block, If, Emit, Set, Reject };
+
+  Kind kind() const { return K; }
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+  TermRef cond() const { return Cond; }
+  const StmtPtr &thenStmt() const { return Then; }
+  const StmtPtr &elseStmt() const { return Else; }
+  TermRef expr() const { return Expr; }
+  unsigned field() const { return Field; }
+
+private:
+  friend StmtPtr block(std::vector<StmtPtr> Stmts);
+  friend StmtPtr ifS(TermRef Cond, StmtPtr Then, StmtPtr Else);
+  friend StmtPtr emit(TermRef Expr);
+  friend StmtPtr set(TermRef FieldRef, TermRef Expr);
+  friend StmtPtr reject();
+
+  explicit Stmt(Kind K) : K(K) {}
+  Kind K;
+  std::vector<StmtPtr> Stmts;
+  TermRef Cond = nullptr;
+  StmtPtr Then, Else;
+  TermRef Expr = nullptr;
+  unsigned Field = 0;
+};
+
+/// Sequential composition.
+StmtPtr block(std::vector<StmtPtr> Stmts);
+/// Conditional; pass nullptr for an empty branch.
+StmtPtr ifS(TermRef Cond, StmtPtr Then, StmtPtr Else = nullptr);
+/// `yield return Expr`.
+StmtPtr emit(TermRef Expr);
+/// Partial state update `field = Expr` (FieldRef must come from
+/// ComprehensionBuilder::field).
+StmtPtr set(TermRef FieldRef, TermRef Expr);
+/// `throw` — reject the input.
+StmtPtr reject();
+
+/// Builds a BST from Update/Finish statement trees.
+class ComprehensionBuilder {
+public:
+  ComprehensionBuilder(TermContext &Ctx, const Type *InputTy,
+                       const Type *OutputTy);
+
+  /// Declares a register field and returns the term referring to it
+  /// (usable in expressions and as the first argument of set()).
+  TermRef field(const std::string &Name, const Type *Ty, Value Init);
+
+  /// The input element variable, for use inside update().
+  TermRef input() const;
+
+  void update(StmtPtr Body) { UpdateBody = std::move(Body); }
+  void finish(StmtPtr Body) { FinishBody = std::move(Body); }
+
+  struct BuildOptions {
+    /// Prune infeasible execution paths with the solver (§5.1).
+    bool PrunePaths = true;
+    /// Run finite exploration of boolean register fields afterwards.
+    bool Explore = true;
+  };
+
+  /// Translates to a BST.  \p S is used for path pruning and exploration.
+  Bst build(Solver &S, const BuildOptions &Opts);
+  Bst build(Solver &S) { return build(S, BuildOptions()); }
+
+private:
+  TermContext &Ctx;
+  const Type *InputTy, *OutputTy;
+  std::vector<std::string> FieldNames;
+  std::vector<const Type *> FieldTys;
+  std::vector<Value> FieldInits;
+  StmtPtr UpdateBody, FinishBody;
+
+  const Type *registerType() const;
+};
+
+/// The paper's finite-exploration pass: partially evaluates \p A over the
+/// reachable values of its finite register components, migrating them into
+/// control states.  All Bool leaves are candidates by default;
+/// \p ExtraFiniteLeaves adds enum-like bitvector leaves (indices into the
+/// flattened register).  Leaves whose updates are not compile-time
+/// constants under exploration are dropped from the candidate set; a
+/// reachable-value explosion keeps the register representation.
+Bst exploreFiniteRegisters(const Bst &A, Solver &S,
+                           std::vector<unsigned> ExtraFiniteLeaves = {});
+
+} // namespace efc::fe
+
+#endif // EFC_FRONTENDS_COMPREHENSION_H

@@ -1,0 +1,64 @@
+//===- frontends/regex/Automata.h - Symbolic NFA and DFA --------*- C++ -*-===//
+///
+/// \file
+/// Thompson construction and minterm-based subset determinization for
+/// regexes with capture tags (paper §5.2, step 1 and 2).  Edges carry
+/// character classes; edges created inside a capture group are tagged
+/// with its index so the determinizer can attribute each DFA transition
+/// to "inside capture i" or "skip" — the paper's no-ambiguity assumption
+/// is checked and violations are reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_FRONTENDS_REGEX_AUTOMATA_H
+#define EFC_FRONTENDS_REGEX_AUTOMATA_H
+
+#include "frontends/regex/Regex.h"
+
+#include <optional>
+
+namespace efc::fe {
+
+constexpr int NoCapture = -1;
+
+/// Nondeterministic symbolic automaton with epsilon edges.
+struct Nfa {
+  struct Edge {
+    unsigned From;
+    unsigned To;
+    CharClass Cls;
+    int Tag; ///< capture index or NoCapture
+  };
+  unsigned NumStates = 0;
+  unsigned Start = 0;
+  unsigned Accept = 0;
+  std::vector<Edge> Edges;
+  std::vector<std::pair<unsigned, unsigned>> EpsEdges;
+};
+
+/// Thompson construction; capture nodes tag the edges of their bodies.
+Nfa buildNfa(const RegexPtr &Root);
+
+/// Deterministic symbolic automaton over class-labelled transitions.
+struct Dfa {
+  struct Transition {
+    CharClass Cls;
+    unsigned Target;
+    int Tag; ///< capture the consumed char belongs to, or NoCapture
+  };
+  struct State {
+    std::vector<Transition> Out;
+    bool Accepting = false;
+    int Cap = NoCapture; ///< capture context this state lives in
+  };
+  std::vector<State> States;
+  unsigned Start = 0;
+};
+
+/// Subset construction with minterms.  Fails (with a diagnostic) when the
+/// pattern violates the paper's capture-boundary unambiguity assumption.
+std::optional<Dfa> determinize(const Nfa &N, std::string *Error = nullptr);
+
+} // namespace efc::fe
+
+#endif // EFC_FRONTENDS_REGEX_AUTOMATA_H

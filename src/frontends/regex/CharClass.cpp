@@ -1,0 +1,119 @@
+//===- frontends/regex/CharClass.cpp --------------------------------------===//
+
+#include "frontends/regex/CharClass.h"
+
+#include <algorithm>
+
+using namespace efc;
+using namespace efc::fe;
+
+CharClass CharClass::range(uint16_t Lo, uint16_t Hi) {
+  CharClass C;
+  if (Lo <= Hi)
+    C.Ranges.push_back({Lo, Hi});
+  return C;
+}
+
+CharClass CharClass::fromRanges(std::vector<CharRange> Rs) {
+  CharClass C;
+  C.Ranges = std::move(Rs);
+  C.normalize();
+  return C;
+}
+
+void CharClass::normalize() {
+  std::sort(Ranges.begin(), Ranges.end(),
+            [](const CharRange &A, const CharRange &B) {
+              return A.Lo < B.Lo;
+            });
+  std::vector<CharRange> Out;
+  for (const CharRange &R : Ranges) {
+    if (R.Lo > R.Hi)
+      continue;
+    if (!Out.empty() && uint32_t(Out.back().Hi) + 1 >= R.Lo) {
+      Out.back().Hi = std::max(Out.back().Hi, R.Hi);
+    } else {
+      Out.push_back(R);
+    }
+  }
+  Ranges = std::move(Out);
+}
+
+bool CharClass::contains(uint16_t C) const {
+  for (const CharRange &R : Ranges) {
+    if (C < R.Lo)
+      return false;
+    if (C <= R.Hi)
+      return true;
+  }
+  return false;
+}
+
+uint64_t CharClass::size() const {
+  uint64_t N = 0;
+  for (const CharRange &R : Ranges)
+    N += uint64_t(R.Hi) - R.Lo + 1;
+  return N;
+}
+
+uint16_t CharClass::smallest() const {
+  assert(!Ranges.empty());
+  return Ranges.front().Lo;
+}
+
+CharClass CharClass::unionWith(const CharClass &O) const {
+  std::vector<CharRange> Rs = Ranges;
+  Rs.insert(Rs.end(), O.Ranges.begin(), O.Ranges.end());
+  return fromRanges(std::move(Rs));
+}
+
+CharClass CharClass::intersectWith(const CharClass &O) const {
+  std::vector<CharRange> Out;
+  size_t I = 0, J = 0;
+  while (I < Ranges.size() && J < O.Ranges.size()) {
+    uint16_t Lo = std::max(Ranges[I].Lo, O.Ranges[J].Lo);
+    uint16_t Hi = std::min(Ranges[I].Hi, O.Ranges[J].Hi);
+    if (Lo <= Hi)
+      Out.push_back({Lo, Hi});
+    if (Ranges[I].Hi < O.Ranges[J].Hi)
+      ++I;
+    else
+      ++J;
+  }
+  return fromRanges(std::move(Out));
+}
+
+CharClass CharClass::complement() const {
+  std::vector<CharRange> Out;
+  uint32_t Next = 0;
+  for (const CharRange &R : Ranges) {
+    if (R.Lo > Next)
+      Out.push_back({uint16_t(Next), uint16_t(R.Lo - 1)});
+    Next = uint32_t(R.Hi) + 1;
+  }
+  if (Next <= 0xFFFF)
+    Out.push_back({uint16_t(Next), 0xFFFF});
+  return fromRanges(std::move(Out));
+}
+
+TermRef CharClass::toPredicate(TermContext &Ctx, TermRef X) const {
+  TermRef P = Ctx.falseConst();
+  for (const CharRange &R : Ranges)
+    P = Ctx.mkOr(P, Ctx.mkInRange(X, R.Lo, R.Hi));
+  return P;
+}
+
+std::string CharClass::str() const {
+  std::string S = "[";
+  for (const CharRange &R : Ranges) {
+    char Buf[32];
+    if (R.Lo == R.Hi)
+      snprintf(Buf, sizeof(Buf), "%x", R.Lo);
+    else
+      snprintf(Buf, sizeof(Buf), "%x-%x", R.Lo, R.Hi);
+    S += Buf;
+    S += ' ';
+  }
+  S += ']';
+  return S;
+}

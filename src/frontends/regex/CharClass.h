@@ -1,0 +1,70 @@
+//===- frontends/regex/CharClass.h - Symbolic character classes -*- C++ -*-===//
+///
+/// \file
+/// Character classes as sorted sets of inclusive ranges over the 16-bit
+/// char domain — the predicate algebra of symbolic automata: union,
+/// intersection, complement, and conversion to guard terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_FRONTENDS_REGEX_CHARCLASS_H
+#define EFC_FRONTENDS_REGEX_CHARCLASS_H
+
+#include "term/TermContext.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efc::fe {
+
+/// An inclusive character range.
+struct CharRange {
+  uint16_t Lo;
+  uint16_t Hi;
+  bool operator==(const CharRange &O) const = default;
+};
+
+/// A set of characters, kept as sorted, disjoint, non-adjacent ranges.
+class CharClass {
+public:
+  CharClass() = default;
+
+  static CharClass empty() { return CharClass(); }
+  static CharClass all() { return range(0, 0xFFFF); }
+  static CharClass singleton(uint16_t C) { return range(C, C); }
+  static CharClass range(uint16_t Lo, uint16_t Hi);
+  static CharClass fromRanges(std::vector<CharRange> Ranges);
+
+  bool isEmpty() const { return Ranges.empty(); }
+  bool contains(uint16_t C) const;
+  /// Total number of characters in the class.
+  uint64_t size() const;
+  /// The smallest member (class must be non-empty).
+  uint16_t smallest() const;
+
+  CharClass unionWith(const CharClass &O) const;
+  CharClass intersectWith(const CharClass &O) const;
+  CharClass complement() const;
+  CharClass minus(const CharClass &O) const {
+    return intersectWith(O.complement());
+  }
+
+  bool operator==(const CharClass &O) const { return Ranges == O.Ranges; }
+
+  const std::vector<CharRange> &ranges() const { return Ranges; }
+
+  /// Guard term: disjunction of range tests on \p X.
+  TermRef toPredicate(TermContext &Ctx, TermRef X) const;
+
+  std::string str() const;
+
+private:
+  std::vector<CharRange> Ranges;
+
+  void normalize();
+};
+
+} // namespace efc::fe
+
+#endif // EFC_FRONTENDS_REGEX_CHARCLASS_H

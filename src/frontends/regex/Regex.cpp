@@ -1,0 +1,426 @@
+//===- frontends/regex/Regex.cpp - Regex parser ---------------------------===//
+
+#include "frontends/regex/Regex.h"
+
+using namespace efc;
+using namespace efc::fe;
+
+//===----------------------------------------------------------------------===
+// AST constructors
+//===----------------------------------------------------------------------===
+
+RegexPtr RegexNode::epsilon() {
+  static const RegexPtr E = RegexPtr(new RegexNode(Kind::Epsilon));
+  return E;
+}
+
+RegexPtr RegexNode::chars(CharClass C) {
+  auto N = new RegexNode(Kind::Chars);
+  N->Cls = std::move(C);
+  return RegexPtr(N);
+}
+
+RegexPtr RegexNode::concat(std::vector<RegexPtr> Parts) {
+  if (Parts.empty())
+    return epsilon();
+  if (Parts.size() == 1)
+    return Parts[0];
+  auto N = new RegexNode(Kind::Concat);
+  N->Children = std::move(Parts);
+  return RegexPtr(N);
+}
+
+RegexPtr RegexNode::alt(std::vector<RegexPtr> Parts) {
+  assert(!Parts.empty());
+  if (Parts.size() == 1)
+    return Parts[0];
+  auto N = new RegexNode(Kind::Alt);
+  N->Children = std::move(Parts);
+  return RegexPtr(N);
+}
+
+RegexPtr RegexNode::star(RegexPtr Inner) {
+  auto N = new RegexNode(Kind::Star);
+  N->Children = {std::move(Inner)};
+  return RegexPtr(N);
+}
+
+RegexPtr RegexNode::plus(RegexPtr Inner) {
+  auto N = new RegexNode(Kind::Plus);
+  N->Children = {std::move(Inner)};
+  return RegexPtr(N);
+}
+
+RegexPtr RegexNode::opt(RegexPtr Inner) {
+  auto N = new RegexNode(Kind::Opt);
+  N->Children = {std::move(Inner)};
+  return RegexPtr(N);
+}
+
+RegexPtr RegexNode::capture(std::string Name, unsigned Index,
+                            RegexPtr Inner) {
+  auto N = new RegexNode(Kind::Capture);
+  N->Name = std::move(Name);
+  N->CaptureIdx = Index;
+  N->Children = {std::move(Inner)};
+  return RegexPtr(N);
+}
+
+//===----------------------------------------------------------------------===
+// Parser
+//===----------------------------------------------------------------------===
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Pattern, std::string *Error)
+      : S(Pattern), Err(Error) {}
+
+  std::optional<ParsedRegex> parse() {
+    RegexPtr R = parseAlt();
+    if (!R)
+      return std::nullopt;
+    if (Pos != S.size()) {
+      fail("unexpected character at position " + std::to_string(Pos));
+      return std::nullopt;
+    }
+    ParsedRegex P;
+    P.Root = std::move(R);
+    P.CaptureNames = std::move(CaptureNames);
+    return P;
+  }
+
+private:
+  const std::string &S;
+  std::string *Err;
+  size_t Pos = 0;
+  std::vector<std::string> CaptureNames;
+
+  void fail(const std::string &Msg) {
+    if (Err && Err->empty())
+      *Err = Msg;
+  }
+
+  bool eof() const { return Pos >= S.size(); }
+  char peek() const { return S[Pos]; }
+  bool eat(char C) {
+    if (!eof() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  RegexPtr parseAlt() {
+    std::vector<RegexPtr> Parts;
+    RegexPtr First = parseConcat();
+    if (!First)
+      return nullptr;
+    Parts.push_back(std::move(First));
+    while (eat('|')) {
+      RegexPtr Next = parseConcat();
+      if (!Next)
+        return nullptr;
+      Parts.push_back(std::move(Next));
+    }
+    return RegexNode::alt(std::move(Parts));
+  }
+
+  RegexPtr parseConcat() {
+    std::vector<RegexPtr> Parts;
+    while (!eof() && peek() != '|' && peek() != ')') {
+      RegexPtr Atom = parseRepeat();
+      if (!Atom)
+        return nullptr;
+      Parts.push_back(std::move(Atom));
+    }
+    return RegexNode::concat(std::move(Parts));
+  }
+
+  RegexPtr parseRepeat() {
+    RegexPtr Atom = parseAtom();
+    if (!Atom)
+      return nullptr;
+    for (;;) {
+      if (eat('*')) {
+        Atom = RegexNode::star(std::move(Atom));
+      } else if (eat('+')) {
+        Atom = RegexNode::plus(std::move(Atom));
+      } else if (eat('?')) {
+        Atom = RegexNode::opt(std::move(Atom));
+      } else if (!eof() && peek() == '{') {
+        size_t Save = Pos;
+        ++Pos;
+        unsigned Lo = 0, Hi = 0;
+        bool HasHi = true;
+        if (!parseUInt(Lo)) {
+          Pos = Save;
+          break;
+        }
+        if (eat(',')) {
+          if (!eof() && peek() == '}')
+            HasHi = false; // {n,} unbounded
+          else if (!parseUInt(Hi)) {
+            fail("bad repetition bound");
+            return nullptr;
+          }
+        } else {
+          Hi = Lo;
+        }
+        if (!eat('}')) {
+          fail("expected '}' in repetition");
+          return nullptr;
+        }
+        if (HasHi && Hi < Lo) {
+          fail("repetition upper bound below lower bound");
+          return nullptr;
+        }
+        // Expand: r{n,m} = r^n (r?)^(m-n);  r{n,} = r^n r*.
+        std::vector<RegexPtr> Parts;
+        for (unsigned I = 0; I < Lo; ++I)
+          Parts.push_back(Atom);
+        if (!HasHi)
+          Parts.push_back(RegexNode::star(Atom));
+        else
+          for (unsigned I = Lo; I < Hi; ++I)
+            Parts.push_back(RegexNode::opt(Atom));
+        Atom = RegexNode::concat(std::move(Parts));
+      } else {
+        break;
+      }
+    }
+    return Atom;
+  }
+
+  bool parseUInt(unsigned &Out) {
+    if (eof() || !isdigit((unsigned char)peek()))
+      return false;
+    Out = 0;
+    while (!eof() && isdigit((unsigned char)peek()))
+      Out = Out * 10 + unsigned(S[Pos++] - '0');
+    return true;
+  }
+
+  RegexPtr parseAtom() {
+    if (eof()) {
+      fail("unexpected end of pattern");
+      return nullptr;
+    }
+    char C = S[Pos];
+    switch (C) {
+    case '(': {
+      ++Pos;
+      if (eat('?')) {
+        if (eat(':')) {
+          RegexPtr Inner = parseAlt();
+          if (!Inner || !eat(')')) {
+            fail("unterminated group");
+            return nullptr;
+          }
+          return Inner;
+        }
+        if (eat('<')) {
+          std::string Name;
+          while (!eof() && peek() != '>')
+            Name.push_back(S[Pos++]);
+          if (!eat('>') || Name.empty()) {
+            fail("bad capture name");
+            return nullptr;
+          }
+          unsigned Idx = unsigned(CaptureNames.size());
+          CaptureNames.push_back(Name);
+          RegexPtr Inner = parseAlt();
+          if (!Inner || !eat(')')) {
+            fail("unterminated capture");
+            return nullptr;
+          }
+          return RegexNode::capture(Name, Idx, std::move(Inner));
+        }
+        fail("unsupported group kind");
+        return nullptr;
+      }
+      // Plain parentheses group (non-capturing here).
+      RegexPtr Inner = parseAlt();
+      if (!Inner || !eat(')')) {
+        fail("unterminated group");
+        return nullptr;
+      }
+      return Inner;
+    }
+    case '[':
+      return parseClass();
+    case '.':
+      ++Pos;
+      // Any char except newline (as in .NET default mode).
+      return RegexNode::chars(
+          CharClass::singleton('\n').complement());
+    case '\\': {
+      ++Pos;
+      CharClass Cls;
+      if (!parseEscape(Cls))
+        return nullptr;
+      return RegexNode::chars(std::move(Cls));
+    }
+    case '^':
+    case '$':
+      // Anchors are no-ops: matching is whole-input.
+      ++Pos;
+      return RegexNode::epsilon();
+    case '*':
+    case '+':
+    case '?':
+    case ')':
+    case '|':
+      fail(std::string("unexpected '") + C + "'");
+      return nullptr;
+    default:
+      ++Pos;
+      return RegexNode::chars(CharClass::singleton(uint16_t(C)));
+    }
+  }
+
+  bool parseEscape(CharClass &Out) {
+    if (eof()) {
+      fail("dangling escape");
+      return false;
+    }
+    char C = S[Pos++];
+    switch (C) {
+    case 'n':
+      Out = CharClass::singleton('\n');
+      return true;
+    case 't':
+      Out = CharClass::singleton('\t');
+      return true;
+    case 'r':
+      Out = CharClass::singleton('\r');
+      return true;
+    case '0':
+      Out = CharClass::singleton(0);
+      return true;
+    case 'd':
+      Out = CharClass::range('0', '9');
+      return true;
+    case 'D':
+      Out = CharClass::range('0', '9').complement();
+      return true;
+    case 'w':
+      Out = CharClass::range('a', 'z')
+                .unionWith(CharClass::range('A', 'Z'))
+                .unionWith(CharClass::range('0', '9'))
+                .unionWith(CharClass::singleton('_'));
+      return true;
+    case 'W':
+      Out = CharClass::range('a', 'z')
+                .unionWith(CharClass::range('A', 'Z'))
+                .unionWith(CharClass::range('0', '9'))
+                .unionWith(CharClass::singleton('_'))
+                .complement();
+      return true;
+    case 's':
+      Out = CharClass::fromRanges(
+          {{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'},
+           {0x0B, 0x0C}});
+      return true;
+    case 'S':
+      Out = CharClass::fromRanges(
+                {{' ', ' '}, {'\t', '\t'}, {'\n', '\n'}, {'\r', '\r'},
+                 {0x0B, 0x0C}})
+                .complement();
+      return true;
+    case 'x':
+    case 'u': {
+      unsigned Digits = C == 'x' ? 2 : 4;
+      uint32_t V = 0;
+      for (unsigned I = 0; I < Digits; ++I) {
+        if (eof() || !isxdigit((unsigned char)peek())) {
+          fail("bad hex escape");
+          return false;
+        }
+        char H = S[Pos++];
+        V = V * 16 + (isdigit((unsigned char)H) ? unsigned(H - '0')
+                                                : unsigned(tolower(H) - 'a') +
+                                                      10);
+      }
+      Out = CharClass::singleton(uint16_t(V));
+      return true;
+    }
+    default:
+      // Escaped metacharacter or literal.
+      Out = CharClass::singleton(uint16_t((unsigned char)C));
+      return true;
+    }
+  }
+
+  RegexPtr parseClass() {
+    assert(peek() == '[');
+    ++Pos;
+    bool Negated = eat('^');
+    CharClass Cls = CharClass::empty();
+    bool First = true;
+    while (!eof() && (peek() != ']' || First)) {
+      First = false;
+      CharClass Item;
+      uint16_t LoChar = 0;
+      bool SingleChar = false;
+      if (peek() == '\\') {
+        ++Pos;
+        if (!parseEscape(Item))
+          return nullptr;
+        if (Item.ranges().size() == 1 &&
+            Item.ranges()[0].Lo == Item.ranges()[0].Hi) {
+          SingleChar = true;
+          LoChar = Item.ranges()[0].Lo;
+        }
+      } else {
+        LoChar = uint16_t((unsigned char)S[Pos++]);
+        Item = CharClass::singleton(LoChar);
+        SingleChar = true;
+      }
+      // Range a-b?
+      if (SingleChar && !eof() && peek() == '-' && Pos + 1 < S.size() &&
+          S[Pos + 1] != ']') {
+        ++Pos; // '-'
+        uint16_t HiChar;
+        if (peek() == '\\') {
+          ++Pos;
+          CharClass HiCls;
+          if (!parseEscape(HiCls))
+            return nullptr;
+          if (HiCls.ranges().size() != 1 ||
+              HiCls.ranges()[0].Lo != HiCls.ranges()[0].Hi) {
+            fail("bad class range endpoint");
+            return nullptr;
+          }
+          HiChar = HiCls.ranges()[0].Lo;
+        } else {
+          HiChar = uint16_t((unsigned char)S[Pos++]);
+        }
+        if (HiChar < LoChar) {
+          fail("inverted class range");
+          return nullptr;
+        }
+        Item = CharClass::range(LoChar, HiChar);
+      }
+      Cls = Cls.unionWith(Item);
+    }
+    if (!eat(']')) {
+      fail("unterminated character class");
+      return nullptr;
+    }
+    if (Negated)
+      Cls = Cls.complement();
+    return RegexNode::chars(std::move(Cls));
+  }
+};
+
+} // namespace
+
+std::optional<ParsedRegex> efc::fe::parseRegex(const std::string &Pattern,
+                                               std::string *Error) {
+  if (Error)
+    Error->clear();
+  Parser P(Pattern, Error);
+  return P.parse();
+}

@@ -1,0 +1,78 @@
+//===- frontends/regex/Regex.h - Regex AST and parser -----------*- C++ -*-===//
+///
+/// \file
+/// Regular expressions with named captures (paper §5.2).  The supported
+/// syntax covers everything the paper's benchmarks use: literals, escapes
+/// (\n \t \r \\ \d \D \w \W \s \S \xHH \uHHHH and escaped
+/// metacharacters), '.', character classes with ranges and negation,
+/// grouping `(?:...)`, named captures `(?<name>...)`, alternation, and the
+/// quantifiers `* + ? {n} {n,m}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_FRONTENDS_REGEX_REGEX_H
+#define EFC_FRONTENDS_REGEX_REGEX_H
+
+#include "frontends/regex/CharClass.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efc::fe {
+
+class RegexNode;
+using RegexPtr = std::shared_ptr<const RegexNode>;
+
+/// A node of the regex AST.
+class RegexNode {
+public:
+  enum class Kind : uint8_t {
+    Epsilon, ///< empty string
+    Chars,   ///< one character from a class
+    Concat,
+    Alt,
+    Star,    ///< zero or more
+    Plus,    ///< one or more
+    Opt,     ///< zero or one
+    Capture, ///< named capture group
+  };
+
+  Kind kind() const { return K; }
+  const CharClass &chars() const { return Cls; }
+  const std::vector<RegexPtr> &children() const { return Children; }
+  const std::string &captureName() const { return Name; }
+  unsigned captureIndex() const { return CaptureIdx; }
+
+  static RegexPtr epsilon();
+  static RegexPtr chars(CharClass C);
+  static RegexPtr concat(std::vector<RegexPtr> Parts);
+  static RegexPtr alt(std::vector<RegexPtr> Parts);
+  static RegexPtr star(RegexPtr Inner);
+  static RegexPtr plus(RegexPtr Inner);
+  static RegexPtr opt(RegexPtr Inner);
+  static RegexPtr capture(std::string Name, unsigned Index, RegexPtr Inner);
+
+private:
+  explicit RegexNode(Kind K) : K(K) {}
+  Kind K;
+  CharClass Cls;
+  std::vector<RegexPtr> Children;
+  std::string Name;
+  unsigned CaptureIdx = 0;
+};
+
+/// Result of parsing: the AST plus capture names in index order.
+struct ParsedRegex {
+  RegexPtr Root;
+  std::vector<std::string> CaptureNames;
+};
+
+/// Parses \p Pattern; returns std::nullopt and fills \p Error on failure.
+std::optional<ParsedRegex> parseRegex(const std::string &Pattern,
+                                      std::string *Error = nullptr);
+
+} // namespace efc::fe
+
+#endif // EFC_FRONTENDS_REGEX_REGEX_H

@@ -1,0 +1,268 @@
+//===- frontends/regex/RegexFrontend.cpp ----------------------------------===//
+
+#include "frontends/regex/RegexFrontend.h"
+
+#include "term/Rewrite.h"
+
+#include <functional>
+#include <map>
+
+using namespace efc;
+using namespace efc::fe;
+
+namespace {
+
+/// Inlines a sub-transducer rule: substitutes \p Theta into guards,
+/// outputs and updates, and rebuilds leaves through \p LeafFn.
+RulePtr inlineRule(TermContext &Ctx, const Rule *R, const Subst &Theta,
+                   const std::function<RulePtr(std::vector<TermRef>,
+                                               unsigned, TermRef)> &LeafFn) {
+  switch (R->kind()) {
+  case Rule::Kind::Undef:
+    return Rule::undef();
+  case Rule::Kind::Ite: {
+    TermRef C = substitute(Ctx, R->cond(), Theta);
+    RulePtr T = inlineRule(Ctx, R->thenRule().get(), Theta, LeafFn);
+    RulePtr E = inlineRule(Ctx, R->elseRule().get(), Theta, LeafFn);
+    return Rule::ite(C, std::move(T), std::move(E));
+  }
+  case Rule::Kind::Base: {
+    std::vector<TermRef> Outs;
+    Outs.reserve(R->outputs().size());
+    for (TermRef O : R->outputs())
+      Outs.push_back(substitute(Ctx, O, Theta));
+    return LeafFn(std::move(Outs), R->target(),
+                  substitute(Ctx, R->update(), Theta));
+  }
+  }
+  return Rule::undef();
+}
+
+class RegexBstBuilder {
+public:
+  RegexBstBuilder(TermContext &Ctx, const Dfa &D,
+                  const std::vector<const Bst *> &Subs,
+                  const Type *OutputTy)
+      : Ctx(Ctx), D(D), Subs(Subs),
+        Product(Ctx, Ctx.bv(16), OutputTy, regTy(Ctx, Subs), 1, 0,
+                regInit(Subs)) {
+    StateIds[{D.Start, 0}] = 0;
+    Product.setStateName(0, "d" + std::to_string(D.Start));
+    Worklist.push_back({D.Start, 0});
+  }
+
+  Bst run() {
+    while (!Worklist.empty()) {
+      auto [Dq, Sq] = Worklist.back();
+      Worklist.pop_back();
+      unsigned Id = StateIds.at({Dq, Sq});
+      Product.setDelta(Id, buildDelta(Dq, Sq));
+      Product.setFinalizer(Id, buildFin(Dq, Sq, Id));
+    }
+    return std::move(Product);
+  }
+
+private:
+  TermContext &Ctx;
+  const Dfa &D;
+  const std::vector<const Bst *> &Subs;
+  Bst Product;
+  std::map<std::pair<unsigned, unsigned>, unsigned> StateIds;
+  std::vector<std::pair<unsigned, unsigned>> Worklist;
+
+  static const Type *regTy(TermContext &Ctx,
+                           const std::vector<const Bst *> &Subs) {
+    if (Subs.empty())
+      return Ctx.unitTy();
+    std::vector<const Type *> Tys;
+    for (const Bst *S : Subs)
+      Tys.push_back(S->registerType());
+    return Ctx.tupleTy(std::move(Tys));
+  }
+
+  static Value regInit(const std::vector<const Bst *> &Subs) {
+    if (Subs.empty())
+      return Value::unit();
+    std::vector<Value> Vs;
+    for (const Bst *S : Subs)
+      Vs.push_back(S->initialRegister());
+    return Value::tuple(std::move(Vs));
+  }
+
+  unsigned stateId(unsigned Dq, unsigned Sq) {
+    auto [It, Inserted] = StateIds.try_emplace({Dq, Sq}, 0);
+    if (Inserted) {
+      It->second = Product.addState(
+          "d" + std::to_string(Dq) +
+          (D.States[Dq].Cap != NoCapture ? "." + std::to_string(Sq) : ""));
+      Worklist.push_back({Dq, Sq});
+    }
+    return It->second;
+  }
+
+  TermRef slice(unsigned I) {
+    return Ctx.mkTupleGet(Product.regVar(), I);
+  }
+
+  /// Register with slice \p I replaced by \p U.
+  TermRef sliceUpdate(unsigned I, TermRef U) {
+    std::vector<TermRef> Es;
+    for (unsigned J = 0; J < Subs.size(); ++J)
+      Es.push_back(J == I ? U : slice(J));
+    return Ctx.mkTuple(std::move(Es));
+  }
+
+  /// Feeds the current input char to capture \p I starting from sub-state
+  /// \p SubState with register term \p RegTerm; leaves transition to
+  /// (\p Dq, its sub-target).
+  RulePtr feed(unsigned I, unsigned SubState, TermRef RegTerm, unsigned Dq,
+               std::vector<TermRef> Prefix) {
+    const Bst &A = *Subs[I];
+    Subst Theta;
+    Theta.set(A.regVar(), RegTerm);
+    // The product's input variable coincides with A's (both bv16 "x").
+    return inlineRule(
+        Ctx, A.delta(SubState).get(), Theta,
+        [&](std::vector<TermRef> Outs, unsigned SubTgt, TermRef Upd) {
+          std::vector<TermRef> All = Prefix;
+          All.insert(All.end(), Outs.begin(), Outs.end());
+          return Rule::base(std::move(All), stateId(Dq, SubTgt),
+                            sliceUpdate(I, Upd));
+        });
+  }
+
+  /// Runs capture \p I's finalizer from sub-state \p SubState; \p Then
+  /// receives the finalizer outputs and builds the remainder.
+  RulePtr finalizeThen(
+      unsigned I, unsigned SubState,
+      const std::function<RulePtr(std::vector<TermRef>)> &Then) {
+    const Bst &A = *Subs[I];
+    Subst Theta;
+    Theta.set(A.regVar(), slice(I));
+    return inlineRule(Ctx, A.finalizer(SubState).get(), Theta,
+                      [&](std::vector<TermRef> Outs, unsigned, TermRef) {
+                        return Then(std::move(Outs));
+                      });
+  }
+
+  RulePtr buildTransition(int CapHere, unsigned Sq,
+                          const Dfa::Transition &T) {
+    unsigned Dq = T.Target;
+    int Tag = T.Tag;
+    if (CapHere == NoCapture && Tag == NoCapture)
+      return Rule::base({}, stateId(Dq, 0), Product.regVar());
+    if (CapHere == NoCapture) {
+      // Capture Tag starts with this character: reset its register.
+      const Bst &A = *Subs[Tag];
+      return feed(unsigned(Tag), A.initialState(),
+                  A.initialRegisterTerm(), Dq, {});
+    }
+    if (Tag == CapHere)
+      return feed(unsigned(CapHere), Sq, slice(unsigned(CapHere)), Dq, {});
+    if (Tag == NoCapture) {
+      // Capture ends before this (skip) character.
+      return finalizeThen(unsigned(CapHere), Sq,
+                          [&](std::vector<TermRef> Outs) {
+                            return Rule::base(std::move(Outs),
+                                              stateId(Dq, 0),
+                                              Product.regVar());
+                          });
+    }
+    // Capture CapHere ends and capture Tag starts on the same character.
+    return finalizeThen(
+        unsigned(CapHere), Sq, [&](std::vector<TermRef> Outs) {
+          const Bst &A = *Subs[Tag];
+          return feed(unsigned(Tag), A.initialState(),
+                      A.initialRegisterTerm(), Dq, std::move(Outs));
+        });
+  }
+
+  RulePtr buildDelta(unsigned Dq, unsigned Sq) {
+    const Dfa::State &St = D.States[Dq];
+    TermRef X = Product.inputVar();
+    RulePtr R = Rule::undef();
+    // Ite chain, most-populated class first for the §2 branch-order point.
+    std::vector<const Dfa::Transition *> Ts;
+    for (const Dfa::Transition &T : St.Out)
+      Ts.push_back(&T);
+    std::stable_sort(Ts.begin(), Ts.end(),
+                     [](const Dfa::Transition *A, const Dfa::Transition *B) {
+                       return A->Cls.size() < B->Cls.size();
+                     });
+    for (const Dfa::Transition *T : Ts)
+      R = Rule::ite(T->Cls.toPredicate(Ctx, X),
+                    buildTransition(St.Cap, Sq, *T), std::move(R));
+    return R;
+  }
+
+  RulePtr buildFin(unsigned Dq, unsigned Sq, unsigned SelfId) {
+    const Dfa::State &St = D.States[Dq];
+    if (!St.Accepting)
+      return Rule::undef();
+    if (St.Cap == NoCapture)
+      return Rule::base({}, SelfId, Product.regVar());
+    return finalizeThen(unsigned(St.Cap), Sq,
+                        [&](std::vector<TermRef> Outs) {
+                          return Rule::base(std::move(Outs), SelfId,
+                                            Product.regVar());
+                        });
+  }
+};
+
+} // namespace
+
+RegexBstResult efc::fe::buildRegexBst(
+    TermContext &Ctx, const std::string &Pattern,
+    const std::vector<CaptureBinding> &Captures, const Type *OutputTy) {
+  RegexBstResult Res;
+  std::string Err;
+  auto Parsed = parseRegex(Pattern, &Err);
+  if (!Parsed) {
+    Res.Error = "regex parse error: " + Err;
+    return Res;
+  }
+
+  // Bind captures by name, in the pattern's capture order.
+  std::vector<const Bst *> Subs;
+  for (const std::string &Name : Parsed->CaptureNames) {
+    const Bst *Found = nullptr;
+    for (const CaptureBinding &B : Captures)
+      if (B.Name == Name)
+        Found = B.Transducer;
+    if (!Found) {
+      Res.Error = "no transducer bound for capture '" + Name + "'";
+      return Res;
+    }
+    if (Found->inputType() != Ctx.bv(16)) {
+      Res.Error = "capture transducer for '" + Name +
+                  "' must consume chars (bv16)";
+      return Res;
+    }
+    Subs.push_back(Found);
+  }
+
+  // Common output type.
+  const Type *OutTy = OutputTy;
+  for (const Bst *S : Subs) {
+    if (!OutTy)
+      OutTy = S->outputType();
+    else if (OutTy != S->outputType()) {
+      Res.Error = "capture transducers must share one output type";
+      return Res;
+    }
+  }
+  if (!OutTy)
+    OutTy = Ctx.bv(16);
+
+  Nfa N = buildNfa(Parsed->Root);
+  auto Dfa = determinize(N, &Err);
+  if (!Dfa) {
+    Res.Error = Err;
+    return Res;
+  }
+  Res.DfaStates = unsigned(Dfa->States.size());
+
+  RegexBstBuilder B(Ctx, *Dfa, Subs, OutTy);
+  Res.Result.emplace(B.run());
+  return Res;
+}

@@ -1,0 +1,49 @@
+//===- frontends/regex/RegexFrontend.h - Regex comprehensions ---*- C++ -*-===//
+///
+/// \file
+/// Effectful regex comprehensions (paper §5.2): given a pattern of shape
+/// `(S1 (?<cap1>P1) S2 ... Sn (?<capn>Pn) Sn+1)*` and a transducer per
+/// capture, builds one fused BST that parses matching input and streams
+/// each capture's outputs.  The capture sub-transducers are composed
+/// *hierarchically*: the start of a capture match (re)initializes the
+/// sub-transducer, each matched character is fed to its Update, and
+/// leaving the capture region triggers its finalizer — all inlined into
+/// the match automaton's rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_FRONTENDS_REGEX_REGEXFRONTEND_H
+#define EFC_FRONTENDS_REGEX_REGEXFRONTEND_H
+
+#include "bst/Bst.h"
+#include "frontends/regex/Automata.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace efc::fe {
+
+/// Binds a capture name to the transducer applied to its matches.  The
+/// transducer's input type must be the char type (bv16).
+struct CaptureBinding {
+  std::string Name;
+  const Bst *Transducer;
+};
+
+struct RegexBstResult {
+  std::optional<Bst> Result;
+  std::string Error;
+  unsigned DfaStates = 0;
+};
+
+/// Compiles \p Pattern with the given capture bindings into a BST.  With
+/// no captures the result is a pure matcher with output type \p OutputTy
+/// (it emits nothing; rejection signals mismatch).
+RegexBstResult buildRegexBst(TermContext &Ctx, const std::string &Pattern,
+                             const std::vector<CaptureBinding> &Captures,
+                             const Type *OutputTy = nullptr);
+
+} // namespace efc::fe
+
+#endif // EFC_FRONTENDS_REGEX_REGEXFRONTEND_H

@@ -1,0 +1,403 @@
+//===- frontends/xpath/XPathFrontend.cpp ----------------------------------===//
+
+#include "frontends/xpath/XPathFrontend.h"
+
+#include "term/Rewrite.h"
+
+#include <functional>
+#include <map>
+#include <tuple>
+
+using namespace efc;
+using namespace efc::fe;
+
+namespace {
+
+/// Builder for the streaming XML matcher product automaton.  Control
+/// states are allocated lazily per (kind, level, position-in-name,
+/// sub-transducer state).
+class XPathBuilder {
+public:
+  XPathBuilder(TermContext &Ctx, std::vector<std::string> Tags,
+               const Bst &A)
+      : Ctx(Ctx), Tags(std::move(Tags)), A(A), N(unsigned(this->Tags.size())),
+        Product(Ctx, Ctx.bv(16), A.outputType(),
+                Ctx.pairTy(Ctx.bv(32), A.registerType()), 1, 0,
+                Value::tuple({Value::bv(32, 0), A.initialRegister()})) {}
+
+  Bst run() {
+    // State id 0 is Content(level 0, sub init).
+    Key Init{Kind::Content, 0, 0, A.initialState()};
+    StateIds[Init] = 0;
+    Product.setStateName(0, nameOf(Init));
+    Worklist.push_back(Init);
+    while (!Worklist.empty()) {
+      Key K = Worklist.back();
+      Worklist.pop_back();
+      unsigned Id = StateIds.at(K);
+      Product.setDelta(Id, buildDelta(K));
+      Product.setFinalizer(Id, buildFin(K, Id));
+    }
+    return std::move(Product);
+  }
+
+private:
+  enum class Kind : uint8_t {
+    Content,   ///< scanning content at matched level L (depth reg = 0)
+    Tag1,      ///< just consumed '<' at level L
+    OpenName,  ///< matching tag L+1's name, Pos chars matched
+    InAttrs,   ///< inside the matched element's attribute list
+    AttrSlash, ///< after '/' inside the matched element's attributes
+    CloseName, ///< matching the closing name of tag L, Pos chars matched
+    SkipOpen,  ///< consuming a non-matching open tag
+    SkipSlash, ///< after '/' in a non-matching open tag
+    SkipC,     ///< content inside a skipped subtree (depth reg >= 1)
+    SkipTag,   ///< '<' seen inside a skipped subtree
+    SkipClose, ///< consuming a closing tag inside a skipped subtree
+    Decl,      ///< <? ... ?> / <! ... > declaration, outside skip mode
+    SkipDecl,  ///< declaration inside a skipped subtree
+  };
+
+  struct Key {
+    Kind K;
+    unsigned Level;
+    unsigned Pos;
+    unsigned Sub; ///< sub-transducer control state (live at Level == N)
+    bool operator<(const Key &O) const {
+      return std::tie(K, Level, Pos, Sub) <
+             std::tie(O.K, O.Level, O.Pos, O.Sub);
+    }
+  };
+
+  TermContext &Ctx;
+  std::vector<std::string> Tags;
+  const Bst &A;
+  unsigned N;
+  Bst Product;
+  std::map<Key, unsigned> StateIds;
+  std::vector<Key> Worklist;
+
+  std::string nameOf(const Key &K) const {
+    static const char *Names[] = {"C",  "T",  "ON", "IA", "AS", "CN", "SO",
+                                  "SS", "SC", "ST", "SX", "D",  "SD"};
+    std::string S = Names[unsigned(K.K)];
+    S += std::to_string(K.Level);
+    if (K.K == Kind::OpenName || K.K == Kind::CloseName)
+      S += "_" + std::to_string(K.Pos);
+    if (K.Level == N)
+      S += "s" + std::to_string(K.Sub);
+    return S;
+  }
+
+  unsigned stateId(Key K) {
+    // Sub state only matters while the matched element is open.
+    if (K.Level != N)
+      K.Sub = A.initialState();
+    auto [It, Inserted] = StateIds.try_emplace(K, 0);
+    if (Inserted) {
+      It->second = Product.addState(nameOf(K));
+      Worklist.push_back(K);
+    }
+    return It->second;
+  }
+
+  TermRef depthReg() { return Ctx.mkProj1(Product.regVar()); }
+  TermRef subReg() { return Ctx.mkProj2(Product.regVar()); }
+  TermRef regWith(TermRef Depth, TermRef Sub) {
+    return Ctx.mkPair(Depth, Sub);
+  }
+  TermRef keepReg() { return Product.regVar(); }
+
+  RulePtr go(Key K, TermRef Update) {
+    return Rule::base({}, stateId(K), Update);
+  }
+  RulePtr go(Key K) { return go(K, keepReg()); }
+
+  /// Feeds the current char to A from sub-state \p Sub with register term
+  /// \p SubR; leaves land in Content(N, subTarget).
+  RulePtr feedContent(unsigned Sub, TermRef SubR) {
+    Subst Theta;
+    Theta.set(A.regVar(), SubR);
+    return inlineRule(A.delta(Sub).get(), Theta,
+                      [&](std::vector<TermRef> Outs, unsigned SubTgt,
+                          TermRef Upd) {
+                        return Rule::base(
+                            std::move(Outs),
+                            stateId({Kind::Content, N, 0, SubTgt}),
+                            regWith(depthReg(), Upd));
+                      });
+  }
+
+  /// Runs A's finalizer from \p Sub; \p Then builds the remainder from
+  /// its outputs.
+  RulePtr finalizeThen(
+      unsigned Sub,
+      const std::function<RulePtr(std::vector<TermRef>)> &Then) {
+    Subst Theta;
+    Theta.set(A.regVar(), subReg());
+    return inlineRule(A.finalizer(Sub).get(), Theta,
+                      [&](std::vector<TermRef> Outs, unsigned, TermRef) {
+                        return Then(std::move(Outs));
+                      });
+  }
+
+  RulePtr inlineRule(
+      const Rule *R, const Subst &Theta,
+      const std::function<RulePtr(std::vector<TermRef>, unsigned, TermRef)>
+          &LeafFn) {
+    switch (R->kind()) {
+    case Rule::Kind::Undef:
+      return Rule::undef();
+    case Rule::Kind::Ite:
+      return Rule::ite(substitute(Ctx, R->cond(), Theta),
+                       inlineRule(R->thenRule().get(), Theta, LeafFn),
+                       inlineRule(R->elseRule().get(), Theta, LeafFn));
+    case Rule::Kind::Base: {
+      std::vector<TermRef> Outs;
+      for (TermRef O : R->outputs())
+        Outs.push_back(substitute(Ctx, O, Theta));
+      return LeafFn(std::move(Outs), R->target(),
+                    substitute(Ctx, R->update(), Theta));
+    }
+    }
+    return Rule::undef();
+  }
+
+  TermRef is(char C) {
+    return Ctx.mkEq(Product.inputVar(), Ctx.bvConst(16, uint64_t(C)));
+  }
+  TermRef isChar(char16_t C) {
+    return Ctx.mkEq(Product.inputVar(), Ctx.bvConst(16, uint64_t(C)));
+  }
+  TermRef isSpace() {
+    TermRef X = Product.inputVar();
+    return Ctx.mkOr(
+        Ctx.mkEq(X, Ctx.bvConst(16, ' ')),
+        Ctx.mkOr(Ctx.mkEq(X, Ctx.bvConst(16, '\n')),
+                 Ctx.mkOr(Ctx.mkEq(X, Ctx.bvConst(16, '\t')),
+                          Ctx.mkEq(X, Ctx.bvConst(16, '\r')))));
+  }
+
+  /// Entering (having fully consumed '>') the element that completes the
+  /// match at level N: reinitialize A.
+  RulePtr enterMatched() {
+    return Rule::base({}, stateId({Kind::Content, N, 0, A.initialState()}),
+                      regWith(depthReg(), A.initialRegisterTerm()));
+  }
+
+  /// A matched element opened and immediately self-closed: run A on empty
+  /// content (initialize then finalize).
+  RulePtr emptyMatched(unsigned Level) {
+    Subst Theta;
+    Theta.set(A.regVar(), A.initialRegisterTerm());
+    return inlineRule(A.finalizer(A.initialState()).get(), Theta,
+                      [&](std::vector<TermRef> Outs, unsigned, TermRef) {
+                        return Rule::base(std::move(Outs),
+                                          stateId({Kind::Content, Level, 0,
+                                                   0}),
+                                          keepReg());
+                      });
+  }
+
+  RulePtr buildDelta(const Key &K) {
+    unsigned L = K.Level;
+    switch (K.K) {
+    case Kind::Content:
+      if (L == N)
+        return Rule::ite(is('<'), go({Kind::Tag1, L, 0, K.Sub}),
+                         feedContent(K.Sub, subReg()));
+      return Rule::ite(is('<'), go({Kind::Tag1, L, 0, 0}),
+                       go({Kind::Content, L, 0, 0}) /* skip text */);
+
+    case Kind::Tag1: {
+      // '</': closing the current matched element (requires L >= 1).
+      RulePtr OnClose =
+          L == 0 ? Rule::undef() : go({Kind::CloseName, L, 0, K.Sub});
+      RulePtr OnDecl = go({Kind::Decl, L, 0, K.Sub});
+      // An opening name: either progresses the path match (first char of
+      // tag L+1) or starts a non-matching element.
+      RulePtr OnName;
+      if (L < N) {
+        char First = Tags[L][0];
+        OnName = Rule::ite(isChar(First), go({Kind::OpenName, L, 1, 0}),
+                           go({Kind::SkipOpen, L, 0, K.Sub}));
+      } else {
+        OnName = go({Kind::SkipOpen, L, 0, K.Sub});
+      }
+      return Rule::ite(is('/'), std::move(OnClose),
+                       Rule::ite(Ctx.mkOr(is('?'), is('!')),
+                                 std::move(OnDecl), std::move(OnName)));
+    }
+
+    case Kind::OpenName: {
+      const std::string &Tag = Tags[L];
+      if (K.Pos < Tag.size()) {
+        // Next expected name character; anything else diverges.
+        RulePtr OnMatch = go({Kind::OpenName, L, K.Pos + 1, 0});
+        // Divergence: '>' or '/' or space end the (shorter) foreign name;
+        // other chars continue a foreign name.
+        return Rule::ite(
+            isChar(Tag[K.Pos]), std::move(OnMatch),
+            Rule::ite(is('>'),
+                      Rule::base({}, stateId({Kind::SkipC, L, 0, K.Sub}),
+                                 bumpDepth(1)),
+                      Rule::ite(is('/'), go({Kind::SkipSlash, L, 0, K.Sub}),
+                                go({Kind::SkipOpen, L, 0, K.Sub}))));
+      }
+      // Full name matched; a delimiter confirms the tag.
+      RulePtr Confirmed =
+          L + 1 == N ? enterMatched()
+                     : go({Kind::Content, L + 1, 0, 0});
+      return Rule::ite(
+          is('>'), std::move(Confirmed),
+          Rule::ite(isSpace(), go({Kind::InAttrs, L, 0, K.Sub}),
+                    Rule::ite(is('/'), go({Kind::AttrSlash, L, 0, K.Sub}),
+                              go({Kind::SkipOpen, L, 0, K.Sub}))));
+    }
+
+    case Kind::InAttrs:
+      // Attributes of the (about to be) matched element at level L+1.
+      return Rule::ite(
+          is('>'),
+          L + 1 == N ? enterMatched() : go({Kind::Content, L + 1, 0, 0}),
+          Rule::ite(is('/'), go({Kind::AttrSlash, L, 0, K.Sub}),
+                    go({Kind::InAttrs, L, 0, K.Sub})));
+
+    case Kind::AttrSlash:
+      // '/>' self-closes the matched element; a stray '/' returns to the
+      // attribute scan.
+      return Rule::ite(is('>'),
+                       L + 1 == N ? emptyMatched(L)
+                                  : go({Kind::Content, L, 0, 0}),
+                       go({Kind::InAttrs, L, 0, K.Sub}));
+
+    case Kind::CloseName: {
+      const std::string &Tag = Tags[L - 1];
+      if (K.Pos < Tag.size())
+        return Rule::ite(isChar(Tag[K.Pos]),
+                         go({Kind::CloseName, L, K.Pos + 1, K.Sub}),
+                         Rule::undef());
+      // Name consumed: '>' closes the element.  When it closes the fully
+      // matched element, A's finalizer runs here.
+      if (L == N)
+        return Rule::ite(
+            is('>'),
+            finalizeThen(K.Sub,
+                         [&](std::vector<TermRef> Outs) {
+                           return Rule::base(
+                               std::move(Outs),
+                               stateId({Kind::Content, L - 1, 0, 0}),
+                               keepReg());
+                         }),
+            Rule::undef());
+      return Rule::ite(is('>'), go({Kind::Content, L - 1, 0, 0}),
+                       Rule::undef());
+    }
+
+    case Kind::SkipOpen:
+      return Rule::ite(
+          is('>'),
+          Rule::base({}, stateId({Kind::SkipC, L, 0, K.Sub}), bumpDepth(1)),
+          Rule::ite(is('/'), go({Kind::SkipSlash, L, 0, K.Sub}),
+                    go({Kind::SkipOpen, L, 0, K.Sub})));
+
+    case Kind::SkipSlash:
+      // '/>' self-closed: depth unchanged; back to where we were.
+      return Rule::ite(is('>'), backFromSkip(K),
+                       go({Kind::SkipOpen, L, 0, K.Sub}));
+
+    case Kind::SkipC:
+      return Rule::ite(is('<'), go({Kind::SkipTag, L, 0, K.Sub}),
+                       go({Kind::SkipC, L, 0, K.Sub}));
+
+    case Kind::SkipTag:
+      return Rule::ite(
+          is('/'), go({Kind::SkipClose, L, 0, K.Sub}),
+          Rule::ite(Ctx.mkOr(is('?'), is('!')),
+                    go({Kind::SkipDecl, L, 0, K.Sub}),
+                    go({Kind::SkipOpen, L, 0, K.Sub})));
+
+    case Kind::SkipClose:
+      // Consume the closing name; at '>' decrement the depth register.
+      return Rule::ite(
+          is('>'),
+          Rule::ite(Ctx.mkEq(depthReg(), Ctx.bvConst(32, 1)),
+                    Rule::base({}, stateId({Kind::Content, L, 0, K.Sub}),
+                               regWith(Ctx.bvConst(32, 0), subReg())),
+                    Rule::base({}, stateId({Kind::SkipC, L, 0, K.Sub}),
+                               bumpDepth(-1))),
+          go({Kind::SkipClose, L, 0, K.Sub}));
+
+    case Kind::Decl:
+      return Rule::ite(is('>'), go({Kind::Content, L, 0, K.Sub}),
+                       go({Kind::Decl, L, 0, K.Sub}));
+
+    case Kind::SkipDecl:
+      return Rule::ite(is('>'), go({Kind::SkipC, L, 0, K.Sub}),
+                       go({Kind::SkipDecl, L, 0, K.Sub}));
+    }
+    return Rule::undef();
+  }
+
+  /// From SkipSlash: where does a '/>': return to?  Depth 0 means the
+  /// element was opened directly under the matched prefix.
+  RulePtr backFromSkip(const Key &K) {
+    return Rule::ite(
+        Ctx.mkEq(depthReg(), Ctx.bvConst(32, 0)),
+        go({Kind::Content, K.Level, 0, K.Sub}),
+        go({Kind::SkipC, K.Level, 0, K.Sub}));
+  }
+
+  TermRef bumpDepth(int Delta) {
+    TermRef D = Delta >= 0
+                    ? Ctx.mkAdd(depthReg(), Ctx.bvConst(32, uint64_t(Delta)))
+                    : Ctx.mkSub(depthReg(),
+                                Ctx.bvConst(32, uint64_t(-Delta)));
+    return regWith(D, subReg());
+  }
+
+  RulePtr buildFin(const Key &K, unsigned SelfId) {
+    // Only a fully closed document accepts.
+    if (K.K == Kind::Content && K.Level == 0)
+      return Rule::base({}, SelfId, keepReg());
+    return Rule::undef();
+  }
+};
+
+} // namespace
+
+XPathBstResult efc::fe::buildXPathBst(TermContext &Ctx,
+                                      const std::string &Query,
+                                      const Bst &A) {
+  XPathBstResult Res;
+  if (A.inputType() != Ctx.bv(16)) {
+    Res.Error = "content transducer must consume chars (bv16)";
+    return Res;
+  }
+  if (Query.empty() || Query[0] != '/') {
+    Res.Error = "query must start with '/'";
+    return Res;
+  }
+  std::vector<std::string> Tags;
+  std::string Cur;
+  for (size_t I = 1; I <= Query.size(); ++I) {
+    if (I == Query.size() || Query[I] == '/') {
+      if (Cur.empty()) {
+        Res.Error = "empty path component";
+        return Res;
+      }
+      Tags.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(Query[I]);
+    }
+  }
+  if (Tags.empty()) {
+    Res.Error = "empty query";
+    return Res;
+  }
+
+  XPathBuilder B(Ctx, std::move(Tags), A);
+  Res.Result.emplace(B.run());
+  return Res;
+}

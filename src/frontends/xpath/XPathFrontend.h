@@ -1,0 +1,42 @@
+//===- frontends/xpath/XPathFrontend.h - XPath comprehensions ---*- C++ -*-===//
+///
+/// \file
+/// Effectful XPath comprehensions (paper §5.3): compiles a query of shape
+/// `/tag1/tag2/.../tagn` plus a content transducer A into one streaming
+/// BST over XML text (UTF-16 chars).  The matcher tracks how much of the
+/// path the open-element stack currently matches; non-matching subtrees
+/// are skipped with an integer depth register, exactly as the paper
+/// describes.  The direct text content of every matched element is fed to
+/// a fresh instance of A; closing the element triggers A's finalizer.
+///
+/// Supported XML subset (all the synthetic datasets stay inside it):
+/// elements, attributes (values free of `<" >`), text, `<?...?>` /
+/// `<!...>` declarations, self-closing tags.  Entity references and
+/// CDATA are not interpreted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_FRONTENDS_XPATH_XPATHFRONTEND_H
+#define EFC_FRONTENDS_XPATH_XPATHFRONTEND_H
+
+#include "bst/Bst.h"
+
+#include <optional>
+#include <string>
+
+namespace efc::fe {
+
+struct XPathBstResult {
+  std::optional<Bst> Result;
+  std::string Error;
+};
+
+/// Compiles `/a/b/c`-style \p Query with content transducer \p A
+/// (input type bv16).  The result consumes XML chars (bv16) and produces
+/// A's output type.
+XPathBstResult buildXPathBst(TermContext &Ctx, const std::string &Query,
+                             const Bst &A);
+
+} // namespace efc::fe
+
+#endif // EFC_FRONTENDS_XPATH_XPATHFRONTEND_H

@@ -1,0 +1,511 @@
+//===- solver/BitBlaster.cpp ----------------------------------------------===//
+
+#include "solver/BitBlaster.h"
+
+using namespace efc;
+using sat::Lit;
+
+BitBlaster::BitBlaster(TermContext &Ctx, sat::SatSolver &S) : Ctx(Ctx), S(S) {
+  True = sat::mkLit(S.newVar());
+  S.addUnit(True);
+}
+
+Lit BitBlaster::freshLit() { return sat::mkLit(S.newVar()); }
+
+//===----------------------------------------------------------------------===
+// Gates
+//===----------------------------------------------------------------------===
+
+Lit BitBlaster::gateAnd(Lit A, Lit B) {
+  if (litIsFalse(A) || litIsFalse(B))
+    return litConst(false);
+  if (litIsTrue(A))
+    return B;
+  if (litIsTrue(B))
+    return A;
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return litConst(false);
+  Lit G = freshLit();
+  S.addBinary(~G, A);
+  S.addBinary(~G, B);
+  S.addTernary(G, ~A, ~B);
+  return G;
+}
+
+Lit BitBlaster::gateOr(Lit A, Lit B) { return ~gateAnd(~A, ~B); }
+
+Lit BitBlaster::gateXor(Lit A, Lit B) {
+  if (litIsFalse(A))
+    return B;
+  if (litIsFalse(B))
+    return A;
+  if (litIsTrue(A))
+    return ~B;
+  if (litIsTrue(B))
+    return ~A;
+  if (A == B)
+    return litConst(false);
+  if (A == ~B)
+    return litConst(true);
+  Lit G = freshLit();
+  S.addTernary(~G, A, B);
+  S.addTernary(~G, ~A, ~B);
+  S.addTernary(G, ~A, B);
+  S.addTernary(G, A, ~B);
+  return G;
+}
+
+Lit BitBlaster::gateIte(Lit C, Lit T, Lit E) {
+  if (litIsTrue(C))
+    return T;
+  if (litIsFalse(C))
+    return E;
+  if (T == E)
+    return T;
+  if (litIsTrue(T))
+    return gateOr(C, E);
+  if (litIsFalse(T))
+    return gateAnd(~C, E);
+  if (litIsTrue(E))
+    return gateOr(~C, T);
+  if (litIsFalse(E))
+    return gateAnd(C, T);
+  if (T == ~E)
+    return gateXor(~C, T) /* C ? T : ~T  ==  C xnor T */;
+  Lit G = freshLit();
+  S.addTernary(~G, ~C, T);
+  S.addTernary(~G, C, E);
+  S.addTernary(G, ~C, ~T);
+  S.addTernary(G, C, ~E);
+  return G;
+}
+
+Lit BitBlaster::gateAndMany(const std::vector<Lit> &Ls) {
+  Lit Acc = litConst(true);
+  for (Lit L : Ls)
+    Acc = gateAnd(Acc, L);
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===
+// Circuits
+//===----------------------------------------------------------------------===
+
+std::vector<Lit> BitBlaster::adder(const std::vector<Lit> &A,
+                                   const std::vector<Lit> &B, Lit Cin) {
+  assert(A.size() == B.size());
+  std::vector<Lit> Sum(A.size(), Lit{});
+  Lit C = Cin;
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit AxB = gateXor(A[I], B[I]);
+    Sum[I] = gateXor(AxB, C);
+    // Carry-out: majority(a, b, c) = (a & b) | (c & (a ^ b)).
+    C = gateOr(gateAnd(A[I], B[I]), gateAnd(C, AxB));
+  }
+  return Sum;
+}
+
+std::vector<Lit> BitBlaster::negate(const std::vector<Lit> &A) {
+  std::vector<Lit> NotA(A.size(), Lit{});
+  for (size_t I = 0; I < A.size(); ++I)
+    NotA[I] = ~A[I];
+  std::vector<Lit> Zero(A.size(), litConst(false));
+  return adder(NotA, Zero, litConst(true));
+}
+
+std::vector<Lit> BitBlaster::multiplier(const std::vector<Lit> &A,
+                                        const std::vector<Lit> &B) {
+  size_t W = A.size();
+  std::vector<Lit> Acc(W, litConst(false));
+  for (size_t I = 0; I < W; ++I) {
+    if (litIsFalse(B[I]))
+      continue;
+    // Row: (A << I) masked by B[I].
+    std::vector<Lit> Row(W, litConst(false));
+    for (size_t J = I; J < W; ++J)
+      Row[J] = gateAnd(A[J - I], B[I]);
+    Acc = adder(Acc, Row, litConst(false));
+  }
+  return Acc;
+}
+
+Lit BitBlaster::compareUlt(const std::vector<Lit> &A,
+                           const std::vector<Lit> &B) {
+  assert(A.size() == B.size());
+  // MSB-first chain: lt = (~a & b) | ((a xnor b) & ltRest).
+  Lit Lt = litConst(false);
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit AI = A[I], BI = B[I];
+    Lit Here = gateAnd(~AI, BI);
+    Lit Same = ~gateXor(AI, BI);
+    Lt = gateOr(Here, gateAnd(Same, Lt));
+  }
+  return Lt;
+}
+
+Lit BitBlaster::compareUle(const std::vector<Lit> &A,
+                           const std::vector<Lit> &B) {
+  return ~compareUlt(B, A);
+}
+
+std::vector<Lit> BitBlaster::shifter(Op O, const std::vector<Lit> &A,
+                                     const std::vector<Lit> &B) {
+  size_t W = A.size();
+  Lit Fill = O == Op::AShr ? A[W - 1] : litConst(false);
+  std::vector<Lit> Cur = A;
+  size_t Stages = 0;
+  while ((size_t(1) << Stages) < W)
+    ++Stages;
+  for (size_t K = 0; K < Stages && K < B.size(); ++K) {
+    size_t Amount = size_t(1) << K;
+    std::vector<Lit> Shifted(W, Fill);
+    if (O == Op::Shl) {
+      for (size_t I = Amount; I < W; ++I)
+        Shifted[I] = Cur[I - Amount];
+      for (size_t I = 0; I < Amount && I < W; ++I)
+        Shifted[I] = litConst(false);
+    } else {
+      for (size_t I = 0; I + Amount < W; ++I)
+        Shifted[I] = Cur[I + Amount];
+    }
+    std::vector<Lit> Next(W, Lit{});
+    for (size_t I = 0; I < W; ++I)
+      Next[I] = gateIte(B[K], Shifted[I], Cur[I]);
+    Cur = std::move(Next);
+  }
+  // If any shift-amount bit at or above `Stages` is set, or the in-range
+  // bits encode an amount >= W, the result is pure fill.  The barrel above
+  // already produces fill for amounts in [W, 2^Stages); only the high bits
+  // remain to check.
+  Lit Big = litConst(false);
+  for (size_t K = Stages; K < B.size(); ++K)
+    Big = gateOr(Big, B[K]);
+  if (!litIsFalse(Big)) {
+    for (size_t I = 0; I < W; ++I)
+      Cur[I] = gateIte(Big, Fill, Cur[I]);
+  }
+  return Cur;
+}
+
+void BitBlaster::divider(TermRef AT, TermRef BT, std::vector<Lit> &Quot,
+                         std::vector<Lit> &Rem) {
+  auto Key = std::make_pair(AT, BT);
+  auto It = DivCache.find(Key);
+  if (It != DivCache.end()) {
+    Quot = It->second.first;
+    Rem = It->second.second;
+    return;
+  }
+  const std::vector<Lit> A = blastBv(AT);
+  size_t W = A.size();
+
+  if (BT->isConst() && BT->constBits() != 0) {
+    // Constant divisor: introduce defined atoms q, rem with the Euclidean
+    // characterization  a = q*c + rem  (computed in 2W bits so nothing
+    // wraps)  and  rem < c.  For every value of `a` exactly one (q, rem)
+    // satisfies this, so asserting it globally is definitional.  The
+    // multiplier degenerates to one adder row per set bit of c — far
+    // cheaper than a restoring divider.
+    uint64_t C = BT->constBits();
+    std::vector<Lit> Q = freshAtom(unsigned(W));
+    std::vector<Lit> Rm = freshAtom(unsigned(W));
+    // 2W-bit product Q * C.
+    std::vector<Lit> Acc(2 * W, litConst(false));
+    for (size_t I = 0; I < W; ++I) {
+      if (!((C >> I) & 1))
+        continue;
+      std::vector<Lit> Row(2 * W, litConst(false));
+      for (size_t J = 0; J < W; ++J)
+        Row[J + I] = Q[J];
+      Acc = adder(Acc, Row, litConst(false));
+    }
+    // Plus rem (zero-extended).
+    std::vector<Lit> RmExt = Rm;
+    RmExt.resize(2 * W, litConst(false));
+    Acc = adder(Acc, RmExt, litConst(false));
+    // Equal to zext(a): low bits match, high bits are zero.
+    auto forceEqual = [&](Lit L1, Lit L2) {
+      S.addBinary(~L1, L2);
+      S.addBinary(L1, ~L2);
+    };
+    for (size_t I = 0; I < W; ++I)
+      forceEqual(Acc[I], A[I]);
+    for (size_t I = W; I < 2 * W; ++I)
+      S.addUnit(~Acc[I]);
+    // rem < c.
+    std::vector<Lit> CBits(W, Lit{});
+    for (size_t I = 0; I < W; ++I)
+      CBits[I] = litConst((C >> I) & 1);
+    S.addUnit(compareUlt(Rm, CBits));
+    Quot = Q;
+    Rem = Rm;
+    DivCache.emplace(Key, std::make_pair(Quot, Rem));
+    return;
+  }
+
+  const std::vector<Lit> B = blastBv(BT);
+  // Restoring division, MSB first, with a (W+1)-bit partial remainder.
+  std::vector<Lit> R(W + 1, litConst(false));
+  std::vector<Lit> BExt = B;
+  BExt.push_back(litConst(false));
+  std::vector<Lit> Q(W, litConst(false));
+  for (size_t Step = 0; Step < W; ++Step) {
+    size_t BitIdx = W - 1 - Step;
+    // R = (R << 1) | a[bitIdx]
+    for (size_t I = W; I > 0; --I)
+      R[I] = R[I - 1];
+    R[0] = A[BitIdx];
+    // If R >= B then R -= B and the quotient bit is 1.
+    Lit Geq = compareUle(BExt, R);
+    std::vector<Lit> Diff = adder(R, negate(BExt), litConst(false));
+    for (size_t I = 0; I <= W; ++I)
+      R[I] = gateIte(Geq, Diff[I], R[I]);
+    Q[BitIdx] = Geq;
+  }
+  // Division by zero: SMT-LIB says q = all-ones, r = a.  The circuit above
+  // already produces that (B == 0 makes every Geq true and subtracting zero
+  // leaves R accumulating A).
+  Rem.assign(R.begin(), R.begin() + W);
+  Quot = Q;
+  DivCache.emplace(Key, std::make_pair(Quot, Rem));
+}
+
+//===----------------------------------------------------------------------===
+// Term translation
+//===----------------------------------------------------------------------===
+
+std::vector<Lit> BitBlaster::freshAtom(unsigned Width) {
+  std::vector<Lit> Bits(Width, Lit{});
+  for (unsigned I = 0; I < Width; ++I)
+    Bits[I] = freshLit();
+  return Bits;
+}
+
+const std::vector<Lit> &BitBlaster::blastBv(TermRef T) {
+  auto It = BvCache.find(T);
+  if (It != BvCache.end())
+    return It->second;
+  std::vector<Lit> Bits = computeBv(T);
+  return BvCache.emplace(T, std::move(Bits)).first->second;
+}
+
+std::vector<Lit> BitBlaster::computeBv(TermRef T) {
+  assert(T->type()->isBitVec());
+  unsigned W = T->type()->width();
+  switch (T->op()) {
+  case Op::ConstBv: {
+    std::vector<Lit> Bits(W, Lit{});
+    for (unsigned I = 0; I < W; ++I)
+      Bits[I] = litConst((T->constBits() >> I) & 1);
+    return Bits;
+  }
+  case Op::Var:
+  case Op::TupleGet:
+    // Scalar leaf (variable or projection chain rooted at a tuple
+    // variable): allocate fresh SAT variables.
+    assert(T->op() == Op::Var || T->operand(0)->op() == Op::Var ||
+           T->operand(0)->op() == Op::TupleGet);
+    return freshAtom(W);
+  case Op::Ite: {
+    Lit C = blastBool(T->operand(0));
+    const std::vector<Lit> A = blastBv(T->operand(1));
+    const std::vector<Lit> B = blastBv(T->operand(2));
+    std::vector<Lit> Bits(W, Lit{});
+    for (unsigned I = 0; I < W; ++I)
+      Bits[I] = gateIte(C, A[I], B[I]);
+    return Bits;
+  }
+  case Op::Add: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    const std::vector<Lit> B = blastBv(T->operand(1));
+    return adder(A, B, litConst(false));
+  }
+  case Op::Sub: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    std::vector<Lit> NotB = blastBv(T->operand(1));
+    for (Lit &L : NotB)
+      L = ~L;
+    return adder(A, NotB, litConst(true));
+  }
+  case Op::Neg:
+    return negate(blastBv(T->operand(0)));
+  case Op::Mul: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    const std::vector<Lit> B = blastBv(T->operand(1));
+    return multiplier(A, B);
+  }
+  case Op::UDiv: {
+    std::vector<Lit> Q, R;
+    divider(T->operand(0), T->operand(1), Q, R);
+    return Q;
+  }
+  case Op::URem: {
+    std::vector<Lit> Q, R;
+    divider(T->operand(0), T->operand(1), Q, R);
+    return R;
+  }
+  case Op::BvAnd:
+  case Op::BvOr:
+  case Op::BvXor: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    const std::vector<Lit> B = blastBv(T->operand(1));
+    std::vector<Lit> Bits(W, Lit{});
+    for (unsigned I = 0; I < W; ++I)
+      Bits[I] = T->op() == Op::BvAnd  ? gateAnd(A[I], B[I])
+                : T->op() == Op::BvOr ? gateOr(A[I], B[I])
+                                      : gateXor(A[I], B[I]);
+    return Bits;
+  }
+  case Op::BvNot: {
+    std::vector<Lit> Bits = blastBv(T->operand(0));
+    for (Lit &L : Bits)
+      L = ~L;
+    return Bits;
+  }
+  case Op::Shl:
+  case Op::LShr:
+  case Op::AShr: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    TermRef BT = T->operand(1);
+    if (BT->isConst()) {
+      uint64_t K = BT->constBits();
+      Lit Fill = T->op() == Op::AShr ? A[W - 1] : litConst(false);
+      std::vector<Lit> Bits(W, Fill);
+      if (K < W) {
+        if (T->op() == Op::Shl) {
+          for (unsigned I = unsigned(K); I < W; ++I)
+            Bits[I] = A[I - K];
+          for (unsigned I = 0; I < K; ++I)
+            Bits[I] = litConst(false);
+        } else {
+          for (unsigned I = 0; I + K < W; ++I)
+            Bits[I] = A[I + K];
+        }
+      } else if (T->op() == Op::Shl || T->op() == Op::LShr) {
+        Bits.assign(W, litConst(false));
+      }
+      return Bits;
+    }
+    return shifter(T->op(), A, blastBv(BT));
+  }
+  case Op::ZExt: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    std::vector<Lit> Bits = A;
+    Bits.resize(W, litConst(false));
+    return Bits;
+  }
+  case Op::SExt: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    std::vector<Lit> Bits = A;
+    Bits.resize(W, A.back());
+    return Bits;
+  }
+  case Op::Extract: {
+    const std::vector<Lit> A = blastBv(T->operand(0));
+    std::vector<Lit> Bits(A.begin() + T->extractLo(),
+                          A.begin() + T->extractHi() + 1);
+    return Bits;
+  }
+  default:
+    assert(false && "unexpected op for bitvector blasting");
+    return freshAtom(W);
+  }
+}
+
+Lit BitBlaster::blastBool(TermRef T) {
+  auto It = BoolCache.find(T);
+  if (It != BoolCache.end())
+    return It->second;
+  Lit L = computeBool(T);
+  BoolCache.emplace(T, L);
+  return L;
+}
+
+Lit BitBlaster::computeBool(TermRef T) {
+  assert(T->type()->isBool());
+  switch (T->op()) {
+  case Op::ConstBool:
+    return litConst(T->constBits() != 0);
+  case Op::Var:
+  case Op::TupleGet:
+    return freshLit();
+  case Op::Not:
+    return ~blastBool(T->operand(0));
+  case Op::And:
+    return gateAnd(blastBool(T->operand(0)), blastBool(T->operand(1)));
+  case Op::Or:
+    return gateOr(blastBool(T->operand(0)), blastBool(T->operand(1)));
+  case Op::Ite:
+    return gateIte(blastBool(T->operand(0)), blastBool(T->operand(1)),
+                   blastBool(T->operand(2)));
+  case Op::Eq: {
+    TermRef A = T->operand(0), B = T->operand(1);
+    if (A->type()->isBool())
+      return ~gateXor(blastBool(A), blastBool(B));
+    // Copy: a second blastBv call may rehash the cache.
+    const std::vector<Lit> AB = blastBv(A);
+    const std::vector<Lit> BB = blastBv(B);
+    std::vector<Lit> Eqs(AB.size(), Lit{});
+    for (size_t I = 0; I < AB.size(); ++I)
+      Eqs[I] = ~gateXor(AB[I], BB[I]);
+    return gateAndMany(Eqs);
+  }
+  case Op::Ult:
+    return compareUlt(blastBv(T->operand(0)), blastBv(T->operand(1)));
+  case Op::Ule:
+    return compareUle(blastBv(T->operand(0)), blastBv(T->operand(1)));
+  case Op::Slt:
+  case Op::Sle: {
+    // Signed comparison: flip the MSBs and compare unsigned.
+    std::vector<Lit> A = blastBv(T->operand(0));
+    std::vector<Lit> B = blastBv(T->operand(1));
+    A.back() = ~A.back();
+    B.back() = ~B.back();
+    return T->op() == Op::Slt ? compareUlt(A, B) : compareUle(A, B);
+  }
+  default:
+    assert(false && "unexpected op for boolean blasting");
+    return litConst(false);
+  }
+}
+
+Value BitBlaster::readValue(TermRef T) {
+  const Type *Ty = T->type();
+  switch (Ty->kind()) {
+  case TypeKind::Bool: {
+    auto It = BoolCache.find(T);
+    if (It == BoolCache.end())
+      return Value::boolV(false);
+    Lit L = It->second;
+    bool B = S.modelBool(sat::var(L));
+    return Value::boolV(sat::sign(L) ? !B : B);
+  }
+  case TypeKind::BitVec: {
+    auto It = BvCache.find(T);
+    if (It == BvCache.end())
+      return Value::bv(Ty->width(), 0);
+    uint64_t Bits = 0;
+    for (unsigned I = 0; I < Ty->width(); ++I) {
+      Lit L = It->second[I];
+      bool B = S.modelBool(sat::var(L));
+      if (sat::sign(L))
+        B = !B;
+      if (B)
+        Bits |= uint64_t(1) << I;
+    }
+    return Value::bv(Ty->width(), Bits);
+  }
+  case TypeKind::Unit:
+    return Value::unit();
+  case TypeKind::Tuple: {
+    std::vector<Value> Es;
+    Es.reserve(Ty->arity());
+    for (unsigned I = 0; I < Ty->arity(); ++I)
+      Es.push_back(readValue(Ctx.mkTupleGet(T, I)));
+    return Value::tuple(std::move(Es));
+  }
+  }
+  return Value::unit();
+}

@@ -1,0 +1,95 @@
+//===- solver/BitBlaster.h - Terms to CNF via Tseitin gates -----*- C++ -*-===//
+///
+/// \file
+/// Translates terms of the QF_BV + tuples fragment into CNF over a
+/// SatSolver.  Scalar leaves (variables, or projection chains applied to
+/// tuple variables) become vectors of fresh SAT variables; operators become
+/// standard circuits (ripple-carry adders, shift-add multipliers, restoring
+/// dividers, barrel shifters, comparison chains).  Encodings are cached per
+/// term, which together with hash-consing gives structural sharing in the
+/// generated CNF.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_SOLVER_BITBLASTER_H
+#define EFC_SOLVER_BITBLASTER_H
+
+#include "solver/SatSolver.h"
+#include "term/Term.h"
+#include "term/TermContext.h"
+#include "term/Value.h"
+
+#include <unordered_map>
+
+namespace efc {
+
+class BitBlaster {
+public:
+  BitBlaster(TermContext &Ctx, sat::SatSolver &S);
+
+  /// Encodes a boolean term, returning a literal equivalent to it.
+  sat::Lit blastBool(TermRef T);
+
+  /// Encodes a bitvector term, returning its bits LSB first.
+  const std::vector<sat::Lit> &blastBv(TermRef T);
+
+  /// The always-true literal.
+  sat::Lit trueLit() const { return True; }
+
+  /// After a Sat answer: reconstructs the model value of a variable (or a
+  /// projection-chain leaf).  Never-encoded leaves default to zero/false.
+  Value readValue(TermRef T);
+
+private:
+  TermContext &Ctx;
+  sat::SatSolver &S;
+  sat::Lit True;
+
+  std::unordered_map<TermRef, sat::Lit> BoolCache;
+  std::unordered_map<TermRef, std::vector<sat::Lit>> BvCache;
+  struct PairHash {
+    size_t operator()(const std::pair<TermRef, TermRef> &P) const {
+      return std::hash<const void *>()(P.first) * 31 +
+             std::hash<const void *>()(P.second);
+    }
+  };
+  std::unordered_map<std::pair<TermRef, TermRef>,
+                     std::pair<std::vector<sat::Lit>, std::vector<sat::Lit>>,
+                     PairHash>
+      DivCache; // (dividend, divisor) -> (quotient, remainder)
+
+  sat::Lit freshLit();
+  sat::Lit litConst(bool B) { return B ? True : ~True; }
+  bool litIsTrue(sat::Lit L) const { return L == True; }
+  bool litIsFalse(sat::Lit L) const { return L == ~True; }
+
+  // Gates with peephole simplification.
+  sat::Lit gateAnd(sat::Lit A, sat::Lit B);
+  sat::Lit gateOr(sat::Lit A, sat::Lit B);
+  sat::Lit gateXor(sat::Lit A, sat::Lit B);
+  sat::Lit gateIte(sat::Lit C, sat::Lit T, sat::Lit E);
+  sat::Lit gateAndMany(const std::vector<sat::Lit> &Ls);
+
+  // Circuits (bit vectors LSB first).
+  std::vector<sat::Lit> adder(const std::vector<sat::Lit> &A,
+                              const std::vector<sat::Lit> &B, sat::Lit Cin);
+  std::vector<sat::Lit> negate(const std::vector<sat::Lit> &A);
+  std::vector<sat::Lit> multiplier(const std::vector<sat::Lit> &A,
+                                   const std::vector<sat::Lit> &B);
+  void divider(TermRef AT, TermRef BT, std::vector<sat::Lit> &Quot,
+               std::vector<sat::Lit> &Rem);
+  sat::Lit compareUlt(const std::vector<sat::Lit> &A,
+                      const std::vector<sat::Lit> &B);
+  sat::Lit compareUle(const std::vector<sat::Lit> &A,
+                      const std::vector<sat::Lit> &B);
+  std::vector<sat::Lit> shifter(Op O, const std::vector<sat::Lit> &A,
+                                const std::vector<sat::Lit> &B);
+
+  std::vector<sat::Lit> computeBv(TermRef T);
+  sat::Lit computeBool(TermRef T);
+  std::vector<sat::Lit> freshAtom(unsigned Width);
+};
+
+} // namespace efc
+
+#endif // EFC_SOLVER_BITBLASTER_H

@@ -1,0 +1,415 @@
+//===- solver/SatSolver.cpp - CDCL SAT solver -----------------------------===//
+
+#include "solver/SatSolver.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace efc::sat;
+
+SatSolver::SatSolver() = default;
+SatSolver::~SatSolver() = default;
+
+Var SatSolver::newVar() {
+  Var V = Var(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  Reasons.push_back(nullptr);
+  Levels.push_back(0);
+  Activity.push_back(0.0);
+  Polarity.push_back(false);
+  HeapPos.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+//===----------------------------------------------------------------------===
+// Variable order heap (max-heap on activity)
+//===----------------------------------------------------------------------===
+
+void SatSolver::heapInsert(Var V) {
+  if (HeapPos[V] != -1)
+    return;
+  HeapPos[V] = int(OrderHeap.size());
+  OrderHeap.push_back(V);
+  heapPercolateUp(HeapPos[V]);
+}
+
+void SatSolver::heapPercolateUp(int Pos) {
+  Var V = OrderHeap[Pos];
+  while (Pos > 0) {
+    int Parent = (Pos - 1) >> 1;
+    if (Activity[OrderHeap[Parent]] >= Activity[V])
+      break;
+    OrderHeap[Pos] = OrderHeap[Parent];
+    HeapPos[OrderHeap[Pos]] = Pos;
+    Pos = Parent;
+  }
+  OrderHeap[Pos] = V;
+  HeapPos[V] = Pos;
+}
+
+void SatSolver::heapPercolateDown(int Pos) {
+  Var V = OrderHeap[Pos];
+  int N = int(OrderHeap.size());
+  for (;;) {
+    int Child = 2 * Pos + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N &&
+        Activity[OrderHeap[Child + 1]] > Activity[OrderHeap[Child]])
+      ++Child;
+    if (Activity[OrderHeap[Child]] <= Activity[V])
+      break;
+    OrderHeap[Pos] = OrderHeap[Child];
+    HeapPos[OrderHeap[Pos]] = Pos;
+    Pos = Child;
+  }
+  OrderHeap[Pos] = V;
+  HeapPos[V] = Pos;
+}
+
+Var SatSolver::heapRemoveMax() {
+  Var V = OrderHeap[0];
+  HeapPos[V] = -1;
+  Var Last = OrderHeap.back();
+  OrderHeap.pop_back();
+  if (!OrderHeap.empty()) {
+    OrderHeap[0] = Last;
+    HeapPos[Last] = 0;
+    heapPercolateDown(0);
+  }
+  return V;
+}
+
+void SatSolver::varBumpActivity(Var V) {
+  if ((Activity[V] += VarInc) > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+    // Activities kept heap order (uniform rescale).
+  }
+  if (HeapPos[V] != -1)
+    heapPercolateUp(HeapPos[V]);
+}
+
+void SatSolver::claBumpActivity(Clause &C) {
+  if ((C.Activity += ClaInc) > 1e20f) {
+    for (auto &L : Learnts)
+      L->Activity *= 1e-20f;
+    ClaInc *= 1e-20f;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Clause management
+//===----------------------------------------------------------------------===
+
+void SatSolver::attachClause(Clause *C) {
+  assert(C->Lits.size() >= 2);
+  Watches[toInt(C->Lits[0])].push_back(C);
+  Watches[toInt(C->Lits[1])].push_back(C);
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  if (!OkFlag)
+    return false;
+  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+
+  // Normalize: sort, dedupe, drop false literals, detect tautologies.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.X < B.X; });
+  std::vector<Lit> Out;
+  Lit Prev = LitUndef;
+  for (Lit L : Lits) {
+    if (value(L) == LBool::True || L == ~Prev)
+      return true; // satisfied or tautological
+    if (value(L) == LBool::False || L == Prev)
+      continue; // falsified at root or duplicate
+    Out.push_back(L);
+    Prev = L;
+  }
+
+  if (Out.empty()) {
+    OkFlag = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    uncheckedEnqueue(Out[0], nullptr);
+    if (propagate() != nullptr)
+      OkFlag = false;
+    return OkFlag;
+  }
+  auto C = std::make_unique<Clause>();
+  C->Lits = std::move(Out);
+  attachClause(C.get());
+  Problem.push_back(std::move(C));
+  ++ProblemClauses;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Search
+//===----------------------------------------------------------------------===
+
+void SatSolver::uncheckedEnqueue(Lit L, Clause *From) {
+  assert(value(L) == LBool::Undef);
+  Assigns[var(L)] = lboolOf(!sign(L));
+  Reasons[var(L)] = From;
+  Levels[var(L)] = decisionLevel();
+  Trail.push_back(L);
+}
+
+SatSolver::Clause *SatSolver::propagate() {
+  Clause *Confl = nullptr;
+  while (QHead < Trail.size()) {
+    Lit P = Trail[QHead++];
+    ++Propagations;
+    // Clauses watching ~P may have become unit or conflicting.
+    std::vector<Clause *> &WS = Watches[toInt(~P)];
+    size_t I = 0, J = 0;
+    while (I < WS.size()) {
+      Clause &C = *WS[I++];
+      Lit FalseLit = ~P;
+      if (C.Lits[0] == FalseLit)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == FalseLit);
+      Lit First = C.Lits[0];
+      if (value(First) == LBool::True) {
+        WS[J++] = &C;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool Found = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[toInt(C.Lits[1])].push_back(&C);
+          Found = true;
+          break;
+        }
+      }
+      if (Found)
+        continue; // moved to another watch list
+      WS[J++] = &C;
+      if (value(First) == LBool::False) {
+        Confl = &C;
+        QHead = Trail.size();
+        while (I < WS.size())
+          WS[J++] = WS[I++];
+        break;
+      }
+      uncheckedEnqueue(First, &C);
+    }
+    WS.resize(J);
+    if (Confl)
+      break;
+  }
+  return Confl;
+}
+
+void SatSolver::analyze(Clause *Confl, std::vector<Lit> &OutLearnt,
+                        int &OutBtLevel) {
+  static thread_local std::vector<char> Seen;
+  Seen.assign(Assigns.size(), 0);
+
+  int PathC = 0;
+  Lit P = LitUndef;
+  OutLearnt.clear();
+  OutLearnt.push_back(LitUndef); // slot for the asserting literal
+  int Index = int(Trail.size()) - 1;
+
+  do {
+    assert(Confl && "reason must exist on the conflict side");
+    claBumpActivity(*Confl);
+    for (size_t J = (P == LitUndef ? 0 : 1); J < Confl->Lits.size(); ++J) {
+      Lit Q = Confl->Lits[J];
+      Var V = var(Q);
+      if (!Seen[V] && Levels[V] > 0) {
+        Seen[V] = 1;
+        varBumpActivity(V);
+        if (Levels[V] >= decisionLevel())
+          ++PathC;
+        else
+          OutLearnt.push_back(Q);
+      }
+    }
+    // Next clause to look at: reason of the most recent seen trail literal.
+    while (!Seen[var(Trail[Index--])])
+      ;
+    P = Trail[Index + 1];
+    Confl = Reasons[var(P)];
+    Seen[var(P)] = 0;
+    --PathC;
+  } while (PathC > 0);
+  OutLearnt[0] = ~P;
+
+  // Backtrack level: second highest level in the learnt clause.
+  if (OutLearnt.size() == 1) {
+    OutBtLevel = 0;
+  } else {
+    size_t MaxI = 1;
+    for (size_t I = 2; I < OutLearnt.size(); ++I)
+      if (Levels[var(OutLearnt[I])] > Levels[var(OutLearnt[MaxI])])
+        MaxI = I;
+    std::swap(OutLearnt[1], OutLearnt[MaxI]);
+    OutBtLevel = Levels[var(OutLearnt[1])];
+  }
+}
+
+void SatSolver::backtrackTo(int Level) {
+  if (decisionLevel() <= Level)
+    return;
+  for (int I = int(Trail.size()) - 1; I >= TrailLim[Level]; --I) {
+    Var V = var(Trail[I]);
+    Assigns[V] = LBool::Undef;
+    Polarity[V] = !sign(Trail[I]); // phase saving: remember assigned value
+    Reasons[V] = nullptr;
+    heapInsert(V);
+  }
+  Trail.resize(TrailLim[Level]);
+  TrailLim.resize(Level);
+  QHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!OrderHeap.empty()) {
+    Var V = heapRemoveMax();
+    if (value(V) == LBool::Undef)
+      return mkLit(V, !Polarity[V]);
+  }
+  return LitUndef;
+}
+
+void SatSolver::reduceDB() {
+  // Drop the least active half of learnt clauses (keep binary clauses and
+  // clauses that are reasons for current assignments).
+  std::sort(Learnts.begin(), Learnts.end(),
+            [](const std::unique_ptr<Clause> &A,
+               const std::unique_ptr<Clause> &B) {
+              return A->Activity > B->Activity;
+            });
+  size_t Keep = Learnts.size() / 2;
+  std::vector<std::unique_ptr<Clause>> Kept;
+  Kept.reserve(Learnts.size());
+  auto isLocked = [&](Clause *C) {
+    Var V = var(C->Lits[0]);
+    return Reasons[V] == C && value(C->Lits[0]) == LBool::True;
+  };
+  auto detach = [&](Clause *C) {
+    for (int K = 0; K < 2; ++K) {
+      auto &WS = Watches[toInt(C->Lits[K])];
+      WS.erase(std::remove(WS.begin(), WS.end(), C), WS.end());
+    }
+  };
+  for (size_t I = 0; I < Learnts.size(); ++I) {
+    Clause *C = Learnts[I].get();
+    if (I < Keep || C->Lits.size() == 2 || isLocked(C))
+      Kept.push_back(std::move(Learnts[I]));
+    else
+      detach(C);
+  }
+  Learnts = std::move(Kept);
+}
+
+static int64_t lubySequence(int64_t X) {
+  // Luby restart sequence 1,1,2,1,1,2,4,... (0-based index).
+  int64_t Size = 1, Seq = 0;
+  while (Size < X + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != X) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    X = X % Size;
+  }
+  return int64_t(1) << Seq;
+}
+
+SolveStatus SatSolver::solve(const std::vector<Lit> &Assumptions,
+                             int64_t ConflictBudget) {
+  if (!OkFlag)
+    return SolveStatus::Unsat;
+  backtrackTo(0);
+
+  int64_t ConflictsThisSolve = 0;
+  int64_t RestartNum = 0;
+  int64_t RestartLimit = 100 * lubySequence(RestartNum);
+  int64_t ConflictsSinceRestart = 0;
+
+  for (;;) {
+    Clause *Confl = propagate();
+    if (Confl != nullptr) {
+      ++Conflicts;
+      ++ConflictsThisSolve;
+      ++ConflictsSinceRestart;
+      if (decisionLevel() == 0) {
+        OkFlag = false;
+        return SolveStatus::Unsat;
+      }
+      std::vector<Lit> Learnt;
+      int BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      backtrackTo(BtLevel);
+      if (Learnt.size() == 1) {
+        uncheckedEnqueue(Learnt[0], nullptr);
+      } else {
+        auto C = std::make_unique<Clause>();
+        C->Learnt = true;
+        C->Lits = std::move(Learnt);
+        attachClause(C.get());
+        claBumpActivity(*C);
+        uncheckedEnqueue(C->Lits[0], C.get());
+        Learnts.push_back(std::move(C));
+      }
+      varDecayActivity();
+      ClaInc *= (1 / 0.999f);
+      continue;
+    }
+
+    if (ConflictBudget >= 0 && ConflictsThisSolve > ConflictBudget) {
+      backtrackTo(0);
+      return SolveStatus::Budget;
+    }
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ConflictsSinceRestart = 0;
+      RestartLimit = 100 * lubySequence(++RestartNum);
+      backtrackTo(0);
+      continue;
+    }
+    // Keep the learnt database bounded: this solver lives across many
+    // incremental checks, so tying the limit to the (monotonically
+    // growing) problem size would let propagation degrade over time.
+    if (Learnts.size() >= 10000)
+      reduceDB();
+
+    // Establish pending assumptions as decisions.
+    Lit Next = LitUndef;
+    while (decisionLevel() < int(Assumptions.size())) {
+      Lit A = Assumptions[decisionLevel()];
+      if (value(A) == LBool::True) {
+        TrailLim.push_back(int(Trail.size())); // dummy level
+      } else if (value(A) == LBool::False) {
+        backtrackTo(0);
+        return SolveStatus::Unsat;
+      } else {
+        Next = A;
+        break;
+      }
+    }
+    if (Next == LitUndef) {
+      ++Decisions;
+      Next = pickBranchLit();
+      if (Next == LitUndef) {
+        // All variables assigned: model found.
+        Model = Assigns;
+        backtrackTo(0);
+        return SolveStatus::Sat;
+      }
+    }
+    TrailLim.push_back(int(Trail.size()));
+    uncheckedEnqueue(Next, nullptr);
+  }
+}

@@ -1,0 +1,150 @@
+//===- solver/SatSolver.h - CDCL SAT solver ---------------------*- C++ -*-===//
+///
+/// \file
+/// A self-contained CDCL SAT solver in the MiniSat lineage: two-watched
+/// literals, VSIDS branching, first-UIP clause learning, phase saving, Luby
+/// restarts, activity-based learnt-clause reduction, and solving under
+/// assumptions.  The assumption interface is what gives the term-level
+/// Solver its incremental push/pop (activation literals), mirroring how the
+/// paper uses Z3's incremental solver contexts during fusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_SOLVER_SATSOLVER_H
+#define EFC_SOLVER_SATSOLVER_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace efc::sat {
+
+using Var = int;
+constexpr Var VarUndef = -1;
+
+/// A literal: variable with a sign, packed as 2*var + sign.
+struct Lit {
+  int X = -2;
+
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+};
+
+constexpr Lit mkLit(Var V, bool Negated = false) {
+  return Lit{2 * V + (Negated ? 1 : 0)};
+}
+constexpr Lit operator~(Lit L) { return Lit{L.X ^ 1}; }
+constexpr bool sign(Lit L) { return L.X & 1; }
+constexpr Var var(Lit L) { return L.X >> 1; }
+constexpr int toInt(Lit L) { return L.X; }
+constexpr Lit LitUndef{-2};
+
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool lboolOf(bool B) { return B ? LBool::True : LBool::False; }
+inline LBool negate(LBool B) {
+  return B == LBool::Undef ? B : lboolOf(B == LBool::False);
+}
+
+enum class SolveStatus : uint8_t { Sat, Unsat, Budget };
+
+/// CDCL solver.  Variables are created with newVar(); clauses over those
+/// variables are added with addClause(); solve() optionally takes
+/// assumption literals that hold only for that call.
+class SatSolver {
+public:
+  SatSolver();
+  ~SatSolver();
+  SatSolver(const SatSolver &) = delete;
+  SatSolver &operator=(const SatSolver &) = delete;
+
+  Var newVar();
+  int numVars() const { return int(Assigns.size()); }
+
+  /// Adds a clause.  Returns false when the solver becomes trivially
+  /// unsatisfiable at the top level (empty clause).
+  bool addClause(std::vector<Lit> Lits);
+  bool addUnit(Lit L) { return addClause({L}); }
+  bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
+  bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
+
+  /// Solves under the given assumptions.  `ConflictBudget` < 0 means no
+  /// limit; exceeding the budget yields SolveStatus::Budget.
+  SolveStatus solve(const std::vector<Lit> &Assumptions,
+                    int64_t ConflictBudget = -1);
+
+  /// Model access; valid after solve() returned Sat.
+  LBool modelValue(Var V) const { return Model[V]; }
+  bool modelBool(Var V) const { return Model[V] == LBool::True; }
+
+  // Statistics.
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+  size_t numClauses() const { return ProblemClauses; }
+
+private:
+  struct Clause {
+    float Activity = 0;
+    bool Learnt = false;
+    std::vector<Lit> Lits;
+  };
+
+  // Clause database.
+  std::vector<std::unique_ptr<Clause>> Problem;
+  std::vector<std::unique_ptr<Clause>> Learnts;
+  size_t ProblemClauses = 0;
+
+  // Watch lists, indexed by toInt(lit): clauses in which `lit` is watched.
+  std::vector<std::vector<Clause *>> Watches;
+
+  // Assignment state.
+  std::vector<LBool> Assigns;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  std::vector<Clause *> Reasons;
+  std::vector<int> Levels;
+  size_t QHead = 0;
+  bool OkFlag = true;
+
+  // Branching heuristics.
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  std::vector<bool> Polarity;
+  std::vector<int> HeapPos; // position in OrderHeap, -1 if absent
+  std::vector<Var> OrderHeap;
+  float ClaInc = 1.0f;
+
+  // Model (copy of assignments on Sat).
+  std::vector<LBool> Model;
+
+  // Statistics.
+  uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
+
+  LBool value(Lit L) const {
+    LBool B = Assigns[var(L)];
+    return sign(L) ? negate(B) : B;
+  }
+  LBool value(Var V) const { return Assigns[V]; }
+  int decisionLevel() const { return int(TrailLim.size()); }
+
+  void attachClause(Clause *C);
+  void uncheckedEnqueue(Lit L, Clause *From);
+  Clause *propagate();
+  void analyze(Clause *Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel);
+  void backtrackTo(int Level);
+  Lit pickBranchLit();
+  void varBumpActivity(Var V);
+  void varDecayActivity() { VarInc /= 0.95; }
+  void claBumpActivity(Clause &C);
+  void heapInsert(Var V);
+  void heapPercolateUp(int Pos);
+  void heapPercolateDown(int Pos);
+  Var heapRemoveMax();
+  void reduceDB();
+};
+
+} // namespace efc::sat
+
+#endif // EFC_SOLVER_SATSOLVER_H

@@ -1,0 +1,367 @@
+//===- stdlib/Reference.cpp -----------------------------------------------===//
+
+#include "stdlib/Reference.h"
+
+using namespace efc;
+
+std::optional<std::u16string> ref::utf8Decode2(std::string_view Bytes) {
+  std::u16string Out;
+  Out.reserve(Bytes.size());
+  for (size_t I = 0; I < Bytes.size();) {
+    unsigned char B = Bytes[I];
+    if (B <= 0x7F) {
+      Out.push_back(char16_t(B));
+      ++I;
+    } else if (B >= 0xC2 && B <= 0xDF) {
+      if (I + 1 >= Bytes.size())
+        return std::nullopt;
+      unsigned char C = Bytes[I + 1];
+      if (C < 0x80 || C > 0xBF)
+        return std::nullopt;
+      Out.push_back(char16_t(((B & 0x3F) << 6) | (C & 0x3F)));
+      I += 2;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return Out;
+}
+
+std::optional<std::u16string> ref::utf8Decode(std::string_view Bytes) {
+  std::u16string Out;
+  Out.reserve(Bytes.size());
+  size_t I = 0;
+  while (I < Bytes.size()) {
+    unsigned char B = Bytes[I];
+    uint32_t Cp = 0;
+    size_t Len = 0;
+    if (B <= 0x7F) {
+      Cp = B;
+      Len = 1;
+    } else if (B >= 0xC2 && B <= 0xDF) {
+      Cp = B & 0x1F;
+      Len = 2;
+    } else if (B >= 0xE0 && B <= 0xEF) {
+      Cp = B & 0x0F;
+      Len = 3;
+    } else if (B >= 0xF0 && B <= 0xF4) {
+      Cp = B & 0x07;
+      Len = 4;
+    } else {
+      return std::nullopt;
+    }
+    if (I + Len > Bytes.size())
+      return std::nullopt;
+    for (size_t K = 1; K < Len; ++K) {
+      unsigned char C = Bytes[I + K];
+      if (C < 0x80 || C > 0xBF)
+        return std::nullopt;
+      Cp = (Cp << 6) | (C & 0x3F);
+    }
+    if (Cp <= 0xFFFF) {
+      Out.push_back(char16_t(Cp));
+    } else {
+      uint32_t Off = Cp - 0x10000;
+      Out.push_back(char16_t(0xD800 + (Off >> 10)));
+      Out.push_back(char16_t(0xDC00 + (Off & 0x3FF)));
+    }
+    I += Len;
+  }
+  return Out;
+}
+
+std::optional<std::string> ref::utf8Encode(std::u16string_view Chars) {
+  std::string Out;
+  Out.reserve(Chars.size() * 2);
+  for (size_t I = 0; I < Chars.size(); ++I) {
+    uint32_t C = Chars[I];
+    if (C <= 0x7F) {
+      Out.push_back(char(C));
+    } else if (C <= 0x7FF) {
+      Out.push_back(char(0xC0 | (C >> 6)));
+      Out.push_back(char(0x80 | (C & 0x3F)));
+    } else if (C >= 0xD800 && C <= 0xDBFF) {
+      if (I + 1 >= Chars.size())
+        return std::nullopt;
+      uint32_t L = Chars[I + 1];
+      if (L < 0xDC00 || L > 0xDFFF)
+        return std::nullopt;
+      uint32_t Cp = 0x10000 + ((C & 0x3FF) << 10) + (L & 0x3FF);
+      Out.push_back(char(0xF0 | (Cp >> 18)));
+      Out.push_back(char(0x80 | ((Cp >> 12) & 0x3F)));
+      Out.push_back(char(0x80 | ((Cp >> 6) & 0x3F)));
+      Out.push_back(char(0x80 | (Cp & 0x3F)));
+      ++I;
+    } else if (C >= 0xDC00 && C <= 0xDFFF) {
+      return std::nullopt;
+    } else {
+      Out.push_back(char(0xE0 | (C >> 12)));
+      Out.push_back(char(0x80 | ((C >> 6) & 0x3F)));
+      Out.push_back(char(0x80 | (C & 0x3F)));
+    }
+  }
+  return Out;
+}
+
+static const char Base64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::string ref::base64Encode(std::string_view Bytes) {
+  std::string Out;
+  Out.reserve((Bytes.size() + 2) / 3 * 4);
+  size_t I = 0;
+  for (; I + 3 <= Bytes.size(); I += 3) {
+    uint32_t V = (uint32_t(uint8_t(Bytes[I])) << 16) |
+                 (uint32_t(uint8_t(Bytes[I + 1])) << 8) |
+                 uint32_t(uint8_t(Bytes[I + 2]));
+    Out.push_back(Base64Alphabet[(V >> 18) & 0x3F]);
+    Out.push_back(Base64Alphabet[(V >> 12) & 0x3F]);
+    Out.push_back(Base64Alphabet[(V >> 6) & 0x3F]);
+    Out.push_back(Base64Alphabet[V & 0x3F]);
+  }
+  size_t Rest = Bytes.size() - I;
+  if (Rest == 1) {
+    uint32_t V = uint32_t(uint8_t(Bytes[I]));
+    Out.push_back(Base64Alphabet[(V >> 2) & 0x3F]);
+    Out.push_back(Base64Alphabet[(V & 0x3) << 4]);
+    Out.push_back('=');
+    Out.push_back('=');
+  } else if (Rest == 2) {
+    uint32_t V = (uint32_t(uint8_t(Bytes[I])) << 8) |
+                 uint32_t(uint8_t(Bytes[I + 1]));
+    Out.push_back(Base64Alphabet[(V >> 10) & 0x3F]);
+    Out.push_back(Base64Alphabet[(V >> 4) & 0x3F]);
+    Out.push_back(Base64Alphabet[(V & 0xF) << 2]);
+    Out.push_back('=');
+  }
+  return Out;
+}
+
+std::optional<std::string> ref::base64Decode(std::string_view Text) {
+  auto SymValue = [](char C) -> int {
+    if (C >= 'A' && C <= 'Z')
+      return C - 'A';
+    if (C >= 'a' && C <= 'z')
+      return C - 'a' + 26;
+    if (C >= '0' && C <= '9')
+      return C - '0' + 52;
+    if (C == '+')
+      return 62;
+    if (C == '/')
+      return 63;
+    return -1;
+  };
+  std::string Out;
+  Out.reserve(Text.size() / 4 * 3);
+  uint32_t Acc = 0;
+  int Pos = 0;
+  size_t I = 0;
+  for (; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (C == '=')
+      break;
+    int V = SymValue(C);
+    if (V < 0)
+      return std::nullopt;
+    Acc = (Acc << 6) | uint32_t(V);
+    if (++Pos == 4) {
+      Out.push_back(char((Acc >> 16) & 0xFF));
+      Out.push_back(char((Acc >> 8) & 0xFF));
+      Out.push_back(char(Acc & 0xFF));
+      Acc = 0;
+      Pos = 0;
+    }
+  }
+  // Padding handling.
+  size_t Pads = 0;
+  for (; I < Text.size(); ++I) {
+    if (Text[I] != '=')
+      return std::nullopt;
+    ++Pads;
+  }
+  if (Pos == 0 && Pads == 0)
+    return Out;
+  if (Pos == 2 && Pads == 2) {
+    Out.push_back(char((Acc >> 4) & 0xFF));
+    return Out;
+  }
+  if (Pos == 3 && Pads == 1) {
+    Out.push_back(char((Acc >> 10) & 0xFF));
+    Out.push_back(char((Acc >> 2) & 0xFF));
+    return Out;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> ref::toInt(std::u16string_view Chars) {
+  if (Chars.empty())
+    return std::nullopt;
+  uint32_t V = 0;
+  for (char16_t C : Chars) {
+    if (C < u'0' || C > u'9')
+      return std::nullopt;
+    V = V * 10 + uint32_t(C - u'0');
+  }
+  return V;
+}
+
+std::u16string ref::intToDecimal(uint32_t V) {
+  char Buf[16];
+  int N = snprintf(Buf, sizeof(Buf), "%u", V);
+  std::u16string Out;
+  for (int I = 0; I < N; ++I)
+    Out.push_back(char16_t(Buf[I]));
+  return Out;
+}
+
+std::u16string ref::repair(std::u16string_view Chars) {
+  std::u16string Out;
+  Out.reserve(Chars.size());
+  bool Pending = false;
+  char16_t High = 0;
+  for (char16_t C : Chars) {
+    bool IsHigh = C >= 0xD800 && C <= 0xDBFF;
+    bool IsLow = C >= 0xDC00 && C <= 0xDFFF;
+    if (Pending) {
+      if (IsLow) {
+        Out.push_back(High);
+        Out.push_back(C);
+        Pending = false;
+        continue;
+      }
+      Out.push_back(u'\xFFFD');
+      Pending = false;
+    }
+    if (IsHigh) {
+      Pending = true;
+      High = C;
+    } else if (IsLow) {
+      Out.push_back(u'\xFFFD');
+    } else {
+      Out.push_back(C);
+    }
+  }
+  if (Pending)
+    Out.push_back(u'\xFFFD');
+  return Out;
+}
+
+namespace {
+
+bool isHtmlSafe(uint32_t C) {
+  return C == 0x20 || C == 0x21 || C == 0x3D || (C >= 0x23 && C <= 0x25) ||
+         (C >= 0x28 && C <= 0x3B) || (C >= 0x3F && C <= 0x7E) ||
+         (C >= 0xA1 && C <= 0xAC) || (C >= 0xAE && C <= 0x36F);
+}
+
+void encodeCodePoint(uint32_t C, std::u16string &Out) {
+  auto Append = [&Out](const char *S) {
+    while (*S)
+      Out.push_back(char16_t(*S++));
+  };
+  switch (C) {
+  case 0x22:
+    Append("&quot;");
+    return;
+  case 0x26:
+    Append("&amp;");
+    return;
+  case 0x3C:
+    Append("&lt;");
+    return;
+  case 0x3E:
+    Append("&gt;");
+    return;
+  default: {
+    char Buf[16];
+    int N = snprintf(Buf, sizeof(Buf), "&#%u;", C);
+    for (int I = 0; I < N; ++I)
+      Out.push_back(char16_t(Buf[I]));
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::u16string ref::htmlEncode(std::u16string_view Chars) {
+  std::u16string Out;
+  Out.reserve(Chars.size());
+  for (size_t I = 0; I < Chars.size(); ++I) {
+    uint32_t C = Chars[I];
+    if (isHtmlSafe(C)) {
+      Out.push_back(char16_t(C));
+      continue;
+    }
+    if (C >= 0xD800 && C <= 0xDBFF && I + 1 < Chars.size()) {
+      uint32_t L = Chars[I + 1];
+      uint32_t Cp = (((C & 0x3FF) + 0x40) << 10) | (L & 0x3FF);
+      encodeCodePoint(Cp, Out);
+      ++I;
+      continue;
+    }
+    encodeCodePoint(C, Out);
+  }
+  return Out;
+}
+
+std::u16string ref::antiXssHtmlEncode(std::u16string_view Chars) {
+  // Hand-fused: repair and encode in one pass, no intermediate buffer.
+  std::u16string Out;
+  Out.reserve(Chars.size());
+  bool Pending = false;
+  char16_t High = 0;
+  auto EmitRepaired = [&Out](uint32_t C) {
+    if (isHtmlSafe(C))
+      Out.push_back(char16_t(C));
+    else
+      encodeCodePoint(C, Out);
+  };
+  for (char16_t C : Chars) {
+    bool IsHigh = C >= 0xD800 && C <= 0xDBFF;
+    bool IsLow = C >= 0xDC00 && C <= 0xDFFF;
+    if (Pending) {
+      Pending = false;
+      if (IsLow) {
+        uint32_t Cp = (((High & 0x3FF) + 0x40) << 10) | (C & 0x3FF);
+        encodeCodePoint(Cp, Out);
+        continue;
+      }
+      EmitRepaired(0xFFFD);
+    }
+    if (IsHigh) {
+      Pending = true;
+      High = C;
+    } else if (IsLow) {
+      EmitRepaired(0xFFFD);
+    } else {
+      EmitRepaired(C);
+    }
+  }
+  if (Pending)
+    EmitRepaired(0xFFFD);
+  return Out;
+}
+
+std::vector<uint32_t> ref::windowedAverage(const std::vector<uint32_t> &In,
+                                           unsigned Window) {
+  std::vector<uint32_t> Out;
+  if (In.size() < Window)
+    return Out;
+  uint32_t Sum = 0;
+  for (unsigned I = 0; I < Window; ++I)
+    Sum += In[I];
+  Out.push_back(Sum / Window);
+  for (size_t I = Window; I < In.size(); ++I) {
+    Sum += In[I] - In[I - Window];
+    Out.push_back(Sum / Window);
+  }
+  return Out;
+}
+
+std::vector<uint32_t> ref::deltas(const std::vector<uint32_t> &In) {
+  std::vector<uint32_t> Out;
+  for (size_t I = 1; I < In.size(); ++I)
+    Out.push_back(In[I] - In[I - 1]);
+  return Out;
+}

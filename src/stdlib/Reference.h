@@ -1,0 +1,60 @@
+//===- stdlib/Reference.h - Hand-written reference pipelines ----*- C++ -*-===//
+///
+/// \file
+/// Straightforward hand-written C++ implementations of the pipeline stages.
+/// They serve two roles: ground truth for the transducer test-suite, and
+/// the "Hand-written" variant measured in the benchmark harness (the
+/// paper's hand-written baselines use arrays as buffers between phases;
+/// these do the same).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_STDLIB_REFERENCE_H
+#define EFC_STDLIB_REFERENCE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efc::ref {
+
+/// UTF-8 (1..4 bytes) to UTF-16; nullopt on malformed input.
+std::optional<std::u16string> utf8Decode(std::string_view Bytes);
+
+/// UTF-8 decode restricted to 1- and 2-byte sequences (the paper's §1
+/// example); decoded units are returned as UTF-16 code units.
+std::optional<std::u16string> utf8Decode2(std::string_view Bytes);
+
+/// UTF-16 to UTF-8; nullopt on lone surrogates.
+std::optional<std::string> utf8Encode(std::u16string_view Chars);
+
+std::string base64Encode(std::string_view Bytes);
+std::optional<std::string> base64Decode(std::string_view Text);
+
+/// Whole-string decimal parse, as ToInt: nullopt on empty or non-digit.
+std::optional<uint32_t> toInt(std::u16string_view Chars);
+
+std::u16string intToDecimal(uint32_t V);
+
+/// Surrogate repair (paper Figure 12, Rep).
+std::u16string repair(std::u16string_view Chars);
+
+/// Hand-fused AntiXssEncoder.HtmlEncode equivalent: repair + HTML encode
+/// in a single pass (decimal escape style).
+std::u16string antiXssHtmlEncode(std::u16string_view Chars);
+
+/// HTML encode assuming already-repaired input (HtmlEncode alone).
+std::u16string htmlEncode(std::u16string_view Chars);
+
+/// Running average with the given window; one output per input once the
+/// window is full.
+std::vector<uint32_t> windowedAverage(const std::vector<uint32_t> &In,
+                                      unsigned Window);
+
+std::vector<uint32_t> deltas(const std::vector<uint32_t> &In);
+
+} // namespace efc::ref
+
+#endif // EFC_STDLIB_REFERENCE_H

@@ -1,0 +1,102 @@
+//===- stdlib/Transducers.h - The paper's transducer zoo --------*- C++ -*-===//
+///
+/// \file
+/// Ready-made BSTs for the comprehensions used throughout the paper:
+/// UTF-8 decode/encode, Base64, integer parsing/formatting, HTML encoding
+/// with surrogate repair, aggregators, deltas and windowed averages.
+/// Each factory returns a well-formed transducer over the given context.
+///
+/// Conventions: bytes are bv8, UTF-16 code units ("char") are bv16, ints
+/// are bv32.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_STDLIB_TRANSDUCERS_H
+#define EFC_STDLIB_TRANSDUCERS_H
+
+#include "bst/Bst.h"
+
+namespace efc::lib {
+
+/// Paper Figure 2(a)/4(a): UTF-8 decoder restricted to 1- and 2-byte
+/// encodings.  bv8 -> bv16, register bv16.
+Bst makeUtf8Decode2(TermContext &Ctx);
+
+/// Full UTF-8 decoder (1..4 byte sequences) producing UTF-16 code units
+/// (surrogate pairs for supplementary planes).  bv8 -> bv16.
+Bst makeUtf8Decode(TermContext &Ctx);
+
+/// UTF-16 to UTF-8 encoder.  bv16 -> bv8.  Assumes well-formed surrogate
+/// pairs (rejects lone surrogates).
+Bst makeUtf8Encode(TermContext &Ctx);
+
+/// Paper Figure 2(b)/4(b): parses the whole input as one non-negative
+/// decimal integer.  bv16 -> bv32.
+Bst makeToInt(TermContext &Ctx);
+
+/// Parses "true" / "false" (as UTF-16 chars) into a single boolean-as-int
+/// output (1/0).  bv16 -> bv32.
+Bst makeToBool(TermContext &Ctx);
+
+/// Formats each input int as its decimal digits (as UTF-16 chars) followed
+/// by '\n'.  bv32 -> bv16.  Handles values up to 10 digits.
+Bst makeIntToDecimalLines(TermContext &Ctx);
+
+/// Formats each input int as decimal digits with no separator; used as the
+/// final single-value formatting stage.  bv32 -> bv16.
+Bst makeIntToDecimal(TermContext &Ctx);
+
+/// Formats each input int as `Prefix<digits>Suffix` (ASCII affixes), e.g.
+/// the TPC-DI pipeline's "INSERT INTO account VALUES (<id>);\n".
+/// bv32 -> bv16.
+Bst makeIntWrap(TermContext &Ctx, const std::string &Prefix,
+                const std::string &Suffix);
+
+/// Base64 decoder: 4 symbol chars -> 3 bytes ('=' padding supported at
+/// end of input).  bv8 -> bv8 (ASCII in, raw bytes out).
+Bst makeBase64Decode(TermContext &Ctx);
+
+/// Base64 encoder: 3 bytes -> 4 ASCII chars with '=' padding emitted by
+/// the finalizer.  bv8 -> bv8.
+Bst makeBase64Encode(TermContext &Ctx);
+
+/// Assembles each 4 consecutive little-endian bytes into one int.
+/// bv8 -> bv32.  Rejects trailing partial groups.
+Bst makeBytesToInt32(TermContext &Ctx);
+
+/// Serializes each int to 4 little-endian bytes.  bv32 -> bv8.
+Bst makeInt32ToBytes(TermContext &Ctx);
+
+/// Running average with the given window (paper's Base64-avg uses 10):
+/// once the window is full, outputs the average of the last `Window`
+/// inputs for every new input.  bv32 -> bv32.
+Bst makeWindowedAverage(TermContext &Ctx, unsigned Window);
+
+/// Deltas of successive inputs (x_i - x_{i-1}); nothing for the first.
+/// bv32 -> bv32.
+Bst makeDelta(TermContext &Ctx);
+
+/// Aggregators over the whole stream, emitting one value at end of input.
+/// bv32 -> bv32.
+Bst makeMax(TermContext &Ctx);
+Bst makeMin(TermContext &Ctx);
+Bst makeSum(TermContext &Ctx);
+/// Average = sum / count (count in register; emits 0 for empty input? no:
+/// rejects empty input like the paper's Aggregate with no seed).
+Bst makeAverage(TermContext &Ctx);
+
+/// Counts '\n' characters and emits the count at end of input.
+/// bv16 -> bv32.
+Bst makeLineCount(TermContext &Ctx);
+
+/// Paper Figure 12 (left): surrogate repair — replaces misplaced
+/// surrogates with U+FFFD.  bv16 -> bv16.
+Bst makeRep(TermContext &Ctx);
+
+/// Paper Figure 12 (right): HTML encoder with decimal escapes, assuming
+/// well-formed surrogate pairs.  bv16 -> bv16.
+Bst makeHtmlEncode(TermContext &Ctx);
+
+} // namespace efc::lib
+
+#endif // EFC_STDLIB_TRANSDUCERS_H

@@ -1,0 +1,142 @@
+//===- stdlib/TransducersAgg.cpp - Aggregators, delta, windowed average ---===//
+
+#include "stdlib/Transducers.h"
+
+using namespace efc;
+
+namespace {
+
+/// Common shape for max/min/sum: register (acc : bv32, defined : bool).
+Bst makeFold(TermContext &Ctx,
+             TermRef (*Combine)(TermContext &, TermRef Acc, TermRef X)) {
+  const Type *IntTy = Ctx.bv(32);
+  const Type *RegTy = Ctx.pairTy(IntTy, Ctx.boolTy());
+  Bst A(Ctx, IntTy, IntTy, RegTy, 1, 0,
+        Value::tuple({Value::bv(32, 0), Value::boolV(false)}));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef Acc = Ctx.mkProj1(R);
+  TermRef Defined = Ctx.mkProj2(R);
+  A.setDelta(0, Rule::ite(Defined,
+                          Rule::base({}, 0,
+                                     Ctx.mkPair(Combine(Ctx, Acc, X),
+                                                Ctx.trueConst())),
+                          Rule::base({}, 0, Ctx.mkPair(X, Ctx.trueConst()))));
+  A.setFinalizer(0, Rule::ite(Defined,
+                              Rule::base({Acc}, 0,
+                                         Ctx.constOf(RegTy,
+                                                     A.initialRegister())),
+                              Rule::undef()));
+  return A;
+}
+
+} // namespace
+
+Bst efc::lib::makeMax(TermContext &Ctx) {
+  return makeFold(Ctx, +[](TermContext &C, TermRef Acc, TermRef X) {
+    return C.mkIte(C.mkUlt(Acc, X), X, Acc);
+  });
+}
+
+Bst efc::lib::makeMin(TermContext &Ctx) {
+  return makeFold(Ctx, +[](TermContext &C, TermRef Acc, TermRef X) {
+    return C.mkIte(C.mkUlt(X, Acc), X, Acc);
+  });
+}
+
+Bst efc::lib::makeSum(TermContext &Ctx) {
+  return makeFold(Ctx, +[](TermContext &C, TermRef Acc, TermRef X) {
+    return C.mkAdd(Acc, X);
+  });
+}
+
+Bst efc::lib::makeAverage(TermContext &Ctx) {
+  const Type *IntTy = Ctx.bv(32);
+  const Type *RegTy = Ctx.pairTy(IntTy, IntTy); // (sum, count)
+  Bst A(Ctx, IntTy, IntTy, RegTy, 1, 0,
+        Value::tuple({Value::bv(32, 0), Value::bv(32, 0)}));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef Sum = Ctx.mkProj1(R);
+  TermRef Cnt = Ctx.mkProj2(R);
+  A.setDelta(0, Rule::base({}, 0,
+                           Ctx.mkPair(Ctx.mkAdd(Sum, X),
+                                      Ctx.mkAdd(Cnt, Ctx.bvConst(32, 1)))));
+  A.setFinalizer(0, Rule::ite(Ctx.mkEq(Cnt, Ctx.bvConst(32, 0)),
+                              Rule::undef(),
+                              Rule::base({Ctx.mkUDiv(Sum, Cnt)}, 0,
+                                         Ctx.constOf(RegTy,
+                                                     A.initialRegister()))));
+  return A;
+}
+
+Bst efc::lib::makeDelta(TermContext &Ctx) {
+  const Type *IntTy = Ctx.bv(32);
+  const Type *RegTy = Ctx.pairTy(IntTy, Ctx.boolTy()); // (prev, defined)
+  Bst A(Ctx, IntTy, IntTy, RegTy, 1, 0,
+        Value::tuple({Value::bv(32, 0), Value::boolV(false)}));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef Prev = Ctx.mkProj1(R);
+  TermRef Defined = Ctx.mkProj2(R);
+  TermRef Next = Ctx.mkPair(X, Ctx.trueConst());
+  A.setDelta(0, Rule::ite(Defined,
+                          Rule::base({Ctx.mkSub(X, Prev)}, 0, Next),
+                          Rule::base({}, 0, Next)));
+  A.setFinalizer(0, Rule::base({}, 0,
+                               Ctx.constOf(RegTy, A.initialRegister())));
+  return A;
+}
+
+Bst efc::lib::makeWindowedAverage(TermContext &Ctx, unsigned Window) {
+  assert(Window >= 2 && Window <= 32);
+  const Type *IntTy = Ctx.bv(32);
+  // Register: Window slots, running sum, position, full flag.
+  std::vector<const Type *> Fields(Window, IntTy);
+  Fields.push_back(IntTy); // sum
+  Fields.push_back(IntTy); // pos
+  Fields.push_back(Ctx.boolTy());
+  const Type *RegTy = Ctx.tupleTy(Fields);
+  std::vector<Value> Init(Window, Value::bv(32, 0));
+  Init.push_back(Value::bv(32, 0));
+  Init.push_back(Value::bv(32, 0));
+  Init.push_back(Value::boolV(false));
+  Bst A(Ctx, IntTy, IntTy, RegTy, 1, 0, Value::tuple(Init));
+
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  const unsigned SumIdx = Window, PosIdx = Window + 1, FullIdx = Window + 2;
+  TermRef Sum = Ctx.mkTupleGet(R, SumIdx);
+  TermRef Pos = Ctx.mkTupleGet(R, PosIdx);
+  TermRef Full = Ctx.mkTupleGet(R, FullIdx);
+
+  // Oldest slot: selected by position.
+  TermRef Oldest = Ctx.mkTupleGet(R, 0);
+  for (unsigned I = 1; I < Window; ++I)
+    Oldest = Ctx.mkIte(Ctx.mkEq(Pos, Ctx.bvConst(32, I)),
+                       Ctx.mkTupleGet(R, I), Oldest);
+
+  TermRef Evicted = Ctx.mkIte(Full, Oldest, Ctx.bvConst(32, 0));
+  TermRef NewSum = Ctx.mkSub(Ctx.mkAdd(Sum, X), Evicted);
+  TermRef AtWrap = Ctx.mkEq(Pos, Ctx.bvConst(32, Window - 1));
+  TermRef NewPos = Ctx.mkIte(AtWrap, Ctx.bvConst(32, 0),
+                             Ctx.mkAdd(Pos, Ctx.bvConst(32, 1)));
+  TermRef NewFull = Ctx.mkOr(Full, AtWrap);
+
+  std::vector<TermRef> NewFields;
+  for (unsigned I = 0; I < Window; ++I)
+    NewFields.push_back(Ctx.mkIte(Ctx.mkEq(Pos, Ctx.bvConst(32, I)), X,
+                                  Ctx.mkTupleGet(R, I)));
+  NewFields.push_back(NewSum);
+  NewFields.push_back(NewPos);
+  NewFields.push_back(NewFull);
+  TermRef Update = Ctx.mkTuple(NewFields);
+
+  // Emit the running average whenever the window is (or just became) full.
+  TermRef Ready = Ctx.mkOr(Full, AtWrap);
+  TermRef Avg = Ctx.mkUDiv(NewSum, Ctx.bvConst(32, Window));
+  A.setDelta(0, Rule::ite(Ready, Rule::base({Avg}, 0, Update),
+                          Rule::base({}, 0, Update)));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  return A;
+}

@@ -1,0 +1,157 @@
+//===- stdlib/TransducersBase64.cpp - Base64 and int (de)serialization ----===//
+
+#include "stdlib/Transducers.h"
+
+#include <functional>
+
+using namespace efc;
+
+namespace {
+
+/// Instantiates per-class branches for a Base64 symbol: calls \p MakeLeaf
+/// with the 6-bit value term for each character class, producing a rule
+/// that rejects non-symbol characters (unless \p Tail overrides).
+RulePtr forEachBase64Class(
+    TermContext &Ctx, TermRef X,
+    const std::function<RulePtr(TermRef V)> &MakeLeaf, RulePtr Tail) {
+  TermRef X32 = Ctx.mkZExt(X, 32);
+  auto Sub = [&](uint64_t C) {
+    return Ctx.mkSub(X32, Ctx.bvConst(32, C));
+  };
+  auto Add = [&](uint64_t C) {
+    return Ctx.mkAdd(X32, Ctx.bvConst(32, C));
+  };
+  // 'A'-'Z' -> 0..25, 'a'-'z' -> 26..51, '0'-'9' -> 52..61, '+' -> 62,
+  // '/' -> 63.
+  RulePtr R = std::move(Tail);
+  R = Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, '/')),
+                MakeLeaf(Ctx.bvConst(32, 63)), std::move(R));
+  R = Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, '+')),
+                MakeLeaf(Ctx.bvConst(32, 62)), std::move(R));
+  R = Rule::ite(Ctx.mkInRange(X, '0', '9'), MakeLeaf(Add(4)), std::move(R));
+  R = Rule::ite(Ctx.mkInRange(X, 'a', 'z'), MakeLeaf(Sub(71)), std::move(R));
+  R = Rule::ite(Ctx.mkInRange(X, 'A', 'Z'), MakeLeaf(Sub(65)), std::move(R));
+  return R;
+}
+
+/// The Base64 alphabet character for a 6-bit value term, as an ite-term.
+TermRef base64Char(TermContext &Ctx, TermRef V) {
+  auto C = [&](uint64_t K) { return Ctx.bvConst(32, K); };
+  TermRef R = Ctx.mkIte(Ctx.mkUlt(V, C(26)), Ctx.mkAdd(V, C('A')),
+                        Ctx.mkIte(Ctx.mkUlt(V, C(52)), Ctx.mkAdd(V, C(71)),
+                                  Ctx.mkIte(Ctx.mkUlt(V, C(62)),
+                                            Ctx.mkSub(V, C(4)),
+                                            Ctx.mkIte(Ctx.mkEq(V, C(62)),
+                                                      C('+'), C('/')))));
+  return Ctx.mkExtract(R, 7, 0);
+}
+
+} // namespace
+
+Bst efc::lib::makeBase64Decode(TermContext &Ctx) {
+  const Type *ByteTy = Ctx.bv(8);
+  const Type *RegTy = Ctx.bv(32);
+  // States: 0..3 position within the quad; 4 = after first '=' of "==";
+  // 5 = terminal after padding.
+  Bst A(Ctx, ByteTy, ByteTy, RegTy, 6, 0, Value::bv(32, 0));
+  A.setStateName(4, "pad1");
+  A.setStateName(5, "end");
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef Zero = Ctx.bvConst(32, 0);
+  TermRef EqPad = Ctx.mkEq(X, Ctx.bvConst(8, '='));
+  auto Byte = [&](TermRef T32) { return Ctx.mkExtract(T32, 7, 0); };
+
+  A.setDelta(0, forEachBase64Class(
+                    Ctx, X,
+                    [&](TermRef V) { return Rule::base({}, 1, V); },
+                    Rule::undef()));
+  A.setDelta(1, forEachBase64Class(
+                    Ctx, X,
+                    [&](TermRef V) {
+                      // out = (r << 2) | (v >> 4); keep low 4 bits of v.
+                      return Rule::base(
+                          {Byte(Ctx.mkBvOr(Ctx.mkShlC(R, 2),
+                                           Ctx.mkLShrC(V, 4)))},
+                          2, Ctx.mkBvAnd(V, Ctx.bvConst(32, 0xF)));
+                    },
+                    Rule::undef()));
+  A.setDelta(2, forEachBase64Class(
+                    Ctx, X,
+                    [&](TermRef V) {
+                      return Rule::base(
+                          {Byte(Ctx.mkBvOr(Ctx.mkShlC(R, 4),
+                                           Ctx.mkLShrC(V, 2)))},
+                          3, Ctx.mkBvAnd(V, Ctx.bvConst(32, 0x3)));
+                    },
+                    Rule::ite(EqPad, Rule::base({}, 4, Zero),
+                              Rule::undef())));
+  A.setDelta(3, forEachBase64Class(
+                    Ctx, X,
+                    [&](TermRef V) {
+                      return Rule::base({Byte(Ctx.mkBvOr(Ctx.mkShlC(R, 6),
+                                                         V))},
+                                        0, Zero);
+                    },
+                    Rule::ite(EqPad, Rule::base({}, 5, Zero),
+                              Rule::undef())));
+  A.setDelta(4, Rule::ite(EqPad, Rule::base({}, 5, Zero), Rule::undef()));
+  // State 5 accepts nothing further.
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  A.setFinalizer(5, Rule::base({}, 5, Zero));
+  return A;
+}
+
+Bst efc::lib::makeBase64Encode(TermContext &Ctx) {
+  const Type *ByteTy = Ctx.bv(8);
+  const Type *RegTy = Ctx.bv(32);
+  Bst A(Ctx, ByteTy, ByteTy, RegTy, 3, 0, Value::bv(32, 0));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef X32 = Ctx.mkZExt(X, 32);
+  TermRef Zero = Ctx.bvConst(32, 0);
+  TermRef Pad = Ctx.bvConst(8, '=');
+
+  A.setDelta(0, Rule::base({base64Char(Ctx, Ctx.mkLShrC(X32, 2))}, 1,
+                           Ctx.mkShlC(Ctx.mkBvAnd(X32, Ctx.bvConst(32, 0x3)),
+                                      4)));
+  A.setDelta(1, Rule::base({base64Char(
+                               Ctx, Ctx.mkBvOr(R, Ctx.mkLShrC(X32, 4)))},
+                           2,
+                           Ctx.mkShlC(Ctx.mkBvAnd(X32, Ctx.bvConst(32, 0xF)),
+                                      2)));
+  A.setDelta(2, Rule::base({base64Char(
+                                Ctx, Ctx.mkBvOr(R, Ctx.mkLShrC(X32, 6))),
+                            base64Char(Ctx,
+                                       Ctx.mkBvAnd(X32,
+                                                   Ctx.bvConst(32, 0x3F)))},
+                           0, Zero));
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  A.setFinalizer(1, Rule::base({base64Char(Ctx, R), Pad, Pad}, 1, Zero));
+  A.setFinalizer(2, Rule::base({base64Char(Ctx, R), Pad}, 2, Zero));
+  return A;
+}
+
+Bst efc::lib::makeBytesToInt32(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(32), Ctx.bv(32), 4, 0, Value::bv(32, 0));
+  TermRef X32 = Ctx.mkZExt(A.inputVar(), 32);
+  TermRef R = A.regVar();
+  TermRef Zero = Ctx.bvConst(32, 0);
+  A.setDelta(0, Rule::base({}, 1, X32));
+  A.setDelta(1, Rule::base({}, 2, Ctx.mkBvOr(R, Ctx.mkShlC(X32, 8))));
+  A.setDelta(2, Rule::base({}, 3, Ctx.mkBvOr(R, Ctx.mkShlC(X32, 16))));
+  A.setDelta(3, Rule::base({Ctx.mkBvOr(R, Ctx.mkShlC(X32, 24))}, 0, Zero));
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  return A;
+}
+
+Bst efc::lib::makeInt32ToBytes(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(32), Ctx.bv(8), Ctx.unitTy(), 1, 0, Value::unit());
+  TermRef X = A.inputVar();
+  A.setDelta(0, Rule::base({Ctx.mkExtract(X, 7, 0), Ctx.mkExtract(X, 15, 8),
+                            Ctx.mkExtract(X, 23, 16),
+                            Ctx.mkExtract(X, 31, 24)},
+                           0, Ctx.unitConst()));
+  A.setFinalizer(0, Rule::base({}, 0, Ctx.unitConst()));
+  return A;
+}

@@ -1,0 +1,142 @@
+//===- stdlib/TransducersHtml.cpp - Rep and HtmlEncode (paper §6.1) -------===//
+
+#include "stdlib/Transducers.h"
+
+using namespace efc;
+
+namespace {
+
+/// UTF-16 char-code constants for an ASCII string.
+std::vector<TermRef> chars16(TermContext &Ctx, const char *S) {
+  std::vector<TermRef> Out;
+  for (; *S; ++S)
+    Out.push_back(Ctx.bvConst(16, uint64_t(*S)));
+  return Out;
+}
+
+/// The n least-significant decimal digits of \p C (a bv32 term) as UTF-16
+/// chars — the paper's Digits(c, n).
+std::vector<TermRef> digits(TermContext &Ctx, TermRef C, unsigned N) {
+  std::vector<TermRef> Out;
+  uint64_t Pow = 1;
+  for (unsigned I = 1; I < N; ++I)
+    Pow *= 10;
+  for (unsigned I = 0; I < N; ++I) {
+    TermRef D = Ctx.mkURem(Ctx.mkUDiv(C, Ctx.bvConst(32, Pow)),
+                           Ctx.bvConst(32, 10));
+    Out.push_back(Ctx.mkExtract(Ctx.mkAdd(D, Ctx.bvConst(32, 0x30)), 15, 0));
+    Pow /= 10;
+  }
+  return Out;
+}
+
+/// The paper's Encode(c) rule pattern (Figure: §6.1): named entities for
+/// the four HTML metacharacters, decimal escapes otherwise.
+RulePtr encodeRule(TermContext &Ctx, TermRef C, unsigned Target,
+                   TermRef Update) {
+  auto Escape = [&](unsigned NumDigits) {
+    std::vector<TermRef> Out = chars16(Ctx, "&#");
+    for (TermRef D : digits(Ctx, C, NumDigits))
+      Out.push_back(D);
+    Out.push_back(Ctx.bvConst(16, ';'));
+    return Rule::base(std::move(Out), Target, Update);
+  };
+  auto Entity = [&](const char *S) {
+    return Rule::base(chars16(Ctx, S), Target, Update);
+  };
+  auto Lt = [&](uint64_t K, RulePtr T, RulePtr E) {
+    return Rule::ite(Ctx.mkUlt(C, Ctx.bvConst(32, K)), std::move(T),
+                     std::move(E));
+  };
+  auto EqC = [&](uint64_t K, RulePtr T, RulePtr E) {
+    return Rule::ite(Ctx.mkEq(C, Ctx.bvConst(32, K)), std::move(T),
+                     std::move(E));
+  };
+  // Innermost: 7 digits cover the full Unicode range.
+  RulePtr R = Escape(7);
+  R = Lt(1000000, Escape(6), std::move(R));
+  R = Lt(100000, Escape(5), std::move(R));
+  R = Lt(10000, Escape(4), std::move(R));
+  R = Lt(1000, Escape(3), std::move(R));
+  R = Lt(100, Escape(2), std::move(R));
+  R = Lt(10, Escape(1), std::move(R));
+  R = EqC(0x3E, Entity("&gt;"), std::move(R));
+  R = EqC(0x3C, Entity("&lt;"), std::move(R));
+  R = EqC(0x26, Entity("&amp;"), std::move(R));
+  R = EqC(0x22, Entity("&quot;"), std::move(R));
+  return R;
+}
+
+/// The paper's whitelist predicate φ_safe.
+TermRef safePredicate(TermContext &Ctx, TermRef X) {
+  auto In = [&](uint64_t Lo, uint64_t Hi) {
+    return Ctx.mkInRange(X, Lo, Hi);
+  };
+  TermRef P = Ctx.mkOr(In(0x20, 0x21), Ctx.mkEq(X, Ctx.bvConst(16, 0x3D)));
+  P = Ctx.mkOr(P, In(0x23, 0x25));
+  P = Ctx.mkOr(P, In(0x28, 0x3B));
+  P = Ctx.mkOr(P, In(0x3F, 0x7E));
+  P = Ctx.mkOr(P, In(0xA1, 0xAC));
+  P = Ctx.mkOr(P, In(0xAE, 0x36F));
+  return P;
+}
+
+} // namespace
+
+Bst efc::lib::makeRep(TermContext &Ctx) {
+  const Type *CharTy = Ctx.bv(16);
+  Bst A(Ctx, CharTy, CharTy, CharTy, 2, 0, Value::bv(16, 0));
+  A.setStateName(0, "r0");
+  A.setStateName(1, "r1");
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef Zero = Ctx.bvConst(16, 0);
+  TermRef Fffd = Ctx.bvConst(16, 0xFFFD);
+  TermRef HighSurr = Ctx.mkInRange(X, 0xD800, 0xDBFF);
+  TermRef LowSurr = Ctx.mkInRange(X, 0xDC00, 0xDFFF);
+
+  A.setDelta(0, Rule::ite(HighSurr, Rule::base({}, 1, X),
+                          Rule::ite(LowSurr, Rule::base({Fffd}, 0, Zero),
+                                    Rule::base({X}, 0, Zero))));
+  A.setDelta(1, Rule::ite(LowSurr, Rule::base({R, X}, 0, Zero),
+                          Rule::ite(HighSurr, Rule::base({Fffd}, 1, X),
+                                    Rule::base({Fffd, X}, 0, Zero))));
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  A.setFinalizer(1, Rule::base({Fffd}, 1, Zero));
+  return A;
+}
+
+Bst efc::lib::makeHtmlEncode(TermContext &Ctx) {
+  const Type *CharTy = Ctx.bv(16);
+  const Type *RegTy = Ctx.bv(32);
+  Bst A(Ctx, CharTy, CharTy, RegTy, 2, 0, Value::bv(32, 0));
+  A.setStateName(0, "h0");
+  A.setStateName(1, "h1");
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef X32 = Ctx.mkZExt(X, 32);
+  TermRef Zero = Ctx.bvConst(32, 0);
+  TermRef HighSurr = Ctx.mkInRange(X, 0xD800, 0xDBFF);
+  TermRef LowSurr = Ctx.mkInRange(X, 0xDC00, 0xDFFF);
+
+  // h0: whitelisted chars pass; a high surrogate is buffered; a lone low
+  // surrogate is invalid input (HtmlEncode assumes repaired input); other
+  // BMP chars are escaped via Encode(x).
+  A.setDelta(0, Rule::ite(safePredicate(Ctx, X), Rule::base({X}, 0, Zero),
+                          Rule::ite(HighSurr, Rule::base({}, 1, X32),
+                                    Rule::ite(LowSurr, Rule::undef(),
+                                              encodeRule(Ctx, X32, 0,
+                                                         Zero)))));
+  // h1: Encode(CP(r, x)) where CP(h, l) computes the code point.  The
+  // unmasked form (h - 0xD7C0) equals (h & 0x3FF) + 0x40 exactly when h is
+  // a high surrogate — which here is a *state-carried* constraint (h0's
+  // guard on the previous input), so proving the low Encode branches
+  // unreachable requires RBBE, as in the paper's §6.1 discussion.
+  TermRef Cp = Ctx.mkBvOr(
+      Ctx.mkShlC(Ctx.mkSub(R, Ctx.bvConst(32, 0xD7C0)), 10),
+      Ctx.mkBvAnd(X32, Ctx.bvConst(32, 0x3FF)));
+  A.setDelta(1, Rule::ite(LowSurr, encodeRule(Ctx, Cp, 0, Zero),
+                          Rule::undef()));
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  return A;
+}

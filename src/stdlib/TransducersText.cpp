@@ -1,0 +1,323 @@
+//===- stdlib/TransducersText.cpp - UTF-8, ToInt, ToBool, formatting ------===//
+
+#include "stdlib/Transducers.h"
+
+#include <functional>
+
+using namespace efc;
+
+namespace {
+
+/// 10^k for k <= 10 as uint64.
+uint64_t pow10(unsigned K) {
+  uint64_t P = 1;
+  while (K--)
+    P *= 10;
+  return P;
+}
+
+} // namespace
+
+Bst efc::lib::makeUtf8Decode2(TermContext &Ctx) {
+  const Type *ByteTy = Ctx.bv(8);
+  const Type *CharTy = Ctx.bv(16);
+  Bst A(Ctx, ByteTy, CharTy, CharTy, /*NumStates=*/2, /*Init=*/0,
+        Value::bv(16, 0));
+  A.setStateName(0, "q0");
+  A.setStateName(1, "q1");
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef X16 = Ctx.mkZExt(X, 16);
+  TermRef Zero = Ctx.bvConst(16, 0);
+
+  // q0: ASCII passes through; 0xC2..0xDF starts a 2-byte sequence.
+  A.setDelta(
+      0, Rule::ite(Ctx.mkUle(X, Ctx.bvConst(8, 0x7F)),
+                   Rule::base({X16}, 0, Zero),
+                   Rule::ite(Ctx.mkInRange(X, 0xC2, 0xDF),
+                             Rule::base({}, 1,
+                                        Ctx.mkShlC(Ctx.mkBvAnd(
+                                                       X16,
+                                                       Ctx.bvConst(16, 0x3F)),
+                                                   6)),
+                             Rule::undef())));
+  // q1: continuation byte completes the character.
+  A.setDelta(
+      1, Rule::ite(Ctx.mkInRange(X, 0x80, 0xBF),
+                   Rule::base({Ctx.mkBvOr(
+                                  R, Ctx.mkBvAnd(X16, Ctx.bvConst(16, 0x3F)))},
+                              0, Zero),
+                   Rule::undef()));
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  // q1 finalizer stays Undef: truncated sequences reject.
+  return A;
+}
+
+Bst efc::lib::makeUtf8Decode(TermContext &Ctx) {
+  const Type *ByteTy = Ctx.bv(8);
+  const Type *CharTy = Ctx.bv(16);
+  const Type *RegTy = Ctx.bv(32);
+  // States: 0 start/final, 1: one continuation pending, 2/3: two/one pending
+  // (3-byte), 4/5/6: three/two/one pending (4-byte).
+  Bst A(Ctx, ByteTy, CharTy, RegTy, 7, 0, Value::bv(32, 0));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef X32 = Ctx.mkZExt(X, 32);
+  TermRef Zero = Ctx.bvConst(32, 0);
+  TermRef Cont = Ctx.mkInRange(X, 0x80, 0xBF);
+  auto Low6 = Ctx.mkBvAnd(X32, Ctx.bvConst(32, 0x3F));
+  auto ToChar = [&](TermRef T32) { return Ctx.mkExtract(T32, 15, 0); };
+
+  A.setDelta(
+      0,
+      Rule::ite(
+          Ctx.mkUle(X, Ctx.bvConst(8, 0x7F)),
+          Rule::base({ToChar(X32)}, 0, Zero),
+          Rule::ite(
+              Ctx.mkInRange(X, 0xC2, 0xDF),
+              Rule::base({}, 1,
+                         Ctx.mkShlC(Ctx.mkBvAnd(X32, Ctx.bvConst(32, 0x1F)),
+                                    6)),
+              Rule::ite(
+                  Ctx.mkInRange(X, 0xE0, 0xEF),
+                  Rule::base({}, 2,
+                             Ctx.mkShlC(
+                                 Ctx.mkBvAnd(X32, Ctx.bvConst(32, 0x0F)), 12)),
+                  Rule::ite(Ctx.mkInRange(X, 0xF0, 0xF4),
+                            Rule::base({}, 4,
+                                       Ctx.mkShlC(Ctx.mkBvAnd(
+                                                      X32,
+                                                      Ctx.bvConst(32, 0x07)),
+                                                  18)),
+                            Rule::undef())))));
+  // 2-byte completion.
+  A.setDelta(1, Rule::ite(Cont,
+                          Rule::base({ToChar(Ctx.mkBvOr(R, Low6))}, 0, Zero),
+                          Rule::undef()));
+  // 3-byte middle and completion.
+  A.setDelta(2, Rule::ite(Cont,
+                          Rule::base({}, 3,
+                                     Ctx.mkBvOr(R, Ctx.mkShlC(Low6, 6))),
+                          Rule::undef()));
+  A.setDelta(3, Rule::ite(Cont,
+                          Rule::base({ToChar(Ctx.mkBvOr(R, Low6))}, 0, Zero),
+                          Rule::undef()));
+  // 4-byte chain; completion emits a surrogate pair.
+  A.setDelta(4, Rule::ite(Cont,
+                          Rule::base({}, 5,
+                                     Ctx.mkBvOr(R, Ctx.mkShlC(Low6, 12))),
+                          Rule::undef()));
+  A.setDelta(5, Rule::ite(Cont,
+                          Rule::base({}, 6,
+                                     Ctx.mkBvOr(R, Ctx.mkShlC(Low6, 6))),
+                          Rule::undef()));
+  {
+    TermRef Cp = Ctx.mkBvOr(R, Low6);
+    TermRef Off = Ctx.mkSub(Cp, Ctx.bvConst(32, 0x10000));
+    TermRef Hi = Ctx.mkAdd(Ctx.bvConst(32, 0xD800), Ctx.mkLShrC(Off, 10));
+    TermRef Lo = Ctx.mkAdd(Ctx.bvConst(32, 0xDC00),
+                           Ctx.mkBvAnd(Off, Ctx.bvConst(32, 0x3FF)));
+    A.setDelta(6, Rule::ite(Cont,
+                            Rule::base({ToChar(Hi), ToChar(Lo)}, 0, Zero),
+                            Rule::undef()));
+  }
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  return A;
+}
+
+Bst efc::lib::makeUtf8Encode(TermContext &Ctx) {
+  const Type *CharTy = Ctx.bv(16);
+  const Type *ByteTy = Ctx.bv(8);
+  const Type *RegTy = Ctx.bv(32);
+  Bst A(Ctx, CharTy, ByteTy, RegTy, 2, 0, Value::bv(32, 0));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef X32 = Ctx.mkZExt(X, 32);
+  TermRef Zero = Ctx.bvConst(32, 0);
+  auto Byte = [&](TermRef T32) { return Ctx.mkExtract(T32, 7, 0); };
+  auto Or = [&](TermRef A2, uint64_t C) {
+    return Ctx.mkBvOr(A2, Ctx.bvConst(32, C));
+  };
+  auto And = [&](TermRef A2, uint64_t C) {
+    return Ctx.mkBvAnd(A2, Ctx.bvConst(32, C));
+  };
+
+  TermRef HighSurr = Ctx.mkInRange(X, 0xD800, 0xDBFF);
+  TermRef LowSurr = Ctx.mkInRange(X, 0xDC00, 0xDFFF);
+
+  A.setDelta(
+      0,
+      Rule::ite(
+          Ctx.mkUle(X, Ctx.bvConst(16, 0x7F)),
+          Rule::base({Byte(X32)}, 0, Zero),
+          Rule::ite(
+              Ctx.mkUle(X, Ctx.bvConst(16, 0x7FF)),
+              Rule::base({Byte(Or(Ctx.mkLShrC(X32, 6), 0xC0)),
+                          Byte(Or(And(X32, 0x3F), 0x80))},
+                         0, Zero),
+              Rule::ite(
+                  HighSurr, Rule::base({}, 1, And(X32, 0x3FF)),
+                  Rule::ite(
+                      LowSurr, Rule::undef(),
+                      Rule::base({Byte(Or(Ctx.mkLShrC(X32, 12), 0xE0)),
+                                  Byte(Or(And(Ctx.mkLShrC(X32, 6), 0x3F),
+                                          0x80)),
+                                  Byte(Or(And(X32, 0x3F), 0x80))},
+                                 0, Zero))))));
+  {
+    // Complete the surrogate pair: cp = 0x10000 + (hi10 << 10) + lo10.
+    TermRef Cp = Ctx.mkAdd(Ctx.bvConst(32, 0x10000),
+                           Ctx.mkAdd(Ctx.mkShlC(R, 10), And(X32, 0x3FF)));
+    A.setDelta(
+        1, Rule::ite(LowSurr,
+                     Rule::base({Byte(Or(Ctx.mkLShrC(Cp, 18), 0xF0)),
+                                 Byte(Or(And(Ctx.mkLShrC(Cp, 12), 0x3F), 0x80)),
+                                 Byte(Or(And(Ctx.mkLShrC(Cp, 6), 0x3F), 0x80)),
+                                 Byte(Or(And(Cp, 0x3F), 0x80))},
+                                0, Zero),
+                     Rule::undef()));
+  }
+  A.setFinalizer(0, Rule::base({}, 0, Zero));
+  return A;
+}
+
+Bst efc::lib::makeToInt(TermContext &Ctx) {
+  const Type *CharTy = Ctx.bv(16);
+  const Type *IntTy = Ctx.bv(32);
+  Bst A(Ctx, CharTy, IntTy, IntTy, 2, 0, Value::bv(32, 0));
+  A.setStateName(0, "p0");
+  A.setStateName(1, "p1");
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef Digit = Ctx.mkInRange(X, 0x30, 0x39);
+  TermRef NewVal = Ctx.mkAdd(Ctx.mkMul(Ctx.bvConst(32, 10), R),
+                             Ctx.mkSub(Ctx.mkZExt(X, 32),
+                                       Ctx.bvConst(32, 0x30)));
+  RulePtr Step = Rule::ite(Digit, Rule::base({}, 1, NewVal), Rule::undef());
+  A.setDelta(0, Step);
+  A.setDelta(1, Step);
+  // p1's finalizer emits the accumulated integer.
+  A.setFinalizer(1, Rule::base({R}, 1, Ctx.bvConst(32, 0)));
+  return A;
+}
+
+Bst efc::lib::makeToBool(TermContext &Ctx) {
+  const Type *CharTy = Ctx.bv(16);
+  const Type *IntTy = Ctx.bv(32);
+  // States: 0 init; 1..3 't','tr','tru'; 4 done-true;
+  // 5..8 'f','fa','fal','fals'; 9 done-false.
+  Bst A(Ctx, CharTy, IntTy, Ctx.unitTy(), 10, 0, Value::unit());
+  TermRef X = A.inputVar();
+  TermRef U = Ctx.unitConst();
+  auto Expect = [&](unsigned From, char C, unsigned To) {
+    A.setDelta(From,
+               Rule::ite(Ctx.mkEq(X, Ctx.bvConst(16, uint64_t(C))),
+                         Rule::base({}, To, U), Rule::undef()));
+  };
+  A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(16, 't')),
+                          Rule::base({}, 1, U),
+                          Rule::ite(Ctx.mkEq(X, Ctx.bvConst(16, 'f')),
+                                    Rule::base({}, 5, U), Rule::undef())));
+  Expect(1, 'r', 2);
+  Expect(2, 'u', 3);
+  Expect(3, 'e', 4);
+  Expect(5, 'a', 6);
+  Expect(6, 'l', 7);
+  Expect(7, 's', 8);
+  Expect(8, 'e', 9);
+  A.setFinalizer(4, Rule::base({Ctx.bvConst(32, 1)}, 4, U));
+  A.setFinalizer(9, Rule::base({Ctx.bvConst(32, 0)}, 9, U));
+  return A;
+}
+
+namespace {
+
+/// Builds the decimal-formatting rule for one element: branch on the
+/// magnitude of \p V (a bv32 term) and emit its digits as UTF-16 chars,
+/// with \p Suffix appended.  Mirrors the paper's Encode/Digits pattern.
+RulePtr decimalRule(TermContext &Ctx, TermRef V,
+                    const std::vector<TermRef> &Suffix, unsigned Target,
+                    TermRef Update) {
+  auto Digits = [&](unsigned N) {
+    std::vector<TermRef> Out;
+    for (unsigned K = 0; K < N; ++K) {
+      unsigned Power = N - 1 - K;
+      TermRef D = Ctx.mkURem(Ctx.mkUDiv(V, Ctx.bvConst(32, pow10(Power))),
+                             Ctx.bvConst(32, 10));
+      Out.push_back(
+          Ctx.mkExtract(Ctx.mkAdd(D, Ctx.bvConst(32, 0x30)), 15, 0));
+    }
+    for (TermRef S : Suffix)
+      Out.push_back(S);
+    return Out;
+  };
+  // 10 digits cover the full 32-bit range.
+  RulePtr R = Rule::base(Digits(10), Target, Update);
+  for (unsigned N = 9; N >= 1; --N)
+    R = Rule::ite(Ctx.mkUlt(V, Ctx.bvConst(32, pow10(N))),
+                  Rule::base(Digits(N), Target, Update), std::move(R));
+  return R;
+}
+
+} // namespace
+
+Bst efc::lib::makeIntToDecimal(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(32), Ctx.bv(16), Ctx.unitTy(), 1, 0, Value::unit());
+  A.setDelta(0, decimalRule(Ctx, A.inputVar(), {}, 0, Ctx.unitConst()));
+  A.setFinalizer(0, Rule::base({}, 0, Ctx.unitConst()));
+  return A;
+}
+
+Bst efc::lib::makeIntWrap(TermContext &Ctx, const std::string &Prefix,
+                          const std::string &Suffix) {
+  Bst A(Ctx, Ctx.bv(32), Ctx.bv(16), Ctx.unitTy(), 1, 0, Value::unit());
+  std::vector<TermRef> Suf;
+  for (char C : Suffix)
+    Suf.push_back(Ctx.bvConst(16, uint64_t((unsigned char)C)));
+  RulePtr Digits = decimalRule(Ctx, A.inputVar(), Suf, 0, Ctx.unitConst());
+  if (!Prefix.empty()) {
+    // Prepend the prefix chars to every leaf.
+    std::function<RulePtr(const Rule *)> Prepend =
+        [&](const Rule *R) -> RulePtr {
+      switch (R->kind()) {
+      case Rule::Kind::Undef:
+        return Rule::undef();
+      case Rule::Kind::Ite:
+        return Rule::ite(R->cond(), Prepend(R->thenRule().get()),
+                         Prepend(R->elseRule().get()));
+      case Rule::Kind::Base: {
+        std::vector<TermRef> Outs;
+        for (char C : Prefix)
+          Outs.push_back(Ctx.bvConst(16, uint64_t((unsigned char)C)));
+        Outs.insert(Outs.end(), R->outputs().begin(), R->outputs().end());
+        return Rule::base(std::move(Outs), R->target(), R->update());
+      }
+      }
+      return Rule::undef();
+    };
+    Digits = Prepend(Digits.get());
+  }
+  A.setDelta(0, std::move(Digits));
+  A.setFinalizer(0, Rule::base({}, 0, Ctx.unitConst()));
+  return A;
+}
+
+Bst efc::lib::makeIntToDecimalLines(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(32), Ctx.bv(16), Ctx.unitTy(), 1, 0, Value::unit());
+  A.setDelta(0, decimalRule(Ctx, A.inputVar(), {Ctx.bvConst(16, 0x0A)}, 0,
+                            Ctx.unitConst()));
+  A.setFinalizer(0, Rule::base({}, 0, Ctx.unitConst()));
+  return A;
+}
+
+Bst efc::lib::makeLineCount(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(16), Ctx.bv(32), Ctx.bv(32), 1, 0, Value::bv(32, 0));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(16, 0x0A)),
+                          Rule::base({}, 0,
+                                     Ctx.mkAdd(R, Ctx.bvConst(32, 1))),
+                          Rule::base({}, 0, R)));
+  A.setFinalizer(0, Rule::base({R}, 0, Ctx.bvConst(32, 0)));
+  return A;
+}

@@ -1,0 +1,90 @@
+//===- stdlib/Values.h - Converting host data to term values ----*- C++ -*-===//
+///
+/// \file
+/// Helpers that bridge host data (byte strings, UTF-16 strings, integer
+/// vectors) and the Value lists consumed/produced by the BST interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_STDLIB_VALUES_H
+#define EFC_STDLIB_VALUES_H
+
+#include "term/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efc::lib {
+
+inline std::vector<Value> valuesFromBytes(std::string_view Bytes) {
+  std::vector<Value> Out;
+  Out.reserve(Bytes.size());
+  for (unsigned char C : Bytes)
+    Out.push_back(Value::bv(8, C));
+  return Out;
+}
+
+inline std::vector<Value> valuesFromChars(std::u16string_view Chars) {
+  std::vector<Value> Out;
+  Out.reserve(Chars.size());
+  for (char16_t C : Chars)
+    Out.push_back(Value::bv(16, uint64_t(C)));
+  return Out;
+}
+
+/// ASCII text as UTF-16 code-unit values.
+inline std::vector<Value> valuesFromAscii(std::string_view Text) {
+  std::vector<Value> Out;
+  Out.reserve(Text.size());
+  for (unsigned char C : Text)
+    Out.push_back(Value::bv(16, C));
+  return Out;
+}
+
+inline std::vector<Value> valuesFromInts(const std::vector<uint32_t> &Ints) {
+  std::vector<Value> Out;
+  Out.reserve(Ints.size());
+  for (uint32_t V : Ints)
+    Out.push_back(Value::bv(32, V));
+  return Out;
+}
+
+inline std::string bytesFromValues(const std::vector<Value> &Vals) {
+  std::string Out;
+  Out.reserve(Vals.size());
+  for (const Value &V : Vals)
+    Out.push_back(char(V.bits() & 0xFF));
+  return Out;
+}
+
+inline std::u16string charsFromValues(const std::vector<Value> &Vals) {
+  std::u16string Out;
+  Out.reserve(Vals.size());
+  for (const Value &V : Vals)
+    Out.push_back(char16_t(V.bits() & 0xFFFF));
+  return Out;
+}
+
+/// UTF-16 values rendered as ASCII (lossy above 0x7F; for tests on ASCII
+/// outputs).
+inline std::string asciiFromValues(const std::vector<Value> &Vals) {
+  std::string Out;
+  Out.reserve(Vals.size());
+  for (const Value &V : Vals)
+    Out.push_back(V.bits() <= 0x7F ? char(V.bits()) : '?');
+  return Out;
+}
+
+inline std::vector<uint32_t> intsFromValues(const std::vector<Value> &Vals) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Vals.size());
+  for (const Value &V : Vals)
+    Out.push_back(uint32_t(V.bits()));
+  return Out;
+}
+
+} // namespace efc::lib
+
+#endif // EFC_STDLIB_VALUES_H

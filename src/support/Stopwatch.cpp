@@ -1,0 +1,5 @@
+//===- support/Stopwatch.cpp ----------------------------------------------===//
+
+#include "support/Stopwatch.h"
+
+// Header-only for now; this TU anchors the library.

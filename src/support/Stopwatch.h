@@ -1,0 +1,62 @@
+//===- support/Stopwatch.h - Wall-clock timing ------------------*- C++ -*-===//
+///
+/// \file
+/// Small wall-clock timer plus a deterministic RNG shared by tests, data
+/// generators and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_SUPPORT_STOPWATCH_H
+#define EFC_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace efc {
+
+/// Wall-clock stopwatch; starts running on construction.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// SplitMix64: tiny deterministic RNG for reproducible synthetic data.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound).
+  uint64_t below(uint64_t Bound) { return Bound == 0 ? 0 : next() % Bound; }
+
+  /// Uniform in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  double unitReal() { return double(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace efc
+
+#endif // EFC_SUPPORT_STOPWATCH_H

@@ -1,0 +1,120 @@
+//===- term/Eval.cpp ------------------------------------------------------===//
+
+#include "term/Eval.h"
+
+#include "term/ScalarOps.h"
+
+#include <unordered_map>
+
+using namespace efc;
+
+namespace {
+
+class Evaluator {
+public:
+  explicit Evaluator(const Env &E) : E(E) {}
+
+  const Value &eval(TermRef T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    Value V = compute(T);
+    return Cache.emplace(T, std::move(V)).first->second;
+  }
+
+private:
+  const Env &E;
+  std::unordered_map<TermRef, Value> Cache;
+
+  Value compute(TermRef T) {
+    switch (T->op()) {
+    case Op::ConstBool:
+      return Value::boolV(T->constBits() != 0);
+    case Op::ConstBv:
+      return Value::bv(T->type()->width(), T->constBits());
+    case Op::ConstUnit:
+      return Value::unit();
+    case Op::Var: {
+      const Value *V = E.lookup(T->varId());
+      assert(V && "unbound variable during evaluation");
+      return *V;
+    }
+    case Op::Not:
+      return Value::boolV(!eval(T->operand(0)).boolValue());
+    case Op::And:
+      return Value::boolV(eval(T->operand(0)).boolValue() &&
+                          eval(T->operand(1)).boolValue());
+    case Op::Or:
+      return Value::boolV(eval(T->operand(0)).boolValue() ||
+                          eval(T->operand(1)).boolValue());
+    case Op::Ite:
+      return eval(T->operand(0)).boolValue() ? eval(T->operand(1))
+                                             : eval(T->operand(2));
+    case Op::Eq:
+      return Value::boolV(eval(T->operand(0)) == eval(T->operand(1)));
+    case Op::Ult:
+    case Op::Ule:
+    case Op::Slt:
+    case Op::Sle: {
+      const Value &A = eval(T->operand(0));
+      const Value &B = eval(T->operand(1));
+      return Value::boolV(
+          evalBvCompare(T->op(), A.width(), A.bits(), B.bits()));
+    }
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::UDiv:
+    case Op::URem:
+    case Op::BvAnd:
+    case Op::BvOr:
+    case Op::BvXor:
+    case Op::Shl:
+    case Op::LShr:
+    case Op::AShr: {
+      const Value &A = eval(T->operand(0));
+      const Value &B = eval(T->operand(1));
+      return Value::bv(A.width(),
+                       evalBvBinary(T->op(), A.width(), A.bits(), B.bits()));
+    }
+    case Op::Neg: {
+      const Value &A = eval(T->operand(0));
+      return Value::bv(A.width(), ~A.bits() + 1);
+    }
+    case Op::BvNot: {
+      const Value &A = eval(T->operand(0));
+      return Value::bv(A.width(), ~A.bits());
+    }
+    case Op::ZExt: {
+      const Value &A = eval(T->operand(0));
+      return Value::bv(T->type()->width(), A.bits());
+    }
+    case Op::SExt: {
+      const Value &A = eval(T->operand(0));
+      return Value::bv(T->type()->width(), uint64_t(A.signedBits()));
+    }
+    case Op::Extract: {
+      const Value &A = eval(T->operand(0));
+      return Value::bv(T->type()->width(), A.bits() >> T->extractLo());
+    }
+    case Op::MkTuple: {
+      std::vector<Value> Es;
+      Es.reserve(T->numOperands());
+      for (TermRef O : T->operands())
+        Es.push_back(eval(O));
+      return Value::tuple(std::move(Es));
+    }
+    case Op::TupleGet:
+      return eval(T->operand(0)).elem(T->tupleIndex());
+    }
+    assert(false && "unhandled op in evaluator");
+    return Value::unit();
+  }
+};
+
+} // namespace
+
+Value efc::evalTerm(TermRef T, const Env &E) {
+  Evaluator Ev(E);
+  return Ev.eval(T);
+}

@@ -1,0 +1,43 @@
+//===- term/Eval.h - Concrete evaluation of terms ---------------*- C++ -*-===//
+///
+/// \file
+/// Reference evaluator for the term language.  Used by the BST interpreter
+/// (the paper's transduction semantics) and by tests that cross-check the
+/// solver and the VM against ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_EVAL_H
+#define EFC_TERM_EVAL_H
+
+#include "term/Term.h"
+#include "term/Value.h"
+
+#include <unordered_map>
+
+namespace efc {
+
+/// Variable assignment: variable id -> value.
+class Env {
+public:
+  void bind(TermRef Var, Value V) {
+    assert(Var->isVar());
+    Map[Var->varId()] = std::move(V);
+  }
+  void bind(unsigned VarId, Value V) { Map[VarId] = std::move(V); }
+
+  const Value *lookup(unsigned VarId) const {
+    auto It = Map.find(VarId);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::unordered_map<unsigned, Value> Map;
+};
+
+/// Evaluates \p T under \p E.  Every variable occurring in T must be bound.
+Value evalTerm(TermRef T, const Env &E);
+
+} // namespace efc
+
+#endif // EFC_TERM_EVAL_H

@@ -1,0 +1,150 @@
+//===- term/Print.cpp -----------------------------------------------------===//
+
+#include "term/Print.h"
+
+using namespace efc;
+
+namespace {
+
+void render(const TermContext &Ctx, TermRef T, std::string &Out) {
+  auto binary = [&](const char *Sym) {
+    Out += '(';
+    render(Ctx, T->operand(0), Out);
+    Out += ' ';
+    Out += Sym;
+    Out += ' ';
+    render(Ctx, T->operand(1), Out);
+    Out += ')';
+  };
+  switch (T->op()) {
+  case Op::ConstBool:
+    Out += T->constBits() ? "true" : "false";
+    return;
+  case Op::ConstBv: {
+    char Buf[32];
+    if (T->constBits() < 10)
+      snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)T->constBits());
+    else
+      snprintf(Buf, sizeof(Buf), "0x%llx", (unsigned long long)T->constBits());
+    Out += Buf;
+    return;
+  }
+  case Op::ConstUnit:
+    Out += "()";
+    return;
+  case Op::Var:
+    Out += Ctx.varName(T->varId());
+    return;
+  case Op::Not:
+    Out += '!';
+    render(Ctx, T->operand(0), Out);
+    return;
+  case Op::And:
+    binary("&&");
+    return;
+  case Op::Or:
+    binary("||");
+    return;
+  case Op::Ite:
+    Out += '(';
+    render(Ctx, T->operand(0), Out);
+    Out += " ? ";
+    render(Ctx, T->operand(1), Out);
+    Out += " : ";
+    render(Ctx, T->operand(2), Out);
+    Out += ')';
+    return;
+  case Op::Eq:
+    binary("==");
+    return;
+  case Op::Ult:
+    binary("<u");
+    return;
+  case Op::Ule:
+    binary("<=u");
+    return;
+  case Op::Slt:
+    binary("<s");
+    return;
+  case Op::Sle:
+    binary("<=s");
+    return;
+  case Op::Add:
+    binary("+");
+    return;
+  case Op::Sub:
+    binary("-");
+    return;
+  case Op::Mul:
+    binary("*");
+    return;
+  case Op::UDiv:
+    binary("/");
+    return;
+  case Op::URem:
+    binary("%");
+    return;
+  case Op::Neg:
+    Out += '-';
+    render(Ctx, T->operand(0), Out);
+    return;
+  case Op::BvAnd:
+    binary("&");
+    return;
+  case Op::BvOr:
+    binary("|");
+    return;
+  case Op::BvXor:
+    binary("^");
+    return;
+  case Op::BvNot:
+    Out += '~';
+    render(Ctx, T->operand(0), Out);
+    return;
+  case Op::Shl:
+    binary("<<");
+    return;
+  case Op::LShr:
+    binary(">>");
+    return;
+  case Op::AShr:
+    binary(">>s");
+    return;
+  case Op::ZExt:
+    Out += "zext" + std::to_string(T->type()->width()) + "(";
+    render(Ctx, T->operand(0), Out);
+    Out += ')';
+    return;
+  case Op::SExt:
+    Out += "sext" + std::to_string(T->type()->width()) + "(";
+    render(Ctx, T->operand(0), Out);
+    Out += ')';
+    return;
+  case Op::Extract:
+    render(Ctx, T->operand(0), Out);
+    Out += '[' + std::to_string(T->extractHi()) + ':' +
+           std::to_string(T->extractLo()) + ']';
+    return;
+  case Op::MkTuple:
+    Out += '<';
+    for (size_t I = 0; I < T->numOperands(); ++I) {
+      if (I)
+        Out += ", ";
+      render(Ctx, T->operand(I), Out);
+    }
+    Out += '>';
+    return;
+  case Op::TupleGet:
+    render(Ctx, T->operand(0), Out);
+    Out += '.' + std::to_string(T->tupleIndex());
+    return;
+  }
+}
+
+} // namespace
+
+std::string efc::termToString(const TermContext &Ctx, TermRef T) {
+  std::string Out;
+  render(Ctx, T, Out);
+  return Out;
+}

@@ -1,0 +1,24 @@
+//===- term/Print.h - Human-readable term printing --------------*- C++ -*-===//
+///
+/// \file
+/// Renders terms in a C-like infix syntax for diagnostics, tests and the
+/// C++ code generator's expression emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_PRINT_H
+#define EFC_TERM_PRINT_H
+
+#include "term/Term.h"
+#include "term/TermContext.h"
+
+#include <string>
+
+namespace efc {
+
+/// C-like rendering of \p T, e.g. "((x & 0x3f) << 6) | (r.0 & 0x3f)".
+std::string termToString(const TermContext &Ctx, TermRef T);
+
+} // namespace efc
+
+#endif // EFC_TERM_PRINT_H

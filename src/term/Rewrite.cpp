@@ -1,0 +1,164 @@
+//===- term/Rewrite.cpp ---------------------------------------------------===//
+
+#include "term/Rewrite.h"
+
+using namespace efc;
+
+namespace {
+
+class SubstWalker {
+public:
+  SubstWalker(TermContext &Ctx, const Subst &S) : Ctx(Ctx), S(S) {}
+
+  TermRef walk(TermRef T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    TermRef R = rebuild(T);
+    Cache.emplace(T, R);
+    return R;
+  }
+
+private:
+  TermContext &Ctx;
+  const Subst &S;
+  std::unordered_map<TermRef, TermRef> Cache;
+
+  TermRef rebuild(TermRef T) {
+    if (T->isVar()) {
+      if (TermRef R = S.lookup(T))
+        return R;
+      return T;
+    }
+    if (T->isConst())
+      return T;
+
+    // Rebuild operands first; if nothing changed, reuse the node.
+    bool Changed = false;
+    std::vector<TermRef> Ops;
+    Ops.reserve(T->numOperands());
+    for (TermRef O : T->operands()) {
+      TermRef N = walk(O);
+      Changed |= (N != O);
+      Ops.push_back(N);
+    }
+    if (!Changed)
+      return T;
+
+    switch (T->op()) {
+    case Op::Not:
+      return Ctx.mkNot(Ops[0]);
+    case Op::And:
+      return Ctx.mkAnd(Ops[0], Ops[1]);
+    case Op::Or:
+      return Ctx.mkOr(Ops[0], Ops[1]);
+    case Op::Ite:
+      return Ctx.mkIte(Ops[0], Ops[1], Ops[2]);
+    case Op::Eq:
+      return Ctx.mkEq(Ops[0], Ops[1]);
+    case Op::Ult:
+      return Ctx.mkUlt(Ops[0], Ops[1]);
+    case Op::Ule:
+      return Ctx.mkUle(Ops[0], Ops[1]);
+    case Op::Slt:
+      return Ctx.mkSlt(Ops[0], Ops[1]);
+    case Op::Sle:
+      return Ctx.mkSle(Ops[0], Ops[1]);
+    case Op::Add:
+      return Ctx.mkAdd(Ops[0], Ops[1]);
+    case Op::Sub:
+      return Ctx.mkSub(Ops[0], Ops[1]);
+    case Op::Mul:
+      return Ctx.mkMul(Ops[0], Ops[1]);
+    case Op::UDiv:
+      return Ctx.mkUDiv(Ops[0], Ops[1]);
+    case Op::URem:
+      return Ctx.mkURem(Ops[0], Ops[1]);
+    case Op::Neg:
+      return Ctx.mkNeg(Ops[0]);
+    case Op::BvAnd:
+      return Ctx.mkBvAnd(Ops[0], Ops[1]);
+    case Op::BvOr:
+      return Ctx.mkBvOr(Ops[0], Ops[1]);
+    case Op::BvXor:
+      return Ctx.mkBvXor(Ops[0], Ops[1]);
+    case Op::BvNot:
+      return Ctx.mkBvNot(Ops[0]);
+    case Op::Shl:
+      return Ctx.mkShl(Ops[0], Ops[1]);
+    case Op::LShr:
+      return Ctx.mkLShr(Ops[0], Ops[1]);
+    case Op::AShr:
+      return Ctx.mkAShr(Ops[0], Ops[1]);
+    case Op::ZExt:
+      return Ctx.mkZExt(Ops[0], T->type()->width());
+    case Op::SExt:
+      return Ctx.mkSExt(Ops[0], T->type()->width());
+    case Op::Extract:
+      return Ctx.mkExtract(Ops[0], T->extractHi(), T->extractLo());
+    case Op::MkTuple:
+      return Ctx.mkTuple(std::move(Ops));
+    case Op::TupleGet:
+      return Ctx.mkTupleGet(Ops[0], T->tupleIndex());
+    case Op::ConstBool:
+    case Op::ConstBv:
+    case Op::ConstUnit:
+    case Op::Var:
+      break; // handled above
+    }
+    assert(false && "unhandled op in substitution");
+    return T;
+  }
+};
+
+void collectVarsRec(TermRef T, std::unordered_set<TermRef> &Out,
+                    std::unordered_set<TermRef> &Seen) {
+  if (!Seen.insert(T).second)
+    return;
+  if (T->isVar()) {
+    Out.insert(T);
+    return;
+  }
+  for (TermRef O : T->operands())
+    collectVarsRec(O, Out, Seen);
+}
+
+} // namespace
+
+TermRef efc::substitute(TermContext &Ctx, TermRef T, const Subst &S) {
+  if (S.empty())
+    return T;
+  SubstWalker W(Ctx, S);
+  return W.walk(T);
+}
+
+void efc::collectVars(TermRef T, std::unordered_set<TermRef> &Out) {
+  std::unordered_set<TermRef> Seen;
+  collectVarsRec(T, Out, Seen);
+}
+
+bool efc::mentionsVar(TermRef T, TermRef Var) {
+  std::unordered_set<TermRef> Vars;
+  collectVars(T, Vars);
+  return Vars.count(Var) != 0;
+}
+
+bool efc::hasVars(TermRef T) {
+  std::unordered_set<TermRef> Vars;
+  collectVars(T, Vars);
+  return !Vars.empty();
+}
+
+size_t efc::termSize(TermRef T, size_t Cap) {
+  std::unordered_set<TermRef> Seen;
+  std::vector<TermRef> Work{T};
+  while (!Work.empty() && Seen.size() < Cap) {
+    TermRef Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    for (TermRef O : Cur->operands())
+      Work.push_back(O);
+  }
+  return Seen.size();
+}

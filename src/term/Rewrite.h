@@ -1,0 +1,62 @@
+//===- term/Rewrite.h - Substitution and term traversal ---------*- C++ -*-===//
+///
+/// \file
+/// Simultaneous substitution of variables by terms (the θ of the fusion
+/// algorithm) and variable-collection utilities.  Substitution rebuilds
+/// through TermContext, so the result is renormalized for free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_REWRITE_H
+#define EFC_TERM_REWRITE_H
+
+#include "term/Term.h"
+#include "term/TermContext.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace efc {
+
+/// A simultaneous substitution of variables by terms.  Keys must be Var
+/// terms; replacements must have the same type as the variable.
+class Subst {
+public:
+  void set(TermRef Var, TermRef Replacement) {
+    assert(Var->isVar());
+    assert(Var->type() == Replacement->type() &&
+           "substitution must preserve types");
+    Map[Var] = Replacement;
+  }
+
+  TermRef lookup(TermRef Var) const {
+    auto It = Map.find(Var);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  bool empty() const { return Map.empty(); }
+
+private:
+  std::unordered_map<TermRef, TermRef> Map;
+};
+
+/// Applies \p S to \p T simultaneously (no re-substitution into
+/// replacements).
+TermRef substitute(TermContext &Ctx, TermRef T, const Subst &S);
+
+/// Collects the free variables of \p T into \p Out.
+void collectVars(TermRef T, std::unordered_set<TermRef> &Out);
+
+/// True when \p T mentions the variable \p Var.
+bool mentionsVar(TermRef T, TermRef Var);
+
+/// True when \p T mentions any variable at all.
+bool hasVars(TermRef T);
+
+/// Number of distinct DAG nodes in \p T, counting at most \p Cap (cheap
+/// size guard for algorithms whose formulas can blow up).
+size_t termSize(TermRef T, size_t Cap = SIZE_MAX);
+
+} // namespace efc
+
+#endif // EFC_TERM_REWRITE_H

@@ -1,0 +1,98 @@
+//===- term/ScalarOps.h - Concrete semantics of scalar operators -*- C++ -*-===//
+///
+/// \file
+/// Shared concrete semantics for bitvector operators, used both by the
+/// constant folder in TermContext and by the term evaluator, so the two can
+/// never disagree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_SCALAROPS_H
+#define EFC_TERM_SCALAROPS_H
+
+#include "term/Term.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace efc {
+
+inline uint64_t maskTo(unsigned Width, uint64_t V) {
+  return Width >= 64 ? V : (V & ((uint64_t(1) << Width) - 1));
+}
+
+inline int64_t toSigned(unsigned Width, uint64_t V) {
+  if (Width == 64)
+    return int64_t(V);
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  return int64_t((V & ((uint64_t(1) << Width) - 1)) ^ SignBit) -
+         int64_t(SignBit);
+}
+
+/// Evaluates a width-preserving binary bitvector operator on masked inputs.
+inline uint64_t evalBvBinary(Op O, unsigned Width, uint64_t A, uint64_t B) {
+  uint64_t R = 0;
+  switch (O) {
+  case Op::Add:
+    R = A + B;
+    break;
+  case Op::Sub:
+    R = A - B;
+    break;
+  case Op::Mul:
+    R = A * B;
+    break;
+  case Op::UDiv:
+    // SMT-LIB: division by zero yields all ones.
+    R = B == 0 ? ~uint64_t(0) : A / B;
+    break;
+  case Op::URem:
+    // SMT-LIB: remainder by zero yields the dividend.
+    R = B == 0 ? A : A % B;
+    break;
+  case Op::BvAnd:
+    R = A & B;
+    break;
+  case Op::BvOr:
+    R = A | B;
+    break;
+  case Op::BvXor:
+    R = A ^ B;
+    break;
+  case Op::Shl:
+    R = B >= Width ? 0 : A << B;
+    break;
+  case Op::LShr:
+    R = B >= Width ? 0 : A >> B;
+    break;
+  case Op::AShr: {
+    int64_t SA = toSigned(Width, A);
+    R = B >= Width ? uint64_t(SA < 0 ? -1 : 0) : uint64_t(SA >> B);
+    break;
+  }
+  default:
+    assert(false && "not a binary bitvector operator");
+  }
+  return maskTo(Width, R);
+}
+
+/// Evaluates a bitvector comparison on masked inputs.
+inline bool evalBvCompare(Op O, unsigned Width, uint64_t A, uint64_t B) {
+  switch (O) {
+  case Op::Ult:
+    return A < B;
+  case Op::Ule:
+    return A <= B;
+  case Op::Slt:
+    return toSigned(Width, A) < toSigned(Width, B);
+  case Op::Sle:
+    return toSigned(Width, A) <= toSigned(Width, B);
+  default:
+    assert(false && "not a comparison operator");
+    return false;
+  }
+}
+
+} // namespace efc
+
+#endif // EFC_TERM_SCALAROPS_H

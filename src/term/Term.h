@@ -1,0 +1,132 @@
+//===- term/Term.h - Hash-consed symbolic terms -----------------*- C++ -*-===//
+///
+/// \file
+/// Immutable, hash-consed terms of the background theory used in BST rules.
+/// Terms form a DAG owned by a TermContext; `TermRef` (a raw const pointer)
+/// is the universal handle, and pointer equality is semantic equality up to
+/// the normalization performed by the factory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_TERM_H
+#define EFC_TERM_TERM_H
+
+#include "term/Type.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace efc {
+
+class Term;
+using TermRef = const Term *;
+
+/// Operators of the term language.  The fragment is quantifier-free
+/// bitvectors plus booleans and tuples — the same decidable background
+/// theory the paper uses through Z3.
+enum class Op : uint8_t {
+  // Nullary.
+  ConstBool, // aux = 0/1
+  ConstBv,   // aux = value (masked to width)
+  ConstUnit,
+  Var, // aux = variable id
+
+  // Boolean connectives (operands and result bool).
+  Not,
+  And,
+  Or,
+
+  // Polymorphic.
+  Ite, // (bool, T, T) -> T
+  Eq,  // (S, S) -> bool, scalar S only after normalization
+
+  // Bitvector comparisons -> bool.
+  Ult,
+  Ule,
+  Slt,
+  Sle,
+
+  // Bitvector arithmetic (operands and result share a width).
+  Add,
+  Sub,
+  Mul,
+  UDiv, // SMT-LIB semantics: x udiv 0 = all-ones
+  URem, // SMT-LIB semantics: x urem 0 = x
+  Neg,
+
+  // Bitvector bitwise / shifts (shift amount has the same width; shifts of
+  // `width()` or more yield 0, AShr yields the sign fill).
+  BvAnd,
+  BvOr,
+  BvXor,
+  BvNot,
+  Shl,
+  LShr,
+  AShr,
+
+  // Width changing.
+  ZExt,    // aux unused; result type carries new width
+  SExt,    //
+  Extract, // aux = (hi << 32) | lo; result width = hi - lo + 1
+
+  // Tuples.
+  MkTuple,
+  TupleGet, // aux = element index
+};
+
+const char *opName(Op O);
+
+/// A single immutable term node.  Create through TermContext only.
+class Term {
+public:
+  Op op() const { return Opc; }
+  const Type *type() const { return Ty; }
+  uint64_t aux() const { return Aux; }
+  unsigned id() const { return Id; }
+  size_t hash() const { return HashVal; }
+
+  std::span<const TermRef> operands() const {
+    return {Operands.data(), Operands.size()};
+  }
+  TermRef operand(size_t I) const { return Operands[I]; }
+  size_t numOperands() const { return Operands.size(); }
+
+  bool isConst() const {
+    return Opc == Op::ConstBool || Opc == Op::ConstBv || Opc == Op::ConstUnit;
+  }
+  bool isVar() const { return Opc == Op::Var; }
+
+  bool isTrue() const { return Opc == Op::ConstBool && Aux == 1; }
+  bool isFalse() const { return Opc == Op::ConstBool && Aux == 0; }
+
+  /// Constant payload for ConstBool / ConstBv.
+  uint64_t constBits() const { return Aux; }
+
+  /// Variable id for Var terms.
+  unsigned varId() const { return unsigned(Aux); }
+
+  /// Extract bounds.
+  unsigned extractHi() const { return unsigned(Aux >> 32); }
+  unsigned extractLo() const { return unsigned(Aux & 0xffffffffu); }
+
+  /// Tuple element index for TupleGet.
+  unsigned tupleIndex() const { return unsigned(Aux); }
+
+private:
+  friend class TermContext;
+  Term(Op O, const Type *T, uint64_t A, std::vector<TermRef> Os, unsigned I,
+       size_t H)
+      : Opc(O), Ty(T), Aux(A), Id(I), HashVal(H), Operands(std::move(Os)) {}
+
+  Op Opc;
+  const Type *Ty;
+  uint64_t Aux;
+  unsigned Id;
+  size_t HashVal;
+  std::vector<TermRef> Operands;
+};
+
+} // namespace efc
+
+#endif // EFC_TERM_TERM_H

@@ -1,0 +1,658 @@
+//===- term/TermContext.cpp - Term factory with normalization ------------===//
+
+#include "term/TermContext.h"
+
+#include "term/ScalarOps.h"
+
+#include <algorithm>
+
+using namespace efc;
+
+const char *efc::opName(Op O) {
+  switch (O) {
+  case Op::ConstBool:
+    return "const.bool";
+  case Op::ConstBv:
+    return "const.bv";
+  case Op::ConstUnit:
+    return "const.unit";
+  case Op::Var:
+    return "var";
+  case Op::Not:
+    return "not";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Ite:
+    return "ite";
+  case Op::Eq:
+    return "eq";
+  case Op::Ult:
+    return "ult";
+  case Op::Ule:
+    return "ule";
+  case Op::Slt:
+    return "slt";
+  case Op::Sle:
+    return "sle";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::UDiv:
+    return "udiv";
+  case Op::URem:
+    return "urem";
+  case Op::Neg:
+    return "neg";
+  case Op::BvAnd:
+    return "bvand";
+  case Op::BvOr:
+    return "bvor";
+  case Op::BvXor:
+    return "bvxor";
+  case Op::BvNot:
+    return "bvnot";
+  case Op::Shl:
+    return "shl";
+  case Op::LShr:
+    return "lshr";
+  case Op::AShr:
+    return "ashr";
+  case Op::ZExt:
+    return "zext";
+  case Op::SExt:
+    return "sext";
+  case Op::Extract:
+    return "extract";
+  case Op::MkTuple:
+    return "tuple";
+  case Op::TupleGet:
+    return "get";
+  }
+  return "?";
+}
+
+bool TermContext::KeyEq::operator()(const Term *A, const Term *B) const {
+  if (A->op() != B->op() || A->type() != B->type() || A->aux() != B->aux() ||
+      A->numOperands() != B->numOperands())
+    return false;
+  for (size_t I = 0; I < A->numOperands(); ++I)
+    if (A->operand(I) != B->operand(I))
+      return false;
+  return true;
+}
+
+static size_t hashNode(Op O, const Type *Ty, uint64_t Aux,
+                       const std::vector<TermRef> &Ops) {
+  size_t H = size_t(O) * 0x9e3779b97f4a7c15ull;
+  H ^= std::hash<const void *>()(Ty) + 0x9e3779b9 + (H << 6) + (H >> 2);
+  H ^= std::hash<uint64_t>()(Aux) + 0x9e3779b9 + (H << 6) + (H >> 2);
+  for (TermRef T : Ops)
+    H ^= std::hash<const void *>()(T) + 0x9e3779b9 + (H << 6) + (H >> 2);
+  return H;
+}
+
+TermRef TermContext::intern(Op O, const Type *Ty, uint64_t Aux,
+                            std::vector<TermRef> Operands) {
+  size_t H = hashNode(O, Ty, Aux, Operands);
+  Term Probe(O, Ty, Aux, std::move(Operands), 0, H);
+  auto It = Interned.find(&Probe);
+  if (It != Interned.end())
+    return It->second;
+  Probe.Id = unsigned(Pool.size());
+  Pool.push_back(std::move(Probe));
+  TermRef Res = &Pool.back();
+  Interned.emplace(Res, Res);
+  return Res;
+}
+
+//===----------------------------------------------------------------------===
+// Variables and constants
+//===----------------------------------------------------------------------===
+
+TermRef TermContext::var(std::string_view Name, const Type *Ty) {
+  // Distinct types with the same name are distinct variables; qualify the
+  // interning key by the type pointer.
+  std::string Key(Name);
+  Key += '#';
+  Key += std::to_string(reinterpret_cast<uintptr_t>(Ty));
+  auto It = VarByName.find(Key);
+  unsigned Id;
+  if (It != VarByName.end()) {
+    Id = It->second;
+  } else {
+    Id = unsigned(Vars.size());
+    Vars.push_back(VarInfo{std::string(Name), Ty});
+    VarByName.emplace(std::move(Key), Id);
+  }
+  return intern(Op::Var, Ty, Id, {});
+}
+
+TermRef TermContext::freshVar(std::string_view Prefix, const Type *Ty) {
+  std::string Name(Prefix);
+  Name += '!';
+  Name += std::to_string(FreshCounter++);
+  return var(Name, Ty);
+}
+
+const std::string &TermContext::varName(unsigned VarId) const {
+  assert(VarId < Vars.size());
+  return Vars[VarId].Name;
+}
+
+const Type *TermContext::varType(unsigned VarId) const {
+  assert(VarId < Vars.size());
+  return Vars[VarId].Ty;
+}
+
+TermRef TermContext::boolConst(bool B) {
+  return intern(Op::ConstBool, boolTy(), B ? 1 : 0, {});
+}
+
+TermRef TermContext::bvConst(const Type *Ty, uint64_t Bits) {
+  assert(Ty->isBitVec());
+  return intern(Op::ConstBv, Ty, Bits & Ty->mask(), {});
+}
+
+TermRef TermContext::unitConst() {
+  return intern(Op::ConstUnit, unitTy(), 0, {});
+}
+
+TermRef TermContext::constOf(const Type *Ty, const Value &V) {
+  assert(V.hasType(Ty) && "value does not conform to type");
+  switch (Ty->kind()) {
+  case TypeKind::Bool:
+    return boolConst(V.boolValue());
+  case TypeKind::BitVec:
+    return bvConst(Ty, V.bits());
+  case TypeKind::Unit:
+    return unitConst();
+  case TypeKind::Tuple: {
+    std::vector<TermRef> Es;
+    Es.reserve(Ty->elems().size());
+    for (size_t I = 0; I < Ty->elems().size(); ++I)
+      Es.push_back(constOf(Ty->elems()[I], V.elem(I)));
+    return mkTuple(std::move(Es));
+  }
+  }
+  return unitConst();
+}
+
+//===----------------------------------------------------------------------===
+// Boolean connectives
+//===----------------------------------------------------------------------===
+
+bool TermContext::isComplement(TermRef A, TermRef B) {
+  return (A->op() == Op::Not && A->operand(0) == B) ||
+         (B->op() == Op::Not && B->operand(0) == A);
+}
+
+TermRef TermContext::mkNot(TermRef A) {
+  assert(A->type()->isBool());
+  if (A->op() == Op::ConstBool)
+    return boolConst(A->constBits() == 0);
+  if (A->op() == Op::Not)
+    return A->operand(0);
+  // Push negation through comparisons; this keeps guards in a small normal
+  // form (Ult/Ule only, positive).
+  if (A->op() == Op::Ult)
+    return mkUle(A->operand(1), A->operand(0));
+  if (A->op() == Op::Ule)
+    return mkUlt(A->operand(1), A->operand(0));
+  if (A->op() == Op::Slt)
+    return mkSle(A->operand(1), A->operand(0));
+  if (A->op() == Op::Sle)
+    return mkSlt(A->operand(1), A->operand(0));
+  return intern(Op::Not, boolTy(), 0, {A});
+}
+
+TermRef TermContext::mkAnd(TermRef A, TermRef B) {
+  assert(A->type()->isBool() && B->type()->isBool());
+  if (A->isFalse() || B->isFalse())
+    return falseConst();
+  if (A->isTrue())
+    return B;
+  if (B->isTrue())
+    return A;
+  if (A == B)
+    return A;
+  if (isComplement(A, B))
+    return falseConst();
+  if (A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::And, boolTy(), 0, {A, B});
+}
+
+TermRef TermContext::mkOr(TermRef A, TermRef B) {
+  assert(A->type()->isBool() && B->type()->isBool());
+  if (A->isTrue() || B->isTrue())
+    return trueConst();
+  if (A->isFalse())
+    return B;
+  if (B->isFalse())
+    return A;
+  if (A == B)
+    return A;
+  if (isComplement(A, B))
+    return trueConst();
+  if (A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::Or, boolTy(), 0, {A, B});
+}
+
+TermRef TermContext::mkAnd(std::span<const TermRef> Ts) {
+  TermRef Acc = trueConst();
+  for (TermRef T : Ts)
+    Acc = mkAnd(Acc, T);
+  return Acc;
+}
+
+//===----------------------------------------------------------------------===
+// Ite / Eq
+//===----------------------------------------------------------------------===
+
+TermRef TermContext::mkIte(TermRef C, TermRef T, TermRef E) {
+  assert(C->type()->isBool());
+  assert(T->type() == E->type() && "ite branches must share a type");
+  if (C->isTrue())
+    return T;
+  if (C->isFalse())
+    return E;
+  if (T == E)
+    return T;
+  if (T->type()->isBool()) {
+    if (T->isTrue() && E->isFalse())
+      return C;
+    if (T->isFalse() && E->isTrue())
+      return mkNot(C);
+    if (T->isTrue())
+      return mkOr(C, E);
+    if (T->isFalse())
+      return mkAnd(mkNot(C), E);
+    if (E->isTrue())
+      return mkOr(mkNot(C), T);
+    if (E->isFalse())
+      return mkAnd(C, T);
+  }
+  // Nested selections on the same condition.
+  if (T->op() == Op::Ite && T->operand(0) == C)
+    T = T->operand(1);
+  if (E->op() == Op::Ite && E->operand(0) == C)
+    E = E->operand(2);
+  if (T == E)
+    return T;
+  return intern(Op::Ite, T->type(), 0, {C, T, E});
+}
+
+TermRef TermContext::mkEq(TermRef A, TermRef B) {
+  assert(A->type() == B->type() && "eq requires equal types");
+  if (A == B)
+    return trueConst();
+  const Type *Ty = A->type();
+  if (Ty->isUnit())
+    return trueConst();
+  if (Ty->isTuple()) {
+    // Decompose structurally so the solver only sees scalar equalities.
+    TermRef Acc = trueConst();
+    for (unsigned I = 0; I < Ty->arity(); ++I)
+      Acc = mkAnd(Acc, mkEq(mkTupleGet(A, I), mkTupleGet(B, I)));
+    return Acc;
+  }
+  if (A->isConst() && B->isConst())
+    return boolConst(A->constBits() == B->constBits());
+  if (Ty->isBool()) {
+    if (B->isTrue())
+      return A;
+    if (B->isFalse())
+      return mkNot(A);
+    if (A->isTrue())
+      return B;
+    if (A->isFalse())
+      return mkNot(B);
+    if (isComplement(A, B))
+      return falseConst();
+  }
+  if (A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::Eq, boolTy(), 0, {A, B});
+}
+
+//===----------------------------------------------------------------------===
+// Comparisons
+//===----------------------------------------------------------------------===
+
+TermRef TermContext::mkUlt(TermRef A, TermRef B) {
+  assert(A->type() == B->type() && A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  if (A->isConst() && B->isConst())
+    return boolConst(evalBvCompare(Op::Ult, W, A->constBits(), B->constBits()));
+  if (A == B)
+    return falseConst();
+  if (B->isConst() && B->constBits() == 0)
+    return falseConst(); // x < 0 unsigned
+  if (A->isConst() && A->constBits() == A->type()->mask())
+    return falseConst(); // max < x
+  if (A->isConst() && A->constBits() == 0)
+    return mkNot(mkEq(B, A)); // 0 < x  <=>  x != 0
+  if (B->isConst() && B->constBits() == B->type()->mask())
+    return mkNot(mkEq(A, B)); // x < max  <=>  x != max
+  return intern(Op::Ult, boolTy(), 0, {A, B});
+}
+
+TermRef TermContext::mkUle(TermRef A, TermRef B) {
+  assert(A->type() == B->type() && A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  if (A->isConst() && B->isConst())
+    return boolConst(evalBvCompare(Op::Ule, W, A->constBits(), B->constBits()));
+  if (A == B)
+    return trueConst();
+  if (A->isConst() && A->constBits() == 0)
+    return trueConst(); // 0 <= x
+  if (B->isConst() && B->constBits() == B->type()->mask())
+    return trueConst(); // x <= max
+  if (B->isConst() && B->constBits() == 0)
+    return mkEq(A, B); // x <= 0  <=>  x == 0
+  if (A->isConst() && A->constBits() == A->type()->mask())
+    return mkEq(B, A); // max <= x  <=>  x == max
+  return intern(Op::Ule, boolTy(), 0, {A, B});
+}
+
+TermRef TermContext::mkSlt(TermRef A, TermRef B) {
+  assert(A->type() == B->type() && A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  if (A->isConst() && B->isConst())
+    return boolConst(evalBvCompare(Op::Slt, W, A->constBits(), B->constBits()));
+  if (A == B)
+    return falseConst();
+  return intern(Op::Slt, boolTy(), 0, {A, B});
+}
+
+TermRef TermContext::mkSle(TermRef A, TermRef B) {
+  assert(A->type() == B->type() && A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  if (A->isConst() && B->isConst())
+    return boolConst(evalBvCompare(Op::Sle, W, A->constBits(), B->constBits()));
+  if (A == B)
+    return trueConst();
+  return intern(Op::Sle, boolTy(), 0, {A, B});
+}
+
+TermRef TermContext::mkInRange(TermRef X, uint64_t Lo, uint64_t Hi) {
+  assert(X->type()->isBitVec());
+  const Type *Ty = X->type();
+  if (Lo == Hi)
+    return mkEq(X, bvConst(Ty, Lo));
+  return mkAnd(mkUle(bvConst(Ty, Lo), X), mkUle(X, bvConst(Ty, Hi)));
+}
+
+//===----------------------------------------------------------------------===
+// Arithmetic / bitwise
+//===----------------------------------------------------------------------===
+
+TermRef TermContext::foldBinary(Op O, TermRef A, TermRef B) {
+  assert(A->type() == B->type() && A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  if (A->isConst() && B->isConst())
+    return bvConst(A->type(),
+                   evalBvBinary(O, W, A->constBits(), B->constBits()));
+  return nullptr;
+}
+
+TermRef TermContext::mkAdd(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::Add, A, B))
+    return F;
+  if (A->isConst())
+    std::swap(A, B); // constants to the right
+  if (B->isConst() && B->constBits() == 0)
+    return A;
+  // (x + c1) + c2 -> x + (c1 + c2)
+  if (B->isConst() && A->op() == Op::Add && A->operand(1)->isConst())
+    return mkAdd(A->operand(0),
+                 bvConst(A->type(), A->operand(1)->constBits() +
+                                        B->constBits()));
+  if (!A->isConst() && !B->isConst() && A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::Add, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkSub(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::Sub, A, B))
+    return F;
+  if (B->isConst() && B->constBits() == 0)
+    return A;
+  if (A == B)
+    return bvConst(A->type(), 0);
+  // x - c  ->  x + (-c): reuse Add's reassociation.
+  if (B->isConst())
+    return mkAdd(A, bvConst(A->type(), ~B->constBits() + 1));
+  if (A->isConst() && A->constBits() == 0)
+    return mkNeg(B);
+  return intern(Op::Sub, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkMul(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::Mul, A, B))
+    return F;
+  if (A->isConst())
+    std::swap(A, B);
+  if (B->isConst()) {
+    if (B->constBits() == 0)
+      return B;
+    if (B->constBits() == 1)
+      return A;
+    if (A->op() == Op::Mul && A->operand(1)->isConst())
+      return mkMul(A->operand(0),
+                   bvConst(A->type(), A->operand(1)->constBits() *
+                                          B->constBits()));
+  }
+  if (!A->isConst() && !B->isConst() && A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::Mul, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkUDiv(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::UDiv, A, B))
+    return F;
+  if (B->isConst() && B->constBits() == 1)
+    return A;
+  return intern(Op::UDiv, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkURem(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::URem, A, B))
+    return F;
+  if (B->isConst() && B->constBits() == 1)
+    return bvConst(A->type(), 0);
+  return intern(Op::URem, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkNeg(TermRef A) {
+  assert(A->type()->isBitVec());
+  if (A->isConst())
+    return bvConst(A->type(), ~A->constBits() + 1);
+  if (A->op() == Op::Neg)
+    return A->operand(0);
+  return intern(Op::Neg, A->type(), 0, {A});
+}
+
+TermRef TermContext::mkBvAnd(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::BvAnd, A, B))
+    return F;
+  if (A->isConst())
+    std::swap(A, B);
+  if (B->isConst()) {
+    if (B->constBits() == 0)
+      return B;
+    if (B->constBits() == B->type()->mask())
+      return A;
+  }
+  if (A == B)
+    return A;
+  if (!A->isConst() && !B->isConst() && A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::BvAnd, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkBvOr(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::BvOr, A, B))
+    return F;
+  if (A->isConst())
+    std::swap(A, B);
+  if (B->isConst()) {
+    if (B->constBits() == 0)
+      return A;
+    if (B->constBits() == B->type()->mask())
+      return B;
+  }
+  if (A == B)
+    return A;
+  if (!A->isConst() && !B->isConst() && A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::BvOr, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkBvXor(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::BvXor, A, B))
+    return F;
+  if (A->isConst())
+    std::swap(A, B);
+  if (B->isConst() && B->constBits() == 0)
+    return A;
+  if (A == B)
+    return bvConst(A->type(), 0);
+  if (!A->isConst() && !B->isConst() && A->id() > B->id())
+    std::swap(A, B);
+  return intern(Op::BvXor, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkBvNot(TermRef A) {
+  assert(A->type()->isBitVec());
+  if (A->isConst())
+    return bvConst(A->type(), ~A->constBits());
+  if (A->op() == Op::BvNot)
+    return A->operand(0);
+  return intern(Op::BvNot, A->type(), 0, {A});
+}
+
+TermRef TermContext::mkShl(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::Shl, A, B))
+    return F;
+  if (B->isConst() && B->constBits() == 0)
+    return A;
+  return intern(Op::Shl, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkLShr(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::LShr, A, B))
+    return F;
+  if (B->isConst() && B->constBits() == 0)
+    return A;
+  return intern(Op::LShr, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkAShr(TermRef A, TermRef B) {
+  if (TermRef F = foldBinary(Op::AShr, A, B))
+    return F;
+  if (B->isConst() && B->constBits() == 0)
+    return A;
+  return intern(Op::AShr, A->type(), 0, {A, B});
+}
+
+TermRef TermContext::mkShlC(TermRef A, unsigned Amount) {
+  return mkShl(A, bvConst(A->type(), Amount));
+}
+
+TermRef TermContext::mkLShrC(TermRef A, unsigned Amount) {
+  return mkLShr(A, bvConst(A->type(), Amount));
+}
+
+//===----------------------------------------------------------------------===
+// Width changing
+//===----------------------------------------------------------------------===
+
+TermRef TermContext::mkZExt(TermRef A, unsigned NewWidth) {
+  assert(A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  assert(NewWidth >= W && "zext cannot narrow");
+  if (NewWidth == W)
+    return A;
+  if (A->isConst())
+    return bvConst(bv(NewWidth), A->constBits());
+  if (A->op() == Op::ZExt)
+    return mkZExt(A->operand(0), NewWidth);
+  return intern(Op::ZExt, bv(NewWidth), 0, {A});
+}
+
+TermRef TermContext::mkSExt(TermRef A, unsigned NewWidth) {
+  assert(A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  assert(NewWidth >= W && "sext cannot narrow");
+  if (NewWidth == W)
+    return A;
+  if (A->isConst())
+    return bvConst(bv(NewWidth), uint64_t(toSigned(W, A->constBits())));
+  if (A->op() == Op::SExt)
+    return mkSExt(A->operand(0), NewWidth);
+  return intern(Op::SExt, bv(NewWidth), 0, {A});
+}
+
+TermRef TermContext::mkExtract(TermRef A, unsigned Hi, unsigned Lo) {
+  assert(A->type()->isBitVec());
+  unsigned W = A->type()->width();
+  assert(Lo <= Hi && Hi < W && "extract out of range");
+  if (Lo == 0 && Hi == W - 1)
+    return A;
+  unsigned NewW = Hi - Lo + 1;
+  if (A->isConst())
+    return bvConst(bv(NewW), A->constBits() >> Lo);
+  if (A->op() == Op::Extract)
+    return mkExtract(A->operand(0), A->extractLo() + Hi, A->extractLo() + Lo);
+  if (A->op() == Op::ZExt && Hi < A->operand(0)->type()->width())
+    return mkExtract(A->operand(0), Hi, Lo);
+  return intern(Op::Extract, bv(NewW), (uint64_t(Hi) << 32) | Lo, {A});
+}
+
+//===----------------------------------------------------------------------===
+// Tuples
+//===----------------------------------------------------------------------===
+
+TermRef TermContext::mkTuple(std::vector<TermRef> Elems) {
+  std::vector<const Type *> Tys;
+  Tys.reserve(Elems.size());
+  for (TermRef E : Elems)
+    Tys.push_back(E->type());
+  const Type *Ty = tupleTy(std::move(Tys));
+  // Eta: <get(t,0), ..., get(t,n-1)> == t when t already has this type.
+  if (!Elems.empty() && Elems[0]->op() == Op::TupleGet &&
+      Elems[0]->tupleIndex() == 0) {
+    TermRef Base = Elems[0]->operand(0);
+    if (Base->type() == Ty) {
+      bool AllMatch = true;
+      for (size_t I = 0; I < Elems.size(); ++I)
+        if (Elems[I]->op() != Op::TupleGet || Elems[I]->tupleIndex() != I ||
+            Elems[I]->operand(0) != Base) {
+          AllMatch = false;
+          break;
+        }
+      if (AllMatch)
+        return Base;
+    }
+  }
+  return intern(Op::MkTuple, Ty, 0, std::move(Elems));
+}
+
+TermRef TermContext::mkTupleGet(TermRef T, unsigned Index) {
+  assert(T->type()->isTuple() && Index < T->type()->arity());
+  if (T->op() == Op::MkTuple)
+    return T->operand(Index);
+  // Push projections through selections so the solver and the blaster only
+  // ever see projections applied to variables.
+  if (T->op() == Op::Ite)
+    return mkIte(T->operand(0), mkTupleGet(T->operand(1), Index),
+                 mkTupleGet(T->operand(2), Index));
+  return intern(Op::TupleGet, T->type()->elems()[Index], Index, {T});
+}

@@ -1,0 +1,180 @@
+//===- term/TermContext.h - Term factory with normalization -----*- C++ -*-===//
+///
+/// \file
+/// TermContext owns all types and terms of one analysis session and is the
+/// only way to create them.  Construction performs aggressive local
+/// normalization (constant folding, algebraic identities, tuple
+/// cancellation), which keeps fused rules small and makes many of the
+/// fusion algorithm's redundancy checks decidable by pointer comparison
+/// before an SMT call is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_TERMCONTEXT_H
+#define EFC_TERM_TERMCONTEXT_H
+
+#include "term/Term.h"
+#include "term/Type.h"
+#include "term/Value.h"
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace efc {
+
+/// Factory and owner of all terms and types.
+class TermContext {
+public:
+  TermContext() = default;
+  TermContext(const TermContext &) = delete;
+  TermContext &operator=(const TermContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Types
+  //===--------------------------------------------------------------------===
+  const Type *boolTy() { return Types.boolTy(); }
+  const Type *unitTy() { return Types.unitTy(); }
+  const Type *bv(unsigned Width) { return Types.bv(Width); }
+  const Type *byteTy() { return bv(8); }
+  const Type *charTy() { return bv(16); } // UTF-16 code unit, as in the paper
+  const Type *intTy() { return bv(32); }
+  const Type *tupleTy(std::vector<const Type *> Elems) {
+    return Types.tuple(std::move(Elems));
+  }
+  const Type *pairTy(const Type *A, const Type *B) {
+    return Types.pair(A, B);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Variables
+  //===--------------------------------------------------------------------===
+
+  /// Returns the variable with this name, interning it on first use.  The
+  /// same (name, type) pair always yields the same term; reusing a name at
+  /// a different type creates a distinct variable (the paper's `x : iota`
+  /// vs `x : rho` convention).
+  TermRef var(std::string_view Name, const Type *Ty);
+
+  /// A variable guaranteed not to collide with any existing one.
+  TermRef freshVar(std::string_view Prefix, const Type *Ty);
+
+  const std::string &varName(unsigned VarId) const;
+  const Type *varType(unsigned VarId) const;
+  unsigned numVars() const { return unsigned(Vars.size()); }
+
+  //===--------------------------------------------------------------------===
+  // Constants
+  //===--------------------------------------------------------------------===
+  TermRef boolConst(bool B);
+  TermRef trueConst() { return boolConst(true); }
+  TermRef falseConst() { return boolConst(false); }
+  TermRef bvConst(const Type *Ty, uint64_t Bits);
+  TermRef bvConst(unsigned Width, uint64_t Bits) {
+    return bvConst(bv(Width), Bits);
+  }
+  TermRef unitConst();
+
+  /// The term denoting a concrete value of the given type (tuples become
+  /// MkTuple of constants).
+  TermRef constOf(const Type *Ty, const Value &V);
+
+  //===--------------------------------------------------------------------===
+  // Boolean connectives
+  //===--------------------------------------------------------------------===
+  TermRef mkNot(TermRef A);
+  TermRef mkAnd(TermRef A, TermRef B);
+  TermRef mkOr(TermRef A, TermRef B);
+  TermRef mkAnd(std::span<const TermRef> Ts);
+  TermRef mkImplies(TermRef A, TermRef B) { return mkOr(mkNot(A), B); }
+
+  //===--------------------------------------------------------------------===
+  // Polymorphic
+  //===--------------------------------------------------------------------===
+  TermRef mkIte(TermRef C, TermRef T, TermRef E);
+  TermRef mkEq(TermRef A, TermRef B);
+  TermRef mkNeq(TermRef A, TermRef B) { return mkNot(mkEq(A, B)); }
+
+  //===--------------------------------------------------------------------===
+  // Bitvector comparisons
+  //===--------------------------------------------------------------------===
+  TermRef mkUlt(TermRef A, TermRef B);
+  TermRef mkUle(TermRef A, TermRef B);
+  TermRef mkSlt(TermRef A, TermRef B);
+  TermRef mkSle(TermRef A, TermRef B);
+  /// Unsigned Lo <= X <= Hi — the pervasive range guard of the paper.
+  TermRef mkInRange(TermRef X, uint64_t Lo, uint64_t Hi);
+
+  //===--------------------------------------------------------------------===
+  // Bitvector arithmetic / bitwise
+  //===--------------------------------------------------------------------===
+  TermRef mkAdd(TermRef A, TermRef B);
+  TermRef mkSub(TermRef A, TermRef B);
+  TermRef mkMul(TermRef A, TermRef B);
+  TermRef mkUDiv(TermRef A, TermRef B);
+  TermRef mkURem(TermRef A, TermRef B);
+  TermRef mkNeg(TermRef A);
+  TermRef mkBvAnd(TermRef A, TermRef B);
+  TermRef mkBvOr(TermRef A, TermRef B);
+  TermRef mkBvXor(TermRef A, TermRef B);
+  TermRef mkBvNot(TermRef A);
+  TermRef mkShl(TermRef A, TermRef B);
+  TermRef mkLShr(TermRef A, TermRef B);
+  TermRef mkAShr(TermRef A, TermRef B);
+  TermRef mkShlC(TermRef A, unsigned Amount);
+  TermRef mkLShrC(TermRef A, unsigned Amount);
+
+  //===--------------------------------------------------------------------===
+  // Width changing
+  //===--------------------------------------------------------------------===
+  TermRef mkZExt(TermRef A, unsigned NewWidth);
+  TermRef mkSExt(TermRef A, unsigned NewWidth);
+  TermRef mkExtract(TermRef A, unsigned Hi, unsigned Lo);
+
+  //===--------------------------------------------------------------------===
+  // Tuples
+  //===--------------------------------------------------------------------===
+  TermRef mkTuple(std::vector<TermRef> Elems);
+  TermRef mkPair(TermRef A, TermRef B) {
+    return mkTuple(std::vector<TermRef>{A, B});
+  }
+  TermRef mkTupleGet(TermRef T, unsigned Index);
+  /// pi_1 / pi_2 of the paper.
+  TermRef mkProj1(TermRef T) { return mkTupleGet(T, 0); }
+  TermRef mkProj2(TermRef T) { return mkTupleGet(T, 1); }
+
+  size_t numTerms() const { return Pool.size(); }
+
+private:
+  struct VarInfo {
+    std::string Name;
+    const Type *Ty;
+  };
+
+  TypeFactory Types;
+  std::deque<Term> Pool;
+  std::vector<VarInfo> Vars;
+  std::unordered_map<std::string, unsigned> VarByName;
+  unsigned FreshCounter = 0;
+
+  struct KeyHash {
+    size_t operator()(const Term *T) const { return T->hash(); }
+  };
+  struct KeyEq {
+    bool operator()(const Term *A, const Term *B) const;
+  };
+  std::unordered_map<const Term *, TermRef, KeyHash, KeyEq> Interned;
+
+  /// Interns the described node, assuming no further simplification applies.
+  TermRef intern(Op O, const Type *Ty, uint64_t Aux,
+                 std::vector<TermRef> Operands);
+
+  TermRef foldBinary(Op O, TermRef A, TermRef B);
+  static bool isComplement(TermRef A, TermRef B);
+};
+
+} // namespace efc
+
+#endif // EFC_TERM_TERMCONTEXT_H

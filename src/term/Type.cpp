@@ -1,0 +1,89 @@
+//===- term/Type.cpp ------------------------------------------------------===//
+
+#include "term/Type.h"
+
+using namespace efc;
+
+void Type::flatten(std::vector<const Type *> &Out) const {
+  switch (Kind) {
+  case TypeKind::Bool:
+  case TypeKind::BitVec:
+    Out.push_back(this);
+    return;
+  case TypeKind::Unit:
+    return;
+  case TypeKind::Tuple:
+    for (const Type *E : Elems)
+      E->flatten(Out);
+    return;
+  }
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Unit:
+    return "unit";
+  case TypeKind::BitVec:
+    return "bv" + std::to_string(Width);
+  case TypeKind::Tuple: {
+    std::string S = "(";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        S += " x ";
+      S += Elems[I]->str();
+    }
+    S += ")";
+    return S;
+  }
+  }
+  return "?";
+}
+
+TypeFactory::TypeFactory() {
+  auto B = std::unique_ptr<Type>(new Type(TypeKind::Bool, 0, {}));
+  B->NumLeaves = 1;
+  BoolTy = intern(std::move(B));
+  auto U = std::unique_ptr<Type>(new Type(TypeKind::Unit, 0, {}));
+  U->NumLeaves = 0;
+  UnitTy = intern(std::move(U));
+}
+
+const Type *TypeFactory::intern(std::unique_ptr<Type> T) {
+  Owned.push_back(std::move(T));
+  return Owned.back().get();
+}
+
+const Type *TypeFactory::bv(unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "bitvector width must be in [1,64]");
+  auto It = BvCache.find(Width);
+  if (It != BvCache.end())
+    return It->second;
+  auto T = std::unique_ptr<Type>(new Type(TypeKind::BitVec, Width, {}));
+  T->NumLeaves = 1;
+  const Type *Res = intern(std::move(T));
+  BvCache.emplace(Width, Res);
+  return Res;
+}
+
+const Type *TypeFactory::tuple(std::vector<const Type *> Elems) {
+  // Key tuples by the pointer identities of their elements.
+  std::string Key;
+  Key.reserve(Elems.size() * sizeof(void *));
+  for (const Type *E : Elems) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(E);
+    Key.append(reinterpret_cast<const char *>(&P), sizeof(P));
+  }
+  auto It = TupleCache.find(Key);
+  if (It != TupleCache.end())
+    return It->second;
+  unsigned Leaves = 0;
+  for (const Type *E : Elems)
+    Leaves += E->numLeaves();
+  auto T = std::unique_ptr<Type>(new Type(TypeKind::Tuple, 0, std::move(Elems)));
+  T->NumLeaves = Leaves;
+  const Type *Res = intern(std::move(T));
+  TupleCache.emplace(std::move(Key), Res);
+  return Res;
+}

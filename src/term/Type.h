@@ -1,0 +1,107 @@
+//===- term/Type.h - Interned types for the term language ------*- C++ -*-===//
+//
+// Part of the EFC project: a C++ reproduction of "Fusing Effectful
+// Comprehensions" (PLDI 2017).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for the symbolic term language used in rules of branching symbolic
+/// transducers: booleans, fixed-width bitvectors (up to 64 bits), the unit
+/// type, and tuples thereof.  Types are interned by TypeFactory so pointer
+/// equality coincides with structural equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_TYPE_H
+#define EFC_TERM_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace efc {
+
+enum class TypeKind : uint8_t { Bool, BitVec, Unit, Tuple };
+
+/// An interned type.  Instances are owned by a TypeFactory; users hold
+/// `const Type *` and may compare types by pointer.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isBitVec() const { return Kind == TypeKind::BitVec; }
+  bool isUnit() const { return Kind == TypeKind::Unit; }
+  bool isTuple() const { return Kind == TypeKind::Tuple; }
+  bool isScalar() const { return isBool() || isBitVec(); }
+
+  /// Bit width of a BitVec type (1..64).
+  unsigned width() const {
+    assert(isBitVec() && "width() requires a BitVec type");
+    return Width;
+  }
+
+  /// Mask with the low `width()` bits set (BitVec only).
+  uint64_t mask() const {
+    assert(isBitVec());
+    return Width >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+  }
+
+  /// Element types of a Tuple type.
+  const std::vector<const Type *> &elems() const {
+    assert(isTuple() && "elems() requires a Tuple type");
+    return Elems;
+  }
+
+  unsigned arity() const { return isTuple() ? unsigned(Elems.size()) : 0; }
+
+  /// Total number of scalar leaves when the type is flattened (Unit counts
+  /// as zero leaves; scalars count as one).
+  unsigned numLeaves() const { return NumLeaves; }
+
+  /// Appends the scalar leaf types of this type, left to right.
+  void flatten(std::vector<const Type *> &Out) const;
+
+  /// Human-readable form, e.g. "bv8", "(bv32 x bool)".
+  std::string str() const;
+
+private:
+  friend class TypeFactory;
+  Type(TypeKind K, unsigned W, std::vector<const Type *> Es)
+      : Kind(K), Width(W), Elems(std::move(Es)) {}
+
+  TypeKind Kind;
+  unsigned Width = 0;
+  unsigned NumLeaves = 0;
+  std::vector<const Type *> Elems;
+};
+
+/// Interning factory for types.  Owned by TermContext.
+class TypeFactory {
+public:
+  TypeFactory();
+  TypeFactory(const TypeFactory &) = delete;
+  TypeFactory &operator=(const TypeFactory &) = delete;
+
+  const Type *boolTy() const { return BoolTy; }
+  const Type *unitTy() const { return UnitTy; }
+  const Type *bv(unsigned Width);
+  const Type *tuple(std::vector<const Type *> Elems);
+  const Type *pair(const Type *A, const Type *B) { return tuple({A, B}); }
+
+private:
+  std::vector<std::unique_ptr<Type>> Owned;
+  const Type *BoolTy;
+  const Type *UnitTy;
+  std::unordered_map<unsigned, const Type *> BvCache;
+  std::unordered_map<std::string, const Type *> TupleCache;
+
+  const Type *intern(std::unique_ptr<Type> T);
+};
+
+} // namespace efc
+
+#endif // EFC_TERM_TYPE_H

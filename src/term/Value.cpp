@@ -1,0 +1,69 @@
+//===- term/Value.cpp -----------------------------------------------------===//
+
+#include "term/Value.h"
+
+using namespace efc;
+
+Value Value::defaultOf(const Type *Ty) {
+  switch (Ty->kind()) {
+  case TypeKind::Bool:
+    return boolV(false);
+  case TypeKind::BitVec:
+    return bv(Ty->width(), 0);
+  case TypeKind::Unit:
+    return unit();
+  case TypeKind::Tuple: {
+    std::vector<Value> Es;
+    Es.reserve(Ty->elems().size());
+    for (const Type *E : Ty->elems())
+      Es.push_back(defaultOf(E));
+    return tuple(std::move(Es));
+  }
+  }
+  return unit();
+}
+
+bool Value::hasType(const Type *Ty) const {
+  switch (Ty->kind()) {
+  case TypeKind::Bool:
+    return isBool();
+  case TypeKind::BitVec:
+    return isBv() && width() == Ty->width();
+  case TypeKind::Unit:
+    return isUnit();
+  case TypeKind::Tuple: {
+    if (!isTuple() || Elems.size() != Ty->elems().size())
+      return false;
+    for (size_t I = 0; I < Elems.size(); ++I)
+      if (!Elems[I].hasType(Ty->elems()[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  switch (Kind) {
+  case TypeKind::Unit:
+    return "()";
+  case TypeKind::Bool:
+    return Bits ? "true" : "false";
+  case TypeKind::BitVec: {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "0x%llx", (unsigned long long)Bits);
+    return Buf;
+  }
+  case TypeKind::Tuple: {
+    std::string S = "<";
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += Elems[I].str();
+    }
+    S += ">";
+    return S;
+  }
+  }
+  return "?";
+}

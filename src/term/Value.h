@@ -1,0 +1,132 @@
+//===- term/Value.h - Runtime values for the term language ------*- C++ -*-===//
+///
+/// \file
+/// Concrete values of the term language: booleans, bitvectors (stored masked
+/// in a uint64_t) and tuples.  Used by the reference interpreter for BSTs and
+/// by solver models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TERM_VALUE_H
+#define EFC_TERM_VALUE_H
+
+#include "term/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efc {
+
+/// A concrete value.  Scalars carry their bit width so arithmetic can mask
+/// correctly; tuples own their element values.
+class Value {
+public:
+  Value() : Kind(TypeKind::Unit) {}
+
+  static Value boolV(bool B) {
+    Value V;
+    V.Kind = TypeKind::Bool;
+    V.Width = 1;
+    V.Bits = B ? 1 : 0;
+    return V;
+  }
+
+  static Value bv(unsigned Width, uint64_t Bits) {
+    assert(Width >= 1 && Width <= 64);
+    Value V;
+    V.Kind = TypeKind::BitVec;
+    V.Width = Width;
+    V.Bits = Bits & maskOf(Width);
+    return V;
+  }
+
+  static Value unit() { return Value(); }
+
+  static Value tuple(std::vector<Value> Elems) {
+    Value V;
+    V.Kind = TypeKind::Tuple;
+    V.Elems = std::move(Elems);
+    return V;
+  }
+
+  /// The default value of a type: false / 0 / unit / tuple of defaults.
+  static Value defaultOf(const Type *Ty);
+
+  TypeKind kind() const { return Kind; }
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isBv() const { return Kind == TypeKind::BitVec; }
+  bool isUnit() const { return Kind == TypeKind::Unit; }
+  bool isTuple() const { return Kind == TypeKind::Tuple; }
+
+  bool boolValue() const {
+    assert(isBool());
+    return Bits != 0;
+  }
+
+  uint64_t bits() const {
+    assert(isBool() || isBv());
+    return Bits;
+  }
+
+  unsigned width() const {
+    assert(isBv());
+    return Width;
+  }
+
+  /// Value sign-extended to 64 bits (BitVec only).
+  int64_t signedBits() const {
+    assert(isBv());
+    if (Width == 64)
+      return int64_t(Bits);
+    uint64_t SignBit = uint64_t(1) << (Width - 1);
+    return int64_t((Bits ^ SignBit)) - int64_t(SignBit);
+  }
+
+  const std::vector<Value> &elems() const {
+    assert(isTuple());
+    return Elems;
+  }
+
+  const Value &elem(size_t I) const {
+    assert(isTuple() && I < Elems.size());
+    return Elems[I];
+  }
+
+  bool operator==(const Value &O) const {
+    if (Kind != O.Kind)
+      return false;
+    switch (Kind) {
+    case TypeKind::Unit:
+      return true;
+    case TypeKind::Bool:
+      return Bits == O.Bits;
+    case TypeKind::BitVec:
+      return Width == O.Width && Bits == O.Bits;
+    case TypeKind::Tuple:
+      return Elems == O.Elems;
+    }
+    return false;
+  }
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  /// True when the value conforms to the given type.
+  bool hasType(const Type *Ty) const;
+
+  std::string str() const;
+
+  static uint64_t maskOf(unsigned Width) {
+    return Width >= 64 ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+  }
+
+private:
+  TypeKind Kind;
+  unsigned Width = 0;
+  uint64_t Bits = 0;
+  std::vector<Value> Elems;
+};
+
+} // namespace efc
+
+#endif // EFC_TERM_VALUE_H

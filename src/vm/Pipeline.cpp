@@ -1,0 +1,158 @@
+//===- vm/Pipeline.cpp ----------------------------------------------------===//
+
+#include "vm/Pipeline.h"
+
+using namespace efc;
+
+namespace {
+
+/// Source stage: enumerates a span.
+class SourceEnumerator final : public Enumerator {
+public:
+  explicit SourceEnumerator(std::span<const uint64_t> In) : In(In) {}
+
+  bool next(uint64_t &V) override {
+    if (Pos >= In.size())
+      return false;
+    V = In[Pos++];
+    return true;
+  }
+  bool failed() const override { return false; }
+
+private:
+  std::span<const uint64_t> In;
+  size_t Pos = 0;
+};
+
+/// One transducer stage pulling from an upstream enumerator.
+class StageEnumerator final : public Enumerator {
+public:
+  StageEnumerator(const CompiledTransducer &T, Enumerator &Upstream)
+      : Cursor(T), Upstream(Upstream) {}
+
+  bool next(uint64_t &V) override {
+    while (BufPos >= Buffer.size()) {
+      if (Failed || Upstream.failed()) {
+        Failed = true;
+        return false;
+      }
+      Buffer.clear();
+      BufPos = 0;
+      uint64_t X;
+      if (Upstream.next(X)) {
+        if (!Cursor.feed(X, Buffer)) {
+          Failed = true;
+          return false;
+        }
+      } else {
+        if (Upstream.failed()) {
+          Failed = true;
+          return false;
+        }
+        if (Finished)
+          return false;
+        Finished = true;
+        if (!Cursor.finish(Buffer)) {
+          Failed = true;
+          return false;
+        }
+        if (Buffer.empty())
+          return false;
+      }
+    }
+    V = Buffer[BufPos++];
+    return true;
+  }
+
+  bool failed() const override { return Failed; }
+
+private:
+  CompiledTransducer::Cursor Cursor;
+  Enumerator &Upstream;
+  std::vector<uint64_t> Buffer;
+  size_t BufPos = 0;
+  bool Finished = false;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::optional<std::vector<uint64_t>>
+efc::runPullPipeline(const std::vector<const CompiledTransducer *> &Stages,
+                     std::span<const uint64_t> In) {
+  SourceEnumerator Source(In);
+  std::vector<std::unique_ptr<StageEnumerator>> Chain;
+  Enumerator *Up = &Source;
+  for (const CompiledTransducer *T : Stages) {
+    Chain.push_back(std::make_unique<StageEnumerator>(*T, *Up));
+    Up = Chain.back().get();
+  }
+  std::vector<uint64_t> Out;
+  uint64_t V;
+  while (Up->next(V))
+    Out.push_back(V);
+  if (Up->failed())
+    return std::nullopt;
+  return Out;
+}
+
+PushPipeline::PushPipeline(std::vector<const CompiledTransducer *> S)
+    : Stages(std::move(S)) {
+  for (const CompiledTransducer *T : Stages) {
+    Cursors.emplace_back(*T);
+    Scratch.emplace_back();
+  }
+}
+
+bool PushPipeline::push(size_t Stage, uint64_t V,
+                        std::vector<uint64_t> &Out) {
+  if (Stage == Stages.size()) {
+    Out.push_back(V);
+    return true;
+  }
+  std::vector<uint64_t> &Buf = Scratch[Stage];
+  size_t Before = Buf.size();
+  if (!Cursors[Stage].feed(V, Buf))
+    return false;
+  // Forward what this stage just produced, then shrink the buffer back.
+  for (size_t I = Before; I < Buf.size(); ++I)
+    if (!push(Stage + 1, Buf[I], Out))
+      return false;
+  Buf.resize(Before);
+  return true;
+}
+
+bool PushPipeline::flush(size_t Stage, std::vector<uint64_t> &Out) {
+  if (Stage == Stages.size())
+    return true;
+  std::vector<uint64_t> &Buf = Scratch[Stage];
+  Buf.clear();
+  if (!Cursors[Stage].finish(Buf))
+    return false;
+  for (uint64_t V : Buf)
+    if (!push(Stage + 1, V, Out))
+      return false;
+  return flush(Stage + 1, Out);
+}
+
+bool PushPipeline::run(std::span<const uint64_t> In,
+                       std::vector<uint64_t> &Out) {
+  for (size_t I = 0; I < Cursors.size(); ++I) {
+    Cursors[I].reset();
+    Scratch[I].clear();
+  }
+  for (uint64_t V : In)
+    if (!push(0, V, Out))
+      return false;
+  return flush(0, Out);
+}
+
+std::optional<std::vector<uint64_t>>
+efc::runPushPipeline(const std::vector<const CompiledTransducer *> &Stages,
+                     std::span<const uint64_t> In) {
+  PushPipeline P(Stages);
+  std::vector<uint64_t> Out;
+  if (!P.run(In, Out))
+    return std::nullopt;
+  return Out;
+}

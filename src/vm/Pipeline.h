@@ -1,0 +1,65 @@
+//===- vm/Pipeline.h - Staged pipeline execution strategies -----*- C++ -*-===//
+///
+/// \file
+/// The two unfused pipeline execution strategies measured in the paper's
+/// evaluation, built over CompiledTransducer:
+///
+///  * Pull ("LINQ"): each stage is a virtual enumerator pulling from its
+///    upstream through a per-stage buffer, modelling IEnumerable<T>.
+///  * Push ("Method call"): each element is pushed through the stages by
+///    direct per-element calls, modelling the method-call composition.
+///
+/// The fused variant is simply CompiledTransducer::run on the fused BST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_VM_PIPELINE_H
+#define EFC_VM_PIPELINE_H
+
+#include "vm/Vm.h"
+
+#include <memory>
+#include <optional>
+
+namespace efc {
+
+/// Pull-based enumerator interface ("IEnumerable").
+class Enumerator {
+public:
+  virtual ~Enumerator() = default;
+  /// Produces the next element; false at end of stream.
+  virtual bool next(uint64_t &V) = 0;
+  /// True when the stream ended because a stage rejected its input.
+  virtual bool failed() const = 0;
+};
+
+/// Runs the pipeline in pull style; std::nullopt when any stage rejects.
+std::optional<std::vector<uint64_t>>
+runPullPipeline(const std::vector<const CompiledTransducer *> &Stages,
+                std::span<const uint64_t> In);
+
+/// Runs the pipeline in push style; std::nullopt when any stage rejects.
+std::optional<std::vector<uint64_t>>
+runPushPipeline(const std::vector<const CompiledTransducer *> &Stages,
+                std::span<const uint64_t> In);
+
+/// Reusable push-pipeline (keeps cursors/buffers across runs for
+/// benchmarking).
+class PushPipeline {
+public:
+  explicit PushPipeline(std::vector<const CompiledTransducer *> Stages);
+
+  bool run(std::span<const uint64_t> In, std::vector<uint64_t> &Out);
+
+private:
+  std::vector<const CompiledTransducer *> Stages;
+  std::vector<CompiledTransducer::Cursor> Cursors;
+  std::vector<std::vector<uint64_t>> Scratch;
+
+  bool push(size_t Stage, uint64_t V, std::vector<uint64_t> &Out);
+  bool flush(size_t Stage, std::vector<uint64_t> &Out);
+};
+
+} // namespace efc
+
+#endif // EFC_VM_PIPELINE_H

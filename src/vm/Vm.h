@@ -1,0 +1,134 @@
+//===- vm/Vm.h - Compiled execution of BSTs ---------------------*- C++ -*-===//
+///
+/// \file
+/// A register-slot bytecode VM for BSTs.  Rules compile to branchy
+/// three-address programs over uint64 slots (register leaves live in fixed
+/// slots); the driver loop executes one program per input element.  This
+/// is the executable backend of the benchmark harness: the fused, method-
+/// call and LINQ-style pipeline variants all run on this same substrate,
+/// so their relative throughputs reflect the paper's comparison rather
+/// than interpreter-vs-native artifacts (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_VM_VM_H
+#define EFC_VM_VM_H
+
+#include "bst/Bst.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <span>
+#include <vector>
+
+namespace efc {
+
+enum class VmOp : uint8_t {
+  Const,   // dst = imm
+  Mov,     // dst = a
+  Add,     // dst = (a + b) & mask
+  Sub,     // dst = (a - b) & mask
+  Mul,     // dst = (a * b) & mask
+  UDiv,    // dst = b ? a / b : mask
+  URem,    // dst = b ? a % b : a
+  Neg,     // dst = (-a) & mask
+  And,     // dst = a & b
+  Or,      // dst = a | b
+  Xor,     // dst = a ^ b
+  NotBits, // dst = (~a) & mask
+  NotBool, // dst = a ^ 1
+  Shl,     // dst = b < width ? (a << b) & mask : 0
+  LShr,    // dst = b < width ? a >> b : 0
+  AShr,    // dst = sext(a) >> min(b, width-1), masked
+  Eq,      // dst = a == b
+  Ult,     // dst = a < b
+  Ule,     // dst = a <= b
+  Slt,     // dst = sext(a) < sext(b)
+  Sle,     // dst = sext(a) <= sext(b)
+  SExt,    // dst = sign-extend a from width, masked to 64 bits
+  Extract, // dst = (a >> imm) & mask
+  Select,  // dst = a ? b : c
+  Jz,      // if slot a == 0 jump to imm
+  Jmp,     // jump to imm
+  Emit,    // append slot a to the output
+  Next,    // commit: state = imm, copy staged register slots, end element
+  Reject,  // reject the input
+  Accept,  // end of a finalizer program: accept
+};
+
+struct VmInstr {
+  VmOp Op;
+  uint8_t Width = 0; // operand bit width for masking / sign extension
+  uint16_t Dst = 0;
+  uint16_t A = 0, B = 0, C = 0;
+  uint64_t Imm = 0;
+};
+
+/// One rule compiled to straight-line code with conditional jumps.
+struct VmProgram {
+  std::vector<VmInstr> Code;
+};
+
+/// Human-readable mnemonic for a VM opcode.
+const char *vmOpName(VmOp Op);
+
+/// Disassembles one program, one instruction per line.
+std::string disassemble(const VmProgram &P);
+
+/// A BST compiled for execution.  Input and output types must be scalar
+/// (every pipeline stage in the paper is char/byte/int valued).
+class CompiledTransducer {
+public:
+  /// Compiles \p A; returns std::nullopt when the input or output type is
+  /// not scalar.
+  static std::optional<CompiledTransducer> compile(const Bst &A);
+
+  unsigned numStates() const { return unsigned(Delta.size()); }
+  unsigned numRegSlots() const { return NumRegSlots; }
+  size_t codeSize() const;
+
+  /// Full disassembly of all state programs (diagnostics).
+  std::string disassembleAll() const;
+
+  /// Streaming execution state, used both by run() and by the push-based
+  /// pipeline variants.
+  class Cursor {
+  public:
+    explicit Cursor(const CompiledTransducer &T) : T(&T) { reset(); }
+
+    void reset();
+
+    /// Feeds one element; outputs are appended to \p Out.  Returns false
+    /// when the transducer rejects.
+    bool feed(uint64_t X, std::vector<uint64_t> &Out);
+
+    /// Runs the finalizer; returns false on rejection.
+    bool finish(std::vector<uint64_t> &Out);
+
+    unsigned state() const { return State; }
+
+  private:
+    const CompiledTransducer *T;
+    unsigned State = 0;
+    std::vector<uint64_t> Slots;
+
+    bool exec(const VmProgram &P, std::vector<uint64_t> &Out);
+  };
+
+  /// Whole-input transduction; std::nullopt on rejection.
+  std::optional<std::vector<uint64_t>> run(std::span<const uint64_t> In) const;
+
+private:
+  friend class Cursor;
+  std::vector<VmProgram> Delta;
+  std::vector<VmProgram> Fin;
+  unsigned InitState = 0;
+  unsigned NumRegSlots = 0;
+  unsigned NumSlots = 0; // total including temporaries
+  std::vector<uint64_t> InitRegs;
+};
+
+} // namespace efc
+
+#endif // EFC_VM_VM_H

@@ -1,0 +1,185 @@
+//===- tests/bst/BstTest.cpp - BST structure and interpreter tests --------===//
+
+#include "bst/Bst.h"
+#include "bst/BstPrint.h"
+#include "bst/Interp.h"
+#include "bst/Moves.h"
+#include "bst/Transform.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class BstTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(BstTest, PaperUtf8Example) {
+  // §2: input [0x61, 0xC5, 0x93] decodes to [0x61, 0x153] ("aœ").
+  Bst A = lib::makeUtf8Decode2(Ctx);
+  EXPECT_TRUE(A.wellFormed());
+  auto Out = runBst(A, lib::valuesFromBytes("\x61\xC5\x93"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 2u);
+  EXPECT_EQ((*Out)[0].bits(), 0x61u);
+  EXPECT_EQ((*Out)[1].bits(), 0x153u);
+}
+
+TEST_F(BstTest, Utf8RejectsTruncatedSequence) {
+  Bst A = lib::makeUtf8Decode2(Ctx);
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("\x61\xC5")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("\xC5\xC5")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("\x80")).has_value());
+}
+
+TEST_F(BstTest, ToIntParsesDecimal) {
+  Bst A = lib::makeToInt(Ctx);
+  EXPECT_TRUE(A.wellFormed());
+  auto Out = runBst(A, lib::valuesFromAscii("1234"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 1u);
+  EXPECT_EQ((*Out)[0].bits(), 1234u);
+}
+
+TEST_F(BstTest, ToIntRejectsEmptyAndNonDigits) {
+  Bst A = lib::makeToInt(Ctx);
+  EXPECT_FALSE(runBst(A, {}).has_value()) << "finalizer at p0 is Undef";
+  EXPECT_FALSE(runBst(A, lib::valuesFromAscii("12a")).has_value());
+}
+
+TEST_F(BstTest, TraceRecordsConfigurations) {
+  Bst A = lib::makeUtf8Decode2(Ctx);
+  Trace T = traceBst(A, lib::valuesFromBytes("\x61\xC5\x93"));
+  ASSERT_TRUE(T.Accepted);
+  ASSERT_EQ(T.States.size(), 4u);
+  EXPECT_EQ(T.States[0], 0u);
+  EXPECT_EQ(T.States[1], 0u);
+  EXPECT_EQ(T.States[2], 1u); // after lead byte
+  EXPECT_EQ(T.States[3], 0u);
+  // Register after the lead byte 0xC5: (0xC5 & 0x3F) << 6 = 0x140.
+  EXPECT_EQ(T.Registers[2].bits(), 0x140u);
+}
+
+TEST_F(BstTest, MovesFlattenGuardsAlongPaths) {
+  Bst A = lib::makeUtf8Decode2(Ctx);
+  std::vector<Move> Ms = movesOf(A);
+  // q0 has two Base leaves, q1 has one.
+  ASSERT_EQ(Ms.size(), 3u);
+  unsigned FromQ0 = 0;
+  for (const Move &M : Ms)
+    if (M.Src == 0)
+      ++FromQ0;
+  EXPECT_EQ(FromQ0, 2u);
+  // Every guard must be a boolean term.
+  for (const Move &M : Ms)
+    EXPECT_TRUE(M.Guard->type()->isBool());
+  // Final moves: only q0 accepts.
+  std::vector<FinalMove> Fs = finalMovesOf(A);
+  ASSERT_EQ(Fs.size(), 1u);
+  EXPECT_EQ(Fs[0].Src, 0u);
+}
+
+TEST_F(BstTest, CountBranches) {
+  Bst A = lib::makeUtf8Decode2(Ctx);
+  // 3 transition leaves + 1 finalizer leaf.
+  EXPECT_EQ(A.countBranches(), 4u);
+}
+
+TEST_F(BstTest, EliminateLeafReplacesExactBranch) {
+  Bst A = lib::makeUtf8Decode2(Ctx);
+  std::vector<Move> Ms = movesOf(A);
+  // Remove the multi-byte branch out of q0 (target state 1).
+  const Rule *Leaf = nullptr;
+  for (const Move &M : Ms)
+    if (M.Src == 0 && M.Dst == 1)
+      Leaf = M.Leaf;
+  ASSERT_NE(Leaf, nullptr);
+  RulePtr NewRule = eliminateLeaf(A.delta(0), Leaf);
+  A.setDelta(0, NewRule);
+  EXPECT_EQ(A.delta(0)->countBaseLeaves(), 1u);
+  // Now multi-byte input rejects but ASCII still works.
+  EXPECT_TRUE(runBst(A, lib::valuesFromBytes("az")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("\xC5\x93")).has_value());
+}
+
+TEST_F(BstTest, DeadEndElimination) {
+  // Build a 3-state transducer where state 2 is a dead-end sink.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 3, 0, Value::unit());
+  TermRef X = A.inputVar();
+  TermRef U = Ctx.unitConst();
+  A.setDelta(0, Rule::ite(Ctx.mkUle(X, Ctx.bvConst(8, 10)),
+                          Rule::base({X}, 0, U), Rule::base({}, 2, U)));
+  A.setDelta(2, Rule::base({}, 2, U));
+  A.setFinalizer(0, Rule::base({}, 0, U));
+  ASSERT_TRUE(A.wellFormed());
+
+  Bst B = eliminateDeadEnds(A);
+  EXPECT_EQ(B.numStates(), 1u);
+  EXPECT_EQ(B.delta(0)->countBaseLeaves(), 1u);
+  // Semantics preserved: accepted inputs unchanged, others reject.
+  std::vector<Value> Good = {Value::bv(8, 5)};
+  std::vector<Value> Bad = {Value::bv(8, 50)};
+  EXPECT_TRUE(runBst(B, Good).has_value());
+  EXPECT_FALSE(runBst(B, Bad).has_value());
+  EXPECT_EQ(*runBst(B, Good), *runBst(A, Good));
+}
+
+TEST_F(BstTest, RestrictStatesRemaps) {
+  Bst A = lib::makeToBool(Ctx);
+  std::vector<bool> Reach = forwardReachableStates(A);
+  EXPECT_TRUE(Reach[0]);
+  // All 10 states of ToBool are forward reachable.
+  for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    EXPECT_TRUE(Reach[Q]) << "state " << Q;
+}
+
+TEST_F(BstTest, WellFormednessCatchesTypeErrors) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 1, 0, Value::unit());
+  // Output of wrong width.
+  A.setDelta(0, Rule::base({Ctx.bvConst(16, 1)}, 0, Ctx.unitConst()));
+  std::string Err;
+  EXPECT_FALSE(A.wellFormed(&Err));
+  EXPECT_NE(Err.find("output"), std::string::npos);
+}
+
+TEST_F(BstTest, WellFormednessCatchesForeignVariables) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 1, 0, Value::unit());
+  TermRef Foreign = Ctx.var("y", Ctx.bv(8));
+  A.setDelta(0, Rule::base({Foreign}, 0, Ctx.unitConst()));
+  std::string Err;
+  EXPECT_FALSE(A.wellFormed(&Err));
+  EXPECT_NE(Err.find("variable"), std::string::npos);
+}
+
+TEST_F(BstTest, FinalizerCannotUseInput) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 1, 0, Value::unit());
+  A.setFinalizer(0, Rule::base({A.inputVar()}, 0, Ctx.unitConst()));
+  EXPECT_FALSE(A.wellFormed());
+}
+
+TEST_F(BstTest, PrinterShowsStates) {
+  Bst A = lib::makeToInt(Ctx);
+  std::string S = bstToString(A);
+  EXPECT_NE(S.find("p0"), std::string::npos);
+  EXPECT_NE(S.find("p1"), std::string::npos);
+  EXPECT_NE(S.find("finalizer"), std::string::npos);
+}
+
+TEST_F(BstTest, RuleIteConstructorSimplifies) {
+  TermRef U = Ctx.unitConst();
+  RulePtr B1 = Rule::base({}, 0, U);
+  RulePtr B2 = Rule::base({}, 0, U);
+  // Equal branches collapse.
+  EXPECT_EQ(Rule::ite(Ctx.var("c", Ctx.boolTy()), B1, B2), B1);
+  // Constant conditions select a branch.
+  RulePtr B3 = Rule::base({}, 1, U);
+  EXPECT_EQ(Rule::ite(Ctx.trueConst(), B1, B3), B1);
+  EXPECT_EQ(Rule::ite(Ctx.falseConst(), B1, B3), B3);
+}
+
+} // namespace

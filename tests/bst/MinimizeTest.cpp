@@ -1,0 +1,132 @@
+//===- tests/bst/MinimizeTest.cpp - Control-state minimization ------------===//
+//
+// Tests of the paper's future-work optimization: minimization of the
+// fused transducer's control flow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/Interp.h"
+#include "bst/Minimize.h"
+#include "fusion/Fusion.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class MinimizeTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(MinimizeTest, MergesToIntDuplicateStep) {
+  // ToInt's p0 and p1 share the transition rule; they differ only in the
+  // finalizer, so minimization must NOT merge them.
+  Bst A = lib::makeToInt(Ctx);
+  MinimizeStats St;
+  Bst M = minimizeStates(A, &St);
+  EXPECT_EQ(M.numStates(), 2u);
+}
+
+TEST_F(MinimizeTest, MergesGenuineDuplicates) {
+  // Three states where 1 and 2 are exact duplicates.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 3, 0, Value::unit());
+  TermRef X = A.inputVar();
+  TermRef U = Ctx.unitConst();
+  TermRef G = Ctx.mkUle(X, Ctx.bvConst(8, 10));
+  A.setDelta(0, Rule::ite(G, Rule::base({X}, 1, U), Rule::base({X}, 2, U)));
+  A.setDelta(1, Rule::ite(G, Rule::base({}, 0, U), Rule::undef()));
+  A.setDelta(2, Rule::ite(G, Rule::base({}, 0, U), Rule::undef()));
+  A.setFinalizer(0, Rule::base({}, 0, U));
+  A.setFinalizer(1, Rule::base({}, 1, U)); // target ignored semantically
+  A.setFinalizer(2, Rule::base({}, 2, U));
+  ASSERT_TRUE(A.wellFormed());
+
+  MinimizeStats St;
+  Bst M = minimizeStates(A, &St);
+  EXPECT_EQ(St.StatesBefore, 3u);
+  EXPECT_EQ(M.numStates(), 2u);
+
+  // Semantics preserved.
+  SplitMix64 Rng(3);
+  for (int I = 0; I < 30; ++I) {
+    std::vector<Value> In;
+    for (size_t K = 0, N = Rng.below(8); K < N; ++K)
+      In.push_back(Value::bv(8, Rng.below(24)));
+    auto Before = runBst(A, In);
+    auto After = runBst(M, In);
+    ASSERT_EQ(Before.has_value(), After.has_value());
+    if (Before)
+      EXPECT_EQ(*Before, *After);
+  }
+}
+
+TEST_F(MinimizeTest, DistinguishesByFinalizer) {
+  // Identical deltas but different finalizers must stay separate.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 2, 0, Value::unit());
+  TermRef X = A.inputVar();
+  TermRef U = Ctx.unitConst();
+  A.setDelta(0, Rule::base({X}, 1, U));
+  A.setDelta(1, Rule::base({X}, 0, U));
+  A.setFinalizer(0, Rule::base({Ctx.bvConst(8, 1)}, 0, U));
+  A.setFinalizer(1, Rule::base({Ctx.bvConst(8, 2)}, 1, U));
+  Bst M = minimizeStates(A);
+  EXPECT_EQ(M.numStates(), 2u);
+}
+
+TEST_F(MinimizeTest, RecursiveEquivalenceClasses) {
+  // States 0/1 and 2/3 pairwise bisimilar through each other.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.unitTy(), 4, 0, Value::unit());
+  TermRef X = A.inputVar();
+  TermRef U = Ctx.unitConst();
+  A.setDelta(0, Rule::base({X}, 2, U));
+  A.setDelta(1, Rule::base({X}, 3, U));
+  A.setDelta(2, Rule::base({}, 0, U));
+  A.setDelta(3, Rule::base({}, 1, U));
+  for (unsigned Q = 0; Q < 4; ++Q)
+    A.setFinalizer(Q, Rule::base({}, Q, U));
+  Bst M = minimizeStates(A);
+  EXPECT_EQ(M.numStates(), 2u) << "0~1 and 2~3";
+}
+
+TEST_F(MinimizeTest, ShrinksFusedProducts) {
+  // Base64Decode x BytesToInt32 contains replicated consumer structure.
+  Bst B64 = lib::makeBase64Decode(Ctx);
+  Bst ToI = lib::makeBytesToInt32(Ctx);
+  Solver S(Ctx);
+  Bst Fused = fuse(B64, ToI, S);
+  MinimizeStats St;
+  Bst M = minimizeStates(Fused, &St);
+  EXPECT_LE(M.numStates(), Fused.numStates());
+
+  // Differential semantics on valid and junk inputs.
+  SplitMix64 Rng(9);
+  const char *Alpha = "ABCDEFabcdef0123456789+/=!";
+  for (int I = 0; I < 25; ++I) {
+    std::string In;
+    for (size_t K = 0, N = Rng.below(12); K < N; ++K)
+      In.push_back(Alpha[Rng.below(26)]);
+    auto Before = runBst(Fused, lib::valuesFromBytes(In));
+    auto After = runBst(M, lib::valuesFromBytes(In));
+    ASSERT_EQ(Before.has_value(), After.has_value()) << In;
+    if (Before)
+      EXPECT_EQ(*Before, *After) << In;
+  }
+}
+
+TEST_F(MinimizeTest, IdempotentAndStatsFilled) {
+  Bst A = lib::makeBase64Decode(Ctx);
+  MinimizeStats S1, S2;
+  Bst M1 = minimizeStates(A, &S1);
+  Bst M2 = minimizeStates(M1, &S2);
+  EXPECT_EQ(M1.numStates(), M2.numStates());
+  EXPECT_GE(S1.Rounds, 1u);
+  EXPECT_EQ(S1.StatesBefore, A.numStates());
+  EXPECT_EQ(S1.StatesAfter, M1.numStates());
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/codegen/CodeGenTest.cpp - Generated C++ self-checks ----------===//
+//
+// Generates C++ for several transducers (including fused pipelines),
+// compiles each unit with the host compiler and runs it; the generated
+// main() checks embedded test vectors computed with the reference
+// interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/Interp.h"
+#include "codegen/CppCodeGen.h"
+#include "codegen/NativeCompile.h"
+#include "fusion/Fusion.h"
+#include "rbbe/Rbbe.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace efc;
+
+namespace {
+
+class CodeGenTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  static std::vector<uint64_t> rawOf(const std::vector<Value> &Vs) {
+    std::vector<uint64_t> Out;
+    for (const Value &V : Vs)
+      Out.push_back(V.bits());
+    return Out;
+  }
+
+  static CodeGenTestVector vectorFor(const Bst &A,
+                                     const std::vector<Value> &In) {
+    CodeGenTestVector V;
+    V.Input = rawOf(In);
+    auto Out = runBst(A, In);
+    V.Accepts = Out.has_value();
+    if (Out)
+      V.Output = rawOf(*Out);
+    return V;
+  }
+
+  /// Compiles and runs a generated unit; returns the exit code, or -1 if
+  /// the compiler is unavailable.
+  static int compileAndRun(const std::string &Source,
+                           const std::string &Tag) {
+    std::string Dir = ::testing::TempDir();
+    std::string Src = Dir + "/efc_gen_" + Tag + ".cpp";
+    std::string Bin = Dir + "/efc_gen_" + Tag;
+    {
+      std::ofstream F(Src);
+      F << Source;
+    }
+    std::string Compile =
+        "c++ -std=c++17 -O1 -o " + Bin + " " + Src + " 2>" + Bin + ".log";
+    if (std::system(Compile.c_str()) != 0)
+      return 100; // compile failure
+    return std::system(Bin.c_str()) == 0 ? 0 : 1;
+  }
+};
+
+TEST_F(CodeGenTest, GeneratedSourceHasStateBlocks) {
+  Bst A = lib::makeToInt(Ctx);
+  std::string S = generateCpp(A);
+  EXPECT_NE(S.find("S0:"), std::string::npos);
+  EXPECT_NE(S.find("S1:"), std::string::npos);
+  EXPECT_NE(S.find("goto S1"), std::string::npos);
+  EXPECT_NE(S.find("F1:"), std::string::npos);
+  EXPECT_NE(S.find("return false"), std::string::npos);
+}
+
+TEST_F(CodeGenTest, ToIntCompilesAndChecks) {
+  Bst A = lib::makeToInt(Ctx);
+  CodeGenOptions Opts;
+  Opts.EmitMain = true;
+  std::vector<CodeGenTestVector> Vs = {
+      vectorFor(A, lib::valuesFromAscii("123")),
+      vectorFor(A, lib::valuesFromAscii("0")),
+      vectorFor(A, lib::valuesFromAscii("12x")),
+      vectorFor(A, lib::valuesFromAscii("")),
+  };
+  EXPECT_EQ(compileAndRun(generateCpp(A, Opts, Vs), "toint"), 0);
+}
+
+TEST_F(CodeGenTest, FusedPipelineCompilesAndChecks) {
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Bst ToInt = lib::makeToInt(Ctx);
+  Bst Fmt = lib::makeIntToDecimal(Ctx);
+  Bst Enc = lib::makeUtf8Encode(Ctx);
+  Solver S(Ctx);
+  Bst Front = eliminateUnreachableBranches(fuse(Dec, ToInt, S), S);
+  Bst Clean = fuseChain({&Front, &Fmt, &Enc}, S);
+
+  CodeGenOptions Opts;
+  Opts.FunctionName = "fused_pipeline";
+  Opts.EmitMain = true;
+  std::vector<CodeGenTestVector> Vs = {
+      vectorFor(Clean, lib::valuesFromBytes("00420")),
+      vectorFor(Clean, lib::valuesFromBytes("9")),
+      vectorFor(Clean, lib::valuesFromBytes("x1")),
+      vectorFor(Clean, lib::valuesFromBytes("")),
+  };
+  EXPECT_EQ(compileAndRun(generateCpp(Clean, Opts, Vs), "fused"), 0);
+}
+
+TEST_F(CodeGenTest, HtmlEncodeCompilesAndChecks) {
+  Bst Rep = lib::makeRep(Ctx);
+  Bst Html = lib::makeHtmlEncode(Ctx);
+  Solver S(Ctx);
+  Bst Fused = fuse(Rep, Html, S);
+  Bst Clean = eliminateUnreachableBranches(Fused, S);
+
+  CodeGenOptions Opts;
+  Opts.FunctionName = "html_encode";
+  Opts.EmitMain = true;
+  std::vector<CodeGenTestVector> Vs = {
+      vectorFor(Clean, lib::valuesFromChars(u"a<b&c")),
+      vectorFor(Clean, lib::valuesFromChars(u"\xD83D\xDE00")),
+      vectorFor(Clean, lib::valuesFromChars(u"\xD83Dz")),
+  };
+  EXPECT_EQ(compileAndRun(generateCpp(Clean, Opts, Vs), "html"), 0);
+}
+
+TEST_F(CodeGenTest, WindowedAverageCompilesAndChecks) {
+  // Exercises many register fields and staged writes.
+  Bst A = lib::makeWindowedAverage(Ctx, 4);
+  CodeGenOptions Opts;
+  Opts.FunctionName = "wavg";
+  Opts.EmitMain = true;
+  std::vector<Value> In = lib::valuesFromInts({5, 9, 2, 8, 100, 3});
+  std::vector<CodeGenTestVector> Vs = {vectorFor(A, In)};
+  EXPECT_EQ(compileAndRun(generateCpp(A, Opts, Vs), "wavg"), 0);
+}
+
+TEST_F(CodeGenTest, NativeTransducerMatchesVm) {
+  // Runtime-compiled shared object vs the VM on random inputs.
+  Bst Rep = lib::makeRep(Ctx);
+  Bst Html = lib::makeHtmlEncode(Ctx);
+  Solver S(Ctx);
+  Bst Fused = fuse(Rep, Html, S);
+
+  std::string Err;
+  auto Native = NativeTransducer::compile(Fused, "test_html", &Err);
+  ASSERT_TRUE(Native.has_value()) << Err;
+  auto Vm = CompiledTransducer::compile(Fused);
+  ASSERT_TRUE(Vm.has_value());
+
+  SplitMix64 Rng(77);
+  for (int Iter = 0; Iter < 10; ++Iter) {
+    std::vector<uint64_t> In;
+    for (int I = 0; I < 64; ++I)
+      In.push_back(Rng.below(0x10000));
+    auto A = Native->run(In);
+    auto B = Vm->run(In);
+    ASSERT_EQ(A.has_value(), B.has_value()) << Iter;
+    if (A)
+      EXPECT_EQ(*A, *B) << Iter;
+  }
+}
+
+TEST_F(CodeGenTest, NativeTransducerRejectsLikeInterpreter) {
+  Bst A = lib::makeToInt(Ctx);
+  std::string Err;
+  auto Native = NativeTransducer::compile(A, "test_toint", &Err);
+  ASSERT_TRUE(Native.has_value()) << Err;
+  std::vector<uint64_t> Good = {'1', '2'};
+  std::vector<uint64_t> Bad = {'1', 'x'};
+  std::vector<uint64_t> Empty;
+  EXPECT_TRUE(Native->run(Good).has_value());
+  EXPECT_FALSE(Native->run(Bad).has_value());
+  EXPECT_FALSE(Native->run(Empty).has_value());
+  EXPECT_EQ((*Native->run(Good))[0], 12u);
+}
+
+} // namespace

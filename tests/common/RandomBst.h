@@ -1,0 +1,95 @@
+//===- tests/common/RandomBst.h - Random transducer generator --*- C++ -*-===//
+///
+/// \file
+/// Shared generator of random well-formed BSTs over bv4 elements, used by
+/// the fusion and RBBE property suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TESTS_COMMON_RANDOMBST_H
+#define EFC_TESTS_COMMON_RANDOMBST_H
+
+#include "bst/Bst.h"
+#include "support/Stopwatch.h"
+
+namespace efc::testing {
+
+class RandomBstGen {
+public:
+  RandomBstGen(TermContext &Ctx, SplitMix64 &Rng) : Ctx(Ctx), Rng(Rng) {}
+
+  Bst make(unsigned NumStates) {
+    Bst A(Ctx, Ctx.bv(4), Ctx.bv(4), Ctx.bv(4), NumStates,
+          unsigned(Rng.below(NumStates)), Value::bv(4, Rng.below(16)));
+    for (unsigned Q = 0; Q < NumStates; ++Q) {
+      A.setDelta(Q, rule(A, NumStates, 2, /*Finalizer=*/false));
+      if (Rng.below(2))
+        A.setFinalizer(Q, rule(A, NumStates, 1, /*Finalizer=*/true));
+    }
+    return A;
+  }
+
+  std::vector<Value> randomInput(size_t MaxLen) {
+    std::vector<Value> In;
+    size_t N = Rng.below(MaxLen + 1);
+    for (size_t I = 0; I < N; ++I)
+      In.push_back(Value::bv(4, Rng.below(16)));
+    return In;
+  }
+
+private:
+  TermContext &Ctx;
+  SplitMix64 &Rng;
+
+  TermRef expr(const Bst &A, bool Finalizer, int Depth) {
+    TermRef R = A.regVar();
+    TermRef X = Finalizer ? R : A.inputVar();
+    if (Depth == 0) {
+      switch (Rng.below(3)) {
+      case 0:
+        return X;
+      case 1:
+        return R;
+      default:
+        return Ctx.bvConst(4, Rng.below(16));
+      }
+    }
+    TermRef L = expr(A, Finalizer, Depth - 1);
+    TermRef Rt = expr(A, Finalizer, Depth - 1);
+    switch (Rng.below(4)) {
+    case 0:
+      return Ctx.mkAdd(L, Rt);
+    case 1:
+      return Ctx.mkBvXor(L, Rt);
+    case 2:
+      return Ctx.mkSub(L, Rt);
+    default:
+      return Ctx.mkBvAnd(L, Rt);
+    }
+  }
+
+  RulePtr rule(const Bst &A, unsigned NumStates, int Depth,
+               bool Finalizer) {
+    if (Depth == 0 || Rng.below(3) == 0) {
+      if (Rng.below(6) == 0)
+        return Rule::undef();
+      std::vector<TermRef> Outs;
+      size_t N = Rng.below(3);
+      for (size_t I = 0; I < N; ++I)
+        Outs.push_back(expr(A, Finalizer, 1));
+      return Rule::base(std::move(Outs), unsigned(Rng.below(NumStates)),
+                        expr(A, Finalizer, 1));
+    }
+    TermRef Subject = Finalizer ? A.regVar() : A.inputVar();
+    uint64_t Lo = Rng.below(16), Hi = Rng.below(16);
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    return Rule::ite(Ctx.mkInRange(Subject, Lo, Hi),
+                     rule(A, NumStates, Depth - 1, Finalizer),
+                     rule(A, NumStates, Depth - 1, Finalizer));
+  }
+};
+
+} // namespace efc::testing
+
+#endif // EFC_TESTS_COMMON_RANDOMBST_H

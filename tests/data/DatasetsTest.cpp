@@ -1,0 +1,131 @@
+//===- tests/data/DatasetsTest.cpp - Synthetic dataset checks -------------===//
+
+#include "data/Datasets.h"
+#include "stdlib/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+TEST(DatasetsTest, CsvShape) {
+  std::string Csv = data::makeCsv(1, 4096, 6, 3, 1000);
+  ASSERT_GE(Csv.size(), 4096u);
+  // Every line has exactly 6 fields and an integer at position 3.
+  size_t Pos = 0, Lines = 0;
+  while (Pos < Csv.size()) {
+    size_t End = Csv.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos);
+    std::string Line = Csv.substr(Pos, End - Pos);
+    std::vector<std::string> Fields;
+    size_t F = 0;
+    for (;;) {
+      size_t C = Line.find(',', F);
+      if (C == std::string::npos) {
+        Fields.push_back(Line.substr(F));
+        break;
+      }
+      Fields.push_back(Line.substr(F, C - F));
+      F = C + 1;
+    }
+    ASSERT_EQ(Fields.size(), 6u) << Line;
+    for (char Ch : Fields[3])
+      EXPECT_TRUE(isdigit((unsigned char)Ch));
+    EXPECT_FALSE(Fields[3].empty());
+    Pos = End + 1;
+    ++Lines;
+  }
+  EXPECT_GT(Lines, 10u);
+}
+
+TEST(DatasetsTest, Deterministic) {
+  EXPECT_EQ(data::makeCsv(7, 1000, 5, 2, 99),
+            data::makeCsv(7, 1000, 5, 2, 99));
+  EXPECT_NE(data::makeCsv(7, 1000, 5, 2, 99),
+            data::makeCsv(8, 1000, 5, 2, 99));
+  EXPECT_EQ(data::makeEnglishText(3, 500), data::makeEnglishText(3, 500));
+}
+
+TEST(DatasetsTest, EnglishTextIsAsciiWithNewlines) {
+  std::string T = data::makeEnglishText(2, 8000);
+  size_t Newlines = 0;
+  for (unsigned char C : T) {
+    EXPECT_LT(C, 0x80u);
+    if (C == '\n')
+      ++Newlines;
+  }
+  EXPECT_GT(Newlines, 20u);
+}
+
+TEST(DatasetsTest, ChineseTextIsCjk) {
+  std::u16string T = data::makeChineseText(4, 1000);
+  size_t Cjk = 0;
+  for (char16_t C : T)
+    if (C >= 0x4E00 && C <= 0x9FFF)
+      ++Cjk;
+  EXPECT_GT(Cjk, T.size() / 2);
+  // And it UTF-8 encodes cleanly (no lone surrogates).
+  EXPECT_TRUE(ref::utf8Encode(T).has_value());
+}
+
+TEST(DatasetsTest, RandomUtf16SurrogateModes) {
+  std::u16string NoSurr = data::makeRandomUtf16(5, 5000, false);
+  for (char16_t C : NoSurr)
+    EXPECT_FALSE(C >= 0xD800 && C <= 0xDFFF);
+  std::u16string WithSurr = data::makeRandomUtf16(5, 5000, true);
+  size_t Surr = 0;
+  for (char16_t C : WithSurr)
+    if (C >= 0xD800 && C <= 0xDFFF)
+      ++Surr;
+  EXPECT_GT(Surr, 0u) << "random dataset should contain surrogates";
+}
+
+TEST(DatasetsTest, Base64IntsRoundTrip) {
+  std::vector<uint32_t> Ints = data::base64IntsPayload(6, 100, 1u << 30);
+  std::string Encoded = data::makeBase64Ints(6, 100, 1u << 30);
+  auto Raw = ref::base64Decode(Encoded);
+  ASSERT_TRUE(Raw.has_value());
+  ASSERT_EQ(Raw->size(), 400u);
+  for (size_t I = 0; I < Ints.size(); ++I) {
+    uint32_t V = uint32_t(uint8_t((*Raw)[4 * I])) |
+                 (uint32_t(uint8_t((*Raw)[4 * I + 1])) << 8) |
+                 (uint32_t(uint8_t((*Raw)[4 * I + 2])) << 16) |
+                 (uint32_t(uint8_t((*Raw)[4 * I + 3])) << 24);
+    ASSERT_EQ(V, Ints[I]) << I;
+  }
+}
+
+TEST(DatasetsTest, XmlDocumentsAreBalanced) {
+  // Cheap well-formedness check: tags balance and nesting depth returns
+  // to zero.
+  for (std::string Doc :
+       {data::makeTpcDiXml(1, 20000), data::makePirXml(2, 20000),
+        data::makeDblpXml(3, 20000), data::makeMondialXml(4, 20000)}) {
+    int Depth = 0;
+    size_t I = 0;
+    while (I < Doc.size()) {
+      if (Doc[I] != '<') {
+        ++I;
+        continue;
+      }
+      size_t End = Doc.find('>', I);
+      ASSERT_NE(End, std::string::npos);
+      std::string Tag = Doc.substr(I, End - I + 1);
+      if (Tag[1] == '?' || Tag[1] == '!') {
+        // declaration
+      } else if (Tag[1] == '/') {
+        --Depth;
+      } else if (Tag[Tag.size() - 2] == '/') {
+        // self-closing
+      } else {
+        ++Depth;
+      }
+      ASSERT_GE(Depth, 0);
+      I = End + 1;
+    }
+    EXPECT_EQ(Depth, 0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+//===- tests/frontends/ComprehensionTest.cpp - §5.1 frontend tests --------===//
+
+#include "bst/BstPrint.h"
+#include "bst/Interp.h"
+#include "bst/Transform.h"
+#include "frontends/comprehension/Comprehension.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+using namespace efc::fe;
+
+namespace {
+
+class ComprehensionTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+/// The paper's Example 5.1: ToInt written imperatively.
+Bst buildToIntComprehension(TermContext &Ctx, Solver &S,
+                            bool Explore = true) {
+  ComprehensionBuilder B(Ctx, Ctx.charTy(), Ctx.intTy());
+  TermRef I = B.field("i", Ctx.intTy(), Value::bv(32, 0));
+  TermRef Defined = B.field("defined", Ctx.boolTy(), Value::boolV(false));
+  TermRef X = B.input();
+
+  B.update(block({
+      ifS(Ctx.mkInRange(X, 0x30, 0x39),
+          set(I, Ctx.mkAdd(Ctx.mkMul(Ctx.bvConst(32, 10), I),
+                           Ctx.mkSub(Ctx.mkZExt(X, 32),
+                                     Ctx.bvConst(32, 0x30)))),
+          reject()),
+      set(Defined, Ctx.trueConst()),
+  }));
+  B.finish(block({
+      ifS(Ctx.mkNot(Defined), reject()),
+      emit(I),
+  }));
+  ComprehensionBuilder::BuildOptions Opts;
+  Opts.Explore = Explore;
+  return B.build(S, Opts);
+}
+
+TEST_F(ComprehensionTest, Example51ToInt) {
+  Solver S(Ctx);
+  Bst A = buildToIntComprehension(Ctx, S);
+  EXPECT_TRUE(A.wellFormed());
+  // Finite exploration of `defined` reproduces Figure 4(b): two control
+  // states, int register.
+  EXPECT_EQ(A.numStates(), 2u) << bstToString(A);
+  EXPECT_EQ(A.registerType(), Ctx.intTy());
+
+  auto Out = runBst(A, lib::valuesFromAscii("1234"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)[0].bits(), 1234u);
+  EXPECT_FALSE(runBst(A, lib::valuesFromAscii("")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromAscii("12a")).has_value());
+}
+
+TEST_F(ComprehensionTest, MatchesHandWrittenToInt) {
+  Solver S(Ctx);
+  Bst FromEdsl = buildToIntComprehension(Ctx, S);
+  Bst HandMade = lib::makeToInt(Ctx);
+  for (const char *In : {"", "0", "42", "999999", "1x", "x"}) {
+    auto A = runBst(FromEdsl, lib::valuesFromAscii(In));
+    auto B = runBst(HandMade, lib::valuesFromAscii(In));
+    ASSERT_EQ(A.has_value(), B.has_value()) << In;
+    if (A)
+      EXPECT_EQ(*A, *B) << In;
+  }
+}
+
+TEST_F(ComprehensionTest, WithoutExplorationKeepsOneState) {
+  Solver S(Ctx);
+  Bst A = buildToIntComprehension(Ctx, S, /*Explore=*/false);
+  EXPECT_EQ(A.numStates(), 1u);
+  ASSERT_TRUE(A.registerType()->isTuple());
+  EXPECT_EQ(A.registerType()->arity(), 2u);
+  // Same behaviour regardless.
+  auto Out = runBst(A, lib::valuesFromAscii("77"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)[0].bits(), 77u);
+}
+
+TEST_F(ComprehensionTest, PartialUpdatesKeepOtherFields) {
+  // Two counters; each input updates only one of them (the paper's
+  // motivation for encapsulated partial state updates vs Aggregate).
+  Solver S(Ctx);
+  ComprehensionBuilder B(Ctx, Ctx.charTy(), Ctx.intTy());
+  TermRef Vowels = B.field("vowels", Ctx.intTy(), Value::bv(32, 0));
+  TermRef Others = B.field("others", Ctx.intTy(), Value::bv(32, 0));
+  TermRef X = B.input();
+  TermRef IsVowel = Ctx.mkOr(
+      Ctx.mkEq(X, Ctx.bvConst(16, 'a')),
+      Ctx.mkOr(Ctx.mkEq(X, Ctx.bvConst(16, 'e')),
+               Ctx.mkEq(X, Ctx.bvConst(16, 'o'))));
+  B.update(ifS(IsVowel, set(Vowels, Ctx.mkAdd(Vowels, Ctx.bvConst(32, 1))),
+               set(Others, Ctx.mkAdd(Others, Ctx.bvConst(32, 1)))));
+  B.finish(block({emit(Vowels), emit(Others)}));
+  Bst A = B.build(S);
+  auto Out = runBst(A, lib::valuesFromAscii("banana"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)[0].bits(), 3u);
+  EXPECT_EQ((*Out)[1].bits(), 3u);
+}
+
+TEST_F(ComprehensionTest, InfeasiblePathsArePruned) {
+  // Nested contradictory guards: the inner then-branch is unreachable and
+  // must not survive as a branch.
+  Solver S(Ctx);
+  ComprehensionBuilder B(Ctx, Ctx.byteTy(), Ctx.byteTy());
+  TermRef X = B.input();
+  B.update(ifS(Ctx.mkUle(X, Ctx.bvConst(8, 10)),
+               ifS(Ctx.mkUle(Ctx.bvConst(8, 20), X),
+                   emit(Ctx.bvConst(8, 1)), // infeasible
+                   emit(Ctx.bvConst(8, 2))),
+               emit(Ctx.bvConst(8, 3))));
+  Bst A = B.build(S);
+  // Expect exactly 2 reachable base leaves in delta (plus default accept
+  // finalizer).
+  EXPECT_EQ(A.delta(0)->countBaseLeaves(), 2u) << bstToString(A);
+}
+
+TEST_F(ComprehensionTest, DefaultFinishAccepts) {
+  Solver S(Ctx);
+  ComprehensionBuilder B(Ctx, Ctx.byteTy(), Ctx.byteTy());
+  TermRef X = B.input();
+  B.update(emit(X));
+  Bst A = B.build(S);
+  auto Out = runBst(A, lib::valuesFromBytes("ab"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(lib::bytesFromValues(*Out), "ab");
+}
+
+TEST_F(ComprehensionTest, EmitOrderFollowsStatementOrder) {
+  Solver S(Ctx);
+  ComprehensionBuilder B(Ctx, Ctx.byteTy(), Ctx.byteTy());
+  TermRef X = B.input();
+  B.update(block({emit(Ctx.mkAdd(X, Ctx.bvConst(8, 1))), emit(X),
+                  emit(Ctx.bvConst(8, 0))}));
+  Bst A = B.build(S);
+  auto Out = runBst(A, lib::valuesFromBytes("a"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 3u);
+  EXPECT_EQ((*Out)[0].bits(), uint64_t('a') + 1);
+  EXPECT_EQ((*Out)[1].bits(), uint64_t('a'));
+  EXPECT_EQ((*Out)[2].bits(), 0u);
+}
+
+TEST_F(ComprehensionTest, SetThenUseSeesNewValue) {
+  Solver S(Ctx);
+  ComprehensionBuilder B(Ctx, Ctx.byteTy(), Ctx.byteTy());
+  TermRef Acc = B.field("acc", Ctx.byteTy(), Value::bv(8, 0));
+  TermRef X = B.input();
+  B.update(block({set(Acc, Ctx.mkAdd(Acc, X)), emit(Acc)}));
+  Bst A = B.build(S);
+  auto Out = runBst(A, lib::valuesFromBytes("\x01\x02\x03"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)[0].bits(), 1u);
+  EXPECT_EQ((*Out)[1].bits(), 3u);
+  EXPECT_EQ((*Out)[2].bits(), 6u);
+}
+
+TEST_F(ComprehensionTest, ExplorationOfWindowedAverageFullFlag) {
+  // The windowed average's `full` flag depends on `pos`; exploring both
+  // (pos is enum-like: 0..W-1) splits them into control states — the
+  // §5.1 register→control-state migration for enum/bool components.
+  Solver S(Ctx);
+  Bst A = lib::makeWindowedAverage(Ctx, 3);
+  // Flattened register: slot0..2, sum, pos (index 4), full (index 5).
+  Bst E = exploreFiniteRegisters(A, S, {4});
+  EXPECT_GT(E.numStates(), A.numStates());
+  // Behaviour preserved.
+  std::vector<Value> In = lib::valuesFromInts({9, 3, 6, 30, 3});
+  auto Before = runBst(A, In);
+  auto After = runBst(E, In);
+  ASSERT_TRUE(Before && After);
+  EXPECT_EQ(*Before, *After);
+}
+
+} // namespace

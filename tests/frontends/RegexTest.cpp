@@ -1,0 +1,224 @@
+//===- tests/frontends/RegexTest.cpp - Regex frontend tests (§5.2) --------===//
+
+#include "bst/Interp.h"
+#include "frontends/regex/RegexFrontend.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+using namespace efc::fe;
+
+namespace {
+
+class RegexTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  /// Builds a matcher-only BST and reports acceptance.
+  bool matches(const std::string &Pattern, const std::string &Input) {
+    RegexBstResult R = buildRegexBst(Ctx, Pattern, {});
+    EXPECT_TRUE(R.Result.has_value()) << R.Error;
+    if (!R.Result)
+      return false;
+    return runBst(*R.Result, lib::valuesFromAscii(Input)).has_value();
+  }
+};
+
+TEST_F(RegexTest, CharClassAlgebra) {
+  CharClass Digits = CharClass::range('0', '9');
+  CharClass Lower = CharClass::range('a', 'z');
+  EXPECT_TRUE(Digits.contains('5'));
+  EXPECT_FALSE(Digits.contains('a'));
+  CharClass U = Digits.unionWith(Lower);
+  EXPECT_EQ(U.size(), 36u);
+  EXPECT_TRUE(U.complement().contains('A'));
+  EXPECT_FALSE(U.complement().contains('5'));
+  EXPECT_TRUE(Digits.intersectWith(Lower).isEmpty());
+  // Adjacent ranges merge.
+  CharClass Merged =
+      CharClass::range('a', 'm').unionWith(CharClass::range('n', 'z'));
+  EXPECT_EQ(Merged.ranges().size(), 1u);
+}
+
+TEST_F(RegexTest, BasicMatching) {
+  EXPECT_TRUE(matches("abc", "abc"));
+  EXPECT_FALSE(matches("abc", "abd"));
+  EXPECT_FALSE(matches("abc", "ab"));
+  EXPECT_FALSE(matches("abc", "abcd"));
+  EXPECT_TRUE(matches("a*", ""));
+  EXPECT_TRUE(matches("a*", "aaaa"));
+  EXPECT_FALSE(matches("a+", ""));
+  EXPECT_TRUE(matches("a+", "a"));
+  EXPECT_TRUE(matches("a?b", "b"));
+  EXPECT_TRUE(matches("a?b", "ab"));
+  EXPECT_TRUE(matches("a|bc", "bc"));
+  EXPECT_TRUE(matches("(?:ab)+", "ababab"));
+  EXPECT_FALSE(matches("(?:ab)+", "aba"));
+}
+
+TEST_F(RegexTest, ClassesAndEscapes) {
+  EXPECT_TRUE(matches("\\d+", "0123"));
+  EXPECT_FALSE(matches("\\d+", "12a"));
+  EXPECT_TRUE(matches("[a-z]+", "hello"));
+  EXPECT_FALSE(matches("[a-z]+", "heLlo"));
+  EXPECT_TRUE(matches("[^,\\n]*", "abc def"));
+  EXPECT_FALSE(matches("[^,]*", "ab,cd"));
+  EXPECT_TRUE(matches("\\w+\\s\\w+", "foo bar"));
+  EXPECT_TRUE(matches("a.c", "axc"));
+  EXPECT_FALSE(matches("a.c", "a\nc")) << "dot excludes newline";
+  EXPECT_TRUE(matches("\\x41+", "AAA"));
+  EXPECT_TRUE(matches("\\u0041", "A"));
+}
+
+TEST_F(RegexTest, CountedRepetition) {
+  EXPECT_TRUE(matches("a{3}", "aaa"));
+  EXPECT_FALSE(matches("a{3}", "aa"));
+  EXPECT_TRUE(matches("a{2,4}", "aaa"));
+  EXPECT_FALSE(matches("a{2,4}", "aaaaa"));
+  EXPECT_TRUE(matches("(?:[^,]*,){2}x", "a,bb,x"));
+  EXPECT_TRUE(matches("a{2,}", "aaaaaa"));
+  EXPECT_FALSE(matches("a{2,}", "a"));
+}
+
+TEST_F(RegexTest, ParseErrors) {
+  std::string Err;
+  EXPECT_FALSE(parseRegex("a(b", &Err).has_value());
+  EXPECT_FALSE(parseRegex("[z-a]", &Err).has_value());
+  EXPECT_FALSE(parseRegex("a{4,2}", &Err).has_value());
+  EXPECT_FALSE(parseRegex("*a", &Err).has_value());
+}
+
+TEST_F(RegexTest, SingleCaptureToInt) {
+  // Example 5.2 reduced: one int column per line.
+  Bst ToInt = lib::makeToInt(Ctx);
+  RegexBstResult R = buildRegexBst(
+      Ctx, "(?:(?<int>\\d+)\\n)*", {{"int", &ToInt}});
+  ASSERT_TRUE(R.Result.has_value()) << R.Error;
+  EXPECT_TRUE(R.Result->wellFormed());
+
+  auto Out = runBst(*R.Result, lib::valuesFromAscii("12\n7\n999\n"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 3u);
+  EXPECT_EQ((*Out)[0].bits(), 12u);
+  EXPECT_EQ((*Out)[1].bits(), 7u);
+  EXPECT_EQ((*Out)[2].bits(), 999u);
+
+  EXPECT_FALSE(
+      runBst(*R.Result, lib::valuesFromAscii("12\nx\n")).has_value());
+  // Empty input: zero iterations of the loop, accepted, no output.
+  auto Empty = runBst(*R.Result, lib::valuesFromAscii(""));
+  ASSERT_TRUE(Empty.has_value());
+  EXPECT_TRUE(Empty->empty());
+}
+
+TEST_F(RegexTest, PaperExample52CsvColumns) {
+  // The paper's Example 5.2: third column as int, fourth as bool.
+  Bst ToInt = lib::makeToInt(Ctx);
+  Bst ToBool = lib::makeToBool(Ctx);
+  RegexBstResult R = buildRegexBst(
+      Ctx, "(?:(?:[^,\\n]*,){2}(?<int>\\d+),(?<bool>\\w+),[^\\n]*\\n)*",
+      {{"int", &ToInt}, {"bool", &ToBool}});
+  ASSERT_TRUE(R.Result.has_value()) << R.Error;
+  EXPECT_TRUE(R.Result->wellFormed());
+
+  std::string Csv = "a,b,42,true,rest\n"
+                    "x,,7,false,\n"
+                    "p,q,1000,true,zz\n";
+  auto Out = runBst(*R.Result, lib::valuesFromAscii(Csv));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 6u);
+  EXPECT_EQ((*Out)[0].bits(), 42u);
+  EXPECT_EQ((*Out)[1].bits(), 1u);
+  EXPECT_EQ((*Out)[2].bits(), 7u);
+  EXPECT_EQ((*Out)[3].bits(), 0u);
+  EXPECT_EQ((*Out)[4].bits(), 1000u);
+  EXPECT_EQ((*Out)[5].bits(), 1u);
+}
+
+TEST_F(RegexTest, CsvColumnExtractionSixthColumn) {
+  // The SBO-employees pattern from §6.
+  Bst ToInt = lib::makeToInt(Ctx);
+  RegexBstResult R = buildRegexBst(
+      Ctx, "(?:(?:[^,\\n]*,){5}(?<value>\\d+),[^\\n]*\\n)*",
+      {{"value", &ToInt}});
+  ASSERT_TRUE(R.Result.has_value()) << R.Error;
+  std::string Csv = "a,b,c,d,e,123,f,g\n"
+                    ",,,,,88,\n";
+  auto Out = runBst(*R.Result, lib::valuesFromAscii(Csv));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 2u);
+  EXPECT_EQ((*Out)[0].bits(), 123u);
+  EXPECT_EQ((*Out)[1].bits(), 88u);
+}
+
+TEST_F(RegexTest, CaptureAtEndOfInputRunsFinalizer) {
+  Bst ToInt = lib::makeToInt(Ctx);
+  RegexBstResult R =
+      buildRegexBst(Ctx, "v=(?<int>\\d+)", {{"int", &ToInt}});
+  ASSERT_TRUE(R.Result.has_value()) << R.Error;
+  auto Out = runBst(*R.Result, lib::valuesFromAscii("v=314"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 1u);
+  EXPECT_EQ((*Out)[0].bits(), 314u);
+}
+
+TEST_F(RegexTest, AdjacentCaptures) {
+  // Capture ends exactly where the next begins (digit then letters).
+  Bst ToInt = lib::makeToInt(Ctx);
+  Bst Len = [&] {
+    // Count chars of the second capture.
+    Bst A(Ctx, Ctx.bv(16), Ctx.bv(32), Ctx.bv(32), 1, 0, Value::bv(32, 0));
+    A.setDelta(0, Rule::base({}, 0,
+                             Ctx.mkAdd(A.regVar(), Ctx.bvConst(32, 1))));
+    A.setFinalizer(0, Rule::base({A.regVar()}, 0, Ctx.bvConst(32, 0)));
+    return A;
+  }();
+  RegexBstResult R = buildRegexBst(
+      Ctx, "(?<num>\\d+)(?<word>[a-z]+)", {{"num", &ToInt}, {"word", &Len}});
+  ASSERT_TRUE(R.Result.has_value()) << R.Error;
+  auto Out = runBst(*R.Result, lib::valuesFromAscii("42abc"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 2u);
+  EXPECT_EQ((*Out)[0].bits(), 42u);
+  EXPECT_EQ((*Out)[1].bits(), 3u);
+}
+
+TEST_F(RegexTest, CaptureRegisterResetsBetweenMatches) {
+  // Without per-match reinitialization the second number would parse as
+  // 12 * 10 + 7 etc.
+  Bst ToInt = lib::makeToInt(Ctx);
+  RegexBstResult R = buildRegexBst(
+      Ctx, "(?:(?<int>\\d+);)*", {{"int", &ToInt}});
+  ASSERT_TRUE(R.Result.has_value()) << R.Error;
+  auto Out = runBst(*R.Result, lib::valuesFromAscii("12;7;"));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 2u);
+  EXPECT_EQ((*Out)[0].bits(), 12u);
+  EXPECT_EQ((*Out)[1].bits(), 7u);
+}
+
+TEST_F(RegexTest, AmbiguousCaptureBoundaryIsRejected) {
+  Bst ToInt = lib::makeToInt(Ctx);
+  // A digit could extend the capture or belong to the skip suffix \d*.
+  RegexBstResult R =
+      buildRegexBst(Ctx, "(?<int>\\d+)\\d*x", {{"int", &ToInt}});
+  EXPECT_FALSE(R.Result.has_value());
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST_F(RegexTest, UnboundCaptureNameIsAnError) {
+  RegexBstResult R = buildRegexBst(Ctx, "(?<v>\\d+)", {});
+  EXPECT_FALSE(R.Result.has_value());
+  EXPECT_NE(R.Error.find("v"), std::string::npos);
+}
+
+TEST_F(RegexTest, MatcherRejectsPartialMatches) {
+  // Whole-input semantics: the pattern must cover the entire input.
+  EXPECT_TRUE(matches("[ab]*c", "abac"));
+  EXPECT_FALSE(matches("[ab]*c", "abacx"));
+  EXPECT_FALSE(matches("[ab]*c", "xabac"));
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- tests/fusion/FusionPropertyTest.cpp - Randomized fusion laws -------===//
+//
+// Property tests of Theorem 3.1 on *randomly generated* transducers:
+//   * ⟦A ⊗ B⟧ = ⟦B⟧ ∘ ⟦A⟧ for random A, B
+//   * associativity up to semantics: ⟦(A⊗B)⊗C⟧ = ⟦A⊗(B⊗C)⟧
+//   * fusion with the identity transducer is semantically neutral
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/Interp.h"
+#include "common/RandomBst.h"
+#include "fusion/Fusion.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+std::optional<std::vector<Value>> composed(const Bst &A, const Bst &B,
+                                           std::span<const Value> In) {
+  auto Mid = runBst(A, In);
+  if (!Mid)
+    return std::nullopt;
+  return runBst(B, *Mid);
+}
+
+TEST(FusionProperty, FusedEqualsComposedOnRandomTransducers) {
+  SplitMix64 Rng(0xF00D);
+  int Trials = 30;
+  for (int T = 0; T < Trials; ++T) {
+    TermContext Ctx;
+    efc::testing::RandomBstGen Gen(Ctx, Rng);
+    Bst A = Gen.make(1 + unsigned(Rng.below(3)));
+    Bst B = Gen.make(1 + unsigned(Rng.below(3)));
+    ASSERT_TRUE(A.wellFormed());
+    ASSERT_TRUE(B.wellFormed());
+    Solver S(Ctx);
+    Bst F = fuse(A, B, S);
+    ASSERT_TRUE(F.wellFormed()) << "trial " << T;
+
+    for (int I = 0; I < 25; ++I) {
+      std::vector<Value> In = Gen.randomInput(8);
+      auto Expected = composed(A, B, In);
+      auto Got = runBst(F, In);
+      ASSERT_EQ(Expected.has_value(), Got.has_value())
+          << "trial " << T << " input " << I;
+      if (Expected)
+        EXPECT_EQ(*Expected, *Got) << "trial " << T << " input " << I;
+    }
+  }
+}
+
+TEST(FusionProperty, AssociativityUpToSemantics) {
+  SplitMix64 Rng(0xBEEF);
+  for (int T = 0; T < 12; ++T) {
+    TermContext Ctx;
+    efc::testing::RandomBstGen Gen(Ctx, Rng);
+    Bst A = Gen.make(2);
+    Bst B = Gen.make(2);
+    Bst C = Gen.make(2);
+    Solver S(Ctx);
+    Bst Left = fuse(fuse(A, B, S), C, S);
+    Bst Right = fuse(A, fuse(B, C, S), S);
+
+    for (int I = 0; I < 20; ++I) {
+      std::vector<Value> In = Gen.randomInput(6);
+      auto L = runBst(Left, In);
+      auto R = runBst(Right, In);
+      ASSERT_EQ(L.has_value(), R.has_value()) << "trial " << T;
+      if (L)
+        EXPECT_EQ(*L, *R) << "trial " << T;
+    }
+  }
+}
+
+TEST(FusionProperty, IdentityIsNeutral) {
+  SplitMix64 Rng(0xCAFE);
+  for (int T = 0; T < 10; ++T) {
+    TermContext Ctx;
+    efc::testing::RandomBstGen Gen(Ctx, Rng);
+    Bst A = Gen.make(2);
+    // Identity transducer over bv4.
+    Bst Id(Ctx, Ctx.bv(4), Ctx.bv(4), Ctx.unitTy(), 1, 0, Value::unit());
+    Id.setDelta(0, Rule::base({Id.inputVar()}, 0, Ctx.unitConst()));
+    Id.setFinalizer(0, Rule::base({}, 0, Ctx.unitConst()));
+
+    Solver S(Ctx);
+    Bst Pre = fuse(Id, A, S);  // Id then A
+    Bst Post = fuse(A, Id, S); // A then Id
+    for (int I = 0; I < 20; ++I) {
+      std::vector<Value> In = Gen.randomInput(6);
+      auto Base = runBst(A, In);
+      auto P1 = runBst(Pre, In);
+      auto P2 = runBst(Post, In);
+      ASSERT_EQ(Base.has_value(), P1.has_value());
+      ASSERT_EQ(Base.has_value(), P2.has_value());
+      if (Base) {
+        EXPECT_EQ(*Base, *P1);
+        EXPECT_EQ(*Base, *P2);
+      }
+    }
+  }
+}
+
+TEST(FusionProperty, BruteForceAgreesWithPrunedOnRandomPairs) {
+  SplitMix64 Rng(0xAAAA);
+  for (int T = 0; T < 10; ++T) {
+    TermContext Ctx;
+    efc::testing::RandomBstGen Gen(Ctx, Rng);
+    Bst A = Gen.make(2);
+    Bst B = Gen.make(2);
+    Solver S1(Ctx), S2(Ctx);
+    FusionOptions NoPrune;
+    NoPrune.SolverPruning = false;
+    Bst F1 = fuse(A, B, S1);
+    Bst F2 = fuse(A, B, S2, NoPrune);
+    for (int I = 0; I < 15; ++I) {
+      std::vector<Value> In = Gen.randomInput(6);
+      auto R1 = runBst(F1, In);
+      auto R2 = runBst(F2, In);
+      ASSERT_EQ(R1.has_value(), R2.has_value()) << "trial " << T;
+      if (R1)
+        EXPECT_EQ(*R1, *R2);
+    }
+  }
+}
+
+} // namespace

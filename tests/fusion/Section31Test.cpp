@@ -1,0 +1,112 @@
+//===- tests/fusion/Section31Test.cpp - The §3.1 hex-encoder example ------===//
+//
+// Paper §3.1: an HTML encoder H emits `hex(x ÷ 32)` in a branch guarded
+// by γ(x) = 0x100 <= x <= 0xFFF, where
+//     hex(y) = if 0 <= y <= 9 then y + 48 else y + 55.
+// In the double encoder H ⊗ H the composed guard γ(hex(x ÷ 32)) ∧ γ(x)
+// is *unsatisfiable* (hex outputs are ASCII, below 0x100) and "requires
+// advanced integer constraint reasoning to eliminate that branch".
+// This test reproduces both the raw solver fact and the fusion-level
+// pruning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/Interp.h"
+#include "fusion/Fusion.h"
+#include "solver/Solver.h"
+#include "stdlib/Values.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class Section31Test : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  TermRef gamma(TermRef X) { return Ctx.mkInRange(X, 0x100, 0xFFF); }
+
+  TermRef hex(TermRef Y) {
+    return Ctx.mkIte(Ctx.mkUle(Y, Ctx.bvConst(16, 9)),
+                     Ctx.mkAdd(Y, Ctx.bvConst(16, 48)),
+                     Ctx.mkAdd(Y, Ctx.bvConst(16, 55)));
+  }
+
+  /// A toy encoder in the §3.1 style: chars in γ are escaped into
+  /// "\\x" + hex(x >> 5) + hex(x & 31); everything else passes through.
+  Bst makeHexEncoder() {
+    Bst H(Ctx, Ctx.bv(16), Ctx.bv(16), Ctx.unitTy(), 1, 0, Value::unit());
+    TermRef X = H.inputVar();
+    TermRef U = Ctx.unitConst();
+    H.setDelta(
+        0, Rule::ite(gamma(X),
+                     Rule::base({Ctx.bvConst(16, '\\'),
+                                 Ctx.bvConst(16, 'x'),
+                                 hex(Ctx.mkLShrC(X, 5)),
+                                 hex(Ctx.mkBvAnd(X, Ctx.bvConst(16, 31)))},
+                                0, U),
+                     Rule::base({X}, 0, U)));
+    H.setFinalizer(0, Rule::base({}, 0, U));
+    return H;
+  }
+};
+
+TEST_F(Section31Test, ComposedGuardIsUnsatisfiable) {
+  // The raw fact: γ(hex(x ÷ 32)) ∧ γ(x) is unsat.
+  TermRef X = Ctx.var("x", Ctx.bv(16));
+  Solver S(Ctx);
+  S.add(gamma(X));
+  S.add(gamma(hex(Ctx.mkUDiv(X, Ctx.bvConst(16, 32)))));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+TEST_F(Section31Test, DoubleEncoderPrunesTheImpossibleBranch) {
+  Bst H = makeHexEncoder();
+  Solver S(Ctx);
+  FusionStats Stats;
+  Bst HH = fuse(H, H, S, {}, &Stats);
+  EXPECT_TRUE(HH.wellFormed());
+  // The escape-of-escape branches (hex output re-entering γ) are
+  // infeasible; fusion must have cut branches.
+  EXPECT_GT(Stats.BranchesPruned, 0u);
+
+  // Semantics: double encoding behaves like encoding the encoded string.
+  auto RunOne = [&](const Bst &A, std::u16string In) {
+    auto Out = runBst(A, lib::valuesFromChars(In));
+    EXPECT_TRUE(Out.has_value());
+    return lib::charsFromValues(*Out);
+  };
+  for (std::u16string In :
+       {std::u16string(u"plain"), std::u16string(u"a\x0234z"),
+        std::u16string(u"\x0100\x0FFF")}) {
+    std::u16string Once = RunOne(H, In);
+    std::u16string Twice = RunOne(H, Once);
+    EXPECT_EQ(RunOne(HH, In), Twice);
+    // Idempotence on escape output: nothing in the escape is in γ, so
+    // double-encoding equals single encoding here.
+    EXPECT_EQ(Twice, Once);
+  }
+}
+
+TEST_F(Section31Test, BruteForceVariantKeepsInfeasibleBranches) {
+  // Without solver pruning the product still computes the same function
+  // but carries the dead branches (the §3.1 "output-branch explosion").
+  Bst H = makeHexEncoder();
+  Solver S1(Ctx), S2(Ctx);
+  FusionOptions NoPrune;
+  NoPrune.SolverPruning = false;
+  Bst Pruned = fuse(H, H, S1);
+  Bst Brute = fuse(H, H, S2, NoPrune);
+  EXPECT_LT(Pruned.countBranches(), Brute.countBranches());
+  for (std::u16string In : {std::u16string(u"q\x0200"),
+                            std::u16string(u"\x0FFF")}) {
+    auto A = runBst(Pruned, lib::valuesFromChars(In));
+    auto B = runBst(Brute, lib::valuesFromChars(In));
+    ASSERT_TRUE(A.has_value() && B.has_value());
+    EXPECT_EQ(*A, *B);
+  }
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+//===- tests/integration/CliToolTest.cpp - efcc end-to-end ----------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string efccPath() {
+  // ctest may run from the build root or build/tests.
+  for (const char *P : {"./tools/efcc", "../tools/efcc", "build/tools/efcc"}) {
+    std::ifstream F(P, std::ios::binary);
+    if (F.good())
+      return P;
+  }
+  return "";
+}
+
+bool efccAvailable() { return !efccPath().empty(); }
+
+/// Runs a shell command, captures stdout.
+int runCmd(const std::string &Cmd, std::string &Out) {
+  std::string File = ::testing::TempDir() + "/efcc_out.txt";
+  int Rc = std::system((Cmd + " > " + File + " 2>/dev/null").c_str());
+  std::ifstream F(File);
+  std::ostringstream Buf;
+  Buf << F.rdbuf();
+  Out = Buf.str();
+  return Rc;
+}
+
+TEST(CliToolTest, CsvMaxEndToEnd) {
+  if (!efccAvailable())
+    GTEST_SKIP() << "efcc not built in expected location";
+  std::string Csv = ::testing::TempDir() + "/efcc_in.csv";
+  {
+    std::ofstream F(Csv);
+    F << "a,17,x\nb,99,y\nc,40,z\n";
+  }
+  std::string Out;
+  int Rc = runCmd(efccPath() +
+                      " --regex '(?:(?:[^,\\n]*,){1}(?<v>\\d+),[^\\n]*\\n)*'"
+                      " --agg max --format decimal --run " +
+                  Csv, Out);
+  EXPECT_EQ(Rc, 0);
+  EXPECT_EQ(Out, "99");
+}
+
+TEST(CliToolTest, XPathSqlEndToEnd) {
+  if (!efccAvailable())
+    GTEST_SKIP();
+  std::string Xml = ::testing::TempDir() + "/efcc_in.xml";
+  {
+    std::ofstream F(Xml);
+    F << "<r><v>5</v><pad/><v>6</v></r>";
+  }
+  std::string Out;
+  int Rc = runCmd(efccPath() + " --xpath /r/v --format sql --run " + Xml,
+                  Out);
+  EXPECT_EQ(Rc, 0);
+  EXPECT_EQ(Out, "INSERT INTO t VALUES (5);\nINSERT INTO t VALUES (6);\n");
+}
+
+TEST(CliToolTest, EmitCppProducesCompilableSource) {
+  if (!efccAvailable())
+    GTEST_SKIP();
+  std::string Cpp = ::testing::TempDir() + "/efcc_gen.cpp";
+  std::string Out;
+  int Rc = runCmd(efccPath() +
+                      " --regex '(?<v>\\d+)' --format decimal --emit-cpp " +
+                  Cpp, Out);
+  EXPECT_EQ(Rc, 0);
+  // The unit must at least compile as an object file.
+  std::string Obj = ::testing::TempDir() + "/efcc_gen.o";
+  int CRc = std::system(
+      ("c++ -std=c++17 -c -o " + Obj + " " + Cpp + " 2>/dev/null").c_str());
+  EXPECT_EQ(CRc, 0);
+}
+
+TEST(CliToolTest, RejectsInvalidInput) {
+  if (!efccAvailable())
+    GTEST_SKIP();
+  std::string Csv = ::testing::TempDir() + "/efcc_bad.csv";
+  {
+    std::ofstream F(Csv);
+    F << "not matching the pattern at all";
+  }
+  std::string Out;
+  int Rc = runCmd(efccPath() +
+                      " --regex '(?:(?<v>\\d+),\\n)*' --run " + Csv, Out);
+  EXPECT_NE(Rc, 0);
+}
+
+TEST(CliToolTest, UsageErrors) {
+  if (!efccAvailable())
+    GTEST_SKIP();
+  std::string Out;
+  EXPECT_NE(runCmd(efccPath(), Out), 0);
+  EXPECT_NE(runCmd(efccPath() + " --regex a --xpath /b --stats", Out), 0);
+  EXPECT_NE(runCmd(efccPath() + " --regex a --agg bogus --stats", Out), 0);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+//===- tests/integration/PipelineIntegrationTest.cpp ----------------------===//
+//
+// End-to-end integration: every benchmark pipeline's fused transducer is
+// cross-checked against independent implementations (hand-written
+// references, the DOM/streaming XML baselines, the interpreted regex
+// library) and against its own unfused variants, on synthetic datasets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/baselines/RegexLib.h"
+#include "bench/baselines/XmlLib.h"
+#include "bench/common/BenchCommon.h"
+#include "data/Datasets.h"
+#include "stdlib/Reference.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+using namespace efc::bench;
+
+namespace {
+
+std::string bytesOf(const std::vector<uint64_t> &Raw) {
+  std::string S;
+  for (uint64_t V : Raw)
+    S.push_back(char(V & 0xFF));
+  return S;
+}
+
+/// All three execution strategies agree on the pipeline.
+void expectVariantsAgree(const BuiltPipeline &P,
+                         const std::vector<uint64_t> &In) {
+  auto Fused = P.CompiledFused->run(In);
+  auto Pull = runPullPipeline(P.stagePtrs(), In);
+  auto Push = runPushPipeline(P.stagePtrs(), In);
+  ASSERT_TRUE(Fused.has_value()) << P.Name;
+  ASSERT_TRUE(Pull.has_value()) << P.Name;
+  ASSERT_TRUE(Push.has_value()) << P.Name;
+  EXPECT_EQ(*Fused, *Pull) << P.Name;
+  EXPECT_EQ(*Fused, *Push) << P.Name;
+}
+
+TEST(PipelineIntegration, SboEmployeesMatchesRegexLibBaseline) {
+  BuiltPipeline P = makeSboPipeline("employees");
+  std::string Csv = data::makeSboCsv(41, 64 * 1024, 5);
+  std::vector<uint64_t> In = rawOfBytes(Csv);
+  expectVariantsAgree(P, In);
+
+  // Independent computation with the interpreted regex library.
+  auto Re = baselines::InterpretedRegex::compile(
+      "(?:(?:[^,\\n]*,){5}(?<v>\\d+),[^\\n]*\\n)*");
+  ASSERT_TRUE(Re.has_value());
+  auto Caps = Re->findAll(*ref::utf8Decode(Csv));
+  ASSERT_TRUE(Caps.has_value());
+  uint32_t Max = 0;
+  for (const auto &C : *Caps)
+    Max = std::max(Max, *ref::toInt(C));
+
+  auto Out = P.CompiledFused->run(In);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(bytesOf(*Out), *ref::utf8Encode(ref::intToDecimal(Max)));
+}
+
+TEST(PipelineIntegration, ChsiAverageMatchesBaseline) {
+  BuiltPipeline P = makeChsiPipeline("cancer");
+  std::string Csv = data::makeChsiCsv(42, 64 * 1024, 7);
+  std::vector<uint64_t> In = rawOfBytes(Csv);
+  expectVariantsAgree(P, In);
+
+  auto Re = baselines::InterpretedRegex::compile(
+      "(?:(?:[^,\\n]*,){7}(?<v>\\d+),[^\\n]*\\n)*");
+  auto Caps = Re->findAll(*ref::utf8Decode(Csv));
+  ASSERT_TRUE(Caps.has_value());
+  uint64_t Sum = 0;
+  for (const auto &C : *Caps)
+    Sum += *ref::toInt(C);
+  uint32_t Avg = uint32_t(Sum / Caps->size());
+  auto Out = P.CompiledFused->run(In);
+  EXPECT_EQ(bytesOf(*Out), *ref::utf8Encode(ref::intToDecimal(Avg)));
+}
+
+TEST(PipelineIntegration, MondialMatchesBothXmlBaselines) {
+  BuiltPipeline P = makeMondialPipeline();
+  std::string Xml = data::makeMondialXml(43, 64 * 1024);
+  std::vector<uint64_t> In = rawOfBytes(Xml);
+  expectVariantsAgree(P, In);
+
+  std::u16string Chars = *ref::utf8Decode(Xml);
+  auto Path = baselines::splitPath("/mondial/country/city/population");
+  auto Dom = baselines::parseXmlDom(Chars);
+  ASSERT_TRUE(Dom.has_value());
+  std::vector<std::u16string> DomMatches =
+      baselines::domQuery(**Dom, Path);
+  auto StreamMatches = baselines::streamingXPath(Chars, Path);
+  ASSERT_TRUE(StreamMatches.has_value());
+  EXPECT_EQ(DomMatches, *StreamMatches) << "baselines must agree";
+  ASSERT_FALSE(DomMatches.empty());
+
+  uint32_t Max = 0;
+  for (const auto &M : DomMatches)
+    Max = std::max(Max, *ref::toInt(M));
+  std::u16string Line = ref::intToDecimal(Max);
+  Line.push_back(u'\n');
+  auto Out = P.CompiledFused->run(In);
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(bytesOf(*Out), *ref::utf8Encode(Line));
+}
+
+TEST(PipelineIntegration, TpcDiSqlFormatting) {
+  BuiltPipeline P = makeTpcDiSqlPipeline();
+  std::string Xml = data::makeTpcDiXml(44, 16 * 1024);
+  std::vector<uint64_t> In = rawOfBytes(Xml);
+  expectVariantsAgree(P, In);
+  auto Out = P.CompiledFused->run(In);
+  ASSERT_TRUE(Out.has_value());
+  std::string Sql = bytesOf(*Out);
+  EXPECT_EQ(Sql.rfind("INSERT INTO account VALUES (", 0), 0u);
+  EXPECT_NE(Sql.find(");\n"), std::string::npos);
+}
+
+TEST(PipelineIntegration, Base64DeltaMatchesHandWritten) {
+  BuiltPipeline P = makeBase64DeltaPipeline();
+  std::string In64 = data::makeBase64Ints(45, 2000, 1u << 30);
+  std::vector<uint64_t> In = rawOfBytes(In64);
+  expectVariantsAgree(P, In);
+
+  std::vector<uint32_t> Ints = data::base64IntsPayload(45, 2000, 1u << 30);
+  std::u16string Text;
+  for (uint32_t D : ref::deltas(Ints)) {
+    Text += ref::intToDecimal(D);
+    Text.push_back(u'\n');
+  }
+  auto Out = P.CompiledFused->run(In);
+  EXPECT_EQ(bytesOf(*Out), *ref::utf8Encode(Text));
+}
+
+TEST(PipelineIntegration, Base64AvgMatchesHandWritten) {
+  BuiltPipeline P = makeBase64AvgPipeline();
+  std::string In64 = data::makeBase64Ints(46, 500, 1u << 20);
+  std::vector<uint64_t> In = rawOfBytes(In64);
+  expectVariantsAgree(P, In);
+
+  std::vector<uint32_t> Ints = data::base64IntsPayload(46, 500, 1u << 20);
+  std::vector<uint32_t> Avg = ref::windowedAverage(Ints, 10);
+  std::string Ser;
+  for (uint32_t V : Avg) {
+    Ser.push_back(char(V & 0xFF));
+    Ser.push_back(char((V >> 8) & 0xFF));
+    Ser.push_back(char((V >> 16) & 0xFF));
+    Ser.push_back(char((V >> 24) & 0xFF));
+  }
+  auto Out = P.CompiledFused->run(In);
+  EXPECT_EQ(bytesOf(*Out), ref::base64Encode(Ser));
+}
+
+TEST(PipelineIntegration, Utf8LinesCountsNewlines) {
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  std::string Text = data::makeEnglishText(47, 32 * 1024);
+  std::vector<uint64_t> In = rawOfBytes(Text);
+  expectVariantsAgree(P, In);
+  size_t Lines = std::count(Text.begin(), Text.end(), '\n');
+  auto Out = P.CompiledFused->run(In);
+  EXPECT_EQ(bytesOf(*Out),
+            *ref::utf8Encode(ref::intToDecimal(uint32_t(Lines))));
+}
+
+TEST(PipelineIntegration, CsvMaxLength) {
+  BuiltPipeline P = makeCsvMaxPipeline();
+  std::string Csv = data::makeCsv(48, 32 * 1024, 6, 4, 100000);
+  std::vector<uint64_t> In = rawOfBytes(Csv);
+  expectVariantsAgree(P, In);
+
+  // Independent: longest third column by direct splitting.
+  size_t MaxLen = 0, Pos = 0;
+  while (Pos < Csv.size()) {
+    size_t End = Csv.find('\n', Pos);
+    std::string Line = Csv.substr(Pos, End - Pos);
+    size_t C1 = Line.find(','), C2 = Line.find(',', C1 + 1);
+    size_t C3 = Line.find(',', C2 + 1);
+    MaxLen = std::max(MaxLen, C3 - C2 - 1);
+    Pos = End + 1;
+  }
+  auto Out = P.CompiledFused->run(In);
+  EXPECT_EQ(bytesOf(*Out),
+            *ref::utf8Encode(ref::intToDecimal(uint32_t(MaxLen))));
+}
+
+TEST(PipelineIntegration, HtmlPipelineOnAllDatasets) {
+  BuiltPipeline P = makeHtmlEncodePipeline();
+  for (std::u16string Text :
+       {data::makeRandomUtf16(49, 5000, true),
+        data::makeChineseText(50, 5000)}) {
+    std::vector<uint64_t> In = rawOfChars(Text);
+    auto Out = P.CompiledFused->run(In);
+    ASSERT_TRUE(Out.has_value());
+    std::u16string Got;
+    for (uint64_t C : *Out)
+      Got.push_back(char16_t(C));
+    EXPECT_EQ(Got, ref::antiXssHtmlEncode(Text));
+  }
+}
+
+TEST(PipelineIntegration, CompileTimesAreRecorded) {
+  BuiltPipeline P = makeUtf8ToIntPipeline();
+  EXPECT_GT(P.TotalSeconds, 0.0);
+  EXPECT_GT(P.FStats.SolverChecks, 0u);
+  // The §1 pipeline: RBBE removes the multibyte branch.
+  EXPECT_GT(P.RStats.BranchesRemoved + P.RStats.StatesRemoved, 0u);
+}
+
+} // namespace

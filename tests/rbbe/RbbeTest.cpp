@@ -1,0 +1,265 @@
+//===- tests/rbbe/RbbeTest.cpp - RBBE tests (paper §4) --------------------===//
+
+#include "bst/BstPrint.h"
+#include "common/RandomBst.h"
+#include "bst/Interp.h"
+#include "bst/Transform.h"
+#include "bst/Minimize.h"
+#include "fusion/Fusion.h"
+#include "rbbe/Rbbe.h"
+#include "stdlib/Reference.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class RbbeTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(RbbeTest, CompletesPaperSection1Story) {
+  // Fusion keeps 4 product states for Utf8Decode ⊗ ToInt; RBBE proves the
+  // multibyte continuation branch unreachable (the state-carried
+  // constraint r.0 = (x & 0x3F) << 6 with x in [0xC2,0xDF] forces
+  // r.0 >= 0x80, clashing with the digit guard) and dead-end elimination
+  // brings the result down to ToInt's own 2 states.
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Bst ToInt = lib::makeToInt(Ctx);
+  Solver S(Ctx);
+  Bst Fused = fuse(Dec, ToInt, S);
+  ASSERT_EQ(Fused.numStates(), 4u);
+
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(Fused, S, {}, &Stats);
+  EXPECT_EQ(Clean.numStates(), 2u) << bstToString(Clean);
+  EXPECT_GT(Stats.BranchesRemoved, 0u);
+  EXPECT_GT(Stats.StatesRemoved, 0u);
+
+  // Semantics unchanged.
+  for (const char *In : {"123", "", "0", "98765", "12x", "\xC5\x93"}) {
+    auto Before = runBst(Fused, lib::valuesFromBytes(In));
+    auto After = runBst(Clean, lib::valuesFromBytes(In));
+    ASSERT_EQ(Before.has_value(), After.has_value()) << In;
+    if (Before)
+      EXPECT_EQ(*Before, *After) << In;
+  }
+}
+
+TEST_F(RbbeTest, PaperSection61EncodeBranches) {
+  // §6.1: in HtmlEncode's state h1, Encode(CP(r, x)) is guarded only by
+  // "x is a low surrogate"; that CP(r, x) >= 0x10000 holds is a
+  // *state-carried* fact (h1 is only entered under h0's high-surrogate
+  // guard).  RBBE proves the four entity branches and the < 10 ... < 10000
+  // decimal branches of that Encode instance unreachable — the paper's
+  // "first eight true branches".
+  Bst Html = lib::makeHtmlEncode(Ctx);
+  unsigned Before = Html.countBranches();
+  Solver S(Ctx);
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(Html, S, {}, &Stats);
+  // 8 branches of Encode(CP(r, x)) (the paper's "first eight true
+  // branches") plus 2 impossible magnitude branches of Encode(x) — a bv16
+  // char is always < 100000 ("both instantiations of Encode include some
+  // unreachable branches").
+  EXPECT_EQ(Stats.BranchesRemoved, 10u);
+  EXPECT_EQ(Clean.countBranches(), Before - 10);
+
+  // Behaviour on valid (repaired) inputs is unchanged.
+  std::vector<std::u16string> Cases = {
+      u"x<y&z", u"\xD83D\xDE00", u"plain \x4E2D", u"\xDBFF\xDFFF"};
+  for (const auto &Sc : Cases) {
+    auto Out = runBst(Clean, lib::valuesFromChars(Sc));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(lib::charsFromValues(*Out), ref::htmlEncode(Sc));
+  }
+}
+
+TEST_F(RbbeTest, FusionPrunesWhatRbbeWouldInProduct) {
+  // In Rep ⊗ HtmlEncode the surrogate pair flows through B within a
+  // single STEP, so the branch context γ carries the high-surrogate
+  // constraint and fusion prunes the same Encode branches up front (the
+  // paper: "removed either by pruning in the fusion or during RBBE").
+  Bst Rep = lib::makeRep(Ctx);
+  Bst Html = lib::makeHtmlEncode(Ctx);
+  Solver S(Ctx);
+  FusionStats FStats;
+  Bst Fused = fuse(Rep, Html, S, {}, &FStats);
+  EXPECT_GT(FStats.BranchesPruned, 0u);
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(Fused, S, {}, &Stats);
+  std::vector<std::u16string> Cases = {
+      u"x<y&z", u"\xD83D\xDE00", u"\xD83D", u"\xDE00\xD800\xDC00",
+      u"plain \x4E2D"};
+  for (const auto &Sc : Cases) {
+    auto Out = runBst(Clean, lib::valuesFromChars(Sc));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(lib::charsFromValues(*Out), ref::antiXssHtmlEncode(Sc));
+  }
+}
+
+TEST_F(RbbeTest, StateCarriedCounterConstraint) {
+  // A hand-built example: a 1-state transducer whose register counts
+  // mod-free up to at most 3 (guard x <= 2 on entry ensures r <= 2 + ...).
+  // Branch "r >= 100" can never fire because r only ever increments by 1
+  // from 0 while staying <= |Q| layers... use a simpler invariant: the
+  // register is always even, so the odd branch is unreachable.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  TermRef IsOdd = Ctx.mkEq(Ctx.mkBvAnd(R, Ctx.bvConst(8, 1)),
+                           Ctx.bvConst(8, 1));
+  // r increases by 2 each step; the odd-register branch emits 0xEE.
+  A.setDelta(0, Rule::ite(IsOdd, Rule::base({Ctx.bvConst(8, 0xEE)}, 0, R),
+                          Rule::base({X}, 0,
+                                     Ctx.mkAdd(R, Ctx.bvConst(8, 2)))));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  ASSERT_TRUE(A.wellFormed());
+
+  Solver S(Ctx);
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(A, S, {}, &Stats);
+  EXPECT_EQ(Stats.BranchesRemoved, 1u) << bstToString(Clean);
+  EXPECT_EQ(Clean.delta(0)->countBaseLeaves(), 1u);
+}
+
+TEST_F(RbbeTest, KeepsReachableBranches) {
+  // Nothing should be removed from transducers where every branch fires.
+  for (Bst A : {lib::makeUtf8Decode2(Ctx), lib::makeToInt(Ctx),
+                lib::makeBase64Decode(Ctx), lib::makeRep(Ctx)}) {
+    Solver S(Ctx);
+    RbbeStats Stats;
+    Bst Clean = eliminateUnreachableBranches(A, S, {}, &Stats);
+    EXPECT_EQ(Stats.BranchesRemoved + Stats.FinalBranchesRemoved, 0u);
+    EXPECT_EQ(Clean.countBranches(), A.countBranches());
+  }
+}
+
+TEST_F(RbbeTest, UnderApproxAblationGivesSameResult) {
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Bst ToInt = lib::makeToInt(Ctx);
+  Solver S1(Ctx), S2(Ctx);
+  Bst Fused1 = fuse(Dec, ToInt, S1);
+  Bst Fused2 = cloneBst(Fused1);
+
+  RbbeOptions NoUA;
+  NoUA.UnderApprox = false;
+  RbbeStats SWith, SWithout;
+  Bst CleanWith = eliminateUnreachableBranches(Fused1, S1, {}, &SWith);
+  Bst CleanWithout =
+      eliminateUnreachableBranches(Fused2, S2, NoUA, &SWithout);
+  EXPECT_EQ(CleanWith.numStates(), CleanWithout.numStates());
+  EXPECT_EQ(CleanWith.countBranches(), CleanWithout.countBranches());
+  // The under-approximation saves backward searches.
+  EXPECT_LT(SWith.ReachCalls, SWithout.ReachCalls);
+}
+
+TEST_F(RbbeTest, BoundedDepthIsConservative) {
+  // With depth 1 the search cannot prove much, but must never remove a
+  // reachable branch.
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Solver S(Ctx);
+  RbbeOptions Shallow;
+  Shallow.BackwardDepth = 1;
+  Shallow.UnderApprox = false;
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(Dec, S, Shallow, &Stats);
+  auto Out = runBst(Clean, lib::valuesFromBytes("a\xC5\x93z"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(Out->size(), 3u);
+}
+
+TEST_F(RbbeTest, RemovesUnreachableFinalizerBranch) {
+  // Finalizer with a branch on an impossible register value.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+  TermRef X = A.inputVar();
+  TermRef R = A.regVar();
+  // Register is always 0 or 1 (x & 1).
+  A.setDelta(0, Rule::base({X}, 0, Ctx.mkBvAnd(X, Ctx.bvConst(8, 1))));
+  A.setFinalizer(0, Rule::ite(Ctx.mkUle(R, Ctx.bvConst(8, 1)),
+                              Rule::base({}, 0, R),
+                              Rule::base({Ctx.bvConst(8, 0xFF)}, 0, R)));
+  Solver S(Ctx);
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(A, S, {}, &Stats);
+  EXPECT_EQ(Stats.FinalBranchesRemoved, 1u);
+  EXPECT_EQ(Clean.finalizer(0)->countBaseLeaves(), 1u);
+}
+
+TEST_F(RbbeTest, DifferentialSemanticsPreservation) {
+  // Random byte inputs through the full Base64Decode ⊗ BytesToInt32
+  // pipeline with and without RBBE.
+  Bst B64 = lib::makeBase64Decode(Ctx);
+  Bst ToI = lib::makeBytesToInt32(Ctx);
+  Solver S(Ctx);
+  Bst Fused = fuse(B64, ToI, S);
+  RbbeStats Stats;
+  Bst Clean = eliminateUnreachableBranches(Fused, S, {}, &Stats);
+
+  SplitMix64 Rng(21);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    std::string In;
+    size_t N = Rng.below(12);
+    for (size_t I = 0; I < N; ++I) {
+      // Mix of valid base64 chars and occasional junk.
+      const char *Alphabet =
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdef0123456789+/=!";
+      In.push_back(Alphabet[Rng.below(47)]);
+    }
+    auto Before = runBst(Fused, lib::valuesFromBytes(In));
+    auto After = runBst(Clean, lib::valuesFromBytes(In));
+    ASSERT_EQ(Before.has_value(), After.has_value()) << In;
+    if (Before)
+      EXPECT_EQ(*Before, *After) << In;
+  }
+}
+
+TEST_F(RbbeTest, PropertySemanticsPreservedOnRandomTransducers) {
+  // RBBE must be semantics-preserving on arbitrary transducers, not just
+  // the curated zoo.
+  SplitMix64 Rng(0x5EED);
+  for (int T = 0; T < 20; ++T) {
+    TermContext C2;
+    efc::testing::RandomBstGen Gen(C2, Rng);
+    Bst A = Gen.make(1 + unsigned(Rng.below(3)));
+    Solver S2(C2);
+    RbbeStats Stats;
+    Bst Clean = eliminateUnreachableBranches(A, S2, {}, &Stats);
+    for (int I = 0; I < 25; ++I) {
+      std::vector<Value> In = Gen.randomInput(8);
+      auto Before = runBst(A, In);
+      auto After = runBst(Clean, In);
+      ASSERT_EQ(Before.has_value(), After.has_value())
+          << "trial " << T << " input " << I << "\n" << bstToString(A);
+      if (Before)
+        EXPECT_EQ(*Before, *After) << "trial " << T;
+    }
+  }
+}
+
+TEST_F(RbbeTest, PropertyMinimizeAfterRbbeStillSound) {
+  SplitMix64 Rng(0x1234);
+  for (int T = 0; T < 12; ++T) {
+    TermContext C2;
+    efc::testing::RandomBstGen Gen(C2, Rng);
+    Bst A = Gen.make(2 + unsigned(Rng.below(2)));
+    Solver S2(C2);
+    Bst Clean = eliminateUnreachableBranches(A, S2);
+    Bst Mini = minimizeStates(Clean);
+    for (int I = 0; I < 20; ++I) {
+      std::vector<Value> In = Gen.randomInput(8);
+      auto Before = runBst(A, In);
+      auto After = runBst(Mini, In);
+      ASSERT_EQ(Before.has_value(), After.has_value()) << "trial " << T;
+      if (Before)
+        EXPECT_EQ(*Before, *After) << "trial " << T;
+    }
+  }
+}
+
+} // namespace

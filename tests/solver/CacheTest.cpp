@@ -1,0 +1,91 @@
+//===- tests/solver/CacheTest.cpp - checkWith cache correctness -----------===//
+//
+// Differential property: a solver with result caching must answer every
+// query in a random push/add/checkWith/pop script exactly like a solver
+// without caching.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+TEST(SolverCacheTest, RandomScriptsAgreeWithUncached) {
+  TermContext Ctx;
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  SplitMix64 Rng(0xCAC4E);
+
+  // A small guard pool so contexts (and therefore cache keys) repeat.
+  auto randGuard = [&]() -> TermRef {
+    static const uint64_t Bounds[] = {0, 40, 90, 200, 255};
+    uint64_t Lo = Bounds[Rng.below(5)], Hi = Bounds[Rng.below(5)];
+    if (Lo > Hi)
+      std::swap(Lo, Hi);
+    TermRef V = Rng.below(2) ? X : Y;
+    TermRef G = Ctx.mkInRange(V, Lo, Hi);
+    if (Rng.below(3) == 0)
+      G = Ctx.mkNot(G);
+    if (Rng.below(4) == 0)
+      G = Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.bvConst(8, Bounds[Rng.below(5)]));
+    return G;
+  };
+
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    Solver Cached(Ctx), Uncached(Ctx);
+    Uncached.setCacheEnabled(false);
+    unsigned Depth = 0;
+    for (int Step = 0; Step < 120; ++Step) {
+      switch (Rng.below(4)) {
+      case 0: {
+        Cached.push();
+        Uncached.push();
+        ++Depth;
+        TermRef G = randGuard();
+        Cached.add(G);
+        Uncached.add(G);
+        break;
+      }
+      case 1:
+        if (Depth > 0) {
+          Cached.pop();
+          Uncached.pop();
+          --Depth;
+        }
+        break;
+      default: {
+        TermRef G = randGuard();
+        SatResult A = Cached.checkWith(G);
+        SatResult B = Uncached.checkWith(G);
+        ASSERT_EQ(A, B) << "trial " << Trial << " step " << Step;
+        break;
+      }
+      }
+    }
+    EXPECT_GT(Cached.stats().CacheHits, 0u)
+        << "scripts should produce repeats";
+  }
+}
+
+TEST(SolverCacheTest, CacheKeyedOnFullContext) {
+  // The same extra assertion under different contexts must not collide.
+  TermContext Ctx;
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  TermRef Probe = Ctx.mkUle(Ctx.bvConst(8, 100), X);
+
+  EXPECT_EQ(S.checkWith(Probe), SatResult::Sat);
+  S.push();
+  S.add(Ctx.mkUle(X, Ctx.bvConst(8, 50)));
+  EXPECT_EQ(S.checkWith(Probe), SatResult::Unsat)
+      << "cached Sat from the outer context must not leak";
+  S.pop();
+  EXPECT_EQ(S.checkWith(Probe), SatResult::Sat);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===- tests/solver/IntervalTest.cpp - Presolve tests ---------------------===//
+
+#include "solver/Interval.h"
+#include "solver/Solver.h"
+#include "support/Stopwatch.h"
+#include "term/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class IntervalTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(IntervalTest, DisjointRangesAreUnsatWithoutSatCall) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  S.add(Ctx.mkInRange(X, 0x30, 0x39));
+  S.add(Ctx.mkInRange(X, 0x80, 0xBF));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+  EXPECT_EQ(S.stats().FastUnsat, 1u);
+  EXPECT_EQ(S.stats().SatCalls, 0u);
+}
+
+TEST_F(IntervalTest, OverlappingRangesAreSatWithoutSatCall) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  S.add(Ctx.mkInRange(X, 0x30, 0x39));
+  S.add(Ctx.mkInRange(X, 0x35, 0xBF));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  EXPECT_EQ(S.stats().FastSat, 1u);
+  EXPECT_EQ(S.stats().SatCalls, 0u);
+  // The presolve model must satisfy both ranges.
+  uint64_t V = S.modelValue(X).bits();
+  EXPECT_GE(V, 0x35u);
+  EXPECT_LE(V, 0x39u);
+}
+
+TEST_F(IntervalTest, ArithmeticPropagation) {
+  // x in [0x30,0x39]  =>  x - 0x30 in [0,9]  =>  (x - 0x30) <= 9 is True.
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  S.add(Ctx.mkInRange(X, 0x30, 0x39));
+  S.add(Ctx.mkUle(Ctx.mkSub(X, Ctx.bvConst(8, 0x30)), Ctx.bvConst(8, 9)));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  EXPECT_EQ(S.stats().SatCalls, 0u);
+}
+
+TEST_F(IntervalTest, BooleanFlagPinning) {
+  TermRef B = Ctx.var("b", Ctx.boolTy());
+  Solver S(Ctx);
+  S.add(B);
+  S.add(Ctx.mkNot(B));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+  EXPECT_EQ(S.stats().SatCalls, 0u);
+}
+
+TEST_F(IntervalTest, FallsThroughToSatWhenUnknown) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  Solver S(Ctx);
+  S.setGuessingEnabled(false); // force the CDCL fallback path
+  S.add(Ctx.mkEq(Ctx.mkBvXor(X, Y), Ctx.bvConst(8, 0xFF)));
+  EXPECT_EQ(S.check(), SatResult::Sat);
+  EXPECT_EQ(S.stats().SatCalls, 1u);
+}
+
+TEST_F(IntervalTest, GuessingFindsWitnessWithoutCdcl) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  Solver S(Ctx);
+  S.add(Ctx.mkEq(Ctx.mkBvXor(X, Y), Ctx.bvConst(8, 0xFF)));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  EXPECT_EQ(S.stats().GuessSat, 1u);
+  EXPECT_EQ(S.stats().SatCalls, 0u);
+  // And the guessed model must satisfy the assertion.
+  uint64_t XV = S.modelValue(X).bits();
+  uint64_t YV = S.modelValue(Y).bits();
+  EXPECT_EQ((XV ^ YV) & 0xFF, 0xFFu);
+}
+
+TEST_F(IntervalTest, PresolveNeverContradictsSat) {
+  // Differential: random conjunctions where presolve answers must agree
+  // with the SAT-only configuration.
+  TermContext Ctx2;
+  TermRef X = Ctx2.var("x", Ctx2.bv(8));
+  TermRef Y = Ctx2.var("y", Ctx2.bv(8));
+  SplitMix64 Rng(7);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    std::vector<TermRef> Asserts;
+    int N = 1 + int(Rng.below(3));
+    for (int I = 0; I < N; ++I) {
+      TermRef V = Rng.below(2) ? X : Y;
+      uint64_t Lo = Rng.below(256), Hi = Rng.below(256);
+      if (Lo > Hi)
+        std::swap(Lo, Hi);
+      TermRef T = Ctx2.mkInRange(V, Lo, Hi);
+      if (Rng.below(4) == 0)
+        T = Ctx2.mkEq(Ctx2.mkAdd(X, Y), Ctx2.bvConst(8, Rng.below(256)));
+      Asserts.push_back(T);
+    }
+    Solver Fast(Ctx2), Slow(Ctx2);
+    Slow.setPresolveEnabled(false);
+    for (TermRef A : Asserts) {
+      Fast.add(A);
+      Slow.add(A);
+    }
+    EXPECT_EQ(Fast.check(), Slow.check());
+  }
+}
+
+} // namespace

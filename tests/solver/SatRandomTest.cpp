@@ -1,0 +1,109 @@
+//===- tests/solver/SatRandomTest.cpp - Random 3-SAT vs brute force -------===//
+
+#include "solver/SatSolver.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+using namespace efc::sat;
+
+namespace {
+
+/// Evaluates a CNF under an assignment bitmask.
+bool evalCnf(const std::vector<std::vector<Lit>> &Cnf, uint32_t Bits) {
+  for (const auto &Clause : Cnf) {
+    bool Ok = false;
+    for (Lit L : Clause) {
+      bool V = (Bits >> var(L)) & 1;
+      if (sign(L))
+        V = !V;
+      if (V) {
+        Ok = true;
+        break;
+      }
+    }
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+/// Parameter: (number of variables, clause/variable ratio * 10).
+class Random3SatTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Random3SatTest, AgreesWithBruteForce) {
+  auto [NumVars, Ratio10] = GetParam();
+  SplitMix64 Rng(uint64_t(NumVars) * 1000 + uint64_t(Ratio10));
+  int NumClauses = NumVars * Ratio10 / 10;
+
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    std::vector<std::vector<Lit>> Cnf;
+    for (int C = 0; C < NumClauses; ++C) {
+      std::vector<Lit> Clause;
+      for (int K = 0; K < 3; ++K)
+        Clause.push_back(
+            mkLit(Var(Rng.below(NumVars)), Rng.below(2) != 0));
+      Cnf.push_back(std::move(Clause));
+    }
+
+    bool AnySat = false;
+    for (uint32_t Bits = 0; Bits < (1u << NumVars) && !AnySat; ++Bits)
+      AnySat = evalCnf(Cnf, Bits);
+
+    SatSolver S;
+    for (int V = 0; V < NumVars; ++V)
+      S.newVar();
+    bool Ok = true;
+    for (auto &Clause : Cnf)
+      Ok = S.addClause(Clause) && Ok;
+    SolveStatus R = Ok ? S.solve({}) : SolveStatus::Unsat;
+    ASSERT_NE(R, SolveStatus::Budget);
+    EXPECT_EQ(R == SolveStatus::Sat, AnySat)
+        << "vars=" << NumVars << " clauses=" << NumClauses << " iter="
+        << Iter;
+
+    // If Sat: check the model against the CNF.
+    if (R == SolveStatus::Sat) {
+      uint32_t Bits = 0;
+      for (int V = 0; V < NumVars; ++V)
+        if (S.modelBool(V))
+          Bits |= 1u << V;
+      EXPECT_TRUE(evalCnf(Cnf, Bits)) << "model must satisfy the CNF";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VarsTimesRatio, Random3SatTest,
+    ::testing::Combine(::testing::Values(6, 10, 14),
+                       // Under-constrained, near-threshold (~4.3), and
+                       // over-constrained regimes.
+                       ::testing::Values(20, 43, 60)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>> &Info) {
+      return "v" + std::to_string(std::get<0>(Info.param)) + "_r" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+TEST(SatSolverStress, ManyIncrementalSolvesStayConsistent) {
+  // The same solver answering alternating SAT/UNSAT queries via
+  // assumptions must never corrupt its state.
+  SatSolver S;
+  const int N = 24;
+  std::vector<Var> X;
+  for (int I = 0; I < N; ++I)
+    X.push_back(S.newVar());
+  // Chain x_i -> x_{i+1}.
+  for (int I = 0; I + 1 < N; ++I)
+    S.addBinary(~mkLit(X[I]), mkLit(X[I + 1]));
+  for (int Round = 0; Round < 50; ++Round) {
+    // Assuming x0 and ~x_k is UNSAT for any k > 0.
+    int K = 1 + Round % (N - 1);
+    EXPECT_EQ(S.solve({mkLit(X[0]), ~mkLit(X[K])}), SolveStatus::Unsat);
+    EXPECT_EQ(S.solve({mkLit(X[0])}), SolveStatus::Sat);
+    EXPECT_EQ(S.solve({~mkLit(X[K])}), SolveStatus::Sat);
+  }
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/solver/SatSolverTest.cpp - CDCL core tests -------------------===//
+
+#include "solver/SatSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc::sat;
+
+namespace {
+
+TEST(SatSolverTest, EmptyProblemIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve({}), SolveStatus::Sat);
+}
+
+TEST(SatSolverTest, UnitPropagation) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addUnit(mkLit(A));
+  S.addBinary(~mkLit(A), mkLit(B));
+  ASSERT_EQ(S.solve({}), SolveStatus::Sat);
+  EXPECT_TRUE(S.modelBool(A));
+  EXPECT_TRUE(S.modelBool(B));
+}
+
+TEST(SatSolverTest, SimpleUnsat) {
+  SatSolver S;
+  Var A = S.newVar();
+  S.addUnit(mkLit(A));
+  EXPECT_FALSE(S.addUnit(~mkLit(A)));
+  EXPECT_EQ(S.solve({}), SolveStatus::Unsat);
+}
+
+TEST(SatSolverTest, RequiresConflictAnalysis) {
+  // (a | b) & (a | ~b) & (~a | c) & (~a | ~c) is unsat.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addBinary(mkLit(A), mkLit(B));
+  S.addBinary(mkLit(A), ~mkLit(B));
+  S.addBinary(~mkLit(A), mkLit(C));
+  S.addBinary(~mkLit(A), ~mkLit(C));
+  EXPECT_EQ(S.solve({}), SolveStatus::Unsat);
+}
+
+TEST(SatSolverTest, AssumptionsRestrictWithoutPersisting) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addBinary(mkLit(A), mkLit(B));
+  EXPECT_EQ(S.solve({~mkLit(A), ~mkLit(B)}), SolveStatus::Unsat);
+  // Same solver, no assumptions: still satisfiable.
+  EXPECT_EQ(S.solve({}), SolveStatus::Sat);
+  // One-sided assumption: model must respect it.
+  ASSERT_EQ(S.solve({~mkLit(A)}), SolveStatus::Sat);
+  EXPECT_FALSE(S.modelBool(A));
+  EXPECT_TRUE(S.modelBool(B));
+}
+
+TEST(SatSolverTest, PigeonholeThreeIntoTwoIsUnsat) {
+  // Pigeons p in 0..2, holes h in 0..1; var(p,h) = p*2+h.
+  SatSolver S;
+  for (int I = 0; I < 6; ++I)
+    S.newVar();
+  auto V = [](int P, int H) { return mkLit(P * 2 + H); };
+  for (int P = 0; P < 3; ++P)
+    S.addBinary(V(P, 0), V(P, 1));
+  for (int H = 0; H < 2; ++H)
+    for (int P1 = 0; P1 < 3; ++P1)
+      for (int P2 = P1 + 1; P2 < 3; ++P2)
+        S.addBinary(~V(P1, H), ~V(P2, H));
+  EXPECT_EQ(S.solve({}), SolveStatus::Unsat);
+}
+
+TEST(SatSolverTest, PigeonholeFiveIntoFourIsUnsat) {
+  SatSolver S;
+  const int P = 5, H = 4;
+  for (int I = 0; I < P * H; ++I)
+    S.newVar();
+  auto V = [&](int Pi, int Hi) { return mkLit(Pi * H + Hi); };
+  for (int Pi = 0; Pi < P; ++Pi) {
+    std::vector<Lit> Cl;
+    for (int Hi = 0; Hi < H; ++Hi)
+      Cl.push_back(V(Pi, Hi));
+    S.addClause(Cl);
+  }
+  for (int Hi = 0; Hi < H; ++Hi)
+    for (int P1 = 0; P1 < P; ++P1)
+      for (int P2 = P1 + 1; P2 < P; ++P2)
+        S.addBinary(~V(P1, Hi), ~V(P2, Hi));
+  EXPECT_EQ(S.solve({}), SolveStatus::Unsat);
+  EXPECT_GT(S.numConflicts(), 0u);
+}
+
+TEST(SatSolverTest, ParityChainSat) {
+  // x0 xor x1 = 1, x1 xor x2 = 1, ..., forced chain; check model parity.
+  SatSolver S;
+  const int N = 20;
+  std::vector<Var> X;
+  for (int I = 0; I < N; ++I)
+    X.push_back(S.newVar());
+  for (int I = 0; I + 1 < N; ++I) {
+    // xor(x_i, x_{i+1}) = true: (a | b) & (~a | ~b)
+    S.addBinary(mkLit(X[I]), mkLit(X[I + 1]));
+    S.addBinary(~mkLit(X[I]), ~mkLit(X[I + 1]));
+  }
+  S.addUnit(mkLit(X[0]));
+  ASSERT_EQ(S.solve({}), SolveStatus::Sat);
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(S.modelBool(X[I]), I % 2 == 0) << "position " << I;
+}
+
+TEST(SatSolverTest, ConflictBudgetReportsBudget) {
+  // A hard pigeonhole with a tiny budget should give Budget, not a wrong
+  // answer.
+  SatSolver S;
+  const int P = 8, H = 7;
+  for (int I = 0; I < P * H; ++I)
+    S.newVar();
+  auto V = [&](int Pi, int Hi) { return mkLit(Pi * H + Hi); };
+  for (int Pi = 0; Pi < P; ++Pi) {
+    std::vector<Lit> Cl;
+    for (int Hi = 0; Hi < H; ++Hi)
+      Cl.push_back(V(Pi, Hi));
+    S.addClause(Cl);
+  }
+  for (int Hi = 0; Hi < H; ++Hi)
+    for (int P1 = 0; P1 < P; ++P1)
+      for (int P2 = P1 + 1; P2 < P; ++P2)
+        S.addBinary(~V(P1, Hi), ~V(P2, Hi));
+  SolveStatus R = S.solve({}, /*ConflictBudget=*/5);
+  EXPECT_TRUE(R == SolveStatus::Budget || R == SolveStatus::Unsat);
+}
+
+} // namespace

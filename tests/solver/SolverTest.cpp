@@ -1,0 +1,323 @@
+//===- tests/solver/SolverTest.cpp - SMT-lite solver tests ----------------===//
+//
+// Includes a differential property test: random terms over small-width
+// variables are checked against brute-force enumeration of all assignments,
+// both for the sat/unsat verdict and for model correctness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+#include "support/Stopwatch.h"
+#include "term/Eval.h"
+#include "term/Print.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(SolverTest, TrivialSat) {
+  Solver S(Ctx);
+  EXPECT_EQ(S.check(), SatResult::Sat);
+}
+
+TEST_F(SolverTest, TrivialUnsat) {
+  Solver S(Ctx);
+  S.add(Ctx.falseConst());
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+TEST_F(SolverTest, RangeGuardConflict) {
+  // The paper's UTF-8/ToInt example: a continuation byte can never decode
+  // to an ASCII digit when the lead byte is in [0xC2, 0xDF].
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef R = Ctx.var("r", Ctx.bv(16));
+  Solver S(Ctx);
+  // r = (lead & 0x3F) << 6 for lead in [0xC2,0xDF]  =>  r in [0x080,0x7C0]
+  TermRef Lead = Ctx.var("lead", Ctx.bv(8));
+  S.add(Ctx.mkInRange(Lead, 0xC2, 0xDF));
+  S.add(Ctx.mkEq(
+      R, Ctx.mkShlC(Ctx.mkBvAnd(Ctx.mkZExt(Lead, 16), Ctx.bvConst(16, 0x3F)),
+                    6)));
+  S.add(Ctx.mkInRange(X, 0x80, 0xBF));
+  TermRef Decoded =
+      Ctx.mkBvOr(R, Ctx.mkBvAnd(Ctx.mkZExt(X, 16), Ctx.bvConst(16, 0x3F)));
+  S.add(Ctx.mkInRange(Decoded, 0x30, 0x39));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+}
+
+TEST_F(SolverTest, PushPopRestoresSatisfiability) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  S.add(Ctx.mkUle(X, Ctx.bvConst(8, 10)));
+  EXPECT_EQ(S.check(), SatResult::Sat);
+  S.push();
+  S.add(Ctx.mkUle(Ctx.bvConst(8, 20), X));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+  S.pop();
+  EXPECT_EQ(S.check(), SatResult::Sat);
+}
+
+TEST_F(SolverTest, DeepPushPopNesting) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  for (int I = 0; I < 6; ++I) {
+    S.push();
+    S.add(Ctx.mkUle(Ctx.bvConst(8, uint64_t(I * 10)), X));
+  }
+  EXPECT_EQ(S.check(), SatResult::Sat);
+  S.push();
+  S.add(Ctx.mkUlt(X, Ctx.bvConst(8, 50)));
+  EXPECT_EQ(S.check(), SatResult::Unsat);
+  S.pop();
+  EXPECT_EQ(S.check(), SatResult::Sat);
+  for (int I = 0; I < 6; ++I)
+    S.pop();
+  EXPECT_EQ(S.numScopes(), 0u);
+}
+
+TEST_F(SolverTest, ModelSatisfiesAssertions) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  Solver S(Ctx);
+  S.setPresolveEnabled(false); // force the SAT path
+  S.add(Ctx.mkEq(Ctx.mkAdd(X, Y), Ctx.bvConst(8, 100)));
+  S.add(Ctx.mkUlt(X, Y));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  Value XV = S.modelValue(X);
+  Value YV = S.modelValue(Y);
+  EXPECT_EQ((XV.bits() + YV.bits()) & 0xFF, 100u);
+  EXPECT_LT(XV.bits(), YV.bits());
+}
+
+TEST_F(SolverTest, MultiplicationCircuit) {
+  TermRef X = Ctx.var("x", Ctx.bv(16));
+  Solver S(Ctx);
+  S.setPresolveEnabled(false);
+  S.add(Ctx.mkEq(Ctx.mkMul(X, Ctx.bvConst(16, 10)), Ctx.bvConst(16, 420)));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  Value XV = S.modelValue(X);
+  EXPECT_EQ((XV.bits() * 10) & 0xFFFF, 420u);
+}
+
+TEST_F(SolverTest, DivisionCircuit) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  S.setPresolveEnabled(false);
+  S.add(Ctx.mkEq(Ctx.mkUDiv(X, Ctx.bvConst(8, 10)), Ctx.bvConst(8, 7)));
+  S.add(Ctx.mkEq(Ctx.mkURem(X, Ctx.bvConst(8, 10)), Ctx.bvConst(8, 3)));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  EXPECT_EQ(S.modelValue(X).bits(), 73u);
+}
+
+TEST_F(SolverTest, TupleVariablesGetConsistentModels) {
+  const Type *RegTy = Ctx.tupleTy({Ctx.bv(8), Ctx.boolTy(), Ctx.bv(4)});
+  TermRef R = Ctx.var("r", RegTy);
+  Solver S(Ctx);
+  S.setPresolveEnabled(false);
+  S.add(Ctx.mkEq(Ctx.mkTupleGet(R, 0), Ctx.bvConst(8, 77)));
+  S.add(Ctx.mkTupleGet(R, 1));
+  S.add(Ctx.mkUlt(Ctx.mkTupleGet(R, 2), Ctx.bvConst(4, 3)));
+  ASSERT_EQ(S.check(), SatResult::Sat);
+  Value RV = S.modelValue(R);
+  ASSERT_TRUE(RV.isTuple());
+  EXPECT_EQ(RV.elem(0).bits(), 77u);
+  EXPECT_TRUE(RV.elem(1).boolValue());
+  EXPECT_LT(RV.elem(2).bits(), 3u);
+}
+
+TEST_F(SolverTest, CheckWithDoesNotPersist) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  Solver S(Ctx);
+  S.add(Ctx.mkUle(X, Ctx.bvConst(8, 5)));
+  EXPECT_EQ(S.checkWith(Ctx.mkUle(Ctx.bvConst(8, 6), X)), SatResult::Unsat);
+  EXPECT_EQ(S.check(), SatResult::Sat);
+}
+
+//===----------------------------------------------------------------------===
+// Differential property test vs brute force
+//===----------------------------------------------------------------------===
+
+class RandomTermGen {
+public:
+  RandomTermGen(TermContext &Ctx, SplitMix64 &Rng) : Ctx(Ctx), Rng(Rng) {
+    X = Ctx.var("x", Ctx.bv(4));
+    Y = Ctx.var("y", Ctx.bv(4));
+    B = Ctx.var("b", Ctx.boolTy());
+    R = Ctx.var("r", Ctx.pairTy(Ctx.bv(4), Ctx.boolTy()));
+  }
+
+  TermRef X, Y, B, R;
+
+  TermRef genBv(int Depth) {
+    if (Depth == 0) {
+      switch (Rng.below(4)) {
+      case 0:
+        return X;
+      case 1:
+        return Y;
+      case 2:
+        return Ctx.mkProj1(R);
+      default:
+        return Ctx.bvConst(4, Rng.below(16));
+      }
+    }
+    switch (Rng.below(12)) {
+    case 0:
+      return Ctx.mkAdd(genBv(Depth - 1), genBv(Depth - 1));
+    case 1:
+      return Ctx.mkSub(genBv(Depth - 1), genBv(Depth - 1));
+    case 2:
+      return Ctx.mkMul(genBv(Depth - 1), genBv(Depth - 1));
+    case 3:
+      return Ctx.mkUDiv(genBv(Depth - 1), genBv(Depth - 1));
+    case 4:
+      return Ctx.mkURem(genBv(Depth - 1), genBv(Depth - 1));
+    case 5:
+      return Ctx.mkBvAnd(genBv(Depth - 1), genBv(Depth - 1));
+    case 6:
+      return Ctx.mkBvOr(genBv(Depth - 1), genBv(Depth - 1));
+    case 7:
+      return Ctx.mkBvXor(genBv(Depth - 1), genBv(Depth - 1));
+    case 8:
+      return Ctx.mkShl(genBv(Depth - 1), genBv(Depth - 1));
+    case 9:
+      return Ctx.mkLShr(genBv(Depth - 1), genBv(Depth - 1));
+    case 10:
+      return Ctx.mkAShr(genBv(Depth - 1), genBv(Depth - 1));
+    default:
+      return Ctx.mkIte(genBool(Depth - 1), genBv(Depth - 1),
+                       genBv(Depth - 1));
+    }
+  }
+
+  TermRef genBool(int Depth) {
+    if (Depth == 0) {
+      switch (Rng.below(3)) {
+      case 0:
+        return B;
+      case 1:
+        return Ctx.mkProj2(R);
+      default:
+        return Ctx.boolConst(Rng.below(2));
+      }
+    }
+    switch (Rng.below(9)) {
+    case 0:
+      return Ctx.mkAnd(genBool(Depth - 1), genBool(Depth - 1));
+    case 1:
+      return Ctx.mkOr(genBool(Depth - 1), genBool(Depth - 1));
+    case 2:
+      return Ctx.mkNot(genBool(Depth - 1));
+    case 3:
+      return Ctx.mkEq(genBv(Depth - 1), genBv(Depth - 1));
+    case 4:
+      return Ctx.mkUlt(genBv(Depth - 1), genBv(Depth - 1));
+    case 5:
+      return Ctx.mkUle(genBv(Depth - 1), genBv(Depth - 1));
+    case 6:
+      return Ctx.mkSlt(genBv(Depth - 1), genBv(Depth - 1));
+    case 7:
+      return Ctx.mkSle(genBv(Depth - 1), genBv(Depth - 1));
+    default:
+      return Ctx.mkIte(genBool(Depth - 1), genBool(Depth - 1),
+                       genBool(Depth - 1));
+    }
+  }
+
+private:
+  TermContext &Ctx;
+  SplitMix64 &Rng;
+};
+
+TEST(SolverPropertyTest, AgreesWithBruteForceEnumeration) {
+  TermContext Ctx;
+  SplitMix64 Rng(0xEFC0FFEEull);
+  RandomTermGen Gen(Ctx, Rng);
+
+  int SatCount = 0, UnsatCount = 0;
+  for (int Iter = 0; Iter < 160; ++Iter) {
+    TermRef Phi = Gen.genBool(3);
+
+    // Ground truth by enumeration of all 4+4+1+(4+1) = 14 bits.
+    bool AnySat = false;
+    for (uint64_t XV = 0; XV < 16 && !AnySat; ++XV)
+      for (uint64_t YV = 0; YV < 16 && !AnySat; ++YV)
+        for (uint64_t BV = 0; BV < 2 && !AnySat; ++BV)
+          for (uint64_t R0 = 0; R0 < 16 && !AnySat; ++R0)
+            for (uint64_t R1 = 0; R1 < 2 && !AnySat; ++R1) {
+              Env E;
+              E.bind(Gen.X, Value::bv(4, XV));
+              E.bind(Gen.Y, Value::bv(4, YV));
+              E.bind(Gen.B, Value::boolV(BV != 0));
+              E.bind(Gen.R, Value::tuple(
+                                {Value::bv(4, R0), Value::boolV(R1 != 0)}));
+              if (evalTerm(Phi, E).boolValue())
+                AnySat = true;
+            }
+
+    // Alternate between presolve-enabled and SAT-only configurations.
+    Solver S(Ctx);
+    S.setPresolveEnabled(Iter % 2 == 0);
+    S.add(Phi);
+    SatResult R = S.check();
+    ASSERT_NE(R, SatResult::Unknown);
+    EXPECT_EQ(R == SatResult::Sat, AnySat)
+        << "term: " << termToString(Ctx, Phi);
+
+    if (R == SatResult::Sat) {
+      ++SatCount;
+      // The model must actually satisfy the term.
+      Env E;
+      E.bind(Gen.X, S.modelValue(Gen.X));
+      E.bind(Gen.Y, S.modelValue(Gen.Y));
+      E.bind(Gen.B, S.modelValue(Gen.B));
+      E.bind(Gen.R, S.modelValue(Gen.R));
+      EXPECT_TRUE(evalTerm(Phi, E).boolValue())
+          << "model does not satisfy: " << termToString(Ctx, Phi);
+    } else {
+      ++UnsatCount;
+    }
+  }
+  // Sanity: the generator should produce a mix of both verdicts.
+  EXPECT_GT(SatCount, 10);
+  EXPECT_GT(UnsatCount, 3);
+}
+
+TEST(SolverPropertyTest, ConjunctionsOfRangeGuards) {
+  // Shapes that fusion actually produces: conjunctions of range guards over
+  // one byte variable, cross-checked against enumeration.
+  TermContext Ctx;
+  SplitMix64 Rng(42);
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  for (int Iter = 0; Iter < 120; ++Iter) {
+    TermRef Phi = Ctx.trueConst();
+    int NumGuards = 1 + int(Rng.below(4));
+    for (int G = 0; G < NumGuards; ++G) {
+      uint64_t Lo = Rng.below(256), Hi = Rng.below(256);
+      if (Lo > Hi)
+        std::swap(Lo, Hi);
+      TermRef Guard = Ctx.mkInRange(X, Lo, Hi);
+      Phi = Rng.below(2) ? Ctx.mkAnd(Phi, Guard)
+                         : Ctx.mkAnd(Phi, Ctx.mkNot(Guard));
+    }
+    bool AnySat = false;
+    for (uint64_t V = 0; V < 256 && !AnySat; ++V) {
+      Env E;
+      E.bind(X, Value::bv(8, V));
+      if (evalTerm(Phi, E).boolValue())
+        AnySat = true;
+    }
+    Solver S(Ctx);
+    S.add(Phi);
+    EXPECT_EQ(S.check() == SatResult::Sat, AnySat);
+  }
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===- tests/stdlib/TransducersTest.cpp - Transducer zoo vs references ----===//
+
+#include "bst/Interp.h"
+#include "stdlib/Reference.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class TransducersTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+std::string randomUtf8(SplitMix64 &Rng, size_t NumChars, uint32_t MaxCp) {
+  std::u16string S;
+  for (size_t I = 0; I < NumChars; ++I) {
+    uint32_t Cp = uint32_t(Rng.below(MaxCp));
+    if (Cp >= 0xD800 && Cp <= 0xDFFF)
+      Cp = 0x20; // avoid raw surrogates
+    if (Cp <= 0xFFFF) {
+      S.push_back(char16_t(Cp));
+    } else {
+      uint32_t Off = Cp - 0x10000;
+      S.push_back(char16_t(0xD800 + (Off >> 10)));
+      S.push_back(char16_t(0xDC00 + (Off & 0x3FF)));
+    }
+  }
+  auto Enc = ref::utf8Encode(S);
+  return *Enc;
+}
+
+TEST_F(TransducersTest, Utf8DecodeFullMatchesReference) {
+  Bst A = lib::makeUtf8Decode(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  SplitMix64 Rng(1);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    std::string Bytes = randomUtf8(Rng, 40, 0x110000);
+    auto Expected = ref::utf8Decode(Bytes);
+    ASSERT_TRUE(Expected.has_value());
+    auto Got = runBst(A, lib::valuesFromBytes(Bytes));
+    ASSERT_TRUE(Got.has_value()) << "iteration " << Iter;
+    EXPECT_EQ(lib::charsFromValues(*Got), *Expected);
+  }
+}
+
+TEST_F(TransducersTest, Utf8EncodeMatchesReference) {
+  Bst A = lib::makeUtf8Encode(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  SplitMix64 Rng(2);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    std::string Bytes = randomUtf8(Rng, 40, 0x110000);
+    std::u16string Chars = *ref::utf8Decode(Bytes);
+    auto Got = runBst(A, lib::valuesFromChars(Chars));
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(lib::bytesFromValues(*Got), Bytes);
+  }
+}
+
+TEST_F(TransducersTest, Utf8EncodeRejectsLoneSurrogate) {
+  Bst A = lib::makeUtf8Encode(Ctx);
+  EXPECT_FALSE(runBst(A, lib::valuesFromChars(u"a\xD800z")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromChars(u"a\xDC00")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromChars(u"a\xD800")).has_value());
+}
+
+TEST_F(TransducersTest, Utf8RoundTripSupplementaryPlane) {
+  Bst Dec = lib::makeUtf8Decode(Ctx);
+  std::string Emoji = "\xF0\x9F\x98\x80"; // U+1F600
+  auto Out = runBst(Dec, lib::valuesFromBytes(Emoji));
+  ASSERT_TRUE(Out.has_value());
+  ASSERT_EQ(Out->size(), 2u);
+  EXPECT_EQ((*Out)[0].bits(), 0xD83Du);
+  EXPECT_EQ((*Out)[1].bits(), 0xDE00u);
+}
+
+TEST_F(TransducersTest, Base64DecodeMatchesReference) {
+  Bst A = lib::makeBase64Decode(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  SplitMix64 Rng(3);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    std::string Raw;
+    size_t N = Rng.below(30);
+    for (size_t I = 0; I < N; ++I)
+      Raw.push_back(char(Rng.below(256)));
+    std::string Encoded = ref::base64Encode(Raw);
+    auto Got = runBst(A, lib::valuesFromBytes(Encoded));
+    ASSERT_TRUE(Got.has_value()) << "input len " << N;
+    EXPECT_EQ(lib::bytesFromValues(*Got), Raw);
+  }
+}
+
+TEST_F(TransducersTest, Base64DecodeRejectsGarbage) {
+  Bst A = lib::makeBase64Decode(Ctx);
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("ab!d")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("abc")).has_value())
+      << "unpadded partial quad must reject";
+  EXPECT_FALSE(runBst(A, lib::valuesFromBytes("ab==cd")).has_value())
+      << "data after padding must reject";
+}
+
+TEST_F(TransducersTest, Base64EncodeMatchesReference) {
+  Bst A = lib::makeBase64Encode(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  SplitMix64 Rng(4);
+  for (int Iter = 0; Iter < 30; ++Iter) {
+    std::string Raw;
+    size_t N = Rng.below(30);
+    for (size_t I = 0; I < N; ++I)
+      Raw.push_back(char(Rng.below(256)));
+    auto Got = runBst(A, lib::valuesFromBytes(Raw));
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_EQ(lib::bytesFromValues(*Got), ref::base64Encode(Raw));
+  }
+}
+
+TEST_F(TransducersTest, BytesToInt32AndBack) {
+  Bst ToI = lib::makeBytesToInt32(Ctx);
+  Bst ToB = lib::makeInt32ToBytes(Ctx);
+  std::string Bytes = {'\x78', '\x56', '\x34', '\x12', '\x01', '\x00',
+                       '\x00', '\x00'};
+  auto Ints = runBst(ToI, lib::valuesFromBytes(Bytes));
+  ASSERT_TRUE(Ints.has_value());
+  ASSERT_EQ(Ints->size(), 2u);
+  EXPECT_EQ((*Ints)[0].bits(), 0x12345678u);
+  EXPECT_EQ((*Ints)[1].bits(), 1u);
+  auto Back = runBst(ToB, *Ints);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(lib::bytesFromValues(*Back), Bytes);
+  // Trailing partial group rejects.
+  EXPECT_FALSE(runBst(ToI, lib::valuesFromBytes("abc")).has_value());
+}
+
+TEST_F(TransducersTest, ToBoolAcceptsExactly) {
+  Bst A = lib::makeToBool(Ctx);
+  auto T = runBst(A, lib::valuesFromAscii("true"));
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ((*T)[0].bits(), 1u);
+  auto F = runBst(A, lib::valuesFromAscii("false"));
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ((*F)[0].bits(), 0u);
+  EXPECT_FALSE(runBst(A, lib::valuesFromAscii("truex")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromAscii("tru")).has_value());
+  EXPECT_FALSE(runBst(A, lib::valuesFromAscii("")).has_value());
+}
+
+TEST_F(TransducersTest, IntToDecimalFormatsAllMagnitudes) {
+  Bst A = lib::makeIntToDecimal(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  std::vector<uint32_t> Cases = {0,      7,          10,        99,
+                                 100,    12345,      99999,     1000000,
+                                 4294967295u, 1000000000u};
+  for (uint32_t V : Cases) {
+    auto Out = runBst(A, lib::valuesFromInts({V}));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(lib::charsFromValues(*Out), ref::intToDecimal(V)) << V;
+  }
+}
+
+TEST_F(TransducersTest, WindowedAverageMatchesReference) {
+  Bst A = lib::makeWindowedAverage(Ctx, 10);
+  ASSERT_TRUE(A.wellFormed());
+  SplitMix64 Rng(5);
+  std::vector<uint32_t> In;
+  for (int I = 0; I < 50; ++I)
+    In.push_back(uint32_t(Rng.below(1000)));
+  auto Out = runBst(A, lib::valuesFromInts(In));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(lib::intsFromValues(*Out), ref::windowedAverage(In, 10));
+}
+
+TEST_F(TransducersTest, WindowedAverageShortInputEmitsNothing) {
+  Bst A = lib::makeWindowedAverage(Ctx, 10);
+  auto Out = runBst(A, lib::valuesFromInts({1, 2, 3}));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_TRUE(Out->empty());
+}
+
+TEST_F(TransducersTest, DeltaMatchesReference) {
+  Bst A = lib::makeDelta(Ctx);
+  std::vector<uint32_t> In = {10, 13, 11, 50};
+  auto Out = runBst(A, lib::valuesFromInts(In));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(lib::intsFromValues(*Out), ref::deltas(In));
+  // Wrap-around on decrease (unsigned subtraction).
+  EXPECT_EQ((*Out)[1].bits(), uint32_t(11 - 13));
+}
+
+TEST_F(TransducersTest, Aggregators) {
+  Bst Max = lib::makeMax(Ctx);
+  Bst Min = lib::makeMin(Ctx);
+  Bst Sum = lib::makeSum(Ctx);
+  Bst Avg = lib::makeAverage(Ctx);
+  std::vector<uint32_t> In = {5, 17, 3, 12};
+  EXPECT_EQ((*runBst(Max, lib::valuesFromInts(In)))[0].bits(), 17u);
+  EXPECT_EQ((*runBst(Min, lib::valuesFromInts(In)))[0].bits(), 3u);
+  EXPECT_EQ((*runBst(Sum, lib::valuesFromInts(In)))[0].bits(), 37u);
+  EXPECT_EQ((*runBst(Avg, lib::valuesFromInts(In)))[0].bits(), 9u);
+  // Empty input rejects for all of them.
+  EXPECT_FALSE(runBst(Max, {}).has_value());
+  EXPECT_FALSE(runBst(Min, {}).has_value());
+  EXPECT_FALSE(runBst(Sum, {}).has_value());
+  EXPECT_FALSE(runBst(Avg, {}).has_value());
+}
+
+TEST_F(TransducersTest, LineCount) {
+  Bst A = lib::makeLineCount(Ctx);
+  auto Out = runBst(A, lib::valuesFromAscii("a\nbb\n\nc"));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ((*Out)[0].bits(), 3u);
+  auto Empty = runBst(A, {});
+  ASSERT_TRUE(Empty.has_value());
+  EXPECT_EQ((*Empty)[0].bits(), 0u);
+}
+
+TEST_F(TransducersTest, RepMatchesReference) {
+  Bst A = lib::makeRep(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  std::vector<std::u16string> Cases = {
+      u"hello",
+      u"a\xD83D\xDE00z",          // valid pair
+      u"a\xD83Dz",                // lone high
+      u"a\xDE00z",                // lone low
+      u"\xD83D",                  // high at end
+      u"\xD83D\xD83D\xDE00",      // high then valid pair
+      u"\xDC00\xD800\xDC00\xD800" // mixed mess
+  };
+  for (const auto &S : Cases) {
+    auto Out = runBst(A, lib::valuesFromChars(S));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(lib::charsFromValues(*Out), ref::repair(S));
+  }
+}
+
+TEST_F(TransducersTest, HtmlEncodeMatchesReference) {
+  Bst A = lib::makeHtmlEncode(Ctx);
+  ASSERT_TRUE(A.wellFormed());
+  std::vector<std::u16string> Cases = {
+      u"hello world",
+      u"<script>alert(\"x&y\")</script>",
+      u"caf\x00E9 \x4E2D\x6587",
+      u"\xD83D\xDE00", // emoji: encoded via CP
+      u"\x7F\xA0\xAD\x370"};
+  for (const auto &S : Cases) {
+    auto Out = runBst(A, lib::valuesFromChars(S));
+    ASSERT_TRUE(Out.has_value());
+    EXPECT_EQ(lib::charsFromValues(*Out), ref::htmlEncode(S));
+  }
+}
+
+TEST_F(TransducersTest, HtmlEncodeEntityBranches) {
+  Bst A = lib::makeHtmlEncode(Ctx);
+  auto Out = runBst(A, lib::valuesFromChars(u"<&>\""));
+  ASSERT_TRUE(Out.has_value());
+  EXPECT_EQ(lib::charsFromValues(*Out), u"&lt;&amp;&gt;&quot;");
+}
+
+TEST_F(TransducersTest, ReferenceBase64RoundTrip) {
+  SplitMix64 Rng(6);
+  for (int Iter = 0; Iter < 50; ++Iter) {
+    std::string Raw;
+    size_t N = Rng.below(64);
+    for (size_t I = 0; I < N; ++I)
+      Raw.push_back(char(Rng.below(256)));
+    auto Back = ref::base64Decode(ref::base64Encode(Raw));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, Raw);
+  }
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+//===- tests/term/EvalTest.cpp - Evaluator semantics tests ----------------===//
+
+#include "term/Eval.h"
+#include "term/TermContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class EvalTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+  Env E;
+
+  Value evalWith(TermRef T, uint64_t XVal) {
+    Env Local;
+    Local.bind(Ctx.var("x", Ctx.bv(8)), Value::bv(8, XVal));
+    return evalTerm(T, Local);
+  }
+};
+
+TEST_F(EvalTest, ArithmeticWrapsAtWidth) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkAdd(X, Ctx.bvConst(8, 10));
+  EXPECT_EQ(evalWith(T, 250).bits(), 4u);
+}
+
+TEST_F(EvalTest, SignedComparisonUsesTwosComplement) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkSlt(X, Ctx.bvConst(8, 0));
+  EXPECT_TRUE(evalWith(T, 0x80).boolValue());  // -128 < 0
+  EXPECT_FALSE(evalWith(T, 0x7F).boolValue()); // 127 < 0
+}
+
+TEST_F(EvalTest, ShiftBeyondWidthIsZeroOrSignFill) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Shl = Ctx.mkShl(X, Ctx.bvConst(8, 9));
+  EXPECT_EQ(evalWith(Shl, 0xFF).bits(), 0u);
+  TermRef AShr = Ctx.mkAShr(X, Ctx.bvConst(8, 9));
+  EXPECT_EQ(evalWith(AShr, 0x80).bits(), 0xFFu);
+  EXPECT_EQ(evalWith(AShr, 0x40).bits(), 0u);
+}
+
+TEST_F(EvalTest, DivisionSemantics) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef D = Ctx.mkUDiv(X, Ctx.bvConst(8, 10));
+  EXPECT_EQ(evalWith(D, 137).bits(), 13u);
+  TermRef R = Ctx.mkURem(X, Ctx.bvConst(8, 10));
+  EXPECT_EQ(evalWith(R, 137).bits(), 7u);
+  TermRef DZ = Ctx.mkUDiv(X, Ctx.var("x", Ctx.bv(8)));
+  (void)DZ;
+  TermRef ByZero = Ctx.mkUDiv(X, Ctx.mkSub(X, X));
+  EXPECT_EQ(evalWith(ByZero, 9).bits(), 0xFFu);
+}
+
+TEST_F(EvalTest, SextZextExtract) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  EXPECT_EQ(evalWith(Ctx.mkZExt(X, 16), 0x80).bits(), 0x80u);
+  EXPECT_EQ(evalWith(Ctx.mkSExt(X, 16), 0x80).bits(), 0xFF80u);
+  EXPECT_EQ(evalWith(Ctx.mkExtract(X, 7, 4), 0xA5).bits(), 0xAu);
+}
+
+TEST_F(EvalTest, TupleRoundTrip) {
+  const Type *Ty = Ctx.pairTy(Ctx.bv(8), Ctx.boolTy());
+  TermRef R = Ctx.var("r", Ty);
+  Env Local;
+  Local.bind(R, Value::tuple({Value::bv(8, 42), Value::boolV(true)}));
+  EXPECT_EQ(evalTerm(Ctx.mkProj1(R), Local).bits(), 42u);
+  EXPECT_TRUE(evalTerm(Ctx.mkProj2(R), Local).boolValue());
+  // Rebuild a tuple with one field updated.
+  TermRef Updated =
+      Ctx.mkPair(Ctx.mkAdd(Ctx.mkProj1(R), Ctx.bvConst(8, 1)), Ctx.mkProj2(R));
+  Value V = evalTerm(Updated, Local);
+  EXPECT_EQ(V.elem(0).bits(), 43u);
+  EXPECT_TRUE(V.elem(1).boolValue());
+}
+
+TEST_F(EvalTest, IteSelectsBranch) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkIte(Ctx.mkUle(X, Ctx.bvConst(8, 10)), Ctx.bvConst(8, 1),
+                        Ctx.bvConst(8, 2));
+  EXPECT_EQ(evalWith(T, 5).bits(), 1u);
+  EXPECT_EQ(evalWith(T, 50).bits(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- tests/term/RewriteTest.cpp - Substitution tests --------------------===//
+
+#include "term/Rewrite.h"
+#include "term/TermContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class RewriteTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(RewriteTest, SimpleSubstitution) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  TermRef T = Ctx.mkAdd(X, Ctx.bvConst(8, 1));
+  Subst S;
+  S.set(X, Y);
+  EXPECT_EQ(substitute(Ctx, T, S), Ctx.mkAdd(Y, Ctx.bvConst(8, 1)));
+}
+
+TEST_F(RewriteTest, SubstitutionIsSimultaneous) {
+  // {x -> y, y -> x} swaps, with no capture.
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  TermRef T = Ctx.mkSub(X, Y);
+  Subst S;
+  S.set(X, Y);
+  S.set(Y, X);
+  EXPECT_EQ(substitute(Ctx, T, S), Ctx.mkSub(Y, X));
+}
+
+TEST_F(RewriteTest, NoReSubstitutionIntoReplacement) {
+  // {x -> x + 1} applied once.
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkMul(X, X);
+  Subst S;
+  S.set(X, Ctx.mkAdd(X, Ctx.bvConst(8, 1)));
+  TermRef R = substitute(Ctx, T, S);
+  TermRef XP1 = Ctx.mkAdd(X, Ctx.bvConst(8, 1));
+  EXPECT_EQ(R, Ctx.mkMul(XP1, XP1));
+}
+
+TEST_F(RewriteTest, SubstitutionRenormalizes) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkAdd(X, Ctx.bvConst(8, 5));
+  Subst S;
+  S.set(X, Ctx.bvConst(8, 10));
+  TermRef R = substitute(Ctx, T, S);
+  ASSERT_TRUE(R->isConst());
+  EXPECT_EQ(R->constBits(), 15u);
+}
+
+TEST_F(RewriteTest, TupleSubstitutionCancelsProjections) {
+  const Type *Ty = Ctx.pairTy(Ctx.bv(8), Ctx.boolTy());
+  TermRef R = Ctx.var("r", Ty);
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkProj1(R);
+  Subst S;
+  S.set(R, Ctx.mkPair(X, Ctx.trueConst()));
+  EXPECT_EQ(substitute(Ctx, T, S), X);
+}
+
+TEST_F(RewriteTest, CollectVarsFindsAllLeaves) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  TermRef T = Ctx.mkAnd(Ctx.mkUlt(X, Y), Ctx.mkEq(Y, Ctx.bvConst(8, 1)));
+  std::unordered_set<TermRef> Vars;
+  collectVars(T, Vars);
+  EXPECT_EQ(Vars.size(), 2u);
+  EXPECT_TRUE(Vars.count(X));
+  EXPECT_TRUE(Vars.count(Y));
+  EXPECT_TRUE(mentionsVar(T, X));
+  EXPECT_FALSE(mentionsVar(T, Ctx.var("z", Ctx.bv(8))));
+}
+
+TEST_F(RewriteTest, IdentitySubstitutionReusesNodes) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkMul(Ctx.mkAdd(X, Ctx.bvConst(8, 1)), X);
+  Subst S;
+  S.set(Ctx.var("unused", Ctx.bv(8)), X);
+  EXPECT_EQ(substitute(Ctx, T, S), T);
+}
+
+} // namespace

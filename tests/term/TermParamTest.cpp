@@ -1,0 +1,159 @@
+//===- tests/term/TermParamTest.cpp - Parameterized normalization sweeps --===//
+//
+// TEST_P sweeps: for every bitvector width and operator, factory-built
+// terms must evaluate identically to the shared concrete semantics
+// (ScalarOps), on boundary values and random points — i.e., the
+// simplifier never changes meaning.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stopwatch.h"
+#include "term/Eval.h"
+#include "term/ScalarOps.h"
+#include "term/TermContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class WidthOpTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, Op>> {};
+
+std::vector<uint64_t> samplePoints(unsigned W, SplitMix64 &Rng) {
+  uint64_t Mask = Value::maskOf(W);
+  std::vector<uint64_t> Pts = {0, 1, Mask, Mask - 1, Mask / 2,
+                               (Mask / 2) + 1};
+  for (int I = 0; I < 6; ++I)
+    Pts.push_back(Rng.next() & Mask);
+  return Pts;
+}
+
+TEST_P(WidthOpTest, FactoryMatchesConcreteSemantics) {
+  auto [W, O] = GetParam();
+  TermContext Ctx;
+  TermRef X = Ctx.var("x", Ctx.bv(W));
+  TermRef Y = Ctx.var("y", Ctx.bv(W));
+  SplitMix64 Rng(uint64_t(W) * 131 + uint64_t(O));
+
+  auto Build = [&](TermRef A, TermRef B) -> TermRef {
+    switch (O) {
+    case Op::Add:
+      return Ctx.mkAdd(A, B);
+    case Op::Sub:
+      return Ctx.mkSub(A, B);
+    case Op::Mul:
+      return Ctx.mkMul(A, B);
+    case Op::UDiv:
+      return Ctx.mkUDiv(A, B);
+    case Op::URem:
+      return Ctx.mkURem(A, B);
+    case Op::BvAnd:
+      return Ctx.mkBvAnd(A, B);
+    case Op::BvOr:
+      return Ctx.mkBvOr(A, B);
+    case Op::BvXor:
+      return Ctx.mkBvXor(A, B);
+    case Op::Shl:
+      return Ctx.mkShl(A, B);
+    case Op::LShr:
+      return Ctx.mkLShr(A, B);
+    case Op::AShr:
+      return Ctx.mkAShr(A, B);
+    default:
+      return nullptr;
+    }
+  };
+
+  for (uint64_t AV : samplePoints(W, Rng)) {
+    for (uint64_t BV : samplePoints(W, Rng)) {
+      uint64_t Direct = evalBvBinary(O, W, AV, BV);
+
+      // Three construction shapes: fully symbolic, half constant (which
+      // triggers different factory rewrites), fully constant (folding).
+      Env E;
+      E.bind(X, Value::bv(W, AV));
+      E.bind(Y, Value::bv(W, BV));
+
+      TermRef Symbolic = Build(X, Y);
+      EXPECT_EQ(evalTerm(Symbolic, E).bits(), Direct)
+          << "w=" << W << " a=" << AV << " b=" << BV;
+
+      TermRef HalfConst = Build(X, Ctx.bvConst(W, BV));
+      EXPECT_EQ(evalTerm(HalfConst, E).bits(), Direct);
+
+      TermRef Folded = Build(Ctx.bvConst(W, AV), Ctx.bvConst(W, BV));
+      ASSERT_TRUE(Folded->isConst());
+      EXPECT_EQ(Folded->constBits(), Direct);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAllOps, WidthOpTest,
+    ::testing::Combine(
+        ::testing::Values(1u, 4u, 8u, 16u, 32u, 63u, 64u),
+        ::testing::Values(Op::Add, Op::Sub, Op::Mul, Op::UDiv, Op::URem,
+                          Op::BvAnd, Op::BvOr, Op::BvXor, Op::Shl,
+                          Op::LShr, Op::AShr)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, Op>> &Info) {
+      return "w" + std::to_string(std::get<0>(Info.param)) + "_" +
+             opName(std::get<1>(Info.param));
+    });
+
+class CompareOpTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, Op>> {};
+
+TEST_P(CompareOpTest, FactoryMatchesConcreteSemantics) {
+  auto [W, O] = GetParam();
+  TermContext Ctx;
+  TermRef X = Ctx.var("x", Ctx.bv(W));
+  TermRef Y = Ctx.var("y", Ctx.bv(W));
+  SplitMix64 Rng(uint64_t(W) * 733 + uint64_t(O));
+
+  auto Build = [&](TermRef A, TermRef B) -> TermRef {
+    switch (O) {
+    case Op::Ult:
+      return Ctx.mkUlt(A, B);
+    case Op::Ule:
+      return Ctx.mkUle(A, B);
+    case Op::Slt:
+      return Ctx.mkSlt(A, B);
+    case Op::Sle:
+      return Ctx.mkSle(A, B);
+    default:
+      return nullptr;
+    }
+  };
+
+  for (uint64_t AV : samplePoints(W, Rng)) {
+    for (uint64_t BV : samplePoints(W, Rng)) {
+      bool Direct = evalBvCompare(O, W, AV, BV);
+      Env E;
+      E.bind(X, Value::bv(W, AV));
+      E.bind(Y, Value::bv(W, BV));
+      EXPECT_EQ(evalTerm(Build(X, Y), E).boolValue(), Direct)
+          << "w=" << W << " a=" << AV << " b=" << BV;
+      EXPECT_EQ(evalTerm(Build(X, Ctx.bvConst(W, BV)), E).boolValue(),
+                Direct);
+      EXPECT_EQ(evalTerm(Build(Ctx.bvConst(W, AV), Y), E).boolValue(),
+                Direct);
+      TermRef Folded = Build(Ctx.bvConst(W, AV), Ctx.bvConst(W, BV));
+      ASSERT_TRUE(Folded->isConst());
+      EXPECT_EQ(Folded->isTrue(), Direct);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAllCompares, CompareOpTest,
+    ::testing::Combine(::testing::Values(1u, 4u, 8u, 16u, 32u, 64u),
+                       ::testing::Values(Op::Ult, Op::Ule, Op::Slt,
+                                         Op::Sle)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, Op>> &Info) {
+      return "w" + std::to_string(std::get<0>(Info.param)) + "_" +
+             opName(std::get<1>(Info.param));
+    });
+
+} // namespace

@@ -1,0 +1,183 @@
+//===- tests/term/TermTest.cpp - Factory normalization tests --------------===//
+
+#include "term/TermContext.h"
+#include "term/Print.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+};
+
+TEST_F(TermTest, HashConsingGivesPointerEquality) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef A = Ctx.mkAdd(X, Ctx.bvConst(8, 1));
+  TermRef B = Ctx.mkAdd(X, Ctx.bvConst(8, 1));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(TermTest, VariablesInternedByNameAndType) {
+  TermRef X8 = Ctx.var("x", Ctx.bv(8));
+  TermRef X8b = Ctx.var("x", Ctx.bv(8));
+  TermRef X16 = Ctx.var("x", Ctx.bv(16));
+  EXPECT_EQ(X8, X8b);
+  EXPECT_NE(X8, X16);
+}
+
+TEST_F(TermTest, FreshVarsAreDistinct) {
+  TermRef A = Ctx.freshVar("t", Ctx.bv(8));
+  TermRef B = Ctx.freshVar("t", Ctx.bv(8));
+  EXPECT_NE(A, B);
+}
+
+TEST_F(TermTest, ConstantFolding) {
+  TermRef A = Ctx.mkAdd(Ctx.bvConst(8, 200), Ctx.bvConst(8, 100));
+  ASSERT_TRUE(A->isConst());
+  EXPECT_EQ(A->constBits(), 44u); // 300 mod 256
+  TermRef M = Ctx.mkMul(Ctx.bvConst(8, 16), Ctx.bvConst(8, 16));
+  EXPECT_EQ(M->constBits(), 0u);
+  TermRef D = Ctx.mkUDiv(Ctx.bvConst(8, 7), Ctx.bvConst(8, 0));
+  EXPECT_EQ(D->constBits(), 255u) << "SMT-LIB div-by-zero";
+  TermRef R = Ctx.mkURem(Ctx.bvConst(8, 7), Ctx.bvConst(8, 0));
+  EXPECT_EQ(R->constBits(), 7u);
+}
+
+TEST_F(TermTest, BooleanIdentities) {
+  TermRef B = Ctx.var("b", Ctx.boolTy());
+  EXPECT_EQ(Ctx.mkAnd(B, Ctx.trueConst()), B);
+  EXPECT_EQ(Ctx.mkAnd(B, Ctx.falseConst()), Ctx.falseConst());
+  EXPECT_EQ(Ctx.mkOr(B, Ctx.falseConst()), B);
+  EXPECT_EQ(Ctx.mkAnd(B, Ctx.mkNot(B)), Ctx.falseConst());
+  EXPECT_EQ(Ctx.mkOr(B, Ctx.mkNot(B)), Ctx.trueConst());
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkNot(B)), B);
+}
+
+TEST_F(TermTest, NegationNormalizesComparisons) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkUlt(X, Y)), Ctx.mkUle(Y, X));
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkUle(X, Y)), Ctx.mkUlt(Y, X));
+}
+
+TEST_F(TermTest, ComparisonEdgeCases) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  EXPECT_EQ(Ctx.mkUlt(X, Ctx.bvConst(8, 0)), Ctx.falseConst());
+  EXPECT_EQ(Ctx.mkUle(Ctx.bvConst(8, 0), X), Ctx.trueConst());
+  EXPECT_EQ(Ctx.mkUle(X, Ctx.bvConst(8, 255)), Ctx.trueConst());
+  EXPECT_EQ(Ctx.mkUle(X, Ctx.bvConst(8, 0)), Ctx.mkEq(X, Ctx.bvConst(8, 0)));
+  EXPECT_EQ(Ctx.mkUlt(X, X), Ctx.falseConst());
+  EXPECT_EQ(Ctx.mkUle(X, X), Ctx.trueConst());
+}
+
+TEST_F(TermTest, IteSimplification) {
+  TermRef C = Ctx.var("c", Ctx.boolTy());
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  EXPECT_EQ(Ctx.mkIte(Ctx.trueConst(), X, Y), X);
+  EXPECT_EQ(Ctx.mkIte(Ctx.falseConst(), X, Y), Y);
+  EXPECT_EQ(Ctx.mkIte(C, X, X), X);
+  EXPECT_EQ(Ctx.mkIte(C, Ctx.trueConst(), Ctx.falseConst()), C);
+  EXPECT_EQ(Ctx.mkIte(C, Ctx.falseConst(), Ctx.trueConst()), Ctx.mkNot(C));
+}
+
+TEST_F(TermTest, NestedIteOnSameConditionCollapses) {
+  TermRef C = Ctx.var("c", Ctx.boolTy());
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef Y = Ctx.var("y", Ctx.bv(8));
+  TermRef Z = Ctx.var("z", Ctx.bv(8));
+  // ite(c, ite(c, x, y), z) == ite(c, x, z)
+  TermRef T = Ctx.mkIte(C, Ctx.mkIte(C, X, Y), Z);
+  EXPECT_EQ(T, Ctx.mkIte(C, X, Z));
+}
+
+TEST_F(TermTest, TupleProjectionCancels) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef B = Ctx.var("b", Ctx.boolTy());
+  TermRef P = Ctx.mkPair(X, B);
+  EXPECT_EQ(Ctx.mkProj1(P), X);
+  EXPECT_EQ(Ctx.mkProj2(P), B);
+}
+
+TEST_F(TermTest, TupleEtaContraction) {
+  const Type *Ty = Ctx.pairTy(Ctx.bv(8), Ctx.boolTy());
+  TermRef R = Ctx.var("r", Ty);
+  TermRef Rebuilt = Ctx.mkPair(Ctx.mkProj1(R), Ctx.mkProj2(R));
+  EXPECT_EQ(Rebuilt, R);
+}
+
+TEST_F(TermTest, TupleGetPushesThroughIte) {
+  const Type *Ty = Ctx.pairTy(Ctx.bv(8), Ctx.boolTy());
+  TermRef R = Ctx.var("r", Ty);
+  TermRef Q = Ctx.var("q", Ty);
+  TermRef C = Ctx.var("c", Ctx.boolTy());
+  TermRef T = Ctx.mkTupleGet(Ctx.mkIte(C, R, Q), 0);
+  EXPECT_EQ(T->op(), Op::Ite);
+  EXPECT_EQ(T->operand(1), Ctx.mkProj1(R));
+}
+
+TEST_F(TermTest, TupleEqualityDecomposes) {
+  const Type *Ty = Ctx.pairTy(Ctx.bv(8), Ctx.boolTy());
+  TermRef R = Ctx.var("r", Ty);
+  TermRef Q = Ctx.var("q", Ty);
+  TermRef E = Ctx.mkEq(R, Q);
+  EXPECT_EQ(E->op(), Op::And);
+}
+
+TEST_F(TermTest, EqualityOnEqualTermsIsTrue) {
+  const Type *Ty = Ctx.pairTy(Ctx.bv(8), Ctx.boolTy());
+  TermRef R = Ctx.var("r", Ty);
+  EXPECT_EQ(Ctx.mkEq(R, R), Ctx.trueConst());
+}
+
+TEST_F(TermTest, AddReassociation) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkAdd(Ctx.mkAdd(X, Ctx.bvConst(8, 3)), Ctx.bvConst(8, 4));
+  EXPECT_EQ(T, Ctx.mkAdd(X, Ctx.bvConst(8, 7)));
+  // Subtraction folds into addition of the negated constant.
+  TermRef U = Ctx.mkSub(Ctx.mkAdd(X, Ctx.bvConst(8, 3)), Ctx.bvConst(8, 3));
+  EXPECT_EQ(U, X);
+}
+
+TEST_F(TermTest, BitwiseIdentities) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  EXPECT_EQ(Ctx.mkBvAnd(X, Ctx.bvConst(8, 0xFF)), X);
+  EXPECT_EQ(Ctx.mkBvAnd(X, Ctx.bvConst(8, 0)), Ctx.bvConst(8, 0));
+  EXPECT_EQ(Ctx.mkBvOr(X, Ctx.bvConst(8, 0)), X);
+  EXPECT_EQ(Ctx.mkBvXor(X, X), Ctx.bvConst(8, 0));
+  EXPECT_EQ(Ctx.mkBvNot(Ctx.mkBvNot(X)), X);
+}
+
+TEST_F(TermTest, ExtractAndExtend) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  EXPECT_EQ(Ctx.mkZExt(X, 8), X);
+  TermRef Z = Ctx.mkZExt(X, 16);
+  EXPECT_EQ(Z->type()->width(), 16u);
+  EXPECT_EQ(Ctx.mkExtract(Z, 7, 0), X);
+  EXPECT_EQ(Ctx.mkExtract(X, 7, 0), X);
+  TermRef C = Ctx.mkExtract(Ctx.bvConst(8, 0xA5), 7, 4);
+  EXPECT_EQ(C->constBits(), 0xAu);
+}
+
+TEST_F(TermTest, PrinterProducesReadableOutput) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef T = Ctx.mkBvOr(Ctx.mkShlC(Ctx.mkBvAnd(X, Ctx.bvConst(8, 0x3F)), 6),
+                         Ctx.bvConst(8, 1));
+  std::string S = termToString(Ctx, T);
+  EXPECT_NE(S.find("x"), std::string::npos);
+  EXPECT_NE(S.find("<<"), std::string::npos);
+}
+
+TEST_F(TermTest, InRangeBuildsConjunction) {
+  TermRef X = Ctx.var("x", Ctx.bv(8));
+  TermRef R = Ctx.mkInRange(X, 0x30, 0x39);
+  EXPECT_EQ(R->op(), Op::And);
+  TermRef Single = Ctx.mkInRange(X, 5, 5);
+  EXPECT_EQ(Single->op(), Op::Eq);
+}
+
+} // namespace

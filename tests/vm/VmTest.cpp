@@ -1,0 +1,200 @@
+//===- tests/vm/VmTest.cpp - VM vs reference interpreter ------------------===//
+
+#include "bst/Interp.h"
+#include "fusion/Fusion.h"
+#include "rbbe/Rbbe.h"
+#include "stdlib/Reference.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+#include "vm/Pipeline.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class VmTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  static std::vector<uint64_t> rawOf(const std::vector<Value> &Vs) {
+    std::vector<uint64_t> Out;
+    Out.reserve(Vs.size());
+    for (const Value &V : Vs)
+      Out.push_back(V.bits());
+    return Out;
+  }
+
+  /// Checks that the VM agrees with the reference interpreter on \p In.
+  void expectAgreesWithInterp(const Bst &A, const std::vector<Value> &In,
+                              const char *What) {
+    auto Compiled = CompiledTransducer::compile(A);
+    ASSERT_TRUE(Compiled.has_value()) << What;
+    auto Interp = runBst(A, In);
+    auto Vm = Compiled->run(rawOf(In));
+    ASSERT_EQ(Interp.has_value(), Vm.has_value()) << What;
+    if (Interp)
+      EXPECT_EQ(rawOf(*Interp), *Vm) << What;
+  }
+};
+
+TEST_F(VmTest, Utf8DecodeAgrees) {
+  Bst A = lib::makeUtf8Decode(Ctx);
+  expectAgreesWithInterp(A, lib::valuesFromBytes("hello"), "ascii");
+  expectAgreesWithInterp(A, lib::valuesFromBytes("\xC5\x93x"), "2-byte");
+  expectAgreesWithInterp(A, lib::valuesFromBytes("\xF0\x9F\x98\x80"),
+                         "4-byte");
+  expectAgreesWithInterp(A, lib::valuesFromBytes("\xFF"), "invalid");
+  expectAgreesWithInterp(A, lib::valuesFromBytes("\xC5"), "truncated");
+}
+
+TEST_F(VmTest, ZooAgreesOnRandomInputs) {
+  SplitMix64 Rng(31);
+  struct Case {
+    Bst A;
+    unsigned InputWidth;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({lib::makeUtf8Decode2(Ctx), 8});
+  Cases.push_back({lib::makeToInt(Ctx), 16});
+  Cases.push_back({lib::makeBase64Decode(Ctx), 8});
+  Cases.push_back({lib::makeBase64Encode(Ctx), 8});
+  Cases.push_back({lib::makeRep(Ctx), 16});
+  Cases.push_back({lib::makeHtmlEncode(Ctx), 16});
+  Cases.push_back({lib::makeLineCount(Ctx), 16});
+  Cases.push_back({lib::makeDelta(Ctx), 32});
+  Cases.push_back({lib::makeMax(Ctx), 32});
+  Cases.push_back({lib::makeWindowedAverage(Ctx, 4), 32});
+  for (auto &C : Cases) {
+    for (int Iter = 0; Iter < 20; ++Iter) {
+      std::vector<Value> In;
+      size_t N = Rng.below(24);
+      for (size_t I = 0; I < N; ++I) {
+        // Mostly printable range to hit accepting paths too.
+        uint64_t V = Rng.below(4) ? Rng.range(0x20, 0x7E)
+                                  : Rng.below(uint64_t(1)
+                                              << std::min(C.InputWidth, 16u));
+        In.push_back(Value::bv(C.InputWidth, V));
+      }
+      expectAgreesWithInterp(C.A, In, "zoo");
+    }
+  }
+}
+
+TEST_F(VmTest, FusedPipelineAgrees) {
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Bst ToInt = lib::makeToInt(Ctx);
+  Bst Fmt = lib::makeIntToDecimal(Ctx);
+  Bst Enc = lib::makeUtf8Encode(Ctx);
+  Solver S(Ctx);
+  // RBBE on the 2-stage prefix (cheap), then fuse the remaining stages.
+  Bst Front = eliminateUnreachableBranches(fuse(Dec, ToInt, S), S);
+  Bst Fused = fuseChain({&Front, &Fmt, &Enc}, S);
+  for (const char *In : {"0", "123456789", "12x", ""})
+    expectAgreesWithInterp(Fused, lib::valuesFromBytes(In), In);
+}
+
+TEST_F(VmTest, CursorSurvivesReset) {
+  Bst A = lib::makeToInt(Ctx);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  CompiledTransducer::Cursor C(*T);
+  std::vector<uint64_t> Out;
+  EXPECT_TRUE(C.feed('4', Out));
+  EXPECT_TRUE(C.feed('2', Out));
+  EXPECT_TRUE(C.finish(Out));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], 42u);
+  C.reset();
+  Out.clear();
+  EXPECT_TRUE(C.feed('7', Out));
+  EXPECT_TRUE(C.finish(Out));
+  EXPECT_EQ(Out[0], 7u) << "register must reset";
+}
+
+TEST_F(VmTest, PullAndPushPipelinesAgreeWithFused) {
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Bst ToInt = lib::makeToInt(Ctx);
+  Bst Fmt = lib::makeIntToDecimal(Ctx);
+  Bst Enc = lib::makeUtf8Encode(Ctx);
+  Solver S(Ctx);
+  Bst Fused = fuseChain({&Dec, &ToInt, &Fmt, &Enc}, S);
+
+  auto CDec = CompiledTransducer::compile(Dec);
+  auto CToInt = CompiledTransducer::compile(ToInt);
+  auto CFmt = CompiledTransducer::compile(Fmt);
+  auto CEnc = CompiledTransducer::compile(Enc);
+  auto CFused = CompiledTransducer::compile(Fused);
+  ASSERT_TRUE(CDec && CToInt && CFmt && CEnc && CFused);
+  std::vector<const CompiledTransducer *> Stages = {&*CDec, &*CToInt, &*CFmt,
+                                                    &*CEnc};
+
+  for (const char *InStr : {"00100", "7", "", "99x"}) {
+    std::vector<uint64_t> In;
+    for (const char *P = InStr; *P; ++P)
+      In.push_back(uint64_t(*P));
+    auto FusedOut = CFused->run(In);
+    auto PullOut = runPullPipeline(Stages, In);
+    auto PushOut = runPushPipeline(Stages, In);
+    ASSERT_EQ(FusedOut.has_value(), PullOut.has_value()) << InStr;
+    ASSERT_EQ(FusedOut.has_value(), PushOut.has_value()) << InStr;
+    if (FusedOut) {
+      EXPECT_EQ(*FusedOut, *PullOut) << InStr;
+      EXPECT_EQ(*FusedOut, *PushOut) << InStr;
+    }
+  }
+}
+
+TEST_F(VmTest, PipelineRejectionPropagates) {
+  Bst Dec = lib::makeUtf8Decode2(Ctx);
+  Bst ToInt = lib::makeToInt(Ctx);
+  auto CDec = CompiledTransducer::compile(Dec);
+  auto CToInt = CompiledTransducer::compile(ToInt);
+  std::vector<const CompiledTransducer *> Stages = {&*CDec, &*CToInt};
+  std::vector<uint64_t> Bad = {'1', 0xFF, '2'};
+  EXPECT_FALSE(runPullPipeline(Stages, Bad).has_value());
+  EXPECT_FALSE(runPushPipeline(Stages, Bad).has_value());
+  // Rejection at finalizer (empty digits stream).
+  std::vector<uint64_t> Empty;
+  EXPECT_FALSE(runPullPipeline(Stages, Empty).has_value());
+  EXPECT_FALSE(runPushPipeline(Stages, Empty).has_value());
+}
+
+TEST_F(VmTest, WindowedAverageRegisterSwapsAreSound) {
+  // The ring-buffer update writes many register fields per step; checks
+  // the staged-write path (no clobbering).
+  Bst A = lib::makeWindowedAverage(Ctx, 5);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  SplitMix64 Rng(33);
+  std::vector<uint32_t> In;
+  for (int I = 0; I < 40; ++I)
+    In.push_back(uint32_t(Rng.below(10000)));
+  std::vector<uint64_t> Raw(In.begin(), In.end());
+  auto Out = T->run(Raw);
+  ASSERT_TRUE(Out.has_value());
+  std::vector<uint32_t> Got(Out->begin(), Out->end());
+  EXPECT_EQ(Got, ref::windowedAverage(In, 5));
+}
+
+TEST_F(VmTest, RejectsNonScalarBoundary) {
+  // A transducer with a tuple input type cannot be compiled.
+  const Type *PairTy = Ctx.pairTy(Ctx.bv(8), Ctx.bv(8));
+  Bst A(Ctx, PairTy, Ctx.bv(8), Ctx.unitTy(), 1, 0, Value::unit());
+  EXPECT_FALSE(CompiledTransducer::compile(A).has_value());
+}
+
+TEST_F(VmTest, CodeSizeShrinksAfterRbbe) {
+  Bst Html = lib::makeHtmlEncode(Ctx);
+  Solver S(Ctx);
+  Bst Clean = eliminateUnreachableBranches(Html, S);
+  auto Before = CompiledTransducer::compile(Html);
+  auto After = CompiledTransducer::compile(Clean);
+  ASSERT_TRUE(Before && After);
+  EXPECT_LT(After->codeSize(), Before->codeSize());
+}
+
+} // namespace
