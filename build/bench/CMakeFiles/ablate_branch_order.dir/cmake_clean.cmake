@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_branch_order.dir/ablate_branch_order.cpp.o"
+  "CMakeFiles/ablate_branch_order.dir/ablate_branch_order.cpp.o.d"
+  "ablate_branch_order"
+  "ablate_branch_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_branch_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

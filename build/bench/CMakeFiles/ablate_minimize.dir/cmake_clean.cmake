@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_minimize.dir/ablate_minimize.cpp.o"
+  "CMakeFiles/ablate_minimize.dir/ablate_minimize.cpp.o.d"
+  "ablate_minimize"
+  "ablate_minimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_minimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

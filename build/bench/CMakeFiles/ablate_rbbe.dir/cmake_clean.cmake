@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rbbe.dir/ablate_rbbe.cpp.o"
+  "CMakeFiles/ablate_rbbe.dir/ablate_rbbe.cpp.o.d"
+  "ablate_rbbe"
+  "ablate_rbbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rbbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_solver.dir/ablate_solver.cpp.o"
+  "CMakeFiles/ablate_solver.dir/ablate_solver.cpp.o.d"
+  "ablate_solver"
+  "ablate_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "../lib/libefc_benchcommon.a"
+  "../lib/libefc_benchcommon.pdb"
+  "CMakeFiles/efc_benchcommon.dir/baselines/RegexLib.cpp.o"
+  "CMakeFiles/efc_benchcommon.dir/baselines/RegexLib.cpp.o.d"
+  "CMakeFiles/efc_benchcommon.dir/baselines/XmlLib.cpp.o"
+  "CMakeFiles/efc_benchcommon.dir/baselines/XmlLib.cpp.o.d"
+  "CMakeFiles/efc_benchcommon.dir/common/BenchCommon.cpp.o"
+  "CMakeFiles/efc_benchcommon.dir/common/BenchCommon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

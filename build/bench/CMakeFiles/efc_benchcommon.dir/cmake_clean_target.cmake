@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libefc_benchcommon.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_xpath.dir/fig10_xpath.cpp.o"
+  "CMakeFiles/fig10_xpath.dir/fig10_xpath.cpp.o.d"
+  "fig10_xpath"
+  "fig10_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rbbe.dir/fig11_rbbe.cpp.o"
+  "CMakeFiles/fig11_rbbe.dir/fig11_rbbe.cpp.o.d"
+  "fig11_rbbe"
+  "fig11_rbbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rbbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

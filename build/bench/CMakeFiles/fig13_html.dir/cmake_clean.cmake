@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_html.dir/fig13_html.cpp.o"
+  "CMakeFiles/fig13_html.dir/fig13_html.cpp.o.d"
+  "fig13_html"
+  "fig13_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

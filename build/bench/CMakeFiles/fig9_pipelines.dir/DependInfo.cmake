@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_pipelines.cpp" "bench/CMakeFiles/fig9_pipelines.dir/fig9_pipelines.cpp.o" "gcc" "bench/CMakeFiles/fig9_pipelines.dir/fig9_pipelines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/efc_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/efc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stdlib/CMakeFiles/efc_stdlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontends/CMakeFiles/efc_frontends.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/efc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbbe/CMakeFiles/efc_rbbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/efc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/efc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/efc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/bst/CMakeFiles/efc_bst.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

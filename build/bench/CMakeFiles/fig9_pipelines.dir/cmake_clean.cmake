@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pipelines.dir/fig9_pipelines.cpp.o"
+  "CMakeFiles/fig9_pipelines.dir/fig9_pipelines.cpp.o.d"
+  "fig9_pipelines"
+  "fig9_pipelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pipelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

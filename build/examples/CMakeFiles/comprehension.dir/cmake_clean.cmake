@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comprehension.dir/comprehension.cpp.o"
+  "CMakeFiles/comprehension.dir/comprehension.cpp.o.d"
+  "comprehension"
+  "comprehension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comprehension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

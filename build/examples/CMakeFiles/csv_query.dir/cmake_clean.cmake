@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_query.dir/csv_query.cpp.o"
+  "CMakeFiles/csv_query.dir/csv_query.cpp.o.d"
+  "csv_query"
+  "csv_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

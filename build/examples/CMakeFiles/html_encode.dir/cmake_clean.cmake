@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_encode.dir/html_encode.cpp.o"
+  "CMakeFiles/html_encode.dir/html_encode.cpp.o.d"
+  "html_encode"
+  "html_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_query.dir/xpath_query.cpp.o"
+  "CMakeFiles/xpath_query.dir/xpath_query.cpp.o.d"
+  "xpath_query"
+  "xpath_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("term")
+subdirs("solver")
+subdirs("bst")
+subdirs("fusion")
+subdirs("rbbe")
+subdirs("vm")
+subdirs("codegen")
+subdirs("frontends")
+subdirs("stdlib")
+subdirs("data")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bst/Bst.cpp" "src/bst/CMakeFiles/efc_bst.dir/Bst.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/Bst.cpp.o.d"
+  "/root/repo/src/bst/BstPrint.cpp" "src/bst/CMakeFiles/efc_bst.dir/BstPrint.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/BstPrint.cpp.o.d"
+  "/root/repo/src/bst/Interp.cpp" "src/bst/CMakeFiles/efc_bst.dir/Interp.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/Interp.cpp.o.d"
+  "/root/repo/src/bst/Minimize.cpp" "src/bst/CMakeFiles/efc_bst.dir/Minimize.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/Minimize.cpp.o.d"
+  "/root/repo/src/bst/Moves.cpp" "src/bst/CMakeFiles/efc_bst.dir/Moves.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/Moves.cpp.o.d"
+  "/root/repo/src/bst/Rule.cpp" "src/bst/CMakeFiles/efc_bst.dir/Rule.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/Rule.cpp.o.d"
+  "/root/repo/src/bst/Transform.cpp" "src/bst/CMakeFiles/efc_bst.dir/Transform.cpp.o" "gcc" "src/bst/CMakeFiles/efc_bst.dir/Transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_bst.dir/Bst.cpp.o"
+  "CMakeFiles/efc_bst.dir/Bst.cpp.o.d"
+  "CMakeFiles/efc_bst.dir/BstPrint.cpp.o"
+  "CMakeFiles/efc_bst.dir/BstPrint.cpp.o.d"
+  "CMakeFiles/efc_bst.dir/Interp.cpp.o"
+  "CMakeFiles/efc_bst.dir/Interp.cpp.o.d"
+  "CMakeFiles/efc_bst.dir/Minimize.cpp.o"
+  "CMakeFiles/efc_bst.dir/Minimize.cpp.o.d"
+  "CMakeFiles/efc_bst.dir/Moves.cpp.o"
+  "CMakeFiles/efc_bst.dir/Moves.cpp.o.d"
+  "CMakeFiles/efc_bst.dir/Rule.cpp.o"
+  "CMakeFiles/efc_bst.dir/Rule.cpp.o.d"
+  "CMakeFiles/efc_bst.dir/Transform.cpp.o"
+  "CMakeFiles/efc_bst.dir/Transform.cpp.o.d"
+  "libefc_bst.a"
+  "libefc_bst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_bst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for efc_bst.
+# This may be replaced when dependencies are built.

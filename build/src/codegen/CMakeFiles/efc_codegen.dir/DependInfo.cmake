@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/CppCodeGen.cpp" "src/codegen/CMakeFiles/efc_codegen.dir/CppCodeGen.cpp.o" "gcc" "src/codegen/CMakeFiles/efc_codegen.dir/CppCodeGen.cpp.o.d"
+  "/root/repo/src/codegen/NativeCompile.cpp" "src/codegen/CMakeFiles/efc_codegen.dir/NativeCompile.cpp.o" "gcc" "src/codegen/CMakeFiles/efc_codegen.dir/NativeCompile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bst/CMakeFiles/efc_bst.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_codegen.dir/CppCodeGen.cpp.o"
+  "CMakeFiles/efc_codegen.dir/CppCodeGen.cpp.o.d"
+  "CMakeFiles/efc_codegen.dir/NativeCompile.cpp.o"
+  "CMakeFiles/efc_codegen.dir/NativeCompile.cpp.o.d"
+  "libefc_codegen.a"
+  "libefc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libefc_codegen.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/Datasets.cpp" "src/data/CMakeFiles/efc_data.dir/Datasets.cpp.o" "gcc" "src/data/CMakeFiles/efc_data.dir/Datasets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stdlib/CMakeFiles/efc_stdlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bst/CMakeFiles/efc_bst.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

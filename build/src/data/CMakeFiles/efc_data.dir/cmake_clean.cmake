@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_data.dir/Datasets.cpp.o"
+  "CMakeFiles/efc_data.dir/Datasets.cpp.o.d"
+  "libefc_data.a"
+  "libefc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

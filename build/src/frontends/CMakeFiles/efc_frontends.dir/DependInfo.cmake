@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontends/comprehension/Comprehension.cpp" "src/frontends/CMakeFiles/efc_frontends.dir/comprehension/Comprehension.cpp.o" "gcc" "src/frontends/CMakeFiles/efc_frontends.dir/comprehension/Comprehension.cpp.o.d"
+  "/root/repo/src/frontends/regex/Automata.cpp" "src/frontends/CMakeFiles/efc_frontends.dir/regex/Automata.cpp.o" "gcc" "src/frontends/CMakeFiles/efc_frontends.dir/regex/Automata.cpp.o.d"
+  "/root/repo/src/frontends/regex/CharClass.cpp" "src/frontends/CMakeFiles/efc_frontends.dir/regex/CharClass.cpp.o" "gcc" "src/frontends/CMakeFiles/efc_frontends.dir/regex/CharClass.cpp.o.d"
+  "/root/repo/src/frontends/regex/Regex.cpp" "src/frontends/CMakeFiles/efc_frontends.dir/regex/Regex.cpp.o" "gcc" "src/frontends/CMakeFiles/efc_frontends.dir/regex/Regex.cpp.o.d"
+  "/root/repo/src/frontends/regex/RegexFrontend.cpp" "src/frontends/CMakeFiles/efc_frontends.dir/regex/RegexFrontend.cpp.o" "gcc" "src/frontends/CMakeFiles/efc_frontends.dir/regex/RegexFrontend.cpp.o.d"
+  "/root/repo/src/frontends/xpath/XPathFrontend.cpp" "src/frontends/CMakeFiles/efc_frontends.dir/xpath/XPathFrontend.cpp.o" "gcc" "src/frontends/CMakeFiles/efc_frontends.dir/xpath/XPathFrontend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bst/CMakeFiles/efc_bst.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/efc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/efc_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/efc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_frontends.dir/comprehension/Comprehension.cpp.o"
+  "CMakeFiles/efc_frontends.dir/comprehension/Comprehension.cpp.o.d"
+  "CMakeFiles/efc_frontends.dir/regex/Automata.cpp.o"
+  "CMakeFiles/efc_frontends.dir/regex/Automata.cpp.o.d"
+  "CMakeFiles/efc_frontends.dir/regex/CharClass.cpp.o"
+  "CMakeFiles/efc_frontends.dir/regex/CharClass.cpp.o.d"
+  "CMakeFiles/efc_frontends.dir/regex/Regex.cpp.o"
+  "CMakeFiles/efc_frontends.dir/regex/Regex.cpp.o.d"
+  "CMakeFiles/efc_frontends.dir/regex/RegexFrontend.cpp.o"
+  "CMakeFiles/efc_frontends.dir/regex/RegexFrontend.cpp.o.d"
+  "CMakeFiles/efc_frontends.dir/xpath/XPathFrontend.cpp.o"
+  "CMakeFiles/efc_frontends.dir/xpath/XPathFrontend.cpp.o.d"
+  "libefc_frontends.a"
+  "libefc_frontends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_frontends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

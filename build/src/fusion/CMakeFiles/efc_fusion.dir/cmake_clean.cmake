@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_fusion.dir/Fusion.cpp.o"
+  "CMakeFiles/efc_fusion.dir/Fusion.cpp.o.d"
+  "libefc_fusion.a"
+  "libefc_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_rbbe.dir/Rbbe.cpp.o"
+  "CMakeFiles/efc_rbbe.dir/Rbbe.cpp.o.d"
+  "libefc_rbbe.a"
+  "libefc_rbbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_rbbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

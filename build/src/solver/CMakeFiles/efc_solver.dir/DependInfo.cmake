@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/BitBlaster.cpp" "src/solver/CMakeFiles/efc_solver.dir/BitBlaster.cpp.o" "gcc" "src/solver/CMakeFiles/efc_solver.dir/BitBlaster.cpp.o.d"
+  "/root/repo/src/solver/Interval.cpp" "src/solver/CMakeFiles/efc_solver.dir/Interval.cpp.o" "gcc" "src/solver/CMakeFiles/efc_solver.dir/Interval.cpp.o.d"
+  "/root/repo/src/solver/SatSolver.cpp" "src/solver/CMakeFiles/efc_solver.dir/SatSolver.cpp.o" "gcc" "src/solver/CMakeFiles/efc_solver.dir/SatSolver.cpp.o.d"
+  "/root/repo/src/solver/Solver.cpp" "src/solver/CMakeFiles/efc_solver.dir/Solver.cpp.o" "gcc" "src/solver/CMakeFiles/efc_solver.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

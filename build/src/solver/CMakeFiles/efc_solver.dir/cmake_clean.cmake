@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_solver.dir/BitBlaster.cpp.o"
+  "CMakeFiles/efc_solver.dir/BitBlaster.cpp.o.d"
+  "CMakeFiles/efc_solver.dir/Interval.cpp.o"
+  "CMakeFiles/efc_solver.dir/Interval.cpp.o.d"
+  "CMakeFiles/efc_solver.dir/SatSolver.cpp.o"
+  "CMakeFiles/efc_solver.dir/SatSolver.cpp.o.d"
+  "CMakeFiles/efc_solver.dir/Solver.cpp.o"
+  "CMakeFiles/efc_solver.dir/Solver.cpp.o.d"
+  "libefc_solver.a"
+  "libefc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

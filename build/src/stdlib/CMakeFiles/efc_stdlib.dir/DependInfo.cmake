@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stdlib/Reference.cpp" "src/stdlib/CMakeFiles/efc_stdlib.dir/Reference.cpp.o" "gcc" "src/stdlib/CMakeFiles/efc_stdlib.dir/Reference.cpp.o.d"
+  "/root/repo/src/stdlib/TransducersAgg.cpp" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersAgg.cpp.o" "gcc" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersAgg.cpp.o.d"
+  "/root/repo/src/stdlib/TransducersBase64.cpp" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersBase64.cpp.o" "gcc" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersBase64.cpp.o.d"
+  "/root/repo/src/stdlib/TransducersHtml.cpp" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersHtml.cpp.o" "gcc" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersHtml.cpp.o.d"
+  "/root/repo/src/stdlib/TransducersText.cpp" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersText.cpp.o" "gcc" "src/stdlib/CMakeFiles/efc_stdlib.dir/TransducersText.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bst/CMakeFiles/efc_bst.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/efc_term.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

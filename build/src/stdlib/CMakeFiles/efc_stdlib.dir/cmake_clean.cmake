@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_stdlib.dir/Reference.cpp.o"
+  "CMakeFiles/efc_stdlib.dir/Reference.cpp.o.d"
+  "CMakeFiles/efc_stdlib.dir/TransducersAgg.cpp.o"
+  "CMakeFiles/efc_stdlib.dir/TransducersAgg.cpp.o.d"
+  "CMakeFiles/efc_stdlib.dir/TransducersBase64.cpp.o"
+  "CMakeFiles/efc_stdlib.dir/TransducersBase64.cpp.o.d"
+  "CMakeFiles/efc_stdlib.dir/TransducersHtml.cpp.o"
+  "CMakeFiles/efc_stdlib.dir/TransducersHtml.cpp.o.d"
+  "CMakeFiles/efc_stdlib.dir/TransducersText.cpp.o"
+  "CMakeFiles/efc_stdlib.dir/TransducersText.cpp.o.d"
+  "libefc_stdlib.a"
+  "libefc_stdlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_stdlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_support.dir/Stopwatch.cpp.o"
+  "CMakeFiles/efc_support.dir/Stopwatch.cpp.o.d"
+  "libefc_support.a"
+  "libefc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

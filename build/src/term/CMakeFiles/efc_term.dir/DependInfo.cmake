@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/Eval.cpp" "src/term/CMakeFiles/efc_term.dir/Eval.cpp.o" "gcc" "src/term/CMakeFiles/efc_term.dir/Eval.cpp.o.d"
+  "/root/repo/src/term/Print.cpp" "src/term/CMakeFiles/efc_term.dir/Print.cpp.o" "gcc" "src/term/CMakeFiles/efc_term.dir/Print.cpp.o.d"
+  "/root/repo/src/term/Rewrite.cpp" "src/term/CMakeFiles/efc_term.dir/Rewrite.cpp.o" "gcc" "src/term/CMakeFiles/efc_term.dir/Rewrite.cpp.o.d"
+  "/root/repo/src/term/TermContext.cpp" "src/term/CMakeFiles/efc_term.dir/TermContext.cpp.o" "gcc" "src/term/CMakeFiles/efc_term.dir/TermContext.cpp.o.d"
+  "/root/repo/src/term/Type.cpp" "src/term/CMakeFiles/efc_term.dir/Type.cpp.o" "gcc" "src/term/CMakeFiles/efc_term.dir/Type.cpp.o.d"
+  "/root/repo/src/term/Value.cpp" "src/term/CMakeFiles/efc_term.dir/Value.cpp.o" "gcc" "src/term/CMakeFiles/efc_term.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_term.dir/Eval.cpp.o"
+  "CMakeFiles/efc_term.dir/Eval.cpp.o.d"
+  "CMakeFiles/efc_term.dir/Print.cpp.o"
+  "CMakeFiles/efc_term.dir/Print.cpp.o.d"
+  "CMakeFiles/efc_term.dir/Rewrite.cpp.o"
+  "CMakeFiles/efc_term.dir/Rewrite.cpp.o.d"
+  "CMakeFiles/efc_term.dir/TermContext.cpp.o"
+  "CMakeFiles/efc_term.dir/TermContext.cpp.o.d"
+  "CMakeFiles/efc_term.dir/Type.cpp.o"
+  "CMakeFiles/efc_term.dir/Type.cpp.o.d"
+  "CMakeFiles/efc_term.dir/Value.cpp.o"
+  "CMakeFiles/efc_term.dir/Value.cpp.o.d"
+  "libefc_term.a"
+  "libefc_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

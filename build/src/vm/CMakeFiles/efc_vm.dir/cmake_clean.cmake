@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efc_vm.dir/Pipeline.cpp.o"
+  "CMakeFiles/efc_vm.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/efc_vm.dir/Vm.cpp.o"
+  "CMakeFiles/efc_vm.dir/Vm.cpp.o.d"
+  "libefc_vm.a"
+  "libefc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontends_test.dir/frontends/ComprehensionTest.cpp.o"
+  "CMakeFiles/frontends_test.dir/frontends/ComprehensionTest.cpp.o.d"
+  "CMakeFiles/frontends_test.dir/frontends/RegexTest.cpp.o"
+  "CMakeFiles/frontends_test.dir/frontends/RegexTest.cpp.o.d"
+  "CMakeFiles/frontends_test.dir/frontends/XPathTest.cpp.o"
+  "CMakeFiles/frontends_test.dir/frontends/XPathTest.cpp.o.d"
+  "frontends_test"
+  "frontends_test.pdb"
+  "frontends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

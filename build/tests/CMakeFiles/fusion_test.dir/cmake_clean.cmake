@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_test.dir/fusion/FusionPropertyTest.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion/FusionPropertyTest.cpp.o.d"
+  "CMakeFiles/fusion_test.dir/fusion/FusionTest.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion/FusionTest.cpp.o.d"
+  "CMakeFiles/fusion_test.dir/fusion/InverseCompositionTest.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion/InverseCompositionTest.cpp.o.d"
+  "CMakeFiles/fusion_test.dir/fusion/Section31Test.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion/Section31Test.cpp.o.d"
+  "fusion_test"
+  "fusion_test.pdb"
+  "fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

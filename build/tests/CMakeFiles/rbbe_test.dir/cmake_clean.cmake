@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbbe_test.dir/rbbe/RbbeTest.cpp.o"
+  "CMakeFiles/rbbe_test.dir/rbbe/RbbeTest.cpp.o.d"
+  "rbbe_test"
+  "rbbe_test.pdb"
+  "rbbe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbbe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_test.dir/solver/CacheTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/CacheTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/IntervalTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/IntervalTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/SatRandomTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/SatRandomTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/SatSolverTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/SatSolverTest.cpp.o.d"
+  "CMakeFiles/solver_test.dir/solver/SolverTest.cpp.o"
+  "CMakeFiles/solver_test.dir/solver/SolverTest.cpp.o.d"
+  "solver_test"
+  "solver_test.pdb"
+  "solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stdlib_test.dir/stdlib/TransducersTest.cpp.o"
+  "CMakeFiles/stdlib_test.dir/stdlib/TransducersTest.cpp.o.d"
+  "stdlib_test"
+  "stdlib_test.pdb"
+  "stdlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stdlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

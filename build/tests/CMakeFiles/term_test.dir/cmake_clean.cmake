@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_test.dir/term/EvalTest.cpp.o"
+  "CMakeFiles/term_test.dir/term/EvalTest.cpp.o.d"
+  "CMakeFiles/term_test.dir/term/RewriteTest.cpp.o"
+  "CMakeFiles/term_test.dir/term/RewriteTest.cpp.o.d"
+  "CMakeFiles/term_test.dir/term/TermParamTest.cpp.o"
+  "CMakeFiles/term_test.dir/term/TermParamTest.cpp.o.d"
+  "CMakeFiles/term_test.dir/term/TermTest.cpp.o"
+  "CMakeFiles/term_test.dir/term/TermTest.cpp.o.d"
+  "term_test"
+  "term_test.pdb"
+  "term_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efcc.dir/efcc.cpp.o"
+  "CMakeFiles/efcc.dir/efcc.cpp.o.d"
+  "efcc"
+  "efcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for efcc.
+# This may be replaced when dependencies are built.
