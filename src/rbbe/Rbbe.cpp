@@ -66,6 +66,7 @@ private:
   Solver &S;
   const RbbeOptions &Opts;
   RbbeStats &Stats;
+  Stopwatch Timer;
 
   /// Substitutes a globally fresh input variable for `x` in \p T.  When
   /// \p OutVar is non-null the variable is returned.
@@ -84,8 +85,19 @@ private:
     return substitute(Ctx, T, Sub);
   }
 
+  bool timeLeft() const {
+    return Opts.TimeBudgetSeconds <= 0 ||
+           Timer.seconds() < Opts.TimeBudgetSeconds;
+  }
+
   bool budgetLeft() const {
-    return Stats.SolverChecks < Opts.MaxSolverChecks;
+    return Stats.SolverChecks < Opts.MaxSolverChecks && timeLeft();
+  }
+
+  /// The forward pass must leave budget for the backward search: if it
+  /// spends everything, run() degrades to an expensive no-op.
+  bool forwardBudgetLeft() const {
+    return Stats.SolverChecks < Opts.MaxSolverChecks / 2 && timeLeft();
   }
 
   /// Under-approximation tagging must be *definite*: an Unknown must not
@@ -123,6 +135,8 @@ private:
       AnyLive = false;
       for (unsigned Q = 0; Q < W.numStates(); ++Q) {
         for (TermRef Psi : Layer[Q]) {
+          if (!budgetLeft())
+            return Reach::Bound;
           if (Q == W.initialState()) {
             Subst Init;
             Init.set(RVar, R0);
@@ -200,6 +214,8 @@ private:
         for (const FinalMove &F : Fs) {
           if (F.Src != C.State || Tagged.count(F.Leaf))
             continue;
+          if (!forwardBudgetLeft())
+            return Tagged;
           TermRef Cond =
               Ctx.mkAnd(C.PathCond, substitute(Ctx, F.Guard, RegSub));
           if (!Cond->isFalse() && provenSat(Cond))
@@ -210,6 +226,8 @@ private:
         std::vector<Move> Ms;
         appendMovesOf(W, C.State, Ms);
         for (const Move &M : Ms) {
+          if (!forwardBudgetLeft())
+            return Tagged;
           TermRef Fresh = Ctx.freshVar("u", W.inputType());
           Subst Step;
           Step.set(W.inputVar(), Fresh);

@@ -49,10 +49,16 @@ struct RbbeOptions {
   /// The Ψ formulas of Figure 8 can grow multiplicatively per layer.
   unsigned MaxPredicateNodes = 20000;
   /// Total solver-check budget for one eliminate() run; exhausted means
-  /// remaining branches are conservatively kept.
+  /// remaining branches are conservatively kept.  The forward pass may
+  /// spend at most half of it, so the backward search always gets a share.
   uint64_t MaxSolverChecks = 2000;
   /// Per-check CDCL conflict budget (Unknown is handled conservatively).
   int64_t ConflictBudget = 100;
+  /// Wall-clock budget in seconds; 0 means unlimited.  Check counts alone
+  /// do not bound cost: one check on a wide-bitvector formula can take
+  /// seconds in CNF encoding before any conflict is counted.  On expiry
+  /// the run finishes conservatively (remaining branches are kept).
+  double TimeBudgetSeconds = 0;
 };
 
 /// Applies RBBE to \p A and returns the cleaned transducer

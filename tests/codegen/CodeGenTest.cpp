@@ -10,6 +10,8 @@
 #include "bst/Interp.h"
 #include "codegen/CppCodeGen.h"
 #include "codegen/NativeCompile.h"
+#include "common/Oracle.h"
+#include "common/RandomBst.h"
 #include "fusion/Fusion.h"
 #include "rbbe/Rbbe.h"
 #include "stdlib/Transducers.h"
@@ -164,6 +166,40 @@ TEST_F(CodeGenTest, NativeTransducerMatchesVm) {
     ASSERT_EQ(A.has_value(), B.has_value()) << Iter;
     if (A)
       EXPECT_EQ(*A, *B) << Iter;
+  }
+}
+
+TEST_F(CodeGenTest, NativeBackendAgreesWithOracleOnRandomPipelines) {
+  // The full differential gate with the native .so path enabled: the
+  // generated C++, compiled by the host compiler, must match the composed
+  // reference interpretation on random pipelines (including register
+  // tuples, which exercise the generated register-field writes).
+  using namespace efc::testing;
+  SplitMix64 Rng(0xC0DE);
+  bool Probed = false;
+  for (int T = 0; T < 3; ++T) {
+    TermContext LocalCtx;
+    RandomBstGen Gen(LocalCtx, Rng);
+    GenOptions O;
+    O.ElemWidth = T == 2 ? 8u : 4u;
+    O.MaxRegTupleArity = 2;
+    Oracle Or(Gen.makePipeline(2, 3, O), BK_All);
+    if (!Probed) {
+      Probed = true;
+      if (!Or.nativeAvailable())
+        GTEST_SKIP() << "host compiler unavailable: " << Or.nativeError();
+    }
+    ASSERT_TRUE(Or.nativeAvailable()) << Or.nativeError();
+    for (int I = 0; I < 6; ++I) {
+      auto In = Gen.randomInput(8, O.ElemWidth);
+      auto D = Or.check(In);
+      EXPECT_FALSE(D.has_value()) << "trial " << T << ": " << D->str();
+    }
+    for (unsigned K = 0; K < RandomBstGen::NumAdversarialKinds; ++K) {
+      auto In = Gen.adversarialInput(K, 6, O.ElemWidth);
+      auto D = Or.check(In);
+      EXPECT_FALSE(D.has_value()) << "trial " << T << ": " << D->str();
+    }
   }
 }
 

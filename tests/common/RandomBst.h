@@ -1,8 +1,12 @@
 //===- tests/common/RandomBst.h - Random transducer generator --*- C++ -*-===//
 ///
 /// \file
-/// Shared generator of random well-formed BSTs over bv4 elements, used by
-/// the fusion and RBBE property suites.
+/// Shared generator of random well-formed BSTs, used by the fusion and
+/// RBBE property suites and by the differential fuzzing oracle
+/// (tests/common/Oracle.h, tools/efc-fuzz).  The default configuration
+/// reproduces the original bv4 / scalar-register generator; GenOptions
+/// widens the space to bv8/bv16 elements, register tuples, multi-stage
+/// pipelines and adversarial inputs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,26 +18,105 @@
 
 namespace efc::testing {
 
+/// Knobs for random transducer generation.  Defaults reproduce the
+/// historical generator (bv4 elements, scalar bv4 register).
+struct GenOptions {
+  /// Bit width of input and output elements (4, 8 or 16).
+  unsigned ElemWidth = 4;
+  /// Maximum register tuple arity; 0 or 1 means a scalar register, N >= 2
+  /// allows a tuple of up to N scalar fields (the exact arity is drawn
+  /// per transducer).
+  unsigned MaxRegTupleArity = 1;
+  /// Maximum Ite depth of transition rules.
+  int RuleDepth = 2;
+  /// Upper bound on emitted terms per Base leaf.
+  unsigned MaxOutputsPerLeaf = 2;
+};
+
 class RandomBstGen {
 public:
   RandomBstGen(TermContext &Ctx, SplitMix64 &Rng) : Ctx(Ctx), Rng(Rng) {}
 
-  Bst make(unsigned NumStates) {
-    Bst A(Ctx, Ctx.bv(4), Ctx.bv(4), Ctx.bv(4), NumStates,
-          unsigned(Rng.below(NumStates)), Value::bv(4, Rng.below(16)));
+  Bst make(unsigned NumStates) { return make(NumStates, GenOptions()); }
+
+  Bst make(unsigned NumStates, const GenOptions &O) {
+    const Type *Elem = Ctx.bv(O.ElemWidth);
+    unsigned Arity =
+        O.MaxRegTupleArity >= 2 ? unsigned(Rng.below(O.MaxRegTupleArity + 1))
+                                : 0;
+    const Type *RegTy = Elem;
+    Value InitReg = Value::bv(O.ElemWidth, Rng.below(elemCard(O)));
+    if (Arity >= 2) {
+      std::vector<const Type *> Tys(Arity, Elem);
+      RegTy = Ctx.tupleTy(std::move(Tys));
+      std::vector<Value> Fields;
+      for (unsigned I = 0; I < Arity; ++I)
+        Fields.push_back(Value::bv(O.ElemWidth, Rng.below(elemCard(O))));
+      InitReg = Value::tuple(std::move(Fields));
+    }
+    Bst A(Ctx, Elem, Elem, RegTy, NumStates, unsigned(Rng.below(NumStates)),
+          std::move(InitReg));
     for (unsigned Q = 0; Q < NumStates; ++Q) {
-      A.setDelta(Q, rule(A, NumStates, 2, /*Finalizer=*/false));
+      A.setDelta(Q, rule(A, O, Arity, NumStates, O.RuleDepth,
+                         /*Finalizer=*/false));
       if (Rng.below(2))
-        A.setFinalizer(Q, rule(A, NumStates, 1, /*Finalizer=*/true));
+        A.setFinalizer(Q, rule(A, O, Arity, NumStates, 1, /*Finalizer=*/true));
     }
     return A;
   }
 
+  /// A chain of stages over a common element type, so that composition —
+  /// and hence fuseChain — is well typed.
+  std::vector<Bst> makePipeline(unsigned NumStages, unsigned MaxStatesPerStage,
+                                const GenOptions &O) {
+    std::vector<Bst> Stages;
+    Stages.reserve(NumStages);
+    for (unsigned I = 0; I < NumStages; ++I)
+      Stages.push_back(make(1 + unsigned(Rng.below(MaxStatesPerStage)), O));
+    return Stages;
+  }
+
   std::vector<Value> randomInput(size_t MaxLen) {
+    return randomInput(MaxLen, 4);
+  }
+
+  std::vector<Value> randomInput(size_t MaxLen, unsigned Width) {
     std::vector<Value> In;
     size_t N = Rng.below(MaxLen + 1);
     for (size_t I = 0; I < N; ++I)
-      In.push_back(Value::bv(4, Rng.below(16)));
+      In.push_back(Value::bv(Width, Rng.below(uint64_t(1) << Width)));
+    return In;
+  }
+
+  /// Number of deterministic adversarial input shapes.
+  static constexpr unsigned NumAdversarialKinds = 4;
+
+  /// Adversarial inputs: 0 = empty, 1 = max-length run of one boundary
+  /// constant, 2 = the boundary constants (0, 1, mid, max-1, max),
+  /// 3 = alternating extremes (0, max, 0, max, ...).
+  std::vector<Value> adversarialInput(unsigned Kind, size_t MaxLen,
+                                      unsigned Width) {
+    uint64_t Max = Value::maskOf(Width);
+    std::vector<Value> In;
+    switch (Kind % NumAdversarialKinds) {
+    case 0:
+      break;
+    case 1: {
+      uint64_t C = boundaryConstant(Width);
+      for (size_t I = 0; I < MaxLen; ++I)
+        In.push_back(Value::bv(Width, C));
+      break;
+    }
+    case 2:
+      for (uint64_t C : {uint64_t(0), uint64_t(1), Max / 2, Max - 1, Max})
+        if (In.size() < MaxLen)
+          In.push_back(Value::bv(Width, C));
+      break;
+    default:
+      for (size_t I = 0; I < MaxLen; ++I)
+        In.push_back(Value::bv(Width, I % 2 ? Max : 0));
+      break;
+    }
     return In;
   }
 
@@ -41,8 +124,35 @@ private:
   TermContext &Ctx;
   SplitMix64 &Rng;
 
-  TermRef expr(const Bst &A, bool Finalizer, int Depth) {
-    TermRef R = A.regVar();
+  static uint64_t elemCard(const GenOptions &O) {
+    return uint64_t(1) << O.ElemWidth;
+  }
+
+  uint64_t boundaryConstant(unsigned Width) {
+    uint64_t Max = Value::maskOf(Width);
+    switch (Rng.below(4)) {
+    case 0:
+      return 0;
+    case 1:
+      return Max;
+    case 2:
+      return Max / 2;
+    default:
+      return 1;
+    }
+  }
+
+  /// A scalar read of the register: the register itself when scalar, one
+  /// random field when it is a tuple.
+  TermRef regLeaf(const Bst &A, unsigned Arity) {
+    if (Arity < 2)
+      return A.regVar();
+    return Ctx.mkTupleGet(A.regVar(), unsigned(Rng.below(Arity)));
+  }
+
+  TermRef expr(const Bst &A, const GenOptions &O, unsigned Arity,
+               bool Finalizer, int Depth) {
+    TermRef R = regLeaf(A, Arity);
     TermRef X = Finalizer ? R : A.inputVar();
     if (Depth == 0) {
       switch (Rng.below(3)) {
@@ -51,11 +161,11 @@ private:
       case 1:
         return R;
       default:
-        return Ctx.bvConst(4, Rng.below(16));
+        return Ctx.bvConst(O.ElemWidth, Rng.below(elemCard(O)));
       }
     }
-    TermRef L = expr(A, Finalizer, Depth - 1);
-    TermRef Rt = expr(A, Finalizer, Depth - 1);
+    TermRef L = expr(A, O, Arity, Finalizer, Depth - 1);
+    TermRef Rt = expr(A, O, Arity, Finalizer, Depth - 1);
     switch (Rng.below(4)) {
     case 0:
       return Ctx.mkAdd(L, Rt);
@@ -68,25 +178,62 @@ private:
     }
   }
 
-  RulePtr rule(const Bst &A, unsigned NumStates, int Depth,
-               bool Finalizer) {
+  /// The register-update term of a Base leaf: ρ-typed, so a tuple build
+  /// when the register is a tuple.
+  TermRef update(const Bst &A, const GenOptions &O, unsigned Arity,
+                 bool Finalizer) {
+    if (Arity < 2)
+      return expr(A, O, Arity, Finalizer, 1);
+    std::vector<TermRef> Fields;
+    for (unsigned I = 0; I < Arity; ++I)
+      Fields.push_back(expr(A, O, Arity, Finalizer, 1));
+    return Ctx.mkTuple(std::move(Fields));
+  }
+
+  RulePtr rule(const Bst &A, const GenOptions &O, unsigned Arity,
+               unsigned NumStates, int Depth, bool Finalizer) {
     if (Depth == 0 || Rng.below(3) == 0) {
       if (Rng.below(6) == 0)
         return Rule::undef();
       std::vector<TermRef> Outs;
-      size_t N = Rng.below(3);
+      size_t N = Rng.below(O.MaxOutputsPerLeaf + 1);
       for (size_t I = 0; I < N; ++I)
-        Outs.push_back(expr(A, Finalizer, 1));
+        Outs.push_back(expr(A, O, Arity, Finalizer, 1));
       return Rule::base(std::move(Outs), unsigned(Rng.below(NumStates)),
-                        expr(A, Finalizer, 1));
+                        update(A, O, Arity, Finalizer));
     }
-    TermRef Subject = Finalizer ? A.regVar() : A.inputVar();
-    uint64_t Lo = Rng.below(16), Hi = Rng.below(16);
-    if (Lo > Hi)
-      std::swap(Lo, Hi);
-    return Rule::ite(Ctx.mkInRange(Subject, Lo, Hi),
-                     rule(A, NumStates, Depth - 1, Finalizer),
-                     rule(A, NumStates, Depth - 1, Finalizer));
+    // Guards test the input element or (state-carried) register contents;
+    // register guards are what make RBBE's job nontrivial.  Every
+    // comparison kind appears so backend bugs in any one opcode are
+    // observable.
+    TermRef Subject = Finalizer || Rng.below(3) == 0 ? regLeaf(A, Arity)
+                                                     : A.inputVar();
+    TermRef C = Ctx.bvConst(O.ElemWidth, Rng.below(elemCard(O)));
+    TermRef Guard;
+    switch (Rng.below(6)) {
+    case 0:
+      Guard = Ctx.mkEq(Subject, C);
+      break;
+    case 1:
+      Guard = Ctx.mkUlt(Subject, C);
+      break;
+    case 2:
+      Guard = Ctx.mkUle(Subject, C);
+      break;
+    case 3:
+      Guard = Ctx.mkSlt(Subject, C);
+      break;
+    default: {
+      uint64_t Lo = Rng.below(elemCard(O)), Hi = Rng.below(elemCard(O));
+      if (Lo > Hi)
+        std::swap(Lo, Hi);
+      Guard = Ctx.mkInRange(Subject, Lo, Hi);
+      break;
+    }
+    }
+    return Rule::ite(Guard,
+                     rule(A, O, Arity, NumStates, Depth - 1, Finalizer),
+                     rule(A, O, Arity, NumStates, Depth - 1, Finalizer));
   }
 };
 

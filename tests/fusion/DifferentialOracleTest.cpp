@@ -1,0 +1,164 @@
+//===- tests/fusion/DifferentialOracleTest.cpp - Cross-backend oracle -----===//
+//
+// The differential oracle (tests/common/Oracle.h) is the correctness gate
+// for every backend: these tests pin it down on random multi-stage
+// pipelines across element widths and register shapes, exercise the
+// stdlib pipeline end to end, and validate the greedy shrinker on
+// synthetic failures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/Oracle.h"
+#include "common/RandomBst.h"
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+using namespace efc::testing;
+
+namespace {
+
+TEST(DifferentialOracle, AgreesOnRandomPipelines) {
+  SplitMix64 Rng(0xD1FF);
+  for (int T = 0; T < 10; ++T) {
+    TermContext Ctx;
+    RandomBstGen Gen(Ctx, Rng);
+    GenOptions O;
+    std::vector<Bst> Stages =
+        Gen.makePipeline(1 + unsigned(Rng.below(3)), 3, O);
+    Oracle Or(std::move(Stages), BK_Default);
+    for (unsigned K = 0; K < RandomBstGen::NumAdversarialKinds; ++K) {
+      auto In = Gen.adversarialInput(K, 8, O.ElemWidth);
+      auto D = Or.check(In);
+      EXPECT_FALSE(D.has_value())
+          << "trial " << T << " adversarial " << K << ": " << D->str();
+    }
+    for (int I = 0; I < 8; ++I) {
+      auto In = Gen.randomInput(8, O.ElemWidth);
+      auto D = Or.check(In);
+      EXPECT_FALSE(D.has_value())
+          << "trial " << T << " input " << I << ": " << D->str();
+    }
+  }
+}
+
+TEST(DifferentialOracle, AgreesAcrossWidthsAndRegisterTuples) {
+  SplitMix64 Rng(0x5EED);
+  for (unsigned Width : {8u, 16u}) {
+    for (int T = 0; T < 4; ++T) {
+      TermContext Ctx;
+      RandomBstGen Gen(Ctx, Rng);
+      GenOptions O;
+      O.ElemWidth = Width;
+      O.MaxRegTupleArity = 3;
+      Oracle Or(Gen.makePipeline(2, 3, O), BK_Default);
+      for (int I = 0; I < 10; ++I) {
+        auto In = Gen.randomInput(10, Width);
+        auto D = Or.check(In);
+        EXPECT_FALSE(D.has_value())
+            << "width " << Width << " trial " << T << ": " << D->str();
+      }
+    }
+  }
+}
+
+TEST(DifferentialOracle, AgreesOnStdlibPipeline) {
+  TermContext Ctx;
+  std::vector<Bst> Stages;
+  Stages.push_back(lib::makeUtf8Decode2(Ctx));
+  Stages.push_back(lib::makeToInt(Ctx));
+  Stages.push_back(lib::makeIntToDecimal(Ctx));
+  Stages.push_back(lib::makeUtf8Encode(Ctx));
+  Oracle Or(std::move(Stages), BK_Default);
+  for (const char *In : {"0", "123456789", "12x", "", "00420"}) {
+    auto D = Or.check(lib::valuesFromBytes(In));
+    EXPECT_FALSE(D.has_value()) << "input '" << In << "': " << D->str();
+  }
+}
+
+TEST(DifferentialOracle, BackendMaskParsing) {
+  EXPECT_EQ(parseBackends("vm"), unsigned(BK_Vm));
+  EXPECT_EQ(parseBackends("vm,rbbe"), unsigned(BK_Vm | BK_Rbbe));
+  EXPECT_EQ(parseBackends("default"), unsigned(BK_Default));
+  EXPECT_EQ(parseBackends("all"), unsigned(BK_All));
+  EXPECT_EQ(parseBackends("interp,fusedvm"), unsigned(BK_FusedVm));
+  std::string Err;
+  EXPECT_EQ(parseBackends("bogus", &Err), 0u);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(backendNames(BK_Vm | BK_Native), "vm,native");
+  EXPECT_EQ(parseBackends(backendNames(BK_Default)), unsigned(BK_Default));
+}
+
+TEST(DifferentialOracle, ShrinkerMinimizesSyntheticFailure) {
+  // A synthetic "bug": the pair fails whenever the input contains an
+  // element >= 8.  The shrinker should strip the pipeline down to one
+  // trivial stage and the input down to a single witness element.
+  SplitMix64 Rng(0xABCD);
+  TermContext Ctx;
+  RandomBstGen Gen(Ctx, Rng);
+  GenOptions O;
+  std::vector<Bst> Stages = Gen.makePipeline(3, 4, O);
+  std::vector<Value> Input;
+  for (uint64_t V : {3, 9, 1, 12, 7, 15, 2})
+    Input.push_back(Value::bv(4, V));
+
+  FailurePred Bug = [](const std::vector<Bst> &,
+                       std::span<const Value> In)
+      -> std::optional<Disagreement> {
+    for (const Value &V : In)
+      if (V.bits() >= 8)
+        return Disagreement{"synthetic", "agree", "big element"};
+    return std::nullopt;
+  };
+
+  ShrinkResult R = shrinkWith(Bug, Stages, Input);
+  ASSERT_EQ(R.Input.size(), 1u);
+  EXPECT_GE(R.Input[0].bits(), 8u);
+  ASSERT_EQ(R.Stages.size(), 1u);
+  EXPECT_EQ(R.Stages[0].numStates(), 1u);
+  EXPECT_EQ(R.Stages[0].countBranches(), 0u) << "rules should prune to Undef";
+  EXPECT_EQ(R.Failure.Backend, "synthetic");
+  EXPECT_GT(R.Accepted, 0u);
+}
+
+TEST(DifferentialOracle, ShrinkerIsNoOpOnAgreeingPair) {
+  SplitMix64 Rng(0x1234);
+  TermContext Ctx;
+  RandomBstGen Gen(Ctx, Rng);
+  std::vector<Bst> Stages = Gen.makePipeline(2, 2, GenOptions());
+  std::vector<Value> Input = Gen.randomInput(5, 4);
+  size_t InLen = Input.size();
+  // All backends agree, so the oracle-backed shrink has nothing to do.
+  ShrinkResult R =
+      shrink(std::move(Stages), std::move(Input), BK_Default, 100);
+  EXPECT_EQ(R.Attempts, 0u);
+  EXPECT_EQ(R.Accepted, 0u);
+  EXPECT_EQ(R.Stages.size(), 2u);
+  EXPECT_EQ(R.Input.size(), InLen);
+}
+
+TEST(DifferentialOracle, ShrinkerRespectsAttemptBudget) {
+  SplitMix64 Rng(0x77);
+  TermContext Ctx;
+  RandomBstGen Gen(Ctx, Rng);
+  std::vector<Bst> Stages = Gen.makePipeline(3, 4, GenOptions());
+  std::vector<Value> Input = Gen.randomInput(12, 4);
+
+  unsigned Calls = 0;
+  FailurePred AlwaysFails = [&Calls](const std::vector<Bst> &,
+                                     std::span<const Value>)
+      -> std::optional<Disagreement> {
+    ++Calls;
+    return Disagreement{"synthetic", "x", "y"};
+  };
+  ShrinkResult R = shrinkWith(AlwaysFails, Stages, Input, /*MaxAttempts=*/25);
+  EXPECT_LE(R.Attempts, 25u);
+  // The everything-fails predicate lets every reduction through: the end
+  // state is still within the budget and fully reduced or budget-capped.
+  EXPECT_GE(Calls, R.Attempts);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- tests/solver/ModelValidationTest.cpp - SAT models vs term Eval -----===//
+//
+// Every model the solver returns is re-evaluated against the original
+// assertions with the reference term evaluator.  This catches drift
+// between the bit-blaster's encoding and model extraction — and covers
+// all of the solver's Sat sources (interval presolve, concrete-evaluation
+// guessing, CDCL), since each must produce a genuine witness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Solver.h"
+#include "support/Stopwatch.h"
+#include "term/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class QueryGen {
+public:
+  QueryGen(TermContext &Ctx, SplitMix64 &Rng, unsigned Width)
+      : Ctx(Ctx), Rng(Rng), Width(Width) {
+    Vars.push_back(Ctx.var("x", Ctx.bv(Width)));
+    Vars.push_back(Ctx.var("y", Ctx.bv(Width)));
+    Vars.push_back(Ctx.var("z", Ctx.bv(Width)));
+  }
+
+  const std::vector<TermRef> &vars() const { return Vars; }
+
+  TermRef arith(int Depth) {
+    if (Depth == 0 || Rng.below(3) == 0) {
+      if (Rng.below(2))
+        return Vars[Rng.below(Vars.size())];
+      return Ctx.bvConst(Width, Rng.below(uint64_t(1) << Width));
+    }
+    TermRef A = arith(Depth - 1), B = arith(Depth - 1);
+    switch (Rng.below(6)) {
+    case 0:
+      return Ctx.mkAdd(A, B);
+    case 1:
+      return Ctx.mkSub(A, B);
+    case 2:
+      return Ctx.mkMul(A, B);
+    case 3:
+      return Ctx.mkBvAnd(A, B);
+    case 4:
+      return Ctx.mkBvOr(A, B);
+    default:
+      return Ctx.mkBvXor(A, B);
+    }
+  }
+
+  TermRef atom() {
+    TermRef A = arith(2), B = arith(2);
+    switch (Rng.below(5)) {
+    case 0:
+      return Ctx.mkEq(A, B);
+    case 1:
+      return Ctx.mkUlt(A, B);
+    case 2:
+      return Ctx.mkUle(A, B);
+    case 3:
+      return Ctx.mkSlt(A, B);
+    default:
+      return Ctx.mkSle(A, B);
+    }
+  }
+
+  TermRef formula(int Depth) {
+    if (Depth == 0)
+      return atom();
+    switch (Rng.below(3)) {
+    case 0:
+      return Ctx.mkAnd(formula(Depth - 1), formula(Depth - 1));
+    case 1:
+      return Ctx.mkOr(formula(Depth - 1), formula(Depth - 1));
+    default:
+      return Ctx.mkNot(formula(Depth - 1));
+    }
+  }
+
+private:
+  TermContext &Ctx;
+  SplitMix64 &Rng;
+  unsigned Width;
+  std::vector<TermRef> Vars;
+};
+
+/// Binds each variable to its model value and re-evaluates every active
+/// assertion; all must come out true.
+void expectModelSatisfies(Solver &S, const QueryGen &G,
+                          const std::vector<TermRef> &Asserts,
+                          const char *What) {
+  Env E;
+  for (TermRef V : G.vars())
+    E.bind(V, S.modelValue(V));
+  for (size_t I = 0; I < Asserts.size(); ++I) {
+    Value V = evalTerm(Asserts[I], E);
+    ASSERT_TRUE(V.isBool()) << What;
+    EXPECT_TRUE(V.boolValue())
+        << What << ": model violates assertion " << I;
+  }
+}
+
+TEST(ModelValidation, RandomScalarQueries) {
+  SplitMix64 Rng(0x50DA);
+  unsigned Sats = 0;
+  const int Trials = 120;
+  for (int T = 0; T < Trials; ++T) {
+    TermContext Ctx;
+    QueryGen G(Ctx, Rng, Rng.below(2) ? 4 : 8);
+    Solver S(Ctx);
+    std::vector<TermRef> Asserts;
+    size_t N = 1 + Rng.below(3);
+    for (size_t I = 0; I < N; ++I) {
+      Asserts.push_back(G.formula(2));
+      S.add(Asserts.back());
+    }
+    SatResult R = S.check();
+    ASSERT_NE(R, SatResult::Unknown) << "trial " << T;
+    if (R == SatResult::Sat) {
+      ++Sats;
+      expectModelSatisfies(S, G, Asserts, "scalar");
+    }
+  }
+  // The formula space is far from vacuous: a healthy fraction must be Sat
+  // or the validation above would not be testing anything.
+  EXPECT_GT(Sats, unsigned(Trials / 6));
+}
+
+TEST(ModelValidation, ScopedQueriesRevalidateAfterPop) {
+  SplitMix64 Rng(0xBADA);
+  for (int T = 0; T < 40; ++T) {
+    TermContext Ctx;
+    QueryGen G(Ctx, Rng, 8);
+    Solver S(Ctx);
+    std::vector<TermRef> Base = {G.formula(1)};
+    S.add(Base[0]);
+
+    S.push();
+    TermRef Extra = G.formula(1);
+    S.add(Extra);
+    if (S.check() == SatResult::Sat) {
+      std::vector<TermRef> All = Base;
+      All.push_back(Extra);
+      expectModelSatisfies(S, G, All, "scoped");
+    }
+    S.pop();
+
+    // After retraction the base assertions alone constrain the model.
+    if (S.check() == SatResult::Sat)
+      expectModelSatisfies(S, G, Base, "after-pop");
+  }
+}
+
+TEST(ModelValidation, TupleProjectionModels) {
+  SplitMix64 Rng(0x7071);
+  for (int T = 0; T < 30; ++T) {
+    TermContext Ctx;
+    const Type *PairTy = Ctx.pairTy(Ctx.bv(8), Ctx.bv(8));
+    TermRef P = Ctx.var("p", PairTy);
+    TermRef P1 = Ctx.mkProj1(P), P2 = Ctx.mkProj2(P);
+    Solver S(Ctx);
+
+    std::vector<TermRef> Asserts;
+    Asserts.push_back(Ctx.mkUlt(P1, Ctx.bvConst(8, 10 + Rng.below(100))));
+    Asserts.push_back(
+        Ctx.mkEq(Ctx.mkAdd(P1, P2), Ctx.bvConst(8, Rng.below(256))));
+    for (TermRef A : Asserts)
+      S.add(A);
+
+    SatResult R = S.check();
+    ASSERT_NE(R, SatResult::Unknown);
+    if (R != SatResult::Sat)
+      continue;
+    // Models of tuple variables come back leaf-wise.
+    Env E;
+    E.bind(P, Value::tuple({S.modelValue(P1), S.modelValue(P2)}));
+    for (size_t I = 0; I < Asserts.size(); ++I) {
+      Value V = evalTerm(Asserts[I], E);
+      ASSERT_TRUE(V.isBool());
+      EXPECT_TRUE(V.boolValue()) << "tuple model violates assertion " << I;
+    }
+  }
+}
+
+TEST(ModelValidation, GuessingAndPresolveDisabledAgree) {
+  // The same query answered with the fast paths ablated must stay Sat and
+  // still return a valid model (the CDCL fallback's extraction path).
+  SplitMix64 Rng(0xD15A);
+  for (int T = 0; T < 30; ++T) {
+    TermContext Ctx;
+    QueryGen G(Ctx, Rng, 4);
+    TermRef F = G.formula(2);
+
+    Solver Fast(Ctx);
+    Fast.add(F);
+    SatResult RFast = Fast.check();
+
+    Solver Slow(Ctx);
+    Slow.setPresolveEnabled(false);
+    Slow.setGuessingEnabled(false);
+    Slow.add(F);
+    SatResult RSlow = Slow.check();
+
+    ASSERT_NE(RFast, SatResult::Unknown);
+    ASSERT_NE(RSlow, SatResult::Unknown);
+    EXPECT_EQ(RFast == SatResult::Sat, RSlow == SatResult::Sat)
+        << "trial " << T;
+    if (RSlow == SatResult::Sat)
+      expectModelSatisfies(Slow, G, {F}, "ablated");
+  }
+}
+
+} // namespace

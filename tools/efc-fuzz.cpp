@@ -1,0 +1,289 @@
+//===- tools/efc-fuzz.cpp - Differential fuzzing harness ------------------===//
+//
+// Long-running cross-backend fuzz campaigns for the equational claims the
+// repo is built on (⟦A ⊗ B⟧ = ⟦B⟧ ∘ ⟦A⟧, RBBE semantics preservation, VM
+// and codegen fidelity).  Each iteration draws a random multi-stage
+// pipeline and a batch of adversarial plus random inputs, then checks
+// every enabled backend against the composed reference interpretation via
+// the shared oracle (tests/common/Oracle.h).  Failures are greedily shrunk
+// and reported with a replayable per-iteration seed.
+//
+//   efc-fuzz --seed 7 --iters 2000
+//   efc-fuzz --replay 0x1234abcd --backends all   # reproduce one failure
+//   efc-fuzz --iters 500 --backends all --native-every 10
+//
+//===----------------------------------------------------------------------===//
+
+#include "bst/BstPrint.h"
+#include "common/Oracle.h"
+#include "common/RandomBst.h"
+#include "support/Stopwatch.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace efc;
+using namespace efc::testing;
+
+namespace {
+
+struct FuzzConfig {
+  uint64_t Seed = 1;
+  uint64_t Iters = 200;
+  bool Replay = false;       // --replay: Seed is a per-iteration seed
+  unsigned MaxStates = 4;
+  unsigned MaxStages = 3;
+  unsigned MaxLen = 12;
+  unsigned InputsPerPipeline = 6;
+  unsigned ElemWidth = 0;    // 0 = rotate over 4/8/16
+  unsigned Backends = BK_Default;
+  unsigned NativeEvery = 25; // native .so compiles are slow; sample them
+  bool Shrink = true;
+  unsigned ShrinkBudget = 4000;
+  double TimeBudget = 0;     // seconds; 0 = unlimited
+  bool Quiet = false;
+};
+
+struct FuzzStats {
+  uint64_t Iterations = 0;
+  uint64_t Checks = 0;
+  uint64_t NativeIterations = 0;
+};
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    fprintf(stderr, "efc-fuzz: %s\n", Msg);
+  fprintf(stderr,
+          "usage: efc-fuzz [--seed S] [--iters N] [--replay S]\n"
+          "                [--max-states K] [--max-stages K] [--max-len L]\n"
+          "                [--inputs N] [--elem-width 4|8|16]\n"
+          "                [--backends vm,fused,fusedvm,rbbe,rbbevm,native|"
+          "default|all]\n"
+          "                [--native-every N] [--no-shrink]\n"
+          "                [--shrink-budget N] [--time-budget SEC] "
+          "[--quiet]\n"
+          "\n"
+          "Checks every backend against the composed reference interpreter\n"
+          "on random multi-stage pipelines.  Exit status: 0 = all agree,\n"
+          "1 = disagreement found, 2 = bad usage.\n");
+  return 2;
+}
+
+/// Decorrelated per-iteration seed; printed on failure so one iteration
+/// can be replayed in isolation via --replay.
+uint64_t iterationSeed(uint64_t Master, uint64_t Iter) {
+  SplitMix64 M(Master ^ (0x9e3779b97f4a7c15ull * (Iter + 1)));
+  return M.next();
+}
+
+void printFailure(const FuzzConfig &C, uint64_t Iter, uint64_t IterSeed,
+                  unsigned Mask, const std::vector<Bst> &Stages,
+                  const std::vector<Value> &Input, const Disagreement &D) {
+  fprintf(stderr, "efc-fuzz: DISAGREEMENT at iteration %" PRIu64
+                  " (seed 0x%" PRIx64 ")\n",
+          Iter, IterSeed);
+  fprintf(stderr, "  pipeline: %s\n",
+          pipelineSummary(Stages, Input).c_str());
+  fprintf(stderr, "  %s\n", D.str().c_str());
+  char SeedHex[32];
+  snprintf(SeedHex, sizeof(SeedHex), "0x%" PRIx64, IterSeed);
+  std::string Replay = std::string("efc-fuzz --replay ") + SeedHex +
+                       " --max-states " + std::to_string(C.MaxStates) +
+                       " --max-stages " + std::to_string(C.MaxStages) +
+                       " --max-len " + std::to_string(C.MaxLen) +
+                       " --inputs " + std::to_string(C.InputsPerPipeline);
+  if (C.ElemWidth)
+    Replay += " --elem-width " + std::to_string(C.ElemWidth);
+  Replay += " --backends " + backendNames(Mask);
+  fprintf(stderr, "  replay: %s\n", Replay.c_str());
+}
+
+void printShrunk(const ShrinkResult &R) {
+  fprintf(stderr, "  shrunk: %s (%u attempts, %u accepted)\n",
+          pipelineSummary(R.Stages, R.Input).c_str(), R.Attempts,
+          R.Accepted);
+  fprintf(stderr, "  failure: %s\n", R.Failure.str().c_str());
+  fprintf(stderr, "  input: %s\n", renderValues(R.Input).c_str());
+  for (size_t I = 0; I < R.Stages.size(); ++I)
+    fprintf(stderr, "  stage %zu:\n%s", I,
+            bstToString(R.Stages[I]).c_str());
+}
+
+/// Runs one iteration; returns true when a disagreement was found (and
+/// reported).
+bool runIteration(const FuzzConfig &C, uint64_t Iter, uint64_t IterSeed,
+                  bool AttachNative, FuzzStats &St) {
+  SplitMix64 Rng(IterSeed);
+  TermContext Ctx;
+  RandomBstGen Gen(Ctx, Rng);
+
+  GenOptions O;
+  static const unsigned Widths[3] = {4, 8, 16};
+  O.ElemWidth = C.ElemWidth ? C.ElemWidth : Widths[Rng.below(3)];
+  O.MaxRegTupleArity = 1 + unsigned(Rng.below(3)); // scalar .. 3-tuple
+  unsigned NumStages = 1 + unsigned(Rng.below(C.MaxStages));
+
+  unsigned Mask = C.Backends;
+  if (!AttachNative)
+    Mask &= ~unsigned(BK_Native);
+
+  std::vector<Bst> Stages = Gen.makePipeline(NumStages, C.MaxStates, O);
+  Oracle Or(Stages, Mask);
+  if (AttachNative) {
+    ++St.NativeIterations;
+    static bool WarnedNative = false;
+    if (!Or.nativeAvailable() && !WarnedNative) {
+      WarnedNative = true;
+      fprintf(stderr, "efc-fuzz: native backend unavailable (%s); skipping\n",
+              Or.nativeError().c_str());
+    }
+  }
+
+  std::vector<std::vector<Value>> Inputs;
+  for (unsigned K = 0; K < RandomBstGen::NumAdversarialKinds; ++K)
+    Inputs.push_back(Gen.adversarialInput(K, C.MaxLen, O.ElemWidth));
+  for (unsigned I = 0; I < C.InputsPerPipeline; ++I)
+    Inputs.push_back(Gen.randomInput(C.MaxLen, O.ElemWidth));
+
+  for (const std::vector<Value> &In : Inputs) {
+    ++St.Checks;
+    std::optional<Disagreement> D = Or.check(In);
+    if (!D)
+      continue;
+    printFailure(C, Iter, IterSeed, Mask, Or.stages(), In, *D);
+    if (C.Shrink) {
+      // Shrink against the diverging backend alone: re-checking every
+      // backend would rebuild the fused/RBBE artifacts (and for native,
+      // run the host compiler) on each of thousands of candidates.
+      unsigned ShrinkMask = parseBackends(D->Backend);
+      if (!ShrinkMask)
+        ShrinkMask = Mask & ~unsigned(BK_Native);
+      fprintf(stderr, "  shrinking (budget %u)...\n", C.ShrinkBudget);
+      ShrinkResult R =
+          shrink(Or.stages(), In, ShrinkMask, C.ShrinkBudget);
+      printShrunk(R);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  char *End = nullptr;
+  Out = strtoull(S, &End, 0);
+  return End && *End == '\0';
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FuzzConfig C;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    uint64_t N = 0;
+    if (A == "--seed") {
+      if (!parseU64(Next(), C.Seed))
+        return usage("--seed needs a number");
+    } else if (A == "--replay") {
+      if (!parseU64(Next(), C.Seed))
+        return usage("--replay needs a number");
+      C.Replay = true;
+      C.Iters = 1;
+    } else if (A == "--iters") {
+      if (!parseU64(Next(), C.Iters))
+        return usage("--iters needs a number");
+    } else if (A == "--max-states") {
+      if (!parseU64(Next(), N) || N == 0)
+        return usage("--max-states needs a positive number");
+      C.MaxStates = unsigned(N);
+    } else if (A == "--max-stages") {
+      if (!parseU64(Next(), N) || N == 0)
+        return usage("--max-stages needs a positive number");
+      C.MaxStages = unsigned(N);
+    } else if (A == "--max-len") {
+      if (!parseU64(Next(), N))
+        return usage("--max-len needs a number");
+      C.MaxLen = unsigned(N);
+    } else if (A == "--inputs") {
+      if (!parseU64(Next(), N))
+        return usage("--inputs needs a number");
+      C.InputsPerPipeline = unsigned(N);
+    } else if (A == "--elem-width") {
+      if (!parseU64(Next(), N) || (N != 4 && N != 8 && N != 16))
+        return usage("--elem-width must be 4, 8 or 16");
+      C.ElemWidth = unsigned(N);
+    } else if (A == "--backends") {
+      const char *V = Next();
+      if (!V)
+        return usage("--backends needs a list");
+      std::string Err;
+      C.Backends = parseBackends(V, &Err);
+      if (!C.Backends)
+        return usage(Err.c_str());
+    } else if (A == "--native-every") {
+      if (!parseU64(Next(), N))
+        return usage("--native-every needs a number");
+      C.NativeEvery = unsigned(N);
+    } else if (A == "--shrink") {
+      C.Shrink = true;
+    } else if (A == "--no-shrink") {
+      C.Shrink = false;
+    } else if (A == "--shrink-budget") {
+      if (!parseU64(Next(), N))
+        return usage("--shrink-budget needs a number");
+      C.ShrinkBudget = unsigned(N);
+    } else if (A == "--time-budget") {
+      const char *V = Next();
+      if (!V)
+        return usage("--time-budget needs seconds");
+      C.TimeBudget = atof(V);
+    } else if (A == "--quiet") {
+      C.Quiet = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      return usage(("unknown option '" + A + "'").c_str());
+    }
+  }
+
+  Stopwatch Timer;
+  FuzzStats St;
+  bool Failed = false;
+  for (uint64_t Iter = 0; Iter < C.Iters; ++Iter) {
+    if (C.TimeBudget > 0 && Timer.seconds() > C.TimeBudget)
+      break;
+    uint64_t IterSeed = C.Replay ? C.Seed : iterationSeed(C.Seed, Iter);
+    bool AttachNative = (C.Backends & BK_Native) &&
+                        (C.Replay || (C.NativeEvery > 0 &&
+                                      Iter % C.NativeEvery == 0));
+    ++St.Iterations;
+    if (runIteration(C, Iter, IterSeed, AttachNative, St)) {
+      Failed = true;
+      break;
+    }
+    if (!C.Quiet && (Iter + 1) % 500 == 0)
+      fprintf(stderr, "efc-fuzz: ... %" PRIu64 " iterations, %" PRIu64
+                      " checks (%.1fs)\n",
+              Iter + 1, St.Checks, Timer.seconds());
+  }
+
+  if (!C.Quiet)
+    fprintf(stderr,
+            "efc-fuzz: %" PRIu64 " iterations, %" PRIu64 " checks, %" PRIu64
+            " with native backend, %s (%.2fs, seed 0x%" PRIx64 ", "
+            "backends %s)\n",
+            St.Iterations, St.Checks, St.NativeIterations,
+            Failed ? "1 disagreement" : "0 disagreements", Timer.seconds(),
+            C.Seed, backendNames(C.Backends).c_str());
+  return Failed ? 1 : 0;
+}
