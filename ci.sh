@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+# ci.sh — the whole gate in one script.
+#
+#   1. Tier-1 verify (ROADMAP.md): configure, build, full ctest.
+#   2. efc-serve smoke test: start a server, stream a CSV pipeline at it in
+#      7-byte chunks, and require byte-identical output to one-shot
+#      `efcc --run` on the same file.
+#   3. Runtime-cache bench: cache-hit vs cache-miss request latency
+#      (asserts internally that a simulated restart hits the on-disk
+#      native artifact cache instead of re-invoking the host compiler).
+#
+# Usage: ./ci.sh [build-dir]     (default: build)
+#===------------------------------------------------------------------------===#
+set -euo pipefail
+cd "$(dirname "$0")"
+BUILD=${1:-build}
+
+echo "== [1/3] tier-1 verify =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j)
+
+echo "== [2/3] efc-serve smoke test =="
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+SOCK="$SCRATCH/efc.sock"
+PATTERN='(?:(?:[^,\n]*,){1}(?<v>\d+),[^\n]*\n)*'
+printf 'a,17,x\nb,99,y\nc,40,z\nd,63,w\n' > "$SCRATCH/rows.csv"
+
+"$BUILD/tools/efc-serve" --socket "$SOCK" --threads 2 &
+SERVER=$!
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "server never bound $SOCK" >&2; exit 1; }
+
+STREAMED=$("$BUILD/tools/efc-serve" --socket "$SOCK" --run smoke \
+  --regex "$PATTERN" --agg max --format decimal \
+  --file "$SCRATCH/rows.csv" --chunk 7)
+"$BUILD/tools/efc-serve" --socket "$SOCK" --shutdown
+wait "$SERVER"
+
+ONESHOT=$("$BUILD/tools/efcc" --regex "$PATTERN" --agg max --format decimal \
+  --run "$SCRATCH/rows.csv")
+if [ "$STREAMED" != "$ONESHOT" ]; then
+  echo "smoke test mismatch: streamed='$STREAMED' one-shot='$ONESHOT'" >&2
+  exit 1
+fi
+echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
+
+echo "== [3/3] cache-hit vs cache-miss latency =="
+"$BUILD/bench/runtime_cache"
+
+echo "== ci.sh: all green =="

@@ -225,6 +225,73 @@ public:
     return S;
   }
 
+  /// The suspend/resume entry points (CodeGenOptions::EmitStreaming).
+  /// The state block layout is st[0] = control state, st[1..] = register
+  /// leaves in flattening order — the same order the one-shot function
+  /// declares its r<i> locals.
+  std::string streaming() {
+    const std::string &N = Opts.FunctionName;
+    std::vector<uint64_t> Init;
+    flattenInit(A.initialRegister(), Init);
+
+    std::string S;
+    S += "[[maybe_unused]] static const size_t " + N + "_state_words = " +
+         std::to_string(1 + NumLeaves) + ";\n\n";
+
+    S += "static void " + N + "_init(uint64_t *st) {\n";
+    S += "  st[0] = " + std::to_string(A.initialState()) + "ull;\n";
+    for (unsigned I = 0; I < NumLeaves; ++I)
+      S += "  st[" + std::to_string(I + 1) + "] = " + hex(Init[I]) + ";\n";
+    S += "}\n\n";
+
+    // feed: resume at the saved control state; at end of chunk suspend
+    // (persist state + registers) instead of falling into the finalizer.
+    S += "static bool " + N +
+         "_feed(uint64_t *st, const uint64_t *in, size_t n, "
+         "std::vector<uint64_t> &out) {\n";
+    for (unsigned I = 0; I < NumLeaves; ++I)
+      S += "  uint64_t r" + std::to_string(I) + " = st[" +
+           std::to_string(I + 1) + "];\n";
+    S += "  size_t i = 0;\n  uint64_t x = 0;\n  (void)x;\n";
+    S += "  switch (st[0]) {\n";
+    for (unsigned Q = 0; Q < A.numStates(); ++Q)
+      S += "  case " + std::to_string(Q) + ": goto S" + std::to_string(Q) +
+           ";\n";
+    S += "  default: return false;\n  }\n";
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+      S += "S" + std::to_string(Q) + ":\n";
+      S += "  if (i >= n) {\n    st[0] = " + std::to_string(Q) + "ull;\n";
+      for (unsigned I = 0; I < NumLeaves; ++I)
+        S += "    st[" + std::to_string(I + 1) + "] = r" +
+             std::to_string(I) + ";\n";
+      S += "    return true;\n  }\n";
+      S += "  x = in[i++];\n  {\n";
+      S += ruleCode(A.delta(Q).get(), /*IsFinalizer=*/false, 1);
+      S += "  }\n";
+    }
+    S += "}\n\n";
+
+    // finish: run the finalizer of the saved state.  Registers are not
+    // written back — a finished session is over.
+    S += "static bool " + N +
+         "_finish(uint64_t *st, std::vector<uint64_t> &out) {\n";
+    for (unsigned I = 0; I < NumLeaves; ++I)
+      S += "  uint64_t r" + std::to_string(I) + " = st[" +
+           std::to_string(I + 1) + "]; (void)r" + std::to_string(I) + ";\n";
+    S += "  switch (st[0]) {\n";
+    for (unsigned Q = 0; Q < A.numStates(); ++Q)
+      S += "  case " + std::to_string(Q) + ": goto F" + std::to_string(Q) +
+           ";\n";
+    S += "  default: return false;\n  }\n";
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+      S += "F" + std::to_string(Q) + ":\n  {\n";
+      S += ruleCode(A.finalizer(Q).get(), /*IsFinalizer=*/true, 1);
+      S += "  }\n";
+    }
+    S += "}\n";
+    return S;
+  }
+
 private:
   const Bst &A;
   const CodeGenOptions &Opts;
@@ -320,6 +387,10 @@ std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
 
   UnitEmitter U(A, Opts);
   S += U.function();
+  if (Opts.EmitStreaming) {
+    S += "\n";
+    S += U.streaming();
+  }
 
   if (Opts.EmitMain) {
     S += "\nint main() {\n";

@@ -27,6 +27,19 @@ struct CodeGenOptions {
   /// on success (used by the self-check test which compiles and runs the
   /// generated code with the host compiler).
   bool EmitMain = false;
+  /// Also emit the suspend/resume entry points used by the streaming
+  /// runtime (StreamSession):
+  ///
+  ///   <name>_state_words          constant: control state + register leaves
+  ///   <name>_init(uint64_t *st)   resets st to the initial configuration
+  ///   <name>_feed(st, in, n, out) consumes a chunk, suspends at its end
+  ///   <name>_finish(st, out)      runs the finalizer of the saved state
+  ///
+  /// The state block persists the control state (st[0]) and every register
+  /// leaf (st[1..]) across calls, so feeding a split input chunk by chunk
+  /// is byte-identical to one <name>(in, n, out) call over the whole
+  /// input.  feed/finish return false on rejection.
+  bool EmitStreaming = false;
 };
 
 /// One embedded test vector for EmitMain.

@@ -3,14 +3,75 @@
 #include "codegen/NativeCompile.h"
 
 #include "codegen/CppCodeGen.h"
+#include "support/Stopwatch.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <dlfcn.h>
 #include <fstream>
+#include <sstream>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace efc;
+
+namespace {
+
+/// FNV-1a over the generated source: the artifact cache key.  Two
+/// pipelines whose generated units are identical share one .so.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string hex16(uint64_t V) {
+  char Buf[24];
+  snprintf(Buf, sizeof(Buf), "%016llx", (unsigned long long)V);
+  return Buf;
+}
+
+/// mkdir -p: creates every missing component; existing directories are
+/// fine.  Returns false only when a component cannot be created.
+bool makeDirs(const std::string &Path) {
+  std::string Cur;
+  for (size_t I = 0; I <= Path.size(); ++I) {
+    if (I < Path.size() && Path[I] != '/') {
+      Cur.push_back(Path[I]);
+      continue;
+    }
+    if (I < Path.size())
+      Cur.push_back('/');
+    if (Cur.empty() || Cur == "/")
+      continue;
+    if (mkdir(Cur.c_str(), 0755) != 0 && errno != EEXIST)
+      return false;
+  }
+  return true;
+}
+
+std::string sanitizeTag(const std::string &Tag) {
+  std::string S;
+  for (char C : Tag)
+    S.push_back(isalnum((unsigned char)C) ? C : '_');
+  if (S.size() > 48)
+    S.resize(48);
+  return S.empty() ? std::string("t") : S;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream F(Path);
+  std::ostringstream Buf;
+  Buf << F.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
 
 NativeTransducer::~NativeTransducer() {
   if (Handle)
@@ -18,9 +79,14 @@ NativeTransducer::~NativeTransducer() {
 }
 
 NativeTransducer::NativeTransducer(NativeTransducer &&O) noexcept
-    : Handle(O.Handle), Func(O.Func) {
+    : Handle(O.Handle), Func(O.Func), WordsFn(O.WordsFn), InitFn(O.InitFn),
+      FeedFn(O.FeedFn), FinishFn(O.FinishFn) {
   O.Handle = nullptr;
   O.Func = nullptr;
+  O.WordsFn = nullptr;
+  O.InitFn = nullptr;
+  O.FeedFn = nullptr;
+  O.FinishFn = nullptr;
 }
 
 NativeTransducer &NativeTransducer::operator=(NativeTransducer &&O) noexcept {
@@ -29,52 +95,138 @@ NativeTransducer &NativeTransducer::operator=(NativeTransducer &&O) noexcept {
       dlclose(Handle);
     Handle = O.Handle;
     Func = O.Func;
+    WordsFn = O.WordsFn;
+    InitFn = O.InitFn;
+    FeedFn = O.FeedFn;
+    FinishFn = O.FinishFn;
     O.Handle = nullptr;
     O.Func = nullptr;
+    O.WordsFn = nullptr;
+    O.InitFn = nullptr;
+    O.FeedFn = nullptr;
+    O.FinishFn = nullptr;
   }
   return *this;
 }
 
+std::string NativeTransducer::cacheDir() {
+  const char *E = std::getenv("EFC_CACHE_DIR");
+  std::string Dir = E && *E ? E : ".efc-cache";
+  makeDirs(Dir);
+  return Dir;
+}
+
 std::optional<NativeTransducer>
 NativeTransducer::compile(const Bst &A, const std::string &Tag,
-                          std::string *Error) {
+                          std::string *Error, NativeCompileInfo *Info) {
   CodeGenOptions Opts;
   Opts.FunctionName = "efc_impl";
+  Opts.EmitStreaming = true;
   std::string Source = generateCpp(A, Opts);
-  // Exported entry point with a stable name.
-  Source += "\nextern \"C\" bool efc_transduce(const uint64_t *in, size_t "
-            "n, std::vector<uint64_t> &out) { return efc_impl(in, n, out); "
-            "}\n";
+  // Exported entry points with stable names.
+  Source +=
+      "\nextern \"C\" bool efc_transduce(const uint64_t *in, size_t "
+      "n, std::vector<uint64_t> &out) { return efc_impl(in, n, out); }\n"
+      "extern \"C\" size_t efc_stream_state_words() { return "
+      "efc_impl_state_words; }\n"
+      "extern \"C\" void efc_stream_init(uint64_t *st) { efc_impl_init(st); "
+      "}\n"
+      "extern \"C\" bool efc_stream_feed(uint64_t *st, const uint64_t *in, "
+      "size_t n, std::vector<uint64_t> &out) { return efc_impl_feed(st, in, "
+      "n, out); }\n"
+      "extern \"C\" bool efc_stream_finish(uint64_t *st, "
+      "std::vector<uint64_t> &out) { return efc_impl_finish(st, out); }\n";
 
-  std::string Base = "/tmp/efc_native_" + Tag + "_" +
-                     std::to_string(uint64_t(getpid()));
-  std::string Src = Base + ".cpp";
-  std::string Lib = Base + ".so";
+  std::string Lib = cacheDir() + "/efc_" + sanitizeTag(Tag) + "_" +
+                    hex16(fnv1a(Source)) + ".so";
+  if (Info) {
+    *Info = NativeCompileInfo();
+    Info->SoPath = Lib;
+  }
+
+  auto tryLoad = [&](std::string *Err) -> std::optional<NativeTransducer> {
+    NativeTransducer T;
+    T.Handle = dlopen(Lib.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!T.Handle) {
+      if (Err)
+        *Err = std::string("dlopen: ") + dlerror();
+      return std::nullopt;
+    }
+    T.Func = reinterpret_cast<Fn>(dlsym(T.Handle, "efc_transduce"));
+    if (!T.Func) {
+      if (Err)
+        *Err = "missing efc_transduce symbol";
+      return std::nullopt;
+    }
+    T.WordsFn =
+        reinterpret_cast<WordsFnTy>(dlsym(T.Handle, "efc_stream_state_words"));
+    T.InitFn = reinterpret_cast<InitFnTy>(dlsym(T.Handle, "efc_stream_init"));
+    T.FeedFn = reinterpret_cast<FeedFnTy>(dlsym(T.Handle, "efc_stream_feed"));
+    T.FinishFn =
+        reinterpret_cast<FinishFnTy>(dlsym(T.Handle, "efc_stream_finish"));
+    return T;
+  };
+
+  // Artifact cache probe: same source hash → same semantics, load the
+  // existing .so without touching the compiler.  A stale or corrupt
+  // artifact falls through to a fresh compile.
+  if (access(Lib.c_str(), R_OK) == 0) {
+    std::string LoadErr;
+    if (auto T = tryLoad(&LoadErr)) {
+      if (Info)
+        Info->DiskCacheHit = true;
+      return T;
+    }
+    unlink(Lib.c_str());
+  }
+
+  // Unique temporaries next to the final artifact; the publish is an
+  // atomic rename so concurrent compiles of the same spec are safe.
+  std::string Uniq = std::to_string(uint64_t(getpid()));
+  std::string Src = Lib + "." + Uniq + ".cpp";
+  std::string Tmp = Lib + "." + Uniq + ".tmp";
+  std::string Log = Lib + "." + Uniq + ".log";
+  auto Cleanup = [&] {
+    unlink(Src.c_str());
+    unlink(Tmp.c_str());
+    unlink(Log.c_str());
+  };
   {
     std::ofstream F(Src);
+    if (!F) {
+      if (Error)
+        *Error = "cannot write " + Src;
+      return std::nullopt;
+    }
     F << Source;
   }
-  std::string Cmd = "c++ -std=c++17 -O2 -fPIC -shared -o " + Lib + " " +
-                    Src + " 2>" + Base + ".log";
+  std::string Cmd = "c++ -std=c++17 -O2 -fPIC -shared -o " + Tmp + " " + Src +
+                    " 2>" + Log;
+  Stopwatch Compile;
   if (std::system(Cmd.c_str()) != 0) {
-    if (Error)
-      *Error = "native compilation failed; see " + Base + ".log";
+    if (Error) {
+      std::string Diag = readFile(Log);
+      if (Diag.size() > 2000)
+        Diag.resize(2000);
+      *Error = "native compilation failed: " + Diag;
+    }
+    Cleanup();
     return std::nullopt;
   }
+  if (Info)
+    Info->CompileMs = Compile.millis();
+  if (rename(Tmp.c_str(), Lib.c_str()) != 0) {
+    if (Error)
+      *Error = "cannot publish " + Lib;
+    Cleanup();
+    return std::nullopt;
+  }
+  Cleanup();
 
-  NativeTransducer T;
-  T.Handle = dlopen(Lib.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!T.Handle) {
-    if (Error)
-      *Error = std::string("dlopen: ") + dlerror();
-    return std::nullopt;
-  }
-  T.Func = reinterpret_cast<Fn>(dlsym(T.Handle, "efc_transduce"));
-  if (!T.Func) {
-    if (Error)
-      *Error = "missing efc_transduce symbol";
-    return std::nullopt;
-  }
+  std::string LoadErr;
+  auto T = tryLoad(&LoadErr);
+  if (!T && Error)
+    *Error = LoadErr;
   return T;
 }
 

@@ -7,6 +7,12 @@
 /// compiler into a shared object and loaded with dlopen, yielding a
 /// native function with the same semantics as the BST.
 ///
+/// Compiled artifacts are cached on disk keyed by a content hash of the
+/// generated source, so re-compiling the same pipeline reloads the .so
+/// without invoking the host compiler (see cacheDir()).  Every unit also
+/// exports the streaming suspend/resume entry points used by the runtime
+/// subsystem (runtime/StreamSession.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EFC_CODEGEN_NATIVECOMPILE_H
@@ -22,6 +28,17 @@
 
 namespace efc {
 
+/// How a NativeTransducer::compile call was satisfied.
+struct NativeCompileInfo {
+  /// The .so came out of the on-disk artifact cache; the host compiler
+  /// was not invoked.
+  bool DiskCacheHit = false;
+  /// Host compiler wall time in milliseconds (0 on a disk cache hit).
+  double CompileMs = 0;
+  /// Path of the cached shared object.
+  std::string SoPath;
+};
+
 /// A natively compiled transducer loaded from a shared object.
 class NativeTransducer {
 public:
@@ -29,11 +46,18 @@ public:
   NativeTransducer(NativeTransducer &&) noexcept;
   NativeTransducer &operator=(NativeTransducer &&) noexcept;
 
-  /// Generates C++ for \p A, compiles it (host `c++ -O2 -shared`), and
-  /// loads it.  Returns std::nullopt when no compiler is available or
-  /// compilation fails (diagnostics in \p Error when non-null).
+  /// Generates C++ for \p A and loads the corresponding shared object,
+  /// either from the artifact cache or by compiling it (host
+  /// `c++ -O2 -shared`).  Returns std::nullopt when no compiler is
+  /// available or compilation fails (diagnostics in \p Error when
+  /// non-null); temporary files are removed on every path.
   static std::optional<NativeTransducer>
-  compile(const Bst &A, const std::string &Tag, std::string *Error = nullptr);
+  compile(const Bst &A, const std::string &Tag, std::string *Error = nullptr,
+          NativeCompileInfo *Info = nullptr);
+
+  /// Artifact cache directory: the EFC_CACHE_DIR environment variable
+  /// when set, ".efc-cache" otherwise.  Created on demand.
+  static std::string cacheDir();
 
   /// Runs the transduction; std::nullopt when the input is rejected.
   std::optional<std::vector<uint64_t>>
@@ -43,11 +67,37 @@ public:
     return run(In.data(), In.size());
   }
 
+  /// Suspend/resume execution (generated *_feed/*_finish entry points).
+  /// A state block of stateWords() uint64s persists the control state and
+  /// registers across feed calls; chunked feeding over any boundaries is
+  /// byte-identical to one run().  All four symbols are exported by every
+  /// freshly generated unit; streamingAvailable() guards artifacts built
+  /// before streaming existed.
+  bool streamingAvailable() const { return InitFn && FeedFn && FinishFn; }
+  size_t stateWords() const { return WordsFn ? WordsFn() : 0; }
+  void streamInit(uint64_t *St) const { InitFn(St); }
+  bool streamFeed(uint64_t *St, const uint64_t *In, size_t N,
+                  std::vector<uint64_t> &Out) const {
+    return FeedFn(St, In, N, Out);
+  }
+  bool streamFinish(uint64_t *St, std::vector<uint64_t> &Out) const {
+    return FinishFn(St, Out);
+  }
+
 private:
   NativeTransducer() = default;
   void *Handle = nullptr;
   using Fn = bool (*)(const uint64_t *, size_t, std::vector<uint64_t> &);
+  using WordsFnTy = size_t (*)();
+  using InitFnTy = void (*)(uint64_t *);
+  using FeedFnTy = bool (*)(uint64_t *, const uint64_t *, size_t,
+                            std::vector<uint64_t> &);
+  using FinishFnTy = bool (*)(uint64_t *, std::vector<uint64_t> &);
   Fn Func = nullptr;
+  WordsFnTy WordsFn = nullptr;
+  InitFnTy InitFn = nullptr;
+  FeedFnTy FeedFn = nullptr;
+  FinishFnTy FinishFn = nullptr;
 };
 
 } // namespace efc

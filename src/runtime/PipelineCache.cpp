@@ -1,0 +1,345 @@
+//===- runtime/PipelineCache.cpp ------------------------------------------===//
+
+#include "runtime/PipelineCache.h"
+
+#include "frontends/regex/RegexFrontend.h"
+#include "frontends/xpath/XPathFrontend.h"
+#include "solver/Solver.h"
+#include "stdlib/Transducers.h"
+#include "support/Stopwatch.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace efc;
+using namespace efc::runtime;
+
+//===----------------------------------------------------------------------===//
+// PipelineSpec
+//===----------------------------------------------------------------------===//
+
+std::string PipelineSpec::canonical() const {
+  std::string S;
+  S += "frontend=";
+  S += Kind == Frontend::Regex ? "regex" : "xpath";
+  S += "\npattern=" + Pattern;
+  S += "\nagg=" + Agg;
+  S += "\nformat=" + Format;
+  S += "\nrbbe=";
+  S += Rbbe ? '1' : '0';
+  S += "\nminimize=";
+  S += Minimize ? '1' : '0';
+  S += "\n";
+  return S;
+}
+
+uint64_t PipelineSpec::hash() const {
+  std::string C = canonical();
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char Ch : C) {
+    H ^= Ch;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::optional<PipelineSpec> PipelineSpec::parse(const std::string &Text,
+                                                std::string *Err) {
+  auto Fail = [&](const std::string &M) -> std::optional<PipelineSpec> {
+    if (Err)
+      *Err = M;
+    return std::nullopt;
+  };
+  PipelineSpec Spec;
+  bool SawFrontend = false, SawPattern = false;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string Line = Text.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    Pos = Eol == std::string::npos ? Text.size() : Eol + 1;
+    if (Line.empty())
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      return Fail("malformed spec line: " + Line);
+    std::string Key = Line.substr(0, Eq), Val = Line.substr(Eq + 1);
+    if (Key == "frontend") {
+      if (Val == "regex")
+        Spec.Kind = Frontend::Regex;
+      else if (Val == "xpath")
+        Spec.Kind = Frontend::XPath;
+      else
+        return Fail("unknown frontend '" + Val + "'");
+      SawFrontend = true;
+    } else if (Key == "pattern") {
+      Spec.Pattern = Val;
+      SawPattern = true;
+    } else if (Key == "agg") {
+      Spec.Agg = Val;
+    } else if (Key == "format") {
+      Spec.Format = Val;
+    } else if (Key == "rbbe") {
+      Spec.Rbbe = Val != "0";
+    } else if (Key == "minimize") {
+      Spec.Minimize = Val != "0";
+    } else {
+      return Fail("unknown spec key '" + Key + "'");
+    }
+  }
+  if (!SawFrontend || !SawPattern)
+    return Fail("spec needs frontend= and pattern=");
+  if (Spec.Agg != "max" && Spec.Agg != "min" && Spec.Agg != "avg" &&
+      Spec.Agg != "none")
+    return Fail("unknown agg '" + Spec.Agg + "'");
+  if (Spec.Format != "decimal" && Spec.Format != "lines" &&
+      Spec.Format != "sql")
+    return Fail("unknown format '" + Spec.Format + "'");
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// Stage assembly (shared with efcc)
+//===----------------------------------------------------------------------===//
+
+std::optional<std::vector<Bst>>
+efc::runtime::assembleStages(const PipelineSpec &Spec, TermContext &Ctx,
+                             std::string *Err) {
+  auto Fail = [&](const std::string &M) -> std::optional<std::vector<Bst>> {
+    if (Err)
+      *Err = M;
+    return std::nullopt;
+  };
+  std::vector<Bst> Stages;
+  Stages.push_back(lib::makeUtf8Decode2(Ctx));
+  Bst ToInt = lib::makeToInt(Ctx);
+  if (Spec.Kind == PipelineSpec::Frontend::Regex) {
+    fe::RegexBstResult R =
+        fe::buildRegexBst(Ctx, Spec.Pattern, {{"v", &ToInt}});
+    if (!R.Result)
+      return Fail("regex error: " + R.Error);
+    Stages.push_back(std::move(*R.Result));
+  } else {
+    fe::XPathBstResult R = fe::buildXPathBst(Ctx, Spec.Pattern, ToInt);
+    if (!R.Result)
+      return Fail("xpath error: " + R.Error);
+    Stages.push_back(std::move(*R.Result));
+  }
+  if (Spec.Agg == "max")
+    Stages.push_back(lib::makeMax(Ctx));
+  else if (Spec.Agg == "min")
+    Stages.push_back(lib::makeMin(Ctx));
+  else if (Spec.Agg == "avg")
+    Stages.push_back(lib::makeAverage(Ctx));
+  else if (Spec.Agg != "none")
+    return Fail("unknown agg '" + Spec.Agg + "'");
+  if (Spec.Format == "decimal")
+    Stages.push_back(lib::makeIntToDecimal(Ctx));
+  else if (Spec.Format == "lines")
+    Stages.push_back(lib::makeIntToDecimalLines(Ctx));
+  else if (Spec.Format == "sql")
+    Stages.push_back(lib::makeIntWrap(Ctx, "INSERT INTO t VALUES (", ");\n"));
+  else
+    return Fail("unknown format '" + Spec.Format + "'");
+  Stages.push_back(lib::makeUtf8Encode(Ctx));
+  return Stages;
+}
+
+//===----------------------------------------------------------------------===//
+// CompiledPipeline
+//===----------------------------------------------------------------------===//
+
+const NativeTransducer *
+CompiledPipeline::native(std::string *Err, NativeOutcome *Outcome,
+                         NativeCompileInfo *Info) const {
+  std::lock_guard<std::mutex> L(NativeMu);
+  if (!NativeTried) {
+    NativeTried = true;
+    char Tag[32];
+    snprintf(Tag, sizeof(Tag), "p%016llx", (unsigned long long)Spec.hash());
+    Native = NativeTransducer::compile(*Fused, Tag, &NativeErr, &NInfo);
+    if (Outcome)
+      *Outcome = !Native              ? NativeOutcome::Failed
+                 : NInfo.DiskCacheHit ? NativeOutcome::DiskHit
+                                      : NativeOutcome::Compiled;
+  } else if (Outcome) {
+    *Outcome = Native ? NativeOutcome::Ready : NativeOutcome::Failed;
+  }
+  if (Info)
+    *Info = NInfo;
+  if (!Native) {
+    if (Err)
+      *Err = NativeErr;
+    return nullptr;
+  }
+  return &*Native;
+}
+
+//===----------------------------------------------------------------------===//
+// PipelineCache
+//===----------------------------------------------------------------------===//
+
+PipelineCache::PipelineCache(size_t Capacity)
+    : Capacity(Capacity ? Capacity : 1) {}
+
+void PipelineCache::touch(MapEntry &E) {
+  Lru.splice(Lru.begin(), Lru, E.LruIt);
+}
+
+void PipelineCache::evictOverflow() {
+  // Never evict a slot that is still building: its builder will publish
+  // into it and waiting callers hold references to it.
+  auto It = Lru.end();
+  while (Map.size() > Capacity && It != Lru.begin()) {
+    --It;
+    auto M = Map.find(*It);
+    assert(M != Map.end());
+    if (M->second.S->Building)
+      continue;
+    It = Lru.erase(It);
+    Map.erase(M);
+    ++Counters.Evictions;
+  }
+}
+
+namespace {
+
+/// The build itself: assemble, fuse, optimize, compile for the VM.
+std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
+                                                std::string *Err) {
+  auto Owner = std::make_shared<TermContext>();
+  auto Stages = assembleStages(Spec, *Owner, Err);
+  if (!Stages)
+    return nullptr;
+
+  auto P = std::make_shared<CompiledPipeline>();
+  P->Spec = Spec;
+  P->Ctx = Owner;
+  P->NumStages = Stages->size();
+  Stopwatch Total;
+
+  Solver S(*Owner);
+  std::vector<const Bst *> Ptrs;
+  for (const Bst &St : *Stages)
+    Ptrs.push_back(&St);
+  Bst Fused = fuseChain(Ptrs, S, {}, &P->FStats);
+  if (Spec.Rbbe) {
+    RbbeOptions ROpts;
+    ROpts.ConflictBudget = 0;
+    Fused = eliminateUnreachableBranches(Fused, S, ROpts, &P->RStats);
+  }
+  if (Spec.Minimize)
+    Fused = minimizeStates(Fused, &P->MStats);
+
+  auto Vm = CompiledTransducer::compile(Fused);
+  if (!Vm) {
+    if (Err)
+      *Err = "pipeline has non-scalar element types";
+    return nullptr;
+  }
+  P->Vm.emplace(std::move(*Vm));
+  P->Fused.emplace(std::move(Fused));
+  P->BuildSeconds = Total.seconds();
+  return P;
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledPipeline>
+PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
+                   std::string *Err) {
+  std::string Key = Spec.canonical();
+  std::shared_ptr<Slot> S;
+  bool Builder = false;
+
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      S = It->second.S;
+      touch(It->second);
+      if (S->Building) {
+        ++Counters.Coalesced;
+        S->Cv.wait(L, [&] { return !S->Building; });
+      } else {
+        ++Counters.Hits;
+      }
+    } else {
+      S = std::make_shared<Slot>();
+      Lru.push_front(Key);
+      Map.emplace(Key, MapEntry{S, Lru.begin()});
+      evictOverflow();
+      ++Counters.Misses;
+      Builder = true;
+    }
+  }
+
+  if (Builder) {
+    std::string BuildErr;
+    auto P = buildPipeline(Spec, &BuildErr);
+    std::lock_guard<std::mutex> L(Mu);
+    S->Building = false;
+    if (P) {
+      S->Ready = P;
+      ++Counters.Builds;
+      Counters.BuildSeconds += P->BuildSeconds;
+    } else {
+      S->Error = BuildErr;
+    }
+    S->Cv.notify_all();
+  }
+
+  if (!S->Ready) {
+    if (Err)
+      *Err = S->Error;
+    return nullptr;
+  }
+
+  if (WantNative) {
+    // Outside Mu: a native compile can take seconds and must not stall
+    // unrelated lookups.  The entry's own lock single-flights it.
+    std::string NErr;
+    CompiledPipeline::NativeOutcome Outcome;
+    NativeCompileInfo NInfo;
+    const NativeTransducer *N = S->Ready->native(&NErr, &Outcome, &NInfo);
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Outcome == CompiledPipeline::NativeOutcome::Compiled) {
+        ++Counters.NativeCompiles;
+        Counters.NativeCompileMs += NInfo.CompileMs;
+      } else if (Outcome == CompiledPipeline::NativeOutcome::DiskHit) {
+        ++Counters.NativeDiskHits;
+      }
+    }
+    if (!N) {
+      if (Err)
+        *Err = "native backend unavailable: " + NErr;
+      return nullptr;
+    }
+  }
+  return S->Ready;
+}
+
+PipelineCache::Stats PipelineCache::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Counters;
+}
+
+size_t PipelineCache::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
+
+std::string PipelineCache::Stats::str() const {
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf),
+           "hits=%llu misses=%llu coalesced=%llu evictions=%llu "
+           "builds=%llu build_s=%.3f native_compiles=%llu "
+           "native_disk_hits=%llu native_compile_ms=%.1f",
+           (unsigned long long)Hits, (unsigned long long)Misses,
+           (unsigned long long)Coalesced, (unsigned long long)Evictions,
+           (unsigned long long)Builds, BuildSeconds,
+           (unsigned long long)NativeCompiles,
+           (unsigned long long)NativeDiskHits, NativeCompileMs);
+  return Buf;
+}

@@ -1,0 +1,444 @@
+//===- runtime/Server.cpp -------------------------------------------------===//
+
+#include "runtime/Server.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace efc;
+using namespace efc::runtime;
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr size_t MaxFrame = 64u << 20;
+
+bool writeAll(int Fd, const void *Data, size_t N) {
+  const char *P = static_cast<const char *>(Data);
+  while (N) {
+    ssize_t W = ::write(Fd, P, N);
+    if (W <= 0) {
+      if (W < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    N -= size_t(W);
+  }
+  return true;
+}
+
+bool readAll(int Fd, void *Data, size_t N) {
+  char *P = static_cast<char *>(Data);
+  while (N) {
+    ssize_t R = ::read(Fd, P, N);
+    if (R <= 0) {
+      if (R < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    P += R;
+    N -= size_t(R);
+  }
+  return true;
+}
+
+} // namespace
+
+bool efc::runtime::sendFrame(int Fd, std::string_view Payload) {
+  if (Payload.size() > MaxFrame)
+    return false;
+  unsigned char Hdr[4];
+  uint32_t N = uint32_t(Payload.size());
+  Hdr[0] = N & 0xFF;
+  Hdr[1] = (N >> 8) & 0xFF;
+  Hdr[2] = (N >> 16) & 0xFF;
+  Hdr[3] = (N >> 24) & 0xFF;
+  return writeAll(Fd, Hdr, 4) && writeAll(Fd, Payload.data(), Payload.size());
+}
+
+bool efc::runtime::recvFrame(int Fd, std::string &Payload) {
+  unsigned char Hdr[4];
+  if (!readAll(Fd, Hdr, 4))
+    return false;
+  uint32_t N = uint32_t(Hdr[0]) | (uint32_t(Hdr[1]) << 8) |
+               (uint32_t(Hdr[2]) << 16) | (uint32_t(Hdr[3]) << 24);
+  if (N > MaxFrame)
+    return false;
+  Payload.resize(N);
+  return N == 0 || readAll(Fd, Payload.data(), N);
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Cache(Opts.CacheCapacity) {
+  if (Opts.Threads == 0)
+    Opts.Threads = 1;
+  if (Opts.MaxQueuePerSession == 0)
+    Opts.MaxQueuePerSession = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Err) {
+  auto Fail = [&](const std::string &M) {
+    if (Err)
+      *Err = M + ": " + strerror(errno);
+    return false;
+  };
+  if (Opts.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+    return Fail("socket path too long");
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  ::unlink(Opts.SocketPath.c_str());
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+          sizeof(Addr.sun_path) - 1);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0)
+    return Fail("bind " + Opts.SocketPath);
+  if (::listen(ListenFd, 64) != 0)
+    return Fail("listen");
+  if (::pipe(StopPipe) != 0)
+    return Fail("pipe");
+
+  Acceptor = std::thread([this] { acceptLoop(); });
+  for (unsigned I = 0; I < Opts.Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  return true;
+}
+
+void Server::signalStop() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Stopping)
+      return;
+    Stopping = true;
+    // Unblock readers stuck in recv and the accept loop's poll.
+    for (auto &Cn : Conns)
+      if (Cn->Fd >= 0)
+        ::shutdown(Cn->Fd, SHUT_RDWR);
+  }
+  if (StopPipe[1] >= 0)
+    (void)!::write(StopPipe[1], "x", 1);
+  WorkCv.notify_all();
+  SpaceCv.notify_all();
+}
+
+void Server::wait() {
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (auto &W : Workers)
+    if (W.joinable())
+      W.join();
+  for (auto &R : Readers)
+    if (R.joinable())
+      R.join();
+  Workers.clear();
+  Readers.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  for (int I = 0; I < 2; ++I)
+    if (StopPipe[I] >= 0) {
+      ::close(StopPipe[I]);
+      StopPipe[I] = -1;
+    }
+}
+
+void Server::stop() {
+  signalStop();
+  wait();
+}
+
+void Server::acceptLoop() {
+  for (;;) {
+    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
+    if (::poll(Fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Stopping)
+        break;
+    }
+    if (!(Fds[0].revents & POLLIN))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto Cn = std::make_shared<Conn>();
+    Cn->Fd = Fd;
+    std::lock_guard<std::mutex> L(Mu);
+    if (Stopping) {
+      ::close(Fd);
+      break;
+    }
+    Conns.push_back(Cn);
+    Readers.emplace_back([this, Cn] { readerLoop(Cn); });
+  }
+}
+
+void Server::reply(Conn &Cn, char Status, const std::string &Name,
+                   std::string_view Body) {
+  std::string Out;
+  Out.reserve(2 + Name.size() + Body.size());
+  Out.push_back(Status);
+  Out += Name;
+  Out.push_back('\n');
+  Out.append(Body.data(), Body.size());
+  std::lock_guard<std::mutex> L(Cn.WriteMu);
+  (void)sendFrame(Cn.Fd, Out);
+  std::lock_guard<std::mutex> G(Mu);
+  ++C.Replies;
+  if (Status == 'e')
+    ++C.Errors;
+}
+
+void Server::readerLoop(std::shared_ptr<Conn> Cn) {
+  std::string Frame;
+  while (recvFrame(Cn->Fd, Frame)) {
+    if (Frame.empty())
+      continue;
+    char Op = Frame[0];
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++C.FramesIn;
+    }
+    if (Op == 'S') {
+      reply(*Cn, 'k', "", statsText());
+      continue;
+    }
+    if (Op == 'Q') {
+      reply(*Cn, 'k', "", "");
+      signalStop();
+      break;
+    }
+    if (Op != 'O' && Op != 'F' && Op != 'E' && Op != 'C') {
+      reply(*Cn, 'e', "", "unknown opcode");
+      continue;
+    }
+    size_t Nl = Frame.find('\n', 1);
+    std::string Name = Frame.substr(1, Nl == std::string::npos
+                                           ? std::string::npos
+                                           : Nl - 1);
+    std::string Body =
+        Nl == std::string::npos ? std::string() : Frame.substr(Nl + 1);
+    if (Name.empty()) {
+      reply(*Cn, 'e', "", "missing session name");
+      continue;
+    }
+
+    std::shared_ptr<Session> Sess;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      auto It = Sessions.find(Name);
+      if (Op == 'O') {
+        if (It != Sessions.end() && !It->second->Doomed) {
+          L.unlock();
+          reply(*Cn, 'e', Name, "session already open");
+          continue;
+        }
+        // A doomed predecessor may linger until its strand drains; the
+        // worker's identity-checked erase won't touch the replacement.
+        Sess = std::make_shared<Session>();
+        Sess->Name = Name;
+        Sessions.insert_or_assign(Name, Sess);
+        ++C.SessionsOpened;
+      } else {
+        if (It == Sessions.end() || It->second->Doomed) {
+          L.unlock();
+          reply(*Cn, 'e', Name, "no such session");
+          continue;
+        }
+        Sess = It->second;
+      }
+      // Backpressure: a full strand parks this connection's reader until
+      // a worker drains the queue (or the server stops).
+      SpaceCv.wait(L, [&] {
+        return Stopping || Sess->Q.size() < Opts.MaxQueuePerSession;
+      });
+      if (Stopping)
+        break;
+      Sess->Q.push_back(Task{Op, std::move(Body), Cn});
+      if (!Sess->Running && Sess->Q.size() == 1) {
+        Ready.push_back(Sess);
+        WorkCv.notify_one();
+      }
+    }
+  }
+  if (Cn->Fd >= 0)
+    ::close(Cn->Fd);
+  Cn->Fd = -1;
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Session> Sess;
+    Task T{' ', {}, nullptr};
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [&] { return Stopping || !Ready.empty(); });
+      if (Stopping)
+        return;
+      Sess = std::move(Ready.front());
+      Ready.pop_front();
+      if (Sess->Q.empty())
+        continue;
+      Sess->Running = true;
+      T = std::move(Sess->Q.front());
+      Sess->Q.pop_front();
+      SpaceCv.notify_all();
+    }
+
+    execute(Sess, T);
+
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Sess->Running = false;
+      if (!Sess->Q.empty()) {
+        Ready.push_back(Sess);
+        WorkCv.notify_one();
+      } else if (Sess->Doomed) {
+        auto It = Sessions.find(Sess->Name);
+        if (It != Sessions.end() && It->second == Sess)
+          Sessions.erase(It);
+      }
+    }
+  }
+}
+
+void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
+  switch (T.Op) {
+  case 'O': {
+    // Body: backend line, then the spec text.
+    size_t Nl = T.Payload.find('\n');
+    std::string BackendStr =
+        Nl == std::string::npos ? T.Payload : T.Payload.substr(0, Nl);
+    std::string SpecText =
+        Nl == std::string::npos ? std::string() : T.Payload.substr(Nl + 1);
+    StreamSession::Backend B;
+    if (BackendStr == "vm")
+      B = StreamSession::Backend::Vm;
+    else if (BackendStr == "native")
+      B = StreamSession::Backend::Native;
+    else {
+      dropSession(Sess);
+      reply(*T.C, 'e', Sess->Name, "unknown backend '" + BackendStr + "'");
+      return;
+    }
+    std::string Err;
+    auto Spec = PipelineSpec::parse(SpecText, &Err);
+    if (!Spec) {
+      dropSession(Sess);
+      reply(*T.C, 'e', Sess->Name, Err);
+      return;
+    }
+    auto P = Cache.get(*Spec, B == StreamSession::Backend::Native, &Err);
+    if (!P) {
+      dropSession(Sess);
+      reply(*T.C, 'e', Sess->Name, Err);
+      return;
+    }
+    auto S = StreamSession::open(std::move(P), B, &Err);
+    if (!S) {
+      dropSession(Sess);
+      reply(*T.C, 'e', Sess->Name, Err);
+      return;
+    }
+    Sess->Stream.emplace(std::move(*S));
+    reply(*T.C, 'k', Sess->Name, "");
+    return;
+  }
+  case 'F': {
+    if (!Sess->Stream) {
+      reply(*T.C, 'e', Sess->Name, "session not open");
+      return;
+    }
+    bool Ok = Sess->Stream->feed(T.Payload);
+    std::string Out = Sess->Stream->takeOutput();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      C.BytesIn += T.Payload.size();
+      C.BytesOut += Out.size();
+      if (!Ok)
+        ++C.Rejected;
+    }
+    if (!Ok) {
+      dropSession(Sess);
+      reply(*T.C, 'e', Sess->Name, "input rejected by the pipeline");
+      return;
+    }
+    reply(*T.C, 'k', Sess->Name, Out);
+    return;
+  }
+  case 'E': {
+    if (!Sess->Stream) {
+      dropSession(Sess);
+      reply(*T.C, 'e', Sess->Name, "session not open");
+      return;
+    }
+    bool Ok = Sess->Stream->finish();
+    std::string Out = Sess->Stream->takeOutput();
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      C.BytesOut += Out.size();
+      if (!Ok)
+        ++C.Rejected;
+    }
+    dropSession(Sess);
+    if (!Ok)
+      reply(*T.C, 'e', Sess->Name, "stream rejected by the finalizer");
+    else
+      reply(*T.C, 'k', Sess->Name, Out);
+    return;
+  }
+  case 'C':
+    dropSession(Sess);
+    reply(*T.C, 'k', Sess->Name, "");
+    return;
+  default:
+    reply(*T.C, 'e', Sess->Name, "bad opcode");
+    return;
+  }
+}
+
+void Server::dropSession(const std::shared_ptr<Session> &Sess) {
+  // The worker loop erases it once the strand drains; until then new
+  // frames for the name are refused.
+  std::lock_guard<std::mutex> L(Mu);
+  Sess->Doomed = true;
+}
+
+std::string Server::statsText() const {
+  PipelineCache::Stats CS = Cache.stats();
+  std::lock_guard<std::mutex> L(Mu);
+  char Buf[512];
+  snprintf(Buf, sizeof(Buf),
+           "sessions_opened=%llu sessions_active=%zu frames_in=%llu "
+           "replies=%llu errors=%llu rejected=%llu bytes_in=%llu "
+           "bytes_out=%llu threads=%u queue_cap=%zu\ncache: ",
+           (unsigned long long)C.SessionsOpened, Sessions.size(),
+           (unsigned long long)C.FramesIn, (unsigned long long)C.Replies,
+           (unsigned long long)C.Errors, (unsigned long long)C.Rejected,
+           (unsigned long long)C.BytesIn, (unsigned long long)C.BytesOut,
+           Opts.Threads, Opts.MaxQueuePerSession);
+  return std::string(Buf) + CS.str() + "\n";
+}

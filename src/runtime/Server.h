@@ -1,0 +1,139 @@
+//===- runtime/Server.h - Concurrent streaming-session server ---*- C++ -*-===//
+///
+/// \file
+/// Third layer of the serving runtime: many named StreamSessions served
+/// concurrently over a Unix domain socket.  The wire protocol is
+/// length-prefixed frames (little-endian u32 payload length, then the
+/// payload); the first payload byte is the opcode:
+///
+///   requests                               responses
+///   'O'  open:   name \n backend \n spec   'k' name        | 'e' name msg
+///   'F'  feed:   name \n chunk-bytes       'k' name output | 'e' name msg
+///   'E'  finish: name                      'k' name output | 'e' name msg
+///   'C'  close:  name (discard session)    'k' name        | 'e' name msg
+///   'S'  stats (counters dump)             'k' \n stats-text
+///   'Q'  shutdown                          'k' \n
+///
+/// where `backend` is "vm" or "native", `spec` is PipelineSpec::parse
+/// input, and every response payload is status byte + name + '\n' + body
+/// (responses are self-identifying, so a client may pipeline requests).
+///
+/// Execution model: one reader thread per connection parses frames and
+/// enqueues work onto per-session FIFO strands; a fixed pool of worker
+/// threads executes strands (never two tasks of one session at a time,
+/// so session state needs no locking).  Strand queues are bounded: a
+/// full queue blocks the connection's reader, the kernel socket buffer
+/// fills, and the client stalls — end-to-end backpressure.  Pipeline
+/// builds go through a shared PipelineCache, so N sessions opening the
+/// same spec cost one fusion and at most one host-compiler invocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_RUNTIME_SERVER_H
+#define EFC_RUNTIME_SERVER_H
+
+#include "runtime/PipelineCache.h"
+#include "runtime/StreamSession.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace efc::runtime {
+
+/// Frame helpers shared by the server and clients (tools/efc-serve).
+/// Both return false on EOF or error; frames above ~64 MB are rejected.
+bool sendFrame(int Fd, std::string_view Payload);
+bool recvFrame(int Fd, std::string &Payload);
+
+struct ServerOptions {
+  std::string SocketPath;
+  unsigned Threads = 4;          ///< worker pool size
+  size_t MaxQueuePerSession = 16; ///< strand queue bound (backpressure)
+  size_t CacheCapacity = 32;     ///< PipelineCache entries
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  /// Binds the socket and spawns the accept loop and worker pool.
+  bool start(std::string *Err = nullptr);
+  /// Requests shutdown (callable from any thread, including handlers).
+  void signalStop();
+  /// Joins every thread; returns once the server is fully down.
+  void wait();
+  /// signalStop() + wait().
+  void stop();
+
+  /// Counters dump served for 'S' frames (also usable in-process).
+  std::string statsText() const;
+
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    std::mutex WriteMu; ///< response frames must not interleave
+  };
+  struct Task {
+    char Op;             ///< 'O', 'F', 'E', 'C'
+    std::string Payload; ///< body after the session name
+    std::shared_ptr<Conn> C;
+  };
+  struct Session {
+    std::string Name;
+    std::optional<StreamSession> Stream;
+    std::deque<Task> Q;
+    bool Running = false; ///< a worker is executing this strand
+    bool Doomed = false;  ///< erase after the queue drains
+  };
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Conn> C);
+  void workerLoop();
+  void execute(const std::shared_ptr<Session> &Sess, Task &T);
+  void reply(Conn &C, char Status, const std::string &Name,
+             std::string_view Body);
+  /// Marks the session for removal once its strand drains.
+  void dropSession(const std::shared_ptr<Session> &Sess);
+
+  ServerOptions Opts;
+  PipelineCache Cache;
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;  ///< workers: ready strands / stopping
+  std::condition_variable SpaceCv; ///< readers: strand queue has room
+  std::unordered_map<std::string, std::shared_ptr<Session>> Sessions;
+  std::deque<std::shared_ptr<Session>> Ready;
+  bool Stopping = false;
+
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1};
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+  std::vector<std::thread> Readers;
+  std::vector<std::shared_ptr<Conn>> Conns;
+
+  // Counters (guarded by Mu).
+  struct {
+    uint64_t SessionsOpened = 0;
+    uint64_t FramesIn = 0;
+    uint64_t Replies = 0;
+    uint64_t Errors = 0;
+    uint64_t Rejected = 0;
+    uint64_t BytesIn = 0;  ///< session input bytes fed
+    uint64_t BytesOut = 0; ///< session output bytes produced
+  } C;
+};
+
+} // namespace efc::runtime
+
+#endif // EFC_RUNTIME_SERVER_H

@@ -1,0 +1,108 @@
+//===- runtime/StreamSession.cpp ------------------------------------------===//
+
+#include "runtime/StreamSession.h"
+
+using namespace efc;
+using namespace efc::runtime;
+
+StreamSession StreamSession::overVm(const CompiledTransducer &T) {
+  StreamSession S;
+  S.Kind = Backend::Vm;
+  S.Cur.emplace(T);
+  return S;
+}
+
+std::optional<StreamSession>
+StreamSession::overNative(const NativeTransducer &T) {
+  if (!T.streamingAvailable())
+    return std::nullopt;
+  StreamSession S;
+  S.Kind = Backend::Native;
+  S.Nat = &T;
+  S.NatState.assign(T.stateWords(), 0);
+  T.streamInit(S.NatState.data());
+  return S;
+}
+
+std::optional<StreamSession>
+StreamSession::open(std::shared_ptr<const CompiledPipeline> P, Backend B,
+                    std::string *Err) {
+  if (!P || !P->Vm) {
+    if (Err)
+      *Err = "no compiled pipeline";
+    return std::nullopt;
+  }
+  std::optional<StreamSession> S;
+  if (B == Backend::Vm) {
+    S = overVm(*P->Vm);
+  } else {
+    std::string NErr;
+    const NativeTransducer *N = P->native(&NErr);
+    if (!N) {
+      if (Err)
+        *Err = "native backend unavailable: " + NErr;
+      return std::nullopt;
+    }
+    S = overNative(*N);
+    if (!S) {
+      if (Err)
+        *Err = "native artifact lacks streaming entry points";
+      return std::nullopt;
+    }
+  }
+  S->Keep = std::move(P);
+  return S;
+}
+
+void StreamSession::drain() {
+  // Pipeline boundaries are byte valued (utf8-encode is the last stage),
+  // so each emitted element is one output byte.
+  for (uint64_t V : Staged)
+    Output.push_back(char(V));
+  BytesOut += Staged.size();
+  Staged.clear();
+}
+
+bool StreamSession::feed(const void *Data, size_t N) {
+  if (Rejected || Finished)
+    return !Rejected && N == 0;
+  BytesIn += N;
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  if (Kind == Backend::Vm) {
+    for (size_t I = 0; I < N; ++I) {
+      if (!Cur->feed(Bytes[I], Staged)) {
+        Rejected = true;
+        drain();
+        return false;
+      }
+    }
+  } else {
+    Chunk.clear();
+    Chunk.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Chunk.push_back(Bytes[I]);
+    if (!Nat->streamFeed(NatState.data(), Chunk.data(), Chunk.size(),
+                         Staged)) {
+      Rejected = true;
+      drain();
+      return false;
+    }
+  }
+  drain();
+  return true;
+}
+
+bool StreamSession::finish() {
+  if (Rejected)
+    return false;
+  if (Finished)
+    return true;
+  Finished = true;
+  bool Ok = Kind == Backend::Vm
+                ? Cur->finish(Staged)
+                : Nat->streamFinish(NatState.data(), Staged);
+  if (!Ok)
+    Rejected = true;
+  drain();
+  return Ok;
+}

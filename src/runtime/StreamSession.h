@@ -1,0 +1,97 @@
+//===- runtime/StreamSession.h - Incremental pipeline execution -*- C++ -*-===//
+///
+/// \file
+/// Second layer of the serving runtime: a long-lived execution of one
+/// compiled pipeline over a byte stream that arrives in chunks.  feed()
+/// consumes an arbitrary slice of input (any boundary, including
+/// mid-UTF-8-sequence and single bytes) and stages whatever output bytes
+/// the transducer emits; finish() runs the finalizer.  For any split of
+/// an input into chunks, the concatenated drained output is byte-
+/// identical to one-shot CompiledTransducer::run / NativeTransducer::run
+/// over the whole input — the suspended state (control state + register
+/// leaves) carries everything between calls.
+///
+/// Backends: the bytecode VM (CompiledTransducer::Cursor) and the native
+/// .so (the *_feed/*_finish suspend/resume entry points generated under
+/// CodeGenOptions::EmitStreaming).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_RUNTIME_STREAMSESSION_H
+#define EFC_RUNTIME_STREAMSESSION_H
+
+#include "runtime/PipelineCache.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace efc::runtime {
+
+class StreamSession {
+public:
+  enum class Backend { Vm, Native };
+
+  /// Opens a session over a cache entry (shared ownership keeps the
+  /// entry alive across evictions).  The native backend requires the
+  /// entry's artifact to export the streaming symbols.
+  static std::optional<StreamSession>
+  open(std::shared_ptr<const CompiledPipeline> P, Backend B,
+       std::string *Err = nullptr);
+
+  /// Borrowing constructors for tests and embedding; the caller keeps
+  /// the transducer alive for the session's lifetime.
+  static StreamSession overVm(const CompiledTransducer &T);
+  static std::optional<StreamSession> overNative(const NativeTransducer &T);
+
+  /// Consumes \p N input bytes.  Returns false once the pipeline has
+  /// rejected the stream (sticky; later calls keep returning false).
+  bool feed(const void *Data, size_t N);
+  bool feed(std::string_view Bytes) {
+    return feed(Bytes.data(), Bytes.size());
+  }
+
+  /// Runs the finalizer.  Idempotent; false when the stream was
+  /// rejected (by a feed or by the finalizer itself).
+  bool finish();
+
+  bool rejected() const { return Rejected; }
+  bool finished() const { return Finished; }
+  Backend backend() const { return Kind; }
+
+  /// Drains the output bytes produced since the last drain.
+  std::string takeOutput() { return std::move(Output); }
+  const std::string &output() const { return Output; }
+
+  uint64_t bytesIn() const { return BytesIn; }
+  uint64_t bytesOut() const { return BytesOut; }
+
+private:
+  StreamSession() = default;
+
+  void drain(); ///< moves staged elements into Output as bytes
+
+  Backend Kind = Backend::Vm;
+  std::shared_ptr<const CompiledPipeline> Keep;
+
+  // VM backend.
+  std::optional<CompiledTransducer::Cursor> Cur;
+
+  // Native backend.
+  const NativeTransducer *Nat = nullptr;
+  std::vector<uint64_t> NatState;
+  std::vector<uint64_t> Chunk; ///< reused element-widening buffer
+
+  std::vector<uint64_t> Staged;
+  std::string Output;
+  bool Rejected = false;
+  bool Finished = false;
+  uint64_t BytesIn = 0, BytesOut = 0;
+};
+
+} // namespace efc::runtime
+
+#endif // EFC_RUNTIME_STREAMSESSION_H

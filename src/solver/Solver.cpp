@@ -5,6 +5,7 @@
 #include "term/Eval.h"
 #include "term/Rewrite.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace efc;
@@ -262,6 +263,13 @@ bool Solver::tryGuess(const std::vector<TermRef> &Asserts,
   }
 
   std::vector<TermRef> AtomList(Atoms.begin(), Atoms.end());
+  // Iterate atoms in interned-id order, not unordered_set (pointer) order:
+  // each atom's guess draws from a shared PRNG stream, so the probe
+  // sequence must not depend on heap addresses or results become
+  // process-history dependent (and cached native artifacts stop matching
+  // across restarts).
+  std::sort(AtomList.begin(), AtomList.end(),
+            [](TermRef A, TermRef B) { return A->id() < B->id(); });
   std::unordered_set<TermRef> Roots;
   for (TermRef A : AtomList)
     Roots.insert(rootVarOf(A));

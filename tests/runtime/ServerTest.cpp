@@ -1,0 +1,232 @@
+//===- tests/runtime/ServerTest.cpp - efc-serve server layer --------------===//
+//
+// In-process Server over a temp Unix socket: frame protocol round-trips,
+// chunked feeding (the CI smoke scenario), error paths, cache sharing
+// across sessions, concurrent clients, and clean shutdown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace efc;
+using namespace efc::runtime;
+
+namespace {
+
+const char *CsvMaxSpec = "frontend=regex\n"
+                         "pattern=(?:(?:[^,\\n]*,){1}(?<v>\\d+),[^\\n]*\\n)*\n"
+                         "agg=max\n"
+                         "format=decimal\n";
+
+int connectTo(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+struct Reply {
+  bool Ok = false;
+  std::string Name;
+  std::string Body;
+};
+
+bool roundTrip(int Fd, const std::string &Req, Reply &R) {
+  if (!sendFrame(Fd, Req))
+    return false;
+  std::string Resp;
+  if (!recvFrame(Fd, Resp) || Resp.empty())
+    return false;
+  R.Ok = Resp[0] == 'k';
+  size_t Nl = Resp.find('\n');
+  R.Name = Resp.substr(1, Nl == std::string::npos ? std::string::npos
+                                                  : Nl - 1);
+  R.Body = Nl == std::string::npos ? std::string() : Resp.substr(Nl + 1);
+  return true;
+}
+
+class ServerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Sock = ::testing::TempDir() + "/efc_srv_" +
+           std::to_string(uint64_t(getpid())) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           ".sock";
+    ServerOptions O;
+    O.SocketPath = Sock;
+    O.Threads = 3;
+    O.MaxQueuePerSession = 4;
+    O.CacheCapacity = 8;
+    Srv = std::make_unique<Server>(O);
+    std::string Err;
+    ASSERT_TRUE(Srv->start(&Err)) << Err;
+  }
+  void TearDown() override {
+    if (Srv)
+      Srv->stop();
+    ::unlink(Sock.c_str());
+  }
+
+  std::string Sock;
+  std::unique_ptr<Server> Srv;
+};
+
+TEST_F(ServerTest, OpenFeedFinishInSevenByteChunks) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  ASSERT_TRUE(roundTrip(Fd, std::string("Os1\nvm\n") + CsvMaxSpec, R));
+  EXPECT_TRUE(R.Ok) << R.Body;
+  EXPECT_EQ(R.Name, "s1");
+
+  std::string In = "a,17,x\nb,99,y\nc,40,z\n";
+  std::string Out;
+  for (size_t I = 0; I < In.size(); I += 7) {
+    ASSERT_TRUE(roundTrip(Fd, "Fs1\n" + In.substr(I, 7), R));
+    ASSERT_TRUE(R.Ok) << R.Body;
+    Out += R.Body;
+  }
+  ASSERT_TRUE(roundTrip(Fd, "Es1", R));
+  EXPECT_TRUE(R.Ok) << R.Body;
+  Out += R.Body;
+  EXPECT_EQ(Out, "99");
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, ErrorPaths) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  // Feed to a session that was never opened.
+  ASSERT_TRUE(roundTrip(Fd, "Fnope\nabc", R));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Name, "nope");
+  // Open with a bad spec.
+  ASSERT_TRUE(roundTrip(Fd, "Obad\nvm\nfrontend=wat\npattern=x\n", R));
+  EXPECT_FALSE(R.Ok);
+  // Open with a bad backend keyword.
+  ASSERT_TRUE(
+      roundTrip(Fd, std::string("Obad2\nquantum\n") + CsvMaxSpec, R));
+  EXPECT_FALSE(R.Ok);
+  // Duplicate open.
+  ASSERT_TRUE(roundTrip(Fd, std::string("Odup\nvm\n") + CsvMaxSpec, R));
+  EXPECT_TRUE(R.Ok) << R.Body;
+  ASSERT_TRUE(roundTrip(Fd, std::string("Odup\nvm\n") + CsvMaxSpec, R));
+  EXPECT_FALSE(R.Ok) << "second open of one name must fail";
+  // After finish, the session is gone.  (Feed a row first: max over an
+  // empty stream rejects at the finalizer.)
+  ASSERT_TRUE(roundTrip(Fd, "Fdup\na,5,x\n", R));
+  EXPECT_TRUE(R.Ok) << R.Body;
+  ASSERT_TRUE(roundTrip(Fd, "Edup", R));
+  EXPECT_TRUE(R.Ok);
+  ASSERT_TRUE(roundTrip(Fd, "Fdup\nxyz", R));
+  EXPECT_FALSE(R.Ok);
+  // Rejected input (0xFF is not UTF-8) surfaces as an error reply.
+  ASSERT_TRUE(roundTrip(Fd, std::string("Orej\nvm\n") + CsvMaxSpec, R));
+  ASSERT_TRUE(R.Ok);
+  ASSERT_TRUE(roundTrip(Fd, std::string("Frej\n\xff"), R));
+  EXPECT_FALSE(R.Ok);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, CloseDiscardsSession) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  ASSERT_TRUE(roundTrip(Fd, std::string("Oc1\nvm\n") + CsvMaxSpec, R));
+  ASSERT_TRUE(R.Ok);
+  ASSERT_TRUE(roundTrip(Fd, "Cc1", R));
+  EXPECT_TRUE(R.Ok);
+  ASSERT_TRUE(roundTrip(Fd, "Fc1\nabc", R));
+  EXPECT_FALSE(R.Ok) << "closed session must be gone";
+  // The name is reusable after close.
+  ASSERT_TRUE(roundTrip(Fd, std::string("Oc1\nvm\n") + CsvMaxSpec, R));
+  EXPECT_TRUE(R.Ok);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, SessionsShareThePipelineCache) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  ASSERT_TRUE(roundTrip(Fd, std::string("Oa\nvm\n") + CsvMaxSpec, R));
+  ASSERT_TRUE(R.Ok) << R.Body;
+  ASSERT_TRUE(roundTrip(Fd, std::string("Ob\nvm\n") + CsvMaxSpec, R));
+  ASSERT_TRUE(R.Ok) << R.Body;
+  ASSERT_TRUE(roundTrip(Fd, "S", R));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_NE(R.Body.find("sessions_opened=2"), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("builds=1"), std::string::npos)
+      << "same spec must fuse once: " << R.Body;
+  EXPECT_NE(R.Body.find("cache: "), std::string::npos);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, ConcurrentClientsInterleave) {
+  constexpr int N = 4;
+  std::vector<std::thread> Ts;
+  std::vector<std::string> Outs(N);
+  for (int K = 0; K < N; ++K)
+    Ts.emplace_back([&, K] {
+      int Fd = connectTo(Sock);
+      ASSERT_GE(Fd, 0);
+      Reply R;
+      std::string Name = "w" + std::to_string(K);
+      ASSERT_TRUE(
+          roundTrip(Fd, "O" + Name + "\nvm\n" + CsvMaxSpec, R));
+      ASSERT_TRUE(R.Ok) << R.Body;
+      // Each client streams a different max; 1-byte chunks maximize
+      // interleaving across the worker pool.
+      std::string In = "a," + std::to_string(10 + K) + ",x\n";
+      for (char Ch : In) {
+        ASSERT_TRUE(roundTrip(Fd, "F" + Name + "\n" + std::string(1, Ch), R));
+        ASSERT_TRUE(R.Ok) << R.Body;
+        Outs[K] += R.Body;
+      }
+      ASSERT_TRUE(roundTrip(Fd, "E" + Name, R));
+      ASSERT_TRUE(R.Ok) << R.Body;
+      Outs[K] += R.Body;
+      ::close(Fd);
+    });
+  for (auto &T : Ts)
+    T.join();
+  for (int K = 0; K < N; ++K)
+    EXPECT_EQ(Outs[K], std::to_string(10 + K));
+}
+
+TEST_F(ServerTest, ShutdownFrameStopsTheServer) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  ASSERT_TRUE(roundTrip(Fd, "Q", R));
+  EXPECT_TRUE(R.Ok);
+  ::close(Fd);
+  Srv->wait(); // must return (and not hang) after a 'Q' frame
+  Srv.reset();
+}
+
+TEST(ServerStandalone, StartFailsOnBadPath) {
+  ServerOptions O;
+  O.SocketPath = "/nonexistent-dir-efc/x.sock";
+  Server S(O);
+  std::string Err;
+  EXPECT_FALSE(S.start(&Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

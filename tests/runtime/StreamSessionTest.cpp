@@ -1,0 +1,216 @@
+//===- tests/runtime/StreamSessionTest.cpp - Chunk-boundary invariance ----===//
+//
+// The streaming contract: for ANY split of an input into chunks — fixed
+// sizes from 1 to 4096, random partitions, cuts inside multi-byte UTF-8
+// sequences — the concatenated session output is byte-identical to the
+// one-shot run, on both the bytecode VM and the native suspend/resume
+// entry points.  Swept over every Figure 9 pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "data/Datasets.h"
+#include "runtime/StreamSession.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace efc;
+using namespace efc::bench;
+using namespace efc::runtime;
+
+namespace {
+
+std::string bytesOf(const std::vector<uint64_t> &Raw) {
+  std::string S;
+  S.reserve(Raw.size());
+  for (uint64_t V : Raw)
+    S.push_back(char(V));
+  return S;
+}
+
+/// Streams \p In through \p S at the given cut points and returns the
+/// concatenated output, or std::nullopt when the session rejects.
+std::optional<std::string> streamAt(StreamSession S, const std::string &In,
+                                    const std::vector<size_t> &Cuts) {
+  std::string Got;
+  size_t Prev = 0;
+  for (size_t Cut : Cuts) {
+    if (!S.feed(std::string_view(In).substr(Prev, Cut - Prev)))
+      return std::nullopt;
+    Got += S.takeOutput();
+    Prev = Cut;
+  }
+  if (!S.feed(std::string_view(In).substr(Prev)))
+    return std::nullopt;
+  if (!S.finish())
+    return std::nullopt;
+  Got += S.takeOutput();
+  return Got;
+}
+
+std::vector<size_t> fixedCuts(size_t Len, size_t Chunk) {
+  std::vector<size_t> Cuts;
+  for (size_t I = Chunk; I < Len; I += Chunk)
+    Cuts.push_back(I);
+  return Cuts;
+}
+
+struct Fig9Case {
+  const char *Name;
+  BuiltPipeline (*Make)();
+  std::string (*Input)();
+};
+
+// Small datasets: the VM cursor feeds byte-at-a-time, and the sweep runs
+// every pipeline at seven chunk sizes on two backends.
+std::string csvIn() { return data::makeCsv(64, 4096, 6, 4, 9999); }
+std::string chsiIn() { return data::makeChsiCsv(62, 4096, 3); }
+std::string sboIn() { return data::makeSboCsv(61, 4096, 5); }
+std::string ccIn() { return data::makeCcCsv(63, 4096); }
+std::string b64In() { return data::makeBase64Ints(65, 512, 1u << 28); }
+std::string engIn() { return data::makeEnglishText(66, 4096); }
+
+const Fig9Case Cases[] = {
+    {"Base64_avg", &makeBase64AvgPipeline, &b64In},
+    {"Base64_delta", &makeBase64DeltaPipeline, &b64In},
+    {"UTF8_lines", &makeUtf8LinesPipeline, &engIn},
+    {"CSV_max", &makeCsvMaxPipeline, &csvIn},
+    {"CHSI_deaths", [] { return makeChsiPipeline("deaths"); }, &chsiIn},
+    {"SBO_employees", [] { return makeSboPipeline("employees"); }, &sboIn},
+    {"CC_id", &makeCcIdPipeline, &ccIn},
+};
+
+class StreamChunkInvariance : public ::testing::TestWithParam<Fig9Case> {};
+
+TEST_P(StreamChunkInvariance, FixedAndRandomSplitsMatchOneShot) {
+  const Fig9Case &C = GetParam();
+  BuiltPipeline P = C.Make();
+  std::string In = C.Input();
+
+  auto Want = P.CompiledFused->run(rawOfBytes(In));
+  ASSERT_TRUE(Want.has_value()) << C.Name;
+  std::string WantBytes = bytesOf(*Want);
+
+  std::optional<StreamSession> Nat;
+  if (P.Native)
+    Nat = StreamSession::overNative(*P.Native);
+
+  // Acceptance sweep: chunk sizes spanning 1..4096 (1 = worst case,
+  // 4096 >= |input| = the one-shot degenerate split).
+  for (size_t Chunk : {size_t(1), size_t(2), size_t(3), size_t(7),
+                       size_t(64), size_t(1021), size_t(4096)}) {
+    auto Cuts = fixedCuts(In.size(), Chunk);
+    auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, Cuts);
+    ASSERT_TRUE(Vm.has_value()) << C.Name << " chunk=" << Chunk;
+    EXPECT_EQ(*Vm, WantBytes) << C.Name << " vm chunk=" << Chunk;
+    if (Nat) {
+      auto N = streamAt(StreamSession::overNative(*P.Native).value(), In,
+                        Cuts);
+      ASSERT_TRUE(N.has_value()) << C.Name << " chunk=" << Chunk;
+      EXPECT_EQ(*N, WantBytes) << C.Name << " native chunk=" << Chunk;
+    }
+  }
+
+  // Random partitions, including empty chunks (repeated cut points).
+  std::mt19937_64 Rng(0xefc0 + In.size());
+  for (int Round = 0; Round < 8; ++Round) {
+    std::vector<size_t> Cuts;
+    size_t NumCuts = 1 + Rng() % 40;
+    for (size_t I = 0; I < NumCuts; ++I)
+      Cuts.push_back(Rng() % (In.size() + 1));
+    std::sort(Cuts.begin(), Cuts.end());
+    auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, Cuts);
+    ASSERT_TRUE(Vm.has_value()) << C.Name << " round=" << Round;
+    EXPECT_EQ(*Vm, WantBytes) << C.Name << " vm round=" << Round;
+    if (Nat) {
+      auto N =
+          streamAt(StreamSession::overNative(*P.Native).value(), In, Cuts);
+      ASSERT_TRUE(N.has_value()) << C.Name << " round=" << Round;
+      EXPECT_EQ(*N, WantBytes) << C.Name << " native round=" << Round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig9, StreamChunkInvariance, ::testing::ValuesIn(Cases),
+    [](const ::testing::TestParamInfo<Fig9Case> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(StreamSession, MidUtf8SplitsEverywhere) {
+  // 2-, 3- and 4-byte sequences; every single split point, so every cut
+  // that lands inside a multi-byte encoding is exercised.
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  std::string In = "h\xc3\xa9llo\n\xe2\x9c\x93 w\xc3\xb6rld\n"
+                   "\xf0\x9d\x84\x9e quartet\nlast\n";
+  auto Want = P.CompiledFused->run(rawOfBytes(In));
+  ASSERT_TRUE(Want.has_value());
+  std::string WantBytes = bytesOf(*Want);
+
+  for (size_t Cut = 0; Cut <= In.size(); ++Cut) {
+    auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, {Cut});
+    ASSERT_TRUE(Vm.has_value()) << "cut=" << Cut;
+    EXPECT_EQ(*Vm, WantBytes) << "vm cut=" << Cut;
+    if (P.Native) {
+      auto N = streamAt(StreamSession::overNative(*P.Native).value(), In,
+                        {Cut});
+      ASSERT_TRUE(N.has_value()) << "cut=" << Cut;
+      EXPECT_EQ(*N, WantBytes) << "native cut=" << Cut;
+    }
+  }
+}
+
+TEST(StreamSession, EmptyInputMatchesOneShot) {
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  auto Want = P.CompiledFused->run({});
+  ASSERT_TRUE(Want.has_value());
+  auto Got = streamAt(StreamSession::overVm(*P.CompiledFused), "", {});
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, bytesOf(*Want));
+}
+
+TEST(StreamSession, RejectionIsSticky) {
+  // utf8 decode rejects 0xFF; once rejected, every later call fails.
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  StreamSession S = StreamSession::overVm(*P.CompiledFused);
+  ASSERT_TRUE(S.feed(std::string_view("ok\n")));
+  EXPECT_FALSE(S.feed(std::string_view("\xff")));
+  EXPECT_TRUE(S.rejected());
+  EXPECT_FALSE(S.feed(std::string_view("more")));
+  EXPECT_FALSE(S.finish());
+}
+
+TEST(StreamSession, FinishIsIdempotentAndFinal) {
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  StreamSession S = StreamSession::overVm(*P.CompiledFused);
+  ASSERT_TRUE(S.feed(std::string_view("a\nb\n")));
+  ASSERT_TRUE(S.finish());
+  std::string Out = S.takeOutput();
+  EXPECT_EQ(Out, "2");
+  EXPECT_TRUE(S.finish()) << "finish is idempotent";
+  EXPECT_EQ(S.takeOutput(), "") << "no duplicate finalizer output";
+  EXPECT_TRUE(S.finished());
+  EXPECT_EQ(S.bytesIn(), 4u);
+  EXPECT_EQ(S.bytesOut(), 1u);
+}
+
+TEST(StreamSession, OpenOverCacheEntrySharesOwnership) {
+  PipelineCache Cache(2);
+  PipelineSpec Spec;
+  Spec.Kind = PipelineSpec::Frontend::Regex;
+  Spec.Pattern = "(?:(?:[^,\\n]*,){1}(?<v>\\d+),[^\\n]*\\n)*";
+  Spec.Agg = "max";
+  Spec.Format = "decimal";
+  std::string Err;
+  auto P = Cache.get(Spec, false, &Err);
+  ASSERT_TRUE(P) << Err;
+  auto S = StreamSession::open(P, StreamSession::Backend::Vm, &Err);
+  ASSERT_TRUE(S.has_value()) << Err;
+  ASSERT_TRUE(S->feed(std::string_view("a,7,x\nb,31,y\n")));
+  ASSERT_TRUE(S->finish());
+  EXPECT_EQ(S->takeOutput(), "31");
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+//===- tools/efc-serve.cpp - Streaming transducer server ------------------===//
+//
+// The serving half of the runtime subsystem: a Unix-socket server hosting
+// many named StreamSessions on a fixed worker pool, with all pipeline
+// builds deduplicated through the PipelineCache (see runtime/Server.h for
+// the frame protocol).  The same binary is also the client, so a shell
+// pipeline can exercise the server end to end:
+//
+//   efc-serve --socket /tmp/efc.sock --threads 4 &
+//   efc-serve --socket /tmp/efc.sock --open s1 --backend native
+//             --regex '(?:(?:[^,]*,){1}(?<v>[0-9]+),[^,]*)' --agg max
+//   efc-serve --socket /tmp/efc.sock --feed s1 --file data.csv --chunk 7
+//   efc-serve --socket /tmp/efc.sock --finish s1
+//   efc-serve --socket /tmp/efc.sock --stats
+//   efc-serve --socket /tmp/efc.sock --shutdown
+//
+// --run NAME is the one-shot convenience: open + feed + finish.
+// Feed output bytes go to stdout; diagnostics to stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace efc;
+using namespace efc::runtime;
+
+namespace {
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    fprintf(stderr, "efc-serve: %s\n", Msg);
+  fprintf(stderr,
+          "usage: efc-serve --socket PATH [--threads N] [--queue N] "
+          "[--cache N]\n"
+          "       efc-serve --socket PATH --open NAME (--regex P | --xpath "
+          "Q)\n"
+          "                 [--agg max|min|avg|none] [--format "
+          "decimal|lines|sql]\n"
+          "                 [--backend vm|native] [--no-rbbe] [--minimize]\n"
+          "       efc-serve --socket PATH --feed NAME --file F [--chunk N]\n"
+          "       efc-serve --socket PATH --finish NAME\n"
+          "       efc-serve --socket PATH --close NAME\n"
+          "       efc-serve --socket PATH --run NAME (--regex|--xpath ...) "
+          "--file F [--chunk N]\n"
+          "       efc-serve --socket PATH --stats | --shutdown\n");
+  return 2;
+}
+
+int connectTo(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Sends one request and reads its response.  Returns false on transport
+/// failure; *Ok reflects the response status, *Body its payload.
+bool roundTrip(int Fd, const std::string &Req, bool *Ok, std::string *Body) {
+  if (!sendFrame(Fd, Req))
+    return false;
+  std::string Resp;
+  if (!recvFrame(Fd, Resp) || Resp.empty())
+    return false;
+  *Ok = Resp[0] == 'k';
+  size_t Nl = Resp.find('\n');
+  *Body = Nl == std::string::npos ? std::string() : Resp.substr(Nl + 1);
+  return true;
+}
+
+/// Runs one request/response against the server; prints the body to
+/// stdout ('k') or stderr ('e').
+int simpleRequest(int Fd, const std::string &Req, bool BodyToStdout = true) {
+  bool Ok = false;
+  std::string Body;
+  if (!roundTrip(Fd, Req, &Ok, &Body)) {
+    fprintf(stderr, "efc-serve: connection lost\n");
+    return 1;
+  }
+  if (!Ok) {
+    fprintf(stderr, "efc-serve: %s\n", Body.c_str());
+    return 1;
+  }
+  if (BodyToStdout && !Body.empty())
+    fwrite(Body.data(), 1, Body.size(), stdout);
+  return 0;
+}
+
+/// Streams \p Data in \p Chunk -byte frames, lockstep request/response so
+/// server backpressure propagates naturally; output bytes to stdout.
+int feedChunks(int Fd, const std::string &Name, const std::string &Data,
+               size_t Chunk) {
+  if (Chunk == 0)
+    Chunk = 4096;
+  for (size_t I = 0; I < Data.size() || (I == 0 && Data.empty());
+       I += Chunk) {
+    std::string Req = "F" + Name + "\n" + Data.substr(I, Chunk);
+    if (int Rc = simpleRequest(Fd, Req))
+      return Rc;
+    if (Data.empty())
+      break;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket, Open, Feed, Finish, Close, Run, File;
+  std::string Regex, XPath, Agg = "none", Format = "lines", Backend = "vm";
+  unsigned Threads = 4;
+  size_t Queue = 16, CacheCap = 32, Chunk = 4096;
+  bool Stats = false, Shutdown = false, DoRbbe = true, DoMinimize = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    auto NeedVal = [&](std::string &Dst) {
+      const char *V = Next();
+      if (V)
+        Dst = V;
+      return V != nullptr;
+    };
+    if (A == "--socket") {
+      if (!NeedVal(Socket))
+        return usage("--socket needs a path");
+    } else if (A == "--open") {
+      if (!NeedVal(Open))
+        return usage("--open needs a name");
+    } else if (A == "--feed") {
+      if (!NeedVal(Feed))
+        return usage("--feed needs a name");
+    } else if (A == "--finish") {
+      if (!NeedVal(Finish))
+        return usage("--finish needs a name");
+    } else if (A == "--close") {
+      if (!NeedVal(Close))
+        return usage("--close needs a name");
+    } else if (A == "--run") {
+      if (!NeedVal(Run))
+        return usage("--run needs a name");
+    } else if (A == "--file") {
+      if (!NeedVal(File))
+        return usage("--file needs a path");
+    } else if (A == "--regex") {
+      if (!NeedVal(Regex))
+        return usage("--regex needs a pattern");
+    } else if (A == "--xpath") {
+      if (!NeedVal(XPath))
+        return usage("--xpath needs a query");
+    } else if (A == "--agg") {
+      if (!NeedVal(Agg))
+        return usage("--agg needs a kind");
+    } else if (A == "--format") {
+      if (!NeedVal(Format))
+        return usage("--format needs a kind");
+    } else if (A == "--backend") {
+      if (!NeedVal(Backend))
+        return usage("--backend needs vm|native");
+    } else if (A == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return usage("--threads needs a count");
+      Threads = unsigned(std::max(1, atoi(V)));
+    } else if (A == "--queue") {
+      const char *V = Next();
+      if (!V)
+        return usage("--queue needs a bound");
+      Queue = size_t(std::max(1, atoi(V)));
+    } else if (A == "--cache") {
+      const char *V = Next();
+      if (!V)
+        return usage("--cache needs a capacity");
+      CacheCap = size_t(std::max(1, atoi(V)));
+    } else if (A == "--chunk") {
+      const char *V = Next();
+      if (!V)
+        return usage("--chunk needs a byte count");
+      Chunk = size_t(std::max(1, atoi(V)));
+    } else if (A == "--no-rbbe") {
+      DoRbbe = false;
+    } else if (A == "--minimize") {
+      DoMinimize = true;
+    } else if (A == "--stats") {
+      Stats = true;
+    } else if (A == "--shutdown") {
+      Shutdown = true;
+    } else {
+      return usage(("unknown option '" + A + "'").c_str());
+    }
+  }
+  if (Socket.empty())
+    return usage("--socket is required");
+
+  bool ClientMode = !Open.empty() || !Feed.empty() || !Finish.empty() ||
+                    !Close.empty() || !Run.empty() || Stats || Shutdown;
+
+  if (!ClientMode) {
+    // Serve.
+    ServerOptions O;
+    O.SocketPath = Socket;
+    O.Threads = Threads;
+    O.MaxQueuePerSession = Queue;
+    O.CacheCapacity = CacheCap;
+    Server S(O);
+    std::string Err;
+    if (!S.start(&Err)) {
+      fprintf(stderr, "efc-serve: %s\n", Err.c_str());
+      return 1;
+    }
+    signal(SIGPIPE, SIG_IGN);
+    fprintf(stderr, "efc-serve: listening on %s (%u workers)\n",
+            Socket.c_str(), O.Threads);
+    S.wait(); // until a --shutdown frame arrives
+    fprintf(stderr, "efc-serve: shut down\n%s", S.statsText().c_str());
+    return 0;
+  }
+
+  int Fd = connectTo(Socket);
+  if (Fd < 0) {
+    fprintf(stderr, "efc-serve: cannot connect to %s\n", Socket.c_str());
+    return 1;
+  }
+  int Rc = 0;
+
+  auto openSession = [&](const std::string &Name) {
+    if (Regex.empty() == XPath.empty()) {
+      Rc = usage("--open/--run needs exactly one of --regex / --xpath");
+      return false;
+    }
+    PipelineSpec Spec;
+    Spec.Kind = Regex.empty() ? PipelineSpec::Frontend::XPath
+                              : PipelineSpec::Frontend::Regex;
+    Spec.Pattern = Regex.empty() ? XPath : Regex;
+    Spec.Agg = Agg;
+    Spec.Format = Format;
+    Spec.Rbbe = DoRbbe;
+    Spec.Minimize = DoMinimize;
+    std::string Req = "O" + Name + "\n" + Backend + "\n" + Spec.canonical();
+    Rc = simpleRequest(Fd, Req);
+    return Rc == 0;
+  };
+
+  auto readInput = [&](std::string &Data) {
+    if (File.empty() || File == "-") {
+      std::ostringstream Buf;
+      Buf << std::cin.rdbuf();
+      Data = Buf.str();
+      return true;
+    }
+    std::ifstream F(File, std::ios::binary);
+    if (!F) {
+      fprintf(stderr, "efc-serve: cannot read %s\n", File.c_str());
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << F.rdbuf();
+    Data = Buf.str();
+    return true;
+  };
+
+  if (!Run.empty()) {
+    std::string Data;
+    if (openSession(Run) && readInput(Data)) {
+      Rc = feedChunks(Fd, Run, Data, Chunk);
+      if (Rc == 0)
+        Rc = simpleRequest(Fd, "E" + Run);
+    } else if (Rc == 0) {
+      Rc = 1;
+    }
+  } else {
+    if (!Open.empty())
+      (void)openSession(Open);
+    if (Rc == 0 && !Feed.empty()) {
+      std::string Data;
+      Rc = readInput(Data) ? feedChunks(Fd, Feed, Data, Chunk) : 1;
+    }
+    if (Rc == 0 && !Finish.empty())
+      Rc = simpleRequest(Fd, "E" + Finish);
+    if (Rc == 0 && !Close.empty())
+      Rc = simpleRequest(Fd, "C" + Close);
+    if (Rc == 0 && Stats)
+      Rc = simpleRequest(Fd, "S");
+    if (Rc == 0 && Shutdown)
+      Rc = simpleRequest(Fd, "Q");
+  }
+  ::close(Fd);
+  return Rc;
+}

@@ -19,27 +19,28 @@
 //   --no-rbbe        skip reachability-based branch elimination
 //   --minimize       run control-state minimization
 //   --run FILE       execute over FILE, write output bytes to stdout
+//   --native         execute --run through the native backend (generated
+//                    C++ compiled by the host compiler, served from the
+//                    on-disk artifact cache when warm; see EFC_CACHE_DIR)
 //   --emit-cpp FILE  write generated C++ to FILE
 //   --stats          print pipeline statistics to stderr
 //
+// Pipeline assembly, fusion and backend selection all route through the
+// runtime layer (runtime/PipelineCache.h), so efcc builds exactly what
+// efc-serve serves.
+//
 //===----------------------------------------------------------------------===//
 
-#include "bst/Minimize.h"
 #include "codegen/CppCodeGen.h"
-#include "frontends/regex/RegexFrontend.h"
-#include "frontends/xpath/XPathFrontend.h"
-#include "fusion/Fusion.h"
-#include "rbbe/Rbbe.h"
-#include "stdlib/Transducers.h"
-#include "vm/Vm.h"
+#include "runtime/PipelineCache.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <optional>
 #include <sstream>
 
 using namespace efc;
+using namespace efc::runtime;
 
 namespace {
 
@@ -49,7 +50,7 @@ int usage(const char *Msg = nullptr) {
   fprintf(stderr,
           "usage: efcc (--regex P | --xpath Q) [--agg max|min|avg|none]\n"
           "            [--format decimal|lines|sql] [--no-rbbe]\n"
-          "            [--minimize] [--stats]\n"
+          "            [--minimize] [--stats] [--native]\n"
           "            [--run FILE] [--emit-cpp FILE]\n");
   return 2;
 }
@@ -59,7 +60,7 @@ int usage(const char *Msg = nullptr) {
 int main(int argc, char **argv) {
   std::string Regex, XPath, Agg = "none", Format = "lines";
   std::string RunFile, EmitFile;
-  bool DoRbbe = true, DoMinimize = false, Stats = false;
+  bool DoRbbe = true, DoMinimize = false, Stats = false, Native = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -100,6 +101,8 @@ int main(int argc, char **argv) {
       DoRbbe = false;
     } else if (A == "--minimize") {
       DoMinimize = true;
+    } else if (A == "--native") {
+      Native = true;
     } else if (A == "--stats") {
       Stats = true;
     } else {
@@ -111,76 +114,39 @@ int main(int argc, char **argv) {
   if (RunFile.empty() && EmitFile.empty() && !Stats)
     return usage("nothing to do: pass --run, --emit-cpp or --stats");
 
-  TermContext Ctx;
-  Solver S(Ctx);
+  PipelineSpec Spec;
+  Spec.Kind = Regex.empty() ? PipelineSpec::Frontend::XPath
+                            : PipelineSpec::Frontend::Regex;
+  Spec.Pattern = Regex.empty() ? XPath : Regex;
+  Spec.Agg = Agg;
+  Spec.Format = Format;
+  Spec.Rbbe = DoRbbe;
+  Spec.Minimize = DoMinimize;
 
-  // Assemble the modular pipeline.
-  std::vector<Bst> Stages;
-  Stages.push_back(lib::makeUtf8Decode2(Ctx));
-  Bst ToInt = lib::makeToInt(Ctx);
-  if (!Regex.empty()) {
-    fe::RegexBstResult R = fe::buildRegexBst(Ctx, Regex, {{"v", &ToInt}});
-    if (!R.Result) {
-      fprintf(stderr, "efcc: regex error: %s\n", R.Error.c_str());
-      return 1;
-    }
-    Stages.push_back(std::move(*R.Result));
-  } else {
-    fe::XPathBstResult R = fe::buildXPathBst(Ctx, XPath, ToInt);
-    if (!R.Result) {
-      fprintf(stderr, "efcc: xpath error: %s\n", R.Error.c_str());
-      return 1;
-    }
-    Stages.push_back(std::move(*R.Result));
+  // One-entry cache: efcc is one-shot, but going through the runtime
+  // layer keeps assembly/fusion identical to efc-serve and gives --native
+  // the on-disk artifact cache for free.
+  PipelineCache Cache(1);
+  std::string Err;
+  auto P = Cache.get(Spec, /*WantNative=*/Native && !RunFile.empty(), &Err);
+  if (!P) {
+    fprintf(stderr, "efcc: %s\n", Err.c_str());
+    return 1;
   }
-  if (Agg == "max")
-    Stages.push_back(lib::makeMax(Ctx));
-  else if (Agg == "min")
-    Stages.push_back(lib::makeMin(Ctx));
-  else if (Agg == "avg")
-    Stages.push_back(lib::makeAverage(Ctx));
-  else if (Agg != "none")
-    return usage("unknown --agg kind");
-  if (Format == "decimal")
-    Stages.push_back(lib::makeIntToDecimal(Ctx));
-  else if (Format == "lines")
-    Stages.push_back(lib::makeIntToDecimalLines(Ctx));
-  else if (Format == "sql")
-    Stages.push_back(
-        lib::makeIntWrap(Ctx, "INSERT INTO t VALUES (", ");\n"));
-  else
-    return usage("unknown --format kind");
-  Stages.push_back(lib::makeUtf8Encode(Ctx));
-
-  // Fuse and optimize.
-  std::vector<const Bst *> Ptrs;
-  for (const Bst &St : Stages)
-    Ptrs.push_back(&St);
-  FusionStats FStats;
-  Bst Fused = fuseChain(Ptrs, S, {}, &FStats);
-  RbbeStats RStats;
-  if (DoRbbe) {
-    RbbeOptions ROpts;
-    ROpts.ConflictBudget = 0;
-    Fused = eliminateUnreachableBranches(Fused, S, ROpts, &RStats);
-  }
-  MinimizeStats MStats;
-  if (DoMinimize)
-    Fused = minimizeStates(Fused, &MStats);
 
   if (Stats) {
     fprintf(stderr,
             "efcc: %zu stages fused into %u states, %u branches "
             "(%.2fs, %llu solver checks)\n",
-            Stages.size(), Fused.numStates(), Fused.countBranches(),
-            FStats.Seconds, (unsigned long long)FStats.SolverChecks);
+            P->NumStages, P->Fused->numStates(), P->Fused->countBranches(),
+            P->FStats.Seconds, (unsigned long long)P->FStats.SolverChecks);
     if (DoRbbe)
       fprintf(stderr, "efcc: RBBE removed %u branches in %.2fs\n",
-              RStats.BranchesRemoved + RStats.FinalBranchesRemoved,
-              RStats.Seconds);
+              P->RStats.BranchesRemoved + P->RStats.FinalBranchesRemoved,
+              P->RStats.Seconds);
     if (DoMinimize)
       fprintf(stderr, "efcc: minimization: %u -> %u states\n",
-              MStats.StatesBefore, MStats.StatesAfter);
+              P->MStats.StatesBefore, P->MStats.StatesAfter);
   }
 
   if (!EmitFile.empty()) {
@@ -191,7 +157,7 @@ int main(int argc, char **argv) {
       fprintf(stderr, "efcc: cannot write %s\n", EmitFile.c_str());
       return 1;
     }
-    F << generateCpp(Fused, Opts);
+    F << generateCpp(*P->Fused, Opts);
     fprintf(stderr, "efcc: wrote %s\n", EmitFile.c_str());
   }
 
@@ -204,16 +170,33 @@ int main(int argc, char **argv) {
     std::ostringstream Buf;
     Buf << F.rdbuf();
     std::string Data = Buf.str();
-    auto T = CompiledTransducer::compile(Fused);
-    if (!T) {
-      fprintf(stderr, "efcc: pipeline has non-scalar element types\n");
-      return 1;
-    }
     std::vector<uint64_t> In;
     In.reserve(Data.size());
     for (unsigned char C : Data)
       In.push_back(C);
-    auto Out = T->run(In);
+
+    std::optional<std::vector<uint64_t>> Out;
+    if (Native) {
+      CompiledPipeline::NativeOutcome Outcome;
+      NativeCompileInfo Info;
+      const NativeTransducer *N = P->native(&Err, &Outcome, &Info);
+      if (!N) {
+        fprintf(stderr, "efcc: native backend unavailable: %s\n",
+                Err.c_str());
+        return 1;
+      }
+      if (Stats) {
+        if (Info.DiskCacheHit)
+          fprintf(stderr, "efcc: native: artifact cache hit (%s)\n",
+                  Info.SoPath.c_str());
+        else
+          fprintf(stderr, "efcc: native: compiled in %.0f ms (%s)\n",
+                  Info.CompileMs, Info.SoPath.c_str());
+      }
+      Out = N->run(In);
+    } else {
+      Out = P->Vm->run(In);
+    }
     if (!Out) {
       fprintf(stderr, "efcc: input rejected by the pipeline\n");
       return 1;
