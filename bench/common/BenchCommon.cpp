@@ -64,6 +64,7 @@ BuiltPipeline efc::bench::buildPipeline(const std::string &Name,
   auto CF = CompiledTransducer::compile(Clean);
   assert(CF && "fused pipeline must have scalar element types");
   P.CompiledFused.emplace(std::move(*CF));
+  P.FastPlan.emplace(FastPathPlan::build(Clean, *P.CompiledFused));
 
   std::string Tag = Name;
   for (char &C : Tag)

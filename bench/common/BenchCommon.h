@@ -21,6 +21,7 @@
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
 #include "rbbe/Rbbe.h"
+#include "vm/FastPath.h"
 #include "vm/Pipeline.h"
 #include "vm/Vm.h"
 
@@ -41,6 +42,8 @@ struct BuiltPipeline {
 
   std::vector<CompiledTransducer> CompiledStages;
   std::optional<CompiledTransducer> CompiledFused;
+  /// Byte-class dispatch tables over CompiledFused (vm/FastPath.h).
+  std::optional<FastPathPlan> FastPlan;
   /// Generated C++ compiled by the host compiler and dlopen'd — the
   /// paper's deployment backend.  Absent when no compiler is available.
   std::optional<NativeTransducer> Native;

@@ -1,0 +1,165 @@
+//===- bench/common/ThroughputJson.cpp ------------------------------------===//
+
+#include "bench/common/ThroughputJson.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace efc::bench;
+
+namespace {
+
+struct Row {
+  std::string Pipeline;
+  std::string Backend;
+  double MbPerS = 0;
+};
+
+/// Console reporter that additionally captures each run's throughput.
+class RecordingReporter : public benchmark::ConsoleReporter {
+public:
+  std::vector<Row> Rows;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      auto It = R.counters.find("bytes_per_second");
+      if (It == R.counters.end())
+        continue;
+      std::string Name = R.benchmark_name();
+      size_t Slash = Name.find('/');
+      if (Slash == std::string::npos)
+        continue;
+      Rows.push_back({Name.substr(0, Slash), Name.substr(Slash + 1),
+                      double(It->second) / 1e6});
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
+std::string gitRev() {
+  if (const char *E = std::getenv("EFC_GIT_REV"))
+    return E;
+  std::string Rev = "unknown";
+  if (FILE *P = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char Buf[64] = {0};
+    if (fgets(Buf, sizeof(Buf), P)) {
+      Rev = Buf;
+      while (!Rev.empty() && (Rev.back() == '\n' || Rev.back() == '\r'))
+        Rev.pop_back();
+    }
+    pclose(P);
+    if (Rev.empty())
+      Rev = "unknown";
+  }
+  return Rev;
+}
+
+/// Extracts `"Key": "..."` / `"Key": <number>` from one result line of a
+/// file this writer produced (the only reader of the format is this
+/// merger, so line-oriented extraction is enough).
+std::string extractString(const std::string &Line, const std::string &Key) {
+  std::string Pat = "\"" + Key + "\": \"";
+  size_t At = Line.find(Pat);
+  if (At == std::string::npos)
+    return "";
+  At += Pat.size();
+  size_t End = Line.find('"', At);
+  return End == std::string::npos ? "" : Line.substr(At, End - At);
+}
+
+double extractNumber(const std::string &Line, const std::string &Key) {
+  std::string Pat = "\"" + Key + "\": ";
+  size_t At = Line.find(Pat);
+  if (At == std::string::npos)
+    return 0;
+  return atof(Line.c_str() + At + Pat.size());
+}
+
+void mergeAndWrite(const std::string &Path, const std::vector<Row> &Fresh) {
+  std::vector<Row> Rows;
+  {
+    std::ifstream F(Path);
+    std::string Line;
+    while (std::getline(F, Line)) {
+      std::string P = extractString(Line, "pipeline");
+      std::string B = extractString(Line, "backend");
+      if (!P.empty() && !B.empty())
+        Rows.push_back({P, B, extractNumber(Line, "mb_per_s")});
+    }
+  }
+  for (const Row &N : Fresh) {
+    bool Found = false;
+    for (Row &O : Rows)
+      if (O.Pipeline == N.Pipeline && O.Backend == N.Backend) {
+        O.MbPerS = N.MbPerS;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Rows.push_back(N);
+  }
+
+  std::ostringstream S;
+  S << "{\n  \"git_rev\": \"" << gitRev() << "\",\n  \"unit\": \"MB/s\","
+    << "\n  \"results\": [";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    char Buf[256];
+    snprintf(Buf, sizeof(Buf),
+             "\n    {\"pipeline\": \"%s\", \"backend\": \"%s\", "
+             "\"mb_per_s\": %.2f}%s",
+             Rows[I].Pipeline.c_str(), Rows[I].Backend.c_str(),
+             Rows[I].MbPerS, I + 1 < Rows.size() ? "," : "");
+    S << Buf;
+  }
+  S << "\n  ]\n}\n";
+
+  std::ofstream F(Path, std::ios::trunc);
+  if (!F) {
+    fprintf(stderr, "throughput-json: cannot write %s\n", Path.c_str());
+    return;
+  }
+  F << S.str();
+  fprintf(stderr, "throughput-json: %zu row(s) -> %s\n", Rows.size(),
+          Path.c_str());
+}
+
+} // namespace
+
+bool efc::bench::pipelineEnabled(const std::string &Name) {
+  const char *E = std::getenv("EFC_BENCH_PIPELINES");
+  if (!E || !*E)
+    return true;
+  std::string List = E;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = List.size();
+    if (List.compare(Pos, Comma - Pos, Name) == 0)
+      return true;
+    Pos = Comma + 1;
+  }
+  return false;
+}
+
+int efc::bench::benchMainWithThroughputJson(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  RecordingReporter Rep;
+  benchmark::RunSpecifiedBenchmarks(&Rep);
+  benchmark::Shutdown();
+
+  std::string Path = "BENCH_throughput.json";
+  if (const char *E = std::getenv("EFC_BENCH_JSON"))
+    Path = E;
+  if (!Path.empty() && !Rep.Rows.empty())
+    mergeAndWrite(Path, Rep.Rows);
+  return 0;
+}

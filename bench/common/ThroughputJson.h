@@ -1,0 +1,36 @@
+//===- bench/common/ThroughputJson.h - Machine-readable bench out -*-C++-*-===//
+///
+/// \file
+/// Records benchmark throughput in a machine-readable file so the perf
+/// trajectory is tracked across PRs.  Benchmarks named "Pipeline/Backend"
+/// that call SetBytesProcessed become rows of
+///
+///   {"pipeline": ..., "backend": ..., "mb_per_s": ...}
+///
+/// in BENCH_throughput.json (path override: EFC_BENCH_JSON; set it to ""
+/// to disable recording).  The writer merges by (pipeline, backend) —
+/// fig9 and fig13 update their own rows without clobbering each other —
+/// and stamps the current git revision.  MB = 10^6 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BENCH_COMMON_THROUGHPUTJSON_H
+#define EFC_BENCH_COMMON_THROUGHPUTJSON_H
+
+#include <string>
+
+namespace efc::bench {
+
+/// Drop-in benchmark main: Initialize, RunSpecifiedBenchmarks through a
+/// console reporter that also captures bytes_per_second, merge the rows
+/// into the JSON file, Shutdown.  Returns the process exit code.
+int benchMainWithThroughputJson(int argc, char **argv);
+
+/// True when EFC_BENCH_PIPELINES is unset/empty or its comma-separated
+/// list contains \p Name.  Lets ci.sh register (and thus fuse) only the
+/// pipelines its smoke run needs.
+bool pipelineEnabled(const std::string &Name);
+
+} // namespace efc::bench
+
+#endif // EFC_BENCH_COMMON_THROUGHPUTJSON_H

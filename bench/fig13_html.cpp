@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/common/BenchCommon.h"
+#include "bench/common/ThroughputJson.h"
 #include "data/Datasets.h"
 #include "stdlib/Reference.h"
 
@@ -32,6 +33,20 @@ void registerDataset(const std::string &Name, const std::u16string &Text,
       (Name + "/Fused").c_str(), [P, In, Utf16Bytes](benchmark::State &S) {
         for (auto _ : S) {
           auto Out = P->CompiledFused->run(*In);
+          if (!Out) {
+            S.SkipWithError("rejected");
+            return;
+          }
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * Utf16Bytes);
+      });
+
+  benchmark::RegisterBenchmark(
+      (Name + "/FusedFastPath").c_str(),
+      [P, In, Utf16Bytes](benchmark::State &S) {
+        for (auto _ : S) {
+          auto Out = runFastPath(*P->FastPlan, *P->CompiledFused, *In);
           if (!Out) {
             S.SkipWithError("rejected");
             return;
@@ -89,17 +104,19 @@ void registerDataset(const std::string &Name, const std::u16string &Text,
 int main(int argc, char **argv) {
   size_t Chars = benchBytes() / 2; // UTF-16 code units
   std::vector<std::shared_ptr<BuiltPipeline>> Keep;
-  registerDataset("Random", data::makeRandomUtf16(301, Chars, true), Keep);
-  registerDataset("English",
-                  [&] {
-                    std::string T = data::makeEnglishText(302, Chars);
-                    return std::u16string(T.begin(), T.end());
-                  }(),
-                  Keep);
-  registerDataset("Chinese", data::makeChineseText(303, Chars), Keep);
+  if (pipelineEnabled("HTML-Random"))
+    registerDataset("HTML-Random", data::makeRandomUtf16(301, Chars, true),
+                    Keep);
+  if (pipelineEnabled("HTML-English"))
+    registerDataset("HTML-English",
+                    [&] {
+                      std::string T = data::makeEnglishText(302, Chars);
+                      return std::u16string(T.begin(), T.end());
+                    }(),
+                    Keep);
+  if (pipelineEnabled("HTML-Chinese"))
+    registerDataset("HTML-Chinese", data::makeChineseText(303, Chars),
+                    Keep);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return benchMainWithThroughputJson(argc, argv);
 }

@@ -15,6 +15,7 @@
 
 #include "bench/baselines/RegexLib.h"
 #include "bench/common/BenchCommon.h"
+#include "bench/common/ThroughputJson.h"
 #include "data/Datasets.h"
 #include "stdlib/Reference.h"
 
@@ -60,6 +61,17 @@ void runFused(benchmark::State &State, const BuiltPipeline &P,
               const std::vector<uint64_t> &In) {
   for (auto _ : State) {
     auto Out = P.CompiledFused->run(In);
+    benchmark::DoNotOptimize(Out);
+    if (!Out)
+      State.SkipWithError("pipeline rejected its input");
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * int64_t(In.size()));
+}
+
+void runFusedFastPath(benchmark::State &State, const BuiltPipeline &P,
+                      const std::vector<uint64_t> &In) {
+  for (auto _ : State) {
+    auto Out = runFastPath(*P.FastPlan, *P.CompiledFused, In);
     benchmark::DoNotOptimize(Out);
     if (!Out)
       State.SkipWithError("pipeline rejected its input");
@@ -187,6 +199,10 @@ Registered registerVariants(BuiltPipeline Built, std::vector<uint64_t> In) {
                                [P, Data](benchmark::State &S) {
                                  runFused(S, *P, *Data);
                                });
+  benchmark::RegisterBenchmark((P->Name + "/FusedFastPath").c_str(),
+                               [P, Data](benchmark::State &S) {
+                                 runFusedFastPath(S, *P, *Data);
+                               });
   if (P->Native) {
     benchmark::RegisterBenchmark(
         (P->Name + "/FusedNative").c_str(),
@@ -224,20 +240,26 @@ int main(int argc, char **argv) {
   size_t MB = benchBytes();
   std::vector<Registered> Keep;
 
-  // Base64-avg / Base64-delta.
-  {
+  // Base64-avg / Base64-delta.  EFC_BENCH_PIPELINES (comma-separated
+  // names) restricts which pipelines are even *built* — ci.sh's smoke run
+  // uses it to keep fusion time out of the loop.
+  if (pipelineEnabled("Base64-avg") || pipelineEnabled("Base64-delta")) {
     std::string In = data::makeBase64Ints(101, MB / 4, 1u << 30);
-    Keep.push_back(
-        registerVariants(makeBase64AvgPipeline(), rawOfBytes(In)));
-    registerHand("Base64-avg", [In] { return handBase64Avg(In); },
-                 In.size());
-    Keep.push_back(
-        registerVariants(makeBase64DeltaPipeline(), rawOfBytes(In)));
-    registerHand("Base64-delta", [In] { return handBase64Delta(In); },
-                 In.size());
+    if (pipelineEnabled("Base64-avg")) {
+      Keep.push_back(
+          registerVariants(makeBase64AvgPipeline(), rawOfBytes(In)));
+      registerHand("Base64-avg", [In] { return handBase64Avg(In); },
+                   In.size());
+    }
+    if (pipelineEnabled("Base64-delta")) {
+      Keep.push_back(
+          registerVariants(makeBase64DeltaPipeline(), rawOfBytes(In)));
+      registerHand("Base64-delta", [In] { return handBase64Delta(In); },
+                   In.size());
+    }
   }
   // UTF8-lines over English text.
-  {
+  if (pipelineEnabled("UTF8-lines")) {
     std::string In = data::makeEnglishText(102, MB);
     Keep.push_back(
         registerVariants(makeUtf8LinesPipeline(), rawOfBytes(In)));
@@ -245,7 +267,7 @@ int main(int argc, char **argv) {
                  In.size());
   }
   // CSV-max (third column, max length).
-  {
+  if (pipelineEnabled("CSV-max")) {
     std::string In = data::makeCsv(103, MB, 6, 4, 100000);
     auto Re = baselines::InterpretedRegex::compile(csvPattern(2, true));
     Keep.push_back(registerVariants(makeCsvMaxPipeline(), rawOfBytes(In)));
@@ -278,6 +300,8 @@ int main(int argc, char **argv) {
        data::makeCcCsv(110, MB), 0, Agg::Max},
   };
   for (CsvCase &C : Cases) {
+    if (!pipelineEnabled(C.Name))
+      continue;
     Keep.push_back(registerVariants(C.Make(), rawOfBytes(C.Data)));
     auto Re =
         baselines::InterpretedRegex::compile(csvPattern(C.Column, false));
@@ -287,8 +311,5 @@ int main(int argc, char **argv) {
                  In.size());
   }
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return benchMainWithThroughputJson(argc, argv);
 }

@@ -6,7 +6,11 @@
 #   2. efc-serve smoke test: start a server, stream a CSV pipeline at it in
 #      7-byte chunks, and require byte-identical output to one-shot
 #      `efcc --run` on the same file.
-#   3. Runtime-cache bench: cache-hit vs cache-miss request latency
+#   3. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
+#      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
+#      small fig9 benchmark run refreshes BENCH_throughput.json at the
+#      repo root so the recorded numbers track HEAD.
+#   4. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
 #
@@ -16,12 +20,12 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/3] tier-1 verify =="
+echo "== [1/4] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/3] efc-serve smoke test =="
+echo "== [2/4] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
@@ -47,7 +51,32 @@ if [ "$STREAMED" != "$ONESHOT" ]; then
 fi
 echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
 
-echo "== [3/3] cache-hit vs cache-miss latency =="
+echo "== [3/4] fast-path divergence gate + throughput smoke =="
+# Deterministic fig9-style CSV corpus, big enough to cross chunk and
+# buffer-growth boundaries.
+for i in $(seq 0 4999); do
+  printf 'r%d,%d,x%d\n' "$i" $(( (i * 37 + 11) % 100000 )) "$i"
+done > "$SCRATCH/corpus.csv"
+for AGG in max min avg; do
+  VM_OUT=$("$BUILD/tools/efcc" --regex "$PATTERN" --agg "$AGG" \
+    --format decimal --backend vm --run "$SCRATCH/corpus.csv")
+  FP_OUT=$("$BUILD/tools/efcc" --regex "$PATTERN" --agg "$AGG" \
+    --format decimal --backend fastpath --run "$SCRATCH/corpus.csv")
+  if [ "$VM_OUT" != "$FP_OUT" ]; then
+    echo "fast path diverges from VM (agg=$AGG): vm='$VM_OUT'" \
+         "fastpath='$FP_OUT'" >&2
+    exit 1
+  fi
+done
+echo "fastpath == vm on corpus.csv (max/min/avg)"
+# Refresh the committed throughput record for a few pipelines at 1 MB;
+# rows merge into BENCH_throughput.json without disturbing the others.
+EFC_BENCH_MB=1 EFC_BENCH_PIPELINES=CSV-max,UTF8-lines,CC-id \
+  EFC_BENCH_JSON="$PWD/BENCH_throughput.json" \
+  "$BUILD/bench/fig9_pipelines" \
+  --benchmark_filter='/(Fused|FusedFastPath)$' --benchmark_min_time=0.1s
+
+echo "== [4/4] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
 
 echo "== ci.sh: all green =="

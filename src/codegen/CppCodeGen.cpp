@@ -2,6 +2,8 @@
 
 #include "codegen/CppCodeGen.h"
 
+#include "vm/FastPath.h"
+
 #include <unordered_map>
 
 using namespace efc;
@@ -194,6 +196,37 @@ public:
       Leaves[RegLeaves[I]] = "r" + std::to_string(I);
     Leaves[A.inputVar()] = "x";
     NumLeaves = unsigned(RegLeaves.size());
+    // Byte-class analysis (vm/FastPath.h): states whose guards read only
+    // the input dispatch through a static lookup table, the paper's
+    // character-class codegen.  Same classifier as the VM fast path, so
+    // the table partition cannot drift from the interpreter's.
+    for (unsigned Q = 0; Q < A.numStates(); ++Q)
+      Tables.push_back(classifyDeltaByteClasses(A, Q));
+  }
+
+  /// File-scope byte -> equivalence-class tables for table-dispatched
+  /// states.  Entries are always <= 255: a state has at most 256 classes,
+  /// and the out-of-range sentinel numClasses() only appears when the
+  /// input width is below 8 bits (so at most 128 classes).
+  std::string tables() {
+    std::string S;
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+      if (!usesTable(Q))
+        continue;
+      const ByteClassTable &C = Tables[Q];
+      S += "static const unsigned char " + tableName(Q) + "[256] = {";
+      for (unsigned B = 0; B < 256; ++B) {
+        if (B % 16 == 0)
+          S += "\n  ";
+        S += std::to_string(C.Class[B]);
+        if (B != 255)
+          S += ",";
+      }
+      S += "\n};\n";
+    }
+    if (!S.empty())
+      S += "\n";
+    return S;
   }
 
   std::string function() {
@@ -212,9 +245,8 @@ public:
     for (unsigned Q = 0; Q < A.numStates(); ++Q) {
       S += "S" + std::to_string(Q) + ":\n";
       S += "  if (i >= n) goto F" + std::to_string(Q) + ";\n";
-      S += "  x = in[i++];\n  {\n";
-      S += ruleCode(A.delta(Q).get(), /*IsFinalizer=*/false, 1);
-      S += "  }\n";
+      S += "  x = in[i++];\n";
+      S += deltaCode(Q);
     }
     for (unsigned Q = 0; Q < A.numStates(); ++Q) {
       S += "F" + std::to_string(Q) + ":\n  {\n";
@@ -265,9 +297,8 @@ public:
         S += "    st[" + std::to_string(I + 1) + "] = r" +
              std::to_string(I) + ";\n";
       S += "    return true;\n  }\n";
-      S += "  x = in[i++];\n  {\n";
-      S += ruleCode(A.delta(Q).get(), /*IsFinalizer=*/false, 1);
-      S += "  }\n";
+      S += "  x = in[i++];\n";
+      S += deltaCode(Q);
     }
     S += "}\n\n";
 
@@ -297,6 +328,42 @@ private:
   const CodeGenOptions &Opts;
   std::unordered_map<TermRef, std::string> Leaves;
   unsigned NumLeaves = 0;
+  std::vector<ByteClassTable> Tables;
+
+  std::string tableName(unsigned Q) {
+    return Opts.FunctionName + "_cls" + std::to_string(Q);
+  }
+
+  /// A table only pays off when the rule actually branches; leaf-only
+  /// rules are already branch-free.
+  bool usesTable(unsigned Q) const {
+    return Tables[Q].Eligible && A.delta(Q)->isIte();
+  }
+
+  /// Transition body for state Q: table dispatch over the byte classes
+  /// when eligible, then the original guard chain.  The chain stays
+  /// reachable on purpose — it handles elements >= 256 and, for input
+  /// widths below 8, bytes outside the valid range, where the table's
+  /// masked precomputation would not match the unmasked comparisons the
+  /// guards perform (the VM fast path makes the same split).
+  std::string deltaCode(unsigned Q) {
+    std::string S;
+    if (usesTable(Q)) {
+      const ByteClassTable &C = Tables[Q];
+      S += "  if (x < 0x100ull) {\n";
+      S += "    switch (" + tableName(Q) + "[x]) {\n";
+      for (unsigned K = 0; K < C.numClasses(); ++K) {
+        S += "    case " + std::to_string(K) + ": {\n";
+        S += ruleCode(C.Leaves[K], /*IsFinalizer=*/false, 3);
+        S += "    }\n";
+      }
+      S += "    default: break;\n    }\n  }\n";
+    }
+    S += "  {\n";
+    S += ruleCode(A.delta(Q).get(), /*IsFinalizer=*/false, 1);
+    S += "  }\n";
+    return S;
+  }
 
   std::string ruleCode(const Rule *R, bool IsFinalizer, unsigned Depth) {
     std::string Pad(Depth * 2, ' ');
@@ -386,6 +453,7 @@ std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
        "(uint64_t)(s >> b) & m; }\n\n";
 
   UnitEmitter U(A, Opts);
+  S += U.tables();
   S += U.function();
   if (Opts.EmitStreaming) {
     S += "\n";

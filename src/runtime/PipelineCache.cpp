@@ -238,6 +238,7 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
     return nullptr;
   }
   P->Vm.emplace(std::move(*Vm));
+  P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm));
   P->Fused.emplace(std::move(Fused));
   P->BuildSeconds = Total.seconds();
   return P;

@@ -26,6 +26,7 @@
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
 #include "rbbe/Rbbe.h"
+#include "vm/FastPath.h"
 #include "vm/Vm.h"
 
 #include <condition_variable>
@@ -80,6 +81,9 @@ public:
   std::shared_ptr<TermContext> Ctx; ///< owns every term the BSTs reference
   std::optional<Bst> Fused;         ///< fused, optimized per Spec
   std::optional<CompiledTransducer> Vm;
+  /// Byte-class dispatch tables over Vm (vm/FastPath.h); built with every
+  /// entry — states the analysis cannot tabulate just stay on bytecode.
+  std::optional<FastPathPlan> Fast;
 
   FusionStats FStats;
   RbbeStats RStats;

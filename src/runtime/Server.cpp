@@ -4,6 +4,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
@@ -334,9 +335,16 @@ void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
         Nl == std::string::npos ? T.Payload : T.Payload.substr(0, Nl);
     std::string SpecText =
         Nl == std::string::npos ? std::string() : T.Payload.substr(Nl + 1);
+    // EFC_BACKEND overrides every OPEN's requested backend — operator
+    // escape hatch for A/B measurement and for forcing plain bytecode if
+    // the fast path ever misbehaves in production.
+    if (const char *Forced = getenv("EFC_BACKEND"))
+      BackendStr = Forced;
     StreamSession::Backend B;
     if (BackendStr == "vm")
       B = StreamSession::Backend::Vm;
+    else if (BackendStr == "fastpath")
+      B = StreamSession::Backend::Fast;
     else if (BackendStr == "native")
       B = StreamSession::Backend::Native;
     else {

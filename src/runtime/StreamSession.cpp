@@ -12,6 +12,14 @@ StreamSession StreamSession::overVm(const CompiledTransducer &T) {
   return S;
 }
 
+StreamSession StreamSession::overFast(const FastPathPlan &P,
+                                      const CompiledTransducer &T) {
+  StreamSession S;
+  S.Kind = Backend::Fast;
+  S.FCur.emplace(P, T);
+  return S;
+}
+
 std::optional<StreamSession>
 StreamSession::overNative(const NativeTransducer &T) {
   if (!T.streamingAvailable())
@@ -35,6 +43,13 @@ StreamSession::open(std::shared_ptr<const CompiledPipeline> P, Backend B,
   std::optional<StreamSession> S;
   if (B == Backend::Vm) {
     S = overVm(*P->Vm);
+  } else if (B == Backend::Fast) {
+    // Entries always carry a plan; a hand-built CompiledPipeline without
+    // one transparently degrades to plain bytecode.
+    if (P->Fast)
+      S = overFast(*P->Fast, *P->Vm);
+    else
+      S = overVm(*P->Vm);
   } else {
     std::string NErr;
     const NativeTransducer *N = P->native(&NErr);
@@ -57,6 +72,7 @@ StreamSession::open(std::shared_ptr<const CompiledPipeline> P, Backend B,
 void StreamSession::drain() {
   // Pipeline boundaries are byte valued (utf8-encode is the last stage),
   // so each emitted element is one output byte.
+  Output.reserve(Output.size() + Staged.size());
   for (uint64_t V : Staged)
     Output.push_back(char(V));
   BytesOut += Staged.size();
@@ -69,12 +85,26 @@ bool StreamSession::feed(const void *Data, size_t N) {
   BytesIn += N;
   const auto *Bytes = static_cast<const unsigned char *>(Data);
   if (Kind == Backend::Vm) {
+    if (Staged.capacity() < N)
+      Staged.reserve(N);
     for (size_t I = 0; I < N; ++I) {
       if (!Cur->feed(Bytes[I], Staged)) {
         Rejected = true;
         drain();
         return false;
       }
+    }
+  } else if (Kind == Backend::Fast) {
+    // Widen into the reused chunk buffer so the cursor gets one
+    // contiguous span per feed (the fast loop is chunk-oriented).
+    Chunk.clear();
+    Chunk.reserve(N);
+    for (size_t I = 0; I < N; ++I)
+      Chunk.push_back(Bytes[I]);
+    if (!FCur->feed(Chunk, Staged)) {
+      Rejected = true;
+      drain();
+      return false;
     }
   } else {
     Chunk.clear();
@@ -98,9 +128,10 @@ bool StreamSession::finish() {
   if (Finished)
     return true;
   Finished = true;
-  bool Ok = Kind == Backend::Vm
-                ? Cur->finish(Staged)
-                : Nat->streamFinish(NatState.data(), Staged);
+  bool Ok = Kind == Backend::Vm     ? Cur->finish(Staged)
+            : Kind == Backend::Fast ? FCur->finish(Staged)
+                                    : Nat->streamFinish(NatState.data(),
+                                                        Staged);
   if (!Ok)
     Rejected = true;
   drain();

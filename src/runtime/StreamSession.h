@@ -11,8 +11,9 @@
 /// over the whole input — the suspended state (control state + register
 /// leaves) carries everything between calls.
 ///
-/// Backends: the bytecode VM (CompiledTransducer::Cursor) and the native
-/// .so (the *_feed/*_finish suspend/resume entry points generated under
+/// Backends: the bytecode VM (CompiledTransducer::Cursor), the mixed-mode
+/// byte-class fast path (vm/FastPath.h, the default), and the native .so
+/// (the *_feed/*_finish suspend/resume entry points generated under
 /// CodeGenOptions::EmitStreaming).
 ///
 //===----------------------------------------------------------------------===//
@@ -33,7 +34,7 @@ namespace efc::runtime {
 
 class StreamSession {
 public:
-  enum class Backend { Vm, Native };
+  enum class Backend { Vm, Fast, Native };
 
   /// Opens a session over a cache entry (shared ownership keeps the
   /// entry alive across evictions).  The native backend requires the
@@ -45,6 +46,8 @@ public:
   /// Borrowing constructors for tests and embedding; the caller keeps
   /// the transducer alive for the session's lifetime.
   static StreamSession overVm(const CompiledTransducer &T);
+  static StreamSession overFast(const FastPathPlan &P,
+                                const CompiledTransducer &T);
   static std::optional<StreamSession> overNative(const NativeTransducer &T);
 
   /// Consumes \p N input bytes.  Returns false once the pipeline has
@@ -79,6 +82,9 @@ private:
 
   // VM backend.
   std::optional<CompiledTransducer::Cursor> Cur;
+
+  // Fast-path backend.
+  std::optional<FastPathCursor> FCur;
 
   // Native backend.
   const NativeTransducer *Nat = nullptr;

@@ -1,0 +1,308 @@
+//===- vm/FastPath.cpp - Byte-class table construction and driver ---------===//
+
+#include "vm/FastPath.h"
+
+#include "term/Eval.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace efc;
+
+namespace {
+
+/// True when \p T references no variable other than \p InputVar.  Terms
+/// are interned, so sharing makes memoization effective on the large fused
+/// rule trees.
+bool inputOnly(TermRef T, TermRef InputVar,
+               std::unordered_map<TermRef, bool> &Memo) {
+  if (T->isVar())
+    return T == InputVar;
+  if (T->numOperands() == 0)
+    return true;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  bool R = true;
+  for (TermRef O : T->operands())
+    if (!inputOnly(O, InputVar, Memo)) {
+      R = false;
+      break;
+    }
+  Memo.emplace(T, R);
+  return R;
+}
+
+bool guardsInputOnly(const Rule *R, TermRef InputVar,
+                     std::unordered_map<TermRef, bool> &Memo) {
+  while (R->isIte()) {
+    if (!inputOnly(R->cond(), InputVar, Memo))
+      return false;
+    if (!guardsInputOnly(R->thenRule().get(), InputVar, Memo))
+      return false;
+    R = R->elseRule().get();
+  }
+  return true;
+}
+
+/// Same flattening order as the VM compiler's slot layout (Vm.cpp).
+void collectRegLeaves(TermContext &Ctx, TermRef T, std::vector<TermRef> &Out) {
+  const Type *Ty = T->type();
+  switch (Ty->kind()) {
+  case TypeKind::Bool:
+  case TypeKind::BitVec:
+    Out.push_back(T);
+    return;
+  case TypeKind::Unit:
+    return;
+  case TypeKind::Tuple:
+    for (unsigned I = 0; I < Ty->arity(); ++I)
+      collectRegLeaves(Ctx, Ctx.mkTupleGet(T, I), Out);
+    return;
+  }
+}
+
+Value inputValueAt(const Type *ITy, unsigned W, unsigned B) {
+  return ITy->isBool() ? Value::boolV(B != 0) : Value::bv(W, B);
+}
+
+} // namespace
+
+ByteClassTable efc::classifyDeltaByteClasses(const Bst &A, unsigned Q) {
+  ByteClassTable R;
+  const Type *ITy = A.inputType();
+  if (!ITy->isScalar())
+    return R;
+  unsigned W = ITy->isBool() ? 1 : ITy->width();
+  TermRef X = A.inputVar();
+  const Rule *Root = A.delta(Q).get();
+
+  std::unordered_map<TermRef, bool> Memo;
+  if (!guardsInputOnly(Root, X, Memo))
+    return R;
+
+  R.Eligible = true;
+  R.ValidBytes = W >= 8 ? 256u : (1u << W);
+  std::unordered_map<const Rule *, uint16_t> Ids;
+  for (unsigned B = 0; B < R.ValidBytes; ++B) {
+    Env E;
+    E.bind(X, inputValueAt(ITy, W, B));
+    const Rule *L = Root;
+    while (L->isIte())
+      L = evalTerm(L->cond(), E).boolValue() ? L->thenRule().get()
+                                             : L->elseRule().get();
+    auto [It, New] = Ids.emplace(L, uint16_t(R.Leaves.size()));
+    if (New)
+      R.Leaves.push_back(L);
+    R.Class[B] = It->second;
+  }
+  // Padding entries (only when W < 8) get the sentinel class; the VM
+  // dispatches them to bytecode and the codegen switch falls through to
+  // the original guard chain.
+  for (unsigned B = R.ValidBytes; B < 256; ++B)
+    R.Class[B] = uint16_t(R.Leaves.size());
+  return R;
+}
+
+FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T) {
+  FastPathPlan P;
+  unsigned N = A.numStates();
+  P.States.resize(N);
+
+  const Type *ITy = A.inputType();
+  if (!ITy->isScalar()) {
+    P.S.FallbackStates = N;
+    return P;
+  }
+  unsigned W = ITy->isBool() ? 1 : ITy->width();
+  TermRef X = A.inputVar();
+  TermContext &Ctx = A.context();
+
+  std::vector<TermRef> OldLeaves;
+  collectRegLeaves(Ctx, A.regVar(), OldLeaves);
+  std::unordered_map<TermRef, bool> IOMemo;
+
+  for (unsigned Q = 0; Q < N; ++Q) {
+    ByteClassTable C = classifyDeltaByteClasses(A, Q);
+    if (!C.Eligible) {
+      ++P.S.FallbackStates;
+      continue;
+    }
+    StateTable &ST = P.States[Q];
+    ST.Actions.emplace_back(); // index 0: the Fallback action
+    for (unsigned B = C.ValidBytes; B < 256; ++B)
+      ST.Dispatch[B] = 0;
+
+    // Per-class action resolution: Undef -> Reject; leaves whose outputs
+    // and changed register updates are input-only fold to per-byte Const
+    // (or Jump) actions; anything else gets one straight-line program
+    // shared by every byte of the class.
+    struct ClassPlan {
+      int FixedAction = -1; // Reject / Program / Fallback action id
+      bool ConstAble = false;
+      std::vector<unsigned> ChangedIdx; // register leaves that change
+      std::vector<TermRef> NewLeaves;
+    };
+    std::vector<ClassPlan> CP(C.numClasses());
+    for (unsigned K = 0; K < C.numClasses(); ++K) {
+      const Rule *L = C.Leaves[K];
+      ClassPlan &Plan = CP[K];
+      if (L->isUndef()) {
+        Plan.FixedAction = int(ST.Actions.size());
+        Action Rej;
+        Rej.K = Action::Kind::Reject;
+        ST.Actions.push_back(std::move(Rej));
+        continue;
+      }
+      collectRegLeaves(Ctx, L->update(), Plan.NewLeaves);
+      assert(Plan.NewLeaves.size() == OldLeaves.size());
+      for (unsigned I = 0; I < OldLeaves.size(); ++I)
+        if (Plan.NewLeaves[I] != OldLeaves[I])
+          Plan.ChangedIdx.push_back(I);
+
+      bool Foldable = true;
+      for (TermRef O : L->outputs())
+        if (!inputOnly(O, X, IOMemo)) {
+          Foldable = false;
+          break;
+        }
+      if (Foldable)
+        for (unsigned I : Plan.ChangedIdx)
+          if (!inputOnly(Plan.NewLeaves[I], X, IOMemo)) {
+            Foldable = false;
+            break;
+          }
+      if (Foldable) {
+        Plan.ConstAble = true;
+        continue;
+      }
+      unsigned MaxSlot = 0;
+      auto Prog = compileRuleProgram(A, L, /*IsFinalizer=*/false, &MaxSlot);
+      if (!Prog || MaxSlot + 1 > T.numSlots()) {
+        // Leaf needs more temp slots than the cursor allocates (cannot
+        // happen for leaves of this Bst's own rules, but stay defensive):
+        // keep those bytes on the bytecode path.
+        Plan.FixedAction = 0;
+        continue;
+      }
+      Plan.FixedAction = int(ST.Actions.size());
+      Action PA;
+      PA.K = Action::Kind::Program;
+      PA.Code = std::move(*Prog);
+      ST.Actions.push_back(std::move(PA));
+      ++P.S.ProgramActions;
+    }
+
+    // Per-byte dispatch: fold Const/Jump actions and dedup them so runs of
+    // equivalent bytes share one action (cache-friendly tables).
+    std::map<std::string, uint16_t> ConstIds;
+    for (unsigned B = 0; B < C.ValidBytes; ++B) {
+      const ClassPlan &Plan = CP[C.Class[B]];
+      if (Plan.FixedAction >= 0) {
+        ST.Dispatch[B] = uint16_t(Plan.FixedAction);
+        continue;
+      }
+      const Rule *L = C.Leaves[C.Class[B]];
+      Env E;
+      E.bind(X, inputValueAt(ITy, W, B));
+      Action Act;
+      Act.Target = L->target();
+      for (TermRef O : L->outputs())
+        Act.Emits.push_back(evalTerm(O, E).bits());
+      for (unsigned I : Plan.ChangedIdx)
+        Act.Writes.push_back(
+            {uint16_t(I), evalTerm(Plan.NewLeaves[I], E).bits()});
+      Act.K = (Act.Emits.empty() && Act.Writes.empty()) ? Action::Kind::Jump
+                                                        : Action::Kind::Const;
+      std::string Key;
+      Key.reserve(16 + 8 * Act.Emits.size() + 10 * Act.Writes.size());
+      Key.append(reinterpret_cast<const char *>(&Act.Target),
+                 sizeof(Act.Target));
+      Key.push_back(char(Act.K));
+      for (uint64_t V : Act.Emits)
+        Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+      Key.push_back('|');
+      for (auto &[Slot, V] : Act.Writes) {
+        Key.append(reinterpret_cast<const char *>(&Slot), sizeof(Slot));
+        Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+      }
+      auto [It, New] = ConstIds.emplace(Key, uint16_t(ST.Actions.size()));
+      if (New) {
+        if (Act.K == Action::Kind::Jump)
+          ++P.S.JumpActions;
+        else
+          ++P.S.ConstActions;
+        ST.Actions.push_back(std::move(Act));
+      }
+      ST.Dispatch[B] = It->second;
+    }
+    ST.HasTable = true;
+    ++P.S.TableStates;
+  }
+  return P;
+}
+
+bool FastPathCursor::feed(std::span<const uint64_t> In,
+                          std::vector<uint64_t> &Out) {
+  // Bulk emit buffer: one reservation per chunk instead of a capacity
+  // check per Emit (stages emit at most about one element per input).
+  if (Out.capacity() - Out.size() < In.size())
+    Out.reserve(Out.size() + In.size() + 16);
+
+  const CompiledTransducer &T = *Inner.T;
+  uint64_t *Slots = Inner.Slots.data();
+  const unsigned InSlot = T.NumRegSlots;
+  unsigned State = Inner.State;
+  const FastPathPlan::StateTable *Tables = Plan->States.data();
+
+  for (size_t I = 0, N = In.size(); I < N; ++I) {
+    uint64_t X = In[I];
+    const FastPathPlan::StateTable &ST = Tables[State];
+    if (ST.HasTable && X < 256) {
+      const FastPathPlan::Action &A = ST.Actions[ST.Dispatch[X]];
+      switch (A.K) {
+      case FastPathPlan::Action::Kind::Jump:
+        State = A.Target;
+        continue;
+      case FastPathPlan::Action::Kind::Const:
+        Out.insert(Out.end(), A.Emits.begin(), A.Emits.end());
+        for (auto [Slot, V] : A.Writes)
+          Slots[Slot] = V;
+        State = A.Target;
+        continue;
+      case FastPathPlan::Action::Kind::Reject:
+        Inner.State = State;
+        return false;
+      case FastPathPlan::Action::Kind::Program:
+        Slots[InSlot] = X;
+        Inner.State = State;
+        if (!Inner.exec(A.Code, Out))
+          return false;
+        State = Inner.State;
+        continue;
+      case FastPathPlan::Action::Kind::Fallback:
+        break;
+      }
+    }
+    // Mixed-mode fallback: out-of-range element or bytecode-only state.
+    Slots[InSlot] = X;
+    Inner.State = State;
+    if (!Inner.exec(T.Delta[State], Out))
+      return false;
+    State = Inner.State;
+  }
+  Inner.State = State;
+  return true;
+}
+
+std::optional<std::vector<uint64_t>>
+efc::runFastPath(const FastPathPlan &P, const CompiledTransducer &T,
+                 std::span<const uint64_t> In) {
+  FastPathCursor C(P, T);
+  std::vector<uint64_t> Out;
+  if (!C.feed(In, Out))
+    return std::nullopt;
+  if (!C.finish(Out))
+    return std::nullopt;
+  return Out;
+}

@@ -1,0 +1,161 @@
+//===- vm/FastPath.h - Byte-class dispatch fast path ------------*- C++ -*-===//
+///
+/// \file
+/// A DFA-style execution engine layered over the bytecode VM.  For each
+/// control state whose guards depend only on the current input element (no
+/// register reads in any Ite condition), the transition rule is a pure
+/// function of the input byte, so it can be tabulated: a 256-entry
+/// byte -> action table, partitioned into equivalence classes (bytes that
+/// reach the same Base leaf), maps each byte directly to its effect
+/// (emit constants / register writes / next state) without re-walking the
+/// guard tree.  States whose guards read registers keep the existing
+/// bytecode program, so the engine is mixed-mode: the driver loop hits the
+/// table when it can and falls back to the interpreter when it must.
+///
+/// Eligibility and exactness (see DESIGN.md "Mixed-mode fast path"):
+///  - The input type must be scalar.  For width W, table entries cover
+///    bytes b < min(2^W, 256); the dispatch loop additionally requires the
+///    *unmasked* element value X < 256 and X < 2^W, so every dispatched
+///    element satisfies masked == unmasked and the table action agrees
+///    with the bytecode program instruction-for-instruction.  Elements out
+///    of that range (possible: the VM does not mask its input slot) run
+///    the ordinary bytecode program for that one element.
+///  - Actions are precomputed with the reference term evaluator at
+///    x = b, which shares its scalar semantics (term/ScalarOps.h) with the
+///    interpreter, so tables cannot drift from the bytecode.
+///
+/// A FastPathPlan is plain data (tables, constants, straight-line
+/// programs); it holds no pointers into the Bst or the
+/// CompiledTransducer, so plans stay valid when the owning pipeline
+/// objects are moved.  Execution binds (plan, transducer) at use time via
+/// FastPathCursor / runFastPath.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_VM_FASTPATH_H
+#define EFC_VM_FASTPATH_H
+
+#include "vm/Vm.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace efc {
+
+/// Byte -> equivalence-class map for one state's transition rule.  Shared
+/// between the VM fast path and CppCodeGen, so the generated C++ lookup
+/// tables partition bytes exactly like the interpreter's action tables.
+struct ByteClassTable {
+  /// True when every guard in the state's rule tree references only the
+  /// input variable (and the input type is scalar).
+  bool Eligible = false;
+  /// Number of in-range byte values: min(2^inputWidth, 256).  Entries at
+  /// b >= ValidBytes hold the sentinel class numClasses().
+  unsigned ValidBytes = 0;
+  /// byte -> index into Leaves (or the sentinel for padded entries).
+  std::array<uint16_t, 256> Class{};
+  /// Distinct Base/Undef leaves reached, in first-hit byte order.  Borrowed
+  /// from the Bst's rule trees; valid only while the Bst is alive.
+  std::vector<const Rule *> Leaves;
+
+  unsigned numClasses() const { return unsigned(Leaves.size()); }
+};
+
+/// Analyzes delta(Q) of \p A.  Returns an ineligible table when the input
+/// type is not scalar or some guard reads a register.
+ByteClassTable classifyDeltaByteClasses(const Bst &A, unsigned Q);
+
+/// Per-state dispatch tables for one compiled transducer.
+class FastPathPlan {
+public:
+  struct Stats {
+    unsigned TableStates = 0;    // states with a dispatch table
+    unsigned FallbackStates = 0; // states kept on bytecode only
+    unsigned ConstActions = 0;   // fully-folded (emit consts, write consts)
+    unsigned JumpActions = 0;    // state change only
+    unsigned ProgramActions = 0; // straight-line leaf programs
+  };
+
+  /// Builds the plan for \p A as compiled into \p T.  Always succeeds: a
+  /// state that cannot be tabulated simply stays on the bytecode path.
+  static FastPathPlan build(const Bst &A, const CompiledTransducer &T);
+
+  unsigned numStates() const { return unsigned(States.size()); }
+  bool stateHasTable(unsigned Q) const {
+    return Q < States.size() && States[Q].HasTable;
+  }
+  const Stats &stats() const { return S; }
+
+private:
+  friend class FastPathCursor;
+
+  struct Action {
+    enum class Kind : uint8_t {
+      Fallback, // run the state's bytecode program for this element
+      Reject,   // Undef leaf
+      Jump,     // no emits, no register writes: just change state
+      Const,    // emit constants, write constants, change state
+      Program   // straight-line bytecode for one leaf (register-reading
+                // outputs/updates under input-only guards)
+    };
+    Kind K = Kind::Fallback;
+    uint32_t Target = 0;                               // Jump / Const
+    std::vector<uint64_t> Emits;                       // Const
+    std::vector<std::pair<uint16_t, uint64_t>> Writes; // Const: slot <- imm
+    VmProgram Code;                                    // Program
+  };
+
+  struct StateTable {
+    bool HasTable = false;
+    /// byte -> index into Actions; all 256 entries valid (padding bytes
+    /// dispatch to the Fallback action at index 0).
+    std::array<uint16_t, 256> Dispatch{};
+    std::vector<Action> Actions;
+  };
+
+  std::vector<StateTable> States;
+  Stats S;
+};
+
+/// Streaming executor: the mixed-mode driver loop.  Holds a bytecode
+/// cursor for fallback states/elements and for finalizers, so its
+/// observable behavior (outputs, rejection, state) is byte-identical to
+/// CompiledTransducer::Cursor fed one element at a time.
+class FastPathCursor {
+public:
+  FastPathCursor(const FastPathPlan &P, const CompiledTransducer &T)
+      : Plan(&P), Inner(T) {}
+
+  void reset() { Inner.reset(); }
+
+  /// Feeds a chunk of elements; outputs are appended to \p Out (bulk
+  /// reserved).  Returns false when the transducer rejects.
+  bool feed(std::span<const uint64_t> In, std::vector<uint64_t> &Out);
+
+  /// Feeds one element.
+  bool feed(uint64_t X, std::vector<uint64_t> &Out) {
+    return feed(std::span<const uint64_t>(&X, 1), Out);
+  }
+
+  /// Runs the finalizer; returns false on rejection.
+  bool finish(std::vector<uint64_t> &Out) { return Inner.finish(Out); }
+
+  unsigned state() const { return Inner.state(); }
+
+private:
+  const FastPathPlan *Plan;
+  CompiledTransducer::Cursor Inner;
+};
+
+/// Whole-input transduction through the fast path; std::nullopt on
+/// rejection.  Semantically identical to CompiledTransducer::run.
+std::optional<std::vector<uint64_t>>
+runFastPath(const FastPathPlan &P, const CompiledTransducer &T,
+            std::span<const uint64_t> In);
+
+} // namespace efc
+
+#endif // EFC_VM_FASTPATH_H

@@ -302,6 +302,28 @@ private:
 
 } // namespace
 
+std::optional<VmProgram> efc::compileRuleProgram(const Bst &A, const Rule *R,
+                                                 bool IsFinalizer,
+                                                 unsigned *MaxSlotOut) {
+  if (!A.inputType()->isScalar() || !A.outputType()->isScalar())
+    return std::nullopt;
+  TermContext &Ctx = A.context();
+  std::vector<TermRef> RegLeaves;
+  collectLeafTerms(Ctx, A.regVar(), RegLeaves);
+  unsigned NumRegSlots = unsigned(RegLeaves.size());
+
+  std::unordered_map<TermRef, uint16_t> Fixed;
+  for (unsigned I = 0; I < RegLeaves.size(); ++I)
+    Fixed[RegLeaves[I]] = uint16_t(I);
+  Fixed[A.inputVar()] = uint16_t(NumRegSlots);
+
+  RuleCompiler RC(A, NumRegSlots, Fixed, NumRegSlots + 1);
+  VmProgram P = RC.compile(R, IsFinalizer);
+  if (MaxSlotOut)
+    *MaxSlotOut = RC.maxSlot();
+  return P;
+}
+
 std::optional<CompiledTransducer> CompiledTransducer::compile(const Bst &A) {
   if (!A.inputType()->isScalar() || !A.outputType()->isScalar())
     return std::nullopt;
@@ -560,6 +582,11 @@ std::optional<std::vector<uint64_t>>
 CompiledTransducer::run(std::span<const uint64_t> In) const {
   Cursor C(*this);
   std::vector<uint64_t> Out;
+  // Most pipeline stages emit at most about one element per input element
+  // (decoders shrink, formatters expand only the aggregate tail), so one
+  // up-front reservation makes the common case allocation-free instead of
+  // growing the vector once per Emit.
+  Out.reserve(In.size() + 16);
   for (uint64_t X : In)
     if (!C.feed(X, Out))
       return std::nullopt;

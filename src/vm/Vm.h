@@ -76,6 +76,21 @@ const char *vmOpName(VmOp Op);
 /// Disassembles one program, one instruction per line.
 std::string disassemble(const VmProgram &P);
 
+class FastPathCursor;
+
+/// Compiles a single rule of \p A with the same slot layout the full
+/// compile() uses (register leaves in fixed slots, input at slot
+/// numRegSlots(), temporaries above), so the resulting program can run on
+/// a CompiledTransducer cursor for the same Bst.  Returns std::nullopt
+/// when the input or output type is not scalar.  When \p MaxSlotOut is
+/// non-null it receives the compiler's max-slot watermark; callers must
+/// check MaxSlotOut + 1 <= numSlots() before executing the program on an
+/// existing cursor.  Used by the byte-class fast path (vm/FastPath.h) to
+/// build straight-line per-leaf programs.
+std::optional<VmProgram> compileRuleProgram(const Bst &A, const Rule *R,
+                                            bool IsFinalizer,
+                                            unsigned *MaxSlotOut = nullptr);
+
 /// A BST compiled for execution.  Input and output types must be scalar
 /// (every pipeline stage in the paper is char/byte/int valued).
 class CompiledTransducer {
@@ -86,6 +101,7 @@ public:
 
   unsigned numStates() const { return unsigned(Delta.size()); }
   unsigned numRegSlots() const { return NumRegSlots; }
+  unsigned numSlots() const { return NumSlots; }
   size_t codeSize() const;
 
   /// Full disassembly of all state programs (diagnostics).
@@ -109,6 +125,7 @@ public:
     unsigned state() const { return State; }
 
   private:
+    friend class efc::FastPathCursor;
     const CompiledTransducer *T;
     unsigned State = 0;
     std::vector<uint64_t> Slots;
@@ -121,6 +138,7 @@ public:
 
 private:
   friend class Cursor;
+  friend class efc::FastPathCursor;
   std::vector<VmProgram> Delta;
   std::vector<VmProgram> Fin;
   unsigned InitState = 0;

@@ -45,8 +45,10 @@ struct BackendName {
 };
 
 constexpr BackendName Names[] = {
-    {"vm", BK_Vm},         {"fused", BK_Fused},   {"fusedvm", BK_FusedVm},
-    {"rbbe", BK_Rbbe},     {"rbbevm", BK_RbbeVm}, {"native", BK_Native},
+    {"vm", BK_Vm},           {"fused", BK_Fused},
+    {"fusedvm", BK_FusedVm}, {"rbbe", BK_Rbbe},
+    {"rbbevm", BK_RbbeVm},   {"native", BK_Native},
+    {"fastpath", BK_FastPath}, {"rbbefast", BK_RbbeFast},
 };
 
 } // namespace
@@ -138,8 +140,9 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
     for (const Bst &St : Stages)
       StageVms.push_back(CompiledTransducer::compile(St));
 
-  constexpr unsigned NeedFused =
-      BK_Fused | BK_FusedVm | BK_Rbbe | BK_RbbeVm | BK_Native;
+  constexpr unsigned NeedFused = BK_Fused | BK_FusedVm | BK_Rbbe |
+                                 BK_RbbeVm | BK_Native | BK_FastPath |
+                                 BK_RbbeFast;
   if (!(Backends & NeedFused))
     return;
 
@@ -149,12 +152,16 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
     Ptrs.push_back(&St);
   Fused.emplace(fuseChain(Ptrs, S, Opts.Fusion));
 
-  if (Backends & BK_FusedVm)
+  if (Backends & (BK_FusedVm | BK_FastPath))
     FusedVm = CompiledTransducer::compile(*Fused);
-  if (Backends & (BK_Rbbe | BK_RbbeVm)) {
+  if ((Backends & BK_FastPath) && FusedVm)
+    FusedFast.emplace(FastPathPlan::build(*Fused, *FusedVm));
+  if (Backends & (BK_Rbbe | BK_RbbeVm | BK_RbbeFast)) {
     Rbbe.emplace(eliminateUnreachableBranches(*Fused, S, Opts.Rbbe));
-    if (Backends & BK_RbbeVm)
+    if (Backends & (BK_RbbeVm | BK_RbbeFast))
       RbbeVm = CompiledTransducer::compile(*Rbbe);
+    if ((Backends & BK_RbbeFast) && RbbeVm)
+      RbbeFast.emplace(FastPathPlan::build(*Rbbe, *RbbeVm));
   }
   if (Backends & BK_Native) {
     static unsigned Counter = 0;
@@ -233,6 +240,22 @@ Oracle::check(std::span<const Value> Input) const {
       return Disagreement{"rbbevm", renderRaw(RefRaw),
                           "RBBE'd stage rejected by the VM compiler"};
     if (auto D = diverges("rbbevm", RbbeVm->run(Raw)))
+      return D;
+  }
+
+  if (Backends & BK_FastPath) {
+    if (!FusedVm)
+      return Disagreement{"fastpath", renderRaw(RefRaw),
+                          "fused stage rejected by the VM compiler"};
+    if (auto D = diverges("fastpath", runFastPath(*FusedFast, *FusedVm, Raw)))
+      return D;
+  }
+
+  if (Backends & BK_RbbeFast) {
+    if (!RbbeVm)
+      return Disagreement{"rbbefast", renderRaw(RefRaw),
+                          "RBBE'd stage rejected by the VM compiler"};
+    if (auto D = diverges("rbbefast", runFastPath(*RbbeFast, *RbbeVm, Raw)))
       return D;
   }
 

@@ -12,6 +12,8 @@
 ///   * fuseChain, on the VM                   (BK_FusedVm)
 ///   * RBBE of the fused transducer, interp   (BK_Rbbe)
 ///   * RBBE of the fused transducer, VM       (BK_RbbeVm)
+///   * byte-class fast path over fused VM     (BK_FastPath)
+///   * byte-class fast path over RBBE'd VM    (BK_RbbeFast)
 ///   * generated C++ compiled to a .so        (BK_Native, host compiler)
 ///
 /// A greedy shrinker minimizes failing (pipeline, input) pairs by stage
@@ -27,6 +29,7 @@
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
 #include "rbbe/Rbbe.h"
+#include "vm/FastPath.h"
 #include "vm/Vm.h"
 
 #include <functional>
@@ -46,8 +49,12 @@ enum Backend : unsigned {
   BK_Rbbe = 1u << 3,    ///< RBBE(fused) → reference interpreter
   BK_RbbeVm = 1u << 4,  ///< RBBE(fused) → bytecode VM
   BK_Native = 1u << 5,  ///< fused → generated C++ → dlopen'd .so
+  BK_FastPath = 1u << 6, ///< fused → byte-class dispatch fast path
+  BK_RbbeFast = 1u << 7, ///< RBBE(fused) → byte-class dispatch fast path
 
-  BK_Default = BK_Vm | BK_Fused | BK_FusedVm | BK_Rbbe | BK_RbbeVm,
+  BK_Default =
+      BK_Vm | BK_Fused | BK_FusedVm | BK_Rbbe | BK_RbbeVm | BK_FastPath |
+      BK_RbbeFast,
   BK_All = BK_Default | BK_Native,
 };
 
@@ -119,6 +126,7 @@ private:
   std::vector<std::optional<CompiledTransducer>> StageVms;
   std::optional<Bst> Fused, Rbbe;
   std::optional<CompiledTransducer> FusedVm, RbbeVm;
+  std::optional<FastPathPlan> FusedFast, RbbeFast;
   std::optional<NativeTransducer> Native;
   std::string NativeErr;
 };

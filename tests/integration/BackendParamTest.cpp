@@ -2,8 +2,8 @@
 //
 // TEST_P sweep: every benchmark pipeline is executed by every backend
 // (reference interpreter via the pull/push variants, the bytecode VM,
-// and the dlopen'd native code) on its synthetic dataset; all outputs
-// must be identical.
+// the byte-class fast path, and the dlopen'd native code) on its
+// synthetic dataset; all outputs must be identical.
 //
 //===----------------------------------------------------------------------===//
 
@@ -91,6 +91,10 @@ TEST_P(BackendParamTest, AllBackendsAgree) {
   auto Push = runPushPipeline(P.stagePtrs(), In);
   ASSERT_TRUE(Push.has_value()) << C.Name;
   EXPECT_EQ(*Fused, *Push) << C.Name << ": push (method-call) variant";
+
+  auto Fast = runFastPath(*P.FastPlan, *P.CompiledFused, In);
+  ASSERT_TRUE(Fast.has_value()) << C.Name;
+  EXPECT_EQ(*Fused, *Fast) << C.Name << ": byte-class fast path";
 
   if (P.Native) {
     auto Nat = P.Native->run(In);

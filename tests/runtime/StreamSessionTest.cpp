@@ -3,8 +3,9 @@
 // The streaming contract: for ANY split of an input into chunks — fixed
 // sizes from 1 to 4096, random partitions, cuts inside multi-byte UTF-8
 // sequences — the concatenated session output is byte-identical to the
-// one-shot run, on both the bytecode VM and the native suspend/resume
-// entry points.  Swept over every Figure 9 pipeline.
+// one-shot run, on the bytecode VM, the byte-class fast path, and the
+// native suspend/resume entry points.  Swept over every Figure 9
+// pipeline.
 //
 //===----------------------------------------------------------------------===//
 
@@ -105,6 +106,10 @@ TEST_P(StreamChunkInvariance, FixedAndRandomSplitsMatchOneShot) {
     auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, Cuts);
     ASSERT_TRUE(Vm.has_value()) << C.Name << " chunk=" << Chunk;
     EXPECT_EQ(*Vm, WantBytes) << C.Name << " vm chunk=" << Chunk;
+    auto Fast = streamAt(
+        StreamSession::overFast(*P.FastPlan, *P.CompiledFused), In, Cuts);
+    ASSERT_TRUE(Fast.has_value()) << C.Name << " chunk=" << Chunk;
+    EXPECT_EQ(*Fast, WantBytes) << C.Name << " fastpath chunk=" << Chunk;
     if (Nat) {
       auto N = streamAt(StreamSession::overNative(*P.Native).value(), In,
                         Cuts);
@@ -124,6 +129,10 @@ TEST_P(StreamChunkInvariance, FixedAndRandomSplitsMatchOneShot) {
     auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, Cuts);
     ASSERT_TRUE(Vm.has_value()) << C.Name << " round=" << Round;
     EXPECT_EQ(*Vm, WantBytes) << C.Name << " vm round=" << Round;
+    auto Fast = streamAt(
+        StreamSession::overFast(*P.FastPlan, *P.CompiledFused), In, Cuts);
+    ASSERT_TRUE(Fast.has_value()) << C.Name << " round=" << Round;
+    EXPECT_EQ(*Fast, WantBytes) << C.Name << " fastpath round=" << Round;
     if (Nat) {
       auto N =
           streamAt(StreamSession::overNative(*P.Native).value(), In, Cuts);
@@ -153,6 +162,10 @@ TEST(StreamSession, MidUtf8SplitsEverywhere) {
     auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, {Cut});
     ASSERT_TRUE(Vm.has_value()) << "cut=" << Cut;
     EXPECT_EQ(*Vm, WantBytes) << "vm cut=" << Cut;
+    auto Fast = streamAt(
+        StreamSession::overFast(*P.FastPlan, *P.CompiledFused), In, {Cut});
+    ASSERT_TRUE(Fast.has_value()) << "cut=" << Cut;
+    EXPECT_EQ(*Fast, WantBytes) << "fastpath cut=" << Cut;
     if (P.Native) {
       auto N = streamAt(StreamSession::overNative(*P.Native).value(), In,
                         {Cut});
@@ -180,6 +193,34 @@ TEST(StreamSession, RejectionIsSticky) {
   EXPECT_TRUE(S.rejected());
   EXPECT_FALSE(S.feed(std::string_view("more")));
   EXPECT_FALSE(S.finish());
+}
+
+TEST(StreamSession, FastPathRejectionIsSticky) {
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  StreamSession S = StreamSession::overFast(*P.FastPlan, *P.CompiledFused);
+  ASSERT_TRUE(S.feed(std::string_view("ok\n")));
+  EXPECT_FALSE(S.feed(std::string_view("\xff")));
+  EXPECT_TRUE(S.rejected());
+  EXPECT_FALSE(S.feed(std::string_view("more")));
+  EXPECT_FALSE(S.finish());
+}
+
+TEST(StreamSession, OpenFastBackendUsesCachedPlan) {
+  PipelineCache Cache(2);
+  PipelineSpec Spec;
+  Spec.Kind = PipelineSpec::Frontend::Regex;
+  Spec.Pattern = "(?:(?:[^,\\n]*,){1}(?<v>\\d+),[^\\n]*\\n)*";
+  Spec.Agg = "max";
+  Spec.Format = "decimal";
+  std::string Err;
+  auto P = Cache.get(Spec, false, &Err);
+  ASSERT_TRUE(P) << Err;
+  ASSERT_TRUE(P->Fast.has_value()) << "cache entries carry a fast-path plan";
+  auto S = StreamSession::open(P, StreamSession::Backend::Fast, &Err);
+  ASSERT_TRUE(S.has_value()) << Err;
+  ASSERT_TRUE(S->feed(std::string_view("a,7,x\nb,31,y\n")));
+  ASSERT_TRUE(S->finish());
+  EXPECT_EQ(S->takeOutput(), "31");
 }
 
 TEST(StreamSession, FinishIsIdempotentAndFinal) {

@@ -1,0 +1,220 @@
+//===- tests/vm/FastPathTest.cpp - Byte-class dispatch fast path ----------===//
+//
+// Unit tests for vm/FastPath.h: classification (eligibility, equivalence
+// classes, sentinel padding), plan construction (action kinds, fallback
+// demotion), and the mixed-mode driver (out-of-range elements, chunk
+// splits, rejection semantics) — always differentially against the plain
+// bytecode VM, which is the reference the fast path must match
+// byte-for-byte.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "support/Stopwatch.h"
+#include "vm/FastPath.h"
+
+#include <gtest/gtest.h>
+
+using namespace efc;
+
+namespace {
+
+class FastPathTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  static std::vector<uint64_t> rawOf(const std::vector<Value> &Vs) {
+    std::vector<uint64_t> Out;
+    Out.reserve(Vs.size());
+    for (const Value &V : Vs)
+      Out.push_back(V.bits());
+    return Out;
+  }
+
+  /// Fast path and plain VM must agree exactly (output and rejection).
+  void expectAgreesWithVm(const Bst &A, const std::vector<uint64_t> &In,
+                          const char *What) {
+    auto T = CompiledTransducer::compile(A);
+    ASSERT_TRUE(T.has_value()) << What;
+    FastPathPlan P = FastPathPlan::build(A, *T);
+    auto Want = T->run(In);
+    auto Got = runFastPath(P, *T, In);
+    ASSERT_EQ(Want.has_value(), Got.has_value()) << What;
+    if (Want)
+      EXPECT_EQ(*Want, *Got) << What;
+  }
+};
+
+/// 2 states over bv(8): state 0 echoes and jumps to 1 on 'a', else stays;
+/// state 1 guards on the *register* — ineligible by construction.
+Bst makeMixedEligibility(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 2, 0, Value::bv(8, 0));
+  TermRef X = A.inputVar(), R = A.regVar();
+  A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, 'a')),
+                          Rule::base({X}, 1, R), Rule::base({X}, 0, R)));
+  A.setDelta(1, Rule::ite(Ctx.mkEq(R, Ctx.bvConst(8, 0)),
+                          Rule::base({X}, 0, X), Rule::base({}, 1, R)));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  A.setFinalizer(1, Rule::base({}, 1, R));
+  return A;
+}
+
+TEST_F(FastPathTest, ClassifyPartitionsBytesByLeaf) {
+  Bst A = makeMixedEligibility(Ctx);
+  ByteClassTable C = classifyDeltaByteClasses(A, 0);
+  ASSERT_TRUE(C.Eligible);
+  EXPECT_EQ(C.ValidBytes, 256u);
+  ASSERT_EQ(C.numClasses(), 2u);
+  // 'a' is alone in its class; every other byte shares the else-leaf.
+  uint16_t ClassA = C.Class['a'];
+  for (unsigned B = 0; B < 256; ++B)
+    EXPECT_EQ(C.Class[B] == ClassA, B == 'a') << "byte " << B;
+
+  ByteClassTable C1 = classifyDeltaByteClasses(A, 1);
+  EXPECT_FALSE(C1.Eligible) << "register-reading guard must be ineligible";
+}
+
+TEST_F(FastPathTest, NarrowWidthPadsWithSentinel) {
+  Bst A(Ctx, Ctx.bv(4), Ctx.bv(4), Ctx.bv(4), 1, 0, Value::bv(4, 0));
+  TermRef X = A.inputVar();
+  A.setDelta(0, Rule::ite(Ctx.mkUlt(X, Ctx.bvConst(4, 8)),
+                          Rule::base({X}, 0, A.regVar()), Rule::undef()));
+  A.setFinalizer(0, Rule::base({}, 0, A.regVar()));
+  ByteClassTable C = classifyDeltaByteClasses(A, 0);
+  ASSERT_TRUE(C.Eligible);
+  EXPECT_EQ(C.ValidBytes, 16u);
+  EXPECT_EQ(C.numClasses(), 2u); // accept-leaf and Undef
+  for (unsigned B = 16; B < 256; ++B)
+    EXPECT_EQ(C.Class[B], C.numClasses()) << "padding byte " << B;
+}
+
+TEST_F(FastPathTest, PlanCountsTableAndFallbackStates) {
+  Bst A = makeMixedEligibility(Ctx);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  EXPECT_EQ(P.numStates(), 2u);
+  EXPECT_TRUE(P.stateHasTable(0));
+  EXPECT_FALSE(P.stateHasTable(1));
+  EXPECT_EQ(P.stats().TableStates, 1u);
+  EXPECT_EQ(P.stats().FallbackStates, 1u);
+  // State 0 emits the input itself: not constant-foldable per class (the
+  // 'a' class is a singleton, so it *can* fold; the else class cannot),
+  // so the plan must contain at least one Program or Const action.
+  EXPECT_GT(P.stats().ConstActions + P.stats().ProgramActions, 0u);
+}
+
+TEST_F(FastPathTest, RejectActionLeavesStateObservable) {
+  // bv(8), state 0: reject everything but 'x'.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+  TermRef X = A.inputVar();
+  A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, 'x')),
+                          Rule::base({X}, 0, A.regVar()), Rule::undef()));
+  A.setFinalizer(0, Rule::base({}, 0, A.regVar()));
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+
+  FastPathCursor C(P, *T);
+  std::vector<uint64_t> Out;
+  EXPECT_TRUE(C.feed(uint64_t('x'), Out));
+  unsigned Before = C.state();
+  EXPECT_FALSE(C.feed(uint64_t('y'), Out));
+  EXPECT_EQ(C.state(), Before) << "rejection must not advance the state";
+  EXPECT_EQ(Out, std::vector<uint64_t>{uint64_t('x')});
+}
+
+TEST_F(FastPathTest, OutOfRangeElementsUseBytecode) {
+  // bv(16) input: the table covers x < 256 only; elements above must take
+  // the per-element bytecode fallback and still agree with the VM.
+  Bst A(Ctx, Ctx.bv(16), Ctx.bv(16), Ctx.bv(16), 1, 0, Value::bv(16, 0));
+  TermRef X = A.inputVar();
+  A.setDelta(0, Rule::ite(Ctx.mkUlt(X, Ctx.bvConst(16, 128)),
+                          Rule::base({X}, 0, A.regVar()),
+                          Rule::base({X, X}, 0, A.regVar())));
+  A.setFinalizer(0, Rule::base({}, 0, A.regVar()));
+
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  EXPECT_TRUE(P.stateHasTable(0)) << "16-bit input is still eligible";
+
+  std::vector<uint64_t> In = {'a', 0x1234, 0xFF, 0x100, 0xFFFF, 0, 255};
+  expectAgreesWithVm(A, In, "mixed in/out of byte range");
+}
+
+TEST_F(FastPathTest, ChunkSplitsMatchOneShot) {
+  Bst A = lib::makeToInt(Ctx);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+
+  std::vector<uint64_t> In;
+  for (char C : std::string("31415"))
+    In.push_back(uint64_t(C));
+  auto Want = runFastPath(P, *T, In);
+  ASSERT_TRUE(Want.has_value());
+
+  for (size_t Cut = 0; Cut <= In.size(); ++Cut) {
+    FastPathCursor C(P, *T);
+    std::vector<uint64_t> Out;
+    ASSERT_TRUE(C.feed(std::span<const uint64_t>(In).subspan(0, Cut), Out));
+    ASSERT_TRUE(C.feed(std::span<const uint64_t>(In).subspan(Cut), Out));
+    ASSERT_TRUE(C.finish(Out));
+    EXPECT_EQ(Out, *Want) << "cut=" << Cut;
+  }
+}
+
+TEST_F(FastPathTest, StdlibZooAgreesOnRandomInputs) {
+  SplitMix64 Rng(47);
+  struct Case {
+    Bst A;
+    unsigned InputWidth;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({lib::makeUtf8Decode(Ctx), 8});
+  Cases.push_back({lib::makeUtf8Decode2(Ctx), 8});
+  Cases.push_back({lib::makeToInt(Ctx), 16});
+  Cases.push_back({lib::makeBase64Decode(Ctx), 8});
+  Cases.push_back({lib::makeBase64Encode(Ctx), 8});
+  Cases.push_back({lib::makeHtmlEncode(Ctx), 16});
+  Cases.push_back({lib::makeLineCount(Ctx), 16});
+  Cases.push_back({lib::makeDelta(Ctx), 32});
+  Cases.push_back({lib::makeWindowedAverage(Ctx, 4), 32});
+  for (auto &C : Cases) {
+    auto T = CompiledTransducer::compile(C.A);
+    ASSERT_TRUE(T.has_value());
+    FastPathPlan P = FastPathPlan::build(C.A, *T);
+    for (int Iter = 0; Iter < 25; ++Iter) {
+      std::vector<uint64_t> In;
+      size_t N = Rng.below(32);
+      for (size_t I = 0; I < N; ++I)
+        In.push_back(Rng.below(4)
+                         ? Rng.range(0x20, 0x7E)
+                         : Rng.below(uint64_t(1)
+                                     << std::min(C.InputWidth, 16u)));
+      auto Want = T->run(In);
+      auto Got = runFastPath(P, *T, In);
+      ASSERT_EQ(Want.has_value(), Got.has_value()) << "iter " << Iter;
+      if (Want)
+        EXPECT_EQ(*Want, *Got) << "iter " << Iter;
+    }
+  }
+}
+
+TEST_F(FastPathTest, PlanSurvivesTransducerMove) {
+  // The plan is plain data; moving the compiled transducer (as pipeline
+  // containers do) must not invalidate it.
+  Bst A = lib::makeToInt(Ctx);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  CompiledTransducer Moved = std::move(*T);
+  std::vector<uint64_t> In = {'4', '2'};
+  auto Got = runFastPath(P, Moved, In);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, std::vector<uint64_t>{42u});
+}
+
+} // namespace

@@ -61,8 +61,8 @@ int usage(const char *Msg = nullptr) {
           "usage: efc-fuzz [--seed S] [--iters N] [--replay S]\n"
           "                [--max-states K] [--max-stages K] [--max-len L]\n"
           "                [--inputs N] [--elem-width 4|8|16]\n"
-          "                [--backends vm,fused,fusedvm,rbbe,rbbevm,native|"
-          "default|all]\n"
+          "                [--backends vm,fused,fusedvm,rbbe,rbbevm,fastpath,"
+          "rbbefast,native|default|all]\n"
           "                [--native-every N] [--no-shrink]\n"
           "                [--shrink-budget N] [--time-budget SEC] "
           "[--quiet]\n"

@@ -46,7 +46,8 @@ int usage(const char *Msg = nullptr) {
           "Q)\n"
           "                 [--agg max|min|avg|none] [--format "
           "decimal|lines|sql]\n"
-          "                 [--backend vm|native] [--no-rbbe] [--minimize]\n"
+          "                 [--backend vm|fastpath|native] [--no-rbbe] "
+          "[--minimize]\n"
           "       efc-serve --socket PATH --feed NAME --file F [--chunk N]\n"
           "       efc-serve --socket PATH --finish NAME\n"
           "       efc-serve --socket PATH --close NAME\n"
@@ -123,7 +124,8 @@ int feedChunks(int Fd, const std::string &Name, const std::string &Data,
 
 int main(int argc, char **argv) {
   std::string Socket, Open, Feed, Finish, Close, Run, File;
-  std::string Regex, XPath, Agg = "none", Format = "lines", Backend = "vm";
+  std::string Regex, XPath, Agg = "none", Format = "lines",
+              Backend = "fastpath";
   unsigned Threads = 4;
   size_t Queue = 16, CacheCap = 32, Chunk = 4096;
   bool Stats = false, Shutdown = false, DoRbbe = true, DoMinimize = false;
@@ -174,7 +176,7 @@ int main(int argc, char **argv) {
         return usage("--format needs a kind");
     } else if (A == "--backend") {
       if (!NeedVal(Backend))
-        return usage("--backend needs vm|native");
+        return usage("--backend needs vm|fastpath|native");
     } else if (A == "--threads") {
       const char *V = Next();
       if (!V)

@@ -19,9 +19,15 @@
 //   --no-rbbe        skip reachability-based branch elimination
 //   --minimize       run control-state minimization
 //   --run FILE       execute over FILE, write output bytes to stdout
-//   --native         execute --run through the native backend (generated
-//                    C++ compiled by the host compiler, served from the
-//                    on-disk artifact cache when warm; see EFC_CACHE_DIR)
+//   --backend K      vm | fastpath | native   (default: fastpath)
+//                    vm       = plain bytecode interpreter
+//                    fastpath = byte-class dispatch tables over the VM
+//                               (vm/FastPath.h; bytecode fallback for
+//                               register-guarded states)
+//                    native   = generated C++ compiled by the host
+//                               compiler, served from the on-disk
+//                               artifact cache when warm (EFC_CACHE_DIR)
+//   --native         alias for --backend native
 //   --emit-cpp FILE  write generated C++ to FILE
 //   --stats          print pipeline statistics to stderr
 //
@@ -50,7 +56,8 @@ int usage(const char *Msg = nullptr) {
   fprintf(stderr,
           "usage: efcc (--regex P | --xpath Q) [--agg max|min|avg|none]\n"
           "            [--format decimal|lines|sql] [--no-rbbe]\n"
-          "            [--minimize] [--stats] [--native]\n"
+          "            [--minimize] [--stats]\n"
+          "            [--backend vm|fastpath|native] [--native]\n"
           "            [--run FILE] [--emit-cpp FILE]\n");
   return 2;
 }
@@ -59,8 +66,8 @@ int usage(const char *Msg = nullptr) {
 
 int main(int argc, char **argv) {
   std::string Regex, XPath, Agg = "none", Format = "lines";
-  std::string RunFile, EmitFile;
-  bool DoRbbe = true, DoMinimize = false, Stats = false, Native = false;
+  std::string RunFile, EmitFile, Backend = "fastpath";
+  bool DoRbbe = true, DoMinimize = false, Stats = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -101,8 +108,13 @@ int main(int argc, char **argv) {
       DoRbbe = false;
     } else if (A == "--minimize") {
       DoMinimize = true;
+    } else if (A == "--backend") {
+      if (const char *V = Next())
+        Backend = V;
+      else
+        return usage("--backend needs vm|fastpath|native");
     } else if (A == "--native") {
-      Native = true;
+      Backend = "native";
     } else if (A == "--stats") {
       Stats = true;
     } else {
@@ -113,6 +125,9 @@ int main(int argc, char **argv) {
     return usage("exactly one of --regex / --xpath is required");
   if (RunFile.empty() && EmitFile.empty() && !Stats)
     return usage("nothing to do: pass --run, --emit-cpp or --stats");
+  if (Backend != "vm" && Backend != "fastpath" && Backend != "native")
+    return usage(("unknown backend '" + Backend + "'").c_str());
+  bool Native = Backend == "native";
 
   PipelineSpec Spec;
   Spec.Kind = Regex.empty() ? PipelineSpec::Frontend::XPath
@@ -194,6 +209,16 @@ int main(int argc, char **argv) {
                   Info.CompileMs, Info.SoPath.c_str());
       }
       Out = N->run(In);
+    } else if (Backend == "fastpath" && P->Fast) {
+      if (Stats) {
+        const FastPathPlan::Stats &FS = P->Fast->stats();
+        fprintf(stderr,
+                "efcc: fast path: %u/%u states tabulated "
+                "(%u const, %u jump, %u program actions)\n",
+                FS.TableStates, FS.TableStates + FS.FallbackStates,
+                FS.ConstActions, FS.JumpActions, FS.ProgramActions);
+      }
+      Out = runFastPath(*P->Fast, *P->Vm, In);
     } else {
       Out = P->Vm->run(In);
     }
