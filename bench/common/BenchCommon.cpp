@@ -64,7 +64,12 @@ BuiltPipeline efc::bench::buildPipeline(const std::string &Name,
   auto CF = CompiledTransducer::compile(Clean);
   assert(CF && "fused pipeline must have scalar element types");
   P.CompiledFused.emplace(std::move(*CF));
-  P.FastPlan.emplace(FastPathPlan::build(Clean, *P.CompiledFused));
+  // EFC_FASTPATH_ACCEL=0 disables run kernels for A/B measurement
+  // (EXPERIMENTS.md before/after table).
+  FastPathOptions FOpts;
+  if (const char *Accel = std::getenv("EFC_FASTPATH_ACCEL"))
+    FOpts.RunAccel = std::atoi(Accel) != 0;
+  P.FastPlan.emplace(FastPathPlan::build(Clean, *P.CompiledFused, FOpts));
 
   std::string Tag = Name;
   for (char &C : Tag)

@@ -19,6 +19,8 @@ struct Row {
   std::string Pipeline;
   std::string Backend;
   double MbPerS = 0;
+  uint64_t InputBytes = 0; // per-iteration input size
+  uint64_t Iterations = 0;
 };
 
 /// Console reporter that additionally captures each run's throughput.
@@ -37,8 +39,17 @@ public:
       size_t Slash = Name.find('/');
       if (Slash == std::string::npos)
         continue;
+      // SetBytesProcessed records bytes * iterations; recover the
+      // per-iteration input size from the counter and the measured time.
+      uint64_t InputBytes =
+          R.iterations
+              ? uint64_t(double(It->second) * R.real_accumulated_time /
+                             double(R.iterations) +
+                         0.5)
+              : 0;
       Rows.push_back({Name.substr(0, Slash), Name.substr(Slash + 1),
-                      double(It->second) / 1e6});
+                      double(It->second) / 1e6, InputBytes,
+                      uint64_t(R.iterations)});
     }
     ConsoleReporter::ReportRuns(Runs);
   }
@@ -92,14 +103,16 @@ void mergeAndWrite(const std::string &Path, const std::vector<Row> &Fresh) {
       std::string P = extractString(Line, "pipeline");
       std::string B = extractString(Line, "backend");
       if (!P.empty() && !B.empty())
-        Rows.push_back({P, B, extractNumber(Line, "mb_per_s")});
+        Rows.push_back({P, B, extractNumber(Line, "mb_per_s"),
+                        uint64_t(extractNumber(Line, "input_bytes")),
+                        uint64_t(extractNumber(Line, "iterations"))});
     }
   }
   for (const Row &N : Fresh) {
     bool Found = false;
     for (Row &O : Rows)
       if (O.Pipeline == N.Pipeline && O.Backend == N.Backend) {
-        O.MbPerS = N.MbPerS;
+        O = N;
         Found = true;
         break;
       }
@@ -111,12 +124,15 @@ void mergeAndWrite(const std::string &Path, const std::vector<Row> &Fresh) {
   S << "{\n  \"git_rev\": \"" << gitRev() << "\",\n  \"unit\": \"MB/s\","
     << "\n  \"results\": [";
   for (size_t I = 0; I < Rows.size(); ++I) {
-    char Buf[256];
+    char Buf[320];
     snprintf(Buf, sizeof(Buf),
              "\n    {\"pipeline\": \"%s\", \"backend\": \"%s\", "
-             "\"mb_per_s\": %.2f}%s",
+             "\"mb_per_s\": %.2f, \"input_bytes\": %llu, "
+             "\"iterations\": %llu}%s",
              Rows[I].Pipeline.c_str(), Rows[I].Backend.c_str(),
-             Rows[I].MbPerS, I + 1 < Rows.size() ? "," : "");
+             Rows[I].MbPerS, (unsigned long long)Rows[I].InputBytes,
+             (unsigned long long)Rows[I].Iterations,
+             I + 1 < Rows.size() ? "," : "");
     S << Buf;
   }
   S << "\n  ]\n}\n";

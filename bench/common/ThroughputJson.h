@@ -5,12 +5,16 @@
 /// trajectory is tracked across PRs.  Benchmarks named "Pipeline/Backend"
 /// that call SetBytesProcessed become rows of
 ///
-///   {"pipeline": ..., "backend": ..., "mb_per_s": ...}
+///   {"pipeline": ..., "backend": ..., "mb_per_s": ...,
+///    "input_bytes": ..., "iterations": ...}
 ///
 /// in BENCH_throughput.json (path override: EFC_BENCH_JSON; set it to ""
-/// to disable recording).  The writer merges by (pipeline, backend) —
-/// fig9 and fig13 update their own rows without clobbering each other —
-/// and stamps the current git revision.  MB = 10^6 bytes.
+/// to disable recording).  input_bytes is the per-iteration input size
+/// and iterations the measured repeat count, so a number in the file can
+/// be judged (cache-resident 1 MB vs bandwidth-bound 4 MB runs differ by
+/// 2-4x) and reproduced (EFC_BENCH_MB).  The writer merges by (pipeline,
+/// backend) — fig9 and fig13 update their own rows without clobbering
+/// each other — and stamps the current git revision.  MB = 10^6 bytes.
 ///
 //===----------------------------------------------------------------------===//
 

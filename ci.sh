@@ -9,7 +9,11 @@
 #   3. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
 #      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
 #      small fig9 benchmark run refreshes BENCH_throughput.json at the
-#      repo root so the recorded numbers track HEAD.
+#      repo root so the recorded numbers track HEAD.  The fresh numbers
+#      are gated against the committed ones: any (pipeline, backend) row
+#      dropping more than EFC_BENCH_GATE_PCT percent (default 20) fails
+#      the script; EFC_BENCH_GATE_PCT=0 disables the gate (noisy shared
+#      machines).
 #   4. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
@@ -69,12 +73,50 @@ for AGG in max min avg; do
   fi
 done
 echo "fastpath == vm on corpus.csv (max/min/avg)"
-# Refresh the committed throughput record for a few pipelines at 1 MB;
-# rows merge into BENCH_throughput.json without disturbing the others.
+# Refresh the committed throughput record for a few pipelines at 1 MB.
+# The fresh rows merge into a scratch copy first and are compared against
+# the committed file per (pipeline, backend); only when the gate passes
+# does the scratch copy replace BENCH_throughput.json, so a failed gate
+# leaves the committed numbers untouched.
+GATE_PCT=${EFC_BENCH_GATE_PCT:-20}
+cp BENCH_throughput.json "$SCRATCH/throughput.json" 2>/dev/null || true
 EFC_BENCH_MB=1 EFC_BENCH_PIPELINES=CSV-max,UTF8-lines,CC-id \
-  EFC_BENCH_JSON="$PWD/BENCH_throughput.json" \
+  EFC_BENCH_JSON="$SCRATCH/throughput.json" \
   "$BUILD/bench/fig9_pipelines" \
   --benchmark_filter='/(Fused|FusedFastPath)$' --benchmark_min_time=0.1s
+if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
+  awk -v pct="$GATE_PCT" '
+    function key(line) {
+      match(line, /"pipeline": "[^"]*"/)
+      p = substr(line, RSTART + 13, RLENGTH - 14)
+      match(line, /"backend": "[^"]*"/)
+      b = substr(line, RSTART + 12, RLENGTH - 13)
+      return p "/" b
+    }
+    function mbps(line) {
+      match(line, /"mb_per_s": [0-9.]+/)
+      return substr(line, RSTART + 12, RLENGTH - 12) + 0
+    }
+    NR == FNR { if (/"pipeline"/) old[key($0)] = mbps($0); next }
+    /"pipeline"/ {
+      k = key($0); cur = mbps($0)
+      if (k in old && old[k] > 0) {
+        drop = (old[k] - cur) / old[k] * 100
+        printf "  %-28s %8.2f -> %8.2f MB/s (%+.1f%%)\n", k, old[k], cur, -drop
+        if (drop > pct) bad = bad "\n  " k
+      }
+    }
+    END {
+      if (bad != "") { printf "throughput regression > %s%%:%s\n", pct, bad
+                       exit 1 }
+    }
+  ' BENCH_throughput.json "$SCRATCH/throughput.json" || {
+    echo "throughput gate failed (override: EFC_BENCH_GATE_PCT=0 ./ci.sh," \
+         "or a higher percentage for a known-noisy machine)" >&2
+    exit 1
+  }
+fi
+mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
 echo "== [4/4] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"

@@ -200,8 +200,15 @@ public:
     // the input dispatch through a static lookup table, the paper's
     // character-class codegen.  Same classifier as the VM fast path, so
     // the table partition cannot drift from the interpreter's.
-    for (unsigned Q = 0; Q < A.numStates(); ++Q)
+    for (unsigned Q = 0; Q < A.numStates(); ++Q) {
       Tables.push_back(classifyDeltaByteClasses(A, Q));
+      // Run kernels come from the same classifier as the VM driver, so
+      // native and VM accelerate identical byte sets with identical
+      // effects (action-for-action alignment).
+      Kernels.push_back(Opts.RunAccel && Tables[Q].Eligible
+                            ? classifyRunKernels(A, Q, Tables[Q])
+                            : std::vector<RunKernel>());
+    }
   }
 
   /// File-scope byte -> equivalence-class tables for table-dispatched
@@ -224,6 +231,18 @@ public:
       }
       S += "\n};\n";
     }
+    // 256-bit membership masks for run kernels; single-escape kernels
+    // compare against the escape byte directly and need no mask.
+    for (unsigned Q = 0; Q < A.numStates(); ++Q)
+      for (unsigned K = 0; K < Kernels[Q].size(); ++K) {
+        const RunKernel &RK = Kernels[Q][K];
+        if (RK.SingleEscape >= 0)
+          continue;
+        S += "static const uint64_t " + runMaskName(Q, K) + "[4] = {";
+        for (unsigned W = 0; W < 4; ++W)
+          S += (W ? ", " : "") + hex(RK.Mask[W]);
+        S += "};\n";
+      }
     if (!S.empty())
       S += "\n";
     return S;
@@ -329,9 +348,15 @@ private:
   std::unordered_map<TermRef, std::string> Leaves;
   unsigned NumLeaves = 0;
   std::vector<ByteClassTable> Tables;
+  std::vector<std::vector<RunKernel>> Kernels;
 
   std::string tableName(unsigned Q) {
     return Opts.FunctionName + "_cls" + std::to_string(Q);
+  }
+
+  std::string runMaskName(unsigned Q, unsigned K) {
+    return Opts.FunctionName + "_run" + std::to_string(Q) + "_" +
+           std::to_string(K);
   }
 
   /// A table only pays off when the rule actually branches; leaf-only
@@ -348,20 +373,89 @@ private:
   /// guards perform (the VM fast path makes the same split).
   std::string deltaCode(unsigned Q) {
     std::string S;
-    if (usesTable(Q)) {
-      const ByteClassTable &C = Tables[Q];
+    if (usesTable(Q) || !Kernels[Q].empty()) {
       S += "  if (x < 0x100ull) {\n";
-      S += "    switch (" + tableName(Q) + "[x]) {\n";
-      for (unsigned K = 0; K < C.numClasses(); ++K) {
-        S += "    case " + std::to_string(K) + ": {\n";
-        S += ruleCode(C.Leaves[K], /*IsFinalizer=*/false, 3);
-        S += "    }\n";
+      // Run kernels first: a loop byte consumes its whole span and
+      // re-enters the state label, so the switch below only ever sees
+      // non-run bytes (mirrors the VM driver's RunId-before-Dispatch
+      // order).
+      for (unsigned K = 0; K < Kernels[Q].size(); ++K)
+        S += runCode(Q, K);
+      if (usesTable(Q)) {
+        const ByteClassTable &C = Tables[Q];
+        S += "    switch (" + tableName(Q) + "[x]) {\n";
+        for (unsigned K = 0; K < C.numClasses(); ++K) {
+          S += "    case " + std::to_string(K) + ": {\n";
+          S += ruleCode(C.Leaves[K], /*IsFinalizer=*/false, 3);
+          S += "    }\n";
+        }
+        S += "    default: break;\n    }\n";
       }
-      S += "    default: break;\n    }\n  }\n";
+      S += "  }\n";
     }
     S += "  {\n";
     S += ruleCode(A.delta(Q).get(), /*IsFinalizer=*/false, 1);
     S += "  }\n";
+    return S;
+  }
+
+  /// Bulk run loop for one kernel: when the current element is a loop
+  /// byte, scan to the end of the run (same SWAR shape and stop
+  /// conditions as the VM's scanRunEnd, so span boundaries coincide),
+  /// apply the kernel's effect to the whole span, and re-enter the state
+  /// label — which handles end-of-chunk (one-shot finalize or streaming
+  /// suspend) exactly like per-element stepping would.
+  std::string runCode(unsigned Q, unsigned K) {
+    const RunKernel &RK = Kernels[Q][K];
+    const bool Esc = RK.SingleEscape >= 0;
+    const std::string E = Esc ? hex(uint64_t(RK.SingleEscape)) : "";
+    const std::string M = Esc ? "" : runMaskName(Q, K);
+    auto Member = [&](const std::string &V) {
+      return Esc ? "(" + V + " != " + E + ")"
+                 : "efc_runbit(" + M + ", " + V + ")";
+    };
+    std::string S;
+    S += "    if (" + Member("x") + ") {\n";
+    const bool NeedsStart = RK.K != RunKernel::Kind::Skip;
+    if (NeedsStart)
+      S += "      size_t rs = i - 1;\n";
+    S += "      while (i + 4 <= n) {\n";
+    S += "        uint64_t ra = in[i], rb = in[i + 1], rc = in[i + 2], "
+         "rd = in[i + 3];\n";
+    if (Esc)
+      S += "        if (((ra | rb | rc | rd) >> 8) || ra == " + E +
+           " || rb == " + E + " || rc == " + E + " || rd == " + E +
+           ") break;\n";
+    else
+      S += "        if (((ra | rb | rc | rd) >> 8) || !(efc_runbit(" + M +
+           ", ra) & efc_runbit(" + M + ", rb) & efc_runbit(" + M +
+           ", rc) & efc_runbit(" + M + ", rd))) break;\n";
+    S += "        i += 4;\n      }\n";
+    S += "      while (i < n && in[i] < 0x100ull && " + Member("in[i]") +
+         ") ++i;\n";
+    switch (RK.K) {
+    case RunKernel::Kind::Skip:
+      break;
+    case RunKernel::Kind::Copy:
+      S += "      out.insert(out.end(), in + rs, in + i);\n";
+      break;
+    case RunKernel::Kind::ConstAppend:
+      if (RK.Emits.size() == 1) {
+        S += "      out.insert(out.end(), i - rs, " + hex(RK.Emits[0]) +
+             ");\n";
+      } else {
+        S += "      for (size_t rj = rs; rj < i; ++rj) {\n";
+        for (uint64_t V : RK.Emits)
+          S += "        out.push_back(" + hex(V) + ");\n";
+        S += "      }\n";
+      }
+      break;
+    }
+    // Constant register writes: once per span (idempotent; see
+    // vm/FastPath.h RunKernel::Writes).
+    for (auto &[Idx, V] : RK.Writes)
+      S += "      r" + std::to_string(Idx) + " = " + hex(V) + ";\n";
+    S += "      goto S" + std::to_string(Q) + ";\n    }\n";
     return S;
   }
 
@@ -450,7 +544,9 @@ std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
   S += "static inline uint64_t efc_ashr(uint64_t a, uint64_t b, unsigned w) "
        "{ int64_t s = efc_sext(a, w); uint64_t m = w >= 64 ? ~0ull : (1ull "
        "<< w) - 1; return b >= w ? (uint64_t)(s < 0 ? -1 : 0) & m : "
-       "(uint64_t)(s >> b) & m; }\n\n";
+       "(uint64_t)(s >> b) & m; }\n";
+  S += "static inline uint64_t efc_runbit(const uint64_t *m, uint64_t x) "
+       "{ return (m[x >> 6] >> (x & 63)) & 1ull; }\n\n";
 
   UnitEmitter U(A, Opts);
   S += U.tables();

@@ -40,6 +40,10 @@ struct CodeGenOptions {
   /// is byte-identical to one <name>(in, n, out) call over the whole
   /// input.  feed/finish return false on rejection.
   bool EmitStreaming = false;
+  /// Emit bulk run loops for self-loop byte classes (the same kernels the
+  /// VM fast path drives; see vm/FastPath.h RunKernel).  Off only for A/B
+  /// measurement — generated code stays semantically identical either way.
+  bool RunAccel = true;
 };
 
 /// One embedded test vector for EmitMain.

@@ -238,7 +238,10 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
     return nullptr;
   }
   P->Vm.emplace(std::move(*Vm));
-  P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm));
+  FastPathOptions FOpts;
+  if (const char *Accel = std::getenv("EFC_FASTPATH_ACCEL"))
+    FOpts.RunAccel = std::atoi(Accel) != 0;
+  P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm, FOpts));
   P->Fused.emplace(std::move(Fused));
   P->BuildSeconds = Total.seconds();
   return P;
@@ -284,6 +287,11 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       S->Ready = P;
       ++Counters.Builds;
       Counters.BuildSeconds += P->BuildSeconds;
+      const FastPathPlan::Stats &FS = P->Fast->stats();
+      Counters.FastTableStates += FS.TableStates;
+      Counters.FastAccelStates += FS.AccelStates;
+      Counters.FastRunKernels +=
+          FS.SkipKernels + FS.CopyKernels + FS.ConstAppendKernels;
     } else {
       S->Error = BuildErr;
     }
@@ -332,15 +340,20 @@ size_t PipelineCache::size() const {
 }
 
 std::string PipelineCache::Stats::str() const {
-  char Buf[256];
+  char Buf[320];
   snprintf(Buf, sizeof(Buf),
            "hits=%llu misses=%llu coalesced=%llu evictions=%llu "
            "builds=%llu build_s=%.3f native_compiles=%llu "
-           "native_disk_hits=%llu native_compile_ms=%.1f",
+           "native_disk_hits=%llu native_compile_ms=%.1f "
+           "fast_table_states=%llu fast_accel_states=%llu "
+           "fast_run_kernels=%llu",
            (unsigned long long)Hits, (unsigned long long)Misses,
            (unsigned long long)Coalesced, (unsigned long long)Evictions,
            (unsigned long long)Builds, BuildSeconds,
            (unsigned long long)NativeCompiles,
-           (unsigned long long)NativeDiskHits, NativeCompileMs);
+           (unsigned long long)NativeDiskHits, NativeCompileMs,
+           (unsigned long long)FastTableStates,
+           (unsigned long long)FastAccelStates,
+           (unsigned long long)FastRunKernels);
   return Buf;
 }

@@ -127,7 +127,10 @@ public:
     uint64_t NativeDiskHits = 0; ///< .so served from the artifact cache
     double BuildSeconds = 0;     ///< cumulative fusion+opt+VM time
     double NativeCompileMs = 0;  ///< cumulative host-compiler time
-    std::string str() const;     ///< one-line rendering for stats dumps
+    uint64_t FastTableStates = 0; ///< fast-path plan stats, summed over
+    uint64_t FastAccelStates = 0; ///< built entries (coverage telemetry)
+    uint64_t FastRunKernels = 0;
+    std::string str() const; ///< one-line rendering for stats dumps
   };
 
   explicit PipelineCache(size_t Capacity = 32);

@@ -432,6 +432,13 @@ void Server::dropSession(const std::shared_ptr<Session> &Sess) {
   // The worker loop erases it once the strand drains; until then new
   // frames for the name are refused.
   std::lock_guard<std::mutex> L(Mu);
+  if (!Sess->Doomed && Sess->Stream) {
+    // Fold the session's run-acceleration telemetry into the server
+    // totals exactly once, at end of life (strand-ordered, so the
+    // stream is quiescent here).
+    C.FastRuns += Sess->Stream->fastRuns();
+    C.FastRunElements += Sess->Stream->fastRunElements();
+  }
   Sess->Doomed = true;
 }
 
@@ -442,11 +449,14 @@ std::string Server::statsText() const {
   snprintf(Buf, sizeof(Buf),
            "sessions_opened=%llu sessions_active=%zu frames_in=%llu "
            "replies=%llu errors=%llu rejected=%llu bytes_in=%llu "
-           "bytes_out=%llu threads=%u queue_cap=%zu\ncache: ",
+           "bytes_out=%llu fast_runs=%llu fast_run_elems=%llu "
+           "threads=%u queue_cap=%zu\ncache: ",
            (unsigned long long)C.SessionsOpened, Sessions.size(),
            (unsigned long long)C.FramesIn, (unsigned long long)C.Replies,
            (unsigned long long)C.Errors, (unsigned long long)C.Rejected,
            (unsigned long long)C.BytesIn, (unsigned long long)C.BytesOut,
-           Opts.Threads, Opts.MaxQueuePerSession);
+           (unsigned long long)C.FastRuns,
+           (unsigned long long)C.FastRunElements, Opts.Threads,
+           Opts.MaxQueuePerSession);
   return std::string(Buf) + CS.str() + "\n";
 }

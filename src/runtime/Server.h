@@ -131,6 +131,8 @@ private:
     uint64_t Rejected = 0;
     uint64_t BytesIn = 0;  ///< session input bytes fed
     uint64_t BytesOut = 0; ///< session output bytes produced
+    uint64_t FastRuns = 0; ///< run-kernel spans driven, completed sessions
+    uint64_t FastRunElements = 0; ///< elements those spans consumed
   } C;
 };
 

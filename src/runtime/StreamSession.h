@@ -72,6 +72,15 @@ public:
   uint64_t bytesIn() const { return BytesIn; }
   uint64_t bytesOut() const { return BytesOut; }
 
+  /// Run-acceleration telemetry (fast-path backend only; zero elsewhere):
+  /// bulk spans driven through run kernels and the elements they consumed.
+  uint64_t fastRuns() const {
+    return FCur ? FCur->runCounters().Runs : 0;
+  }
+  uint64_t fastRunElements() const {
+    return FCur ? FCur->runCounters().RunElements : 0;
+  }
+
 private:
   StreamSession() = default;
 

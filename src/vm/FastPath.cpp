@@ -4,8 +4,13 @@
 
 #include "term/Eval.h"
 
+#include <cstdio>
 #include <map>
 #include <unordered_map>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 using namespace efc;
 
@@ -104,7 +109,243 @@ ByteClassTable efc::classifyDeltaByteClasses(const Bst &A, unsigned Q) {
   return R;
 }
 
-FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T) {
+std::vector<RunKernel> efc::classifyRunKernels(const Bst &A, unsigned Q,
+                                               const ByteClassTable &C) {
+  std::vector<RunKernel> Runs;
+  if (!C.Eligible)
+    return Runs;
+  TermContext &Ctx = A.context();
+  TermRef X = A.inputVar();
+  std::vector<TermRef> OldLeaves;
+  collectRegLeaves(Ctx, A.regVar(), OldLeaves);
+
+  // One kernel per distinct (kind, emits, writes) effect; classes sharing
+  // an effect share the kernel's byte mask.
+  std::map<std::string, unsigned> Ids;
+  std::vector<TermRef> NewLeaves;
+  for (uint16_t K = 0; K < C.numClasses(); ++K) {
+    const Rule *L = C.Leaves[K];
+    if (L->isUndef() || L->target() != Q)
+      continue;
+    // Every changed register leaf must be a constant term: constant
+    // writes repeated over a span are idempotent, so the kernel applies
+    // them once.  Leaves are compared syntactically (interned terms, so
+    // pointer equality is exact).
+    NewLeaves.clear();
+    collectRegLeaves(Ctx, L->update(), NewLeaves);
+    std::vector<std::pair<uint16_t, uint64_t>> Writes;
+    bool Ok = NewLeaves.size() == OldLeaves.size();
+    for (unsigned I = 0; Ok && I < OldLeaves.size(); ++I) {
+      if (NewLeaves[I] == OldLeaves[I])
+        continue;
+      if (NewLeaves[I]->isConst())
+        Writes.push_back({uint16_t(I), NewLeaves[I]->constBits()});
+      else
+        Ok = false;
+    }
+    if (!Ok)
+      continue;
+
+    RunKernel::Kind Kind;
+    std::vector<uint64_t> Emits;
+    if (L->outputs().empty()) {
+      Kind = RunKernel::Kind::Skip;
+    } else if (L->outputs().size() == 1 && L->outputs()[0] == X) {
+      Kind = RunKernel::Kind::Copy;
+    } else {
+      Kind = RunKernel::Kind::ConstAppend;
+      bool AllConst = true;
+      for (TermRef O : L->outputs()) {
+        if (!O->isConst()) {
+          AllConst = false;
+          break;
+        }
+        Emits.push_back(O->constBits());
+      }
+      if (!AllConst)
+        continue;
+    }
+
+    std::string Key(1, char(Kind));
+    for (uint64_t V : Emits)
+      Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+    Key.push_back('|');
+    for (auto &[Slot, V] : Writes) {
+      Key.append(reinterpret_cast<const char *>(&Slot), sizeof(Slot));
+      Key.append(reinterpret_cast<const char *>(&V), sizeof(V));
+    }
+    auto It = Ids.find(Key);
+    if (It == Ids.end()) {
+      if (Runs.size() >= FastPathPlan::NoRun)
+        continue;
+      It = Ids.emplace(Key, unsigned(Runs.size())).first;
+      RunKernel RK;
+      RK.K = Kind;
+      RK.Emits = std::move(Emits);
+      RK.Writes = std::move(Writes);
+      Runs.push_back(std::move(RK));
+    }
+    RunKernel &RK = Runs[It->second];
+    RK.Classes.push_back(K);
+    for (unsigned B = 0; B < C.ValidBytes; ++B)
+      if (C.Class[B] == K)
+        RK.Mask[B >> 6] |= uint64_t(1) << (B & 63);
+  }
+
+  for (RunKernel &RK : Runs) {
+    unsigned N = 0;
+    for (uint64_t Wd : RK.Mask)
+      N += unsigned(__builtin_popcountll(Wd));
+    RK.Bytes = N;
+    // memchr-style specialization: every in-range byte loops except one.
+    if (C.ValidBytes == 256 && N == 255)
+      for (unsigned B = 0; B < 256; ++B)
+        if (!RK.covers(B)) {
+          RK.SingleEscape = int(B);
+          break;
+        }
+  }
+  return Runs;
+}
+
+size_t efc::scanRunEnd(const uint64_t *In, size_t I, size_t N,
+                       const RunKernel &RK) {
+  const std::array<uint64_t, 4> &M = RK.Mask;
+  if (RK.SingleEscape >= 0) {
+    const uint64_t Esc = uint64_t(RK.SingleEscape);
+#if defined(__SSE2__)
+    // 8 elements per iteration: range-check via the OR of the high 56
+    // bits, then 64-bit equality against the escape (both 32-bit lanes
+    // must match, hence the AND with the lane-swapped compare).
+    const __m128i VEsc = _mm_set1_epi64x(int64_t(Esc));
+    const __m128i Zero = _mm_setzero_si128();
+    while (I + 8 <= N) {
+      __m128i V0 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I));
+      __m128i V1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 2));
+      __m128i V2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 4));
+      __m128i V3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 6));
+      __m128i Hi = _mm_srli_epi64(
+          _mm_or_si128(_mm_or_si128(V0, V1), _mm_or_si128(V2, V3)), 8);
+      if (_mm_movemask_epi8(_mm_cmpeq_epi8(Hi, Zero)) != 0xFFFF)
+        break;
+      __m128i E0 = _mm_cmpeq_epi32(V0, VEsc), E1 = _mm_cmpeq_epi32(V1, VEsc);
+      __m128i E2 = _mm_cmpeq_epi32(V2, VEsc), E3 = _mm_cmpeq_epi32(V3, VEsc);
+      __m128i AnyEq = _mm_or_si128(
+          _mm_or_si128(_mm_and_si128(E0, _mm_shuffle_epi32(E0, 0xB1)),
+                       _mm_and_si128(E1, _mm_shuffle_epi32(E1, 0xB1))),
+          _mm_or_si128(_mm_and_si128(E2, _mm_shuffle_epi32(E2, 0xB1)),
+                       _mm_and_si128(E3, _mm_shuffle_epi32(E3, 0xB1))));
+      if (_mm_movemask_epi8(AnyEq))
+        break;
+      I += 8;
+    }
+#endif
+    // SWAR: four elements per iteration, one range test on the OR.
+    while (I + 4 <= N) {
+      uint64_t A = In[I], B = In[I + 1], C = In[I + 2], D = In[I + 3];
+      if (((A | B | C | D) >> 8) || A == Esc || B == Esc || C == Esc ||
+          D == Esc)
+        break;
+      I += 4;
+    }
+    while (I < N && In[I] < 256 && In[I] != Esc)
+      ++I;
+    return I;
+  }
+  while (I + 4 <= N) {
+    uint64_t A = In[I], B = In[I + 1], C = In[I + 2], D = In[I + 3];
+    if ((A | B | C | D) >> 8)
+      break;
+    if (!((M[A >> 6] >> (A & 63)) & (M[B >> 6] >> (B & 63)) &
+          (M[C >> 6] >> (C & 63)) & (M[D >> 6] >> (D & 63)) & 1))
+      break;
+    I += 4;
+  }
+  while (I < N && In[I] < 256 && ((M[In[I] >> 6] >> (In[I] & 63)) & 1))
+    ++I;
+  return I;
+}
+
+std::string efc::explainFastPath(const Bst &A) {
+  std::string S;
+  char Buf[192];
+  unsigned TableStates = 0, AccelStates = 0;
+  for (unsigned Q = 0, N = A.numStates(); Q < N; ++Q) {
+    ByteClassTable C = classifyDeltaByteClasses(A, Q);
+    if (!C.Eligible) {
+      std::snprintf(Buf, sizeof Buf,
+                    "state %u: fallback (register-guarded or non-scalar "
+                    "input), bytecode only\n",
+                    Q);
+      S += Buf;
+      continue;
+    }
+    ++TableStates;
+    std::vector<RunKernel> Runs = classifyRunKernels(A, Q, C);
+    unsigned SelfLoop = 0;
+    for (const RunKernel &RK : Runs)
+      SelfLoop += unsigned(RK.Classes.size());
+    std::snprintf(Buf, sizeof Buf,
+                  "state %u: eligible, %u valid bytes, %u classes, "
+                  "%u self-loop class%s, %zu run kernel%s\n",
+                  Q, C.ValidBytes, C.numClasses(), SelfLoop,
+                  SelfLoop == 1 ? "" : "es", Runs.size(),
+                  Runs.size() == 1 ? "" : "s");
+    S += Buf;
+    if (!Runs.empty())
+      ++AccelStates;
+    for (const RunKernel &RK : Runs) {
+      const char *Kind = RK.K == RunKernel::Kind::Skip   ? "skip"
+                         : RK.K == RunKernel::Kind::Copy ? "copy"
+                                                         : "const-append";
+      std::snprintf(Buf, sizeof Buf, "  kernel %s: %u byte%s", Kind, RK.Bytes,
+                    RK.Bytes == 1 ? "" : "s");
+      S += Buf;
+      if (RK.SingleEscape >= 0) {
+        std::snprintf(Buf, sizeof Buf, ", single escape 0x%02x",
+                      unsigned(RK.SingleEscape));
+        S += Buf;
+      }
+      if (!RK.Emits.empty()) {
+        S += ", emits [";
+        for (size_t J = 0; J < RK.Emits.size(); ++J) {
+          std::snprintf(Buf, sizeof Buf, "%s%llu", J ? " " : "",
+                        (unsigned long long)RK.Emits[J]);
+          S += Buf;
+        }
+        S += "]";
+      }
+      if (!RK.Writes.empty()) {
+        S += ", writes {";
+        for (size_t J = 0; J < RK.Writes.size(); ++J) {
+          std::snprintf(Buf, sizeof Buf, "%sr%u<-%llu", J ? " " : "",
+                        unsigned(RK.Writes[J].first),
+                        (unsigned long long)RK.Writes[J].second);
+          S += Buf;
+        }
+        S += "}";
+      }
+      S += ", classes {";
+      for (size_t J = 0; J < RK.Classes.size(); ++J) {
+        std::snprintf(Buf, sizeof Buf, "%s%u", J ? " " : "",
+                      unsigned(RK.Classes[J]));
+        S += Buf;
+      }
+      S += "}\n";
+    }
+  }
+  std::snprintf(Buf, sizeof Buf,
+                "summary: %u/%u states tabulated, %u run-accelerated\n",
+                TableStates, A.numStates(), AccelStates);
+  S += Buf;
+  return S;
+}
+
+FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T,
+                                 const FastPathOptions &Opts) {
   FastPathPlan P;
   unsigned N = A.numStates();
   P.States.resize(N);
@@ -238,6 +479,34 @@ FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T) {
     }
     ST.HasTable = true;
     ++P.S.TableStates;
+
+    // Run acceleration: fold self-loop classes into bulk kernels.  The
+    // byte -> kernel map is consulted before Dispatch, so a kernel byte
+    // short-circuits per-element dispatch for the whole span.
+    ST.RunId.fill(NoRun);
+    if (Opts.RunAccel) {
+      ST.Runs = classifyRunKernels(A, Q, C);
+      for (unsigned R = 0; R < ST.Runs.size(); ++R)
+        for (unsigned B = 0; B < 256; ++B)
+          if (ST.Runs[R].covers(B))
+            ST.RunId[B] = uint8_t(R);
+      if (!ST.Runs.empty())
+        ++P.S.AccelStates;
+      for (const RunKernel &RK : ST.Runs) {
+        P.S.AccelBytes += RK.Bytes;
+        switch (RK.K) {
+        case RunKernel::Kind::Skip:
+          ++P.S.SkipKernels;
+          break;
+        case RunKernel::Kind::Copy:
+          ++P.S.CopyKernels;
+          break;
+        case RunKernel::Kind::ConstAppend:
+          ++P.S.ConstAppendKernels;
+          break;
+        }
+      }
+    }
   }
   return P;
 }
@@ -259,6 +528,33 @@ bool FastPathCursor::feed(std::span<const uint64_t> In,
     uint64_t X = In[I];
     const FastPathPlan::StateTable &ST = Tables[State];
     if (ST.HasTable && X < 256) {
+      if (uint8_t R = ST.RunId[X]; R != FastPathPlan::NoRun) {
+        // Run kernel: consume the whole span [I, End) in one step.  The
+        // kernel self-loops, so State and registers are untouched and a
+        // run cut short by the chunk boundary resumes on the next feed.
+        const RunKernel &RK = ST.Runs[R];
+        size_t End = scanRunEnd(In.data(), I + 1, N, RK);
+        switch (RK.K) {
+        case RunKernel::Kind::Skip:
+          break;
+        case RunKernel::Kind::Copy:
+          Out.insert(Out.end(), In.data() + I, In.data() + End);
+          break;
+        case RunKernel::Kind::ConstAppend:
+          if (RK.Emits.size() == 1)
+            Out.insert(Out.end(), End - I, RK.Emits[0]);
+          else
+            for (size_t J = I; J < End; ++J)
+              Out.insert(Out.end(), RK.Emits.begin(), RK.Emits.end());
+          break;
+        }
+        for (auto [Slot, V] : RK.Writes)
+          Slots[Slot] = V;
+        ++RC.Runs;
+        RC.RunElements += End - I;
+        I = End - 1;
+        continue;
+      }
       const FastPathPlan::Action &A = ST.Actions[ST.Dispatch[X]];
       switch (A.K) {
       case FastPathPlan::Action::Kind::Jump:

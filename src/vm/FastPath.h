@@ -24,6 +24,15 @@
 ///    x = b, which shares its scalar semantics (term/ScalarOps.h) with the
 ///    interpreter, so tables cannot drift from the bytecode.
 ///
+/// On top of the tables sits run acceleration (DESIGN.md "Run
+/// acceleration"): byte classes whose leaf self-loops with constant-only
+/// register writes and a uniform output shape (nothing / the input
+/// element / a constant sequence) are folded into RunKernels, and the
+/// driver consumes
+/// whole spans of such bytes with one vectorized scan + one bulk append.
+/// Kernels never change the state, so runs split across feed() chunks
+/// resume exactly where they stopped.
+///
 /// A FastPathPlan is plain data (tables, constants, straight-line
 /// programs); it holds no pointers into the Bst or the
 /// CompiledTransducer, so plans stay valid when the owning pipeline
@@ -41,6 +50,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace efc {
@@ -68,20 +78,90 @@ struct ByteClassTable {
 /// type is not scalar or some guard reads a register.
 ByteClassTable classifyDeltaByteClasses(const Bst &A, unsigned Q);
 
+/// One bulk self-loop kernel for a table state: a set of bytes whose
+/// action keeps the machine in the same state with at most constant
+/// register writes and a uniform per-element output effect.  A span of
+/// such bytes is consumed with one vectorized scan (findFirstNonLoopByte)
+/// plus one bulk append instead of per-element dispatch.
+struct RunKernel {
+  enum class Kind : uint8_t {
+    Skip,       // no output: the span is consumed silently
+    Copy,       // emit the input element itself (memcpy of the span)
+    ConstAppend // emit a fixed constant sequence per element
+  };
+  Kind K = Kind::Skip;
+  /// 256-bit membership mask: bit b set <=> byte b is driven by this
+  /// kernel.  Padding bytes (input width < 8) are never set.
+  std::array<uint64_t, 4> Mask{};
+  /// When >= 0 the mask covers every byte except this one, so the scan
+  /// degenerates to a memchr-style compare against the single escape byte
+  /// instead of per-element mask-bit tests.
+  int SingleEscape = -1;
+  /// ConstAppend payload: constants emitted for each consumed element.
+  std::vector<uint64_t> Emits;
+  /// Constant register writes (slot <- imm).  Every element of the span
+  /// performs these same writes, and no guard in a table state reads
+  /// registers, so applying them once per span is equivalent to once per
+  /// element — including across feed() boundaries (idempotent).
+  std::vector<std::pair<uint16_t, uint64_t>> Writes;
+  /// Number of bytes covered (popcount of Mask).
+  unsigned Bytes = 0;
+  /// Byte-class ids folded into this kernel (for --explain-fastpath).
+  std::vector<uint16_t> Classes;
+
+  bool covers(uint64_t X) const {
+    return X < 256 && ((Mask[X >> 6] >> (X & 63)) & 1);
+  }
+};
+
+/// Detects the self-loop run kernels of state \p Q from its byte-class
+/// table \p C (as returned by classifyDeltaByteClasses).  Shared between
+/// FastPathPlan::build and CppCodeGen, so the VM driver and the generated
+/// C++ accelerate exactly the same byte sets with the same effects; the
+/// criteria are syntactic on the Base leaves (target == Q, register
+/// update leaves unchanged, outputs empty / the input variable / all
+/// constants), never re-derived per backend.
+std::vector<RunKernel> classifyRunKernels(const Bst &A, unsigned Q,
+                                          const ByteClassTable &C);
+
+/// Returns the first index in [I, N) whose element leaves \p RK's byte
+/// set (value >= 256 or mask miss) — the end of the current run.
+/// SWAR-unrolled, with an SSE2 specialization for single-escape masks.
+size_t scanRunEnd(const uint64_t *In, size_t I, size_t N, const RunKernel &RK);
+
+/// Options controlling plan construction (EFC_FASTPATH_ACCEL / A-B
+/// benchmarking disable run acceleration while keeping the tables).
+struct FastPathOptions {
+  bool RunAccel = true;
+};
+
+/// Human-readable per-state dump of byte-class eligibility, class counts,
+/// self-loop classes, and the chosen run kernels (efcc --explain-fastpath).
+std::string explainFastPath(const Bst &A);
+
 /// Per-state dispatch tables for one compiled transducer.
 class FastPathPlan {
 public:
+  /// Sentinel for StateTable::RunId entries with no run kernel.
+  static constexpr uint8_t NoRun = 0xFF;
+
   struct Stats {
     unsigned TableStates = 0;    // states with a dispatch table
     unsigned FallbackStates = 0; // states kept on bytecode only
     unsigned ConstActions = 0;   // fully-folded (emit consts, write consts)
     unsigned JumpActions = 0;    // state change only
     unsigned ProgramActions = 0; // straight-line leaf programs
+    unsigned AccelStates = 0;    // table states with >= 1 run kernel
+    unsigned SkipKernels = 0;    // run kernels by kind
+    unsigned CopyKernels = 0;
+    unsigned ConstAppendKernels = 0;
+    unsigned AccelBytes = 0; // total bytes covered by run kernels
   };
 
   /// Builds the plan for \p A as compiled into \p T.  Always succeeds: a
   /// state that cannot be tabulated simply stays on the bytecode path.
-  static FastPathPlan build(const Bst &A, const CompiledTransducer &T);
+  static FastPathPlan build(const Bst &A, const CompiledTransducer &T,
+                            const FastPathOptions &Opts = {});
 
   unsigned numStates() const { return unsigned(States.size()); }
   bool stateHasTable(unsigned Q) const {
@@ -114,6 +194,11 @@ private:
     /// dispatch to the Fallback action at index 0).
     std::array<uint16_t, 256> Dispatch{};
     std::vector<Action> Actions;
+    /// byte -> index into Runs, or NoRun.  Checked before Dispatch: a hit
+    /// consumes the whole run span in one kernel application.  Filled for
+    /// every table state (all NoRun when acceleration is disabled).
+    std::array<uint8_t, 256> RunId{};
+    std::vector<RunKernel> Runs;
   };
 
   std::vector<StateTable> States;
@@ -126,10 +211,21 @@ private:
 /// CompiledTransducer::Cursor fed one element at a time.
 class FastPathCursor {
 public:
+  /// Cumulative run-acceleration telemetry (spans driven through kernels
+  /// and the elements they consumed); surfaced by StreamSession /
+  /// efc-serve --stats.
+  struct RunCounters {
+    uint64_t Runs = 0;
+    uint64_t RunElements = 0;
+  };
+
   FastPathCursor(const FastPathPlan &P, const CompiledTransducer &T)
       : Plan(&P), Inner(T) {}
 
-  void reset() { Inner.reset(); }
+  void reset() {
+    Inner.reset();
+    RC = RunCounters();
+  }
 
   /// Feeds a chunk of elements; outputs are appended to \p Out (bulk
   /// reserved).  Returns false when the transducer rejects.
@@ -145,9 +241,12 @@ public:
 
   unsigned state() const { return Inner.state(); }
 
+  const RunCounters &runCounters() const { return RC; }
+
 private:
   const FastPathPlan *Plan;
   CompiledTransducer::Cursor Inner;
+  RunCounters RC;
 };
 
 /// Whole-input transduction through the fast path; std::nullopt on

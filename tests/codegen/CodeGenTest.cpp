@@ -132,6 +132,42 @@ TEST_F(CodeGenTest, HtmlEncodeCompilesAndChecks) {
   EXPECT_EQ(compileAndRun(generateCpp(Clean, Opts, Vs), "html"), 0);
 }
 
+TEST_F(CodeGenTest, RunAccelOnOffBothCompileAndCheck) {
+  // The generated run-scan loops (codegen mirror of the VM's RunKernels)
+  // on run-heavy vectors: long safe spans around escapes, a span cut by a
+  // surrogate pair (out-of-byte-range island) and a homogeneous run — and
+  // the RunAccel=false variant, which must emit no scan loops yet agree.
+  Bst Rep = lib::makeRep(Ctx);
+  Bst Html = lib::makeHtmlEncode(Ctx);
+  Solver S(Ctx);
+  Bst Clean = eliminateUnreachableBranches(fuse(Rep, Html, S), S);
+
+  std::u16string Long(300, u'e');
+  Long[120] = u'&';
+  std::u16string Homog(257, u'x');
+  std::u16string Wide = std::u16string(40, u'a') + u"\xD83D\xDE00" +
+                        std::u16string(40, u'b');
+  std::vector<CodeGenTestVector> Vs = {
+      vectorFor(Clean, lib::valuesFromChars(Long)),
+      vectorFor(Clean, lib::valuesFromChars(Homog)),
+      vectorFor(Clean, lib::valuesFromChars(Wide)),
+  };
+  CodeGenOptions On;
+  On.FunctionName = "html_runs";
+  On.EmitMain = true;
+  CodeGenOptions Off = On;
+  Off.RunAccel = false;
+
+  std::string SOn = generateCpp(Clean, On, Vs);
+  std::string SOff = generateCpp(Clean, Off, Vs);
+  EXPECT_NE(SOn.find("uint64_t ra"), std::string::npos)
+      << "accel source must contain the 4-wide scan loop";
+  EXPECT_EQ(SOff.find("uint64_t ra"), std::string::npos)
+      << "RunAccel=false must emit no run scan loops";
+  EXPECT_EQ(compileAndRun(SOn, "html_runs_on"), 0);
+  EXPECT_EQ(compileAndRun(SOff, "html_runs_off"), 0);
+}
+
 TEST_F(CodeGenTest, WindowedAverageCompilesAndChecks) {
   // Exercises many register fields and staged writes.
   Bst A = lib::makeWindowedAverage(Ctx, 4);

@@ -8,6 +8,7 @@
 #include "rbbe/Rbbe.h"
 #include "solver/Solver.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace efc;
@@ -49,6 +50,7 @@ constexpr BackendName Names[] = {
     {"fusedvm", BK_FusedVm}, {"rbbe", BK_Rbbe},
     {"rbbevm", BK_RbbeVm},   {"native", BK_Native},
     {"fastpath", BK_FastPath}, {"rbbefast", BK_RbbeFast},
+    {"fastskip", BK_FastSkip},
 };
 
 } // namespace
@@ -142,7 +144,7 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
 
   constexpr unsigned NeedFused = BK_Fused | BK_FusedVm | BK_Rbbe |
                                  BK_RbbeVm | BK_Native | BK_FastPath |
-                                 BK_RbbeFast;
+                                 BK_RbbeFast | BK_FastSkip;
   if (!(Backends & NeedFused))
     return;
 
@@ -152,9 +154,9 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
     Ptrs.push_back(&St);
   Fused.emplace(fuseChain(Ptrs, S, Opts.Fusion));
 
-  if (Backends & (BK_FusedVm | BK_FastPath))
+  if (Backends & (BK_FusedVm | BK_FastPath | BK_FastSkip))
     FusedVm = CompiledTransducer::compile(*Fused);
-  if ((Backends & BK_FastPath) && FusedVm)
+  if ((Backends & (BK_FastPath | BK_FastSkip)) && FusedVm)
     FusedFast.emplace(FastPathPlan::build(*Fused, *FusedVm));
   if (Backends & (BK_Rbbe | BK_RbbeVm | BK_RbbeFast)) {
     Rbbe.emplace(eliminateUnreachableBranches(*Fused, S, Opts.Rbbe));
@@ -257,6 +259,30 @@ Oracle::check(std::span<const Value> Input) const {
                           "RBBE'd stage rejected by the VM compiler"};
     if (auto D = diverges("rbbefast", runFastPath(*RbbeFast, *RbbeVm, Raw)))
       return D;
+  }
+
+  if (Backends & BK_FastSkip) {
+    if (!FusedVm)
+      return Disagreement{"fastskip", renderRaw(RefRaw),
+                          "fused stage rejected by the VM compiler"};
+    // Tiny coprime chunk sizes guarantee feed() boundaries land inside
+    // any run-kernel span, so this leg proves runs resume across chunks.
+    for (size_t Chunk : {size_t(1), size_t(3), size_t(7)}) {
+      FastPathCursor Cur(*FusedFast, *FusedVm);
+      std::vector<uint64_t> Buf;
+      bool Ok = true;
+      for (size_t I = 0; I < Raw.size() && Ok; I += Chunk)
+        Ok = Cur.feed(std::span<const uint64_t>(
+                          Raw.data() + I, std::min(Chunk, Raw.size() - I)),
+                      Buf);
+      if (Ok)
+        Ok = Cur.finish(Buf);
+      std::optional<std::vector<uint64_t>> Got;
+      if (Ok)
+        Got = std::move(Buf);
+      if (auto D = diverges("fastskip", Got))
+        return D;
+    }
   }
 
   if ((Backends & BK_Native) && Native)

@@ -14,6 +14,8 @@
 ///   * RBBE of the fused transducer, VM       (BK_RbbeVm)
 ///   * byte-class fast path over fused VM     (BK_FastPath)
 ///   * byte-class fast path over RBBE'd VM    (BK_RbbeFast)
+///   * fast path fed in tiny chunks           (BK_FastSkip: cuts inside
+///     run-kernel spans, so runs must resume across feed() boundaries)
 ///   * generated C++ compiled to a .so        (BK_Native, host compiler)
 ///
 /// A greedy shrinker minimizes failing (pipeline, input) pairs by stage
@@ -51,10 +53,13 @@ enum Backend : unsigned {
   BK_Native = 1u << 5,  ///< fused → generated C++ → dlopen'd .so
   BK_FastPath = 1u << 6, ///< fused → byte-class dispatch fast path
   BK_RbbeFast = 1u << 7, ///< RBBE(fused) → byte-class dispatch fast path
+  /// Fast path driven through FastPathCursor in 1/3/7-element chunks, so
+  /// every run-kernel span is cut mid-run at some feed() boundary.
+  BK_FastSkip = 1u << 8,
 
   BK_Default =
       BK_Vm | BK_Fused | BK_FusedVm | BK_Rbbe | BK_RbbeVm | BK_FastPath |
-      BK_RbbeFast,
+      BK_RbbeFast | BK_FastSkip,
   BK_All = BK_Default | BK_Native,
 };
 

@@ -89,11 +89,13 @@ public:
   }
 
   /// Number of deterministic adversarial input shapes.
-  static constexpr unsigned NumAdversarialKinds = 4;
+  static constexpr unsigned NumAdversarialKinds = 6;
 
   /// Adversarial inputs: 0 = empty, 1 = max-length run of one boundary
   /// constant, 2 = the boundary constants (0, 1, mid, max-1, max),
-  /// 3 = alternating extremes (0, max, 0, max, ...).
+  /// 3 = alternating extremes (0, max, 0, max, ...), 4 = homogeneous run
+  /// ending in one different byte (a run kernel's escape), 5 = run /
+  /// escape / run sandwich (a span split by a single non-loop byte).
   std::vector<Value> adversarialInput(unsigned Kind, size_t MaxLen,
                                       unsigned Width) {
     uint64_t Max = Value::maskOf(Width);
@@ -112,10 +114,28 @@ public:
         if (In.size() < MaxLen)
           In.push_back(Value::bv(Width, C));
       break;
-    default:
+    case 3:
       for (size_t I = 0; I < MaxLen; ++I)
         In.push_back(Value::bv(Width, I % 2 ? Max : 0));
       break;
+    case 4: {
+      // The run-kernel termination case: a long homogeneous span whose
+      // last element differs, so vectorized scans must stop exactly there.
+      uint64_t C = boundaryConstant(Width);
+      for (size_t I = 0; I + 1 < MaxLen; ++I)
+        In.push_back(Value::bv(Width, C));
+      if (MaxLen)
+        In.push_back(Value::bv(Width, (C + 1) & Max));
+      break;
+    }
+    default: {
+      // Run / escape / run: one interior non-member byte splits the span,
+      // so the driver must re-enter the run after per-element dispatch.
+      uint64_t C = boundaryConstant(Width);
+      for (size_t I = 0; I < MaxLen; ++I)
+        In.push_back(Value::bv(Width, I == MaxLen / 2 ? (C + 1) & Max : C));
+      break;
+    }
     }
     return In;
   }

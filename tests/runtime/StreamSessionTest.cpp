@@ -175,6 +175,76 @@ TEST(StreamSession, MidUtf8SplitsEverywhere) {
   }
 }
 
+TEST(StreamSession, MidRunSplitsEverywhere) {
+  // One 4096-'a' line is a single maximal run-kernel span for the fused
+  // UTF8-lines pipeline.  Cut the stream once at every position inside
+  // the run, on the VM, fast-path and native backends: the span is
+  // consumed in two kernel applications that must resume with no state
+  // drift, and the concatenation must equal the one-shot output.
+  BuiltPipeline P = makeUtf8LinesPipeline();
+  std::string In(4096, 'a');
+  In += '\n';
+  auto Want = P.CompiledFused->run(rawOfBytes(In));
+  ASSERT_TRUE(Want.has_value());
+  std::string WantBytes = bytesOf(*Want);
+
+  // Kernel engagement: the counters prove this test exercises run
+  // acceleration rather than per-element dispatch.
+  {
+    StreamSession S = StreamSession::overFast(*P.FastPlan, *P.CompiledFused);
+    ASSERT_TRUE(S.feed(std::string_view(In)));
+    ASSERT_TRUE(S.finish());
+    EXPECT_EQ(S.takeOutput(), WantBytes);
+    EXPECT_GT(S.fastRuns(), 0u);
+    EXPECT_GE(S.fastRunElements(), 4096u);
+  }
+
+  for (size_t Cut = 0; Cut <= In.size(); Cut += 7) {
+    auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, {Cut});
+    ASSERT_TRUE(Vm.has_value()) << "cut=" << Cut;
+    EXPECT_EQ(*Vm, WantBytes) << "vm cut=" << Cut;
+    auto Fast = streamAt(
+        StreamSession::overFast(*P.FastPlan, *P.CompiledFused), In, {Cut});
+    ASSERT_TRUE(Fast.has_value()) << "cut=" << Cut;
+    EXPECT_EQ(*Fast, WantBytes) << "fastpath cut=" << Cut;
+    if (P.Native) {
+      auto N = streamAt(StreamSession::overNative(*P.Native).value(), In,
+                        {Cut});
+      ASSERT_TRUE(N.has_value()) << "cut=" << Cut;
+      EXPECT_EQ(*N, WantBytes) << "native cut=" << Cut;
+    }
+  }
+}
+
+TEST(StreamSession, CopyRunsFedOneByteAtATime) {
+  // Rep+HtmlEncode drives copy/const-append kernels.  Long safe runs
+  // around the escapes, streamed in 1-byte chunks (every feed() boundary
+  // lands inside some span) and in 3-byte chunks, must match one-shot on
+  // all backends.
+  BuiltPipeline P = makeHtmlEncodePipeline();
+  std::string In = std::string(2048, 'x') + "<&>\"" + std::string(2048, 'y');
+  auto Want = P.CompiledFused->run(rawOfBytes(In));
+  ASSERT_TRUE(Want.has_value());
+  std::string WantBytes = bytesOf(*Want);
+
+  for (size_t Chunk : {size_t(1), size_t(3)}) {
+    auto Cuts = fixedCuts(In.size(), Chunk);
+    auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, Cuts);
+    ASSERT_TRUE(Vm.has_value()) << "chunk=" << Chunk;
+    EXPECT_EQ(*Vm, WantBytes) << "vm chunk=" << Chunk;
+    auto Fast = streamAt(
+        StreamSession::overFast(*P.FastPlan, *P.CompiledFused), In, Cuts);
+    ASSERT_TRUE(Fast.has_value()) << "chunk=" << Chunk;
+    EXPECT_EQ(*Fast, WantBytes) << "fastpath chunk=" << Chunk;
+    if (P.Native) {
+      auto N =
+          streamAt(StreamSession::overNative(*P.Native).value(), In, Cuts);
+      ASSERT_TRUE(N.has_value()) << "chunk=" << Chunk;
+      EXPECT_EQ(*N, WantBytes) << "native chunk=" << Chunk;
+    }
+  }
+}
+
 TEST(StreamSession, EmptyInputMatchesOneShot) {
   BuiltPipeline P = makeUtf8LinesPipeline();
   auto Want = P.CompiledFused->run({});

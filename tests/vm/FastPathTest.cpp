@@ -203,6 +203,232 @@ TEST_F(FastPathTest, StdlibZooAgreesOnRandomInputs) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Run acceleration (RunKernel classification, scanRunEnd, span resumption)
+//===----------------------------------------------------------------------===//
+
+/// bv(8), one state: silently consume 'a'..'z', echo everything else.
+/// Two self-loop kernels: a 26-byte Skip and a 230-byte Copy.
+Bst makeSkipLetters(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+  TermRef X = A.inputVar(), R = A.regVar();
+  A.setDelta(0, Rule::ite(Ctx.mkInRange(X, 'a', 'z'), Rule::base({}, 0, R),
+                          Rule::base({X}, 0, R)));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  return A;
+}
+
+TEST_F(FastPathTest, RunKernelClassification) {
+  Bst A = makeSkipLetters(Ctx);
+  ByteClassTable C = classifyDeltaByteClasses(A, 0);
+  ASSERT_TRUE(C.Eligible);
+  std::vector<RunKernel> Ks = classifyRunKernels(A, 0, C);
+  ASSERT_EQ(Ks.size(), 2u);
+  const RunKernel *Skip = nullptr, *Copy = nullptr;
+  for (const RunKernel &K : Ks) {
+    if (K.K == RunKernel::Kind::Skip)
+      Skip = &K;
+    if (K.K == RunKernel::Kind::Copy)
+      Copy = &K;
+  }
+  ASSERT_TRUE(Skip && Copy);
+  EXPECT_EQ(Skip->Bytes, 26u);
+  EXPECT_TRUE(Skip->covers('a'));
+  EXPECT_TRUE(Skip->covers('z'));
+  EXPECT_FALSE(Skip->covers('A'));
+  EXPECT_TRUE(Skip->Emits.empty());
+  EXPECT_TRUE(Skip->Writes.empty());
+  EXPECT_EQ(Copy->Bytes, 230u);
+  EXPECT_EQ(Copy->SingleEscape, -1) << "26 escapes, not a memchr mask";
+  for (unsigned B = 0; B < 256; ++B)
+    EXPECT_NE(Skip->covers(B), Copy->covers(B)) << "byte " << B;
+}
+
+TEST_F(FastPathTest, ConstantWriteSelfLoopIsARunKernel) {
+  // Both branches self-loop and rewrite the register to the same constant
+  // every element (the HtmlEncode shape).  The write is idempotent over a
+  // span — no guard in a table state reads registers — so both classes
+  // must still become kernels, and the non-escape side covers 255 bytes:
+  // a single-escape (memchr-style) mask.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 1));
+  TermRef X = A.inputVar();
+  TermRef Zero = Ctx.bvConst(8, 0);
+  A.setDelta(0,
+             Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, '&')),
+                       Rule::base({Ctx.bvConst(8, 'X'), Ctx.bvConst(8, 'Y')},
+                                  0, Zero),
+                       Rule::base({X}, 0, Zero)));
+  A.setFinalizer(0, Rule::base({A.regVar()}, 0, Zero));
+  ByteClassTable C = classifyDeltaByteClasses(A, 0);
+  ASSERT_TRUE(C.Eligible);
+  std::vector<RunKernel> Ks = classifyRunKernels(A, 0, C);
+  ASSERT_EQ(Ks.size(), 2u);
+  const RunKernel *Copy = nullptr, *Const = nullptr;
+  for (const RunKernel &K : Ks) {
+    if (K.K == RunKernel::Kind::Copy)
+      Copy = &K;
+    if (K.K == RunKernel::Kind::ConstAppend)
+      Const = &K;
+  }
+  ASSERT_TRUE(Copy && Const);
+  EXPECT_EQ(Copy->Bytes, 255u);
+  EXPECT_EQ(Copy->SingleEscape, '&');
+  ASSERT_EQ(Copy->Writes.size(), 1u);
+  EXPECT_EQ(Copy->Writes[0].second, 0u);
+  EXPECT_EQ(Const->Bytes, 1u);
+  EXPECT_EQ(Const->Emits, (std::vector<uint64_t>{'X', 'Y'}));
+
+  // The finalizer reads the register, so the once-per-span write must be
+  // observable: differential check over run-heavy inputs.
+  std::vector<uint64_t> In(300, 'q');
+  In[50] = '&';
+  In[299] = '&';
+  expectAgreesWithVm(A, In, "constant-write spans");
+}
+
+TEST_F(FastPathTest, NonConstantWriteSelfLoopIsNotAKernel) {
+  // The self-loop update reads the register (r+1): a span cannot be
+  // collapsed, so no kernel may cover those bytes.
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+  TermRef R = A.regVar();
+  A.setDelta(0, Rule::base({}, 0, Ctx.mkAdd(R, Ctx.bvConst(8, 1))));
+  A.setFinalizer(0, Rule::base({R}, 0, R));
+  ByteClassTable C = classifyDeltaByteClasses(A, 0);
+  ASSERT_TRUE(C.Eligible);
+  EXPECT_TRUE(classifyRunKernels(A, 0, C).empty());
+}
+
+TEST_F(FastPathTest, ScanRunEndStopsExactly) {
+  RunKernel RK;
+  RK.Mask = {~0ull, ~0ull, ~0ull, ~0ull};
+  RK.Mask['z' >> 6] &= ~(1ull << ('z' & 63));
+  RK.Bytes = 255;
+  // Escape positions spanning the scalar head, SWAR/SSE2 body and tail.
+  std::vector<uint64_t> Clean(100, 'a');
+  for (size_t Esc : {size_t(0), size_t(1), size_t(7), size_t(8), size_t(15),
+                     size_t(31), size_t(63), size_t(64), size_t(99)}) {
+    std::vector<uint64_t> Buf = Clean;
+    Buf[Esc] = 'z';
+    RK.SingleEscape = 'z'; // memchr-style specialization
+    EXPECT_EQ(scanRunEnd(Buf.data(), 0, Buf.size(), RK), Esc);
+    RK.SingleEscape = -1; // general mask loop over the same set
+    EXPECT_EQ(scanRunEnd(Buf.data(), 0, Buf.size(), RK), Esc);
+    // Out-of-range values end the run even when their low byte is a
+    // member ('a' | 0x100 must not be mistaken for 'a').
+    Buf[Esc] = uint64_t('a') | 0x100;
+    RK.SingleEscape = 'z';
+    EXPECT_EQ(scanRunEnd(Buf.data(), 0, Buf.size(), RK), Esc);
+    RK.SingleEscape = -1;
+    EXPECT_EQ(scanRunEnd(Buf.data(), 0, Buf.size(), RK), Esc);
+  }
+  RK.SingleEscape = 'z';
+  EXPECT_EQ(scanRunEnd(Clean.data(), 0, Clean.size(), RK), Clean.size());
+  EXPECT_EQ(scanRunEnd(Clean.data(), 37, Clean.size(), RK), Clean.size());
+  RK.SingleEscape = -1;
+  EXPECT_EQ(scanRunEnd(Clean.data(), 37, Clean.size(), RK), Clean.size());
+}
+
+TEST_F(FastPathTest, RunSpansResumeAcrossChunkCuts) {
+  // A 200-'a' skip run then one echoed byte; cut at every position.  The
+  // kernel must resume mid-span with no state drift, and the counters
+  // must account for every element (201 = the whole input is covered by
+  // the Skip + Copy kernels).
+  Bst A = makeSkipLetters(Ctx);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  EXPECT_EQ(P.stats().AccelStates, 1u);
+
+  std::vector<uint64_t> In(200, 'a');
+  In.push_back('!');
+  auto Want = T->run(In);
+  ASSERT_TRUE(Want.has_value());
+  for (size_t Cut = 0; Cut <= In.size(); ++Cut) {
+    FastPathCursor C(P, *T);
+    std::vector<uint64_t> Out;
+    ASSERT_TRUE(C.feed(std::span<const uint64_t>(In).subspan(0, Cut), Out));
+    ASSERT_TRUE(C.feed(std::span<const uint64_t>(In).subspan(Cut), Out));
+    ASSERT_TRUE(C.finish(Out));
+    EXPECT_EQ(Out, *Want) << "cut=" << Cut;
+    EXPECT_EQ(C.runCounters().RunElements, 201u) << "cut=" << Cut;
+    EXPECT_GE(C.runCounters().Runs, 2u) << "cut=" << Cut;
+  }
+}
+
+TEST_F(FastPathTest, AccelOffPlanHasNoKernelsAndAgrees) {
+  Bst A = makeSkipLetters(Ctx);
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathOptions Off;
+  Off.RunAccel = false;
+  FastPathPlan POn = FastPathPlan::build(A, *T);
+  FastPathPlan POff = FastPathPlan::build(A, *T, Off);
+  EXPECT_GT(POn.stats().SkipKernels + POn.stats().CopyKernels, 0u);
+  EXPECT_EQ(POff.stats().AccelStates, 0u);
+  EXPECT_EQ(POff.stats().AccelBytes, 0u);
+
+  SplitMix64 Rng(11);
+  for (int Iter = 0; Iter < 20; ++Iter) {
+    std::vector<uint64_t> In;
+    for (size_t I = 0, N = Rng.below(300); I < N; ++I)
+      In.push_back(Rng.below(4) ? Rng.range('a', 'z') : Rng.below(256));
+    auto Want = T->run(In);
+    auto GotOn = runFastPath(POn, *T, In);
+    auto GotOff = runFastPath(POff, *T, In);
+    ASSERT_EQ(Want.has_value(), GotOn.has_value()) << "iter " << Iter;
+    ASSERT_EQ(Want.has_value(), GotOff.has_value()) << "iter " << Iter;
+    if (Want) {
+      EXPECT_EQ(*Want, *GotOn) << "iter " << Iter;
+      EXPECT_EQ(*Want, *GotOff) << "iter " << Iter;
+    }
+  }
+}
+
+TEST_F(FastPathTest, StdlibRunHeavyInputsAgree) {
+  // Real stdlib transducers on inputs shaped like the fig13/fig9 hot
+  // loops: long homogeneous runs, runs split by single escapes, and runs
+  // ending at out-of-range elements.
+  struct Case {
+    Bst A;
+    std::vector<uint64_t> In;
+    const char *What;
+  };
+  std::vector<Case> Cases;
+  {
+    std::vector<uint64_t> In(500, 'e');
+    In[250] = '<';
+    Cases.push_back({lib::makeHtmlEncode(Ctx), In, "html run/escape/run"});
+  }
+  {
+    std::vector<uint64_t> In(400, 'x');
+    In.push_back('\n');
+    Cases.push_back({lib::makeLineCount(Ctx), In, "linecount long line"});
+  }
+  {
+    std::vector<uint64_t> In(300, 'a');
+    In[100] = 0x2603; // out of byte range: per-element bytecode island
+    Cases.push_back({lib::makeHtmlEncode(Ctx), In, "html wide element"});
+  }
+  {
+    std::vector<uint64_t> In(256, 'A');
+    Cases.push_back({lib::makeBase64Decode(Ctx), In, "base64 homogeneous"});
+  }
+  for (auto &C : Cases)
+    expectAgreesWithVm(C.A, C.In, C.What);
+}
+
+TEST_F(FastPathTest, ExplainFastPathDescribesKernels) {
+  Bst A = makeSkipLetters(Ctx);
+  std::string Dump = explainFastPath(A);
+  EXPECT_NE(Dump.find("state 0"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("skip"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("copy"), std::string::npos) << Dump;
+
+  Bst B = makeMixedEligibility(Ctx);
+  std::string Dump2 = explainFastPath(B);
+  EXPECT_NE(Dump2.find("fallback"), std::string::npos) << Dump2;
+}
+
 TEST_F(FastPathTest, PlanSurvivesTransducerMove) {
   // The plan is plain data; moving the compiled transducer (as pipeline
   // containers do) must not invalidate it.

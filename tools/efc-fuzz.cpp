@@ -62,7 +62,7 @@ int usage(const char *Msg = nullptr) {
           "                [--max-states K] [--max-stages K] [--max-len L]\n"
           "                [--inputs N] [--elem-width 4|8|16]\n"
           "                [--backends vm,fused,fusedvm,rbbe,rbbevm,fastpath,"
-          "rbbefast,native|default|all]\n"
+          "rbbefast,fastskip,native|default|all]\n"
           "                [--native-every N] [--no-shrink]\n"
           "                [--shrink-budget N] [--time-budget SEC] "
           "[--quiet]\n"

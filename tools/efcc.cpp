@@ -30,6 +30,10 @@
 //   --native         alias for --backend native
 //   --emit-cpp FILE  write generated C++ to FILE
 //   --stats          print pipeline statistics to stderr
+//   --explain-fastpath
+//                    dump per-state byte-class tables to stdout:
+//                    eligible/fallback, class count, self-loop classes
+//                    and the run kernels chosen for them
 //
 // Pipeline assembly, fusion and backend selection all route through the
 // runtime layer (runtime/PipelineCache.h), so efcc builds exactly what
@@ -56,7 +60,7 @@ int usage(const char *Msg = nullptr) {
   fprintf(stderr,
           "usage: efcc (--regex P | --xpath Q) [--agg max|min|avg|none]\n"
           "            [--format decimal|lines|sql] [--no-rbbe]\n"
-          "            [--minimize] [--stats]\n"
+          "            [--minimize] [--stats] [--explain-fastpath]\n"
           "            [--backend vm|fastpath|native] [--native]\n"
           "            [--run FILE] [--emit-cpp FILE]\n");
   return 2;
@@ -68,6 +72,7 @@ int main(int argc, char **argv) {
   std::string Regex, XPath, Agg = "none", Format = "lines";
   std::string RunFile, EmitFile, Backend = "fastpath";
   bool DoRbbe = true, DoMinimize = false, Stats = false;
+  bool ExplainFastPath = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -117,14 +122,18 @@ int main(int argc, char **argv) {
       Backend = "native";
     } else if (A == "--stats") {
       Stats = true;
+    } else if (A == "--explain-fastpath") {
+      ExplainFastPath = true;
     } else {
       return usage(("unknown option '" + A + "'").c_str());
     }
   }
   if (Regex.empty() == XPath.empty())
     return usage("exactly one of --regex / --xpath is required");
-  if (RunFile.empty() && EmitFile.empty() && !Stats)
-    return usage("nothing to do: pass --run, --emit-cpp or --stats");
+  if (RunFile.empty() && EmitFile.empty() && !Stats && !ExplainFastPath)
+    return usage(
+        "nothing to do: pass --run, --emit-cpp, --stats or "
+        "--explain-fastpath");
   if (Backend != "vm" && Backend != "fastpath" && Backend != "native")
     return usage(("unknown backend '" + Backend + "'").c_str());
   bool Native = Backend == "native";
@@ -162,6 +171,11 @@ int main(int argc, char **argv) {
     if (DoMinimize)
       fprintf(stderr, "efcc: minimization: %u -> %u states\n",
               P->MStats.StatesBefore, P->MStats.StatesAfter);
+  }
+
+  if (ExplainFastPath) {
+    std::string Dump = explainFastPath(*P->Fused);
+    fwrite(Dump.data(), 1, Dump.size(), stdout);
   }
 
   if (!EmitFile.empty()) {
@@ -217,6 +231,11 @@ int main(int argc, char **argv) {
                 "(%u const, %u jump, %u program actions)\n",
                 FS.TableStates, FS.TableStates + FS.FallbackStates,
                 FS.ConstActions, FS.JumpActions, FS.ProgramActions);
+        fprintf(stderr,
+                "efcc: run accel: %u/%u states (%u skip, %u copy, "
+                "%u const-append kernels over %u bytes)\n",
+                FS.AccelStates, FS.TableStates, FS.SkipKernels,
+                FS.CopyKernels, FS.ConstAppendKernels, FS.AccelBytes);
       }
       Out = runFastPath(*P->Fast, *P->Vm, In);
     } else {
