@@ -3,18 +3,25 @@
 # ci.sh — the whole gate in one script.
 #
 #   1. Tier-1 verify (ROADMAP.md): configure, build, full ctest.
-#   2. efc-serve smoke test: start a server, stream a CSV pipeline at it in
+#   2. Sanitizer job: a second build with -DEFC_SANITIZE=ON (ASan+UBSan)
+#      runs the tier-1 label — the fast-path boundary tests in particular
+#      are written so any vectorized-scan overread trips ASan.  Skippable
+#      with EFC_SKIP_ASAN=1 (roughly doubles build time).
+#   3. efc-serve smoke test: start a server, stream a CSV pipeline at it in
 #      7-byte chunks, and require byte-identical output to one-shot
 #      `efcc --run` on the same file.
-#   3. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
+#   4. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
 #      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
 #      small fig9 benchmark run refreshes BENCH_throughput.json at the
 #      repo root so the recorded numbers track HEAD.  The fresh numbers
 #      are gated against the committed ones: any (pipeline, backend) row
 #      dropping more than EFC_BENCH_GATE_PCT percent (default 20) fails
 #      the script; EFC_BENCH_GATE_PCT=0 disables the gate (noisy shared
-#      machines).
-#   4. Runtime-cache bench: cache-hit vs cache-miss request latency
+#      machines).  Because the hot loops now carry metrics folds and
+#      trace-enabled checks, this gate doubles as the observability
+#      overhead gate: instrumentation that slows a backend past the
+#      threshold fails here.
+#   5. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
 #
@@ -24,12 +31,25 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/4] tier-1 verify =="
+echo "== [1/5] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/4] efc-serve smoke test =="
+echo "== [2/5] ASan+UBSan tier-1 =="
+if [ "${EFC_SKIP_ASAN:-0}" = "1" ]; then
+  echo "skipped (EFC_SKIP_ASAN=1)"
+else
+  cmake -B "$BUILD-asan" -S . -DEFC_SANITIZE=ON
+  cmake --build "$BUILD-asan" -j
+  # The native backend dlopens uninstrumented artifacts; that direction
+  # (clean .so into an ASan process) is supported, but don't let a stale
+  # instrumented cache cross builds.
+  (cd "$BUILD-asan" && EFC_CACHE_DIR=$(mktemp -d) \
+     ctest --output-on-failure -j -L tier1)
+fi
+
+echo "== [3/5] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
@@ -55,7 +75,7 @@ if [ "$STREAMED" != "$ONESHOT" ]; then
 fi
 echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
 
-echo "== [3/4] fast-path divergence gate + throughput smoke =="
+echo "== [4/5] fast-path divergence gate + throughput smoke =="
 # Deterministic fig9-style CSV corpus, big enough to cross chunk and
 # buffer-growth boundaries.
 for i in $(seq 0 4999); do
@@ -118,7 +138,7 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
 fi
 mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
-echo "== [4/4] cache-hit vs cache-miss latency =="
+echo "== [5/5] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
 
 echo "== ci.sh: all green =="

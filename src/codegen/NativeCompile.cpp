@@ -3,7 +3,9 @@
 #include "codegen/NativeCompile.h"
 
 #include "codegen/CppCodeGen.h"
+#include "support/Metrics.h"
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <cctype>
 #include <cerrno>
@@ -116,13 +118,44 @@ std::string NativeTransducer::cacheDir() {
   return Dir;
 }
 
+namespace {
+
+struct NativeMetrics {
+  metrics::Counter &Compiles;
+  metrics::Counter &Failures;
+  metrics::Counter &DiskHits;
+  metrics::DoubleCounter &Seconds;
+  static NativeMetrics &get() {
+    namespace mx = metrics;
+    static NativeMetrics M{
+        mx::Registry::instance().counter("efc_native_compiles_total",
+                                         "Host-compiler invocations"),
+        mx::Registry::instance().counter("efc_native_compile_failures_total",
+                                         "Native compile/load failures"),
+        mx::Registry::instance().counter(
+            "efc_native_disk_hits_total",
+            "Compiles satisfied by the on-disk artifact cache"),
+        mx::Registry::instance().dcounter("efc_native_compile_seconds_total",
+                                          "Host-compiler wall time")};
+    return M;
+  }
+};
+
+} // namespace
+
 std::optional<NativeTransducer>
 NativeTransducer::compile(const Bst &A, const std::string &Tag,
                           std::string *Error, NativeCompileInfo *Info) {
+  trace::Span NativeSp("native");
   CodeGenOptions Opts;
   Opts.FunctionName = "efc_impl";
   Opts.EmitStreaming = true;
-  std::string Source = generateCpp(A, Opts);
+  std::string Source;
+  {
+    trace::Span CgSp("codegen");
+    Source = generateCpp(A, Opts);
+    CgSp.note("bytes", (uint64_t)Source.size());
+  }
   // Exported entry points with stable names.
   Source +=
       "\nextern \"C\" bool efc_transduce(const uint64_t *in, size_t "
@@ -175,6 +208,8 @@ NativeTransducer::compile(const Bst &A, const std::string &Tag,
     if (auto T = tryLoad(&LoadErr)) {
       if (Info)
         Info->DiskCacheHit = true;
+      NativeMetrics::get().DiskHits.inc();
+      NativeSp.note("disk_cache_hit", (uint64_t)1);
       return T;
     }
     unlink(Lib.c_str());
@@ -191,42 +226,66 @@ NativeTransducer::compile(const Bst &A, const std::string &Tag,
     unlink(Tmp.c_str());
     unlink(Log.c_str());
   };
+  // All failure modes from here on are environmental (toolchain missing,
+  // disk full, cc OOM, dlopen): the generated source is machine-produced
+  // and compiles whenever the toolchain works.  Mark them Transient so
+  // callers retry instead of negative-caching the spec forever.
+  auto Fail = [&] {
+    if (Info)
+      Info->Transient = true;
+    NativeMetrics::get().Failures.inc();
+    return std::nullopt;
+  };
   {
     std::ofstream F(Src);
     if (!F) {
       if (Error)
         *Error = "cannot write " + Src;
-      return std::nullopt;
+      return Fail();
     }
     F << Source;
   }
-  std::string Cmd = "c++ -std=c++17 -O2 -fPIC -shared -o " + Tmp + " " + Src +
+  // EFC_CXX overrides the host compiler (also the lever regression tests
+  // use to simulate a transient toolchain outage).
+  const char *Cxx = std::getenv("EFC_CXX");
+  std::string Cmd = std::string(Cxx && *Cxx ? Cxx : "c++") +
+                    " -std=c++17 -O2 -fPIC -shared -o " + Tmp + " " + Src +
                     " 2>" + Log;
   Stopwatch Compile;
-  if (std::system(Cmd.c_str()) != 0) {
-    if (Error) {
-      std::string Diag = readFile(Log);
-      if (Diag.size() > 2000)
-        Diag.resize(2000);
-      *Error = "native compilation failed: " + Diag;
+  {
+    trace::Span CcSp("cc");
+    if (std::system(Cmd.c_str()) != 0) {
+      if (Error) {
+        std::string Diag = readFile(Log);
+        if (Diag.size() > 2000)
+          Diag.resize(2000);
+        *Error = "native compilation failed: " + Diag;
+      }
+      Cleanup();
+      return Fail();
     }
-    Cleanup();
-    return std::nullopt;
+    CcSp.note("ms", Compile.millis());
   }
   if (Info)
     Info->CompileMs = Compile.millis();
+  NativeMetrics::get().Compiles.inc();
+  NativeMetrics::get().Seconds.add(Compile.seconds());
   if (rename(Tmp.c_str(), Lib.c_str()) != 0) {
     if (Error)
       *Error = "cannot publish " + Lib;
     Cleanup();
-    return std::nullopt;
+    return Fail();
   }
   Cleanup();
 
   std::string LoadErr;
+  trace::Span DlSp("dlopen");
   auto T = tryLoad(&LoadErr);
-  if (!T && Error)
-    *Error = LoadErr;
+  if (!T) {
+    if (Error)
+      *Error = LoadErr;
+    return Fail();
+  }
   return T;
 }
 

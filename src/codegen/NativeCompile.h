@@ -37,6 +37,13 @@ struct NativeCompileInfo {
   double CompileMs = 0;
   /// Path of the cached shared object.
   std::string SoPath;
+  /// On failure: the failure is an environment problem (no compiler, disk
+  /// full, cc OOM, dlopen) that a later retry may clear — as opposed to a
+  /// deterministic property of the spec.  Every failure mode of this
+  /// backend is environmental: the generated source itself is
+  /// machine-produced and compiles whenever the toolchain works, so
+  /// callers should only negative-cache these with a retry budget.
+  bool Transient = false;
 };
 
 /// A natively compiled transducer loaded from a shared object.
@@ -48,9 +55,10 @@ public:
 
   /// Generates C++ for \p A and loads the corresponding shared object,
   /// either from the artifact cache or by compiling it (host
-  /// `c++ -O2 -shared`).  Returns std::nullopt when no compiler is
-  /// available or compilation fails (diagnostics in \p Error when
-  /// non-null); temporary files are removed on every path.
+  /// `c++ -O2 -shared`; override the compiler with EFC_CXX).  Returns
+  /// std::nullopt when no compiler is available or compilation fails
+  /// (diagnostics in \p Error when non-null); temporary files are removed
+  /// on every path.
   static std::optional<NativeTransducer>
   compile(const Bst &A, const std::string &Tag, std::string *Error = nullptr,
           NativeCompileInfo *Info = nullptr);

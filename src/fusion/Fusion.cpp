@@ -3,7 +3,9 @@
 #include "fusion/Fusion.h"
 
 #include "bst/Transform.h"
+#include "support/Metrics.h"
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 #include "term/Rewrite.h"
 
 #include <cstdlib>
@@ -381,6 +383,7 @@ Bst efc::fuse(const Bst &A, const Bst &B, Solver &S,
   assert(&A.context() == &B.context() &&
          "fusion requires a shared term context");
   Stopwatch Timer;
+  trace::Span Sp("fuse");
   FusionStats Local;
   FusionStats &St = Stats ? *Stats : Local;
   uint64_t ChecksBefore = S.stats().Checks;
@@ -394,6 +397,28 @@ Bst efc::fuse(const Bst &A, const Bst &B, Solver &S,
   St.ProductStates = Result.numStates();
   St.SolverChecks = S.stats().Checks - ChecksBefore;
   St.Seconds = Timer.seconds();
+
+  namespace mx = metrics;
+  static mx::Counter &Runs = mx::Registry::instance().counter(
+      "efc_fusion_runs_total", "fuse() invocations");
+  static mx::Counter &States = mx::Registry::instance().counter(
+      "efc_fusion_product_states_total", "Product states in fused results");
+  static mx::Counter &Pruned = mx::Registry::instance().counter(
+      "efc_fusion_branches_pruned_total",
+      "Branches pruned unreachable during fusion");
+  static mx::Counter &Ites = mx::Registry::instance().counter(
+      "efc_fusion_ites_collapsed_total", "Guard ITEs collapsed during fusion");
+  static mx::DoubleCounter &Secs = mx::Registry::instance().dcounter(
+      "efc_fusion_seconds_total", "Wall time spent in fuse()");
+  Runs.inc();
+  States.inc(St.ProductStates);
+  Pruned.inc(St.BranchesPruned);
+  Ites.inc(St.ItesCollapsed);
+  Secs.add(St.Seconds);
+
+  Sp.note("states", (uint64_t)St.ProductStates);
+  Sp.note("branches_pruned", (uint64_t)St.BranchesPruned);
+  Sp.note("solver_checks", (uint64_t)St.SolverChecks);
   return Result;
 }
 

@@ -4,7 +4,9 @@
 
 #include "bst/Moves.h"
 #include "bst/Transform.h"
+#include "support/Metrics.h"
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 #include "term/Rewrite.h"
 
 #include <unordered_set>
@@ -255,6 +257,7 @@ Bst efc::eliminateUnreachableBranches(const Bst &A, Solver &S,
                                       const RbbeOptions &Opts,
                                       RbbeStats *Stats) {
   Stopwatch Timer;
+  trace::Span Sp("rbbe");
   RbbeStats Local;
   RbbeStats &St = Stats ? *Stats : Local;
   int64_t SavedBudget = S.conflictBudget();
@@ -263,5 +266,32 @@ Bst efc::eliminateUnreachableBranches(const Bst &A, Solver &S,
   Bst Result = E.run();
   S.setConflictBudget(SavedBudget);
   St.Seconds = Timer.seconds();
+
+  namespace mx = metrics;
+  static mx::Counter &Runs = mx::Registry::instance().counter(
+      "efc_rbbe_runs_total", "eliminateUnreachableBranches() invocations");
+  static mx::Counter &Removed = mx::Registry::instance().counter(
+      "efc_rbbe_branches_removed_total", "Unreachable branches eliminated");
+  static mx::Counter &StatesRm = mx::Registry::instance().counter(
+      "efc_rbbe_states_removed_total", "States removed as unreachable");
+  static mx::Counter &Reach = mx::Registry::instance().counter(
+      "efc_rbbe_reach_calls_total", "Reachability queries issued");
+  static mx::Counter &Under = mx::Registry::instance().counter(
+      "efc_rbbe_underapprox_hits_total",
+      "Leaves proven reachable by the forward under-approximation");
+  static mx::DoubleCounter &Secs = mx::Registry::instance().dcounter(
+      "efc_rbbe_seconds_total",
+      "Wall time spent in eliminateUnreachableBranches()");
+  Runs.inc();
+  Removed.inc(St.BranchesRemoved + St.FinalBranchesRemoved);
+  StatesRm.inc(St.StatesRemoved);
+  Reach.inc(St.ReachCalls);
+  Under.inc(St.UnderApproxHits);
+  Secs.add(St.Seconds);
+
+  Sp.note("branches_removed",
+          (uint64_t)(St.BranchesRemoved + St.FinalBranchesRemoved));
+  Sp.note("states_removed", (uint64_t)St.StatesRemoved);
+  Sp.note("solver_checks", (uint64_t)St.SolverChecks);
   return Result;
 }

@@ -6,10 +6,13 @@
 #include "frontends/xpath/XPathFrontend.h"
 #include "solver/Solver.h"
 #include "stdlib/Transducers.h"
+#include "support/Metrics.h"
 #include "support/Stopwatch.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace efc;
 using namespace efc::runtime;
@@ -153,11 +156,35 @@ const NativeTransducer *
 CompiledPipeline::native(std::string *Err, NativeOutcome *Outcome,
                          NativeCompileInfo *Info) const {
   std::lock_guard<std::mutex> L(NativeMu);
-  if (!NativeTried) {
+  bool Attempt = !NativeTried;
+  if (NativeTried && !Native && NInfo.Transient &&
+      std::chrono::steady_clock::now() >= NativeRetryAt) {
+    // Transient failure past its backoff window: try again instead of
+    // serving the stale error forever (a disk-full or OOM'd cc would
+    // otherwise poison this spec for the cache's lifetime).
+    Attempt = true;
+    static metrics::Counter &Retries = metrics::Registry::instance().counter(
+        "efc_native_retries_total",
+        "Native compiles re-attempted after a transient failure");
+    Retries.inc();
+  }
+  if (Attempt) {
     NativeTried = true;
+    NativeErr.clear();
     char Tag[32];
     snprintf(Tag, sizeof(Tag), "p%016llx", (unsigned long long)Spec.hash());
     Native = NativeTransducer::compile(*Fused, Tag, &NativeErr, &NInfo);
+    if (!Native && NInfo.Transient) {
+      long BaseMs = 1000;
+      if (const char *E = std::getenv("EFC_NATIVE_RETRY_MS"))
+        BaseMs = std::atol(E);
+      unsigned Shift = NativeFailures < 6 ? NativeFailures : 6;
+      NativeRetryAt = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(BaseMs << Shift);
+      ++NativeFailures;
+    } else if (Native) {
+      NativeFailures = 0;
+    }
     if (Outcome)
       *Outcome = !Native              ? NativeOutcome::Failed
                  : NInfo.DiskCacheHit ? NativeOutcome::DiskHit
@@ -179,6 +206,46 @@ CompiledPipeline::native(std::string *Err, NativeOutcome *Outcome,
 // PipelineCache
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Registry mirrors of PipelineCache::Stats.
+struct CacheMetrics {
+  metrics::Counter &Hits;
+  metrics::Counter &Misses;
+  metrics::Counter &Coalesced;
+  metrics::Counter &NegativeHits;
+  metrics::Counter &Evictions;
+  metrics::Counter &Builds;
+  metrics::DoubleCounter &BuildSeconds;
+  metrics::Counter &PlanTableStates;
+  metrics::Counter &PlanAccelStates;
+  metrics::Counter &PlanRunKernels;
+  static CacheMetrics &get() {
+    auto &R = metrics::Registry::instance();
+    static CacheMetrics M{
+        R.counter("efc_cache_hits_total",
+                  "Pipeline lookups served from memory"),
+        R.counter("efc_cache_misses_total", "Pipeline lookups that built"),
+        R.counter("efc_cache_coalesced_total",
+                  "Lookups that waited on another caller's build"),
+        R.counter("efc_cache_negative_hits_total",
+                  "Lookups served a cached spec error"),
+        R.counter("efc_cache_evictions_total", "LRU evictions"),
+        R.counter("efc_cache_builds_total", "Pipeline builds completed"),
+        R.dcounter("efc_cache_build_seconds_total",
+                   "Wall time in fusion+optimization+VM compile"),
+        R.counter("efc_fastpath_plan_table_states_total",
+                  "Byte-class-tabulated states across built plans"),
+        R.counter("efc_fastpath_plan_accel_states_total",
+                  "Run-accelerated states across built plans"),
+        R.counter("efc_fastpath_plan_run_kernels_total",
+                  "Run kernels across built plans")};
+    return M;
+  }
+};
+
+} // namespace
+
 PipelineCache::PipelineCache(size_t Capacity)
     : Capacity(Capacity ? Capacity : 1) {}
 
@@ -199,6 +266,7 @@ void PipelineCache::evictOverflow() {
     It = Lru.erase(It);
     Map.erase(M);
     ++Counters.Evictions;
+    CacheMetrics::get().Evictions.inc();
   }
 }
 
@@ -207,10 +275,15 @@ namespace {
 /// The build itself: assemble, fuse, optimize, compile for the VM.
 std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
                                                 std::string *Err) {
+  // Root of the compile-phase span tree: fuse/rbbe spans open inside the
+  // respective passes and nest under this one.
+  trace::Span CompileSp("compile");
+  CompileSp.note("spec_hash", Spec.hash());
   auto Owner = std::make_shared<TermContext>();
   auto Stages = assembleStages(Spec, *Owner, Err);
   if (!Stages)
     return nullptr;
+  CompileSp.note("stages", (uint64_t)Stages->size());
 
   auto P = std::make_shared<CompiledPipeline>();
   P->Spec = Spec;
@@ -228,10 +301,16 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
     ROpts.ConflictBudget = 0;
     Fused = eliminateUnreachableBranches(Fused, S, ROpts, &P->RStats);
   }
-  if (Spec.Minimize)
+  if (Spec.Minimize) {
+    trace::Span MinSp("minimize");
     Fused = minimizeStates(Fused, &P->MStats);
+  }
 
-  auto Vm = CompiledTransducer::compile(Fused);
+  std::optional<CompiledTransducer> Vm;
+  {
+    trace::Span VmSp("vm_compile");
+    Vm = CompiledTransducer::compile(Fused);
+  }
   if (!Vm) {
     if (Err)
       *Err = "pipeline has non-scalar element types";
@@ -241,7 +320,13 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
   FastPathOptions FOpts;
   if (const char *Accel = std::getenv("EFC_FASTPATH_ACCEL"))
     FOpts.RunAccel = std::atoi(Accel) != 0;
-  P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm, FOpts));
+  {
+    trace::Span FpSp("fastpath_plan");
+    P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm, FOpts));
+    const FastPathPlan::Stats &FS = P->Fast->stats();
+    FpSp.note("table_states", (uint64_t)FS.TableStates);
+    FpSp.note("accel_states", (uint64_t)FS.AccelStates);
+  }
   P->Fused.emplace(std::move(Fused));
   P->BuildSeconds = Total.seconds();
   return P;
@@ -264,9 +349,18 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       touch(It->second);
       if (S->Building) {
         ++Counters.Coalesced;
+        CacheMetrics::get().Coalesced.inc();
         S->Cv.wait(L, [&] { return !S->Building; });
-      } else {
+      } else if (S->Ready) {
         ++Counters.Hits;
+        CacheMetrics::get().Hits.inc();
+      } else {
+        // Published spec *error*: deterministic (bad pattern / unknown
+        // enum), so serving it from cache is correct — but it is not a
+        // hit.  Transient native failures never land here; they are
+        // retried at the entry level (CompiledPipeline::native).
+        ++Counters.NegativeHits;
+        CacheMetrics::get().NegativeHits.inc();
       }
     } else {
       S = std::make_shared<Slot>();
@@ -274,6 +368,7 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       Map.emplace(Key, MapEntry{S, Lru.begin()});
       evictOverflow();
       ++Counters.Misses;
+      CacheMetrics::get().Misses.inc();
       Builder = true;
     }
   }
@@ -292,6 +387,13 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       Counters.FastAccelStates += FS.AccelStates;
       Counters.FastRunKernels +=
           FS.SkipKernels + FS.CopyKernels + FS.ConstAppendKernels;
+      CacheMetrics &CM = CacheMetrics::get();
+      CM.Builds.inc();
+      CM.BuildSeconds.add(P->BuildSeconds);
+      CM.PlanTableStates.inc(FS.TableStates);
+      CM.PlanAccelStates.inc(FS.AccelStates);
+      CM.PlanRunKernels.inc(FS.SkipKernels + FS.CopyKernels +
+                            FS.ConstAppendKernels);
     } else {
       S->Error = BuildErr;
     }
@@ -340,15 +442,17 @@ size_t PipelineCache::size() const {
 }
 
 std::string PipelineCache::Stats::str() const {
-  char Buf[320];
+  char Buf[384];
   snprintf(Buf, sizeof(Buf),
-           "hits=%llu misses=%llu coalesced=%llu evictions=%llu "
+           "hits=%llu misses=%llu coalesced=%llu negative_hits=%llu "
+           "evictions=%llu "
            "builds=%llu build_s=%.3f native_compiles=%llu "
            "native_disk_hits=%llu native_compile_ms=%.1f "
            "fast_table_states=%llu fast_accel_states=%llu "
            "fast_run_kernels=%llu",
            (unsigned long long)Hits, (unsigned long long)Misses,
-           (unsigned long long)Coalesced, (unsigned long long)Evictions,
+           (unsigned long long)Coalesced, (unsigned long long)NegativeHits,
+           (unsigned long long)Evictions,
            (unsigned long long)Builds, BuildSeconds,
            (unsigned long long)NativeCompiles,
            (unsigned long long)NativeDiskHits, NativeCompileMs,

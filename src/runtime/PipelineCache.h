@@ -29,6 +29,7 @@
 #include "vm/FastPath.h"
 #include "vm/Vm.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <list>
 #include <memory>
@@ -100,8 +101,12 @@ public:
   };
 
   /// The native artifact, built at most once per entry (thread-safe).
-  /// nullptr when unavailable; the error is sticky and returned on every
-  /// later call.
+  /// nullptr when unavailable.  A *transient* failure (toolchain missing,
+  /// disk full — NativeCompileInfo::Transient) is re-attempted after a
+  /// backoff rather than cached forever: the delay starts at
+  /// EFC_NATIVE_RETRY_MS milliseconds (default 1000, 0 = retry
+  /// immediately) and doubles per consecutive failure, capped at 64x.
+  /// Non-transient errors stay sticky for the life of the entry.
   const NativeTransducer *native(std::string *Err = nullptr,
                                  NativeOutcome *Outcome = nullptr,
                                  NativeCompileInfo *Info = nullptr) const;
@@ -112,15 +117,18 @@ private:
   mutable std::optional<NativeTransducer> Native;
   mutable NativeCompileInfo NInfo;
   mutable std::string NativeErr;
+  mutable unsigned NativeFailures = 0; ///< consecutive transient failures
+  mutable std::chrono::steady_clock::time_point NativeRetryAt{};
 };
 
 /// In-memory LRU of CompiledPipelines with single-flight builds.
 class PipelineCache {
 public:
   struct Stats {
-    uint64_t Hits = 0;           ///< served from memory
-    uint64_t Misses = 0;         ///< triggered a build
-    uint64_t Coalesced = 0;      ///< waited on another caller's build
+    uint64_t Hits = 0;         ///< served from memory
+    uint64_t Misses = 0;       ///< triggered a build
+    uint64_t Coalesced = 0;    ///< waited on another caller's build
+    uint64_t NegativeHits = 0; ///< served a cached spec *error*
     uint64_t Evictions = 0;
     uint64_t Builds = 0;         ///< fusions performed
     uint64_t NativeCompiles = 0; ///< host-compiler invocations

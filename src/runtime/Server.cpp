@@ -2,6 +2,9 @@
 
 #include "runtime/Server.h"
 
+#include "support/Metrics.h"
+#include "support/Stopwatch.h"
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +17,50 @@
 using namespace efc;
 using namespace efc::runtime;
 
+namespace {
+
+/// Registry mirrors of the server counters plus serving-path
+/// distributions.
+struct ServerMetrics {
+  metrics::Counter &SessionsOpened;
+  metrics::Counter &FramesIn;
+  metrics::Counter &Replies;
+  metrics::Counter &Errors;
+  metrics::Counter &Rejected;
+  metrics::Counter &FramesDropped;
+  metrics::Counter &BytesIn;
+  metrics::Counter &BytesOut;
+  metrics::Gauge &QueueDepth;
+  metrics::Histogram &FeedLatency;
+  metrics::Histogram &FeedBytes;
+  static ServerMetrics &get() {
+    auto &R = metrics::Registry::instance();
+    static ServerMetrics M{
+        R.counter("efc_server_sessions_opened_total", "Sessions opened"),
+        R.counter("efc_server_frames_in_total", "Request frames received"),
+        R.counter("efc_server_replies_total", "Response frames sent"),
+        R.counter("efc_server_errors_total", "Error responses sent"),
+        R.counter("efc_server_rejected_total",
+                  "Streams rejected by a pipeline"),
+        R.counter("efc_server_frames_dropped_total",
+                  "Responses lost to dead connections"),
+        R.counter("efc_server_bytes_in_total", "Session input bytes fed"),
+        R.counter("efc_server_bytes_out_total",
+                  "Session output bytes produced"),
+        R.gauge("efc_server_queue_depth",
+                "Tasks queued across all session strands"),
+        R.histogram("efc_server_feed_latency_seconds",
+                    "Per-frame feed execution time",
+                    {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1,
+                     0.3, 1.0, 3.0}),
+        R.histogram("efc_server_feed_bytes", "Feed frame payload size",
+                    {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576})};
+    return M;
+  }
+};
+
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Framing
 //===----------------------------------------------------------------------===//
@@ -25,7 +72,9 @@ constexpr size_t MaxFrame = 64u << 20;
 bool writeAll(int Fd, const void *Data, size_t N) {
   const char *P = static_cast<const char *>(Data);
   while (N) {
-    ssize_t W = ::write(Fd, P, N);
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE,
+    // not kill the process (in-process embedders included).
+    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
     if (W <= 0) {
       if (W < 0 && errno == EINTR)
         continue;
@@ -133,8 +182,16 @@ void Server::signalStop() {
       if (Cn->Fd >= 0)
         ::shutdown(Cn->Fd, SHUT_RDWR);
   }
-  if (StopPipe[1] >= 0)
-    (void)!::write(StopPipe[1], "x", 1);
+  if (StopPipe[1] >= 0) {
+    // Retry EINTR: a lost wakeup here would leave the accept loop parked
+    // in poll.  The loop also polls with a finite timeout as a backstop,
+    // so even a full pipe (impossible with one byte, but cheap to cover)
+    // cannot wedge shutdown.
+    ssize_t W;
+    do {
+      W = ::write(StopPipe[1], "x", 1);
+    } while (W < 0 && errno == EINTR);
+  }
   WorkCv.notify_all();
   SpaceCv.notify_all();
 }
@@ -170,7 +227,7 @@ void Server::stop() {
 void Server::acceptLoop() {
   for (;;) {
     pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
-    if (::poll(Fds, 2, -1) < 0) {
+    if (::poll(Fds, 2, /*timeout=*/200) < 0) {
       if (errno == EINTR)
         continue;
       break;
@@ -197,7 +254,7 @@ void Server::acceptLoop() {
   }
 }
 
-void Server::reply(Conn &Cn, char Status, const std::string &Name,
+bool Server::reply(Conn &Cn, char Status, const std::string &Name,
                    std::string_view Body) {
   std::string Out;
   Out.reserve(2 + Name.size() + Body.size());
@@ -205,12 +262,31 @@ void Server::reply(Conn &Cn, char Status, const std::string &Name,
   Out += Name;
   Out.push_back('\n');
   Out.append(Body.data(), Body.size());
-  std::lock_guard<std::mutex> L(Cn.WriteMu);
-  (void)sendFrame(Cn.Fd, Out);
+  bool Sent;
+  {
+    std::lock_guard<std::mutex> L(Cn.WriteMu);
+    int Fd = Cn.Fd.load();
+    Sent = Fd >= 0 && sendFrame(Fd, Out);
+    if (!Sent && Fd >= 0) {
+      // The client is gone (EPIPE/ECONNRESET) or the frame was cut short:
+      // nothing further sent on this connection can be framed correctly.
+      // Shut it down so the reader unblocks and tears it down.
+      ::shutdown(Fd, SHUT_RDWR);
+    }
+  }
   std::lock_guard<std::mutex> G(Mu);
-  ++C.Replies;
-  if (Status == 'e')
-    ++C.Errors;
+  if (Sent) {
+    ++C.Replies;
+    ServerMetrics::get().Replies.inc();
+    if (Status == 'e') {
+      ++C.Errors;
+      ServerMetrics::get().Errors.inc();
+    }
+  } else {
+    ++C.FramesDropped;
+    ServerMetrics::get().FramesDropped.inc();
+  }
+  return Sent;
 }
 
 void Server::readerLoop(std::shared_ptr<Conn> Cn) {
@@ -223,8 +299,13 @@ void Server::readerLoop(std::shared_ptr<Conn> Cn) {
       std::lock_guard<std::mutex> L(Mu);
       ++C.FramesIn;
     }
+    ServerMetrics::get().FramesIn.inc();
     if (Op == 'S') {
       reply(*Cn, 'k', "", statsText());
+      continue;
+    }
+    if (Op == 'M') {
+      reply(*Cn, 'k', "", metrics::Registry::instance().renderPrometheus());
       continue;
     }
     if (Op == 'Q') {
@@ -263,6 +344,7 @@ void Server::readerLoop(std::shared_ptr<Conn> Cn) {
         Sess->Name = Name;
         Sessions.insert_or_assign(Name, Sess);
         ++C.SessionsOpened;
+        ServerMetrics::get().SessionsOpened.inc();
       } else {
         if (It == Sessions.end() || It->second->Doomed) {
           L.unlock();
@@ -279,15 +361,20 @@ void Server::readerLoop(std::shared_ptr<Conn> Cn) {
       if (Stopping)
         break;
       Sess->Q.push_back(Task{Op, std::move(Body), Cn});
+      ServerMetrics::get().QueueDepth.add(1);
       if (!Sess->Running && Sess->Q.size() == 1) {
         Ready.push_back(Sess);
         WorkCv.notify_one();
       }
     }
   }
-  if (Cn->Fd >= 0)
-    ::close(Cn->Fd);
-  Cn->Fd = -1;
+  // Close under WriteMu: a worker may be mid-reply on this connection;
+  // closing the descriptor out from under ::send could hand the fd number
+  // to an unrelated accept.
+  std::lock_guard<std::mutex> L(Cn->WriteMu);
+  int Fd = Cn->Fd.exchange(-1);
+  if (Fd >= 0)
+    ::close(Fd);
 }
 
 void Server::workerLoop() {
@@ -306,6 +393,7 @@ void Server::workerLoop() {
       Sess->Running = true;
       T = std::move(Sess->Q.front());
       Sess->Q.pop_front();
+      ServerMetrics::get().QueueDepth.sub(1);
       SpaceCv.notify_all();
     }
 
@@ -372,7 +460,8 @@ void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
       return;
     }
     Sess->Stream.emplace(std::move(*S));
-    reply(*T.C, 'k', Sess->Name, "");
+    if (!reply(*T.C, 'k', Sess->Name, ""))
+      dropSession(Sess);
     return;
   }
   case 'F': {
@@ -380,8 +469,14 @@ void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
       reply(*T.C, 'e', Sess->Name, "session not open");
       return;
     }
+    Stopwatch Timer;
     bool Ok = Sess->Stream->feed(T.Payload);
     std::string Out = Sess->Stream->takeOutput();
+    ServerMetrics &M = ServerMetrics::get();
+    M.FeedLatency.observe(Timer.seconds());
+    M.FeedBytes.observe(double(T.Payload.size()));
+    M.BytesIn.inc(T.Payload.size());
+    M.BytesOut.inc(Out.size());
     {
       std::lock_guard<std::mutex> L(Mu);
       C.BytesIn += T.Payload.size();
@@ -390,11 +485,16 @@ void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
         ++C.Rejected;
     }
     if (!Ok) {
+      M.Rejected.inc();
       dropSession(Sess);
       reply(*T.C, 'e', Sess->Name, "input rejected by the pipeline");
       return;
     }
-    reply(*T.C, 'k', Sess->Name, Out);
+    if (!reply(*T.C, 'k', Sess->Name, Out)) {
+      // The client never saw this output; feeding further chunks would
+      // silently skip a hole in the stream.  Kill the session.
+      dropSession(Sess);
+    }
     return;
   }
   case 'E': {
@@ -405,12 +505,15 @@ void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
     }
     bool Ok = Sess->Stream->finish();
     std::string Out = Sess->Stream->takeOutput();
+    ServerMetrics::get().BytesOut.inc(Out.size());
     {
       std::lock_guard<std::mutex> L(Mu);
       C.BytesOut += Out.size();
       if (!Ok)
         ++C.Rejected;
     }
+    if (!Ok)
+      ServerMetrics::get().Rejected.inc();
     dropSession(Sess);
     if (!Ok)
       reply(*T.C, 'e', Sess->Name, "stream rejected by the finalizer");
@@ -448,12 +551,14 @@ std::string Server::statsText() const {
   char Buf[512];
   snprintf(Buf, sizeof(Buf),
            "sessions_opened=%llu sessions_active=%zu frames_in=%llu "
-           "replies=%llu errors=%llu rejected=%llu bytes_in=%llu "
+           "replies=%llu errors=%llu rejected=%llu frames_dropped=%llu "
+           "bytes_in=%llu "
            "bytes_out=%llu fast_runs=%llu fast_run_elems=%llu "
            "threads=%u queue_cap=%zu\ncache: ",
            (unsigned long long)C.SessionsOpened, Sessions.size(),
            (unsigned long long)C.FramesIn, (unsigned long long)C.Replies,
            (unsigned long long)C.Errors, (unsigned long long)C.Rejected,
+           (unsigned long long)C.FramesDropped,
            (unsigned long long)C.BytesIn, (unsigned long long)C.BytesOut,
            (unsigned long long)C.FastRuns,
            (unsigned long long)C.FastRunElements, Opts.Threads,

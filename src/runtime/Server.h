@@ -12,6 +12,7 @@
 ///   'E'  finish: name                      'k' name output | 'e' name msg
 ///   'C'  close:  name (discard session)    'k' name        | 'e' name msg
 ///   'S'  stats (counters dump)             'k' \n stats-text
+///   'M'  metrics (Prometheus text)         'k' \n prometheus-text
 ///   'Q'  shutdown                          'k' \n
 ///
 /// where `backend` is "vm" or "native", `spec` is PipelineSpec::parse
@@ -35,6 +36,7 @@
 #include "runtime/PipelineCache.h"
 #include "runtime/StreamSession.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -80,7 +82,10 @@ public:
 
 private:
   struct Conn {
-    int Fd = -1;
+    /// Atomic: the reader thread closes the descriptor while workers may
+    /// still be inspecting it for replies.  Writes to the socket and the
+    /// close itself serialize on WriteMu.
+    std::atomic<int> Fd{-1};
     std::mutex WriteMu; ///< response frames must not interleave
   };
   struct Task {
@@ -100,7 +105,12 @@ private:
   void readerLoop(std::shared_ptr<Conn> C);
   void workerLoop();
   void execute(const std::shared_ptr<Session> &Sess, Task &T);
-  void reply(Conn &C, char Status, const std::string &Name,
+  /// Sends a response frame.  On send failure (client gone mid-response)
+  /// the connection is torn down and server_frames_dropped is bumped;
+  /// returns false so callers owning a session can doom it — the client
+  /// cannot know which replies it missed, so the session must not accept
+  /// further frames as if nothing happened.
+  bool reply(Conn &C, char Status, const std::string &Name,
              std::string_view Body);
   /// Marks the session for removal once its strand drains.
   void dropSession(const std::shared_ptr<Session> &Sess);
@@ -129,6 +139,7 @@ private:
     uint64_t Replies = 0;
     uint64_t Errors = 0;
     uint64_t Rejected = 0;
+    uint64_t FramesDropped = 0; ///< responses lost to dead connections
     uint64_t BytesIn = 0;  ///< session input bytes fed
     uint64_t BytesOut = 0; ///< session output bytes produced
     uint64_t FastRuns = 0; ///< run-kernel spans driven, completed sessions

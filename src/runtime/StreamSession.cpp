@@ -5,10 +5,31 @@
 using namespace efc;
 using namespace efc::runtime;
 
+void StreamSession::bindMetrics() {
+  namespace mx = metrics;
+  auto &R = mx::Registry::instance();
+  const char *Label = Kind == Backend::Vm     ? "backend=\"vm\""
+                      : Kind == Backend::Fast ? "backend=\"fastpath\""
+                                              : "backend=\"native\"";
+  R.counter("efc_stream_sessions_total", "Stream sessions opened", Label)
+      .inc();
+  MBytesIn = &R.counter("efc_stream_bytes_in_total",
+                        "Input bytes fed into stream sessions", Label);
+  MBytesOut = &R.counter("efc_stream_bytes_out_total",
+                         "Output bytes drained from stream sessions", Label);
+  if (Kind == Backend::Fast) {
+    MRuns = &R.counter("efc_fastpath_runs_total",
+                       "Bulk spans driven through run kernels");
+    MRunElems = &R.counter("efc_fastpath_run_elements_total",
+                           "Elements consumed by run kernels");
+  }
+}
+
 StreamSession StreamSession::overVm(const CompiledTransducer &T) {
   StreamSession S;
   S.Kind = Backend::Vm;
   S.Cur.emplace(T);
+  S.bindMetrics();
   return S;
 }
 
@@ -17,6 +38,7 @@ StreamSession StreamSession::overFast(const FastPathPlan &P,
   StreamSession S;
   S.Kind = Backend::Fast;
   S.FCur.emplace(P, T);
+  S.bindMetrics();
   return S;
 }
 
@@ -29,6 +51,7 @@ StreamSession::overNative(const NativeTransducer &T) {
   S.Nat = &T;
   S.NatState.assign(T.stateWords(), 0);
   T.streamInit(S.NatState.data());
+  S.bindMetrics();
   return S;
 }
 
@@ -76,13 +99,26 @@ void StreamSession::drain() {
   for (uint64_t V : Staged)
     Output.push_back(char(V));
   BytesOut += Staged.size();
+  if (MBytesOut && !Staged.empty())
+    MBytesOut->inc(Staged.size());
   Staged.clear();
+  if (MRuns) {
+    // Fold the cursor's local run counters as a delta, so counts survive
+    // sessions that are dropped without finish().
+    const auto &RC = FCur->runCounters();
+    MRuns->inc(RC.Runs - FoldedRuns);
+    MRunElems->inc(RC.RunElements - FoldedRunElems);
+    FoldedRuns = RC.Runs;
+    FoldedRunElems = RC.RunElements;
+  }
 }
 
 bool StreamSession::feed(const void *Data, size_t N) {
   if (Rejected || Finished)
     return !Rejected && N == 0;
   BytesIn += N;
+  if (MBytesIn)
+    MBytesIn->inc(N);
   const auto *Bytes = static_cast<const unsigned char *>(Data);
   if (Kind == Backend::Vm) {
     if (Staged.capacity() < N)

@@ -22,6 +22,7 @@
 #define EFC_RUNTIME_STREAMSESSION_H
 
 #include "runtime/PipelineCache.h"
+#include "support/Metrics.h"
 #include "vm/Vm.h"
 
 #include <cstdint>
@@ -85,6 +86,7 @@ private:
   StreamSession() = default;
 
   void drain(); ///< moves staged elements into Output as bytes
+  void bindMetrics(); ///< resolves per-backend registry counters once
 
   Backend Kind = Backend::Vm;
   std::shared_ptr<const CompiledPipeline> Keep;
@@ -105,6 +107,15 @@ private:
   bool Rejected = false;
   bool Finished = false;
   uint64_t BytesIn = 0, BytesOut = 0;
+
+  // Registry counters, resolved once per session (bindMetrics) and
+  // bumped per feed chunk — never per element.  Raw pointers into the
+  // append-only registry, so copies/moves of the session stay valid.
+  metrics::Counter *MBytesIn = nullptr;
+  metrics::Counter *MBytesOut = nullptr;
+  metrics::Counter *MRuns = nullptr;
+  metrics::Counter *MRunElems = nullptr;
+  uint64_t FoldedRuns = 0, FoldedRunElems = 0; ///< already in the registry
 };
 
 } // namespace efc::runtime

@@ -2,6 +2,7 @@
 
 #include "solver/Solver.h"
 
+#include "support/Metrics.h"
 #include "term/Eval.h"
 #include "term/Rewrite.h"
 
@@ -108,6 +109,55 @@ std::vector<TermRef> Solver::activeAssertions() const {
 }
 
 SatResult Solver::check() {
+  // Registry mirror of the per-instance Stats: process-wide totals for
+  // `efcc --metrics` / the 'M' frame.  CDCL conflicts are metered as a
+  // delta around the underlying solve, since SatSolver counts lifetime
+  // conflicts.
+  namespace mx = metrics;
+  static mx::Counter &Checks = mx::Registry::instance().counter(
+      "efc_solver_checks_total", "Solver::check() calls");
+  static mx::Counter &SatR = mx::Registry::instance().counter(
+      "efc_solver_results_total", "check() outcomes by result",
+      "result=\"sat\"");
+  static mx::Counter &UnsatR = mx::Registry::instance().counter(
+      "efc_solver_results_total", "check() outcomes by result",
+      "result=\"unsat\"");
+  static mx::Counter &UnknownR = mx::Registry::instance().counter(
+      "efc_solver_results_total", "check() outcomes by result",
+      "result=\"unknown\"");
+  static mx::Counter &Presolve = mx::Registry::instance().counter(
+      "efc_solver_presolve_hits_total",
+      "Checks decided by the interval presolve");
+  static mx::Counter &Guess = mx::Registry::instance().counter(
+      "efc_solver_guess_sat_total",
+      "Checks witnessed by concrete evaluation");
+  static mx::Counter &Cdcl = mx::Registry::instance().counter(
+      "efc_solver_cdcl_calls_total", "Checks that fell through to CDCL");
+  static mx::Counter &Conflicts = mx::Registry::instance().counter(
+      "efc_solver_cdcl_conflicts_total", "CDCL conflicts across all checks");
+
+  uint64_t Fast0 = S.FastUnsat + S.FastSat;
+  uint64_t Guess0 = S.GuessSat;
+  uint64_t SatCalls0 = S.SatCalls;
+  uint64_t Conf0 = Sat.numConflicts();
+
+  SatResult R = checkImpl();
+
+  Checks.inc();
+  (R == SatResult::Sat     ? SatR
+   : R == SatResult::Unsat ? UnsatR
+                           : UnknownR)
+      .inc();
+  Presolve.inc(S.FastUnsat + S.FastSat - Fast0);
+  Guess.inc(S.GuessSat - Guess0);
+  if (S.SatCalls != SatCalls0) {
+    Cdcl.inc();
+    Conflicts.inc(Sat.numConflicts() - Conf0);
+  }
+  return R;
+}
+
+SatResult Solver::checkImpl() {
   ++S.Checks;
   LastModel = ModelSrc::None;
 
@@ -202,6 +252,9 @@ SatResult Solver::checkWith(TermRef Extra) {
     auto It = CheckCache.find(Key);
     if (It != CheckCache.end()) {
       ++S.CacheHits;
+      static metrics::Counter &CacheHits = metrics::Registry::instance().counter(
+          "efc_solver_cache_hits_total", "checkWith() result-cache hits");
+      CacheHits.inc();
       LastModel = ModelSrc::None;
       return It->second;
     }

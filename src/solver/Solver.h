@@ -111,6 +111,7 @@ private:
   } LastModel = ModelSrc::None;
   std::unique_ptr<IntervalAnalysis> LastInterval;
 
+  SatResult checkImpl();
   std::vector<TermRef> activeAssertions() const;
   bool tryGuess(const std::vector<TermRef> &Asserts,
                 const IntervalAnalysis *IA);

@@ -1,0 +1,201 @@
+//===- support/Metrics.cpp ------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <cassert>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+using namespace efc::metrics;
+
+namespace {
+
+/// %g loses precision on large counters and %f drools zeros; print
+/// doubles the way Prometheus clients do — shortest round-trippable.
+std::string num(double V) {
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.17g", V);
+  // Trim to the shortest representation that still round-trips.
+  for (int Prec = 1; Prec < 17; ++Prec) {
+    char Short[64];
+    snprintf(Short, sizeof(Short), "%.*g", Prec, V);
+    double Back;
+    if (sscanf(Short, "%lf", &Back) == 1 && Back == V)
+      return Short;
+  }
+  return Buf;
+}
+
+std::string num(uint64_t V) { return std::to_string(V); }
+std::string num(int64_t V) { return std::to_string(V); }
+
+} // namespace
+
+struct Registry::Impl {
+  enum class Kind : uint8_t { Counter, DCounter, Gauge, Histogram };
+
+  struct Item {
+    std::string Labels;
+    Kind K;
+    void *M;
+  };
+  struct Family {
+    std::string Help;
+    Kind K;
+    std::vector<Item> Items;
+  };
+
+  mutable std::mutex Mu;
+  /// family name -> metadata + label variants (ordered for rendering).
+  std::map<std::string, Family> Families;
+  /// "name\x01labels" -> metric object (interning index).
+  std::unordered_map<std::string, void *> Index;
+  // Deques: stable addresses, append-only.
+  std::deque<Counter> Counters;
+  std::deque<DoubleCounter> DCounters;
+  std::deque<Gauge> Gauges;
+  std::deque<Histogram> Hists;
+
+  void *find(std::string_view Name, std::string_view Labels, Kind K) {
+    std::string Key = std::string(Name) + '\x01' + std::string(Labels);
+    auto It = Index.find(Key);
+    if (It == Index.end())
+      return nullptr;
+    auto F = Families.find(std::string(Name));
+    assert(F != Families.end() && F->second.K == K &&
+           "metric re-registered with a different kind");
+    (void)K;
+    (void)F;
+    return It->second;
+  }
+
+  void publish(std::string_view Name, std::string_view Help,
+               std::string_view Labels, Kind K, void *M) {
+    std::string N(Name);
+    auto [F, New] = Families.try_emplace(N);
+    if (New) {
+      F->second.Help = std::string(Help);
+      F->second.K = K;
+    } else if (F->second.Help.empty() && !Help.empty()) {
+      F->second.Help = std::string(Help);
+    }
+    F->second.Items.push_back(Item{std::string(Labels), K, M});
+    Index.emplace(N + '\x01' + std::string(Labels), M);
+  }
+};
+
+Registry::Registry() : I(new Impl) {}
+Registry::~Registry() { delete I; }
+
+Registry &Registry::instance() {
+  // Leaked on purpose: metrics are incremented from threads that may
+  // outlive static destruction order.
+  static Registry *R = new Registry();
+  return *R;
+}
+
+Counter &Registry::counter(std::string_view Name, std::string_view Help,
+                           std::string_view Labels) {
+  std::lock_guard<std::mutex> L(I->Mu);
+  if (void *M = I->find(Name, Labels, Impl::Kind::Counter))
+    return *static_cast<Counter *>(M);
+  Counter &C = I->Counters.emplace_back();
+  I->publish(Name, Help, Labels, Impl::Kind::Counter, &C);
+  return C;
+}
+
+DoubleCounter &Registry::dcounter(std::string_view Name,
+                                  std::string_view Help,
+                                  std::string_view Labels) {
+  std::lock_guard<std::mutex> L(I->Mu);
+  if (void *M = I->find(Name, Labels, Impl::Kind::DCounter))
+    return *static_cast<DoubleCounter *>(M);
+  DoubleCounter &C = I->DCounters.emplace_back();
+  I->publish(Name, Help, Labels, Impl::Kind::DCounter, &C);
+  return C;
+}
+
+Gauge &Registry::gauge(std::string_view Name, std::string_view Help,
+                       std::string_view Labels) {
+  std::lock_guard<std::mutex> L(I->Mu);
+  if (void *M = I->find(Name, Labels, Impl::Kind::Gauge))
+    return *static_cast<Gauge *>(M);
+  Gauge &G = I->Gauges.emplace_back();
+  I->publish(Name, Help, Labels, Impl::Kind::Gauge, &G);
+  return G;
+}
+
+Histogram &Registry::histogram(std::string_view Name, std::string_view Help,
+                               std::initializer_list<double> Bounds,
+                               std::string_view Labels) {
+  assert(Bounds.size() <= Histogram::MaxBuckets &&
+         "histogram bucket count exceeds the fixed layout");
+  std::lock_guard<std::mutex> L(I->Mu);
+  if (void *M = I->find(Name, Labels, Impl::Kind::Histogram))
+    return *static_cast<Histogram *>(M);
+  Histogram &H = I->Hists.emplace_back();
+  unsigned N = 0;
+  double Prev = -1e308;
+  for (double B : Bounds) {
+    assert(B > Prev && "histogram bounds must be strictly ascending");
+    Prev = B;
+    if (N < Histogram::MaxBuckets)
+      H.Bounds[N++] = B;
+  }
+  (void)Prev;
+  H.NumBounds = N;
+  I->publish(Name, Help, Labels, Impl::Kind::Histogram, &H);
+  return H;
+}
+
+std::string Registry::renderPrometheus() const {
+  std::lock_guard<std::mutex> L(I->Mu);
+  std::string S;
+  auto Braced = [](const std::string &Labels) {
+    return Labels.empty() ? std::string() : "{" + Labels + "}";
+  };
+  for (const auto &[Name, F] : I->Families) {
+    if (!F.Help.empty())
+      S += "# HELP " + Name + " " + F.Help + "\n";
+    const char *Type = F.K == Impl::Kind::Gauge       ? "gauge"
+                       : F.K == Impl::Kind::Histogram ? "histogram"
+                                                      : "counter";
+    S += "# TYPE " + Name + " " + Type + "\n";
+    for (const Impl::Item &It : F.Items) {
+      switch (It.K) {
+      case Impl::Kind::Counter:
+        S += Name + Braced(It.Labels) + " " +
+             num(static_cast<Counter *>(It.M)->value()) + "\n";
+        break;
+      case Impl::Kind::DCounter:
+        S += Name + Braced(It.Labels) + " " +
+             num(static_cast<DoubleCounter *>(It.M)->value()) + "\n";
+        break;
+      case Impl::Kind::Gauge:
+        S += Name + Braced(It.Labels) + " " +
+             num(static_cast<Gauge *>(It.M)->value()) + "\n";
+        break;
+      case Impl::Kind::Histogram: {
+        const Histogram *H = static_cast<Histogram *>(It.M);
+        std::string Base = It.Labels.empty() ? "" : It.Labels + ",";
+        uint64_t Cum = 0;
+        for (unsigned B = 0; B < H->numBounds(); ++B) {
+          Cum += H->bucketCount(B);
+          S += Name + "_bucket{" + Base + "le=\"" + num(H->bound(B)) +
+               "\"} " + num(Cum) + "\n";
+        }
+        Cum += H->bucketCount(H->numBounds());
+        S += Name + "_bucket{" + Base + "le=\"+Inf\"} " + num(Cum) + "\n";
+        S += Name + "_sum" + Braced(It.Labels) + " " + num(H->sum()) + "\n";
+        S += Name + "_count" + Braced(It.Labels) + " " + num(Cum) + "\n";
+        break;
+      }
+      }
+    }
+  }
+  return S;
+}

@@ -1,0 +1,166 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+///
+/// \file
+/// One registry for every counter the system exposes (see DESIGN.md
+/// "Observability").  Subsystems register named metrics once (typically
+/// through a function-local static reference, so the by-name lookup is
+/// paid a single time) and then update them with relaxed atomic
+/// operations — cheap enough for hot paths, though the convention for the
+/// hottest loops (fast-path run kernels) remains: accumulate locally and
+/// fold into the registry at session / run end.
+///
+/// Metric kinds:
+///   * Counter        — monotonically increasing uint64 (events).
+///   * DoubleCounter  — monotonically increasing double (seconds totals).
+///   * Gauge          — int64 that can go up and down (queue depths).
+///   * Histogram      — fixed upper-bound buckets, Prometheus `le`
+///                      semantics (a sample equal to a bound lands in
+///                      that bound's bucket).  Bucket layout is immutable
+///                      after registration, so observe() is lock-free.
+///
+/// renderPrometheus() produces the text exposition format served by the
+/// efc-serve 'M' frame and `efcc --metrics`:
+///
+///   # HELP efc_cache_hits_total Lookups served from memory
+///   # TYPE efc_cache_hits_total counter
+///   efc_cache_hits_total 12
+///   efc_stream_bytes_in_total{backend="vm"} 4096
+///
+/// Metrics with the same family name but different label sets share one
+/// HELP/TYPE header.  The registry is append-only and never deallocates,
+/// so references stay valid for the life of the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_SUPPORT_METRICS_H
+#define EFC_SUPPORT_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace efc::metrics {
+
+/// Monotonic event counter.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Monotonic floating-point counter (cumulative seconds and the like).
+/// CAS loop instead of atomic<double>::fetch_add for toolchain
+/// portability; contention is negligible at the call sites (per phase,
+/// not per element).
+class DoubleCounter {
+public:
+  void add(double X) {
+    double Cur = V.load(std::memory_order_relaxed);
+    while (!V.compare_exchange_weak(Cur, Cur + X, std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Up/down instantaneous value.
+class Gauge {
+public:
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void sub(int64_t N = 1) { V.fetch_sub(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed-bucket histogram.  Bounds are upper bounds in ascending order;
+/// an implicit +Inf bucket catches the rest.  Fixed buckets (rather than
+/// HDR/t-digest) keep observe() to one bounded scan plus two relaxed
+/// atomics — the overhead budget for the serving path.
+class Histogram {
+public:
+  static constexpr unsigned MaxBuckets = 24;
+
+  void observe(double X) {
+    unsigned I = 0;
+    while (I < NumBounds && X > Bounds[I])
+      ++I;
+    B[I].fetch_add(1, std::memory_order_relaxed);
+    Sum.add(X);
+  }
+
+  unsigned numBounds() const { return NumBounds; }
+  double bound(unsigned I) const { return Bounds[I]; }
+  /// Raw (non-cumulative) count of bucket \p I; index NumBounds is +Inf.
+  uint64_t bucketCount(unsigned I) const {
+    return B[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const {
+    uint64_t N = 0;
+    for (unsigned I = 0; I <= NumBounds; ++I)
+      N += bucketCount(I);
+    return N;
+  }
+  double sum() const { return Sum.value(); }
+
+  /// Default-constructed histograms have no finite bounds (one +Inf
+  /// bucket); registration through Registry::histogram installs the
+  /// layout.  Not movable/copyable — atomics pin the address.
+  Histogram() = default;
+
+private:
+  friend class Registry;
+
+  std::array<double, MaxBuckets> Bounds{};
+  unsigned NumBounds = 0;
+  std::array<std::atomic<uint64_t>, MaxBuckets + 1> B{};
+  DoubleCounter Sum;
+};
+
+/// The process-wide registry.  Registration interns by (name, labels);
+/// repeated registration returns the same object, so call sites can hold
+/// `static Counter &C = Registry::instance().counter(...)`.
+class Registry {
+public:
+  static Registry &instance();
+
+  /// \p Labels is a pre-rendered Prometheus label body without braces,
+  /// e.g. `backend="vm"`; empty for an unlabeled metric.
+  Counter &counter(std::string_view Name, std::string_view Help = {},
+                   std::string_view Labels = {});
+  DoubleCounter &dcounter(std::string_view Name, std::string_view Help = {},
+                          std::string_view Labels = {});
+  Gauge &gauge(std::string_view Name, std::string_view Help = {},
+               std::string_view Labels = {});
+  Histogram &histogram(std::string_view Name, std::string_view Help,
+                       std::initializer_list<double> Bounds,
+                       std::string_view Labels = {});
+
+  /// Prometheus text exposition of every registered metric, families
+  /// sorted by name, label variants in registration order.
+  std::string renderPrometheus() const;
+
+private:
+  Registry();
+  ~Registry();
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  struct Impl;
+  Impl *I;
+};
+
+} // namespace efc::metrics
+
+#endif // EFC_SUPPORT_METRICS_H

@@ -1,0 +1,177 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+using namespace efc::trace;
+
+namespace {
+
+struct Sink {
+  std::mutex Mu;
+  FILE *F = nullptr;
+};
+
+Sink &sink() {
+  static Sink *S = new Sink(); // leaked: spans may die during shutdown
+  return *S;
+}
+
+std::atomic<int> State{-1}; // -1 uninit, 0 off, 1 on
+std::atomic<uint64_t> NextId{1};
+std::atomic<uint64_t> EpochUs{0};
+
+thread_local std::vector<uint64_t> SpanStack;
+
+uint64_t nowUs() {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void initLocked() {
+  Sink &S = sink();
+  if (S.F) {
+    fclose(S.F);
+    S.F = nullptr;
+  }
+  const char *Path = std::getenv("EFC_TRACE");
+  if (Path && *Path)
+    S.F = fopen(Path, "a");
+  if (S.F && EpochUs.load(std::memory_order_relaxed) == 0)
+    EpochUs.store(nowUs(), std::memory_order_relaxed);
+  State.store(S.F ? 1 : 0, std::memory_order_release);
+}
+
+bool enabledSlow() {
+  Sink &S = sink();
+  std::lock_guard<std::mutex> L(S.Mu);
+  if (State.load(std::memory_order_relaxed) < 0)
+    initLocked();
+  return State.load(std::memory_order_relaxed) == 1;
+}
+
+void escapeInto(std::string &Out, std::string_view V) {
+  for (char C : V) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+namespace efc::trace {
+
+bool enabled() {
+  int S = State.load(std::memory_order_acquire);
+  if (S >= 0)
+    return S == 1;
+  return enabledSlow();
+}
+
+void reinitFromEnv() {
+  Sink &S = sink();
+  std::lock_guard<std::mutex> L(S.Mu);
+  initLocked();
+}
+
+Span::Span(const char *N) : Name(N) {
+  if (!enabled())
+    return;
+  Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  Parent = SpanStack.empty() ? 0 : SpanStack.back();
+  SpanStack.push_back(Id);
+  StartUs = nowUs();
+}
+
+Span::~Span() {
+  if (Id == 0)
+    return;
+  uint64_t End = nowUs();
+  if (!SpanStack.empty() && SpanStack.back() == Id)
+    SpanStack.pop_back();
+  std::string Line = "{\"name\":\"";
+  escapeInto(Line, Name);
+  Line += "\",\"id\":" + std::to_string(Id);
+  if (Parent)
+    Line += ",\"parent\":" + std::to_string(Parent);
+  char Buf[96];
+  snprintf(Buf, sizeof(Buf), ",\"ts_us\":%llu,\"dur_us\":%llu",
+           (unsigned long long)(StartUs -
+                                EpochUs.load(std::memory_order_relaxed)),
+           (unsigned long long)(End - StartUs));
+  Line += Buf;
+  Line += Attrs;
+  Line += "}\n";
+  Sink &S = sink();
+  std::lock_guard<std::mutex> L(S.Mu);
+  if (S.F) {
+    fwrite(Line.data(), 1, Line.size(), S.F);
+    fflush(S.F);
+  }
+}
+
+void Span::note(std::string_view Key, uint64_t V) {
+  if (Id == 0)
+    return;
+  Attrs += ",\"";
+  escapeInto(Attrs, Key);
+  Attrs += "\":" + std::to_string(V);
+}
+
+void Span::note(std::string_view Key, int64_t V) {
+  if (Id == 0)
+    return;
+  Attrs += ",\"";
+  escapeInto(Attrs, Key);
+  Attrs += "\":" + std::to_string(V);
+}
+
+void Span::note(std::string_view Key, double V) {
+  if (Id == 0)
+    return;
+  char Buf[48];
+  snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Attrs += ",\"";
+  escapeInto(Attrs, Key);
+  Attrs += "\":";
+  Attrs += Buf;
+}
+
+void Span::note(std::string_view Key, std::string_view V) {
+  if (Id == 0)
+    return;
+  Attrs += ",\"";
+  escapeInto(Attrs, Key);
+  Attrs += "\":\"";
+  escapeInto(Attrs, V);
+  Attrs += "\"";
+}
+
+} // namespace efc::trace

@@ -1,0 +1,65 @@
+//===- support/Trace.h - JSONL trace spans ----------------------*- C++ -*-===//
+///
+/// \file
+/// Lightweight tracing: set `EFC_TRACE=<file>` and compile phases emit one
+/// JSON line per span on destruction:
+///
+///   {"name":"fuse","id":3,"parent":2,"tid":1,"ts_us":12,"dur_us":8012,
+///    "states":41}
+///
+/// Spans nest through a thread-local stack, so the compile pipeline shows
+/// up as a tree (compile -> fuse -> rbbe -> ... -> native -> codegen ->
+/// cc).  When EFC_TRACE is unset the whole facility is one relaxed atomic
+/// load per span — cheap enough to leave permanently in the phase code
+/// (but not in per-element loops; spans are for phases, not elements).
+///
+/// Lines are written with a single fwrite under a mutex, so concurrent
+/// spans from worker threads interleave at line granularity only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_SUPPORT_TRACE_H
+#define EFC_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace efc::trace {
+
+/// True when EFC_TRACE named a writable file at first use (or at the last
+/// reinitFromEnv()).  One relaxed atomic load after initialization.
+bool enabled();
+
+/// Re-read EFC_TRACE and reopen/close the sink.  Test hook — production
+/// code never calls this; the env var is read once, lazily.
+void reinitFromEnv();
+
+/// RAII span.  Construct at phase entry, destroy at exit; attach numeric
+/// or string attributes with note().  All methods are no-ops when tracing
+/// is disabled, and a Span constructed while disabled stays inert even if
+/// tracing is enabled before it dies.
+class Span {
+public:
+  /// \p Name must outlive the span (string literals at every call site).
+  explicit Span(const char *Name);
+  ~Span();
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  void note(std::string_view Key, uint64_t V);
+  void note(std::string_view Key, int64_t V);
+  void note(std::string_view Key, double V);
+  void note(std::string_view Key, std::string_view V);
+
+private:
+  const char *Name;
+  uint64_t Id = 0;     // 0 = inert (tracing was off at construction)
+  uint64_t Parent = 0; // 0 = root
+  uint64_t StartUs = 0;
+  std::string Attrs; // pre-rendered ,"key":value fragments
+};
+
+} // namespace efc::trace
+
+#endif // EFC_SUPPORT_TRACE_H

@@ -2,6 +2,8 @@
 
 #include "vm/FastPath.h"
 
+#include "support/Metrics.h"
+
 #include "term/Eval.h"
 
 #include <cstdio>
@@ -596,9 +598,16 @@ efc::runFastPath(const FastPathPlan &P, const CompiledTransducer &T,
                  std::span<const uint64_t> In) {
   FastPathCursor C(P, T);
   std::vector<uint64_t> Out;
-  if (!C.feed(In, Out))
-    return std::nullopt;
-  if (!C.finish(Out))
+  bool Ok = C.feed(In, Out) && C.finish(Out);
+  // One registry fold per run, not per span: the kernel loop stays free
+  // of shared-state traffic.
+  static metrics::Counter &Runs = metrics::Registry::instance().counter(
+      "efc_fastpath_runs_total", "Bulk spans driven through run kernels");
+  static metrics::Counter &Elems = metrics::Registry::instance().counter(
+      "efc_fastpath_run_elements_total", "Elements consumed by run kernels");
+  Runs.inc(C.runCounters().Runs);
+  Elems.inc(C.runCounters().RunElements);
+  if (!Ok)
     return std::nullopt;
   return Out;
 }

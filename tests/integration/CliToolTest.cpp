@@ -95,6 +95,93 @@ TEST(CliToolTest, RejectsInvalidInput) {
   EXPECT_NE(Rc, 0);
 }
 
+/// Runs a shell command, captures stderr (stdout discarded).
+int runCmdErr(const std::string &Cmd, std::string &Err) {
+  std::string File = ::testing::TempDir() + "/efcc_err.txt";
+  int Rc = std::system((Cmd + " > /dev/null 2>" + File).c_str());
+  std::ifstream F(File);
+  std::ostringstream Buf;
+  Buf << F.rdbuf();
+  Err = Buf.str();
+  return Rc;
+}
+
+TEST(CliToolTest, MetricsDumpOnStderr) {
+  if (!efccAvailable())
+    GTEST_SKIP();
+  std::string Csv = ::testing::TempDir() + "/efcc_metrics_in.csv";
+  {
+    std::ofstream F(Csv);
+    F << "a,17,x\nb,99,y\n";
+  }
+  std::string Err;
+  int Rc = runCmdErr(efccPath() +
+                         " --regex '(?:(?:[^,\\n]*,){1}(?<v>\\d+),"
+                         "[^\\n]*\\n)*' --agg max --format decimal --run " +
+                         Csv + " --metrics",
+                     Err);
+  EXPECT_EQ(Rc, 0);
+  // A fresh process exercised solver, fusion, RBBE, cache and fast path;
+  // all must appear in the Prometheus dump.
+  for (const char *Family :
+       {"# TYPE efc_solver_checks_total counter", "efc_fusion_runs_total",
+        "efc_rbbe_runs_total 1", "efc_cache_builds_total 1",
+        "efc_fastpath_runs_total"})
+    EXPECT_NE(Err.find(Family), std::string::npos)
+        << "missing from --metrics dump: " << Family << "\n" << Err;
+  // --run output stays machine-clean: the dump must not be on stdout.
+  std::string Out;
+  runCmd(efccPath() +
+             " --regex '(?:(?:[^,\\n]*,){1}(?<v>\\d+),[^\\n]*\\n)*'"
+             " --agg max --format decimal --run " +
+             Csv + " --metrics",
+         Out);
+  EXPECT_EQ(Out, "99");
+}
+
+TEST(CliToolTest, TraceEmitsCompileSpanTree) {
+  if (!efccAvailable())
+    GTEST_SKIP();
+  std::string Csv = ::testing::TempDir() + "/efcc_trace_in.csv";
+  {
+    std::ofstream F(Csv);
+    F << "a,17,x\n";
+  }
+  std::string Trace = ::testing::TempDir() + "/efcc_trace.jsonl";
+  std::remove(Trace.c_str());
+  std::string Out;
+  int Rc = runCmd("EFC_TRACE=" + Trace + " " + efccPath() +
+                      " --regex '(?:(?:[^,\\n]*,){1}(?<v>\\d+),"
+                      "[^\\n]*\\n)*' --agg max --format decimal --run " +
+                      Csv,
+                  Out);
+  EXPECT_EQ(Rc, 0);
+  std::ifstream F(Trace);
+  ASSERT_TRUE(F.good()) << "EFC_TRACE file was not created";
+  std::ostringstream Buf;
+  Buf << F.rdbuf();
+  std::string Spans = Buf.str();
+  // The compile-phase tree: a root "compile" span with fuse, rbbe,
+  // vm_compile and fastpath_plan children.
+  for (const char *Name : {"\"name\":\"compile\"", "\"name\":\"fuse\"",
+                           "\"name\":\"rbbe\"", "\"name\":\"vm_compile\"",
+                           "\"name\":\"fastpath_plan\""})
+    EXPECT_NE(Spans.find(Name), std::string::npos)
+        << "missing span: " << Name << "\n" << Spans;
+  // Children carry a parent id; the root must not.
+  size_t CompileLine = Spans.find("\"name\":\"compile\"");
+  ASSERT_NE(CompileLine, std::string::npos);
+  size_t LineStart = Spans.rfind('\n', CompileLine);
+  LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+  size_t LineEnd = Spans.find('\n', CompileLine);
+  std::string Root = Spans.substr(LineStart, LineEnd - LineStart);
+  EXPECT_EQ(Root.find("\"parent\""), std::string::npos) << Root;
+  size_t FuseLine = Spans.find("\"name\":\"fuse\"");
+  std::string Fuse =
+      Spans.substr(FuseLine, Spans.find('\n', FuseLine) - FuseLine);
+  EXPECT_NE(Fuse.find("\"parent\":"), std::string::npos) << Fuse;
+}
+
 TEST(CliToolTest, UsageErrors) {
   if (!efccAvailable())
     GTEST_SKIP();

@@ -7,11 +7,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/PipelineCache.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 using namespace efc;
@@ -100,9 +102,14 @@ TEST(PipelineCache, InvalidSpecIsNegativeCached) {
   EXPECT_FALSE(Cache.get(Bad, false, &Err));
   EXPECT_FALSE(Err.empty());
   // The failure is cached: a retry answers from the slot, no rebuild.
+  // Spec errors are deterministic, so they stay sticky forever and are
+  // accounted separately from positive hits.
   EXPECT_FALSE(Cache.get(Bad, false, &Err));
   EXPECT_EQ(Cache.stats().Builds, 0u);
   EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(Cache.stats().NegativeHits, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+  EXPECT_NE(Cache.stats().str().find("negative_hits=1"), std::string::npos);
 }
 
 TEST(PipelineCache, SingleFlightUnderContention) {
@@ -199,6 +206,96 @@ TEST(PipelineCache, VmEntryUpgradesToNative) {
   const NativeTransducer *N = P2->native(&Err);
   ASSERT_NE(N, nullptr) << Err;
   EXPECT_TRUE(N->streamingAvailable());
+}
+
+/// Environment guard for the native-retry tests: points the artifact
+/// cache at a private directory (so a warm .so cannot mask the broken
+/// compiler) and restores every variable on scope exit.
+class NativeRetryEnv {
+public:
+  NativeRetryEnv(const char *Sub, const char *RetryMs) {
+    Dir = ::testing::TempDir() + Sub;
+    // A warm artifact from a previous run would disk-hit before the
+    // (broken) compiler is ever invoked — start cold every time.
+    std::filesystem::remove_all(Dir);
+    ::setenv("EFC_CACHE_DIR", Dir.c_str(), 1);
+    ::setenv("EFC_NATIVE_RETRY_MS", RetryMs, 1);
+  }
+  ~NativeRetryEnv() {
+    ::unsetenv("EFC_CXX");
+    ::unsetenv("EFC_NATIVE_RETRY_MS");
+    ::setenv("EFC_CACHE_DIR",
+             (::testing::TempDir() + "/efc_cache_test").c_str(), 1);
+  }
+  std::string Dir;
+};
+
+// The failed-then-fixed scenario: a toolchain outage (every cc invocation
+// fails) must not poison the entry forever — once the compiler works
+// again, the same entry recovers without a rebuild of the pipeline.
+TEST(PipelineCache, TransientNativeFailureRecovers) {
+  NativeRetryEnv Env("/efc_retry_recover", /*RetryMs=*/"0");
+  ::setenv("EFC_CXX", "false", 1); // "compiler" that always fails
+
+  PipelineCache Cache(4);
+  PipelineSpec S = csvMaxSpec();
+  S.Agg = "min"; // keep this entry's artifact key test-private
+  std::string Err;
+  auto P = Cache.get(S, /*WantNative=*/false, &Err);
+  ASSERT_TRUE(P) << Err;
+
+  CompiledPipeline::NativeOutcome Outcome;
+  NativeCompileInfo Info;
+  EXPECT_EQ(P->native(&Err, &Outcome, &Info), nullptr);
+  EXPECT_EQ(Outcome, CompiledPipeline::NativeOutcome::Failed);
+  EXPECT_TRUE(Info.Transient) << "a failing cc is an environmental error";
+
+  // Still broken: the immediate retry (EFC_NATIVE_RETRY_MS=0) runs the
+  // compiler again and fails again.
+  EXPECT_EQ(P->native(&Err, &Outcome, &Info), nullptr);
+  EXPECT_EQ(Outcome, CompiledPipeline::NativeOutcome::Failed);
+
+  // Toolchain restored: the very same entry must now compile.
+  ::unsetenv("EFC_CXX");
+  const NativeTransducer *N = P->native(&Err, &Outcome, &Info);
+  if (!N && Err.find("no host C++ compiler") != std::string::npos)
+    GTEST_SKIP() << Err;
+  ASSERT_NE(N, nullptr) << Err;
+  EXPECT_EQ(Outcome, CompiledPipeline::NativeOutcome::Compiled);
+  EXPECT_FALSE(Info.Transient);
+  // And the recovery is cached like any success.
+  EXPECT_EQ(P->native(&Err, &Outcome), N);
+  EXPECT_EQ(Outcome, CompiledPipeline::NativeOutcome::Ready);
+  EXPECT_EQ(Cache.stats().Builds, 1u) << "recovery must not re-fuse";
+}
+
+// While the backoff deadline is pending, repeated native() calls answer
+// from the cached error without invoking the compiler again.
+TEST(PipelineCache, TransientNativeFailureBacksOff) {
+  NativeRetryEnv Env("/efc_retry_backoff", /*RetryMs=*/"3600000");
+  ::setenv("EFC_CXX", "false", 1);
+
+  PipelineCache Cache(4);
+  PipelineSpec S = csvMaxSpec();
+  S.Agg = "avg";
+  S.Format = "lines"; // test-private artifact key
+  std::string Err;
+  auto P = Cache.get(S, false, &Err);
+  ASSERT_TRUE(P) << Err;
+
+  auto &Failures = metrics::Registry::instance().counter(
+      "efc_native_compile_failures_total");
+  uint64_t F0 = Failures.value();
+  CompiledPipeline::NativeOutcome Outcome;
+  EXPECT_EQ(P->native(&Err, &Outcome), nullptr);
+  EXPECT_EQ(Failures.value(), F0 + 1);
+  std::string FirstErr = Err;
+  // An hour-long backoff: these must be served from the cached error.
+  EXPECT_EQ(P->native(&Err, &Outcome), nullptr);
+  EXPECT_EQ(P->native(&Err, &Outcome), nullptr);
+  EXPECT_EQ(Failures.value(), F0 + 1)
+      << "no compiler invocation while the backoff is pending";
+  EXPECT_EQ(Err, FirstErr);
 }
 
 TEST(AssembleStages, MirrorsEfccShape) {

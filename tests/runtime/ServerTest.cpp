@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -207,6 +208,76 @@ TEST_F(ServerTest, ConcurrentClientsInterleave) {
     T.join();
   for (int K = 0; K < N; ++K)
     EXPECT_EQ(Outs[K], std::to_string(10 + K));
+}
+
+TEST_F(ServerTest, MetricsFrameCoversEveryFamily) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  // Drive one session end to end so the serving families have data.
+  ASSERT_TRUE(roundTrip(Fd, std::string("Om1\nvm\n") + CsvMaxSpec, R));
+  ASSERT_TRUE(R.Ok) << R.Body;
+  ASSERT_TRUE(roundTrip(Fd, "Fm1\na,31,x\n", R));
+  ASSERT_TRUE(R.Ok) << R.Body;
+  ASSERT_TRUE(roundTrip(Fd, "Em1", R));
+  ASSERT_TRUE(R.Ok) << R.Body;
+
+  ASSERT_TRUE(roundTrip(Fd, "M", R));
+  ASSERT_TRUE(R.Ok);
+  // One dump must cover every subsystem the observability layer spans:
+  // solver, fusion, RBBE, cache, fast path, streaming and the server.
+  for (const char *Family :
+       {"efc_solver_checks_total", "efc_fusion_runs_total",
+        "efc_rbbe_runs_total", "efc_cache_misses_total",
+        "efc_fastpath_plan_table_states_total", "efc_stream_bytes_in_total",
+        "efc_server_frames_in_total", "efc_server_feed_latency_seconds",
+        "efc_server_queue_depth"})
+    EXPECT_NE(R.Body.find(Family), std::string::npos)
+        << "family missing from 'M' dump: " << Family;
+  // Exposition syntax, not just substrings: HELP/TYPE headers and a
+  // labeled per-backend series.
+  EXPECT_NE(R.Body.find("# TYPE efc_server_feed_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(R.Body.find("efc_stream_bytes_in_total{backend=\"vm\"}"),
+            std::string::npos);
+  ::close(Fd);
+}
+
+// A client that vanishes mid-stream: the server must count the replies it
+// could not deliver and doom the session instead of silently dropping
+// output on the floor.
+TEST_F(ServerTest, DeadClientCountsDroppedFrames) {
+  int Fd = connectTo(Sock);
+  ASSERT_GE(Fd, 0);
+  Reply R;
+  ASSERT_TRUE(roundTrip(Fd, std::string("Od1\nvm\n") + CsvMaxSpec, R));
+  ASSERT_TRUE(R.Ok) << R.Body;
+  // Queue feeds without reading replies, then disappear: the strand is
+  // still draining when the peer goes away, so replies hit a dead
+  // socket.  Large rows keep the workers busy past our close.
+  std::string Row(2048, 'p');
+  Row += ",7,q\n";
+  for (int I = 0; I < 64; ++I)
+    if (!sendFrame(Fd, "Fd1\n" + Row))
+      break;
+  ::close(Fd);
+
+  // The reader drains the queued frames and the workers hit the dead
+  // socket; poll the public counter rather than sleeping blind.
+  bool Dropped = false;
+  for (int I = 0; I < 200 && !Dropped; ++I) {
+    Dropped = Srv->statsText().find("frames_dropped=0") == std::string::npos;
+    if (!Dropped)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(Dropped) << Srv->statsText();
+
+  // The server itself stays healthy for other clients.
+  int Fd2 = connectTo(Sock);
+  ASSERT_GE(Fd2, 0);
+  ASSERT_TRUE(roundTrip(Fd2, std::string("Od2\nvm\n") + CsvMaxSpec, R));
+  EXPECT_TRUE(R.Ok) << R.Body;
+  ::close(Fd2);
 }
 
 TEST_F(ServerTest, ShutdownFrameStopsTheServer) {

@@ -1,0 +1,292 @@
+//===- tests/vm/FastPathBoundaryTest.cpp - Run-scan boundary audit --------===//
+//
+// Boundary tests for the vectorized run-scan kernels (scanRunEnd) and the
+// cross-chunk resume path of FastPathCursor, written to be run under
+// AddressSanitizer: every input buffer is an exact-size heap allocation,
+// so any SWAR or SSE2 tail read past N trips ASan rather than silently
+// reading slack capacity.
+//
+// The sweep concentrates on the shapes that historically break
+// hand-unrolled scanners: spans of length 0/1/3/4/7 ending exactly at N
+// (one lane short of every unroll width), escapes in the vector tail,
+// and elements >= 256 whose low byte aliases an in-mask byte (the
+// single-escape SSE2 compare must not treat them as members).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "vm/FastPath.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace efc;
+
+namespace {
+
+/// Scalar reference for scanRunEnd: the contract the vector paths must
+/// reproduce exactly.
+size_t refScanRunEnd(const std::vector<uint64_t> &In, size_t I, size_t N,
+                     const RunKernel &RK) {
+  while (I < N && RK.covers(In[I]))
+    ++I;
+  return I;
+}
+
+/// Builds a kernel whose mask holds every byte satisfying \p Member.
+template <typename Pred> RunKernel makeKernel(Pred Member) {
+  RunKernel RK;
+  int Escape = -1;
+  unsigned Misses = 0;
+  for (unsigned B = 0; B < 256; ++B) {
+    if (Member(B)) {
+      RK.Mask[B >> 6] |= uint64_t(1) << (B & 63);
+      ++RK.Bytes;
+    } else {
+      Escape = int(B);
+      ++Misses;
+    }
+  }
+  if (Misses == 1)
+    RK.SingleEscape = Escape;
+  return RK;
+}
+
+/// Exact-size heap buffer: ASan red zones sit immediately past index N-1.
+std::vector<uint64_t> exact(std::initializer_list<uint64_t> Vs) {
+  return std::vector<uint64_t>(Vs);
+}
+
+void sweepAgainstReference(const RunKernel &RK,
+                           const std::vector<uint64_t> &In,
+                           const char *What) {
+  const size_t N = In.size();
+  for (size_t I = 0; I <= N; ++I)
+    EXPECT_EQ(scanRunEnd(In.data(), I, N, RK), refScanRunEnd(In, I, N, RK))
+        << What << " I=" << I << " N=" << N;
+}
+
+TEST(ScanRunEnd, SpansEndingExactlyAtN) {
+  RunKernel Digits = makeKernel([](unsigned B) {
+    return B >= '0' && B <= '9';
+  });
+  // Lengths one short of / equal to every unroll width: the scan must
+  // stop at N without touching the red zone past the buffer.
+  for (size_t Len : {size_t(0), size_t(1), size_t(3), size_t(4), size_t(7),
+                     size_t(8), size_t(15), size_t(16), size_t(31),
+                     size_t(33), size_t(64)}) {
+    std::vector<uint64_t> In(Len, uint64_t('5'));
+    EXPECT_EQ(scanRunEnd(In.data(), 0, Len, Digits), Len) << "len=" << Len;
+    sweepAgainstReference(Digits, In, "all-members");
+  }
+}
+
+TEST(ScanRunEnd, EscapeAtEveryPosition) {
+  RunKernel Digits = makeKernel([](unsigned B) {
+    return B >= '0' && B <= '9';
+  });
+  for (size_t Len : {size_t(1), size_t(3), size_t(4), size_t(7), size_t(16),
+                     size_t(40)}) {
+    for (size_t Pos = 0; Pos < Len; ++Pos) {
+      std::vector<uint64_t> In(Len, uint64_t('7'));
+      In[Pos] = ',';
+      EXPECT_EQ(scanRunEnd(In.data(), 0, Len, Digits), Pos)
+          << "len=" << Len << " pos=" << Pos;
+      sweepAgainstReference(Digits, In, "escape-sweep");
+    }
+  }
+}
+
+TEST(ScanRunEnd, SingleEscapeMaskUsesByteCompare) {
+  RunKernel NotComma = makeKernel([](unsigned B) { return B != ','; });
+  ASSERT_EQ(NotComma.SingleEscape, int(','));
+  for (size_t Len : {size_t(0), size_t(1), size_t(3), size_t(4), size_t(7),
+                     size_t(15), size_t(16), size_t(33)}) {
+    std::vector<uint64_t> In(Len, uint64_t('x'));
+    EXPECT_EQ(scanRunEnd(In.data(), 0, Len, NotComma), Len) << Len;
+    if (Len > 0) {
+      In[Len - 1] = ','; // escape in the final (tail) lane
+      EXPECT_EQ(scanRunEnd(In.data(), 0, Len, NotComma), Len - 1) << Len;
+      sweepAgainstReference(NotComma, In, "single-escape tail");
+    }
+  }
+}
+
+// Elements >= 256 are never run members, even when their low byte aliases
+// an in-mask byte — the adversarial case for any compare that truncates
+// to 8 bits before testing membership.
+TEST(ScanRunEnd, WideElementsTerminateRuns) {
+  RunKernel NotComma = makeKernel([](unsigned B) { return B != ','; });
+  RunKernel Digits = makeKernel([](unsigned B) {
+    return B >= '0' && B <= '9';
+  });
+  const uint64_t AliasX = uint64_t('x') + 256;   // low byte in NotComma
+  const uint64_t Alias5 = uint64_t('5') + (1ull << 32); // low byte digit
+  for (const uint64_t Wide :
+       {uint64_t(256), AliasX, Alias5, ~uint64_t(0)}) {
+    for (size_t Len : {size_t(1), size_t(3), size_t(7), size_t(16),
+                       size_t(33)}) {
+      for (size_t Pos : {size_t(0), Len / 2, Len - 1}) {
+        std::vector<uint64_t> In(Len, uint64_t('x'));
+        In[Pos] = Wide;
+        EXPECT_EQ(scanRunEnd(In.data(), 0, Len, NotComma), Pos)
+            << "wide=" << Wide << " len=" << Len << " pos=" << Pos;
+        std::vector<uint64_t> InD(Len, uint64_t('5'));
+        InD[Pos] = Wide;
+        EXPECT_EQ(scanRunEnd(InD.data(), 0, Len, Digits), Pos)
+            << "wide=" << Wide << " len=" << Len << " pos=" << Pos;
+      }
+    }
+  }
+}
+
+TEST(ScanRunEnd, MidBufferStartIndices) {
+  // Starting mid-buffer must not realign reads before I.
+  RunKernel Digits = makeKernel([](unsigned B) {
+    return B >= '0' && B <= '9';
+  });
+  std::vector<uint64_t> In = exact(
+      {',', '1', '2', '3', ',', '4', '5', '6', '7', '8', '9', '0', ','});
+  sweepAgainstReference(Digits, In, "mid-buffer");
+  EXPECT_EQ(scanRunEnd(In.data(), 1, In.size(), Digits), 4u);
+  EXPECT_EQ(scanRunEnd(In.data(), 5, In.size(), Digits), 12u);
+  EXPECT_EQ(scanRunEnd(In.data(), 12, In.size(), Digits), 12u);
+}
+
+TEST(ScanRunEnd, RandomDifferentialSweep) {
+  std::mt19937 Rng(1234);
+  std::uniform_int_distribution<uint64_t> Val(0, 300);
+  std::uniform_int_distribution<unsigned> Byte(0, 255);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    // Random mask (occasionally single-escape), random length 0..48.
+    unsigned Hole = Byte(Rng);
+    bool Single = Iter % 3 == 0;
+    RunKernel RK = makeKernel([&](unsigned B) {
+      return Single ? B != Hole : ((B * 2654435761u) >> 28 & 1) != 0;
+    });
+    size_t Len = Iter % 49;
+    std::vector<uint64_t> In(Len);
+    for (auto &V : In)
+      V = Val(Rng);
+    sweepAgainstReference(RK, In, "random");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FastPathCursor cross-chunk resume
+//===----------------------------------------------------------------------===//
+
+class CursorBoundaryTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  /// 1 state over bv(8): '\n' emits a marker, everything else copies —
+  /// both leaves self-loop, so the plan gets ConstAppend + Copy kernels
+  /// with a single-escape mask.
+  Bst makeCopyLoop() {
+    Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+    TermRef X = A.inputVar(), R = A.regVar();
+    A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, '\n')),
+                            Rule::base({Ctx.bvConst(8, ';')}, 0, R),
+                            Rule::base({X}, 0, R)));
+    A.setFinalizer(0, Rule::base({}, 0, R));
+    return A;
+  }
+};
+
+TEST_F(CursorBoundaryTest, ChunkedFeedMatchesOneShotAtRunBoundaries) {
+  Bst A = makeCopyLoop();
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  ASSERT_GE(P.stats().AccelStates, 1u) << "copy loop must be accelerated";
+
+  // Runs of length 0/1/3/4/7 separated by '\n', so with chunk sizes
+  // matching the run lengths the spans end exactly at chunk ends.
+  std::vector<uint64_t> In;
+  for (size_t RunLen : {size_t(0), size_t(1), size_t(3), size_t(4),
+                        size_t(7), size_t(4), size_t(3), size_t(1)}) {
+    for (size_t I = 0; I < RunLen; ++I)
+      In.push_back('a' + I);
+    In.push_back('\n');
+  }
+  auto Want = runFastPath(P, *T, In);
+  ASSERT_TRUE(Want.has_value());
+  auto Ref = T->run(In);
+  ASSERT_TRUE(Ref.has_value());
+  EXPECT_EQ(*Want, *Ref);
+
+  for (size_t Chunk : {size_t(1), size_t(2), size_t(3), size_t(4),
+                       size_t(5), size_t(7), size_t(8)}) {
+    FastPathCursor C(P, *T);
+    std::vector<uint64_t> Got;
+    for (size_t I = 0; I < In.size(); I += Chunk) {
+      size_t End = std::min(In.size(), I + Chunk);
+      // Exact-size copy per chunk: reads past the chunk end trip ASan.
+      std::vector<uint64_t> Piece(In.begin() + I, In.begin() + End);
+      ASSERT_TRUE(C.feed(Piece, Got)) << "chunk=" << Chunk;
+    }
+    ASSERT_TRUE(C.finish(Got)) << "chunk=" << Chunk;
+    EXPECT_EQ(Got, *Want) << "chunk=" << Chunk;
+  }
+}
+
+TEST_F(CursorBoundaryTest, WideElementsFallBackMidChunk) {
+  Bst A = makeCopyLoop();
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+
+  // Out-of-range elements at the first/last position of a chunk: the
+  // dispatch loop must route exactly those elements to the bytecode
+  // program and keep run scans inside the chunk.
+  std::vector<uint64_t> In = {'a', 'b', uint64_t('c') + 256, 'd',
+                              '\n', 300,  'e',  'f',
+                              'g',  ~uint64_t(0)};
+  auto Ref = T->run(In);
+  auto Fast = runFastPath(P, *T, In);
+  ASSERT_EQ(Ref.has_value(), Fast.has_value());
+  if (Ref) {
+    EXPECT_EQ(*Ref, *Fast);
+  }
+
+  for (size_t Chunk : {size_t(1), size_t(3), size_t(5)}) {
+    FastPathCursor C(P, *T);
+    std::vector<uint64_t> Got;
+    bool Ok = true;
+    for (size_t I = 0; Ok && I < In.size(); I += Chunk) {
+      size_t End = std::min(In.size(), I + Chunk);
+      std::vector<uint64_t> Piece(In.begin() + I, In.begin() + End);
+      Ok = C.feed(Piece, Got);
+    }
+    Ok = Ok && C.finish(Got);
+    ASSERT_EQ(Ok, Ref.has_value()) << "chunk=" << Chunk;
+    if (Ref) {
+      EXPECT_EQ(Got, *Ref) << "chunk=" << Chunk;
+    }
+  }
+}
+
+TEST_F(CursorBoundaryTest, RunCountersAccumulateAcrossChunks) {
+  Bst A = makeCopyLoop();
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+
+  std::vector<uint64_t> In(64, uint64_t('x'));
+  FastPathCursor C(P, *T);
+  std::vector<uint64_t> Out;
+  for (size_t I = 0; I < In.size(); I += 16) {
+    std::vector<uint64_t> Piece(In.begin() + I, In.begin() + I + 16);
+    ASSERT_TRUE(C.feed(Piece, Out));
+  }
+  ASSERT_TRUE(C.finish(Out));
+  // One homogeneous run cut into four chunks: every element must be
+  // accounted to run kernels, once.
+  EXPECT_EQ(C.runCounters().RunElements, In.size());
+  EXPECT_GE(C.runCounters().Runs, 4u);
+}
+
+} // namespace

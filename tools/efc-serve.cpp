@@ -12,6 +12,7 @@
 //   efc-serve --socket /tmp/efc.sock --feed s1 --file data.csv --chunk 7
 //   efc-serve --socket /tmp/efc.sock --finish s1
 //   efc-serve --socket /tmp/efc.sock --stats
+//   efc-serve --socket /tmp/efc.sock --metrics
 //   efc-serve --socket /tmp/efc.sock --shutdown
 //
 // --run NAME is the one-shot convenience: open + feed + finish.
@@ -53,7 +54,8 @@ int usage(const char *Msg = nullptr) {
           "       efc-serve --socket PATH --close NAME\n"
           "       efc-serve --socket PATH --run NAME (--regex|--xpath ...) "
           "--file F [--chunk N]\n"
-          "       efc-serve --socket PATH --stats | --shutdown\n");
+          "       efc-serve --socket PATH --stats | --metrics | "
+          "--shutdown\n");
   return 2;
 }
 
@@ -128,7 +130,8 @@ int main(int argc, char **argv) {
               Backend = "fastpath";
   unsigned Threads = 4;
   size_t Queue = 16, CacheCap = 32, Chunk = 4096;
-  bool Stats = false, Shutdown = false, DoRbbe = true, DoMinimize = false;
+  bool Stats = false, Metrics = false, Shutdown = false, DoRbbe = true,
+       DoMinimize = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -203,6 +206,8 @@ int main(int argc, char **argv) {
       DoMinimize = true;
     } else if (A == "--stats") {
       Stats = true;
+    } else if (A == "--metrics") {
+      Metrics = true;
     } else if (A == "--shutdown") {
       Shutdown = true;
     } else {
@@ -213,7 +218,8 @@ int main(int argc, char **argv) {
     return usage("--socket is required");
 
   bool ClientMode = !Open.empty() || !Feed.empty() || !Finish.empty() ||
-                    !Close.empty() || !Run.empty() || Stats || Shutdown;
+                    !Close.empty() || !Run.empty() || Stats || Metrics ||
+                    Shutdown;
 
   if (!ClientMode) {
     // Serve.
@@ -301,6 +307,8 @@ int main(int argc, char **argv) {
       Rc = simpleRequest(Fd, "C" + Close);
     if (Rc == 0 && Stats)
       Rc = simpleRequest(Fd, "S");
+    if (Rc == 0 && Metrics)
+      Rc = simpleRequest(Fd, "M");
     if (Rc == 0 && Shutdown)
       Rc = simpleRequest(Fd, "Q");
   }

@@ -30,6 +30,8 @@
 //   --native         alias for --backend native
 //   --emit-cpp FILE  write generated C++ to FILE
 //   --stats          print pipeline statistics to stderr
+//   --metrics        print the process-wide metrics registry (Prometheus
+//                    text format, support/Metrics.h) to stderr at exit
 //   --explain-fastpath
 //                    dump per-state byte-class tables to stdout:
 //                    eligible/fallback, class count, self-loop classes
@@ -43,6 +45,7 @@
 
 #include "codegen/CppCodeGen.h"
 #include "runtime/PipelineCache.h"
+#include "support/Metrics.h"
 
 #include <cstdio>
 #include <cstring>
@@ -60,7 +63,8 @@ int usage(const char *Msg = nullptr) {
   fprintf(stderr,
           "usage: efcc (--regex P | --xpath Q) [--agg max|min|avg|none]\n"
           "            [--format decimal|lines|sql] [--no-rbbe]\n"
-          "            [--minimize] [--stats] [--explain-fastpath]\n"
+          "            [--minimize] [--stats] [--metrics]\n"
+          "            [--explain-fastpath]\n"
           "            [--backend vm|fastpath|native] [--native]\n"
           "            [--run FILE] [--emit-cpp FILE]\n");
   return 2;
@@ -71,7 +75,7 @@ int usage(const char *Msg = nullptr) {
 int main(int argc, char **argv) {
   std::string Regex, XPath, Agg = "none", Format = "lines";
   std::string RunFile, EmitFile, Backend = "fastpath";
-  bool DoRbbe = true, DoMinimize = false, Stats = false;
+  bool DoRbbe = true, DoMinimize = false, Stats = false, Metrics = false;
   bool ExplainFastPath = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -122,6 +126,8 @@ int main(int argc, char **argv) {
       Backend = "native";
     } else if (A == "--stats") {
       Stats = true;
+    } else if (A == "--metrics") {
+      Metrics = true;
     } else if (A == "--explain-fastpath") {
       ExplainFastPath = true;
     } else {
@@ -130,9 +136,10 @@ int main(int argc, char **argv) {
   }
   if (Regex.empty() == XPath.empty())
     return usage("exactly one of --regex / --xpath is required");
-  if (RunFile.empty() && EmitFile.empty() && !Stats && !ExplainFastPath)
+  if (RunFile.empty() && EmitFile.empty() && !Stats && !Metrics &&
+      !ExplainFastPath)
     return usage(
-        "nothing to do: pass --run, --emit-cpp, --stats or "
+        "nothing to do: pass --run, --emit-cpp, --stats, --metrics or "
         "--explain-fastpath");
   if (Backend != "vm" && Backend != "fastpath" && Backend != "native")
     return usage(("unknown backend '" + Backend + "'").c_str());
@@ -249,6 +256,11 @@ int main(int argc, char **argv) {
     for (uint64_t B : *Out)
       Bytes.push_back(char(B));
     fwrite(Bytes.data(), 1, Bytes.size(), stdout);
+  }
+  if (Metrics) {
+    // stderr, like --stats: --run output on stdout stays machine-clean.
+    std::string Dump = metrics::Registry::instance().renderPrometheus();
+    fwrite(Dump.data(), 1, Dump.size(), stderr);
   }
   return 0;
 }
