@@ -24,6 +24,13 @@
 #   5. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
+#   6. Backend-equivalence certification: `efc-verify` proves VM bytecode,
+#      fast-path tables/kernels and the codegen classifier hash agree for
+#      every fig9/fig10/fig11/fig13 pipeline; any refutation fails the
+#      script (exit 1).  "unverified" states (budget exhaustion) pass —
+#      the fuzz smoke above covers them probabilistically.  The same
+#      obligations are unit-tested under `ctest -L certify` (mutation
+#      injection, corpus replay), which already ran as part of tier-1.
 #
 # Usage: ./ci.sh [build-dir]     (default: build)
 #===------------------------------------------------------------------------===#
@@ -31,12 +38,12 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/5] tier-1 verify =="
+echo "== [1/6] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/5] ASan+UBSan tier-1 =="
+echo "== [2/6] ASan+UBSan tier-1 =="
 if [ "${EFC_SKIP_ASAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_ASAN=1)"
 else
@@ -49,7 +56,7 @@ else
      ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [3/5] efc-serve smoke test =="
+echo "== [3/6] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
@@ -75,7 +82,7 @@ if [ "$STREAMED" != "$ONESHOT" ]; then
 fi
 echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
 
-echo "== [4/5] fast-path divergence gate + throughput smoke =="
+echo "== [4/6] fast-path divergence gate + throughput smoke =="
 # Deterministic fig9-style CSV corpus, big enough to cross chunk and
 # buffer-growth boundaries.
 for i in $(seq 0 4999); do
@@ -138,7 +145,10 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
 fi
 mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
-echo "== [5/5] cache-hit vs cache-miss latency =="
+echo "== [5/6] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
+
+echo "== [6/6] backend-equivalence certification =="
+"$BUILD/tools/efc-verify" --quiet
 
 echo "== ci.sh: all green =="

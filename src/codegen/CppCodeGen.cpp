@@ -550,6 +550,9 @@ std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
 
   UnitEmitter U(A, Opts);
   S += U.tables();
+  S += "[[maybe_unused]] static const unsigned long long " +
+       Opts.FunctionName + "_classifier_hash = " + hex(classifierHash(A)) +
+       ";\n\n";
   S += U.function();
   if (Opts.EmitStreaming) {
     S += "\n";
@@ -586,4 +589,147 @@ std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
     S += "  return 0;\n}\n";
   }
   return S;
+}
+
+namespace {
+
+/// Structural FNV-1a hasher for the classifier fingerprint.  Variables
+/// hash by name and types by shape, never by pointer or interning id, so
+/// the result is stable across TermContexts and across processes (it
+/// guards the on-disk native-artifact cache).
+class ClassifierHasher {
+public:
+  explicit ClassifierHasher(const TermContext &Ctx) : Ctx(Ctx) {}
+
+  void mix(uint64_t V) {
+    for (int I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  }
+
+  uint64_t typeHash(const Type *Ty) {
+    auto It = TypeMemo.find(Ty);
+    if (It != TypeMemo.end())
+      return It->second;
+    uint64_t X = fnv(uint64_t(Ty->kind()) + 1);
+    if (Ty->isBitVec())
+      X = fnv(X ^ Ty->width());
+    for (unsigned I = 0; I < Ty->arity(); ++I)
+      X = fnv(X ^ typeHash(Ty->elems()[I]));
+    TypeMemo.emplace(Ty, X);
+    return X;
+  }
+
+  uint64_t termHash(TermRef T) {
+    auto It = TermMemo.find(T);
+    if (It != TermMemo.end())
+      return It->second;
+    uint64_t X = fnv(uint64_t(T->op()) + 1);
+    X = fnv(X ^ typeHash(T->type()));
+    if (T->isVar()) {
+      for (char C : Ctx.varName(T->varId()))
+        X = fnv(X ^ uint8_t(C));
+    } else {
+      X = fnv(X ^ T->aux());
+    }
+    for (TermRef O : T->operands())
+      X = fnv(X ^ termHash(O));
+    TermMemo.emplace(T, X);
+    return X;
+  }
+
+  void mixRule(const Rule *R) {
+    switch (R->kind()) {
+    case Rule::Kind::Undef:
+      mix(3);
+      return;
+    case Rule::Kind::Ite:
+      mix(1);
+      mix(termHash(R->cond()));
+      mixRule(R->thenRule().get());
+      mixRule(R->elseRule().get());
+      return;
+    case Rule::Kind::Base:
+      mix(2);
+      mix(R->outputs().size());
+      for (TermRef O : R->outputs())
+        mix(termHash(O));
+      mix(R->target());
+      mix(termHash(R->update()));
+      return;
+    }
+  }
+
+  void mixValue(const Value &V) {
+    switch (V.kind()) {
+    case TypeKind::Bool:
+    case TypeKind::BitVec:
+      mix(V.bits());
+      return;
+    case TypeKind::Unit:
+      return;
+    case TypeKind::Tuple:
+      for (const Value &E : V.elems())
+        mixValue(E);
+      return;
+    }
+  }
+
+  uint64_t hash() const { return H; }
+
+private:
+  static uint64_t fnv(uint64_t V) {
+    uint64_t X = 1469598103934665603ull;
+    for (int I = 0; I < 8; ++I) {
+      X ^= (V >> (8 * I)) & 0xff;
+      X *= 1099511628211ull;
+    }
+    return X;
+  }
+
+  const TermContext &Ctx;
+  uint64_t H = 1469598103934665603ull;
+  std::unordered_map<const Type *, uint64_t> TypeMemo;
+  std::unordered_map<TermRef, uint64_t> TermMemo;
+};
+
+} // namespace
+
+uint64_t efc::classifierHash(const Bst &A) {
+  ClassifierHasher CH(A.context());
+  CH.mix(0xefc0de01ull); // fingerprint format version
+  CH.mix(A.numStates());
+  CH.mix(A.initialState());
+  CH.mix(CH.typeHash(A.inputType()));
+  CH.mix(CH.typeHash(A.outputType()));
+  CH.mix(CH.typeHash(A.registerType()));
+  CH.mixValue(A.initialRegister());
+  for (unsigned Q = 0; Q < A.numStates(); ++Q) {
+    CH.mixRule(A.delta(Q).get());
+    CH.mixRule(A.finalizer(Q).get());
+    // The classification artifacts codegen actually bakes into tables,
+    // recomputed exactly as UnitEmitter computes them.
+    ByteClassTable C = classifyDeltaByteClasses(A, Q);
+    CH.mix(C.Eligible);
+    CH.mix(C.ValidBytes);
+    if (C.Eligible)
+      for (unsigned B = 0; B < 256; ++B)
+        CH.mix(C.Class[B]);
+    for (const RunKernel &RK : classifyRunKernels(A, Q, C)) {
+      CH.mix(uint64_t(RK.K) + 1);
+      for (uint64_t W : RK.Mask)
+        CH.mix(W);
+      CH.mix(uint64_t(int64_t(RK.SingleEscape)));
+      CH.mix(RK.Emits.size());
+      for (uint64_t E : RK.Emits)
+        CH.mix(E);
+      CH.mix(RK.Writes.size());
+      for (auto [Slot, Imm] : RK.Writes) {
+        CH.mix(Slot);
+        CH.mix(Imm);
+      }
+    }
+  }
+  return CH.hash();
 }

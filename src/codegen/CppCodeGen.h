@@ -59,6 +59,19 @@ struct CodeGenTestVector {
 std::string generateCpp(const Bst &A, const CodeGenOptions &Opts = {},
                         const std::vector<CodeGenTestVector> &Vectors = {});
 
+/// Context- and process-independent fingerprint of everything code
+/// generation derives from \p A: the structural rule trees, state/register
+/// layout, initial configuration, and the byte-class tables and run
+/// kernels recomputed by classifyDeltaByteClasses / classifyRunKernels.
+/// generateCpp embeds it in the emitted source as
+/// `<name>_classifier_hash`, NativeCompile re-exports it from the shared
+/// object and re-checks it at dlopen, and the equivalence checker
+/// (verify/EquivChecker.h) recomputes it from the certified BST — tying
+/// "what was certified" to "what was compiled" structurally.  Variables
+/// hash by name, types by shape, so the value is stable across
+/// TermContexts and across processes (it guards the on-disk .so cache).
+uint64_t classifierHash(const Bst &A);
+
 } // namespace efc
 
 #endif // EFC_CODEGEN_CPPCODEGEN_H

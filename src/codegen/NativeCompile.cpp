@@ -82,13 +82,15 @@ NativeTransducer::~NativeTransducer() {
 
 NativeTransducer::NativeTransducer(NativeTransducer &&O) noexcept
     : Handle(O.Handle), Func(O.Func), WordsFn(O.WordsFn), InitFn(O.InitFn),
-      FeedFn(O.FeedFn), FinishFn(O.FinishFn) {
+      FeedFn(O.FeedFn), FinishFn(O.FinishFn),
+      ClassifierHash(O.ClassifierHash) {
   O.Handle = nullptr;
   O.Func = nullptr;
   O.WordsFn = nullptr;
   O.InitFn = nullptr;
   O.FeedFn = nullptr;
   O.FinishFn = nullptr;
+  O.ClassifierHash = 0;
 }
 
 NativeTransducer &NativeTransducer::operator=(NativeTransducer &&O) noexcept {
@@ -101,12 +103,14 @@ NativeTransducer &NativeTransducer::operator=(NativeTransducer &&O) noexcept {
     InitFn = O.InitFn;
     FeedFn = O.FeedFn;
     FinishFn = O.FinishFn;
+    ClassifierHash = O.ClassifierHash;
     O.Handle = nullptr;
     O.Func = nullptr;
     O.WordsFn = nullptr;
     O.InitFn = nullptr;
     O.FeedFn = nullptr;
     O.FinishFn = nullptr;
+    O.ClassifierHash = 0;
   }
   return *this;
 }
@@ -168,7 +172,15 @@ NativeTransducer::compile(const Bst &A, const std::string &Tag,
       "size_t n, std::vector<uint64_t> &out) { return efc_impl_feed(st, in, "
       "n, out); }\n"
       "extern \"C\" bool efc_stream_finish(uint64_t *st, "
-      "std::vector<uint64_t> &out) { return efc_impl_finish(st, out); }\n";
+      "std::vector<uint64_t> &out) { return efc_impl_finish(st, out); }\n"
+      "extern \"C\" unsigned long long efc_classifier_hash() { return "
+      "efc_impl_classifier_hash; }\n";
+  // The certification anchor: the .so re-exports the classifier hash baked
+  // into its source, and tryLoad below rejects a cached artifact whose
+  // exported hash disagrees with the hash of this Bst — "what was
+  // certified" and "what got loaded" are tied structurally, not just by
+  // file name.
+  uint64_t WantHash = ::efc::classifierHash(A);
 
   std::string Lib = cacheDir() + "/efc_" + sanitizeTag(Tag) + "_" +
                     hex16(fnv1a(Source)) + ".so";
@@ -197,6 +209,15 @@ NativeTransducer::compile(const Bst &A, const std::string &Tag,
     T.FeedFn = reinterpret_cast<FeedFnTy>(dlsym(T.Handle, "efc_stream_feed"));
     T.FinishFn =
         reinterpret_cast<FinishFnTy>(dlsym(T.Handle, "efc_stream_finish"));
+    if (auto HashFn = reinterpret_cast<HashFnTy>(
+            dlsym(T.Handle, "efc_classifier_hash"))) {
+      T.ClassifierHash = HashFn();
+      if (T.ClassifierHash != WantHash) {
+        if (Err)
+          *Err = "cached artifact classifier hash mismatch (stale .so)";
+        return std::nullopt;
+      }
+    }
     return T;
   };
 

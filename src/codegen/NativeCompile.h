@@ -92,6 +92,14 @@ public:
     return FinishFn(St, Out);
   }
 
+  /// Classifier hash the loaded unit was generated from (see
+  /// codegen/CppCodeGen.h classifierHash).  compile() refuses to reuse a
+  /// cached artifact whose exported hash disagrees with the hash of the
+  /// requesting Bst, so a loaded transducer always matches the IR that
+  /// certification (verify/EquivChecker.h) ran on.  0 for artifacts built
+  /// before the hash existed.
+  uint64_t classifierHash() const { return ClassifierHash; }
+
 private:
   NativeTransducer() = default;
   void *Handle = nullptr;
@@ -101,11 +109,13 @@ private:
   using FeedFnTy = bool (*)(uint64_t *, const uint64_t *, size_t,
                             std::vector<uint64_t> &);
   using FinishFnTy = bool (*)(uint64_t *, std::vector<uint64_t> &);
+  using HashFnTy = uint64_t (*)();
   Fn Func = nullptr;
   WordsFnTy WordsFn = nullptr;
   InitFnTy InitFn = nullptr;
   FeedFnTy FeedFn = nullptr;
   FinishFnTy FinishFn = nullptr;
+  uint64_t ClassifierHash = 0;
 };
 
 } // namespace efc

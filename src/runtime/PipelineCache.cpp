@@ -244,6 +244,30 @@ struct CacheMetrics {
   }
 };
 
+/// Registry mirrors of the certification counters (EFC_CERTIFY builds).
+struct CertifyMetrics {
+  metrics::Counter &Certified;
+  metrics::Counter &Unverified;
+  metrics::Counter &Refuted;
+  metrics::Counter &Timeouts;
+  metrics::DoubleCounter &Seconds;
+  static CertifyMetrics &get() {
+    auto &R = metrics::Registry::instance();
+    static CertifyMetrics M{
+        R.counter("efc_certify_certified_total",
+                  "Pipeline builds certified end-to-end"),
+        R.counter("efc_certify_unverified_total",
+                  "Pipeline builds degraded to unverified (budget/Unknown)"),
+        R.counter("efc_certify_refuted_total",
+                  "Pipeline builds rejected at cache admission"),
+        R.counter("efc_certify_timeouts_total",
+                  "Per-state certification budget exhaustions"),
+        R.dcounter("efc_certify_seconds_total",
+                   "Wall time spent in equivalence certification")};
+    return M;
+  }
+};
+
 } // namespace
 
 PipelineCache::PipelineCache(size_t Capacity)
@@ -327,6 +351,30 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
     FpSp.note("table_states", (uint64_t)FS.TableStates);
     FpSp.note("accel_states", (uint64_t)FS.AccelStates);
   }
+  // Equivalence certification (verify/EquivChecker.h), gated by
+  // EFC_CERTIFY=1: prove the bytecode, the fast-path tables, and the
+  // codegen classification agree with the fused rules before the entry
+  // can be admitted.  Runs against the local Bst, before it moves into
+  // the entry.  The per-state budget comes from EFC_CERTIFY_BUDGET_MS
+  // (default 2000); exhaustion degrades to "unverified", which still
+  // serves — only "refuted" blocks admission (enforced by the caller).
+  const char *CertEnv = std::getenv("EFC_CERTIFY");
+  if (CertEnv && std::atoi(CertEnv) != 0) {
+    trace::Span CertSp("certify");
+    verify::CertOptions COpts;
+    COpts.StateBudgetSeconds = 2.0;
+    if (const char *B = std::getenv("EFC_CERTIFY_BUDGET_MS"))
+      COpts.StateBudgetSeconds = std::atof(B) / 1000.0;
+    verify::CertReport CR =
+        verify::certifyPipeline(Fused, *P->Vm, &*P->Fast, COpts);
+    P->Cert = CR.Status;
+    P->CertSummary = CR.summary();
+    P->CertifySeconds = CR.Seconds;
+    P->CertTimeouts = CR.TimedOutStates;
+    CertSp.note("status",
+                std::string_view(verify::certStatusName(CR.Status)));
+    CertifyMetrics::get().Seconds.add(CR.Seconds);
+  }
   P->Fused.emplace(std::move(Fused));
   P->BuildSeconds = Total.seconds();
   return P;
@@ -379,7 +427,6 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
     std::lock_guard<std::mutex> L(Mu);
     S->Building = false;
     if (P) {
-      S->Ready = P;
       ++Counters.Builds;
       Counters.BuildSeconds += P->BuildSeconds;
       const FastPathPlan::Stats &FS = P->Fast->stats();
@@ -394,6 +441,36 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       CM.PlanAccelStates.inc(FS.AccelStates);
       CM.PlanRunKernels.inc(FS.SkipKernels + FS.CopyKernels +
                             FS.ConstAppendKernels);
+      CertifyMetrics &XM = CertifyMetrics::get();
+      Counters.CertTimeouts += P->CertTimeouts;
+      XM.Timeouts.inc(P->CertTimeouts);
+      switch (P->Cert) {
+      case verify::CertStatus::Unchecked:
+        break;
+      case verify::CertStatus::Certified:
+        ++Counters.CertCertified;
+        XM.Certified.inc();
+        break;
+      case verify::CertStatus::Unverified:
+        ++Counters.CertUnverified;
+        XM.Unverified.inc();
+        break;
+      case verify::CertStatus::Refuted:
+        ++Counters.CertRefuted;
+        XM.Refuted.inc();
+        break;
+      }
+      if (P->Cert == verify::CertStatus::Refuted) {
+        // Certification is a cache-admission gate: a refuted entry is a
+        // proven backend disagreement, so it never serves.  The error is
+        // deterministic for this build and negative-cached like any other
+        // spec error.
+        S->Error =
+            "backend equivalence refuted; refusing to serve (" +
+            P->CertSummary + ")";
+      } else {
+        S->Ready = P;
+      }
     } else {
       S->Error = BuildErr;
     }
@@ -442,14 +519,16 @@ size_t PipelineCache::size() const {
 }
 
 std::string PipelineCache::Stats::str() const {
-  char Buf[384];
+  char Buf[512];
   snprintf(Buf, sizeof(Buf),
            "hits=%llu misses=%llu coalesced=%llu negative_hits=%llu "
            "evictions=%llu "
            "builds=%llu build_s=%.3f native_compiles=%llu "
            "native_disk_hits=%llu native_compile_ms=%.1f "
            "fast_table_states=%llu fast_accel_states=%llu "
-           "fast_run_kernels=%llu",
+           "fast_run_kernels=%llu "
+           "cert_certified=%llu cert_unverified=%llu cert_refuted=%llu "
+           "certify_timeouts=%llu",
            (unsigned long long)Hits, (unsigned long long)Misses,
            (unsigned long long)Coalesced, (unsigned long long)NegativeHits,
            (unsigned long long)Evictions,
@@ -458,6 +537,10 @@ std::string PipelineCache::Stats::str() const {
            (unsigned long long)NativeDiskHits, NativeCompileMs,
            (unsigned long long)FastTableStates,
            (unsigned long long)FastAccelStates,
-           (unsigned long long)FastRunKernels);
+           (unsigned long long)FastRunKernels,
+           (unsigned long long)CertCertified,
+           (unsigned long long)CertUnverified,
+           (unsigned long long)CertRefuted,
+           (unsigned long long)CertTimeouts);
   return Buf;
 }

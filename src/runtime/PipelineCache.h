@@ -26,6 +26,7 @@
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
 #include "rbbe/Rbbe.h"
+#include "verify/EquivChecker.h"
 #include "vm/FastPath.h"
 #include "vm/Vm.h"
 
@@ -92,6 +93,17 @@ public:
   size_t NumStages = 0;
   double BuildSeconds = 0; ///< fusion + optimization + VM compile
 
+  /// Backend-equivalence certification verdict for this entry (see
+  /// verify/EquivChecker.h).  Unchecked unless EFC_CERTIFY=1 at build
+  /// time; with certification on, a Refuted verdict is a cache-admission
+  /// failure — the entry is never published, so nothing refuted ever
+  /// serves.  Unverified (budget exhaustion) entries serve normally; the
+  /// degradation is visible here and in the cache counters.
+  verify::CertStatus Cert = verify::CertStatus::Unchecked;
+  std::string CertSummary;   ///< CertReport::summary() one-liner
+  double CertifySeconds = 0; ///< certification wall time
+  unsigned CertTimeouts = 0; ///< per-state budget exhaustions
+
   /// How a native() call was satisfied (for cache counters).
   enum class NativeOutcome {
     Ready,    ///< already resident in this entry
@@ -138,6 +150,10 @@ public:
     uint64_t FastTableStates = 0; ///< fast-path plan stats, summed over
     uint64_t FastAccelStates = 0; ///< built entries (coverage telemetry)
     uint64_t FastRunKernels = 0;
+    uint64_t CertCertified = 0;  ///< builds certified end-to-end
+    uint64_t CertUnverified = 0; ///< builds degraded by budget/Unknown
+    uint64_t CertRefuted = 0;    ///< builds rejected at admission
+    uint64_t CertTimeouts = 0;   ///< per-state budget exhaustions, summed
     std::string str() const; ///< one-line rendering for stats dumps
   };
 

@@ -1,0 +1,57 @@
+//===- solver/QueryBuilder.cpp - Distinguishing-element queries -----------===//
+
+#include "solver/QueryBuilder.h"
+
+namespace efc {
+
+void DistinguishQuery::assume(TermRef Cond) {
+  if (Cond->isTrue())
+    return;
+  Assumes.push_back(Cond);
+}
+
+void DistinguishQuery::assumeAll(std::span<const TermRef> Conds) {
+  for (TermRef C : Conds)
+    assume(C);
+}
+
+void DistinguishQuery::requireEqual(TermRef F, TermRef G) {
+  if (F == G) // hash-consed: semantically equal, nothing to prove
+    return;
+  Disagrees.push_back(S.context().mkNeq(F, G));
+}
+
+void DistinguishQuery::requireDisagree() { ConstDisagree = true; }
+
+DistinguishResult DistinguishQuery::check(
+    std::span<const TermRef> WitnessVars) {
+  DistinguishResult Res;
+  if (trivial()) {
+    Res.R = SatResult::Unsat;
+    return Res;
+  }
+
+  TermContext &Ctx = S.context();
+  S.push();
+  for (TermRef A : Assumes)
+    S.add(A);
+  if (!ConstDisagree) {
+    TermRef D = Ctx.falseConst();
+    for (TermRef N : Disagrees)
+      D = Ctx.mkOr(D, N);
+    S.add(D);
+  }
+  Res.R = S.check();
+  if (Res.R == SatResult::Sat) {
+    Res.Witness.reserve(WitnessVars.size());
+    for (TermRef V : WitnessVars) {
+      Value MV = S.modelValue(V);
+      Res.Witness.push_back(MV.isBool() ? uint64_t(MV.boolValue())
+                                        : MV.bits());
+    }
+  }
+  S.pop();
+  return Res;
+}
+
+} // namespace efc

@@ -1,0 +1,80 @@
+//===- solver/QueryBuilder.h - Distinguishing-element queries ---*- C++ -*-===//
+///
+/// \file
+/// A small query-builder on top of Solver for the shape every backend
+/// equivalence check reduces to: "does there exist an element (and a
+/// register valuation) on which branch f and branch g disagree?"  The
+/// caller accumulates the shared path constraint and the observation
+/// pairs the branches must agree on; check() then discharges
+///
+///   SAT( path  ∧  ( f_1 ≠ g_1 ∨ ... ∨ f_n ≠ g_n ) )
+///
+/// Unsat proves the branches equal on the path, Sat yields a concrete
+/// distinguishing witness, Unknown (conflict budget) leaves the pair
+/// unverified.  Observation pairs that are pointer-identical after
+/// hash-consing are dropped up front, so structurally equal branches
+/// never reach the SAT solver at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_SOLVER_QUERYBUILDER_H
+#define EFC_SOLVER_QUERYBUILDER_H
+
+#include "solver/Solver.h"
+
+#include <span>
+#include <vector>
+
+namespace efc {
+
+/// Outcome of one distinguishing query.
+struct DistinguishResult {
+  SatResult R = SatResult::Unsat;
+  /// When Sat: model values of the requested witness variables, in the
+  /// order they were passed to check().
+  std::vector<uint64_t> Witness;
+};
+
+/// Builder for one "∃ element distinguishing f and g" query.  Cheap to
+/// construct; intended to be rebuilt per branch pair.
+class DistinguishQuery {
+public:
+  explicit DistinguishQuery(Solver &S) : S(S) {}
+
+  /// Adds a conjunct of the shared path constraint.
+  void assume(TermRef Cond);
+  void assumeAll(std::span<const TermRef> Conds);
+
+  /// Registers an observation pair the branches must agree on.  A
+  /// pointer-identical pair is semantically equal (hash-consing) and is
+  /// discarded without any solver work.
+  void requireEqual(TermRef F, TermRef G);
+
+  /// Marks the branches as disagreeing on every element of the path
+  /// (different emit counts, targets, or accept/reject verdicts): the
+  /// query degenerates to satisfiability of the path itself.
+  void requireDisagree();
+
+  /// True when no disagreement is possible: every observation pair was
+  /// pointer-identical.  check() then returns Unsat without a SAT call.
+  bool trivial() const { return !ConstDisagree && Disagrees.empty(); }
+
+  /// Discharges the query.  On Sat, \p Out receives the model values of
+  /// \p WitnessVars (variables or projection-chain leaves).  The solver
+  /// scope opened for the query is always closed again.
+  DistinguishResult check(std::span<const TermRef> WitnessVars = {});
+
+  /// Number of SAT-level checks issued so far through this builder's
+  /// solver (for report accounting the caller keeps itself).
+  Solver &solver() { return S; }
+
+private:
+  Solver &S;
+  std::vector<TermRef> Assumes;
+  std::vector<TermRef> Disagrees;
+  bool ConstDisagree = false;
+};
+
+} // namespace efc
+
+#endif // EFC_SOLVER_QUERYBUILDER_H

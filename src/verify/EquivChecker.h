@@ -1,0 +1,152 @@
+//===- verify/EquivChecker.h - Solver-certified backend equivalence -*- C++ -*-===//
+///
+/// \file
+/// Certifies that the executable backends of one pipeline agree, promoting
+/// cross-backend trust from randomized differential testing to per-state
+/// proof (ROADMAP "solver-certified backend equivalence"; cf. the certified
+/// symbolic-finite-transducer line in PAPERS.md).  Three artifacts are
+/// related:
+///
+///  1. Fused/optimized BST vs VM bytecode.  Each state's transition and
+///     finalizer programs are symbolically executed path-by-path and
+///     compared against the rule tree: for every input element and register
+///     valuation in range, guard outcomes, emitted outputs, register
+///     updates, and successor states must match.  Each obligation is
+///     discharged as an UNSAT query through the in-house Solver; because
+///     the symbolic executor and the rule translator build terms through
+///     the same hash-consing factory with identical operator encodings,
+///     most obligations collapse to pointer equality and never reach SAT.
+///
+///  2. Byte-class fast-path tables and run kernels vs that bytecode.  For
+///     every table-eligible state and all 256 dispatch entries, the table
+///     action at byte b must equal the bytecode evaluation at b; run
+///     kernels additionally satisfy the self-loop / constant-write /
+///     uniform-output side conditions that justify consuming whole spans.
+///
+///  3. Structural certification that CppCodeGen emits from the same
+///     certified IR and tables: a classifier hash over the rule trees,
+///     byte-class tables, and run kernels is embedded in generated source
+///     and checked again at dlopen time (codegen/NativeCompile.cpp).
+///
+/// Certification is bounded: each state gets a time budget, and exceeding
+/// it (or a solver conflict-budget Unknown) degrades that state to
+/// "unverified" — never to "certified".  Counterexamples carry a concrete
+/// input element and register valuation, rendered as inputs the
+/// differential oracle can replay as regression seeds.
+///
+/// What "certified" claims — and does not claim — is spelled out in
+/// DESIGN.md "Certification".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_VERIFY_EQUIVCHECKER_H
+#define EFC_VERIFY_EQUIVCHECKER_H
+
+#include "bst/Bst.h"
+#include "vm/FastPath.h"
+#include "vm/Vm.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efc::verify {
+
+/// Certification verdict for one pipeline (or one state).
+enum class CertStatus : uint8_t {
+  Unchecked,  ///< certification was not attempted
+  Certified,  ///< every obligation discharged UNSAT
+  Unverified, ///< budget exhausted or solver Unknown; no disagreement found
+  Refuted,    ///< a concrete disagreement witness exists
+};
+
+const char *certStatusName(CertStatus S);
+
+/// A concrete disagreement witness.  The input element / register
+/// valuation refute equivalence *of one state's step function*; the state
+/// itself may or may not be reachable with that register valuation, so a
+/// counterexample is a definite backend bug but not always a whole-input
+/// divergence (see DESIGN.md "Certification" for the soundness fine
+/// print).
+struct Counterexample {
+  std::string Part; ///< "init", "bytecode", "finalizer", "table", "kernel",
+                    ///< "codegen"
+  unsigned State = 0;
+  bool Finalizer = false;
+  bool HasInput = false;
+  uint64_t Input = 0;              ///< input element (when HasInput)
+  std::vector<uint64_t> Regs;      ///< register-slot valuation (leaf order)
+  std::string Detail;              ///< human-readable disagreement
+
+  /// One-line rendering for logs and tool output.
+  std::string str() const;
+
+  /// The witness as a concrete input sequence suitable for oracle replay /
+  /// the regression corpus (empty for finalizer-only witnesses).
+  std::vector<uint64_t> seedInput() const;
+};
+
+struct CertOptions {
+  /// Wall-clock budget per control state; <= 0 means "no time at all":
+  /// every state degrades to Unverified immediately (used to test the
+  /// budget-exhaustion path).
+  double StateBudgetSeconds = 5.0;
+  /// CDCL conflict budget per solver query; Unknown degrades the state to
+  /// Unverified.
+  int64_t ConflictBudget = 200000;
+  /// Cap on symbolic paths enumerated per bytecode program; exceeding it
+  /// degrades the state to Unverified.
+  unsigned MaxPathsPerProgram = 4096;
+  /// Also certify part 3 (codegen classifier hash).
+  bool CheckCodegen = true;
+};
+
+struct CertReport {
+  CertStatus Status = CertStatus::Unchecked;
+  unsigned StatesCertified = 0;
+  unsigned StatesUnverified = 0;
+  unsigned StatesRefuted = 0;
+  unsigned TimedOutStates = 0; ///< subset of unverified: budget exhaustion
+  uint64_t SolverQueries = 0;
+  uint64_t TrivialMatches = 0; ///< obligations closed by hash-consing alone
+  double Seconds = 0;
+  bool CodegenChecked = false;
+  bool CodegenOk = false;
+  uint64_t ClassifierHash = 0;
+  std::vector<Counterexample> Counterexamples;
+
+  /// One-line summary for tool output and logs.
+  std::string summary() const;
+};
+
+/// Certifies one compiled pipeline stage set: fused BST \p A against its
+/// compiled transducer \p T, and (when \p Plan is non-null) the fast-path
+/// tables and run kernels of \p Plan.  The referenced objects must outlive
+/// the checker.
+class EquivChecker {
+public:
+  EquivChecker(const Bst &A, const CompiledTransducer &T,
+               const FastPathPlan *Plan = nullptr, CertOptions Opts = {});
+
+  /// Runs all enabled parts; idempotent (the report is cached).
+  const CertReport &run();
+
+  const CertReport &report() const { return R; }
+
+private:
+  const Bst &A;
+  const CompiledTransducer &T;
+  const FastPathPlan *Plan;
+  CertOptions Opts;
+  CertReport R;
+  bool Ran = false;
+};
+
+/// Convenience wrapper: certify and return the report.
+CertReport certifyPipeline(const Bst &A, const CompiledTransducer &T,
+                           const FastPathPlan *Plan = nullptr,
+                           const CertOptions &Opts = {});
+
+} // namespace efc::verify
+
+#endif // EFC_VERIFY_EQUIVCHECKER_H

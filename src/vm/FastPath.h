@@ -163,15 +163,6 @@ public:
   static FastPathPlan build(const Bst &A, const CompiledTransducer &T,
                             const FastPathOptions &Opts = {});
 
-  unsigned numStates() const { return unsigned(States.size()); }
-  bool stateHasTable(unsigned Q) const {
-    return Q < States.size() && States[Q].HasTable;
-  }
-  const Stats &stats() const { return S; }
-
-private:
-  friend class FastPathCursor;
-
   struct Action {
     enum class Kind : uint8_t {
       Fallback, // run the state's bytecode program for this element
@@ -200,6 +191,27 @@ private:
     std::array<uint8_t, 256> RunId{};
     std::vector<RunKernel> Runs;
   };
+
+  unsigned numStates() const { return unsigned(States.size()); }
+  bool stateHasTable(unsigned Q) const {
+    return Q < States.size() && States[Q].HasTable;
+  }
+  const Stats &stats() const { return S; }
+
+  /// Table introspection for the equivalence checker
+  /// (verify/EquivChecker.h): the checker re-derives the expected action
+  /// of every byte from the bytecode and compares it against these
+  /// entries, so it reads the plan exactly as the driver loop does.
+  const StateTable &stateTable(unsigned Q) const { return States[Q]; }
+
+  /// Testing hook: mutable access to one state's table, so
+  /// mutation-injection suites can corrupt a dispatch entry or a run
+  /// kernel in-memory and assert the checker produces a counterexample.
+  /// Never used by production code paths.
+  StateTable &mutableStateTable(unsigned Q) { return States[Q]; }
+
+private:
+  friend class FastPathCursor;
 
   std::vector<StateTable> States;
   Stats S;

@@ -104,6 +104,21 @@ public:
   unsigned numSlots() const { return NumSlots; }
   size_t codeSize() const;
 
+  /// Bytecode introspection for the equivalence checker
+  /// (verify/EquivChecker.h) and diagnostics: the compiled transition /
+  /// finalizer program of one state, the initial control state, and the
+  /// initial register-slot image (flattened in leaf order).
+  const VmProgram &deltaProgram(unsigned Q) const { return Delta[Q]; }
+  const VmProgram &finalizerProgram(unsigned Q) const { return Fin[Q]; }
+  unsigned initialState() const { return InitState; }
+  std::span<const uint64_t> initialRegs() const { return InitRegs; }
+
+  /// Testing hook: mutable access to one state's transition program, so
+  /// mutation-injection suites can corrupt a guard in-memory and assert
+  /// the equivalence checker refutes the result.  Never used by
+  /// production code paths.
+  VmProgram &mutableDeltaProgram(unsigned Q) { return Delta[Q]; }
+
   /// Full disassembly of all state programs (diagnostics).
   std::string disassembleAll() const;
 

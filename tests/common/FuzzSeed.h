@@ -1,0 +1,46 @@
+//===- tests/common/FuzzSeed.h - Reproducible fuzz seeding ------*- C++ -*-===//
+///
+/// \file
+/// One knob for every randomized suite: each property test seeds its RNG
+/// with a fixed literal (deterministic CI), and `EFC_FUZZ_SEED` overrides
+/// all of them uniformly for exploration or for replaying a failure a
+/// colleague reported:
+///
+///   EFC_FUZZ_SEED=0xbadc0de ctest -R fusion_test
+///
+/// Suites print the effective seed in their failure messages (seedNote),
+/// so any randomized failure is reproducible from the log alone even when
+/// the seed came from the environment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_TESTS_COMMON_FUZZSEED_H
+#define EFC_TESTS_COMMON_FUZZSEED_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace efc::testing {
+
+/// The suite's fixed default, unless EFC_FUZZ_SEED (decimal or 0x-hex)
+/// overrides it.
+inline uint64_t fuzzSeed(uint64_t Default) {
+  if (const char *E = std::getenv("EFC_FUZZ_SEED"); E && *E)
+    return std::strtoull(E, nullptr, 0);
+  return Default;
+}
+
+/// Failure-message suffix making the run reproducible from the log:
+/// "[seed 0xd1ff; rerun: EFC_FUZZ_SEED=0xd1ff]".
+inline std::string seedNote(uint64_t Seed) {
+  char Buf[80];
+  snprintf(Buf, sizeof(Buf), "[seed 0x%llx; rerun: EFC_FUZZ_SEED=0x%llx]",
+           (unsigned long long)Seed, (unsigned long long)Seed);
+  return Buf;
+}
+
+} // namespace efc::testing
+
+#endif // EFC_TESTS_COMMON_FUZZSEED_H

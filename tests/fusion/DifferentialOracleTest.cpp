@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "common/FuzzSeed.h"
 #include "common/Oracle.h"
 #include "common/RandomBst.h"
 #include "stdlib/Transducers.h"
@@ -22,7 +23,8 @@ using namespace efc::testing;
 namespace {
 
 TEST(DifferentialOracle, AgreesOnRandomPipelines) {
-  SplitMix64 Rng(0xD1FF);
+  uint64_t Seed = fuzzSeed(0xD1FF);
+  SplitMix64 Rng(Seed);
   for (int T = 0; T < 10; ++T) {
     TermContext Ctx;
     RandomBstGen Gen(Ctx, Rng);
@@ -34,19 +36,22 @@ TEST(DifferentialOracle, AgreesOnRandomPipelines) {
       auto In = Gen.adversarialInput(K, 8, O.ElemWidth);
       auto D = Or.check(In);
       EXPECT_FALSE(D.has_value())
-          << "trial " << T << " adversarial " << K << ": " << D->str();
+          << "trial " << T << " adversarial " << K << ": " << D->str()
+          << " " << seedNote(Seed);
     }
     for (int I = 0; I < 8; ++I) {
       auto In = Gen.randomInput(8, O.ElemWidth);
       auto D = Or.check(In);
       EXPECT_FALSE(D.has_value())
-          << "trial " << T << " input " << I << ": " << D->str();
+          << "trial " << T << " input " << I << ": " << D->str() << " "
+          << seedNote(Seed);
     }
   }
 }
 
 TEST(DifferentialOracle, AgreesAcrossWidthsAndRegisterTuples) {
-  SplitMix64 Rng(0x5EED);
+  uint64_t Seed = fuzzSeed(0x5EED);
+  SplitMix64 Rng(Seed);
   for (unsigned Width : {8u, 16u}) {
     for (int T = 0; T < 4; ++T) {
       TermContext Ctx;
@@ -59,7 +64,8 @@ TEST(DifferentialOracle, AgreesAcrossWidthsAndRegisterTuples) {
         auto In = Gen.randomInput(10, Width);
         auto D = Or.check(In);
         EXPECT_FALSE(D.has_value())
-            << "width " << Width << " trial " << T << ": " << D->str();
+            << "width " << Width << " trial " << T << ": " << D->str()
+            << " " << seedNote(Seed);
       }
     }
   }

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bst/Interp.h"
+#include "common/FuzzSeed.h"
 #include "common/RandomBst.h"
 #include "fusion/Fusion.h"
 #include "support/Stopwatch.h"
@@ -27,7 +28,8 @@ std::optional<std::vector<Value>> composed(const Bst &A, const Bst &B,
 }
 
 TEST(FusionProperty, FusedEqualsComposedOnRandomTransducers) {
-  SplitMix64 Rng(0xF00D);
+  uint64_t Seed = efc::testing::fuzzSeed(0xF00D);
+  SplitMix64 Rng(Seed);
   int Trials = 30;
   for (int T = 0; T < Trials; ++T) {
     TermContext Ctx;
@@ -45,15 +47,19 @@ TEST(FusionProperty, FusedEqualsComposedOnRandomTransducers) {
       auto Expected = composed(A, B, In);
       auto Got = runBst(F, In);
       ASSERT_EQ(Expected.has_value(), Got.has_value())
-          << "trial " << T << " input " << I;
+          << "trial " << T << " input " << I << " "
+          << efc::testing::seedNote(Seed);
       if (Expected)
-        EXPECT_EQ(*Expected, *Got) << "trial " << T << " input " << I;
+        EXPECT_EQ(*Expected, *Got)
+            << "trial " << T << " input " << I << " "
+            << efc::testing::seedNote(Seed);
     }
   }
 }
 
 TEST(FusionProperty, AssociativityUpToSemantics) {
-  SplitMix64 Rng(0xBEEF);
+  uint64_t Seed = efc::testing::fuzzSeed(0xBEEF);
+  SplitMix64 Rng(Seed);
   for (int T = 0; T < 12; ++T) {
     TermContext Ctx;
     efc::testing::RandomBstGen Gen(Ctx, Rng);
@@ -68,15 +74,18 @@ TEST(FusionProperty, AssociativityUpToSemantics) {
       std::vector<Value> In = Gen.randomInput(6);
       auto L = runBst(Left, In);
       auto R = runBst(Right, In);
-      ASSERT_EQ(L.has_value(), R.has_value()) << "trial " << T;
+      ASSERT_EQ(L.has_value(), R.has_value())
+          << "trial " << T << " " << efc::testing::seedNote(Seed);
       if (L)
-        EXPECT_EQ(*L, *R) << "trial " << T;
+        EXPECT_EQ(*L, *R) << "trial " << T << " "
+                          << efc::testing::seedNote(Seed);
     }
   }
 }
 
 TEST(FusionProperty, IdentityIsNeutral) {
-  SplitMix64 Rng(0xCAFE);
+  uint64_t Seed = efc::testing::fuzzSeed(0xCAFE);
+  SplitMix64 Rng(Seed);
   for (int T = 0; T < 10; ++T) {
     TermContext Ctx;
     efc::testing::RandomBstGen Gen(Ctx, Rng);
@@ -94,18 +103,21 @@ TEST(FusionProperty, IdentityIsNeutral) {
       auto Base = runBst(A, In);
       auto P1 = runBst(Pre, In);
       auto P2 = runBst(Post, In);
-      ASSERT_EQ(Base.has_value(), P1.has_value());
-      ASSERT_EQ(Base.has_value(), P2.has_value());
+      ASSERT_EQ(Base.has_value(), P1.has_value())
+          << efc::testing::seedNote(Seed);
+      ASSERT_EQ(Base.has_value(), P2.has_value())
+          << efc::testing::seedNote(Seed);
       if (Base) {
-        EXPECT_EQ(*Base, *P1);
-        EXPECT_EQ(*Base, *P2);
+        EXPECT_EQ(*Base, *P1) << efc::testing::seedNote(Seed);
+        EXPECT_EQ(*Base, *P2) << efc::testing::seedNote(Seed);
       }
     }
   }
 }
 
 TEST(FusionProperty, BruteForceAgreesWithPrunedOnRandomPairs) {
-  SplitMix64 Rng(0xAAAA);
+  uint64_t Seed = efc::testing::fuzzSeed(0xAAAA);
+  SplitMix64 Rng(Seed);
   for (int T = 0; T < 10; ++T) {
     TermContext Ctx;
     efc::testing::RandomBstGen Gen(Ctx, Rng);
@@ -120,9 +132,10 @@ TEST(FusionProperty, BruteForceAgreesWithPrunedOnRandomPairs) {
       std::vector<Value> In = Gen.randomInput(6);
       auto R1 = runBst(F1, In);
       auto R2 = runBst(F2, In);
-      ASSERT_EQ(R1.has_value(), R2.has_value()) << "trial " << T;
+      ASSERT_EQ(R1.has_value(), R2.has_value())
+          << "trial " << T << " " << efc::testing::seedNote(Seed);
       if (R1)
-        EXPECT_EQ(*R1, *R2);
+        EXPECT_EQ(*R1, *R2) << efc::testing::seedNote(Seed);
     }
   }
 }

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bst/Interp.h"
+#include "common/FuzzSeed.h"
 #include "common/Oracle.h"
 #include "common/RandomBst.h"
 #include "rbbe/Rbbe.h"
@@ -26,7 +27,8 @@ using namespace efc::testing;
 namespace {
 
 TEST(RbbeDifferential, PreservesSemanticsOnRandomTransducers) {
-  SplitMix64 Rng(0x4BBE);
+  uint64_t Seed = efc::testing::fuzzSeed(0x4BBE);
+  SplitMix64 Rng(Seed);
   for (int T = 0; T < 12; ++T) {
     TermContext Ctx;
     RandomBstGen Gen(Ctx, Rng);
@@ -37,7 +39,8 @@ TEST(RbbeDifferential, PreservesSemanticsOnRandomTransducers) {
     for (int I = 0; I < 12; ++I) {
       auto In = Gen.randomInput(8, O.ElemWidth);
       auto D = Or.check(In);
-      EXPECT_FALSE(D.has_value()) << "trial " << T << ": " << D->str();
+      EXPECT_FALSE(D.has_value())
+          << "trial " << T << ": " << D->str() << " " << seedNote(Seed);
     }
   }
 }
@@ -45,7 +48,8 @@ TEST(RbbeDifferential, PreservesSemanticsOnRandomTransducers) {
 TEST(RbbeDifferential, PreservesSemanticsUnderAggressiveOptions) {
   // Tight budgets force the Unknown/give-up paths, which must stay
   // conservative (branches kept, never dropped unsoundly).
-  SplitMix64 Rng(0xBEE5);
+  uint64_t Seed = efc::testing::fuzzSeed(0xBEE5);
+  SplitMix64 Rng(Seed);
   for (int T = 0; T < 8; ++T) {
     TermContext Ctx;
     RandomBstGen Gen(Ctx, Rng);
@@ -60,9 +64,11 @@ TEST(RbbeDifferential, PreservesSemanticsUnderAggressiveOptions) {
       std::vector<Value> In = Gen.randomInput(8);
       auto Before = runBst(A, In);
       auto After = runBst(Clean, In);
-      ASSERT_EQ(Before.has_value(), After.has_value()) << "trial " << T;
+      ASSERT_EQ(Before.has_value(), After.has_value())
+          << "trial " << T << " " << seedNote(Seed);
       if (Before)
-        EXPECT_EQ(*Before, *After) << "trial " << T;
+        EXPECT_EQ(*Before, *After) << "trial " << T << " "
+                                   << seedNote(Seed);
     }
   }
 }

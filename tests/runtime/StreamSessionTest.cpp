@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/common/BenchCommon.h"
+#include "common/FuzzSeed.h"
 #include "data/Datasets.h"
 #include "runtime/StreamSession.h"
 
@@ -119,7 +120,8 @@ TEST_P(StreamChunkInvariance, FixedAndRandomSplitsMatchOneShot) {
   }
 
   // Random partitions, including empty chunks (repeated cut points).
-  std::mt19937_64 Rng(0xefc0 + In.size());
+  uint64_t Seed = efc::testing::fuzzSeed(0xefc0) + In.size();
+  std::mt19937_64 Rng(Seed);
   for (int Round = 0; Round < 8; ++Round) {
     std::vector<size_t> Cuts;
     size_t NumCuts = 1 + Rng() % 40;
@@ -127,17 +129,28 @@ TEST_P(StreamChunkInvariance, FixedAndRandomSplitsMatchOneShot) {
       Cuts.push_back(Rng() % (In.size() + 1));
     std::sort(Cuts.begin(), Cuts.end());
     auto Vm = streamAt(StreamSession::overVm(*P.CompiledFused), In, Cuts);
-    ASSERT_TRUE(Vm.has_value()) << C.Name << " round=" << Round;
-    EXPECT_EQ(*Vm, WantBytes) << C.Name << " vm round=" << Round;
+    ASSERT_TRUE(Vm.has_value())
+        << C.Name << " round=" << Round << " "
+        << efc::testing::seedNote(Seed);
+    EXPECT_EQ(*Vm, WantBytes) << C.Name << " vm round=" << Round << " "
+                              << efc::testing::seedNote(Seed);
     auto Fast = streamAt(
         StreamSession::overFast(*P.FastPlan, *P.CompiledFused), In, Cuts);
-    ASSERT_TRUE(Fast.has_value()) << C.Name << " round=" << Round;
-    EXPECT_EQ(*Fast, WantBytes) << C.Name << " fastpath round=" << Round;
+    ASSERT_TRUE(Fast.has_value())
+        << C.Name << " round=" << Round << " "
+        << efc::testing::seedNote(Seed);
+    EXPECT_EQ(*Fast, WantBytes)
+        << C.Name << " fastpath round=" << Round << " "
+        << efc::testing::seedNote(Seed);
     if (Nat) {
       auto N =
           streamAt(StreamSession::overNative(*P.Native).value(), In, Cuts);
-      ASSERT_TRUE(N.has_value()) << C.Name << " round=" << Round;
-      EXPECT_EQ(*N, WantBytes) << C.Name << " native round=" << Round;
+      ASSERT_TRUE(N.has_value())
+          << C.Name << " round=" << Round << " "
+          << efc::testing::seedNote(Seed);
+      EXPECT_EQ(*N, WantBytes)
+          << C.Name << " native round=" << Round << " "
+          << efc::testing::seedNote(Seed);
     }
   }
 }

@@ -1,0 +1,318 @@
+//===- tests/verify/EquivCheckerTest.cpp - Equivalence certification ------===//
+//
+// Unit tests for verify/EquivChecker.h along both axes the subsystem
+// promises:
+//
+//  * soundness of "certified": intact pipelines certify, and the
+//    classifier hash is stable across contexts/processes;
+//  * power of "refuted": mutation-injection — corrupting a fast-path
+//    table entry, a run-kernel classification, or a bytecode guard
+//    in-memory — must each produce a concrete counterexample, never a
+//    silent pass;
+//  * honesty of "unverified": a zero time budget degrades every state to
+//    unverified (and bumps the timeout counter) rather than claiming
+//    certification.
+//
+// The cache-admission gate (EFC_CERTIFY) is covered at the runtime layer
+// in tests/runtime/PipelineCacheTest.cpp-style fashion here too, since
+// this suite links efc_runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppCodeGen.h"
+#include "codegen/NativeCompile.h"
+#include "runtime/PipelineCache.h"
+#include "verify/EquivChecker.h"
+#include "vm/FastPath.h"
+#include "vm/Vm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace efc;
+using namespace efc::verify;
+
+namespace {
+
+/// 2 states over bv(8): state 0 echoes input; 'a' jumps to state 1, every
+/// other byte self-loops (a Copy run kernel with single escape 'a').
+/// State 1 counts bytes in the register and emits the count at the end.
+Bst makeEchoSwitch(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 2, 0, Value::bv(8, 0));
+  TermRef X = A.inputVar(), R = A.regVar();
+  A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, 'a')),
+                          Rule::base({X}, 1, R), Rule::base({X}, 0, R)));
+  A.setDelta(1, Rule::base({}, 1, Ctx.mkAdd(R, Ctx.bvConst(8, 1))));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  A.setFinalizer(1, Rule::base({R}, 1, R));
+  return A;
+}
+
+class EquivCheckerTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  struct Built {
+    CompiledTransducer T;
+    FastPathPlan Plan;
+  };
+
+  Built buildFor(const Bst &A) {
+    auto T = CompiledTransducer::compile(A);
+    EXPECT_TRUE(T.has_value());
+    FastPathPlan P = FastPathPlan::build(A, *T);
+    return Built{std::move(*T), std::move(P)};
+  }
+};
+
+TEST_F(EquivCheckerTest, CertifiesIntactPipeline) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Certified) << R.summary();
+  EXPECT_EQ(R.StatesCertified, 2u);
+  EXPECT_EQ(R.StatesRefuted, 0u);
+  EXPECT_TRUE(R.Counterexamples.empty());
+  EXPECT_TRUE(R.CodegenChecked);
+  EXPECT_TRUE(R.CodegenOk);
+  EXPECT_GT(R.TrivialMatches, 0u)
+      << "shared encodings should discharge obligations by hash-consing";
+}
+
+// Mutation 1: corrupt one fast-path table entry.  Byte 'a' dispatches to
+// a Const action targeting state 1; redirecting it to state 0 must be
+// refuted with input 'a' as the witness.
+TEST_F(EquivCheckerTest, RefutesCorruptedTableEntry) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  ASSERT_TRUE(B.Plan.stateHasTable(0));
+  FastPathPlan::StateTable &ST = B.Plan.mutableStateTable(0);
+  FastPathPlan::Action &Act = ST.Actions[ST.Dispatch['a']];
+  ASSERT_NE(Act.K, FastPathPlan::Action::Kind::Fallback);
+  ASSERT_EQ(Act.Target, 1u);
+  Act.Target = 0;
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  const Counterexample &CE = R.Counterexamples.front();
+  EXPECT_EQ(CE.Part, "table");
+  EXPECT_EQ(CE.State, 0u);
+  ASSERT_TRUE(CE.HasInput);
+  EXPECT_EQ(CE.Input, uint64_t('a'));
+  EXPECT_EQ(CE.seedInput(), std::vector<uint64_t>{uint64_t('a')});
+}
+
+// Mutation 2: corrupt a run-kernel classification.  State 0's Copy kernel
+// covers every byte but 'a'; claiming 'a' is kernel-driven in the
+// dispatch map (without being in the kernel's byte mask) must be refuted.
+TEST_F(EquivCheckerTest, RefutesCorruptedRunKernel) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  ASSERT_TRUE(B.Plan.stateHasTable(0));
+  FastPathPlan::StateTable &ST = B.Plan.mutableStateTable(0);
+  ASSERT_FALSE(ST.Runs.empty()) << "echo self-loop must yield a Copy kernel";
+  ASSERT_EQ(ST.RunId['a'], FastPathPlan::NoRun);
+  ST.RunId['a'] = 0;
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  const Counterexample &CE = R.Counterexamples.front();
+  EXPECT_EQ(CE.Part, "kernel");
+  ASSERT_TRUE(CE.HasInput);
+  EXPECT_EQ(CE.Input, uint64_t('a'));
+  // Kernel witnesses replay as length-2 runs so the kernel loop engages.
+  EXPECT_EQ(CE.seedInput().size(), 2u);
+}
+
+// Mutation 2b: corrupting the kernel's byte mask itself (claiming a byte
+// whose bytecode action is NOT the kernel's self-loop) is also caught.
+TEST_F(EquivCheckerTest, RefutesCorruptedKernelMask) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  FastPathPlan::StateTable &ST = B.Plan.mutableStateTable(0);
+  ASSERT_FALSE(ST.Runs.empty());
+  // Claim 'a' in both the mask and the dispatch map: membership is now
+  // consistent, but 'a' is not a self-loop in the bytecode.
+  ST.Runs[0].Mask['a' >> 6] |= uint64_t(1) << ('a' & 63);
+  ST.Runs[0].SingleEscape = -1;
+  ST.RunId['a'] = 0;
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  EXPECT_EQ(R.Counterexamples.front().Part, "kernel");
+}
+
+// Mutation 3: corrupt one bytecode guard in-memory.  State 0's program
+// tests X == 'a'; retargeting the comparison to 'b' must be refuted with
+// a concrete disagreeing input (the checker's solver finds 'a': the rule
+// says "switch", the corrupted bytecode says "stay").
+TEST_F(EquivCheckerTest, RefutesCorruptedBytecodeGuard) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  VmProgram &P = B.T.mutableDeltaProgram(0);
+  bool Mutated = false;
+  for (VmInstr &I : P.Code)
+    if (I.Op == VmOp::Const && I.Imm == uint64_t('a')) {
+      I.Imm = 'b';
+      Mutated = true;
+      break;
+    }
+  ASSERT_TRUE(Mutated) << "guard constant not found in:\n" << disassemble(P);
+
+  CertReport R = certifyPipeline(A, B.T, /*Plan=*/nullptr);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  EXPECT_GT(R.SolverQueries, 0u)
+      << "a semantic mutation must reach the solver, not pointer equality";
+  ASSERT_FALSE(R.Counterexamples.empty());
+  const Counterexample &CE = R.Counterexamples.front();
+  EXPECT_EQ(CE.Part, "bytecode");
+  EXPECT_EQ(CE.State, 0u);
+  ASSERT_TRUE(CE.HasInput);
+  // The two guards disagree exactly on {'a', 'b'}.
+  EXPECT_TRUE(CE.Input == uint64_t('a') || CE.Input == uint64_t('b'))
+      << CE.str();
+
+  // The witness is concrete: the mutated VM visibly diverges from the
+  // intact one on it (the regression-seed contract).
+  auto Intact = CompiledTransducer::compile(A);
+  ASSERT_TRUE(Intact.has_value());
+  std::vector<uint64_t> Seed = CE.seedInput();
+  std::vector<uint64_t> GoodOut, BadOut;
+  CompiledTransducer::Cursor Good(*Intact), Bad(B.T);
+  bool GoodAcc = true, BadAcc = true;
+  for (uint64_t E : Seed) {
+    GoodAcc = GoodAcc && Good.feed(E, GoodOut);
+    BadAcc = BadAcc && Bad.feed(E, BadOut);
+  }
+  EXPECT_TRUE(GoodAcc != BadAcc || Good.state() != Bad.state() ||
+              GoodOut != BadOut)
+      << "counterexample must distinguish mutant from intact bytecode";
+}
+
+// Satellite 3: a zero budget means "no time at all" — every state
+// degrades to unverified (and counts as a timeout), never to certified.
+// The pipeline still has no refutation, so callers may still serve it.
+TEST_F(EquivCheckerTest, ZeroBudgetDegradesToUnverified) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  CertOptions Opts;
+  Opts.StateBudgetSeconds = 0;
+  CertReport R = certifyPipeline(A, B.T, &B.Plan, Opts);
+  EXPECT_EQ(R.Status, CertStatus::Unverified) << R.summary();
+  EXPECT_EQ(R.StatesCertified, 0u);
+  EXPECT_EQ(R.StatesUnverified, 2u);
+  EXPECT_EQ(R.TimedOutStates, 2u);
+  EXPECT_EQ(R.StatesRefuted, 0u);
+  EXPECT_TRUE(R.Counterexamples.empty());
+}
+
+TEST_F(EquivCheckerTest, ClassifierHashStableAcrossContexts) {
+  uint64_t H1, H2;
+  {
+    TermContext C1;
+    // Interleave unrelated terms so internal ids differ between contexts.
+    C1.var("noise", C1.bv(32));
+    H1 = classifierHash(makeEchoSwitch(C1));
+  }
+  {
+    TermContext C2;
+    H2 = classifierHash(makeEchoSwitch(C2));
+  }
+  EXPECT_EQ(H1, H2) << "hash must not depend on context-local term ids";
+
+  TermContext C3;
+  Bst Other(C3, C3.bv(8), C3.bv(8), C3.bv(8), 1, 0, Value::bv(8, 0));
+  TermRef X = Other.inputVar();
+  Other.setDelta(0, Rule::base({X}, 0, Other.regVar()));
+  Other.setFinalizer(0, Rule::base({}, 0, Other.regVar()));
+  EXPECT_NE(classifierHash(Other), H1);
+}
+
+TEST_F(EquivCheckerTest, GeneratedSourceEmbedsClassifierHash) {
+  Bst A = makeEchoSwitch(Ctx);
+  CodeGenOptions Opts;
+  Opts.FunctionName = "probe";
+  std::string Src = generateCpp(A, Opts);
+  char Want[64];
+  snprintf(Want, sizeof(Want), "probe_classifier_hash = 0x%llx",
+           (unsigned long long)classifierHash(A));
+  EXPECT_NE(Src.find(Want), std::string::npos)
+      << "generated unit must carry the classifier hash";
+}
+
+TEST_F(EquivCheckerTest, NativeArtifactExportsClassifierHash) {
+  Bst A = makeEchoSwitch(Ctx);
+  std::string Err;
+  auto N = NativeTransducer::compile(A, "equivhash", &Err);
+  if (!N)
+    GTEST_SKIP() << "no host compiler: " << Err;
+  EXPECT_EQ(N->classifierHash(), classifierHash(A))
+      << "dlopen'd .so must re-export the hash it was generated from";
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime integration: the EFC_CERTIFY cache-admission gate.
+//===----------------------------------------------------------------------===//
+
+class CertifyGateTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    unsetenv("EFC_CERTIFY");
+    unsetenv("EFC_CERTIFY_BUDGET_MS");
+  }
+
+  static runtime::PipelineSpec simpleSpec() {
+    runtime::PipelineSpec Spec;
+    Spec.Kind = runtime::PipelineSpec::Frontend::Regex;
+    Spec.Pattern = "(?:(?:[^,\\n]*,){1}(?<v>\\d+),[^\\n]*\\n)*";
+    Spec.Agg = "max";
+    Spec.Format = "decimal";
+    return Spec;
+  }
+};
+
+TEST_F(CertifyGateTest, CertifiedBuildServesAndCounts) {
+  setenv("EFC_CERTIFY", "1", 1);
+  runtime::PipelineCache Cache(4);
+  std::string Err;
+  auto P = Cache.get(simpleSpec(), false, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_EQ(P->Cert, CertStatus::Certified) << P->CertSummary;
+  runtime::PipelineCache::Stats St = Cache.stats();
+  EXPECT_EQ(St.CertCertified, 1u);
+  EXPECT_EQ(St.CertRefuted, 0u);
+  EXPECT_NE(St.str().find("cert_certified=1"), std::string::npos);
+}
+
+// Satellite 3, runtime half: a zero certification budget produces an
+// *unverified* entry that still serves, and the timeout counter reaches
+// the stats line every operator sees.
+TEST_F(CertifyGateTest, ZeroBudgetStillServesAndBumpsTimeouts) {
+  setenv("EFC_CERTIFY", "1", 1);
+  setenv("EFC_CERTIFY_BUDGET_MS", "0", 1);
+  runtime::PipelineCache Cache(4);
+  std::string Err;
+  auto P = Cache.get(simpleSpec(), false, &Err);
+  ASSERT_NE(P, nullptr) << "unverified must serve, only refuted blocks: "
+                        << Err;
+  EXPECT_EQ(P->Cert, CertStatus::Unverified) << P->CertSummary;
+  EXPECT_GT(P->CertTimeouts, 0u);
+  runtime::PipelineCache::Stats St = Cache.stats();
+  EXPECT_EQ(St.CertUnverified, 1u);
+  EXPECT_GT(St.CertTimeouts, 0u);
+  EXPECT_NE(St.str().find("certify_timeouts="), std::string::npos);
+}
+
+TEST_F(CertifyGateTest, OffByDefault) {
+  runtime::PipelineCache Cache(4);
+  std::string Err;
+  auto P = Cache.get(simpleSpec(), false, &Err);
+  ASSERT_NE(P, nullptr) << Err;
+  EXPECT_EQ(P->Cert, CertStatus::Unchecked);
+}
+
+} // namespace

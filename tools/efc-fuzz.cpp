@@ -11,6 +11,7 @@
 //   efc-fuzz --seed 7 --iters 2000
 //   efc-fuzz --replay 0x1234abcd --backends all   # reproduce one failure
 //   efc-fuzz --iters 500 --backends all --native-every 10
+//   EFC_FUZZ_SEED=0xbad efc-fuzz --iters 100      # env seed (no --seed)
 //
 //===----------------------------------------------------------------------===//
 
@@ -69,7 +70,9 @@ int usage(const char *Msg = nullptr) {
           "\n"
           "Checks every backend against the composed reference interpreter\n"
           "on random multi-stage pipelines.  Exit status: 0 = all agree,\n"
-          "1 = disagreement found, 2 = bad usage.\n");
+          "1 = disagreement found, 2 = bad usage.\n"
+          "EFC_FUZZ_SEED sets the master seed when --seed/--replay is "
+          "absent.\n");
   return 2;
 }
 
@@ -184,6 +187,7 @@ bool parseU64(const char *S, uint64_t &Out) {
 
 int main(int argc, char **argv) {
   FuzzConfig C;
+  bool SeedGiven = false;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto Next = [&]() -> const char * {
@@ -193,11 +197,13 @@ int main(int argc, char **argv) {
     if (A == "--seed") {
       if (!parseU64(Next(), C.Seed))
         return usage("--seed needs a number");
+      SeedGiven = true;
     } else if (A == "--replay") {
       if (!parseU64(Next(), C.Seed))
         return usage("--replay needs a number");
       C.Replay = true;
       C.Iters = 1;
+      SeedGiven = true;
     } else if (A == "--iters") {
       if (!parseU64(Next(), C.Iters))
         return usage("--iters needs a number");
@@ -253,6 +259,19 @@ int main(int argc, char **argv) {
       return 0;
     } else {
       return usage(("unknown option '" + A + "'").c_str());
+    }
+  }
+
+  // The master seed obeys the same override as the gtest property suites
+  // (tests/common/FuzzSeed.h): EFC_FUZZ_SEED steers a campaign without
+  // editing scripts, but never overrides an explicit --seed / --replay.
+  if (!SeedGiven) {
+    if (const char *E = std::getenv("EFC_FUZZ_SEED"); E && *E) {
+      if (!parseU64(E, C.Seed))
+        return usage("EFC_FUZZ_SEED is not a number");
+      if (!C.Quiet)
+        fprintf(stderr, "efc-fuzz: seed 0x%" PRIx64 " from EFC_FUZZ_SEED\n",
+                C.Seed);
     }
   }
 

@@ -1,0 +1,213 @@
+//===- tools/efc-verify.cpp - Certify backend equivalence per pipeline ----===//
+//
+// Runs the equivalence checker (verify/EquivChecker.h) over the paper's
+// evaluation pipelines: for each one, proves that the VM bytecode agrees
+// with the fused rule trees, that the byte-class fast-path tables and run
+// kernels agree with the bytecode, and that generated C++ carries the
+// classifier hash of the certified IR.
+//
+//   efc-verify                          # certify every suite
+//   efc-verify --suite fig9            # one figure's pipelines
+//   efc-verify --pipeline base64       # name substring filter
+//   efc-verify --budget-ms 10000       # per-state solver budget
+//   efc-verify --no-codegen            # skip the codegen hash check
+//   efc-verify --native                # also check the dlopen'd .so hash
+//   efc-verify --corpus-out DIR        # write counterexample seeds as
+//                                      # regression-corpus entries
+//   efc-verify --quiet                 # print only refutations + summary
+//
+// Exit status: 0 when nothing was refuted, 1 on any refutation, 2 on
+// usage errors.  "unverified" states (budget exhaustion) are reported but
+// do not fail the run — the differential fuzzer covers them
+// probabilistically; see DESIGN.md "Certification".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "verify/EquivChecker.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace efc;
+using namespace efc::bench;
+
+namespace {
+
+int usage(const char *Msg = nullptr) {
+  if (Msg)
+    fprintf(stderr, "efc-verify: %s\n", Msg);
+  fprintf(stderr,
+          "usage: efc-verify [--suite fig9|fig10|fig11|fig13|all]\n"
+          "                  [--pipeline SUBSTR] [--budget-ms N]\n"
+          "                  [--no-codegen] [--native]\n"
+          "                  [--corpus-out DIR] [--quiet]\n");
+  return 2;
+}
+
+struct Entry {
+  const char *Suite;
+  const char *Name;
+  std::function<BuiltPipeline()> Build;
+};
+
+std::vector<Entry> allEntries() {
+  return {
+      {"fig9", "base64-avg", [] { return makeBase64AvgPipeline(); }},
+      {"fig9", "csv-max", [] { return makeCsvMaxPipeline(); }},
+      {"fig9", "base64-delta", [] { return makeBase64DeltaPipeline(); }},
+      {"fig9", "utf8-lines", [] { return makeUtf8LinesPipeline(); }},
+      {"fig9", "chsi-cancer", [] { return makeChsiPipeline("cancer"); }},
+      {"fig9", "chsi-births", [] { return makeChsiPipeline("births"); }},
+      {"fig9", "chsi-deaths", [] { return makeChsiPipeline("deaths"); }},
+      {"fig9", "sbo-employees", [] { return makeSboPipeline("employees"); }},
+      {"fig9", "sbo-receipts", [] { return makeSboPipeline("receipts"); }},
+      {"fig9", "sbo-payroll", [] { return makeSboPipeline("payroll"); }},
+      {"fig9", "cc-id", [] { return makeCcIdPipeline(); }},
+      {"fig10", "tpcdi-sql", [] { return makeTpcDiSqlPipeline(); }},
+      {"fig10", "pir-proteins", [] { return makePirProteinsPipeline(); }},
+      {"fig10", "dblp-oldest", [] { return makeDblpOldestPipeline(); }},
+      {"fig10", "mondial", [] { return makeMondialPipeline(); }},
+      {"fig11", "utf8-toint", [] { return makeUtf8ToIntPipeline(); }},
+      {"fig13", "html-encode", [] { return makeHtmlEncodePipeline(); }},
+  };
+}
+
+/// Writes one counterexample as a regression-corpus entry the
+/// RegressionCorpusTest suite replays across all backends.
+void writeCorpusEntry(const std::string &Dir, const std::string &Pipeline,
+                      const verify::Counterexample &CE, unsigned Seq) {
+  std::vector<uint64_t> In = CE.seedInput();
+  if (In.empty())
+    return;
+  char Name[128];
+  snprintf(Name, sizeof(Name), "%s/%s-%s-%u.corpus", Dir.c_str(),
+           Pipeline.c_str(), CE.Part.c_str(), Seq);
+  std::ofstream F(Name);
+  if (!F) {
+    fprintf(stderr, "efc-verify: cannot write %s\n", Name);
+    return;
+  }
+  F << "# " << CE.str() << "\n";
+  F << "pipeline=" << Pipeline << "\n";
+  F << "input=";
+  for (size_t I = 0; I < In.size(); ++I) {
+    char Buf[24];
+    snprintf(Buf, sizeof(Buf), "%s0x%llx", I ? "," : "",
+             (unsigned long long)In[I]);
+    F << Buf;
+  }
+  F << "\n";
+  fprintf(stderr, "efc-verify: wrote %s\n", Name);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Suite = "all", Filter, CorpusDir;
+  double BudgetMs = 5000;
+  bool CheckCodegen = true, CheckNative = false, Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (A == "--suite") {
+      if (const char *V = Next())
+        Suite = V;
+      else
+        return usage("--suite needs a name");
+    } else if (A == "--pipeline") {
+      if (const char *V = Next())
+        Filter = V;
+      else
+        return usage("--pipeline needs a substring");
+    } else if (A == "--budget-ms") {
+      if (const char *V = Next())
+        BudgetMs = atof(V);
+      else
+        return usage("--budget-ms needs a number");
+    } else if (A == "--no-codegen") {
+      CheckCodegen = false;
+    } else if (A == "--native") {
+      CheckNative = true;
+    } else if (A == "--corpus-out") {
+      if (const char *V = Next())
+        CorpusDir = V;
+      else
+        return usage("--corpus-out needs a directory");
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else {
+      return usage(("unknown option '" + A + "'").c_str());
+    }
+  }
+  if (Suite != "all" && Suite != "fig9" && Suite != "fig10" &&
+      Suite != "fig11" && Suite != "fig13")
+    return usage(("unknown suite '" + Suite + "'").c_str());
+
+  unsigned Ran = 0, Certified = 0, Unverified = 0, Refuted = 0;
+  for (const Entry &E : allEntries()) {
+    if (Suite != "all" && Suite != E.Suite)
+      continue;
+    if (!Filter.empty() && std::string(E.Name).find(Filter) ==
+                               std::string::npos)
+      continue;
+    BuiltPipeline P = E.Build();
+    verify::CertOptions Opts;
+    Opts.StateBudgetSeconds = BudgetMs / 1000.0;
+    Opts.CheckCodegen = CheckCodegen;
+    verify::CertReport R = verify::certifyPipeline(
+        *P.Fused, *P.CompiledFused, P.FastPlan ? &*P.FastPlan : nullptr,
+        Opts);
+    ++Ran;
+    bool Bad = R.Status == verify::CertStatus::Refuted;
+
+    // Optionally tie in the deployed artifact: the dlopen'd .so must
+    // re-export the classifier hash certification just recomputed.
+    if (CheckNative && P.Native) {
+      uint64_t SoHash = P.Native->classifierHash();
+      if (SoHash && SoHash != R.ClassifierHash) {
+        fprintf(stderr,
+                "efc-verify: %-14s native .so hash 0x%016llx != certified "
+                "0x%016llx\n",
+                E.Name, (unsigned long long)SoHash,
+                (unsigned long long)R.ClassifierHash);
+        Bad = true;
+      }
+    }
+
+    if (Bad)
+      ++Refuted;
+    else if (R.Status == verify::CertStatus::Certified)
+      ++Certified;
+    else
+      ++Unverified;
+
+    if (!Quiet || Bad)
+      fprintf(stderr, "efc-verify: %-14s %s\n", E.Name,
+              R.summary().c_str());
+    unsigned Seq = 0;
+    for (const verify::Counterexample &CE : R.Counterexamples) {
+      fprintf(stderr, "efc-verify: %-14s counterexample: %s\n", E.Name,
+              CE.str().c_str());
+      if (!CorpusDir.empty())
+        writeCorpusEntry(CorpusDir, E.Name, CE, Seq++);
+    }
+  }
+
+  fprintf(stderr,
+          "efc-verify: %u pipelines: %u certified, %u unverified, "
+          "%u refuted\n",
+          Ran, Certified, Unverified, Refuted);
+  if (!Ran) {
+    fprintf(stderr, "efc-verify: no pipeline matched\n");
+    return 2;
+  }
+  return Refuted ? 1 : 0;
+}

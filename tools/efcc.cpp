@@ -36,6 +36,13 @@
 //                    dump per-state byte-class tables to stdout:
 //                    eligible/fallback, class count, self-loop classes
 //                    and the run kernels chosen for them
+//   --certify        prove backend equivalence for this pipeline
+//                    (verify/EquivChecker.h): bytecode vs fused rules,
+//                    fast-path tables vs bytecode, codegen classifier
+//                    hash.  Prints the report to stderr; exits 1 when
+//                    any part is refuted (counterexamples included).
+//   --certify-budget-ms N
+//                    per-state certification time budget (default 5000)
 //
 // Pipeline assembly, fusion and backend selection all route through the
 // runtime layer (runtime/PipelineCache.h), so efcc builds exactly what
@@ -46,6 +53,7 @@
 #include "codegen/CppCodeGen.h"
 #include "runtime/PipelineCache.h"
 #include "support/Metrics.h"
+#include "verify/EquivChecker.h"
 
 #include <cstdio>
 #include <cstring>
@@ -65,6 +73,7 @@ int usage(const char *Msg = nullptr) {
           "            [--format decimal|lines|sql] [--no-rbbe]\n"
           "            [--minimize] [--stats] [--metrics]\n"
           "            [--explain-fastpath]\n"
+          "            [--certify] [--certify-budget-ms N]\n"
           "            [--backend vm|fastpath|native] [--native]\n"
           "            [--run FILE] [--emit-cpp FILE]\n");
   return 2;
@@ -76,7 +85,8 @@ int main(int argc, char **argv) {
   std::string Regex, XPath, Agg = "none", Format = "lines";
   std::string RunFile, EmitFile, Backend = "fastpath";
   bool DoRbbe = true, DoMinimize = false, Stats = false, Metrics = false;
-  bool ExplainFastPath = false;
+  bool ExplainFastPath = false, Certify = false;
+  double CertifyBudgetMs = 5000;
 
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
@@ -130,6 +140,13 @@ int main(int argc, char **argv) {
       Metrics = true;
     } else if (A == "--explain-fastpath") {
       ExplainFastPath = true;
+    } else if (A == "--certify") {
+      Certify = true;
+    } else if (A == "--certify-budget-ms") {
+      if (const char *V = Next())
+        CertifyBudgetMs = atof(V);
+      else
+        return usage("--certify-budget-ms needs a number");
     } else {
       return usage(("unknown option '" + A + "'").c_str());
     }
@@ -137,10 +154,10 @@ int main(int argc, char **argv) {
   if (Regex.empty() == XPath.empty())
     return usage("exactly one of --regex / --xpath is required");
   if (RunFile.empty() && EmitFile.empty() && !Stats && !Metrics &&
-      !ExplainFastPath)
+      !ExplainFastPath && !Certify)
     return usage(
-        "nothing to do: pass --run, --emit-cpp, --stats, --metrics or "
-        "--explain-fastpath");
+        "nothing to do: pass --run, --emit-cpp, --stats, --metrics, "
+        "--certify or --explain-fastpath");
   if (Backend != "vm" && Backend != "fastpath" && Backend != "native")
     return usage(("unknown backend '" + Backend + "'").c_str());
   bool Native = Backend == "native";
@@ -183,6 +200,18 @@ int main(int argc, char **argv) {
   if (ExplainFastPath) {
     std::string Dump = explainFastPath(*P->Fused);
     fwrite(Dump.data(), 1, Dump.size(), stdout);
+  }
+
+  if (Certify) {
+    verify::CertOptions COpts;
+    COpts.StateBudgetSeconds = CertifyBudgetMs / 1000.0;
+    verify::CertReport CR = verify::certifyPipeline(
+        *P->Fused, *P->Vm, P->Fast ? &*P->Fast : nullptr, COpts);
+    fprintf(stderr, "efcc: certify: %s\n", CR.summary().c_str());
+    for (const verify::Counterexample &CE : CR.Counterexamples)
+      fprintf(stderr, "efcc: counterexample: %s\n", CE.str().c_str());
+    if (CR.Status == verify::CertStatus::Refuted)
+      return 1;
   }
 
   if (!EmitFile.empty()) {
