@@ -21,6 +21,8 @@ struct Row {
   double MbPerS = 0;
   uint64_t InputBytes = 0; // per-iteration input size
   uint64_t Iterations = 0;
+  std::string GitRev; // revision that measured THIS row (merged files
+                      // mix rows from different HEADs)
 };
 
 /// Console reporter that additionally captures each run's throughput.
@@ -36,6 +38,9 @@ public:
       if (It == R.counters.end())
         continue;
       std::string Name = R.benchmark_name();
+      // UseRealTime() (the multi-threaded benchmarks) suffixes the name.
+      if (size_t RT = Name.find("/real_time"); RT != std::string::npos)
+        Name.erase(RT);
       size_t Slash = Name.find('/');
       if (Slash == std::string::npos)
         continue;
@@ -94,18 +99,33 @@ double extractNumber(const std::string &Line, const std::string &Key) {
   return atof(Line.c_str() + At + Pat.size());
 }
 
-void mergeAndWrite(const std::string &Path, const std::vector<Row> &Fresh) {
+void mergeAndWrite(const std::string &Path, std::vector<Row> Fresh) {
+  const std::string Rev = gitRev();
+  for (Row &N : Fresh)
+    N.GitRev = Rev;
+
   std::vector<Row> Rows;
   {
     std::ifstream F(Path);
     std::string Line;
+    std::string FileRev = "unknown"; // header rev: fallback for rows
+                                     // written before per-row stamping
     while (std::getline(F, Line)) {
       std::string P = extractString(Line, "pipeline");
       std::string B = extractString(Line, "backend");
-      if (!P.empty() && !B.empty())
+      if (P.empty() && B.empty()) {
+        std::string R = extractString(Line, "git_rev");
+        if (!R.empty())
+          FileRev = R;
+        continue;
+      }
+      if (!P.empty() && !B.empty()) {
+        std::string R = extractString(Line, "git_rev");
         Rows.push_back({P, B, extractNumber(Line, "mb_per_s"),
                         uint64_t(extractNumber(Line, "input_bytes")),
-                        uint64_t(extractNumber(Line, "iterations"))});
+                        uint64_t(extractNumber(Line, "iterations")),
+                        R.empty() ? FileRev : R});
+      }
     }
   }
   for (const Row &N : Fresh) {
@@ -120,19 +140,22 @@ void mergeAndWrite(const std::string &Path, const std::vector<Row> &Fresh) {
       Rows.push_back(N);
   }
 
+  // The header rev is the last writer; each row carries the revision
+  // that actually measured it, so partial refreshes (fig9 today, fig13
+  // last week) stay attributable.
   std::ostringstream S;
-  S << "{\n  \"git_rev\": \"" << gitRev() << "\",\n  \"unit\": \"MB/s\","
+  S << "{\n  \"git_rev\": \"" << Rev << "\",\n  \"unit\": \"MB/s\","
     << "\n  \"results\": [";
   for (size_t I = 0; I < Rows.size(); ++I) {
-    char Buf[320];
+    char Buf[384];
     snprintf(Buf, sizeof(Buf),
              "\n    {\"pipeline\": \"%s\", \"backend\": \"%s\", "
              "\"mb_per_s\": %.2f, \"input_bytes\": %llu, "
-             "\"iterations\": %llu}%s",
+             "\"iterations\": %llu, \"git_rev\": \"%s\"}%s",
              Rows[I].Pipeline.c_str(), Rows[I].Backend.c_str(),
              Rows[I].MbPerS, (unsigned long long)Rows[I].InputBytes,
              (unsigned long long)Rows[I].Iterations,
-             I + 1 < Rows.size() ? "," : "");
+             Rows[I].GitRev.c_str(), I + 1 < Rows.size() ? "," : "");
     S << Buf;
   }
   S << "\n  ]\n}\n";

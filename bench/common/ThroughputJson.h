@@ -14,7 +14,9 @@
 /// be judged (cache-resident 1 MB vs bandwidth-bound 4 MB runs differ by
 /// 2-4x) and reproduced (EFC_BENCH_MB).  The writer merges by (pipeline,
 /// backend) — fig9 and fig13 update their own rows without clobbering
-/// each other — and stamps the current git revision.  MB = 10^6 bytes.
+/// each other — and stamps the measuring git revision on every row (the
+/// header git_rev is just the last writer), so a merged file's numbers
+/// stay attributable after partial refreshes.  MB = 10^6 bytes.
 ///
 //===----------------------------------------------------------------------===//
 

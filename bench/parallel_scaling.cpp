@@ -1,0 +1,103 @@
+//===- bench/parallel_scaling.cpp - Data-parallel thread scaling ----------===//
+//
+// Thread-scaling sweep of the data-parallel executor (src/parallel/):
+// HTML-English (Rep ⊗ HtmlEncode over English prose) and CSV-max at 1, 2,
+// 4 and 8 threads, against the sequential fast path as the 1x baseline.
+// Rows land in BENCH_throughput.json as "<Pipeline>-parN/Parallel", so
+// the scaling trajectory is tracked across PRs like every other number.
+//
+// Input size defaults to EFC_BENCH_MB (2 MB); the acceptance runs of
+// EXPERIMENTS.md use EFC_BENCH_MB=100.  On a single-core container the
+// sweep still runs (the worker pool just time-slices); speedup numbers
+// are only meaningful with >= 4 hardware threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "bench/common/ThroughputJson.h"
+#include "data/Datasets.h"
+#include "parallel/Parallel.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace efc;
+using namespace efc::bench;
+
+namespace {
+
+struct Prepared {
+  std::shared_ptr<BuiltPipeline> P;
+  std::shared_ptr<parallel::ParallelPlan> Plan;
+  std::shared_ptr<std::vector<uint64_t>> In;
+  int64_t Bytes = 0;
+};
+
+void registerScaling(const std::string &Name, Prepared Pr) {
+  // Sequential fast path: the 1x reference every parallel row is judged
+  // against (same machine, same input, same JSON file).  All rows use
+  // wall-clock time — the default CPU-time rate only counts the calling
+  // thread and would overstate multi-threaded throughput wildly.
+  benchmark::RegisterBenchmark(
+      (Name + "/Sequential").c_str(), [Pr](benchmark::State &S) {
+        for (auto _ : S) {
+          auto Out = runFastPath(*Pr.P->FastPlan, *Pr.P->CompiledFused,
+                                 *Pr.In);
+          if (!Out) {
+            S.SkipWithError("rejected");
+            return;
+          }
+          benchmark::DoNotOptimize(Out);
+        }
+        S.SetBytesProcessed(int64_t(S.iterations()) * Pr.Bytes);
+      })->UseRealTime();
+
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    benchmark::RegisterBenchmark(
+        (Name + "-par" + std::to_string(Threads) + "/Parallel").c_str(),
+        [Pr, Threads](benchmark::State &S) {
+          parallel::ParallelOptions PO;
+          PO.Threads = Threads;
+          for (auto _ : S) {
+            auto Out = parallel::runParallel(*Pr.Plan, *Pr.P->FastPlan,
+                                             *Pr.P->CompiledFused, *Pr.In,
+                                             PO);
+            if (!Out) {
+              S.SkipWithError("rejected");
+              return;
+            }
+            benchmark::DoNotOptimize(Out);
+          }
+          S.SetBytesProcessed(int64_t(S.iterations()) * Pr.Bytes);
+        })->UseRealTime();
+  }
+}
+
+Prepared prepare(BuiltPipeline BP, std::vector<uint64_t> In) {
+  Prepared Pr;
+  Pr.P = std::make_shared<BuiltPipeline>(std::move(BP));
+  Pr.Plan = std::make_shared<parallel::ParallelPlan>(
+      parallel::ParallelPlan::build(*Pr.P->CompiledFused, *Pr.P->FastPlan));
+  Pr.Bytes = int64_t(In.size());
+  Pr.In = std::make_shared<std::vector<uint64_t>>(std::move(In));
+  return Pr;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const size_t Bytes = benchBytes();
+  if (pipelineEnabled("HTML-English"))
+    registerScaling("HTML-English",
+                    prepare(makeHtmlEncodePipeline(),
+                            rawOfBytes(data::makeEnglishText(1, Bytes))));
+  if (pipelineEnabled("CSV-max"))
+    registerScaling("CSV-max",
+                    prepare(makeCsvMaxPipeline(),
+                            rawOfBytes(data::makeCsv(2, Bytes, 4, 2,
+                                                     999999))));
+  return benchMainWithThroughputJson(argc, argv);
+}

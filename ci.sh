@@ -7,10 +7,14 @@
 #      runs the tier-1 label — the fast-path boundary tests in particular
 #      are written so any vectorized-scan overread trips ASan.  Skippable
 #      with EFC_SKIP_ASAN=1 (roughly doubles build time).
-#   3. efc-serve smoke test: start a server, stream a CSV pipeline at it in
+#   3. ThreadSanitizer job: a third build with -DEFC_SANITIZE=thread runs
+#      the `parallel` label — the data-parallel executor's speculation
+#      worker pool and ordered stitch under TSan.  Skippable with
+#      EFC_SKIP_TSAN=1.
+#   4. efc-serve smoke test: start a server, stream a CSV pipeline at it in
 #      7-byte chunks, and require byte-identical output to one-shot
 #      `efcc --run` on the same file.
-#   4. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
+#   5. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
 #      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
 #      small fig9 benchmark run refreshes BENCH_throughput.json at the
 #      repo root so the recorded numbers track HEAD.  The fresh numbers
@@ -21,10 +25,13 @@
 #      trace-enabled checks, this gate doubles as the observability
 #      overhead gate: instrumentation that slows a backend past the
 #      threshold fails here.
-#   5. Runtime-cache bench: cache-hit vs cache-miss request latency
+#   6. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
+#      must be byte-identical to the sequential run of the same file —
+#      the chunk/speculate/replay path end to end at a realistic size.
+#   7. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
-#   6. Backend-equivalence certification: `efc-verify` proves VM bytecode,
+#   8. Backend-equivalence certification: `efc-verify` proves VM bytecode,
 #      fast-path tables/kernels and the codegen classifier hash agree for
 #      every fig9/fig10/fig11/fig13 pipeline; any refutation fails the
 #      script (exit 1).  "unverified" states (budget exhaustion) pass —
@@ -38,12 +45,12 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/6] tier-1 verify =="
+echo "== [1/8] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/6] ASan+UBSan tier-1 =="
+echo "== [2/8] ASan+UBSan tier-1 =="
 if [ "${EFC_SKIP_ASAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_ASAN=1)"
 else
@@ -56,7 +63,16 @@ else
      ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [3/6] efc-serve smoke test =="
+echo "== [3/8] TSan parallel suite =="
+if [ "${EFC_SKIP_TSAN:-0}" = "1" ]; then
+  echo "skipped (EFC_SKIP_TSAN=1)"
+else
+  cmake -B "$BUILD-tsan" -S . -DEFC_SANITIZE=thread
+  cmake --build "$BUILD-tsan" -j --target parallel_test
+  (cd "$BUILD-tsan" && ctest --output-on-failure -j -L parallel)
+fi
+
+echo "== [4/8] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
@@ -82,7 +98,7 @@ if [ "$STREAMED" != "$ONESHOT" ]; then
 fi
 echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
 
-echo "== [4/6] fast-path divergence gate + throughput smoke =="
+echo "== [5/8] fast-path divergence gate + throughput smoke =="
 # Deterministic fig9-style CSV corpus, big enough to cross chunk and
 # buffer-growth boundaries.
 for i in $(seq 0 4999); do
@@ -145,10 +161,26 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
 fi
 mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
-echo "== [5/6] cache-hit vs cache-miss latency =="
+echo "== [6/8] parallel executor smoke (8 MB, 4 threads) =="
+awk 'BEGIN { for (i = 0; i < 400000; i++)
+  printf "row%d,%d,pad%d\n", i, (i * 37 + 11) % 1000000, i }' \
+  > "$SCRATCH/par.csv"
+SEQ_OUT=$("$BUILD/tools/efcc" --regex "$PATTERN" --agg max \
+  --format decimal --run "$SCRATCH/par.csv")
+PAR_OUT=$(EFC_PARALLEL_MIN_BYTES=1048576 "$BUILD/tools/efcc" \
+  --regex "$PATTERN" --agg max --format decimal \
+  --run "$SCRATCH/par.csv" --parallel 4)
+if [ "$SEQ_OUT" != "$PAR_OUT" ]; then
+  echo "parallel diverges from sequential: seq='$SEQ_OUT'" \
+       "par='$PAR_OUT'" >&2
+  exit 1
+fi
+echo "efcc --parallel 4 == sequential on 8 MB CSV: '$PAR_OUT'"
+
+echo "== [7/8] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
 
-echo "== [6/6] backend-equivalence certification =="
+echo "== [8/8] backend-equivalence certification =="
 "$BUILD/tools/efc-verify" --quiet
 
 echo "== ci.sh: all green =="

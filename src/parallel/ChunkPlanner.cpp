@@ -1,0 +1,349 @@
+//===- parallel/ChunkPlanner.cpp - Split-point planning ----------------===//
+
+#include "parallel/ChunkPlanner.h"
+
+#include <algorithm>
+
+namespace efc::parallel {
+
+namespace {
+
+/// Linear read-before-write scan over one leaf program.  Leaf programs
+/// compiled by compileRuleProgram are straight-line (one Next, no
+/// branches), which makes the masks exact; if a program does carry
+/// Jz/Jmp, read subtraction is disabled so both masks stay sound
+/// over-approximations and HasJumps routes the action to the deferred
+/// replay log.
+void analyzeProgram(const VmProgram &P, unsigned NR,
+                    ParallelPlan::ActionInfo &AI) {
+  for (const VmInstr &I : P.Code)
+    if (I.Op == VmOp::Jz || I.Op == VmOp::Jmp) {
+      AI.HasJumps = true;
+      break;
+    }
+  uint64_t Written = 0;
+  auto Read = [&](uint16_t S) {
+    if (S < NR && !((Written >> S) & 1))
+      AI.ReadMask |= uint64_t(1) << S;
+  };
+  for (const VmInstr &I : P.Code) {
+    switch (I.Op) {
+    case VmOp::Const:
+    case VmOp::Jmp:
+    case VmOp::Next:
+    case VmOp::Accept:
+    case VmOp::Reject:
+      break;
+    case VmOp::Mov:
+    case VmOp::Neg:
+    case VmOp::NotBits:
+    case VmOp::NotBool:
+    case VmOp::SExt:
+    case VmOp::Extract:
+    case VmOp::Jz:
+    case VmOp::Emit:
+      Read(I.A);
+      break;
+    case VmOp::Select:
+      Read(I.A);
+      Read(I.B);
+      Read(I.C);
+      break;
+    default: // all two-operand ALU ops
+      Read(I.A);
+      Read(I.B);
+      break;
+    }
+    switch (I.Op) {
+    case VmOp::Jz:
+    case VmOp::Jmp:
+    case VmOp::Emit:
+    case VmOp::Next:
+    case VmOp::Accept:
+    case VmOp::Reject:
+      break;
+    default:
+      if (I.Dst < NR) {
+        AI.WriteMask |= uint64_t(1) << I.Dst;
+        if (!AI.HasJumps)
+          Written |= uint64_t(1) << I.Dst;
+      }
+    }
+  }
+  // Straight-line code executes top to bottom, so the first terminator
+  // is the one that runs; when it is Next the successor is static.
+  if (!AI.HasJumps)
+    for (const VmInstr &I : P.Code) {
+      if (I.Op == VmOp::Next) {
+        AI.StaticTarget = int(I.Imm);
+        break;
+      }
+      if (I.Op == VmOp::Accept || I.Op == VmOp::Reject)
+        break;
+    }
+}
+
+/// Abstractly evaluates \p P with the input slot pinned to \p X and every
+/// register slot unknown, forking at branches whose condition depends on
+/// a register.  Input-only guards fold with the interpreter's own
+/// arithmetic (evalVmPureOp), so the enumerated paths are exactly the
+/// executions possible at runtime for this byte over all register
+/// valuations — a superset of the single real path, never a guess.
+/// Returns false (caller degrades to the whole-program footprint) when
+/// the path count or step budget overflows.
+bool analyzeByte(const VmProgram &P, unsigned NR, unsigned NumSlots,
+                 unsigned InSlot, uint64_t X, ParallelPlan::ByteInfo &BI) {
+  struct Path {
+    size_t Pc = 0;
+    std::vector<uint64_t> V;
+    std::vector<uint8_t> K;
+    uint64_t Written = 0;
+    uint64_t Reads = 0;
+  };
+  constexpr size_t MaxPaths = 64;
+  const size_t MaxSteps = 64 * std::max<size_t>(P.Code.size(), 1);
+
+  Path Init;
+  Init.V.assign(NumSlots, 0);
+  Init.K.assign(NumSlots, 0);
+  Init.V[InSlot] = X;
+  Init.K[InSlot] = 1;
+
+  std::vector<Path> Work;
+  Work.push_back(std::move(Init));
+  size_t Steps = 0, Done = 0;
+  bool AnyAccept = false, AnyReject = false;
+  int Target = -2; // -2: none seen yet; -1: conflicting; >= 0: unique
+  auto Finish = [&](Path &Pt, bool IsNext, bool IsReject, uint64_t Tgt) {
+    BI.ReadMask |= Pt.Reads;
+    BI.WriteMay |= Pt.Written;
+    AnyReject |= IsReject;
+    AnyAccept |= !IsNext && !IsReject;
+    if (IsNext)
+      Target = Target == -2 || Target == int(Tgt) ? int(Tgt) : -1;
+    ++Done;
+  };
+
+  while (!Work.empty()) {
+    Path Pt = std::move(Work.back());
+    Work.pop_back();
+    for (;;) {
+      if (++Steps > MaxSteps || Pt.Pc >= P.Code.size())
+        return false;
+      const VmInstr &I = P.Code[Pt.Pc++];
+      switch (I.Op) {
+      case VmOp::Jz:
+        if (I.A < NR && !((Pt.Written >> I.A) & 1))
+          Pt.Reads |= uint64_t(1) << I.A;
+        if (Pt.K[I.A]) {
+          if (Pt.V[I.A] == 0)
+            Pt.Pc = size_t(I.Imm);
+          continue;
+        }
+        // Register-dependent guard: follow both outcomes.
+        if (Work.size() + Done + 2 > MaxPaths)
+          return false;
+        {
+          Path Fork = Pt;
+          Fork.Pc = size_t(I.Imm);
+          Work.push_back(std::move(Fork));
+        }
+        continue;
+      case VmOp::Jmp:
+        Pt.Pc = size_t(I.Imm);
+        continue;
+      case VmOp::Emit:
+        if (I.A < NR && !((Pt.Written >> I.A) & 1))
+          Pt.Reads |= uint64_t(1) << I.A;
+        continue;
+      case VmOp::Next:
+        Finish(Pt, true, false, I.Imm);
+        break;
+      case VmOp::Accept:
+        Finish(Pt, false, false, 0);
+        break;
+      case VmOp::Reject:
+        Finish(Pt, false, true, 0);
+        break;
+      default: {
+        auto ReadOp = [&](uint16_t S) {
+          if (S < NR && !((Pt.Written >> S) & 1))
+            Pt.Reads |= uint64_t(1) << S;
+          return Pt.K[S] != 0;
+        };
+        bool Kn = true;
+        switch (I.Op) {
+        case VmOp::Const:
+          break;
+        case VmOp::Mov:
+        case VmOp::Neg:
+        case VmOp::NotBits:
+        case VmOp::NotBool:
+        case VmOp::SExt:
+        case VmOp::Extract:
+          Kn = ReadOp(I.A);
+          break;
+        case VmOp::Select: {
+          bool Ka = ReadOp(I.A), Kb = ReadOp(I.B), Kc = ReadOp(I.C);
+          Kn = Ka && Kb && Kc;
+          break;
+        }
+        default:
+          Kn = ReadOp(I.A) & ReadOp(I.B);
+          break;
+        }
+        Pt.V[I.Dst] = Kn ? evalVmPureOp(I, Pt.V.data()) : 0;
+        Pt.K[I.Dst] = Kn;
+        if (I.Dst < NR)
+          Pt.Written |= uint64_t(1) << I.Dst;
+        continue;
+      }
+      }
+      break; // path finished
+    }
+  }
+
+  BI.Target = Target >= 0 && !AnyAccept ? Target : -1;
+  BI.AlwaysRejects = Target == -2 && !AnyAccept && AnyReject;
+  return true;
+}
+
+} // namespace
+
+ParallelPlan ParallelPlan::build(const CompiledTransducer &T,
+                                 const FastPathPlan &FP) {
+  ParallelPlan P;
+  P.NR = T.numRegSlots();
+  P.Info.resize(FP.numStates());
+  P.DInfo.resize(FP.numStates());
+  P.BInfo.resize(FP.numStates());
+  for (unsigned Q = 0; Q < FP.numStates() && Q < T.numStates(); ++Q) {
+    const VmProgram &DP = T.deltaProgram(Q);
+    analyzeProgram(DP, P.NR, P.DInfo[Q]);
+    for (unsigned B = 0; B < 256; ++B) {
+      ByteInfo &BI = P.BInfo[Q][B];
+      if (!analyzeByte(DP, P.NR, T.numSlots(), P.NR, B, BI)) {
+        // Analysis overflowed: degrade to the whole-program footprint.
+        BI = ByteInfo();
+        BI.ReadMask = P.DInfo[Q].ReadMask;
+        BI.WriteMay = P.DInfo[Q].WriteMask;
+        BI.Target = P.DInfo[Q].StaticTarget;
+      }
+    }
+  }
+  for (unsigned Q = 0; Q < FP.numStates(); ++Q) {
+    const FastPathPlan::StateTable &ST = FP.stateTable(Q);
+    if (!ST.HasTable)
+      continue;
+    ++P.NumTableStates;
+    auto &AIs = P.Info[Q];
+    AIs.resize(ST.Actions.size());
+    for (size_t K = 0; K < ST.Actions.size(); ++K)
+      if (ST.Actions[K].K == FastPathPlan::Action::Kind::Program)
+        analyzeProgram(ST.Actions[K].Code, P.NR, AIs[K]);
+    for (unsigned B = 0; B < 256; ++B) {
+      const FastPathPlan::Action &A = ST.Actions[ST.Dispatch[B]];
+      switch (A.K) {
+      case FastPathPlan::Action::Kind::Jump:
+      case FastPathPlan::Action::Kind::Const:
+      case FastPathPlan::Action::Kind::Program:
+        P.Sync[B].push_back(A.Target);
+        break;
+      case FastPathPlan::Action::Kind::Reject:
+        // A rejecting byte ends the stream; it contributes no successor.
+        break;
+      case FastPathPlan::Action::Kind::Fallback:
+        // Bytecode decides; the per-byte abstract evaluation below
+        // enumerates its successor when it is register-independent.
+        break;
+      }
+    }
+  }
+  // Fallback states (and Fallback dispatch entries of table states)
+  // contribute the successors the per-byte analysis proved unique.
+  // Bytes whose successor is register-dependent leave their set
+  // incomplete: an entry miss at stitch time re-runs the chunk
+  // sequentially, so incompleteness costs speed, not correctness.
+  for (unsigned Q = 0; Q < FP.numStates() && Q < T.numStates(); ++Q) {
+    const FastPathPlan::StateTable &ST = FP.stateTable(Q);
+    for (unsigned B = 0; B < 256; ++B) {
+      if (ST.HasTable &&
+          ST.Actions[ST.Dispatch[B]].K != FastPathPlan::Action::Kind::Fallback)
+        continue;
+      if (int Tg = P.BInfo[Q][B].Target; Tg >= 0)
+        P.Sync[B].push_back(uint32_t(Tg));
+    }
+  }
+  for (auto &S : P.Sync) {
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+  }
+  P.Eligible = P.NumTableStates > 0 && P.NR <= 64;
+  return P;
+}
+
+std::vector<PlannedChunk> planChunks(const ParallelPlan &PP,
+                                     std::span<const uint64_t> In,
+                                     const ParallelOptions &Opts) {
+  const size_t N = In.size();
+  std::vector<size_t> Bounds;
+  if (!Opts.ForcedBoundaries.empty()) {
+    Bounds = Opts.ForcedBoundaries;
+    std::sort(Bounds.begin(), Bounds.end());
+    Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+  } else {
+    size_t K = Opts.Threads;
+    if (Opts.MinChunkBytes)
+      K = std::min<size_t>(K, std::max<size_t>(1, N / Opts.MinChunkBytes));
+    for (size_t Kk = 1; Kk < K; ++Kk) {
+      size_t Ideal = N / K * Kk;
+      if (!Bounds.empty() && Ideal <= Bounds.back())
+        continue;
+      size_t Limit = std::min(N - 1, Ideal + Opts.SyncWindow);
+      size_t Best = SIZE_MAX;
+      // First byte in the window whose plausible-successor set fits in
+      // MaxLanes; a singleton (perfectly synchronizing) byte wins
+      // immediately.
+      for (size_t Pz = Ideal; Pz < Limit; ++Pz) {
+        uint64_t X = In[Pz];
+        if (X >= 256)
+          continue;
+        size_t Sz = PP.targetsAfter(unsigned(X)).size();
+        if (Sz == 0 || Sz > Opts.MaxLanes)
+          continue;
+        if (Sz == 1) {
+          Best = Pz;
+          break;
+        }
+        if (Best == SIZE_MAX)
+          Best = Pz;
+      }
+      if (Best != SIZE_MAX)
+        Bounds.push_back(Best + 1);
+    }
+  }
+
+  std::vector<PlannedChunk> Cs;
+  size_t Prev = 0;
+  for (size_t B : Bounds) {
+    if (B <= Prev || B >= N)
+      continue;
+    Cs.push_back({Prev, B, false, {}});
+    Prev = B;
+  }
+  Cs.push_back({Prev, N, false, {}});
+
+  for (size_t I = 1; I < Cs.size(); ++I) {
+    uint64_t X = In[Cs[I].Begin - 1];
+    if (X >= 256)
+      continue;
+    std::span<const uint32_t> Tg = PP.targetsAfter(unsigned(X));
+    if (!Tg.empty() && Tg.size() <= Opts.MaxLanes) {
+      Cs[I].EntryStates.assign(Tg.begin(), Tg.end());
+      Cs[I].Speculate = true;
+    }
+  }
+  return Cs;
+}
+
+} // namespace efc::parallel

@@ -1,0 +1,165 @@
+//===- parallel/ChunkPlanner.h - Split-point planning for parallelism -===//
+///
+/// \file
+/// Planning side of the data-parallel executor (DESIGN.md "Data-parallel
+/// execution").  A ParallelPlan is derived once per pipeline from the
+/// byte-class fast-path plan: for every byte value it enumerates the set
+/// of control states the machine can be in *after* consuming that byte
+/// from any table state (the enumerative trick of Mytkowicz et al. —
+/// bytes whose set is small are state-synchronizing and make good chunk
+/// boundaries), and for every Program action it records which register
+/// slots the leaf program reads and writes, so the speculative executor
+/// knows when an effect can run concretely and when it must be deferred.
+///
+/// planChunks() then splits one input span near the ideal per-thread
+/// boundaries, sliding each split forward (bounded by SyncWindow) to the
+/// byte with the smallest plausible-successor set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_PARALLEL_CHUNKPLANNER_H
+#define EFC_PARALLEL_CHUNKPLANNER_H
+
+#include "vm/FastPath.h"
+#include "vm/Vm.h"
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace efc::parallel {
+
+/// Knobs for one parallel run.  The defaults suit large batch inputs;
+/// tests shrink them to exercise chunking on small inputs.
+struct ParallelOptions {
+  /// Worker count (including the calling thread).  <= 1 disables
+  /// chunking entirely.
+  unsigned Threads = 1;
+  /// Never split below this many input elements per chunk.
+  size_t MinChunkBytes = 64 << 10;
+  /// How far past the ideal boundary the planner may slide looking for a
+  /// better-synchronizing byte.
+  size_t SyncWindow = 4096;
+  /// Upper bound on speculative lanes per chunk; boundaries whose
+  /// plausible-successor set is larger leave the chunk unspeculated
+  /// (sequential stitching).  0 forces sequential stitching everywhere.
+  unsigned MaxLanes = 8;
+  /// Lockstep budget: if the lanes of a chunk have not converged to one
+  /// within this many elements, the chunk's speculation is abandoned.
+  size_t ConvergeBudget = 64 << 10;
+  /// Testing hook: exact split positions (element indices, exclusive end
+  /// of each non-last chunk).  Overrides the boundary search so
+  /// adversarial tests can cut mid-run, mid-UTF-8 or at
+  /// never-synchronizing positions.
+  std::vector<size_t> ForcedBoundaries;
+};
+
+/// Per-pipeline planning tables, built once (PipelineCache owns one per
+/// compiled pipeline) and shared read-only by all parallel runs.
+class ParallelPlan {
+public:
+  /// Read/write footprint of one Program action's leaf program over the
+  /// register slots (bits 0..numRegSlots-1).  ReadMask is exact for
+  /// straight-line programs (read-before-write analysis); when the
+  /// program contains jumps both masks degrade to sound
+  /// over-approximations and HasJumps forces the deferred-replay path.
+  struct ActionInfo {
+    uint64_t ReadMask = 0;
+    uint64_t WriteMask = 0;
+    bool HasJumps = false;
+    /// Control state after the program runs, when it is statically known
+    /// (straight-line code whose first terminator is Next); -1 when the
+    /// successor depends on execution (jumps, or Accept/Reject first).
+    /// Needed to log an effect whose operands are still unknown: the
+    /// deferred-replay path must keep tracking the lane's control state
+    /// without running the program.
+    int StaticTarget = -1;
+  };
+
+  static ParallelPlan build(const CompiledTransducer &T,
+                            const FastPathPlan &FP);
+
+  /// False when the pipeline cannot be chunked at all (no table states,
+  /// or more register slots than the 64-bit known-masks track); callers
+  /// fall back to the sequential fast path.
+  bool eligible() const { return Eligible; }
+
+  /// Sorted unique set of control states the machine can occupy after
+  /// consuming byte \p B from any table state.  Empty means B never
+  /// synchronizes (or is out of the input width); states reachable only
+  /// through fallback states are not enumerated — a miss at stitch time
+  /// re-runs the chunk sequentially, so incompleteness costs speed, not
+  /// correctness.
+  std::span<const uint32_t> targetsAfter(unsigned B) const {
+    return Sync[B];
+  }
+
+  const ActionInfo &actionInfo(unsigned State, unsigned ActionIdx) const {
+    return Info[State][ActionIdx];
+  }
+
+  /// Footprint of the full delta program of \p State — what the mixed-mode
+  /// driver runs for fallback states, Fallback dispatch entries, and
+  /// out-of-range elements.  Lets the speculative executor run
+  /// register-guarded bytecode concretely once the guarded slots are
+  /// known, instead of abandoning the lane.
+  const ActionInfo &deltaInfo(unsigned State) const { return DInfo[State]; }
+
+  /// Per-(state, byte) refinement of deltaInfo: the delta program
+  /// abstractly evaluated with the input byte concrete and every register
+  /// unknown, forking at register-dependent branches.  Register-guarded
+  /// states are usually input-routed — the guards select effects, not
+  /// successors — so per-byte masks are far tighter than the whole-
+  /// program union and the successor is often unique even though the
+  /// code branches on registers.  Arithmetic is folded with the same
+  /// evalVmPureOp the interpreter executes, so a non-dynamic entry's
+  /// Target is exact, never a prediction.
+  struct ByteInfo {
+    /// Unique Next successor over every feasible path, or -1 when the
+    /// successor genuinely depends on register values (or analysis
+    /// overflowed and fell back to the whole-program footprint).
+    int Target = -1;
+    /// Every feasible path ends in Reject: the element kills the stream
+    /// no matter what the registers hold.
+    bool AlwaysRejects = false;
+    uint64_t ReadMask = 0; ///< union over paths, read-before-write
+    uint64_t WriteMay = 0; ///< union of register writes over paths
+  };
+
+  const ByteInfo &byteInfo(unsigned State, unsigned B) const {
+    return BInfo[State][B];
+  }
+
+  unsigned numRegSlots() const { return NR; }
+  unsigned numTableStates() const { return NumTableStates; }
+
+private:
+  bool Eligible = false;
+  unsigned NR = 0;
+  unsigned NumTableStates = 0;
+  std::array<std::vector<uint32_t>, 256> Sync;
+  std::vector<std::vector<ActionInfo>> Info;
+  std::vector<ActionInfo> DInfo;
+  std::vector<std::array<ByteInfo, 256>> BInfo;
+};
+
+/// One planned chunk of the input.  Chunk 0 always runs concretely from
+/// the caller's current state; later chunks speculate from EntryStates
+/// when Speculate is set, else they are stitched sequentially.
+struct PlannedChunk {
+  size_t Begin = 0;
+  size_t End = 0;
+  bool Speculate = false;
+  std::vector<uint32_t> EntryStates;
+};
+
+/// Splits \p In into up to Opts.Threads chunks at state-synchronizing
+/// bytes.  Always returns at least one chunk covering the whole input.
+std::vector<PlannedChunk> planChunks(const ParallelPlan &PP,
+                                     std::span<const uint64_t> In,
+                                     const ParallelOptions &Opts);
+
+} // namespace efc::parallel
+
+#endif // EFC_PARALLEL_CHUNKPLANNER_H

@@ -1,0 +1,82 @@
+//===- parallel/EffectReplayer.cpp - Ordered effect materialization -===//
+
+#include "parallel/EffectReplayer.h"
+
+#include <utility>
+
+namespace efc::parallel {
+
+ReplayOutcome replayLane(const ChunkSpecResult &CR,
+                         const CompiledTransducer &T, unsigned &State,
+                         std::vector<uint64_t> &Regs,
+                         std::vector<uint64_t> &Out) {
+  ReplayOutcome RO;
+  if (!CR.Speculated)
+    return RO;
+  size_t Idx = SIZE_MAX;
+  for (size_t I = 0; I < CR.Lanes.size(); ++I)
+    if (CR.Lanes[I].EntryState == State) {
+      Idx = I;
+      break;
+    }
+  if (Idx == SIZE_MAX)
+    return RO; // entry state reached only via fallback: planner miss
+  // The merge chain must be clean end to end before anything is emitted.
+  for (int I = int(Idx); I >= 0; I = CR.Lanes[I].MergedInto)
+    if (CR.Lanes[I].Poisoned)
+      return RO;
+
+  const unsigned NR = T.numRegSlots();
+  const size_t OutStart = Out.size();
+  CompiledTransducer::Cursor Scratch(T);
+  std::vector<uint64_t> Seed(NR);
+
+  // Walk the merge chain: each link contributes the slice of its leader
+  // recorded after the merge point, interleaving deferred log entries at
+  // their recorded output positions.
+  size_t OB = 0, LB = 0;
+  for (int I = int(Idx);;) {
+    const Lane &L = CR.Lanes[I];
+    for (size_t E = LB; E < L.Log.size(); ++E) {
+      const LogEntry &LE = L.Log[E];
+      Out.insert(Out.end(), L.Out.begin() + OB, L.Out.begin() + LE.OutPos);
+      OB = LE.OutPos;
+      for (unsigned Rg = 0; Rg < NR; ++Rg)
+        Seed[Rg] = ((LE.Known >> Rg) & 1) ? L.LogRegs[LE.RegsOff + Rg]
+                                          : Regs[Rg];
+      Scratch.restore(0, Seed);
+      Scratch.setInput(LE.X);
+      bool Ok = Scratch.execProgram(*LE.Prog, Out);
+      std::span<const uint64_t> RS = std::as_const(Scratch).regSlots();
+      Regs.assign(RS.begin(), RS.end());
+      if (!Ok) {
+        RO.Hit = RO.Rejected = true;
+        RO.ElementsReplayed = Out.size() - OutStart;
+        return RO;
+      }
+    }
+    Out.insert(Out.end(), L.Out.begin() + OB, L.Out.end());
+    if (L.MergedInto < 0) {
+      RO.Hit = true;
+      RO.ElementsReplayed = Out.size() - OutStart;
+      if (L.Rejected) {
+        RO.Rejected = true;
+        State = L.ExitState;
+        return RO;
+      }
+      // Exit registers: slots known at chunk end are exact from the
+      // lane; the rest were only ever advanced by logged programs, whose
+      // replay above kept Regs exact.
+      for (unsigned Rg = 0; Rg < NR; ++Rg)
+        if ((L.KnownAtExit >> Rg) & 1)
+          Regs[Rg] = L.RegsAtExit[Rg];
+      State = L.ExitState;
+      return RO;
+    }
+    OB = L.MergeOutPos;
+    LB = L.MergeLogPos;
+    I = L.MergedInto;
+  }
+}
+
+} // namespace efc::parallel

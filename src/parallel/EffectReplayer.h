@@ -1,0 +1,42 @@
+//===- parallel/EffectReplayer.h - Ordered effect materialization -===//
+///
+/// \file
+/// Stitch-time half of the data-parallel executor: once the previous
+/// chunk has established the true entry state and registers, the
+/// replayer materializes the matching speculative lane — recorded output
+/// is appended verbatim, and each deferred log entry re-executes its
+/// leaf program on a scratch cursor seeded with the recorded snapshot
+/// for slots that were known during speculation and the true running
+/// registers for those that were not.  Output and register deltas are
+/// therefore byte-identical to the sequential backends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_PARALLEL_EFFECTREPLAYER_H
+#define EFC_PARALLEL_EFFECTREPLAYER_H
+
+#include "parallel/SpeculativeExecutor.h"
+
+namespace efc::parallel {
+
+struct ReplayOutcome {
+  /// False: no usable lane for the true entry state — the caller re-runs
+  /// the chunk sequentially.
+  bool Hit = false;
+  /// The stream rejected inside the chunk; the partial output up to the
+  /// rejection point has been appended (matching sequential feed()).
+  bool Rejected = false;
+  uint64_t ElementsReplayed = 0;
+};
+
+/// Materializes the lane of \p CR whose entry state is the caller's
+/// current \p State.  On a hit, appends the chunk's output to \p Out and
+/// advances \p State / \p Regs past the chunk.
+ReplayOutcome replayLane(const ChunkSpecResult &CR,
+                         const CompiledTransducer &T, unsigned &State,
+                         std::vector<uint64_t> &Regs,
+                         std::vector<uint64_t> &Out);
+
+} // namespace efc::parallel
+
+#endif // EFC_PARALLEL_EFFECTREPLAYER_H

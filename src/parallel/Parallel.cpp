@@ -1,0 +1,228 @@
+//===- parallel/Parallel.cpp - Data-parallel stream execution ----------===//
+
+#include "parallel/Parallel.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace efc::parallel {
+
+namespace {
+
+struct ParallelMetrics {
+  metrics::Counter &Feeds;
+  metrics::Counter &ChunksPlanned;
+  metrics::Counter &ChunksSpeculated;
+  metrics::Counter &ChunksSequential;
+  metrics::Counter &LanesStarted;
+  metrics::Counter &LanesAbandoned;
+  metrics::Counter &LanesMerged;
+  metrics::Counter &ReplayElements;
+  metrics::Histogram &Convergence;
+
+  static ParallelMetrics &instance() {
+    auto &R = metrics::Registry::instance();
+    static ParallelMetrics M{
+        R.counter("efc_parallel_feeds_total",
+                  "parallel feed() calls (including sequential fallbacks)"),
+        R.counter("efc_parallel_chunks_planned_total",
+                  "chunks produced by the chunk planner"),
+        R.counter("efc_parallel_chunks_speculated_total",
+                  "chunks stitched from a speculative lane replay"),
+        R.counter("efc_parallel_chunks_sequential_total",
+                  "chunks re-run sequentially at stitch time (planner "
+                  "miss, abandoned speculation, or unsyncable boundary)"),
+        R.counter("efc_parallel_lanes_started_total",
+                  "speculative lanes started across all chunks"),
+        R.counter("efc_parallel_lanes_abandoned_total",
+                  "lanes poisoned by fallback states or wide elements"),
+        R.counter("efc_parallel_lanes_merged_total",
+                  "lanes merged into a converged leader"),
+        R.counter("efc_parallel_replay_elements_total",
+                  "output elements materialized from recorded effects"),
+        R.histogram("efc_parallel_convergence_bytes",
+                    "elements consumed per chunk before lanes converged "
+                    "to one",
+                    {16, 64, 256, 1024, 4096, 16384, 65536}),
+    };
+    return M;
+  }
+};
+
+void fold(const ParallelStats &LS, ParallelStats *PS) {
+  ParallelMetrics &M = ParallelMetrics::instance();
+  M.Feeds.inc();
+  M.ChunksPlanned.inc(LS.ChunksPlanned);
+  M.ChunksSpeculated.inc(LS.ChunksSpeculated);
+  M.ChunksSequential.inc(LS.ChunksSequential);
+  M.LanesStarted.inc(LS.LanesStarted);
+  M.LanesAbandoned.inc(LS.LanesAbandoned);
+  M.LanesMerged.inc(LS.LanesMerged);
+  M.ReplayElements.inc(LS.ReplayElements);
+  for (uint64_t C : LS.ConvergeBytes)
+    M.Convergence.observe(double(C));
+  if (!PS)
+    return;
+  PS->ChunksPlanned += LS.ChunksPlanned;
+  PS->ChunksSpeculated += LS.ChunksSpeculated;
+  PS->ChunksSequential += LS.ChunksSequential;
+  PS->LanesStarted += LS.LanesStarted;
+  PS->LanesAbandoned += LS.LanesAbandoned;
+  PS->LanesMerged += LS.LanesMerged;
+  PS->ReplayElements += LS.ReplayElements;
+  PS->ConvergeBytes.insert(PS->ConvergeBytes.end(), LS.ConvergeBytes.begin(),
+                           LS.ConvergeBytes.end());
+}
+
+} // namespace
+
+bool parallelFeed(const ParallelPlan &PP, const FastPathPlan &FP,
+                  const CompiledTransducer &T, unsigned &State,
+                  std::vector<uint64_t> &Regs, std::span<const uint64_t> In,
+                  std::vector<uint64_t> &Out, const ParallelOptions &Opts,
+                  ParallelStats *PS) {
+  trace::Span Sp("parallel");
+  Sp.note("bytes", uint64_t(In.size()));
+  ParallelStats LS;
+  // Sequential stitch for chunk 0, planner misses and abandoned chunks:
+  // a real fast-path cursor restored to the running (state, registers).
+  auto Sequential = [&](std::span<const uint64_t> Part) {
+    FastPathCursor C(FP, T);
+    C.restore(State, Regs);
+    bool Ok = C.feed(Part, Out);
+    State = C.state();
+    std::span<const uint64_t> RS = C.regSlots();
+    Regs.assign(RS.begin(), RS.end());
+    return Ok;
+  };
+
+  const unsigned Threads = std::max(1u, Opts.Threads);
+  std::vector<PlannedChunk> Chunks;
+  {
+    trace::Span PSp("parallel_plan");
+    if (PP.eligible() && Threads > 1 && !In.empty())
+      Chunks = planChunks(PP, In, Opts);
+    PSp.note("chunks", uint64_t(Chunks.size()));
+  }
+  LS.ChunksPlanned = Chunks.size();
+  if (Chunks.size() < 2) {
+    LS.ChunksPlanned = In.empty() ? 0 : 1;
+    LS.ChunksSequential = LS.ChunksPlanned;
+    fold(LS, PS);
+    return Sequential(In);
+  }
+
+  std::vector<ChunkSpecResult> Spec(Chunks.size());
+  std::vector<uint64_t> Out0;
+  bool Ok0 = true;
+  {
+    trace::Span SSp("parallel_speculate");
+    SSp.note("threads", uint64_t(Threads));
+    std::atomic<size_t> Next{1};
+    auto Work = [&] {
+      for (;;) {
+        size_t W = Next.fetch_add(1, std::memory_order_relaxed);
+        if (W >= Chunks.size())
+          return;
+        const PlannedChunk &C = Chunks[W];
+        if (C.Speculate)
+          Spec[W] = speculateChunk(PP, FP, T,
+                                   In.subspan(C.Begin, C.End - C.Begin),
+                                   C.EntryStates, Opts);
+      }
+    };
+    std::vector<std::thread> Pool;
+    for (unsigned W = 1, E = std::min<size_t>(Threads, Chunks.size()); W < E;
+         ++W)
+      Pool.emplace_back(Work);
+    // Chunk 0 needs no speculation — it runs concretely on the calling
+    // thread while the pool works the later chunks.
+    {
+      FastPathCursor C0(FP, T);
+      C0.restore(State, Regs);
+      Ok0 = C0.feed(In.subspan(0, Chunks[0].End), Out0);
+      State = C0.state();
+      std::span<const uint64_t> RS = C0.regSlots();
+      Regs.assign(RS.begin(), RS.end());
+    }
+    Work(); // the calling thread then joins the speculation pool
+    for (std::thread &Th : Pool)
+      Th.join();
+  }
+
+  if (getenv("EFC_PAR_DEBUG"))
+    for (size_t CI = 1; CI < Chunks.size(); ++CI) {
+      const PlannedChunk &C = Chunks[CI];
+      fprintf(stderr, "chunk %zu [%zu,%zu) boundary byte=%llx spec=%d\n", CI,
+              C.Begin, C.End, (unsigned long long)In[C.Begin - 1],
+              int(C.Speculate));
+      for (const Lane &L : Spec[CI].Lanes)
+        fprintf(stderr,
+                "  lane entry=%u exit=%u log=%zu out=%zu merged=%d poison=%d "
+                "knownexit=%llx\n",
+                L.EntryState, L.ExitState, L.Log.size(), L.Out.size(),
+                L.MergedInto, int(L.Poisoned),
+                (unsigned long long)L.KnownAtExit);
+    }
+
+  trace::Span RSp("parallel_replay");
+  if (Out.capacity() - Out.size() < In.size())
+    Out.reserve(Out.size() + In.size() + 16);
+  Out.insert(Out.end(), Out0.begin(), Out0.end());
+  bool Ok = Ok0;
+  if (Ok)
+    for (size_t CI = 1; CI < Chunks.size(); ++CI) {
+      const PlannedChunk &C = Chunks[CI];
+      const ChunkSpecResult &CR = Spec[CI];
+      LS.LanesStarted += CR.LanesStarted;
+      LS.LanesAbandoned += CR.LanesAbandoned;
+      LS.LanesMerged += CR.LanesMerged;
+      if (CR.Speculated)
+        LS.ConvergeBytes.push_back(CR.ConvergeBytes);
+      ReplayOutcome RO = replayLane(CR, T, State, Regs, Out);
+      if (RO.Hit) {
+        ++LS.ChunksSpeculated;
+        LS.ReplayElements += RO.ElementsReplayed;
+        if (RO.Rejected) {
+          Ok = false;
+          break;
+        }
+        continue;
+      }
+      ++LS.ChunksSequential;
+      if (!Sequential(In.subspan(C.Begin, C.End - C.Begin))) {
+        Ok = false;
+        break;
+      }
+    }
+  RSp.note("chunks_speculated", LS.ChunksSpeculated);
+  RSp.note("chunks_sequential", LS.ChunksSequential);
+  // Chunk 0 is always sequential by construction.
+  ++LS.ChunksSequential;
+  fold(LS, PS);
+  return Ok;
+}
+
+std::optional<std::vector<uint64_t>>
+runParallel(const ParallelPlan &PP, const FastPathPlan &FP,
+            const CompiledTransducer &T, std::span<const uint64_t> In,
+            const ParallelOptions &Opts, ParallelStats *PS) {
+  unsigned State = T.initialState();
+  std::vector<uint64_t> Regs(T.initialRegs().begin(), T.initialRegs().end());
+  std::vector<uint64_t> Out;
+  Out.reserve(In.size() + 16);
+  if (!parallelFeed(PP, FP, T, State, Regs, In, Out, Opts, PS))
+    return std::nullopt;
+  CompiledTransducer::Cursor C(T);
+  C.restore(State, Regs);
+  if (!C.finish(Out))
+    return std::nullopt;
+  return Out;
+}
+
+} // namespace efc::parallel

@@ -1,0 +1,63 @@
+//===- parallel/Parallel.h - Data-parallel stream execution -----*- C++ -*-===//
+///
+/// \file
+/// Umbrella API for the data-parallel executor: plan chunk boundaries
+/// from the byte-class tables (ChunkPlanner), run non-first chunks
+/// speculatively from all plausible states on a worker pool
+/// (SpeculativeExecutor), then stitch in order, replaying recorded
+/// effects against the true entry registers (EffectReplayer).  The
+/// result is byte-identical to FastPathCursor::feed on the same input —
+/// chunks whose speculation missed or was abandoned are transparently
+/// re-run sequentially.  Entry points: parallelFeed() mirrors
+/// FastPathCursor::feed against an explicit (state, registers) pair;
+/// runParallel() is the whole-input convenience mirroring runFastPath.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_PARALLEL_PARALLEL_H
+#define EFC_PARALLEL_PARALLEL_H
+
+#include "parallel/ChunkPlanner.h"
+#include "parallel/EffectReplayer.h"
+#include "parallel/SpeculativeExecutor.h"
+
+#include <optional>
+
+namespace efc::parallel {
+
+/// Per-call telemetry (also folded into the global metrics registry by
+/// parallelFeed itself: efc_parallel_* counters and the convergence
+/// histogram).
+struct ParallelStats {
+  uint64_t ChunksPlanned = 0;
+  uint64_t ChunksSpeculated = 0; ///< chunks stitched from a lane replay
+  uint64_t ChunksSequential = 0; ///< chunks re-run sequentially at stitch
+  uint64_t LanesStarted = 0;
+  uint64_t LanesAbandoned = 0;
+  uint64_t LanesMerged = 0;
+  uint64_t ReplayElements = 0; ///< output elements materialized from logs
+  std::vector<uint64_t> ConvergeBytes; ///< per speculated chunk
+};
+
+/// Feeds \p In through the parallel executor from (\p State, \p Regs),
+/// appending output to \p Out and advancing state/registers past the
+/// input.  Returns false when the stream rejects (partial output up to
+/// the rejection point is appended, matching FastPathCursor::feed).
+/// Falls back to a plain sequential feed when the plan is ineligible or
+/// fewer than two chunks are planned.
+bool parallelFeed(const ParallelPlan &PP, const FastPathPlan &FP,
+                  const CompiledTransducer &T, unsigned &State,
+                  std::vector<uint64_t> &Regs, std::span<const uint64_t> In,
+                  std::vector<uint64_t> &Out, const ParallelOptions &Opts,
+                  ParallelStats *PS = nullptr);
+
+/// Whole-input transduction (initial state through finalizer);
+/// std::nullopt on rejection.  Semantically identical to runFastPath.
+std::optional<std::vector<uint64_t>>
+runParallel(const ParallelPlan &PP, const FastPathPlan &FP,
+            const CompiledTransducer &T, std::span<const uint64_t> In,
+            const ParallelOptions &Opts, ParallelStats *PS = nullptr);
+
+} // namespace efc::parallel
+
+#endif // EFC_PARALLEL_PARALLEL_H

@@ -1,0 +1,303 @@
+//===- parallel/SpeculativeExecutor.cpp - Enumerative chunk execution -===//
+
+#include "parallel/SpeculativeExecutor.h"
+
+#include <utility>
+
+namespace efc::parallel {
+
+namespace {
+
+/// Mutable per-run view over the lanes.  Each lane owns a real bytecode
+/// cursor as its register file: concrete effects execute on it directly,
+/// so there is no second interpreter to keep in sync with Vm.cpp.
+struct SpecState {
+  const ParallelPlan &PP;
+  const FastPathPlan &FP;
+  const CompiledTransducer &T;
+  ChunkSpecResult &R;
+  std::vector<CompiledTransducer::Cursor> Cur;
+  std::vector<uint64_t> Known;
+  std::vector<uint8_t> Live;
+  unsigned Alive = 0;
+
+  void poison(size_t I) {
+    R.Lanes[I].Poisoned = true;
+    Live[I] = 0;
+    --Alive;
+    ++R.LanesAbandoned;
+  }
+
+  void reject(size_t I) {
+    R.Lanes[I].Rejected = true;
+    Live[I] = 0;
+    --Alive;
+  }
+
+  /// Advances lane \p I by one element through the dispatch table.  Run
+  /// kernels are handled by the caller (bulk phase only); during
+  /// lockstep, kernel bytes go through their ordinary dispatch action,
+  /// which is per-element equivalent.
+  /// Defers one program: snapshot the register file (the known slots are
+  /// exact; unknown ones are resolved from the true registers at
+  /// replay), suppress the emits, and conservatively mark everything the
+  /// program may write as unknown.
+  void defer(size_t I, const VmProgram &P, uint64_t X, uint64_t WriteMask,
+             unsigned Target) {
+    Lane &L = R.Lanes[I];
+    LogEntry E;
+    E.Prog = &P;
+    E.X = X;
+    E.OutPos = L.Out.size();
+    E.Known = Known[I];
+    E.RegsOff = L.LogRegs.size();
+    std::span<const uint64_t> RS = std::as_const(Cur[I]).regSlots();
+    L.LogRegs.insert(L.LogRegs.end(), RS.begin(), RS.end());
+    L.Log.push_back(E);
+    Known[I] &= ~WriteMask;
+    L.ExitState = Target;
+  }
+
+  void step(size_t I, uint64_t X) {
+    Lane &L = R.Lanes[I];
+    const FastPathPlan::StateTable &ST = FP.stateTable(L.ExitState);
+    if (ST.HasTable && X < 256) {
+      const FastPathPlan::Action &A = ST.Actions[ST.Dispatch[X]];
+      switch (A.K) {
+      case FastPathPlan::Action::Kind::Jump:
+        L.ExitState = A.Target;
+        return;
+      case FastPathPlan::Action::Kind::Const: {
+        L.Out.insert(L.Out.end(), A.Emits.begin(), A.Emits.end());
+        std::span<uint64_t> RS = Cur[I].regSlots();
+        for (auto [Slot, V] : A.Writes) {
+          RS[Slot] = V;
+          Known[I] |= uint64_t(1) << Slot;
+        }
+        L.ExitState = A.Target;
+        return;
+      }
+      case FastPathPlan::Action::Kind::Reject:
+        reject(I);
+        return;
+      case FastPathPlan::Action::Kind::Program: {
+        const ParallelPlan::ActionInfo &AI =
+            PP.actionInfo(L.ExitState, ST.Dispatch[X]);
+        if (!AI.HasJumps && (AI.ReadMask & ~Known[I]) == 0) {
+          // Every slot the program reads holds a concrete value: run it
+          // for real on the lane cursor.  Straight-line => WriteMask is
+          // exact, so all written slots become known.
+          Cur[I].setInput(X);
+          bool Ok = Cur[I].execProgram(A.Code, L.Out);
+          Known[I] |= AI.WriteMask;
+          if (!Ok) {
+            reject(I);
+            return;
+          }
+          L.ExitState = Cur[I].state();
+          return;
+        }
+        defer(I, A.Code, X, AI.WriteMask, A.Target);
+        return;
+      }
+      case FastPathPlan::Action::Kind::Fallback:
+        break; // handled below, like a bytecode-only state
+      }
+    }
+    // Mixed-mode fallback: bytecode-only state, Fallback dispatch entry,
+    // or out-of-range element.  The driver would run the state's full
+    // delta program; mirror it with the per-byte footprint: run
+    // concretely once every slot this byte's paths may read is known
+    // (control flow then branches on concrete values, making the
+    // execution exact even with register guards); defer the program when
+    // its successor is byte-determined; give the lane up only when the
+    // successor genuinely depends on register values we do not have.
+    const VmProgram &DP = T.deltaProgram(L.ExitState);
+    if (X < 256) {
+      const ParallelPlan::ByteInfo &BI = PP.byteInfo(L.ExitState, unsigned(X));
+      if ((BI.ReadMask & ~Known[I]) == 0) {
+        // Every slot this byte's paths may read holds a concrete value,
+        // so execution follows the real path — register guards included.
+        // The write set is path-dependent, so track the writes that
+        // actually happened: exactly those slots now hold real values.
+        Cur[I].setInput(X);
+        uint64_t W = 0;
+        bool Ok = Cur[I].execProgramTracked(DP, L.Out, W);
+        Known[I] |= W;
+        if (!Ok) {
+          reject(I);
+          return;
+        }
+        L.ExitState = Cur[I].state();
+        return;
+      }
+      if (BI.Target >= 0) {
+        defer(I, DP, X, BI.WriteMay, unsigned(BI.Target));
+        return;
+      }
+      if (BI.AlwaysRejects) {
+        // Every register valuation rejects on this byte.  Log the
+        // program so replay emits whatever the real path emits before
+        // rejecting, and end the lane as terminally valid.
+        defer(I, DP, X, BI.WriteMay, L.ExitState);
+        reject(I);
+        return;
+      }
+      poison(I);
+      return;
+    }
+    // Out-of-range element (non-byte input): only the whole-program
+    // footprint applies.
+    const ParallelPlan::ActionInfo &AI = PP.deltaInfo(L.ExitState);
+    if ((AI.ReadMask & ~Known[I]) == 0) {
+      Cur[I].setInput(X);
+      uint64_t W = 0;
+      bool Ok = Cur[I].execProgramTracked(DP, L.Out, W);
+      Known[I] |= W;
+      if (!Ok) {
+        reject(I);
+        return;
+      }
+      L.ExitState = Cur[I].state();
+      return;
+    }
+    if (!AI.HasJumps && AI.StaticTarget >= 0) {
+      defer(I, DP, X, AI.WriteMask, unsigned(AI.StaticTarget));
+      return;
+    }
+    poison(I);
+  }
+};
+
+} // namespace
+
+ChunkSpecResult speculateChunk(const ParallelPlan &PP, const FastPathPlan &FP,
+                               const CompiledTransducer &T,
+                               std::span<const uint64_t> In,
+                               std::span<const uint32_t> EntryStates,
+                               const ParallelOptions &Opts) {
+  ChunkSpecResult R;
+  if (!PP.eligible() || EntryStates.empty())
+    return R;
+  const unsigned NR = T.numRegSlots();
+  const size_t NL = EntryStates.size();
+  R.Lanes.resize(NL);
+  R.LanesStarted = uint32_t(NL);
+
+  SpecState S{PP, FP, T, R, {}, std::vector<uint64_t>(NL, 0),
+              std::vector<uint8_t>(NL, 1), unsigned(NL)};
+  S.Cur.reserve(NL);
+  for (size_t I = 0; I < NL; ++I) {
+    R.Lanes[I].EntryState = R.Lanes[I].ExitState = EntryStates[I];
+    S.Cur.emplace_back(T);
+  }
+
+  const size_t N = In.size();
+  size_t I = 0;
+  const size_t Budget =
+      Opts.ConvergeBudget ? std::min(N, Opts.ConvergeBudget) : N;
+
+  // Lockstep phase: advance every live lane one element at a time,
+  // merging lanes whose futures are provably identical — same control
+  // state, same known-slot bitmap, same values on the known slots (the
+  // unknown slots are origin-dependent by construction and resolved at
+  // replay, so they cannot affect the shared future).
+  while (I < Budget && S.Alive > 1) {
+    uint64_t X = In[I];
+    for (size_t L = 0; L < NL; ++L)
+      if (S.Live[L])
+        S.step(L, X);
+    ++I;
+    for (size_t A = 0; A < NL && S.Alive > 1; ++A) {
+      if (!S.Live[A])
+        continue;
+      for (size_t B = A + 1; B < NL; ++B) {
+        if (!S.Live[B] || R.Lanes[A].ExitState != R.Lanes[B].ExitState ||
+            S.Known[A] != S.Known[B])
+          continue;
+        std::span<const uint64_t> RA = std::as_const(S.Cur[A]).regSlots();
+        std::span<const uint64_t> RB = std::as_const(S.Cur[B]).regSlots();
+        bool Eq = true;
+        for (unsigned Rg = 0; Rg < NR && Eq; ++Rg)
+          if (((S.Known[A] >> Rg) & 1) && RA[Rg] != RB[Rg])
+            Eq = false;
+        if (!Eq)
+          continue;
+        R.Lanes[B].MergedInto = int(A);
+        R.Lanes[B].MergeOutPos = R.Lanes[A].Out.size();
+        R.Lanes[B].MergeLogPos = R.Lanes[A].Log.size();
+        S.Live[B] = 0;
+        --S.Alive;
+        ++R.LanesMerged;
+      }
+    }
+  }
+  R.ConvergeBytes = I;
+
+  if (S.Alive > 1 && I < N)
+    // Convergence budget exhausted with several lanes still live:
+    // running them all to the end would multiply the work instead of
+    // dividing it.  Abandon; the stitcher re-runs this chunk
+    // sequentially.
+    return R;
+
+  // Bulk phase: a single live lane runs the rest of the chunk at
+  // fast-path speed, run kernels included.
+  if (S.Alive == 1 && I < N) {
+    size_t Ld = 0;
+    while (!S.Live[Ld])
+      ++Ld;
+    Lane &L = R.Lanes[Ld];
+    while (I < N) {
+      uint64_t X = In[I];
+      const FastPathPlan::StateTable &ST = FP.stateTable(L.ExitState);
+      if (ST.HasTable && X < 256) {
+        if (uint8_t Rk = ST.RunId[X]; Rk != FastPathPlan::NoRun) {
+          const RunKernel &RK = ST.Runs[Rk];
+          size_t End = scanRunEnd(In.data(), I + 1, N, RK);
+          switch (RK.K) {
+          case RunKernel::Kind::Skip:
+            break;
+          case RunKernel::Kind::Copy:
+            L.Out.insert(L.Out.end(), In.data() + I, In.data() + End);
+            break;
+          case RunKernel::Kind::ConstAppend:
+            if (RK.Emits.size() == 1)
+              L.Out.insert(L.Out.end(), End - I, RK.Emits[0]);
+            else
+              for (size_t J = I; J < End; ++J)
+                L.Out.insert(L.Out.end(), RK.Emits.begin(), RK.Emits.end());
+            break;
+          }
+          std::span<uint64_t> RS = S.Cur[Ld].regSlots();
+          for (auto [Slot, V] : RK.Writes) {
+            RS[Slot] = V;
+            S.Known[Ld] |= uint64_t(1) << Slot;
+          }
+          I = End;
+          continue;
+        }
+      }
+      S.step(Ld, X);
+      if (!S.Live[Ld])
+        break;
+      ++I;
+    }
+  }
+
+  // Seal every unmerged, unpoisoned lane with its exit register image.
+  bool AnyUsable = false;
+  for (size_t L = 0; L < NL; ++L) {
+    Lane &LN = R.Lanes[L];
+    if (LN.Poisoned || LN.MergedInto >= 0)
+      continue;
+    AnyUsable = true;
+    LN.KnownAtExit = S.Known[L];
+    std::span<const uint64_t> RS = std::as_const(S.Cur[L]).regSlots();
+    LN.RegsAtExit.assign(RS.begin(), RS.end());
+  }
+  R.Speculated = AnyUsable;
+  return R;
+}
+
+} // namespace efc::parallel

@@ -1,0 +1,84 @@
+//===- parallel/SpeculativeExecutor.h - Enumerative chunk execution -===//
+///
+/// \file
+/// Runs one non-first chunk from every plausible entry state ("lanes"),
+/// in lockstep until the lanes converge, then at full fast-path speed.
+/// Control flow in table states never reads registers, so each lane's
+/// state trajectory is exact even though its registers start unknown;
+/// register effects run concretely once their inputs become known
+/// (tracked with a per-lane known-slot bitmap) and are otherwise
+/// recorded in a deferred-replay log that the EffectReplayer resolves at
+/// stitch time against the true entry registers.  See DESIGN.md
+/// "Data-parallel execution" for the soundness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_PARALLEL_SPECULATIVEEXECUTOR_H
+#define EFC_PARALLEL_SPECULATIVEEXECUTOR_H
+
+#include "parallel/ChunkPlanner.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace efc::parallel {
+
+/// One deferred register-dependent effect: a leaf program that read a
+/// slot whose value was still unknown when the lane passed it.  Replay
+/// seeds a scratch cursor with the recorded snapshot for known slots and
+/// the true running registers for unknown ones, then executes the
+/// program for real — emits land at OutPos in the lane's output.
+struct LogEntry {
+  const VmProgram *Prog = nullptr;
+  uint64_t X = 0;
+  size_t OutPos = 0;
+  uint64_t Known = 0;
+  size_t RegsOff = 0; // into Lane::LogRegs, numRegSlots() values
+};
+
+/// One speculative lane: the chunk executed under the assumption that
+/// the machine entered in EntryState.  Out and Log are append-only, so a
+/// lane that converges with another simply records the leader's current
+/// offsets (MergedInto/MergeOutPos/MergeLogPos) and stops; the replayer
+/// walks the merge chain to materialize the full chunk.
+struct Lane {
+  uint32_t EntryState = 0;
+  uint32_t ExitState = 0;
+  bool Rejected = false; // stream rejected inside the chunk (valid result)
+  bool Poisoned = false; // fallback state / wide element: lane unusable
+  int MergedInto = -1;
+  size_t MergeOutPos = 0;
+  size_t MergeLogPos = 0;
+  uint64_t KnownAtExit = 0;
+  std::vector<uint64_t> Out;
+  std::vector<LogEntry> Log;
+  std::vector<uint64_t> LogRegs;
+  std::vector<uint64_t> RegsAtExit;
+};
+
+struct ChunkSpecResult {
+  /// False when the chunk must be stitched sequentially (ineligible
+  /// plan, convergence budget exhausted, or every lane poisoned).
+  bool Speculated = false;
+  std::vector<Lane> Lanes;
+  uint32_t LanesStarted = 0;
+  uint32_t LanesAbandoned = 0;
+  uint32_t LanesMerged = 0;
+  /// Elements consumed before the live-lane count reached one (the
+  /// convergence distance surfaced in the Prometheus histogram).
+  uint64_t ConvergeBytes = 0;
+};
+
+/// Executes \p In speculatively from every state in \p EntryStates.
+/// Pure function of its arguments — safe to call concurrently from the
+/// worker pool with a shared plan.
+ChunkSpecResult speculateChunk(const ParallelPlan &PP, const FastPathPlan &FP,
+                               const CompiledTransducer &T,
+                               std::span<const uint64_t> In,
+                               std::span<const uint32_t> EntryStates,
+                               const ParallelOptions &Opts);
+
+} // namespace efc::parallel
+
+#endif // EFC_PARALLEL_SPECULATIVEEXECUTOR_H

@@ -351,6 +351,12 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
     FpSp.note("table_states", (uint64_t)FS.TableStates);
     FpSp.note("accel_states", (uint64_t)FS.AccelStates);
   }
+  {
+    trace::Span PpSp("parallel_plan");
+    P->Par.emplace(parallel::ParallelPlan::build(*P->Vm, *P->Fast));
+    PpSp.note("eligible", (uint64_t)(P->Par->eligible() ? 1 : 0));
+    PpSp.note("table_states", (uint64_t)P->Par->numTableStates());
+  }
   // Equivalence certification (verify/EquivChecker.h), gated by
   // EFC_CERTIFY=1: prove the bytecode, the fast-path tables, and the
   // codegen classification agree with the fused rules before the entry
@@ -434,6 +440,7 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       Counters.FastAccelStates += FS.AccelStates;
       Counters.FastRunKernels +=
           FS.SkipKernels + FS.CopyKernels + FS.ConstAppendKernels;
+      Counters.ParEligible += P->Par && P->Par->eligible() ? 1 : 0;
       CacheMetrics &CM = CacheMetrics::get();
       CM.Builds.inc();
       CM.BuildSeconds.add(P->BuildSeconds);
@@ -526,7 +533,7 @@ std::string PipelineCache::Stats::str() const {
            "builds=%llu build_s=%.3f native_compiles=%llu "
            "native_disk_hits=%llu native_compile_ms=%.1f "
            "fast_table_states=%llu fast_accel_states=%llu "
-           "fast_run_kernels=%llu "
+           "fast_run_kernels=%llu par_eligible=%llu "
            "cert_certified=%llu cert_unverified=%llu cert_refuted=%llu "
            "certify_timeouts=%llu",
            (unsigned long long)Hits, (unsigned long long)Misses,
@@ -538,6 +545,7 @@ std::string PipelineCache::Stats::str() const {
            (unsigned long long)FastTableStates,
            (unsigned long long)FastAccelStates,
            (unsigned long long)FastRunKernels,
+           (unsigned long long)ParEligible,
            (unsigned long long)CertCertified,
            (unsigned long long)CertUnverified,
            (unsigned long long)CertRefuted,

@@ -26,6 +26,7 @@
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
 #include "rbbe/Rbbe.h"
+#include "parallel/ChunkPlanner.h"
 #include "verify/EquivChecker.h"
 #include "vm/FastPath.h"
 #include "vm/Vm.h"
@@ -86,6 +87,11 @@ public:
   /// Byte-class dispatch tables over Vm (vm/FastPath.h); built with every
   /// entry — states the analysis cannot tabulate just stay on bytecode.
   std::optional<FastPathPlan> Fast;
+  /// Data-parallel chunking plan over Fast (parallel/ChunkPlanner.h):
+  /// per-byte plausible-successor sets and per-action register
+  /// footprints.  Built with every entry; ineligible plans make
+  /// parallelFeed degrade to the sequential fast path.
+  std::optional<parallel::ParallelPlan> Par;
 
   FusionStats FStats;
   RbbeStats RStats;
@@ -150,6 +156,7 @@ public:
     uint64_t FastTableStates = 0; ///< fast-path plan stats, summed over
     uint64_t FastAccelStates = 0; ///< built entries (coverage telemetry)
     uint64_t FastRunKernels = 0;
+    uint64_t ParEligible = 0; ///< builds whose parallel plan is usable
     uint64_t CertCertified = 0;  ///< builds certified end-to-end
     uint64_t CertUnverified = 0; ///< builds degraded by budget/Unknown
     uint64_t CertRefuted = 0;    ///< builds rejected at admission

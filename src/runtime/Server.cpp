@@ -554,7 +554,7 @@ std::string Server::statsText() const {
            "replies=%llu errors=%llu rejected=%llu frames_dropped=%llu "
            "bytes_in=%llu "
            "bytes_out=%llu fast_runs=%llu fast_run_elems=%llu "
-           "threads=%u queue_cap=%zu\ncache: ",
+           "threads=%u queue_cap=%zu",
            (unsigned long long)C.SessionsOpened, Sessions.size(),
            (unsigned long long)C.FramesIn, (unsigned long long)C.Replies,
            (unsigned long long)C.Errors, (unsigned long long)C.Rejected,
@@ -563,5 +563,44 @@ std::string Server::statsText() const {
            (unsigned long long)C.FastRuns,
            (unsigned long long)C.FastRunElements, Opts.Threads,
            Opts.MaxQueuePerSession);
-  return std::string(Buf) + CS.str() + "\n";
+  // Speculation telemetry, read back from the global registry (the
+  // parallel executor folds its counters there; re-registration interns
+  // to the same objects).  Convergence distance distribution is in the
+  // Prometheus exposition (efc_parallel_convergence_bytes).
+  auto &R = metrics::Registry::instance();
+  metrics::Histogram &H =
+      R.histogram("efc_parallel_convergence_bytes",
+                  "elements consumed per chunk before lanes converged to one",
+                  {16, 64, 256, 1024, 4096, 16384, 65536});
+  char PBuf[320];
+  snprintf(PBuf, sizeof(PBuf),
+           "\nparallel: feeds=%llu chunks_planned=%llu "
+           "chunks_speculated=%llu chunks_sequential=%llu "
+           "lanes_started=%llu lanes_abandoned=%llu lanes_merged=%llu "
+           "replay_elems=%llu converge_p50_bytes<=%.0f",
+           (unsigned long long)R.counter("efc_parallel_feeds_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_chunks_planned_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_chunks_speculated_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_chunks_sequential_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_lanes_started_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_lanes_abandoned_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_lanes_merged_total").value(),
+           (unsigned long long)
+               R.counter("efc_parallel_replay_elements_total").value(),
+           [&H] {
+             uint64_t Total = H.count(), Acc = 0;
+             for (unsigned I = 0; I < H.numBounds(); ++I) {
+               Acc += H.bucketCount(I);
+               if (2 * Acc >= Total && Total)
+                 return H.bound(I);
+             }
+             return H.numBounds() ? H.bound(H.numBounds() - 1) : 0.0;
+           }());
+  return std::string(Buf) + PBuf + "\ncache: " + CS.str() + "\n";
 }

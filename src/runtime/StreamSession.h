@@ -82,6 +82,18 @@ public:
     return FCur ? FCur->runCounters().RunElements : 0;
   }
 
+  /// Arms data-parallel execution for large feeds (fast-path backend
+  /// only; ignored elsewhere).  A single feed() of at least \p MinBytes
+  /// runs through the parallel executor with \p Threads workers and
+  /// resumes the sequential cursor at the resulting (state, registers).
+  /// open() arms this automatically from EFC_PARALLEL_MIN_BYTES /
+  /// EFC_PARALLEL_THREADS when the entry's plan is eligible.
+  void enableParallel(const parallel::ParallelPlan &Plan, unsigned Threads,
+                      size_t MinBytes);
+
+  /// Feeds served by the parallel executor so far.
+  uint64_t parallelFeeds() const { return ParFeeds; }
+
 private:
   StreamSession() = default;
 
@@ -96,6 +108,14 @@ private:
 
   // Fast-path backend.
   std::optional<FastPathCursor> FCur;
+  const FastPathPlan *FPlan = nullptr;
+  const CompiledTransducer *FVm = nullptr;
+
+  // Data-parallel large-feed execution (see enableParallel).
+  const parallel::ParallelPlan *ParPlan = nullptr;
+  unsigned ParThreads = 0;
+  size_t ParMinBytes = 0;
+  uint64_t ParFeeds = 0;
 
   // Native backend.
   const NativeTransducer *Nat = nullptr;

@@ -4,6 +4,7 @@
 
 #include "term/ScalarOps.h"
 
+#include <cassert>
 #include <unordered_map>
 
 using namespace efc;
@@ -464,6 +465,16 @@ void CompiledTransducer::Cursor::reset() {
     Slots[I] = T->InitRegs[I];
 }
 
+void CompiledTransducer::Cursor::restore(unsigned NewState,
+                                         std::span<const uint64_t> Regs) {
+  assert(NewState < T->Delta.size() && "restore to out-of-range state");
+  assert(Regs.size() == T->NumRegSlots && "register file size mismatch");
+  State = NewState;
+  Slots.assign(T->NumSlots, 0);
+  for (unsigned I = 0; I < T->NumRegSlots; ++I)
+    Slots[I] = Regs[I];
+}
+
 bool CompiledTransducer::Cursor::exec(const VmProgram &P,
                                       std::vector<uint64_t> &Out) {
   const VmInstr *Code = P.Code.data();
@@ -472,82 +483,6 @@ bool CompiledTransducer::Cursor::exec(const VmProgram &P,
   for (;;) {
     const VmInstr &I = Code[Pc++];
     switch (I.Op) {
-    case VmOp::Const:
-      S[I.Dst] = I.Imm;
-      break;
-    case VmOp::Mov:
-      S[I.Dst] = S[I.A];
-      break;
-    case VmOp::Add:
-      S[I.Dst] = maskTo(I.Width, S[I.A] + S[I.B]);
-      break;
-    case VmOp::Sub:
-      S[I.Dst] = maskTo(I.Width, S[I.A] - S[I.B]);
-      break;
-    case VmOp::Mul:
-      S[I.Dst] = maskTo(I.Width, S[I.A] * S[I.B]);
-      break;
-    case VmOp::UDiv:
-      S[I.Dst] = S[I.B] ? S[I.A] / S[I.B] : maskTo(I.Width, ~uint64_t(0));
-      break;
-    case VmOp::URem:
-      S[I.Dst] = S[I.B] ? S[I.A] % S[I.B] : S[I.A];
-      break;
-    case VmOp::Neg:
-      S[I.Dst] = maskTo(I.Width, ~S[I.A] + 1);
-      break;
-    case VmOp::And:
-      S[I.Dst] = S[I.A] & S[I.B];
-      break;
-    case VmOp::Or:
-      S[I.Dst] = S[I.A] | S[I.B];
-      break;
-    case VmOp::Xor:
-      S[I.Dst] = S[I.A] ^ S[I.B];
-      break;
-    case VmOp::NotBits:
-      S[I.Dst] = maskTo(I.Width, ~S[I.A]);
-      break;
-    case VmOp::NotBool:
-      S[I.Dst] = S[I.A] ^ 1;
-      break;
-    case VmOp::Shl:
-      S[I.Dst] = S[I.B] >= I.Width ? 0 : maskTo(I.Width, S[I.A] << S[I.B]);
-      break;
-    case VmOp::LShr:
-      S[I.Dst] = S[I.B] >= I.Width ? 0 : S[I.A] >> S[I.B];
-      break;
-    case VmOp::AShr: {
-      int64_t V = toSigned(I.Width, S[I.A]);
-      uint64_t Sh = S[I.B];
-      S[I.Dst] = maskTo(I.Width, Sh >= I.Width ? uint64_t(V < 0 ? -1 : 0)
-                                               : uint64_t(V >> Sh));
-      break;
-    }
-    case VmOp::Eq:
-      S[I.Dst] = S[I.A] == S[I.B];
-      break;
-    case VmOp::Ult:
-      S[I.Dst] = S[I.A] < S[I.B];
-      break;
-    case VmOp::Ule:
-      S[I.Dst] = S[I.A] <= S[I.B];
-      break;
-    case VmOp::Slt:
-      S[I.Dst] = toSigned(I.Width, S[I.A]) < toSigned(I.Width, S[I.B]);
-      break;
-    case VmOp::Sle:
-      S[I.Dst] = toSigned(I.Width, S[I.A]) <= toSigned(I.Width, S[I.B]);
-      break;
-    case VmOp::SExt:
-      S[I.Dst] = maskTo(uint8_t(I.Imm), uint64_t(toSigned(I.Width, S[I.A])));
-      break;
-    case VmOp::Extract:
-      S[I.Dst] = maskTo(I.Width, S[I.A] >> I.Imm);
-      break;
-    case VmOp::Select:
-      S[I.Dst] = S[I.A] ? S[I.B] : S[I.C];
-      break;
     case VmOp::Jz:
       if (S[I.A] == 0)
         Pc = size_t(I.Imm);
@@ -565,6 +500,47 @@ bool CompiledTransducer::Cursor::exec(const VmProgram &P,
       return true;
     case VmOp::Reject:
       return false;
+    default:
+      // Pure ops share one evaluator with the planner's abstract
+      // interpretation (evalVmPureOp), so the two cannot drift.
+      S[I.Dst] = evalVmPureOp(I, S);
+      break;
+    }
+  }
+}
+
+bool CompiledTransducer::Cursor::execProgramTracked(const VmProgram &P,
+                                                    std::vector<uint64_t> &Out,
+                                                    uint64_t &WrittenRegs) {
+  const VmInstr *Code = P.Code.data();
+  uint64_t *S = Slots.data();
+  const unsigned NR = T->NumRegSlots;
+  size_t Pc = 0;
+  for (;;) {
+    const VmInstr &I = Code[Pc++];
+    switch (I.Op) {
+    case VmOp::Jz:
+      if (S[I.A] == 0)
+        Pc = size_t(I.Imm);
+      break;
+    case VmOp::Jmp:
+      Pc = size_t(I.Imm);
+      break;
+    case VmOp::Emit:
+      Out.push_back(S[I.A]);
+      break;
+    case VmOp::Next:
+      State = unsigned(I.Imm);
+      return true;
+    case VmOp::Accept:
+      return true;
+    case VmOp::Reject:
+      return false;
+    default:
+      S[I.Dst] = evalVmPureOp(I, S);
+      if (I.Dst < NR)
+        WrittenRegs |= uint64_t(1) << I.Dst;
+      break;
     }
   }
 }

@@ -15,6 +15,7 @@
 #define EFC_VM_VM_H
 
 #include "bst/Bst.h"
+#include "term/ScalarOps.h"
 
 #include <cstdint>
 #include <optional>
@@ -69,6 +70,72 @@ struct VmInstr {
 struct VmProgram {
   std::vector<VmInstr> Code;
 };
+
+/// Evaluates one pure (non-control, non-effect) instruction against the
+/// slot array \p S and returns the destination value.  This is the single
+/// definition of the VM's arithmetic: Cursor::exec stores its result, and
+/// the parallel planner's per-byte abstract evaluation
+/// (parallel/ChunkPlanner.cpp) calls it to fold input-only guards exactly
+/// as the interpreter would — successor predictions can never drift from
+/// execution.  \p I.Op must be one of Const..Select.
+inline uint64_t evalVmPureOp(const VmInstr &I, const uint64_t *S) {
+  switch (I.Op) {
+  case VmOp::Const:
+    return I.Imm;
+  case VmOp::Mov:
+    return S[I.A];
+  case VmOp::Add:
+    return maskTo(I.Width, S[I.A] + S[I.B]);
+  case VmOp::Sub:
+    return maskTo(I.Width, S[I.A] - S[I.B]);
+  case VmOp::Mul:
+    return maskTo(I.Width, S[I.A] * S[I.B]);
+  case VmOp::UDiv:
+    return S[I.B] ? S[I.A] / S[I.B] : maskTo(I.Width, ~uint64_t(0));
+  case VmOp::URem:
+    return S[I.B] ? S[I.A] % S[I.B] : S[I.A];
+  case VmOp::Neg:
+    return maskTo(I.Width, ~S[I.A] + 1);
+  case VmOp::And:
+    return S[I.A] & S[I.B];
+  case VmOp::Or:
+    return S[I.A] | S[I.B];
+  case VmOp::Xor:
+    return S[I.A] ^ S[I.B];
+  case VmOp::NotBits:
+    return maskTo(I.Width, ~S[I.A]);
+  case VmOp::NotBool:
+    return S[I.A] ^ 1;
+  case VmOp::Shl:
+    return S[I.B] >= I.Width ? 0 : maskTo(I.Width, S[I.A] << S[I.B]);
+  case VmOp::LShr:
+    return S[I.B] >= I.Width ? 0 : S[I.A] >> S[I.B];
+  case VmOp::AShr: {
+    int64_t V = toSigned(I.Width, S[I.A]);
+    uint64_t Sh = S[I.B];
+    return maskTo(I.Width,
+                  Sh >= I.Width ? uint64_t(V < 0 ? -1 : 0) : uint64_t(V >> Sh));
+  }
+  case VmOp::Eq:
+    return S[I.A] == S[I.B];
+  case VmOp::Ult:
+    return S[I.A] < S[I.B];
+  case VmOp::Ule:
+    return S[I.A] <= S[I.B];
+  case VmOp::Slt:
+    return uint64_t(toSigned(I.Width, S[I.A]) < toSigned(I.Width, S[I.B]));
+  case VmOp::Sle:
+    return uint64_t(toSigned(I.Width, S[I.A]) <= toSigned(I.Width, S[I.B]));
+  case VmOp::SExt:
+    return maskTo(uint8_t(I.Imm), uint64_t(toSigned(I.Width, S[I.A])));
+  case VmOp::Extract:
+    return maskTo(I.Width, S[I.A] >> I.Imm);
+  case VmOp::Select:
+    return S[I.A] ? S[I.B] : S[I.C];
+  default:
+    return 0; // control/effect ops never reach here
+  }
+}
 
 /// Human-readable mnemonic for a VM opcode.
 const char *vmOpName(VmOp Op);
@@ -138,6 +205,38 @@ public:
     bool finish(std::vector<uint64_t> &Out);
 
     unsigned state() const { return State; }
+
+    /// Suspend/resume hooks for the data-parallel executor
+    /// (src/parallel/): a speculative lane is a cursor restored to an
+    /// arbitrary (control state, register file) pair, and deferred
+    /// effect replay re-runs individual leaf programs against patched
+    /// registers.  restore() zeroes the temporaries; \p Regs must have
+    /// numRegSlots() elements.
+    void restore(unsigned NewState, std::span<const uint64_t> Regs);
+
+    std::span<const uint64_t> regSlots() const {
+      return {Slots.data(), T->NumRegSlots};
+    }
+    std::span<uint64_t> regSlots() { return {Slots.data(), T->NumRegSlots}; }
+
+    /// Stages the input element the next program execution will read.
+    void setInput(uint64_t X) { Slots[T->NumRegSlots] = X; }
+
+    /// Executes one program (a delta leaf program or finalizer) against
+    /// the current slot file; emits append to \p Out.  Returns false on
+    /// Reject.  The caller is responsible for having staged the input
+    /// element via setInput().
+    bool execProgram(const VmProgram &P, std::vector<uint64_t> &Out) {
+      return exec(P, Out);
+    }
+
+    /// execProgram plus a bitmask of the register slots the executed
+    /// path actually wrote.  Register-guarded programs have
+    /// path-dependent write sets; the speculative executor runs them
+    /// concretely once their reads are known and needs the exact set of
+    /// slots holding real values afterwards.
+    bool execProgramTracked(const VmProgram &P, std::vector<uint64_t> &Out,
+                            uint64_t &WrittenRegs);
 
   private:
     friend class efc::FastPathCursor;

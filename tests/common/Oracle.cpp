@@ -50,7 +50,7 @@ constexpr BackendName Names[] = {
     {"fusedvm", BK_FusedVm}, {"rbbe", BK_Rbbe},
     {"rbbevm", BK_RbbeVm},   {"native", BK_Native},
     {"fastpath", BK_FastPath}, {"rbbefast", BK_RbbeFast},
-    {"fastskip", BK_FastSkip},
+    {"fastskip", BK_FastSkip}, {"parallel", BK_Parallel},
 };
 
 } // namespace
@@ -144,7 +144,7 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
 
   constexpr unsigned NeedFused = BK_Fused | BK_FusedVm | BK_Rbbe |
                                  BK_RbbeVm | BK_Native | BK_FastPath |
-                                 BK_RbbeFast | BK_FastSkip;
+                                 BK_RbbeFast | BK_FastSkip | BK_Parallel;
   if (!(Backends & NeedFused))
     return;
 
@@ -154,10 +154,12 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
     Ptrs.push_back(&St);
   Fused.emplace(fuseChain(Ptrs, S, Opts.Fusion));
 
-  if (Backends & (BK_FusedVm | BK_FastPath | BK_FastSkip))
+  if (Backends & (BK_FusedVm | BK_FastPath | BK_FastSkip | BK_Parallel))
     FusedVm = CompiledTransducer::compile(*Fused);
-  if ((Backends & (BK_FastPath | BK_FastSkip)) && FusedVm)
+  if ((Backends & (BK_FastPath | BK_FastSkip | BK_Parallel)) && FusedVm)
     FusedFast.emplace(FastPathPlan::build(*Fused, *FusedVm));
+  if ((Backends & BK_Parallel) && FusedVm)
+    FusedPar.emplace(parallel::ParallelPlan::build(*FusedVm, *FusedFast));
   if (Backends & (BK_Rbbe | BK_RbbeVm | BK_RbbeFast)) {
     Rbbe.emplace(eliminateUnreachableBranches(*Fused, S, Opts.Rbbe));
     if (Backends & (BK_RbbeVm | BK_RbbeFast))
@@ -283,6 +285,26 @@ Oracle::check(std::span<const Value> Input) const {
       if (auto D = diverges("fastskip", Got))
         return D;
     }
+  }
+
+  if (Backends & BK_Parallel) {
+    if (!FusedVm)
+      return Disagreement{"parallel", renderRaw(RefRaw),
+                          "fused stage rejected by the VM compiler"};
+    // Adversarially tiny knobs: even short oracle inputs get split into
+    // several chunks, so planning, speculation, lane merging and effect
+    // replay all run.  Ineligible pipelines stitch sequentially inside
+    // parallelFeed — still a full differential observation.
+    parallel::ParallelOptions PO;
+    PO.Threads = 3;
+    PO.MinChunkBytes = 2;
+    PO.SyncWindow = 8;
+    PO.MaxLanes = 4;
+    PO.ConvergeBudget = 64;
+    if (auto D = diverges("parallel", parallel::runParallel(
+                                          *FusedPar, *FusedFast, *FusedVm,
+                                          Raw, PO)))
+      return D;
   }
 
   if ((Backends & BK_Native) && Native)

@@ -16,6 +16,7 @@
 ///   * byte-class fast path over RBBE'd VM    (BK_RbbeFast)
 ///   * fast path fed in tiny chunks           (BK_FastSkip: cuts inside
 ///     run-kernel spans, so runs must resume across feed() boundaries)
+///   * data-parallel speculate-and-stitch     (BK_Parallel, tiny chunks)
 ///   * generated C++ compiled to a .so        (BK_Native, host compiler)
 ///
 /// A greedy shrinker minimizes failing (pipeline, input) pairs by stage
@@ -30,6 +31,7 @@
 #include "bst/Bst.h"
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
+#include "parallel/Parallel.h"
 #include "rbbe/Rbbe.h"
 #include "vm/FastPath.h"
 #include "vm/Vm.h"
@@ -54,12 +56,16 @@ enum Backend : unsigned {
   BK_FastPath = 1u << 6, ///< fused → byte-class dispatch fast path
   BK_RbbeFast = 1u << 7, ///< RBBE(fused) → byte-class dispatch fast path
   /// Fast path driven through FastPathCursor in 1/3/7-element chunks, so
-  /// every run-kernel span is cut mid-run at some feed() boundary.
+  /// every run-kernel span is cut inside a run at some feed() boundary.
   BK_FastSkip = 1u << 8,
+  /// Data-parallel executor (src/parallel/) over the fused fast path,
+  /// with adversarially tiny chunking knobs so even short oracle inputs
+  /// get split, speculated and stitched.
+  BK_Parallel = 1u << 9,
 
   BK_Default =
       BK_Vm | BK_Fused | BK_FusedVm | BK_Rbbe | BK_RbbeVm | BK_FastPath |
-      BK_RbbeFast | BK_FastSkip,
+      BK_RbbeFast | BK_FastSkip | BK_Parallel,
   BK_All = BK_Default | BK_Native,
 };
 
@@ -132,6 +138,7 @@ private:
   std::optional<Bst> Fused, Rbbe;
   std::optional<CompiledTransducer> FusedVm, RbbeVm;
   std::optional<FastPathPlan> FusedFast, RbbeFast;
+  std::optional<parallel::ParallelPlan> FusedPar;
   std::optional<NativeTransducer> Native;
   std::string NativeErr;
 };

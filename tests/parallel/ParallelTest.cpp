@@ -1,0 +1,266 @@
+//===- tests/parallel/ParallelTest.cpp - Data-parallel executor tests -----===//
+///
+/// \file
+/// Correctness gate for src/parallel/: the parallel executor must be
+/// byte-identical to the sequential fast path on every input and every
+/// chunking, including adversarial boundaries (mid-run, mid-UTF-8
+/// sequence, never-synchronizing positions) and mid-chunk rejection.
+/// The ParallelFuzz suite doubles as a fuzz target (`ctest -L fuzz`),
+/// honoring EFC_FUZZ_SEED like every randomized suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/common/BenchCommon.h"
+#include "common/FuzzSeed.h"
+#include "data/Datasets.h"
+#include "parallel/Parallel.h"
+#include "runtime/StreamSession.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+using namespace efc;
+using namespace efc::parallel;
+using efc::testing::fuzzSeed;
+using efc::testing::seedNote;
+
+namespace {
+
+/// One pipeline prepared for differential parallel-vs-sequential runs.
+struct Harness {
+  bench::BuiltPipeline P;
+  ParallelPlan Plan;
+
+  explicit Harness(bench::BuiltPipeline BP)
+      : P(std::move(BP)),
+        Plan(ParallelPlan::build(*P.CompiledFused, *P.FastPlan)) {}
+
+  std::optional<std::vector<uint64_t>> seq(std::span<const uint64_t> In) {
+    return runFastPath(*P.FastPlan, *P.CompiledFused, In);
+  }
+  std::optional<std::vector<uint64_t>> par(std::span<const uint64_t> In,
+                                           const ParallelOptions &PO,
+                                           ParallelStats *PS = nullptr) {
+    return runParallel(Plan, *P.FastPlan, *P.CompiledFused, In, PO, PS);
+  }
+};
+
+Harness &csvHarness() {
+  static Harness H(bench::makeCsvMaxPipeline());
+  return H;
+}
+
+Harness &htmlHarness() {
+  static Harness H(bench::makeHtmlEncodePipeline());
+  return H;
+}
+
+/// Small-input-friendly knobs: split even a few-KB buffer.
+ParallelOptions tinyOpts(unsigned Threads = 4) {
+  ParallelOptions PO;
+  PO.Threads = Threads;
+  PO.MinChunkBytes = 256;
+  PO.SyncWindow = 128;
+  PO.MaxLanes = 8;
+  PO.ConvergeBudget = 4096;
+  return PO;
+}
+
+void expectSame(const std::optional<std::vector<uint64_t>> &Seq,
+                const std::optional<std::vector<uint64_t>> &Par,
+                const std::string &What) {
+  ASSERT_EQ(Seq.has_value(), Par.has_value()) << What;
+  if (Seq)
+    EXPECT_EQ(*Seq, *Par) << What;
+}
+
+} // namespace
+
+TEST(ParallelPlan, CsvPipelineIsEligible) {
+  Harness &H = csvHarness();
+  ASSERT_TRUE(H.Plan.eligible());
+  // '\n' ends a CSV record: consuming it from any table state must land
+  // in a small plausible-successor set, or chunking could never start a
+  // speculative lane at a record boundary.
+  std::span<const uint32_t> Tg = H.Plan.targetsAfter('\n');
+  EXPECT_FALSE(Tg.empty());
+  EXPECT_LE(Tg.size(), 8u);
+}
+
+TEST(ParallelExec, CsvMatchesSequentialAndSpeculates) {
+  Harness &H = csvHarness();
+  std::vector<uint64_t> In =
+      bench::rawOfBytes(data::makeCsv(7, 64 << 10, 4, 2, 99999));
+  ParallelStats PS;
+  auto Par = H.par(In, tinyOpts(), &PS);
+  expectSame(H.seq(In), Par, "CSV-max 64KB");
+  EXPECT_GE(PS.ChunksPlanned, 2u);
+  // The aggregating CSV pipeline is the speculation showcase: lanes must
+  // actually replay, not fall back to sequential stitching.
+  EXPECT_GE(PS.ChunksSpeculated, 1u);
+  EXPECT_GT(PS.LanesStarted, 0u);
+}
+
+TEST(ParallelExec, HtmlEnglishMatchesSequential) {
+  Harness &H = htmlHarness();
+  std::vector<uint64_t> In =
+      bench::rawOfBytes(data::makeEnglishText(11, 32 << 10));
+  ParallelStats PS;
+  expectSame(H.seq(In), H.par(In, tinyOpts(), &PS), "Rep+HtmlEncode 32KB");
+  EXPECT_GE(PS.ChunksPlanned, 2u);
+  EXPECT_GE(PS.ChunksSpeculated, 1u);
+}
+
+TEST(ParallelExec, WideElementsMatchSequential) {
+  // UTF-16 code units with surrogates: most elements are >= 256, so the
+  // per-byte tables never apply and lanes exercise the whole-program
+  // footprint path (and poison-triggered sequential stitching).
+  Harness &H = htmlHarness();
+  std::vector<uint64_t> In =
+      bench::rawOfChars(data::makeRandomUtf16(13, 8 << 10, true));
+  ParallelOptions PO = tinyOpts();
+  PO.ForcedBoundaries = {In.size() / 3, 2 * In.size() / 3};
+  expectSame(H.seq(In), H.par(In, PO), "Rep+HtmlEncode wide elements");
+}
+
+TEST(ParallelBoundary, MidRunCuts) {
+  // English prose drives long Copy runs under HtmlEncode; boundaries at
+  // prime offsets land inside run-kernel spans, so speculation must
+  // start lanes mid-run and the stitcher must still be byte-identical.
+  Harness &H = htmlHarness();
+  std::vector<uint64_t> In =
+      bench::rawOfBytes(data::makeEnglishText(17, 16 << 10));
+  ParallelOptions PO = tinyOpts();
+  PO.ForcedBoundaries = {1009, 4001, 8053, 12007};
+  expectSame(H.seq(In), H.par(In, PO), "mid-run forced cuts");
+}
+
+TEST(ParallelBoundary, MidUtf8Sequence) {
+  // A boundary between the lead and continuation byte of a 2-byte UTF-8
+  // sequence: the decoder is mid-character at the cut, so the boundary
+  // byte's plausible-state set is the mid-sequence state (or the chunk
+  // stitches sequentially) — either way output must match.
+  std::string Text;
+  for (int I = 0; I < 400; ++I)
+    Text += "aa,bb,\xC3\xA9\xC3\xA9x,zz\n";
+  Harness &H = csvHarness();
+  std::vector<uint64_t> In = bench::rawOfBytes(Text);
+  size_t Cut = 0;
+  for (size_t I = In.size() / 2; I < In.size(); ++I)
+    if (In[I] == 0xC3) {
+      Cut = I + 1; // boundary right after the lead byte
+      break;
+    }
+  ASSERT_GT(Cut, 0u);
+  ParallelOptions PO = tinyOpts();
+  PO.ForcedBoundaries = {In.size() / 4, Cut};
+  expectSame(H.seq(In), H.par(In, PO), "mid-UTF-8 forced cut");
+}
+
+TEST(ParallelBoundary, NeverConvergingStitchesSequentially) {
+  // MaxLanes = 0 declares every boundary unsyncable: no chunk may
+  // speculate, and the executor must degrade to ordered sequential
+  // stitching with identical output.
+  Harness &H = csvHarness();
+  std::vector<uint64_t> In =
+      bench::rawOfBytes(data::makeCsv(23, 16 << 10, 4, 2, 999));
+  ParallelOptions PO = tinyOpts();
+  PO.MaxLanes = 0;
+  PO.ForcedBoundaries = {In.size() / 3, 2 * In.size() / 3};
+  ParallelStats PS;
+  expectSame(H.seq(In), H.par(In, PO, &PS), "MaxLanes=0 sequential stitch");
+  EXPECT_EQ(PS.ChunksSpeculated, 0u);
+  EXPECT_EQ(PS.ChunksSequential, PS.ChunksPlanned);
+}
+
+TEST(ParallelExec, MidChunkRejection) {
+  // 0xFF is never valid UTF-8: planted in the last chunk it must reject
+  // the stream under both executors, and the parallel partial output
+  // must match the sequential partial output.
+  Harness &H = csvHarness();
+  std::string Text = data::makeCsv(29, 8 << 10, 4, 2, 999);
+  Text += "aa,bb,cc,dd\n";
+  Text[Text.size() - 3] = char(0xFF);
+  std::vector<uint64_t> In = bench::rawOfBytes(Text);
+  auto Seq = H.seq(In);
+  auto Par = H.par(In, tinyOpts());
+  EXPECT_FALSE(Seq.has_value());
+  EXPECT_FALSE(Par.has_value());
+
+  // parallelFeed's partial output up to the rejection point must also
+  // match the sequential cursor's.
+  unsigned SState = H.P.CompiledFused->initialState();
+  std::vector<uint64_t> SRegs(H.P.CompiledFused->initialRegs().begin(),
+                              H.P.CompiledFused->initialRegs().end());
+  std::vector<uint64_t> SOut;
+  {
+    FastPathCursor C(*H.P.FastPlan, *H.P.CompiledFused);
+    EXPECT_FALSE(C.feed(In, SOut));
+  }
+  unsigned PState = H.P.CompiledFused->initialState();
+  std::vector<uint64_t> PRegs = SRegs;
+  std::vector<uint64_t> POut;
+  EXPECT_FALSE(parallelFeed(H.Plan, *H.P.FastPlan, *H.P.CompiledFused,
+                            PState, PRegs, In, POut, tinyOpts()));
+  EXPECT_EQ(SOut, POut);
+}
+
+TEST(ParallelExec, StreamSessionLargeFeedUsesParallel) {
+  Harness &H = csvHarness();
+  std::string Text = data::makeCsv(31, 32 << 10, 4, 2, 99999);
+
+  runtime::StreamSession Seq =
+      runtime::StreamSession::overFast(*H.P.FastPlan, *H.P.CompiledFused);
+  ASSERT_TRUE(Seq.feed(Text));
+  ASSERT_TRUE(Seq.finish());
+  std::string Want = Seq.takeOutput();
+
+  runtime::StreamSession Par =
+      runtime::StreamSession::overFast(*H.P.FastPlan, *H.P.CompiledFused);
+  Par.enableParallel(H.Plan, 4, 1024);
+  ASSERT_TRUE(Par.feed(Text));
+  ASSERT_TRUE(Par.finish());
+  EXPECT_EQ(Par.takeOutput(), Want);
+  EXPECT_EQ(Par.parallelFeeds(), 1u);
+
+  // A feed below the threshold stays on the sequential cursor.
+  runtime::StreamSession Small =
+      runtime::StreamSession::overFast(*H.P.FastPlan, *H.P.CompiledFused);
+  Small.enableParallel(H.Plan, 4, size_t(Text.size()) + 1);
+  ASSERT_TRUE(Small.feed(Text));
+  ASSERT_TRUE(Small.finish());
+  EXPECT_EQ(Small.takeOutput(), Want);
+  EXPECT_EQ(Small.parallelFeeds(), 0u);
+}
+
+TEST(ParallelFuzz, RandomBoundariesMatchSequential) {
+  const uint64_t Seed = fuzzSeed(0xefcda7a);
+  std::mt19937_64 Rng(Seed);
+  Harness &Csv = csvHarness();
+  Harness &Html = htmlHarness();
+  for (int It = 0; It < 24; ++It) {
+    const bool UseCsv = (It & 1) == 0;
+    Harness &H = UseCsv ? Csv : Html;
+    std::string Text =
+        UseCsv ? data::makeCsv(Rng(), 2048 + Rng() % 8192, 4, 2, 99999)
+               : data::makeEnglishText(Rng(), 2048 + Rng() % 8192);
+    std::vector<uint64_t> In = bench::rawOfBytes(Text);
+    ParallelOptions PO = tinyOpts(unsigned(2 + Rng() % 4));
+    size_t NB = 1 + Rng() % 5;
+    for (size_t B = 0; B < NB; ++B)
+      PO.ForcedBoundaries.push_back(1 + Rng() % (In.size() - 1));
+    PO.MaxLanes = unsigned(Rng() % 9);          // 0 forces sequential
+    PO.ConvergeBudget = 1 + Rng() % 4096;       // tiny budgets abandon
+    auto Seq = H.seq(In);
+    auto Par = H.par(In, PO);
+    ASSERT_EQ(Seq.has_value(), Par.has_value())
+        << "iter " << It << " " << seedNote(Seed);
+    if (Seq)
+      ASSERT_EQ(*Seq, *Par) << "iter " << It << " " << seedNote(Seed);
+  }
+}
