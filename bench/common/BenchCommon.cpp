@@ -64,11 +64,10 @@ BuiltPipeline efc::bench::buildPipeline(const std::string &Name,
   auto CF = CompiledTransducer::compile(Clean);
   assert(CF && "fused pipeline must have scalar element types");
   P.CompiledFused.emplace(std::move(*CF));
-  // EFC_FASTPATH_ACCEL=0 disables run kernels for A/B measurement
-  // (EXPERIMENTS.md before/after table).
-  FastPathOptions FOpts;
-  if (const char *Accel = std::getenv("EFC_FASTPATH_ACCEL"))
-    FOpts.RunAccel = std::atoi(Accel) != 0;
+  // EFC_FASTPATH_ACCEL=0 disables run kernels, EFC_FASTPATH_WIDE=0 the
+  // wide-domain tables, EFC_FASTPATH_SPEC=0 two-state speculation — the
+  // A/B switches for the EXPERIMENTS.md before/after tables.
+  FastPathOptions FOpts = FastPathOptions::fromEnv();
   P.FastPlan.emplace(FastPathPlan::build(Clean, *P.CompiledFused, FOpts));
 
   std::string Tag = Name;

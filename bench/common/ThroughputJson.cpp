@@ -2,6 +2,8 @@
 
 #include "bench/common/ThroughputJson.h"
 
+#include "vm/Simd.h"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -9,6 +11,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 using namespace efc::bench;
@@ -23,6 +26,12 @@ struct Row {
   uint64_t Iterations = 0;
   std::string GitRev; // revision that measured THIS row (merged files
                       // mix rows from different HEADs)
+  // The hardware that measured the row: logical core count and detected
+  // SIMD level.  A merged file can mix rows from different machines;
+  // the ci.sh throughput gate only compares rows whose hardware matches
+  // the machine it runs on.
+  uint64_t Nproc = 0;
+  std::string Isa;
 };
 
 /// Console reporter that additionally captures each run's throughput.
@@ -52,9 +61,10 @@ public:
                              double(R.iterations) +
                          0.5)
               : 0;
+      // GitRev / Nproc / Isa are stamped in mergeAndWrite.
       Rows.push_back({Name.substr(0, Slash), Name.substr(Slash + 1),
                       double(It->second) / 1e6, InputBytes,
-                      uint64_t(R.iterations)});
+                      uint64_t(R.iterations), "", 0, ""});
     }
     ConsoleReporter::ReportRuns(Runs);
   }
@@ -101,8 +111,13 @@ double extractNumber(const std::string &Line, const std::string &Key) {
 
 void mergeAndWrite(const std::string &Path, std::vector<Row> Fresh) {
   const std::string Rev = gitRev();
-  for (Row &N : Fresh)
+  const uint64_t Nproc = std::thread::hardware_concurrency();
+  const std::string Isa = efc::simd::levelName(efc::simd::detectedLevel());
+  for (Row &N : Fresh) {
     N.GitRev = Rev;
+    N.Nproc = Nproc;
+    N.Isa = Isa;
+  }
 
   std::vector<Row> Rows;
   {
@@ -124,7 +139,9 @@ void mergeAndWrite(const std::string &Path, std::vector<Row> Fresh) {
         Rows.push_back({P, B, extractNumber(Line, "mb_per_s"),
                         uint64_t(extractNumber(Line, "input_bytes")),
                         uint64_t(extractNumber(Line, "iterations")),
-                        R.empty() ? FileRev : R});
+                        R.empty() ? FileRev : R,
+                        uint64_t(extractNumber(Line, "nproc")),
+                        extractString(Line, "isa")});
       }
     }
   }
@@ -147,15 +164,17 @@ void mergeAndWrite(const std::string &Path, std::vector<Row> Fresh) {
   S << "{\n  \"git_rev\": \"" << Rev << "\",\n  \"unit\": \"MB/s\","
     << "\n  \"results\": [";
   for (size_t I = 0; I < Rows.size(); ++I) {
-    char Buf[384];
+    char Buf[448];
     snprintf(Buf, sizeof(Buf),
              "\n    {\"pipeline\": \"%s\", \"backend\": \"%s\", "
              "\"mb_per_s\": %.2f, \"input_bytes\": %llu, "
-             "\"iterations\": %llu, \"git_rev\": \"%s\"}%s",
+             "\"iterations\": %llu, \"git_rev\": \"%s\", "
+             "\"nproc\": %llu, \"isa\": \"%s\"}%s",
              Rows[I].Pipeline.c_str(), Rows[I].Backend.c_str(),
              Rows[I].MbPerS, (unsigned long long)Rows[I].InputBytes,
              (unsigned long long)Rows[I].Iterations,
-             Rows[I].GitRev.c_str(), I + 1 < Rows.size() ? "," : "");
+             Rows[I].GitRev.c_str(), (unsigned long long)Rows[I].Nproc,
+             Rows[I].Isa.c_str(), I + 1 < Rows.size() ? "," : "");
     S << Buf;
   }
   S << "\n  ]\n}\n";

@@ -6,7 +6,8 @@
 /// that call SetBytesProcessed become rows of
 ///
 ///   {"pipeline": ..., "backend": ..., "mb_per_s": ...,
-///    "input_bytes": ..., "iterations": ...}
+///    "input_bytes": ..., "iterations": ...,
+///    "git_rev": ..., "nproc": ..., "isa": ...}
 ///
 /// in BENCH_throughput.json (path override: EFC_BENCH_JSON; set it to ""
 /// to disable recording).  input_bytes is the per-iteration input size
@@ -14,9 +15,12 @@
 /// be judged (cache-resident 1 MB vs bandwidth-bound 4 MB runs differ by
 /// 2-4x) and reproduced (EFC_BENCH_MB).  The writer merges by (pipeline,
 /// backend) — fig9 and fig13 update their own rows without clobbering
-/// each other — and stamps the measuring git revision on every row (the
+/// each other — and stamps the measuring git revision plus the measuring
+/// hardware (logical core count, detected SIMD level) on every row (the
 /// header git_rev is just the last writer), so a merged file's numbers
-/// stay attributable after partial refreshes.  MB = 10^6 bytes.
+/// stay attributable after partial refreshes, and the ci.sh throughput
+/// gate can skip rows recorded on different hardware instead of flagging
+/// phantom regressions.  MB = 10^6 bytes.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -3,41 +3,53 @@
 # ci.sh — the whole gate in one script.
 #
 #   1. Tier-1 verify (ROADMAP.md): configure, build, full ctest.
-#   2. Sanitizer job: a second build with -DEFC_SANITIZE=ON (ASan+UBSan)
+#   2. Scalar-dispatch leg: the tier-1 label re-runs with EFC_SIMD=scalar,
+#      forcing every vectorized scanner (nibble shufti, run kernels,
+#      spec pairs) down to the portable paths — the SIMD kernels must be
+#      a pure optimization, never load-bearing.  Skippable with
+#      EFC_SKIP_SCALAR=1.
+#   3. Sanitizer job: a second build with -DEFC_SANITIZE=ON (ASan+UBSan)
 #      runs the tier-1 label — the fast-path boundary tests in particular
 #      are written so any vectorized-scan overread trips ASan.  Skippable
 #      with EFC_SKIP_ASAN=1 (roughly doubles build time).
-#   3. ThreadSanitizer job: a third build with -DEFC_SANITIZE=thread runs
+#   4. ThreadSanitizer job: a third build with -DEFC_SANITIZE=thread runs
 #      the `parallel` label — the data-parallel executor's speculation
 #      worker pool and ordered stitch under TSan.  Skippable with
 #      EFC_SKIP_TSAN=1.
-#   4. efc-serve smoke test: start a server, stream a CSV pipeline at it in
+#   5. efc-serve smoke test: start a server, stream a CSV pipeline at it in
 #      7-byte chunks, and require byte-identical output to one-shot
 #      `efcc --run` on the same file.
-#   5. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
+#   6. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
 #      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
 #      small fig9 benchmark run refreshes BENCH_throughput.json at the
 #      repo root so the recorded numbers track HEAD.  The fresh numbers
 #      are gated against the committed ones: any (pipeline, backend) row
 #      dropping more than EFC_BENCH_GATE_PCT percent (default 20) fails
 #      the script; EFC_BENCH_GATE_PCT=0 disables the gate (noisy shared
-#      machines).  Because the hot loops now carry metrics folds and
-#      trace-enabled checks, this gate doubles as the observability
-#      overhead gate: instrumentation that slows a backend past the
-#      threshold fails here.
-#   6. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
+#      machines).  Rows carry the hardware that measured them (nproc +
+#      detected SIMD level); rows recorded on different hardware are
+#      skipped rather than compared — a repo benchmarked on an AVX-512
+#      box must not fail CI on an SSE2 one.  Because the hot loops now
+#      carry metrics folds and trace-enabled checks, this gate doubles as
+#      the observability overhead gate: instrumentation that slows a
+#      backend past the threshold fails here.
+#   7. Codegen portability check: `efcc --emit-cpp` output (which embeds
+#      the AVX2/AVX-512 nibble scanners under GCC target attributes) must
+#      compile both with -mavx2 and with AVX disabled entirely.
+#   8. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
 #      must be byte-identical to the sequential run of the same file —
 #      the chunk/speculate/replay path end to end at a realistic size.
-#   7. Runtime-cache bench: cache-hit vs cache-miss request latency
+#   9. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
-#   8. Backend-equivalence certification: `efc-verify` proves VM bytecode,
-#      fast-path tables/kernels and the codegen classifier hash agree for
-#      every fig9/fig10/fig11/fig13 pipeline; any refutation fails the
-#      script (exit 1).  "unverified" states (budget exhaustion) pass —
-#      the fuzz smoke above covers them probabilistically.  The same
-#      obligations are unit-tested under `ctest -L certify` (mutation
-#      injection, corpus replay), which already ran as part of tier-1.
+#  10. Backend-equivalence certification: `efc-verify` proves VM bytecode,
+#      fast-path tables/kernels/nibble encodings/wide tables/spec pairs
+#      and the codegen classifier hash agree for every
+#      fig9/fig10/fig11/fig13 pipeline; any refutation fails the script
+#      (exit 1).  "unverified" states (budget exhaustion) pass — the fuzz
+#      smoke above covers them probabilistically.  The same obligations
+#      are unit-tested under `ctest -L certify` (mutation injection,
+#      corpus replay), which already ran as part of tier-1.
 #
 # Usage: ./ci.sh [build-dir]     (default: build)
 #===------------------------------------------------------------------------===#
@@ -45,12 +57,19 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/8] tier-1 verify =="
+echo "== [1/10] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/8] ASan+UBSan tier-1 =="
+echo "== [2/10] EFC_SIMD=scalar tier-1 (vector kernels forced off) =="
+if [ "${EFC_SKIP_SCALAR:-0}" = "1" ]; then
+  echo "skipped (EFC_SKIP_SCALAR=1)"
+else
+  (cd "$BUILD" && EFC_SIMD=scalar ctest --output-on-failure -j -L tier1)
+fi
+
+echo "== [3/10] ASan+UBSan tier-1 =="
 if [ "${EFC_SKIP_ASAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_ASAN=1)"
 else
@@ -63,7 +82,7 @@ else
      ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [3/8] TSan parallel suite =="
+echo "== [4/10] TSan parallel suite =="
 if [ "${EFC_SKIP_TSAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_TSAN=1)"
 else
@@ -72,7 +91,7 @@ else
   (cd "$BUILD-tsan" && ctest --output-on-failure -j -L parallel)
 fi
 
-echo "== [4/8] efc-serve smoke test =="
+echo "== [5/10] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
@@ -98,7 +117,7 @@ if [ "$STREAMED" != "$ONESHOT" ]; then
 fi
 echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
 
-echo "== [5/8] fast-path divergence gate + throughput smoke =="
+echo "== [6/10] fast-path divergence gate + throughput smoke =="
 # Deterministic fig9-style CSV corpus, big enough to cross chunk and
 # buffer-growth boundaries.
 for i in $(seq 0 4999); do
@@ -127,8 +146,17 @@ EFC_BENCH_MB=1 EFC_BENCH_PIPELINES=CSV-max,UTF8-lines,CC-id \
   EFC_BENCH_JSON="$SCRATCH/throughput.json" \
   "$BUILD/bench/fig9_pipelines" \
   --benchmark_filter='/(Fused|FusedFastPath)$' --benchmark_min_time=0.1s
+# The committed rows carry the hardware that measured them; compare only
+# rows recorded on a matching machine (same detected SIMD level, same
+# logical core count) so runs on weaker/stronger boxes skip instead of
+# tripping the gate.  The ISA ladder mirrors src/vm/Simd.cpp detection.
+CUR_NPROC=$(nproc)
+if grep -qw avx512f /proc/cpuinfo && grep -qw avx512bw /proc/cpuinfo \
+    && grep -qw avx512vl /proc/cpuinfo; then CUR_ISA=avx512
+elif grep -qw avx2 /proc/cpuinfo; then CUR_ISA=avx2
+else CUR_ISA=sse2; fi
 if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
-  awk -v pct="$GATE_PCT" '
+  awk -v pct="$GATE_PCT" -v nproc="$CUR_NPROC" -v isa="$CUR_ISA" '
     function key(line) {
       match(line, /"pipeline": "[^"]*"/)
       p = substr(line, RSTART + 13, RLENGTH - 14)
@@ -140,7 +168,32 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
       match(line, /"mb_per_s": [0-9.]+/)
       return substr(line, RSTART + 12, RLENGTH - 12) + 0
     }
-    NR == FNR { if (/"pipeline"/) old[key($0)] = mbps($0); next }
+    function isa_of(line) {
+      if (match(line, /"isa": "[^"]*"/))
+        return substr(line, RSTART + 8, RLENGTH - 9)
+      return ""
+    }
+    function nproc_of(line) {
+      if (match(line, /"nproc": [0-9]+/))
+        return substr(line, RSTART + 9, RLENGTH - 9) + 0
+      return 0
+    }
+    # Rows predating hardware stamps (no isa/nproc fields) still gate.
+    function foreign(line,  i, n) {
+      i = isa_of(line); n = nproc_of(line)
+      return (i != "" && i != isa) || (n != 0 && n != nproc)
+    }
+    NR == FNR {
+      if (/"pipeline"/) {
+        if (foreign($0))
+          printf "  %-28s skipped (recorded on %s/%d-core, this machine" \
+                 " %s/%d-core)\n", key($0), isa_of($0), nproc_of($0), \
+                 isa, nproc
+        else
+          old[key($0)] = mbps($0)
+      }
+      next
+    }
     /"pipeline"/ {
       k = key($0); cur = mbps($0)
       if (k in old && old[k] > 0) {
@@ -161,7 +214,20 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
 fi
 mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
-echo "== [6/8] parallel executor smoke (8 MB, 4 threads) =="
+echo "== [7/10] codegen portability (emitted C++ with and without AVX) =="
+# The emitted translation unit embeds AVX2/AVX-512 nibble scanners under
+# GCC target attributes plus a scalar fallback; it must build on a plain
+# SSE2 toolchain configuration and under -mavx2 alike.
+"$BUILD/tools/efcc" --regex "$PATTERN" --agg max --format decimal \
+  --emit-cpp "$SCRATCH/emitted.cpp"
+CXX_PORT=${CXX:-c++}
+"$CXX_PORT" -std=c++17 -O2 -mavx2 -c "$SCRATCH/emitted.cpp" \
+  -o "$SCRATCH/emitted_avx2.o"
+"$CXX_PORT" -std=c++17 -O2 -mno-avx2 -mno-avx -c "$SCRATCH/emitted.cpp" \
+  -o "$SCRATCH/emitted_noavx.o"
+echo "emitted C++ compiles under -mavx2 and -mno-avx2 -mno-avx"
+
+echo "== [8/10] parallel executor smoke (8 MB, 4 threads) =="
 awk 'BEGIN { for (i = 0; i < 400000; i++)
   printf "row%d,%d,pad%d\n", i, (i * 37 + 11) % 1000000, i }' \
   > "$SCRATCH/par.csv"
@@ -177,10 +243,10 @@ if [ "$SEQ_OUT" != "$PAR_OUT" ]; then
 fi
 echo "efcc --parallel 4 == sequential on 8 MB CSV: '$PAR_OUT'"
 
-echo "== [7/8] cache-hit vs cache-miss latency =="
+echo "== [9/10] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
 
-echo "== [8/8] backend-equivalence certification =="
+echo "== [10/10] backend-equivalence certification =="
 "$BUILD/tools/efc-verify" --quiet
 
 echo "== ci.sh: all green =="

@@ -243,9 +243,36 @@ public:
           S += (W ? ", " : "") + hex(RK.Mask[W]);
         S += "};\n";
       }
+    // Nibble shuffle tables (vm/FastPath.h NibbleTable): the same
+    // encoding the VM scan kernels use, byte-for-byte, so native and VM
+    // classify spans identically at every ISA level.
+    for (unsigned Q = 0; Q < A.numStates(); ++Q)
+      for (unsigned K = 0; K < Kernels[Q].size(); ++K) {
+        const RunKernel &RK = Kernels[Q][K];
+        if (!RK.NT.Valid)
+          continue;
+        for (int Half = 0; Half < 2; ++Half) {
+          const std::array<uint8_t, 16> &T = Half ? RK.NT.Hi : RK.NT.Lo;
+          S += "static const unsigned char " + ntName(Q, K) +
+               (Half ? "_hi" : "_lo") + "[16] = {";
+          for (unsigned J = 0; J < 16; ++J)
+            S += (J ? "," : "") + std::to_string(T[J]);
+          S += "};\n";
+        }
+      }
     if (!S.empty())
       S += "\n";
     return S;
+  }
+
+  /// True when any kernel carries a shufti encoding — gates emission of
+  /// the efc_scan_nib dispatch helper.
+  bool anyNibbleKernel() const {
+    for (const std::vector<RunKernel> &Ks : Kernels)
+      for (const RunKernel &RK : Ks)
+        if (RK.NT.Valid)
+          return true;
+    return false;
   }
 
   std::string function() {
@@ -359,6 +386,11 @@ private:
            std::to_string(K);
   }
 
+  std::string ntName(unsigned Q, unsigned K) {
+    return Opts.FunctionName + "_nt" + std::to_string(Q) + "_" +
+           std::to_string(K);
+  }
+
   /// A table only pays off when the rule actually branches; leaf-only
   /// rules are already branch-free.
   bool usesTable(unsigned Q) const {
@@ -419,6 +451,13 @@ private:
     const bool NeedsStart = RK.K != RunKernel::Kind::Skip;
     if (NeedsStart)
       S += "      size_t rs = i - 1;\n";
+    // Shuffle-classified block scan first (whole 16/32-element strides;
+    // no-op below AVX2), then the SWAR loop and the scalar tail pin down
+    // the exact span end — the same ladder as the VM's scanRunEnd, so
+    // span boundaries coincide at every ISA level.
+    if (RK.NT.Valid)
+      S += "      i = efc_scan_nib(in, i, n, " + ntName(Q, K) + "_lo, " +
+           ntName(Q, K) + "_hi);\n";
     S += "      while (i + 4 <= n) {\n";
     S += "        uint64_t ra = in[i], rb = in[i + 1], rc = in[i + 2], "
          "rd = in[i + 3];\n";
@@ -549,6 +588,132 @@ std::string efc::generateCpp(const Bst &A, const CodeGenOptions &Opts,
        "{ return (m[x >> 6] >> (x & 63)) & 1ull; }\n\n";
 
   UnitEmitter U(A, Opts);
+  if (U.anyNibbleKernel()) {
+    // Shuffle-classified block scan, dispatched once per process on the
+    // detected ISA (clamped down by EFC_SIMD).  Advances only by whole
+    // 16/32-element blocks that classify entirely in-set; the emitted
+    // SWAR loop and scalar tail after it pin down the exact span end, so
+    // every level — including the scalar no-op fallback — yields the
+    // same boundaries.  Target attributes keep this buildable without
+    // -mavx2 on the command line.
+    S += "#if defined(__x86_64__) && defined(__GNUC__)\n"
+         "#include <immintrin.h>\n"
+         "#include <cstdlib>\n"
+         "#include <cstring>\n"
+         "static int efc_simd_level() {\n"
+         "  static const int L = [] {\n"
+         "    int l = 1;\n"
+         "    if (__builtin_cpu_supports(\"avx2\")) l = 2;\n"
+         "    if (__builtin_cpu_supports(\"avx512f\") &&\n"
+         "        __builtin_cpu_supports(\"avx512bw\") &&\n"
+         "        __builtin_cpu_supports(\"avx512vl\")) l = 3;\n"
+         "    if (const char *e = std::getenv(\"EFC_SIMD\")) {\n"
+         "      int r = l;\n"
+         "      if (!std::strcmp(e, \"scalar\")) r = 0;\n"
+         "      else if (!std::strcmp(e, \"sse2\")) r = 1;\n"
+         "      else if (!std::strcmp(e, \"avx2\")) r = 2;\n"
+         "      else if (!std::strcmp(e, \"avx512\")) r = 3;\n"
+         "      if (r < l) l = r;\n"
+         "    }\n"
+         "    return l;\n"
+         "  }();\n"
+         "  return L;\n"
+         "}\n"
+         "__attribute__((target(\"avx2\"))) static size_t\n"
+         "efc_scan_nib_avx2(const uint64_t *in, size_t i, size_t n,\n"
+         "                  const unsigned char *lo, const unsigned char "
+         "*hi) {\n"
+         "  const __m256i Lo2 = _mm256_broadcastsi128_si256(\n"
+         "      _mm_loadu_si128((const __m128i *)lo));\n"
+         "  const __m256i Hi2 = _mm256_broadcastsi128_si256(\n"
+         "      _mm_loadu_si128((const __m128i *)hi));\n"
+         "  const __m256i Wide = _mm256_set1_epi64x(~0xFFll);\n"
+         "  const __m256i Nib = _mm256_set1_epi8(0x0F);\n"
+         "  const __m256i Zero = _mm256_setzero_si256();\n"
+         "  while (i + 16 <= n) {\n"
+         "    __m256i A = _mm256_loadu_si256((const __m256i *)(in + i));\n"
+         "    __m256i B = _mm256_loadu_si256((const __m256i *)(in + i + "
+         "4));\n"
+         "    __m256i C = _mm256_loadu_si256((const __m256i *)(in + i + "
+         "8));\n"
+         "    __m256i D = _mm256_loadu_si256((const __m256i *)(in + i + "
+         "12));\n"
+         "    __m256i Or = _mm256_or_si256(_mm256_or_si256(A, B),\n"
+         "                                 _mm256_or_si256(C, D));\n"
+         "    if (!_mm256_testz_si256(Or, Wide)) break;\n"
+         "    __m256i Bytes = _mm256_packus_epi16(_mm256_packus_epi32(A, "
+         "B),\n"
+         "                                        _mm256_packus_epi32(C, "
+         "D));\n"
+         "    __m256i Cl = _mm256_and_si256(\n"
+         "        _mm256_shuffle_epi8(Lo2, _mm256_and_si256(Bytes, Nib)),\n"
+         "        _mm256_shuffle_epi8(Hi2,\n"
+         "            _mm256_and_si256(_mm256_srli_epi16(Bytes, 4), "
+         "Nib)));\n"
+         "    unsigned Esc = (unsigned)_mm256_movemask_epi8(\n"
+         "        _mm256_cmpeq_epi8(Cl, Zero));\n"
+         "    if (Esc & 0x55555555u) break;\n"
+         "    i += 16;\n"
+         "  }\n"
+         "  return i;\n"
+         "}\n"
+         "__attribute__((target(\"avx512f,avx512bw,avx512vl,avx2\"))) "
+         "static size_t\n"
+         "efc_scan_nib_avx512(const uint64_t *in, size_t i, size_t n,\n"
+         "                    const unsigned char *lo, const unsigned char "
+         "*hi) {\n"
+         "  const __m256i Lo2 = _mm256_broadcastsi128_si256(\n"
+         "      _mm_loadu_si128((const __m128i *)lo));\n"
+         "  const __m256i Hi2 = _mm256_broadcastsi128_si256(\n"
+         "      _mm_loadu_si128((const __m128i *)hi));\n"
+         "  const __m512i Wide = _mm512_set1_epi64(~0xFFll);\n"
+         "  const __m256i Nib = _mm256_set1_epi8(0x0F);\n"
+         "  const __m256i Zero = _mm256_setzero_si256();\n"
+         "  while (i + 32 <= n) {\n"
+         "    __m512i A = _mm512_loadu_si512(in + i);\n"
+         "    __m512i B = _mm512_loadu_si512(in + i + 8);\n"
+         "    __m512i C = _mm512_loadu_si512(in + i + 16);\n"
+         "    __m512i D = _mm512_loadu_si512(in + i + 24);\n"
+         "    __m512i Or = _mm512_or_si512(_mm512_or_si512(A, B),\n"
+         "                                 _mm512_or_si512(C, D));\n"
+         "    if (_mm512_test_epi64_mask(Or, Wide)) break;\n"
+         "    __m128i B0 = _mm512_cvtepi64_epi8(A);\n"
+         "    __m128i B1 = _mm512_cvtepi64_epi8(B);\n"
+         "    __m128i B2 = _mm512_cvtepi64_epi8(C);\n"
+         "    __m128i B3 = _mm512_cvtepi64_epi8(D);\n"
+         "    __m256i Bytes = _mm256_set_m128i(_mm_unpacklo_epi64(B2, "
+         "B3),\n"
+         "                                     _mm_unpacklo_epi64(B0, "
+         "B1));\n"
+         "    __m256i Cl = _mm256_and_si256(\n"
+         "        _mm256_shuffle_epi8(Lo2, _mm256_and_si256(Bytes, Nib)),\n"
+         "        _mm256_shuffle_epi8(Hi2,\n"
+         "            _mm256_and_si256(_mm256_srli_epi16(Bytes, 4), "
+         "Nib)));\n"
+         "    if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(Cl, Zero))) "
+         "break;\n"
+         "    i += 32;\n"
+         "  }\n"
+         "  return efc_scan_nib_avx2(in, i, n, lo, hi);\n"
+         "}\n"
+         "static size_t efc_scan_nib(const uint64_t *in, size_t i, size_t "
+         "n,\n"
+         "                           const unsigned char *lo,\n"
+         "                           const unsigned char *hi) {\n"
+         "  const int L = efc_simd_level();\n"
+         "  if (L >= 3) return efc_scan_nib_avx512(in, i, n, lo, hi);\n"
+         "  if (L >= 2) return efc_scan_nib_avx2(in, i, n, lo, hi);\n"
+         "  return i;\n"
+         "}\n"
+         "#else\n"
+         "static inline size_t efc_scan_nib(const uint64_t *, size_t i, "
+         "size_t,\n"
+         "                                  const unsigned char *,\n"
+         "                                  const unsigned char *) {\n"
+         "  return i;\n"
+         "}\n"
+         "#endif\n\n";
+  }
   S += U.tables();
   S += "[[maybe_unused]] static const unsigned long long " +
        Opts.FunctionName + "_classifier_hash = " + hex(classifierHash(A)) +
@@ -698,7 +863,7 @@ private:
 
 uint64_t efc::classifierHash(const Bst &A) {
   ClassifierHasher CH(A.context());
-  CH.mix(0xefc0de01ull); // fingerprint format version
+  CH.mix(0xefc0de02ull); // fingerprint format version (02: nibble tables)
   CH.mix(A.numStates());
   CH.mix(A.initialState());
   CH.mix(CH.typeHash(A.inputType()));
@@ -729,6 +894,12 @@ uint64_t efc::classifierHash(const Bst &A) {
         CH.mix(Slot);
         CH.mix(Imm);
       }
+      CH.mix(RK.NT.Valid);
+      if (RK.NT.Valid)
+        for (unsigned J = 0; J < 16; ++J) {
+          CH.mix(RK.NT.Lo[J]);
+          CH.mix(RK.NT.Hi[J]);
+        }
     }
   }
   return CH.hash();

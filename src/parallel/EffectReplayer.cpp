@@ -31,6 +31,24 @@ ReplayOutcome replayLane(const ChunkSpecResult &CR,
   CompiledTransducer::Cursor Scratch(T);
   std::vector<uint64_t> Seed(NR);
 
+  // One exact reservation for the whole merge chain: each link
+  // contributes the slice of its recorded output past the previous
+  // link's merge point, so the interleaved inserts below never
+  // reallocate.  (Deferred log programs can emit on top of this — rare,
+  // and vector growth covers them.)
+  {
+    size_t Need = 0, B = 0;
+    for (int I = int(Idx);;) {
+      const Lane &L = CR.Lanes[I];
+      Need += L.Out.size() - B;
+      if (L.MergedInto < 0)
+        break;
+      B = L.MergeOutPos;
+      I = L.MergedInto;
+    }
+    Out.reserve(Out.size() + Need);
+  }
+
   // Walk the merge chain: each link contributes the slice of its leader
   // recorded after the merge point, interleaving deferred log entries at
   // their recorded output positions.

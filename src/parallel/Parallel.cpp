@@ -118,8 +118,13 @@ bool parallelFeed(const ParallelPlan &PP, const FastPathPlan &FP,
   }
 
   std::vector<ChunkSpecResult> Spec(Chunks.size());
-  std::vector<uint64_t> Out0;
   bool Ok0 = true;
+  // Chunk 0 streams straight into the caller's buffer — the pool threads
+  // only write their own Spec[] slots, so Out stays single-writer and
+  // the old stage-then-copy temporary is unnecessary.  Reserve for the
+  // whole input once; replayed chunks then append without reallocating.
+  if (Out.capacity() - Out.size() < In.size())
+    Out.reserve(Out.size() + In.size() + 16);
   {
     trace::Span SSp("parallel_speculate");
     SSp.note("threads", uint64_t(Threads));
@@ -145,7 +150,7 @@ bool parallelFeed(const ParallelPlan &PP, const FastPathPlan &FP,
     {
       FastPathCursor C0(FP, T);
       C0.restore(State, Regs);
-      Ok0 = C0.feed(In.subspan(0, Chunks[0].End), Out0);
+      Ok0 = C0.feed(In.subspan(0, Chunks[0].End), Out);
       State = C0.state();
       std::span<const uint64_t> RS = C0.regSlots();
       Regs.assign(RS.begin(), RS.end());
@@ -171,9 +176,6 @@ bool parallelFeed(const ParallelPlan &PP, const FastPathPlan &FP,
     }
 
   trace::Span RSp("parallel_replay");
-  if (Out.capacity() - Out.size() < In.size())
-    Out.reserve(Out.size() + In.size() + 16);
-  Out.insert(Out.end(), Out0.begin(), Out0.end());
   bool Ok = Ok0;
   if (Ok)
     for (size_t CI = 1; CI < Chunks.size(); ++CI) {

@@ -9,6 +9,7 @@
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
+#include "vm/Simd.h"
 
 #include <cassert>
 #include <cstdio>
@@ -220,6 +221,9 @@ struct CacheMetrics {
   metrics::Counter &PlanTableStates;
   metrics::Counter &PlanAccelStates;
   metrics::Counter &PlanRunKernels;
+  metrics::Counter &PlanNibbleKernels;
+  metrics::Counter &PlanWideStates;
+  metrics::Counter &PlanSpecPairs;
   static CacheMetrics &get() {
     auto &R = metrics::Registry::instance();
     static CacheMetrics M{
@@ -239,7 +243,21 @@ struct CacheMetrics {
         R.counter("efc_fastpath_plan_accel_states_total",
                   "Run-accelerated states across built plans"),
         R.counter("efc_fastpath_plan_run_kernels_total",
-                  "Run kernels across built plans")};
+                  "Run kernels across built plans"),
+        R.counter("efc_fastpath_plan_nibble_kernels_total",
+                  "Run kernels with a pshufb nibble encoding"),
+        R.counter("efc_fastpath_plan_wide_states_total",
+                  "States with a wide-domain (width > 8) table"),
+        R.counter("efc_fastpath_plan_spec_pairs_total",
+                  "Two-state speculative alternating pairs")};
+    // The scan-kernel ISA level is process-wide and fixed after the
+    // first probe; expose it once so dashboards can correlate
+    // throughput with the dispatched instruction set.
+    metrics::Registry::instance()
+        .gauge("efc_simd_level",
+               "Active SIMD dispatch level (0=scalar 1=sse2 2=avx2 "
+               "3=avx512)")
+        .set(int64_t(simd::activeLevel()));
     return M;
   }
 };
@@ -341,15 +359,17 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
     return nullptr;
   }
   P->Vm.emplace(std::move(*Vm));
-  FastPathOptions FOpts;
-  if (const char *Accel = std::getenv("EFC_FASTPATH_ACCEL"))
-    FOpts.RunAccel = std::atoi(Accel) != 0;
+  FastPathOptions FOpts = FastPathOptions::fromEnv();
   {
     trace::Span FpSp("fastpath_plan");
     P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm, FOpts));
     const FastPathPlan::Stats &FS = P->Fast->stats();
     FpSp.note("table_states", (uint64_t)FS.TableStates);
     FpSp.note("accel_states", (uint64_t)FS.AccelStates);
+    FpSp.note("nibble_kernels", (uint64_t)FS.NibbleKernels);
+    FpSp.note("wide_states", (uint64_t)FS.WideStates);
+    FpSp.note("spec_pairs", (uint64_t)FS.SpecPairs);
+    FpSp.note("simd_level", (uint64_t)simd::activeLevel());
   }
   {
     trace::Span PpSp("parallel_plan");
@@ -440,6 +460,9 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       Counters.FastAccelStates += FS.AccelStates;
       Counters.FastRunKernels +=
           FS.SkipKernels + FS.CopyKernels + FS.ConstAppendKernels;
+      Counters.FastNibbleKernels += FS.NibbleKernels;
+      Counters.FastWideStates += FS.WideStates;
+      Counters.FastSpecPairs += FS.SpecPairs;
       Counters.ParEligible += P->Par && P->Par->eligible() ? 1 : 0;
       CacheMetrics &CM = CacheMetrics::get();
       CM.Builds.inc();
@@ -448,6 +471,9 @@ PipelineCache::get(const PipelineSpec &Spec, bool WantNative,
       CM.PlanAccelStates.inc(FS.AccelStates);
       CM.PlanRunKernels.inc(FS.SkipKernels + FS.CopyKernels +
                             FS.ConstAppendKernels);
+      CM.PlanNibbleKernels.inc(FS.NibbleKernels);
+      CM.PlanWideStates.inc(FS.WideStates);
+      CM.PlanSpecPairs.inc(FS.SpecPairs);
       CertifyMetrics &XM = CertifyMetrics::get();
       Counters.CertTimeouts += P->CertTimeouts;
       XM.Timeouts.inc(P->CertTimeouts);
@@ -526,14 +552,15 @@ size_t PipelineCache::size() const {
 }
 
 std::string PipelineCache::Stats::str() const {
-  char Buf[512];
+  char Buf[768];
   snprintf(Buf, sizeof(Buf),
            "hits=%llu misses=%llu coalesced=%llu negative_hits=%llu "
            "evictions=%llu "
            "builds=%llu build_s=%.3f native_compiles=%llu "
            "native_disk_hits=%llu native_compile_ms=%.1f "
            "fast_table_states=%llu fast_accel_states=%llu "
-           "fast_run_kernels=%llu par_eligible=%llu "
+           "fast_run_kernels=%llu fast_nibble_kernels=%llu "
+           "fast_wide_states=%llu fast_spec_pairs=%llu par_eligible=%llu "
            "cert_certified=%llu cert_unverified=%llu cert_refuted=%llu "
            "certify_timeouts=%llu",
            (unsigned long long)Hits, (unsigned long long)Misses,
@@ -545,6 +572,9 @@ std::string PipelineCache::Stats::str() const {
            (unsigned long long)FastTableStates,
            (unsigned long long)FastAccelStates,
            (unsigned long long)FastRunKernels,
+           (unsigned long long)FastNibbleKernels,
+           (unsigned long long)FastWideStates,
+           (unsigned long long)FastSpecPairs,
            (unsigned long long)ParEligible,
            (unsigned long long)CertCertified,
            (unsigned long long)CertUnverified,

@@ -156,6 +156,9 @@ public:
     uint64_t FastTableStates = 0; ///< fast-path plan stats, summed over
     uint64_t FastAccelStates = 0; ///< built entries (coverage telemetry)
     uint64_t FastRunKernels = 0;
+    uint64_t FastNibbleKernels = 0; ///< kernels with a shufti encoding
+    uint64_t FastWideStates = 0;    ///< states with a wide-domain table
+    uint64_t FastSpecPairs = 0;     ///< speculative alternating pairs
     uint64_t ParEligible = 0; ///< builds whose parallel plan is usable
     uint64_t CertCertified = 0;  ///< builds certified end-to-end
     uint64_t CertUnverified = 0; ///< builds degraded by budget/Unknown

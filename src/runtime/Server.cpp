@@ -541,6 +541,9 @@ void Server::dropSession(const std::shared_ptr<Session> &Sess) {
     // stream is quiescent here).
     C.FastRuns += Sess->Stream->fastRuns();
     C.FastRunElements += Sess->Stream->fastRunElements();
+    C.FastWideElements += Sess->Stream->fastWideElements();
+    C.FastSpecRuns += Sess->Stream->fastSpecRuns();
+    C.FastSpecElements += Sess->Stream->fastSpecElements();
   }
   Sess->Doomed = true;
 }
@@ -554,6 +557,8 @@ std::string Server::statsText() const {
            "replies=%llu errors=%llu rejected=%llu frames_dropped=%llu "
            "bytes_in=%llu "
            "bytes_out=%llu fast_runs=%llu fast_run_elems=%llu "
+           "fast_wide_elems=%llu fast_spec_runs=%llu "
+           "fast_spec_elems=%llu "
            "threads=%u queue_cap=%zu",
            (unsigned long long)C.SessionsOpened, Sessions.size(),
            (unsigned long long)C.FramesIn, (unsigned long long)C.Replies,
@@ -561,7 +566,10 @@ std::string Server::statsText() const {
            (unsigned long long)C.FramesDropped,
            (unsigned long long)C.BytesIn, (unsigned long long)C.BytesOut,
            (unsigned long long)C.FastRuns,
-           (unsigned long long)C.FastRunElements, Opts.Threads,
+           (unsigned long long)C.FastRunElements,
+           (unsigned long long)C.FastWideElements,
+           (unsigned long long)C.FastSpecRuns,
+           (unsigned long long)C.FastSpecElements, Opts.Threads,
            Opts.MaxQueuePerSession);
   // Speculation telemetry, read back from the global registry (the
   // parallel executor folds its counters there; re-registration interns

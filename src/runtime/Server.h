@@ -144,6 +144,9 @@ private:
     uint64_t BytesOut = 0; ///< session output bytes produced
     uint64_t FastRuns = 0; ///< run-kernel spans driven, completed sessions
     uint64_t FastRunElements = 0; ///< elements those spans consumed
+    uint64_t FastWideElements = 0; ///< wide-table memo hits (elems >= 256)
+    uint64_t FastSpecRuns = 0;     ///< speculative alternating spans
+    uint64_t FastSpecElements = 0; ///< elements those spans consumed
   } C;
 };
 

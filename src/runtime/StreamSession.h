@@ -81,6 +81,17 @@ public:
   uint64_t fastRunElements() const {
     return FCur ? FCur->runCounters().RunElements : 0;
   }
+  /// Wide-domain table hits (elements >= 256 served from memo pools) and
+  /// two-state speculative alternating spans.
+  uint64_t fastWideElements() const {
+    return FCur ? FCur->runCounters().WideElements : 0;
+  }
+  uint64_t fastSpecRuns() const {
+    return FCur ? FCur->runCounters().SpecRuns : 0;
+  }
+  uint64_t fastSpecElements() const {
+    return FCur ? FCur->runCounters().SpecElements : 0;
+  }
 
   /// Arms data-parallel execution for large feeds (fast-path backend
   /// only; ignored elsewhere).  A single feed() of at least \p MinBytes

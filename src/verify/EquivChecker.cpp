@@ -1367,8 +1367,346 @@ private:
         if (!checkRegEffect(*Vp, RK.Writes, B, Q, "kernel", "run kernel"))
           return;
       }
+      // Nibble encoding: the shuffle tables drive the SIMD block scans,
+      // the 256-bit mask drives the SWAR/scalar ladder that finishes the
+      // span — they must agree on membership at every byte or different
+      // ISA levels would find different span ends.
+      if (RK.NT.Valid)
+        for (unsigned B = 0; B < 256; ++B)
+          if (RK.NT.contains(uint8_t(B)) != RK.covers(B)) {
+            refute(makeCe("kernel", Q, false, {B},
+                          "nibble table disagrees with kernel byte mask"));
+            return;
+          }
     }
   }
+
+  /// Speculative pairs are justified purely against the (already
+  /// certified) dispatch tables: every byte of each leg mask must take
+  /// exactly the Const/Jump action the pair replays in bulk, so the
+  /// alternating scanner commits the same effects element-wise dispatch
+  /// would have.
+  void checkSpec(unsigned Q) {
+    if (!Plan || Q >= Plan->numStates())
+      return;
+    const FastPathPlan::StateTable &ST = Plan->stateTable(Q);
+    for (unsigned B = 0; B < 256; ++B) {
+      uint8_t Sp = ST.SpecId[B];
+      if (Sp == FastPathPlan::NoRun)
+        continue;
+      if (Sp >= ST.Specs.size() ||
+          !SpecPair::maskCovers(ST.Specs[Sp].M1, B)) {
+        refute(makeCe("spec", Q, false, {B},
+                      "spec dispatch map points outside its pair mask"));
+        return;
+      }
+    }
+    for (const SpecPair &SP : ST.Specs) {
+      if (SP.Other >= Plan->numStates() ||
+          !Plan->stateTable(SP.Other).HasTable || !ST.HasTable) {
+        refute(makeCe("spec", Q, false, {},
+                      "spec pair references a state without a table"));
+        return;
+      }
+      if (!checkSpecLeg(Q, Q, SP.Other, SP.M1, SP.NT1, SP.Emits1,
+                        SP.Writes1) ||
+          !checkSpecLeg(Q, SP.Other, Q, SP.M2, SP.NT2, SP.Emits2,
+                        SP.Writes2))
+        return;
+    }
+  }
+
+  /// One leg of a speculative pair: in state \p From, every byte of
+  /// \p M must dispatch to a Const/Jump action targeting \p To with
+  /// exactly \p Emits / \p Writes, and must not belong to a run kernel
+  /// (the driver's probe order would never reach the pair otherwise).
+  bool checkSpecLeg(unsigned Q, unsigned From, unsigned To,
+                    const std::array<uint64_t, 4> &M, const NibbleTable &NT,
+                    const std::vector<uint64_t> &Emits,
+                    const std::vector<std::pair<uint16_t, uint64_t>> &Writes) {
+    const FastPathPlan::StateTable &FT = Plan->stateTable(From);
+    for (unsigned B = 0; B < 256; ++B) {
+      if (NT.Valid && NT.contains(uint8_t(B)) != SpecPair::maskCovers(M, B)) {
+        refute(makeCe("spec", Q, false, {B},
+                      "spec nibble table disagrees with its leg mask"));
+        return false;
+      }
+      if (!SpecPair::maskCovers(M, B))
+        continue;
+      if (FT.RunId[B] != FastPathPlan::NoRun) {
+        refute(makeCe("spec", Q, false, {B},
+                      "spec leg byte is owned by a run kernel"));
+        return false;
+      }
+      if (FT.Dispatch[B] >= FT.Actions.size()) {
+        refute(makeCe("spec", Q, false, {B},
+                      "spec leg dispatch index out of range"));
+        return false;
+      }
+      const FastPathPlan::Action &Act = FT.Actions[FT.Dispatch[B]];
+      bool IsJump = Act.K == FastPathPlan::Action::Kind::Jump;
+      if ((!IsJump && Act.K != FastPathPlan::Action::Kind::Const) ||
+          Act.Target != To) {
+        refute(makeCe("spec", Q, false, {B},
+                      "spec leg byte is not a Const/Jump to the partner "
+                      "state"));
+        return false;
+      }
+      const std::vector<uint64_t> &WantE = IsJump ? EmptyEmits : Act.Emits;
+      const std::vector<std::pair<uint16_t, uint64_t>> &WantW =
+          IsJump ? EmptyWrites : Act.Writes;
+      if (WantE != Emits || WantW != Writes) {
+        refute(makeCe("spec", Q, false, {B},
+                      "spec leg effects disagree with the table action"));
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Wide-domain tables: a full differential sweep of [256, Limit)
+  /// against the bytecode paths, using the plan builder's own
+  /// memoized-bitmap discipline so the sweep stays within the state
+  /// budget.  Structure (reject/target/program equivalence) is checked
+  /// once per (wide class, bytecode path) pair; the memoized effect
+  /// pools are checked per element.
+  void checkWide(unsigned Q, const std::vector<SymPath> &VPaths) {
+    if (!Plan || Q >= Plan->numStates())
+      return;
+    const WideTable &WT = Plan->stateTable(Q).Wide;
+    if (!WT.Has)
+      return;
+    const Type *ITy = A.inputType();
+    const unsigned W = ITy->isBitVec() ? ITy->width() : 0;
+    if (W <= 8 || W > 16 || WT.Limit != (1u << W) ||
+        WT.ClassOf.size() != WT.Limit) {
+      refute(makeCe("wide", Q, false, {}, "wide table domain mismatch"));
+      return;
+    }
+    const bool Pools = !WT.EmitOff.empty();
+    if (Pools && (WT.EmitOff.size() != WT.Limit + 1 ||
+                  WT.WriteOff.size() != WT.Limit + 1)) {
+      refute(makeCe("wide", Q, false, {}, "memo pool offsets malformed"));
+      return;
+    }
+    for (const WideTable::Class &C : WT.Classes)
+      if (C.K == WideTable::Class::Kind::Memo && !Pools) {
+        refute(makeCe("wide", Q, false, {}, "memo class without pools"));
+        return;
+      }
+    // Register-dependent guards make the table unvalidatable concretely
+    // (the builder would not have produced one, so reaching this is
+    // itself suspicious — but degrade, don't refute).
+    for (const SymPath &P : VPaths)
+      for (TermRef Cn : P.Conds)
+        if (!usesOnlyX(Cn)) {
+          degrade(CertStatus::Unverified);
+          return;
+        }
+
+    // One reference-evaluator sweep per distinct guard term, then each
+    // element's path is O(depth) bit tests.
+    std::unordered_map<TermRef, std::vector<uint64_t>> CondBits;
+    auto condAt = [&](TermRef Cn, uint32_t V) -> bool {
+      auto It = CondBits.find(Cn);
+      if (It == CondBits.end()) {
+        std::vector<uint64_t> Bits((WT.Limit + 63) / 64);
+        for (uint32_t U = 0; U < WT.Limit; ++U) {
+          Env E;
+          E.bind(X64, Value::bv(64, U));
+          if (evalTerm(Cn, E).boolValue())
+            Bits[U >> 6] |= uint64_t(1) << (U & 63);
+        }
+        It = CondBits.emplace(Cn, std::move(Bits)).first;
+      }
+      return (It->second[V >> 6] >> (V & 63)) & 1;
+    };
+    // Input-only effect terms get one value table each.
+    std::unordered_map<TermRef, std::vector<uint64_t>> ValMemo;
+    auto valAt = [&](TermRef Tm, uint32_t V) -> std::optional<uint64_t> {
+      if (!usesOnlyX(Tm))
+        return std::nullopt;
+      auto It = ValMemo.find(Tm);
+      if (It == ValMemo.end()) {
+        std::vector<uint64_t> Vals(WT.Limit);
+        for (uint32_t U = 0; U < WT.Limit; ++U) {
+          Env E;
+          E.bind(X64, Value::bv(64, U));
+          Value R = evalTerm(Tm, E);
+          Vals[U] = R.isBool() ? uint64_t(R.boolValue()) : R.bits();
+        }
+        It = ValMemo.emplace(Tm, std::move(Vals)).first;
+      }
+      return It->second[V];
+    };
+
+    const size_t NP = VPaths.size();
+    std::vector<uint8_t> PairSeen(WT.Classes.size() * NP, 0);
+    std::vector<std::optional<std::vector<SymPath>>> ClassPaths(
+        WT.Classes.size());
+    for (uint32_t V = 256; V < WT.Limit; ++V) {
+      if ((V & 1023u) == 0 && !budgetLeft())
+        return;
+      if (WT.ClassOf[V] >= WT.Classes.size()) {
+        refute(makeCe("wide", Q, false, {V}, "class index out of range"));
+        return;
+      }
+      const uint16_t CI = WT.ClassOf[V];
+      const WideTable::Class &C = WT.Classes[CI];
+      if (C.K == WideTable::Class::Kind::Fallback)
+        continue; // dispatches to the bytecode program itself
+      int PI = -1;
+      for (size_t I = 0; I < NP; ++I) {
+        bool All = true;
+        for (TermRef Cn : VPaths[I].Conds)
+          if (!condAt(Cn, V)) {
+            All = false;
+            break;
+          }
+        if (All) {
+          PI = int(I);
+          break;
+        }
+      }
+      if (PI < 0) {
+        degrade(CertStatus::Unverified);
+        return;
+      }
+      const SymPath &Vp = VPaths[size_t(PI)];
+      uint8_t &Seen = PairSeen[size_t(CI) * NP + size_t(PI)];
+      switch (C.K) {
+      case WideTable::Class::Kind::Reject:
+        if (!Vp.Reject) {
+          refute(makeCe("wide", Q, false, {V},
+                        "wide class rejects, bytecode accepts"));
+          return;
+        }
+        break;
+      case WideTable::Class::Kind::Memo: {
+        if (Vp.Reject || Vp.Target != C.Target) {
+          refute(makeCe("wide", Q, false, {V},
+                        "wide class target disagrees with bytecode"));
+          return;
+        }
+        const uint32_t E0 = WT.EmitOff[V], E1 = WT.EmitOff[V + 1];
+        if (size_t(E1 - E0) != Vp.Emits.size()) {
+          refute(makeCe("wide", Q, false, {V},
+                        "memoized emit count disagrees with bytecode"));
+          return;
+        }
+        for (uint32_t I = 0; I < E1 - E0; ++I) {
+          std::optional<uint64_t> Got = valAt(Vp.Emits[I], V);
+          if (!Got) {
+            degrade(CertStatus::Unverified);
+            return;
+          }
+          if (*Got != WT.EmitPool[E0 + I]) {
+            refute(makeCe("wide", Q, false, {V},
+                          "memoized emit disagrees with bytecode"));
+            return;
+          }
+        }
+        const uint32_t W0 = WT.WriteOff[V], W1 = WT.WriteOff[V + 1];
+        for (size_t I = 0; I < Vp.RegOut.size(); ++I) {
+          const std::pair<uint16_t, uint64_t> *Wr = nullptr;
+          for (uint32_t J = W0; J < W1; ++J)
+            if (WT.WritePool[J].first == I) {
+              Wr = &WT.WritePool[J];
+              break;
+            }
+          if (Wr) {
+            std::optional<uint64_t> Got = valAt(Vp.RegOut[I], V);
+            if (!Got) {
+              degrade(CertStatus::Unverified);
+              return;
+            }
+            if (*Got != Wr->second) {
+              refute(makeCe("wide", Q, false, {V},
+                            "memoized register write disagrees with "
+                            "bytecode (slot " +
+                                std::to_string(I) + ")"));
+              return;
+            }
+          } else if (Vp.RegOut[I] != RegVars[I]) {
+            // Claimed unchanged; prove it once per (class, path) for the
+            // whole domain (stronger than the element set, so SAT only
+            // degrades — the witness may lie outside the class).
+            if (!Seen) {
+              DistinguishQuery Qr(S);
+              Qr.assumeAll(DomainConds);
+              Qr.requireEqual(Vp.RegOut[I], RegVars[I]);
+              if (Qr.trivial()) {
+                ++R.TrivialMatches;
+              } else {
+                ++R.SolverQueries;
+                DistinguishResult DR = Qr.check(witnessVars(false));
+                if (DR.R != SatResult::Unsat) {
+                  degrade(CertStatus::Unverified);
+                  return;
+                }
+              }
+            }
+          } else {
+            ++R.TrivialMatches;
+          }
+        }
+        break;
+      }
+      case WideTable::Class::Kind::Program: {
+        if (Vp.Reject || Vp.Target != C.Target) {
+          refute(makeCe("wide", Q, false, {V},
+                        "wide program target disagrees with bytecode"));
+          return;
+        }
+        if (Seen)
+          break;
+        if (!ClassPaths[CI]) {
+          std::vector<SymPath> APaths;
+          if (!symExec(C.Code, /*IsFinalizer=*/false, APaths)) {
+            degrade(CertStatus::Unverified);
+            return;
+          }
+          ClassPaths[CI] = std::move(APaths);
+        }
+        // Leaf programs are straight-line; require equal effects over the
+        // whole domain (a superset of the class's elements), so UNSAT
+        // certifies every element of the pair at once.
+        const std::vector<SymPath> &APaths = *ClassPaths[CI];
+        if (APaths.size() != 1 || APaths.front().Reject ||
+            APaths.front().Emits.size() != Vp.Emits.size()) {
+          degrade(CertStatus::Unverified);
+          return;
+        }
+        const SymPath &Ap = APaths.front();
+        DistinguishQuery Qr(S);
+        Qr.assumeAll(DomainConds);
+        for (size_t I = 0; I < Ap.Emits.size(); ++I)
+          Qr.requireEqual(Ap.Emits[I], Vp.Emits[I]);
+        for (size_t I = 0; I < Ap.RegOut.size(); ++I)
+          Qr.requireEqual(Ap.RegOut[I], Vp.RegOut[I]);
+        if (Qr.trivial()) {
+          ++R.TrivialMatches;
+          break;
+        }
+        ++R.SolverQueries;
+        DistinguishResult DR = Qr.check(witnessVars(false));
+        if (DR.R != SatResult::Unsat) {
+          // The witness ranges over the whole domain, not just this
+          // class's elements — inconclusive, not a refutation.
+          degrade(CertStatus::Unverified);
+          return;
+        }
+        break;
+      }
+      case WideTable::Class::Kind::Fallback:
+        break;
+      }
+      Seen = 1;
+    }
+  }
+
+  const std::vector<uint64_t> EmptyEmits;
+  const std::vector<std::pair<uint16_t, uint64_t>> EmptyWrites;
 
   //===------------------------------------------------------------------===//
   // Part 3: codegen classifier hash
@@ -1467,6 +1805,10 @@ CertReport Checker::run() {
         checkProgram(Q, /*IsFinalizer=*/false, "bytecode", VPaths);
         if (StateStatus != CertStatus::Refuted)
           checkTable(Q, VPaths);
+        if (StateStatus != CertStatus::Refuted)
+          checkSpec(Q);
+        if (StateStatus != CertStatus::Refuted)
+          checkWide(Q, VPaths);
       }
       if (StateStatus != CertStatus::Refuted) {
         std::vector<SymPath> FPaths;

@@ -5,13 +5,15 @@
 #include "support/Metrics.h"
 
 #include "term/Eval.h"
+#include "vm/Simd.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
+#if defined(__x86_64__)
+#include <immintrin.h>
 #endif
 
 using namespace efc;
@@ -74,6 +76,55 @@ Value inputValueAt(const Type *ITy, unsigned W, unsigned B) {
 }
 
 } // namespace
+
+FastPathOptions FastPathOptions::fromEnv() {
+  FastPathOptions O;
+  if (const char *E = std::getenv("EFC_FASTPATH_ACCEL"))
+    O.RunAccel = std::atoi(E) != 0;
+  if (const char *E = std::getenv("EFC_FASTPATH_WIDE"))
+    O.WideTables = std::atoi(E) != 0;
+  if (const char *E = std::getenv("EFC_FASTPATH_SPEC"))
+    O.SpecAccel = std::atoi(E) != 0;
+  return O;
+}
+
+NibbleTable efc::tryEncodeNibbleTable(const std::array<uint64_t, 4> &Mask) {
+  NibbleTable NT;
+  // Row r(h) = the set of low nibbles present under high nibble h.  Each
+  // distinct nonzero row gets one bucket bit; 16 rows but only 8 bucket
+  // bits, so > 8 distinct rows is inexpressible in one shuffle pair.
+  uint16_t Rows[16];
+  for (unsigned H = 0; H < 16; ++H) {
+    uint16_t R = 0;
+    for (unsigned L = 0; L < 16; ++L) {
+      unsigned B = H * 16 + L;
+      if ((Mask[B >> 6] >> (B & 63)) & 1)
+        R |= uint16_t(1u << L);
+    }
+    Rows[H] = R;
+  }
+  uint16_t Distinct[8];
+  unsigned NumBuckets = 0;
+  for (unsigned H = 0; H < 16; ++H) {
+    if (!Rows[H])
+      continue; // empty row: Hi stays 0, no byte under h matches
+    unsigned Bkt = 0;
+    while (Bkt < NumBuckets && Distinct[Bkt] != Rows[H])
+      ++Bkt;
+    if (Bkt == NumBuckets) {
+      if (NumBuckets == 8)
+        return NT; // needs a 9th bucket: not encodable
+      Distinct[NumBuckets++] = Rows[H];
+    }
+    NT.Hi[H] = uint8_t(1u << Bkt);
+  }
+  for (unsigned Bkt = 0; Bkt < NumBuckets; ++Bkt)
+    for (unsigned L = 0; L < 16; ++L)
+      if ((Distinct[Bkt] >> L) & 1)
+        NT.Lo[L] |= uint8_t(1u << Bkt);
+  NT.Valid = true;
+  return NT;
+}
 
 ByteClassTable efc::classifyDeltaByteClasses(const Bst &A, unsigned Q) {
   ByteClassTable R;
@@ -206,46 +257,32 @@ std::vector<RunKernel> efc::classifyRunKernels(const Bst &A, unsigned Q,
           RK.SingleEscape = int(B);
           break;
         }
+    // Shuffle-table encoding for the AVX2/AVX-512 block scanners.  Part
+    // of the kernel (and therefore of the codegen classifier hash): the
+    // VM and generated C++ must classify with the same tables.
+    RK.NT = tryEncodeNibbleTable(RK.Mask);
   }
   return Runs;
 }
 
-size_t efc::scanRunEnd(const uint64_t *In, size_t I, size_t N,
-                       const RunKernel &RK) {
+//===----------------------------------------------------------------------===//
+// SIMD scan kernels.  One function pointer per ISA level, selected once
+// by cpuid (simd::activeLevel); EFC_SIMD forces a lower level.  Every
+// vectorized loop bails out of the vector stride on the first block
+// containing an escape (or an element >= 256) and lets the narrower
+// kernel below it pin down the exact span end, so all levels return
+// identical indices and ASan-exact buffers see no overread beyond the
+// checked stride.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Scalar SWAR: four elements per iteration, one range test on the OR.
+size_t scanMaskScalar(const uint64_t *In, size_t I, size_t N,
+                      const RunKernel &RK) {
   const std::array<uint64_t, 4> &M = RK.Mask;
   if (RK.SingleEscape >= 0) {
     const uint64_t Esc = uint64_t(RK.SingleEscape);
-#if defined(__SSE2__)
-    // 8 elements per iteration: range-check via the OR of the high 56
-    // bits, then 64-bit equality against the escape (both 32-bit lanes
-    // must match, hence the AND with the lane-swapped compare).
-    const __m128i VEsc = _mm_set1_epi64x(int64_t(Esc));
-    const __m128i Zero = _mm_setzero_si128();
-    while (I + 8 <= N) {
-      __m128i V0 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I));
-      __m128i V1 =
-          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 2));
-      __m128i V2 =
-          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 4));
-      __m128i V3 =
-          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 6));
-      __m128i Hi = _mm_srli_epi64(
-          _mm_or_si128(_mm_or_si128(V0, V1), _mm_or_si128(V2, V3)), 8);
-      if (_mm_movemask_epi8(_mm_cmpeq_epi8(Hi, Zero)) != 0xFFFF)
-        break;
-      __m128i E0 = _mm_cmpeq_epi32(V0, VEsc), E1 = _mm_cmpeq_epi32(V1, VEsc);
-      __m128i E2 = _mm_cmpeq_epi32(V2, VEsc), E3 = _mm_cmpeq_epi32(V3, VEsc);
-      __m128i AnyEq = _mm_or_si128(
-          _mm_or_si128(_mm_and_si128(E0, _mm_shuffle_epi32(E0, 0xB1)),
-                       _mm_and_si128(E1, _mm_shuffle_epi32(E1, 0xB1))),
-          _mm_or_si128(_mm_and_si128(E2, _mm_shuffle_epi32(E2, 0xB1)),
-                       _mm_and_si128(E3, _mm_shuffle_epi32(E3, 0xB1))));
-      if (_mm_movemask_epi8(AnyEq))
-        break;
-      I += 8;
-    }
-#endif
-    // SWAR: four elements per iteration, one range test on the OR.
     while (I + 4 <= N) {
       uint64_t A = In[I], B = In[I + 1], C = In[I + 2], D = In[I + 3];
       if (((A | B | C | D) >> 8) || A == Esc || B == Esc || C == Esc ||
@@ -271,9 +308,241 @@ size_t efc::scanRunEnd(const uint64_t *In, size_t I, size_t N,
   return I;
 }
 
+#if defined(__x86_64__)
+
+/// SSE2 (x86-64 baseline): 8 elements per iteration for single-escape
+/// masks — range-check via the OR of the high 56 bits, then 64-bit
+/// equality against the escape (both 32-bit lanes must match, hence the
+/// AND with the lane-swapped compare).  Multi-class masks stay on SWAR
+/// (pshufb needs SSSE3).
+size_t scanMaskSse2(const uint64_t *In, size_t I, size_t N,
+                    const RunKernel &RK) {
+  if (RK.SingleEscape >= 0) {
+    const uint64_t Esc = uint64_t(RK.SingleEscape);
+    const __m128i VEsc = _mm_set1_epi64x(int64_t(Esc));
+    const __m128i Zero = _mm_setzero_si128();
+    while (I + 8 <= N) {
+      __m128i V0 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I));
+      __m128i V1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 2));
+      __m128i V2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 4));
+      __m128i V3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i *>(In + I + 6));
+      __m128i Hi = _mm_srli_epi64(
+          _mm_or_si128(_mm_or_si128(V0, V1), _mm_or_si128(V2, V3)), 8);
+      if (_mm_movemask_epi8(_mm_cmpeq_epi8(Hi, Zero)) != 0xFFFF)
+        break;
+      __m128i E0 = _mm_cmpeq_epi32(V0, VEsc), E1 = _mm_cmpeq_epi32(V1, VEsc);
+      __m128i E2 = _mm_cmpeq_epi32(V2, VEsc), E3 = _mm_cmpeq_epi32(V3, VEsc);
+      __m128i AnyEq = _mm_or_si128(
+          _mm_or_si128(_mm_and_si128(E0, _mm_shuffle_epi32(E0, 0xB1)),
+                       _mm_and_si128(E1, _mm_shuffle_epi32(E1, 0xB1))),
+          _mm_or_si128(_mm_and_si128(E2, _mm_shuffle_epi32(E2, 0xB1)),
+                       _mm_and_si128(E3, _mm_shuffle_epi32(E3, 0xB1))));
+      if (_mm_movemask_epi8(AnyEq))
+        break;
+      I += 8;
+    }
+  }
+  return scanMaskScalar(In, I, N, RK);
+}
+
+/// AVX2: 16 elements per iteration through the two-nibble-table shuffle.
+/// Four 256-bit loads are range-checked, packed u64 -> u8 (real bytes at
+/// even positions, zero padding at odd, lane-interleaved — the order is
+/// irrelevant to the all-bytes-pass test), and classified with one
+/// pshufb pair: byte in set <=> Lo[b & 15] & Hi[b >> 4] != 0.
+__attribute__((target("avx2"))) size_t
+scanMaskAvx2(const uint64_t *In, size_t I, size_t N, const RunKernel &RK) {
+  if (RK.NT.Valid) {
+    const __m256i Lo2 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(RK.NT.Lo.data())));
+    const __m256i Hi2 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(RK.NT.Hi.data())));
+    const __m256i HiBits = _mm256_set1_epi64x(~0xFFll);
+    const __m256i Nib = _mm256_set1_epi8(0x0F);
+    const __m256i Zero = _mm256_setzero_si256();
+    while (I + 16 <= N) {
+      __m256i V0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I));
+      __m256i V1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I + 4));
+      __m256i V2 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I + 8));
+      __m256i V3 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I + 12));
+      __m256i OrAll =
+          _mm256_or_si256(_mm256_or_si256(V0, V1), _mm256_or_si256(V2, V3));
+      if (!_mm256_testz_si256(OrAll, HiBits))
+        break; // some element >= 256
+      __m256i P01 = _mm256_packus_epi32(V0, V1);
+      __m256i P23 = _mm256_packus_epi32(V2, V3);
+      __m256i B = _mm256_packus_epi16(P01, P23);
+      __m256i Cls = _mm256_and_si256(
+          _mm256_shuffle_epi8(Lo2, _mm256_and_si256(B, Nib)),
+          _mm256_shuffle_epi8(Hi2,
+                              _mm256_and_si256(_mm256_srli_epi16(B, 4), Nib)));
+      unsigned Esc = unsigned(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+          Cls, Zero))); // bit set <=> byte at that position escapes
+      if (Esc & 0x55555555u) // real bytes sit at even positions
+        break;
+      I += 16;
+    }
+  }
+  return scanMaskSse2(In, I, N, RK);
+}
+
+/// AVX-512: 32 elements per iteration.  vpmovqb packs each 512-bit load
+/// to 8 contiguous bytes (no padding), so one 256-bit shuffle pair
+/// classifies 32 real bytes.
+__attribute__((target("avx512f,avx512bw,avx512vl,avx2"))) size_t
+scanMaskAvx512(const uint64_t *In, size_t I, size_t N, const RunKernel &RK) {
+  if (RK.NT.Valid) {
+    const __m256i Lo2 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(RK.NT.Lo.data())));
+    const __m256i Hi2 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(RK.NT.Hi.data())));
+    const __m512i HiBits = _mm512_set1_epi64(~0xFFll);
+    const __m256i Nib = _mm256_set1_epi8(0x0F);
+    const __m256i Zero = _mm256_setzero_si256();
+    while (I + 32 <= N) {
+      __m512i V0 = _mm512_loadu_si512(In + I);
+      __m512i V1 = _mm512_loadu_si512(In + I + 8);
+      __m512i V2 = _mm512_loadu_si512(In + I + 16);
+      __m512i V3 = _mm512_loadu_si512(In + I + 24);
+      __m512i OrAll =
+          _mm512_or_si512(_mm512_or_si512(V0, V1), _mm512_or_si512(V2, V3));
+      if (_mm512_test_epi64_mask(OrAll, HiBits))
+        break; // some element >= 256
+      __m128i B0 = _mm512_cvtepi64_epi8(V0);
+      __m128i B1 = _mm512_cvtepi64_epi8(V1);
+      __m128i B2 = _mm512_cvtepi64_epi8(V2);
+      __m128i B3 = _mm512_cvtepi64_epi8(V3);
+      __m256i B = _mm256_set_m128i(_mm_unpacklo_epi64(B2, B3),
+                                   _mm_unpacklo_epi64(B0, B1));
+      __m256i Cls = _mm256_and_si256(
+          _mm256_shuffle_epi8(Lo2, _mm256_and_si256(B, Nib)),
+          _mm256_shuffle_epi8(Hi2,
+                              _mm256_and_si256(_mm256_srli_epi16(B, 4), Nib)));
+      if (_mm256_movemask_epi8(_mm256_cmpeq_epi8(Cls, Zero)))
+        break;
+      I += 32;
+    }
+  }
+  return scanMaskAvx2(In, I, N, RK);
+}
+
+#endif // __x86_64__
+
+/// Scalar alternation: legs must strictly interleave M1,M2,M1,...
+/// starting on M1 at \p I.
+size_t scanAltScalar(const uint64_t *In, size_t I, size_t N,
+                     const SpecPair &SP) {
+  for (;;) {
+    if (I >= N || !SpecPair::maskCovers(SP.M1, In[I]))
+      return I;
+    ++I;
+    if (I >= N || !SpecPair::maskCovers(SP.M2, In[I]))
+      return I;
+    ++I;
+  }
+}
+
+#if defined(__x86_64__)
+
+/// AVX2 alternation: classify one packed block against BOTH states'
+/// nibble tables, then require leg-1 membership at even element indices
+/// and leg-2 at odd.  In the packed (lane-interleaved) byte order the
+/// element parity at byte position p is (p >> 1) & 1, so even elements
+/// sit at positions p % 4 == 0 (mask 0x11111111) and odd elements at
+/// p % 4 == 2 (mask 0x44444444).  The stride (16) is even, so blocks
+/// always start on a leg-1 element and the scalar tail does too.
+__attribute__((target("avx2"))) size_t
+scanAltAvx2(const uint64_t *In, size_t I, size_t N, const SpecPair &SP) {
+  if (SP.NT1.Valid && SP.NT2.Valid) {
+    const __m256i Lo1 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(SP.NT1.Lo.data())));
+    const __m256i Hi1 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(SP.NT1.Hi.data())));
+    const __m256i Lo2 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(SP.NT2.Lo.data())));
+    const __m256i Hi2 = _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(SP.NT2.Hi.data())));
+    const __m256i HiBits = _mm256_set1_epi64x(~0xFFll);
+    const __m256i Nib = _mm256_set1_epi8(0x0F);
+    const __m256i Zero = _mm256_setzero_si256();
+    while (I + 16 <= N) {
+      __m256i V0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I));
+      __m256i V1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I + 4));
+      __m256i V2 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I + 8));
+      __m256i V3 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i *>(In + I + 12));
+      __m256i OrAll =
+          _mm256_or_si256(_mm256_or_si256(V0, V1), _mm256_or_si256(V2, V3));
+      if (!_mm256_testz_si256(OrAll, HiBits))
+        break;
+      __m256i B = _mm256_packus_epi16(_mm256_packus_epi32(V0, V1),
+                                      _mm256_packus_epi32(V2, V3));
+      __m256i LoIdx = _mm256_and_si256(B, Nib);
+      __m256i HiIdx = _mm256_and_si256(_mm256_srli_epi16(B, 4), Nib);
+      __m256i C1 = _mm256_and_si256(_mm256_shuffle_epi8(Lo1, LoIdx),
+                                    _mm256_shuffle_epi8(Hi1, HiIdx));
+      __m256i C2 = _mm256_and_si256(_mm256_shuffle_epi8(Lo2, LoIdx),
+                                    _mm256_shuffle_epi8(Hi2, HiIdx));
+      unsigned Fail1 =
+          unsigned(_mm256_movemask_epi8(_mm256_cmpeq_epi8(C1, Zero)));
+      unsigned Fail2 =
+          unsigned(_mm256_movemask_epi8(_mm256_cmpeq_epi8(C2, Zero)));
+      if ((Fail1 & 0x11111111u) | (Fail2 & 0x44444444u))
+        break;
+      I += 16;
+    }
+  }
+  return scanAltScalar(In, I, N, SP);
+}
+
+#endif // __x86_64__
+
+using ScanFn = size_t (*)(const uint64_t *, size_t, size_t, const RunKernel &);
+using AltFn = size_t (*)(const uint64_t *, size_t, size_t, const SpecPair &);
+
+#if defined(__x86_64__)
+constexpr ScanFn ScanKernels[4] = {scanMaskScalar, scanMaskSse2, scanMaskAvx2,
+                                   scanMaskAvx512};
+constexpr AltFn AltKernels[4] = {scanAltScalar, scanAltScalar, scanAltAvx2,
+                                 scanAltAvx2};
+#else
+constexpr ScanFn ScanKernels[4] = {scanMaskScalar, scanMaskScalar,
+                                   scanMaskScalar, scanMaskScalar};
+constexpr AltFn AltKernels[4] = {scanAltScalar, scanAltScalar, scanAltScalar,
+                                 scanAltScalar};
+#endif
+
+} // namespace
+
+size_t efc::scanRunEnd(const uint64_t *In, size_t I, size_t N,
+                       const RunKernel &RK) {
+  return ScanKernels[int(simd::activeLevel())](In, I, N, RK);
+}
+
+size_t efc::scanAlternating(const uint64_t *In, size_t I, size_t N,
+                            const SpecPair &SP) {
+  return AltKernels[int(simd::activeLevel())](In, I, N, SP);
+}
+
 std::string efc::explainFastPath(const Bst &A) {
   std::string S;
   char Buf[192];
+  std::snprintf(Buf, sizeof Buf, "simd: detected %s, active %s\n",
+                simd::levelName(simd::detectedLevel()),
+                simd::levelName(simd::activeLevel()));
+  S += Buf;
+  const Type *ITy = A.inputType();
+  unsigned IW = !ITy->isScalar() ? 0 : ITy->isBool() ? 1 : ITy->width();
   unsigned TableStates = 0, AccelStates = 0;
   for (unsigned Q = 0, N = A.numStates(); Q < N; ++Q) {
     ByteClassTable C = classifyDeltaByteClasses(A, Q);
@@ -337,7 +606,44 @@ std::string efc::explainFastPath(const Bst &A) {
         S += Buf;
       }
       S += "}\n";
+      if (RK.NT.Valid) {
+        S += "    nibble lo=[";
+        for (unsigned J = 0; J < 16; ++J) {
+          std::snprintf(Buf, sizeof Buf, "%s%02x", J ? " " : "", RK.NT.Lo[J]);
+          S += Buf;
+        }
+        S += "] hi=[";
+        for (unsigned J = 0; J < 16; ++J) {
+          std::snprintf(Buf, sizeof Buf, "%s%02x", J ? " " : "", RK.NT.Hi[J]);
+          S += Buf;
+        }
+        S += "]\n";
+      } else {
+        S += "    nibble: not encodable (> 8 bucket rows), SWAR fallback\n";
+      }
     }
+    if (IW > 8 && IW <= 16) {
+      std::snprintf(Buf, sizeof Buf,
+                    "  wide tier: elements [256, %u) memoized at plan "
+                    "build (EFC_FASTPATH_WIDE=0 disables)\n",
+                    1u << IW);
+      S += Buf;
+    }
+  }
+  // Spec pairs are detected across states on the built plan, not per
+  // state on the rule trees — build one to report them.
+  if (auto T = CompiledTransducer::compile(A)) {
+    FastPathPlan P = FastPathPlan::build(A, *T);
+    for (unsigned Q = 0; Q < P.numStates(); ++Q)
+      for (const SpecPair &SP : P.stateTable(Q).Specs) {
+        std::snprintf(Buf, sizeof Buf,
+                      "state %u: spec pair with state %u, %u/%u bytes "
+                      "per leg%s\n",
+                      Q, SP.Other, SP.Bytes1, SP.Bytes2,
+                      SP.NT1.Valid && SP.NT2.Valid ? ", nibble-encoded"
+                                                   : "");
+        S += Buf;
+      }
   }
   std::snprintf(Buf, sizeof Buf,
                 "summary: %u/%u states tabulated, %u run-accelerated\n",
@@ -346,11 +652,263 @@ std::string efc::explainFastPath(const Bst &A) {
   return S;
 }
 
+namespace {
+
+/// Builds the wide-domain table of state \p Q: classifies every element
+/// of [0, 2^W) to its leaf via per-guard bitmaps (each distinct guard
+/// term is evaluated once per element with the reference evaluator,
+/// memoized across the whole domain), then memoizes constant effects
+/// into the shared pools.  The driver consults the table for elements
+/// in [256, Limit); entries below 256 are kept so the equivalence
+/// checker can cross-validate against the byte tables.
+void buildWideTable(const Bst &A, const CompiledTransducer &T, unsigned Q,
+                    FastPathPlan::StateTable &ST, unsigned W,
+                    const std::vector<TermRef> &OldLeaves,
+                    std::unordered_map<TermRef, bool> &IOMemo,
+                    FastPathPlan::Stats &S) {
+  TermContext &Ctx = A.context();
+  TermRef X = A.inputVar();
+  const Rule *Root = A.delta(Q).get();
+  const uint32_t Limit = 1u << W;
+
+  WideTable WT;
+  WT.Limit = Limit;
+  WT.ClassOf.resize(Limit);
+
+  // Distinct guard terms are shared heavily across the fused rule tree;
+  // one bitmap per term makes the per-element walk O(depth) bit tests.
+  std::unordered_map<TermRef, std::vector<uint64_t>> CondBits;
+  auto condAt = [&](TermRef C, uint32_t B) -> bool {
+    auto It = CondBits.find(C);
+    if (It == CondBits.end()) {
+      std::vector<uint64_t> Bits((Limit + 63) / 64);
+      for (uint32_t V = 0; V < Limit; ++V) {
+        Env E;
+        E.bind(X, Value::bv(W, V));
+        if (evalTerm(C, E).boolValue())
+          Bits[V >> 6] |= uint64_t(1) << (V & 63);
+      }
+      It = CondBits.emplace(C, std::move(Bits)).first;
+    }
+    return (It->second[B >> 6] >> (B & 63)) & 1;
+  };
+
+  std::unordered_map<const Rule *, uint16_t> Ids;
+  std::vector<const Rule *> Leaves;
+  for (uint32_t B = 0; B < Limit; ++B) {
+    const Rule *L = Root;
+    while (L->isIte())
+      L = condAt(L->cond(), B) ? L->thenRule().get() : L->elseRule().get();
+    auto [It, New] = Ids.emplace(L, uint16_t(Leaves.size()));
+    if (New) {
+      if (Leaves.size() >= 0xFFFE)
+        return; // class id space exhausted; keep bytecode for wide elements
+      Leaves.push_back(L);
+    }
+    WT.ClassOf[B] = It->second;
+  }
+
+  struct MemoInfo {
+    std::vector<unsigned> ChangedIdx;
+    std::vector<TermRef> NewLeaves;
+  };
+  std::vector<MemoInfo> MI(Leaves.size());
+  bool AnyMemo = false;
+  for (size_t K = 0; K < Leaves.size(); ++K) {
+    const Rule *L = Leaves[K];
+    WideTable::Class C;
+    if (L->isUndef()) {
+      C.K = WideTable::Class::Kind::Reject;
+      ++S.WideRejectClasses;
+      WT.Classes.push_back(std::move(C));
+      continue;
+    }
+    MemoInfo &M = MI[K];
+    collectRegLeaves(Ctx, L->update(), M.NewLeaves);
+    assert(M.NewLeaves.size() == OldLeaves.size());
+    for (unsigned I = 0; I < OldLeaves.size(); ++I)
+      if (M.NewLeaves[I] != OldLeaves[I])
+        M.ChangedIdx.push_back(I);
+    bool Foldable = true;
+    for (TermRef O : L->outputs())
+      if (!inputOnly(O, X, IOMemo)) {
+        Foldable = false;
+        break;
+      }
+    if (Foldable)
+      for (unsigned I : M.ChangedIdx)
+        if (!inputOnly(M.NewLeaves[I], X, IOMemo)) {
+          Foldable = false;
+          break;
+        }
+    if (Foldable) {
+      C.K = WideTable::Class::Kind::Memo;
+      C.Target = L->target();
+      AnyMemo = true;
+      ++S.WideMemoClasses;
+    } else {
+      unsigned MaxSlot = 0;
+      auto Prog = compileRuleProgram(A, L, /*IsFinalizer=*/false, &MaxSlot);
+      if (Prog && MaxSlot + 1 <= T.numSlots()) {
+        C.K = WideTable::Class::Kind::Program;
+        C.Target = L->target();
+        C.Code = std::move(*Prog);
+        ++S.WideProgramClasses;
+      } // else: defensive Fallback (bytecode per element)
+    }
+    WT.Classes.push_back(std::move(C));
+  }
+
+  if (AnyMemo) {
+    WT.EmitOff.resize(Limit + 1);
+    WT.WriteOff.resize(Limit + 1);
+    const Type *ITy = A.inputType();
+    for (uint32_t B = 0; B < Limit; ++B) {
+      WT.EmitOff[B] = uint32_t(WT.EmitPool.size());
+      WT.WriteOff[B] = uint32_t(WT.WritePool.size());
+      uint16_t K = WT.ClassOf[B];
+      if (WT.Classes[K].K != WideTable::Class::Kind::Memo)
+        continue;
+      const Rule *L = Leaves[K];
+      Env E;
+      E.bind(X, Value::bv(ITy->width(), B));
+      for (TermRef O : L->outputs())
+        WT.EmitPool.push_back(evalTerm(O, E).bits());
+      for (unsigned I : MI[K].ChangedIdx)
+        WT.WritePool.push_back(
+            {uint16_t(I), evalTerm(MI[K].NewLeaves[I], E).bits()});
+      if (B >= 256)
+        ++S.WideMemoElements;
+    }
+    WT.EmitOff[Limit] = uint32_t(WT.EmitPool.size());
+    WT.WriteOff[Limit] = uint32_t(WT.WritePool.size());
+  }
+
+  WT.Has = true;
+  ++S.WideStates;
+  ST.Wide = std::move(WT);
+}
+
+/// Second pass over a built plan: pair up (Q, P) states whose tables
+/// ping-pong through one shared Const/Jump action in each direction,
+/// producing SpecPairs for the alternating-span scanner.  For each
+/// direction the single action id covering the most bytes wins; bytes
+/// already owned by a run kernel are excluded (RunId is checked first by
+/// the driver anyway).
+void detectSpecPairs(std::vector<FastPathPlan::StateTable> &States,
+                     FastPathPlan::Stats &S) {
+  using Action = FastPathPlan::Action;
+  const unsigned N = unsigned(States.size());
+  // bestTo[Q][P] = action id in Q covering the most non-run bytes with
+  // Target == P (Const/Jump only), or -1.
+  auto bestAction = [&](unsigned Q, unsigned P,
+                        std::array<uint64_t, 4> &MaskOut) -> int {
+    const FastPathPlan::StateTable &ST = States[Q];
+    std::vector<unsigned> Count(ST.Actions.size(), 0);
+    for (unsigned B = 0; B < 256; ++B) {
+      if (ST.RunId[B] != FastPathPlan::NoRun)
+        continue;
+      uint16_t A = ST.Dispatch[B];
+      const Action &Act = ST.Actions[A];
+      if ((Act.K == Action::Kind::Jump || Act.K == Action::Kind::Const) &&
+          Act.Target == P)
+        ++Count[A];
+    }
+    int Best = -1;
+    unsigned BestN = 0;
+    for (unsigned A = 0; A < Count.size(); ++A)
+      if (Count[A] > BestN) {
+        BestN = Count[A];
+        Best = int(A);
+      }
+    if (Best < 0)
+      return -1;
+    MaskOut = {};
+    for (unsigned B = 0; B < 256; ++B)
+      if (ST.RunId[B] == FastPathPlan::NoRun && ST.Dispatch[B] == unsigned(Best))
+        MaskOut[B >> 6] |= uint64_t(1) << (B & 63);
+    return Best;
+  };
+
+  for (unsigned Q = 0; Q < N; ++Q) {
+    if (!States[Q].HasTable)
+      continue;
+    for (unsigned P = Q + 1; P < N; ++P) {
+      if (!States[P].HasTable)
+        continue;
+      if (States[Q].Specs.size() >= FastPathPlan::NoRun ||
+          States[P].Specs.size() >= FastPathPlan::NoRun)
+        continue;
+      std::array<uint64_t, 4> MQ{}, MP{};
+      int AQ = bestAction(Q, P, MQ);
+      if (AQ < 0)
+        continue;
+      int AP = bestAction(P, Q, MP);
+      if (AP < 0)
+        continue;
+      const Action &ActQ = States[Q].Actions[AQ];
+      const Action &ActP = States[P].Actions[AP];
+      auto popcount = [](const std::array<uint64_t, 4> &M) {
+        unsigned C = 0;
+        for (uint64_t W : M)
+          C += unsigned(__builtin_popcountll(W));
+        return C;
+      };
+      // Forward pair (spans starting in Q) and its mirror in P.
+      SpecPair F;
+      F.Other = P;
+      F.M1 = MQ;
+      F.M2 = MP;
+      F.NT1 = tryEncodeNibbleTable(MQ);
+      F.NT2 = tryEncodeNibbleTable(MP);
+      F.Emits1 = ActQ.Emits;
+      F.Emits2 = ActP.Emits;
+      F.Writes1 = ActQ.Writes;
+      F.Writes2 = ActP.Writes;
+      F.Bytes1 = popcount(MQ);
+      F.Bytes2 = popcount(MP);
+      SpecPair R;
+      R.Other = Q;
+      R.M1 = F.M2;
+      R.M2 = F.M1;
+      R.NT1 = F.NT2;
+      R.NT2 = F.NT1;
+      R.Emits1 = F.Emits2;
+      R.Emits2 = F.Emits1;
+      R.Writes1 = F.Writes2;
+      R.Writes2 = F.Writes1;
+      R.Bytes1 = F.Bytes2;
+      R.Bytes2 = F.Bytes1;
+      uint8_t FI = uint8_t(States[Q].Specs.size());
+      uint8_t RI = uint8_t(States[P].Specs.size());
+      for (unsigned B = 0; B < 256; ++B) {
+        if (SpecPair::maskCovers(F.M1, B))
+          States[Q].SpecId[B] = FI;
+        if (SpecPair::maskCovers(R.M1, B))
+          States[P].SpecId[B] = RI;
+      }
+      States[Q].Specs.push_back(std::move(F));
+      States[P].Specs.push_back(std::move(R));
+      S.SpecPairs += 2;
+    }
+  }
+}
+
+} // namespace
+
 FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T,
                                  const FastPathOptions &Opts) {
   FastPathPlan P;
   unsigned N = A.numStates();
   P.States.resize(N);
+  // NoRun (0xFF) is the "no owner" sentinel for both per-byte maps, but
+  // the arrays zero-initialize — and 0 is a valid kernel/pair index.
+  // Fill every state, table-eligible or not, so stale zeros can never
+  // alias kernel 0 / pair 0.
+  for (StateTable &ST : P.States) {
+    ST.RunId.fill(NoRun);
+    ST.SpecId.fill(NoRun);
+  }
 
   const Type *ITy = A.inputType();
   if (!ITy->isScalar()) {
@@ -489,7 +1047,6 @@ FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T,
     // Run acceleration: fold self-loop classes into bulk kernels.  The
     // byte -> kernel map is consulted before Dispatch, so a kernel byte
     // short-circuits per-element dispatch for the whole span.
-    ST.RunId.fill(NoRun);
     if (Opts.RunAccel) {
       ST.Runs = classifyRunKernels(A, Q, C);
       for (unsigned R = 0; R < ST.Runs.size(); ++R)
@@ -500,6 +1057,8 @@ FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T,
         ++P.S.AccelStates;
       for (const RunKernel &RK : ST.Runs) {
         P.S.AccelBytes += RK.Bytes;
+        if (RK.NT.Valid)
+          ++P.S.NibbleKernels;
         switch (RK.K) {
         case RunKernel::Kind::Skip:
           ++P.S.SkipKernels;
@@ -513,7 +1072,15 @@ FastPathPlan FastPathPlan::build(const Bst &A, const CompiledTransducer &T,
         }
       }
     }
+
+    // Wide-domain tier: elements a byte table cannot reach (UTF-16 and
+    // similar 9..16-bit alphabets) get per-element memoized actions.
+    if (Opts.WideTables && W > 8 && W <= 16)
+      buildWideTable(A, T, Q, ST, W, OldLeaves, IOMemo, P.S);
   }
+
+  if (Opts.SpecAccel)
+    detectSpecPairs(P.States, P.S);
   return P;
 }
 
@@ -533,7 +1100,37 @@ bool FastPathCursor::feed(std::span<const uint64_t> In,
   for (size_t I = 0, N = In.size(); I < N; ++I) {
     uint64_t X = In[I];
     const FastPathPlan::StateTable &ST = Tables[State];
-    if (ST.HasTable && X < 256) {
+    if (ST.HasTable && X >= 256 && ST.Wide.Has && X < ST.Wide.Limit) {
+      // Wide-domain tier: the element is beyond the byte tables but
+      // inside the 2^W domain, so its action was memoized at plan build.
+      const WideTable &WT = ST.Wide;
+      const WideTable::Class &WC = WT.Classes[WT.ClassOf[X]];
+      switch (WC.K) {
+      case WideTable::Class::Kind::Memo: {
+        uint32_t E0 = WT.EmitOff[X];
+        Out.insert(Out.end(), WT.EmitPool.begin() + E0,
+                   WT.EmitPool.begin() + WT.EmitOff[X + 1]);
+        for (uint32_t J = WT.WriteOff[X], JE = WT.WriteOff[X + 1]; J < JE; ++J)
+          Slots[WT.WritePool[J].first] = WT.WritePool[J].second;
+        State = WC.Target;
+        ++RC.WideElements;
+        continue;
+      }
+      case WideTable::Class::Kind::Program:
+        Slots[InSlot] = X;
+        Inner.State = State;
+        if (!Inner.exec(WC.Code, Out))
+          return false;
+        State = Inner.State;
+        ++RC.WideElements;
+        continue;
+      case WideTable::Class::Kind::Reject:
+        Inner.State = State;
+        return false;
+      case WideTable::Class::Kind::Fallback:
+        break; // defensive: per-element bytecode below
+      }
+    } else if (ST.HasTable && X < 256) {
       if (uint8_t R = ST.RunId[X]; R != FastPathPlan::NoRun) {
         // Run kernel: consume the whole span [I, End) in one step.  The
         // kernel self-loops, so State and registers are untouched and a
@@ -560,6 +1157,42 @@ bool FastPathCursor::feed(std::span<const uint64_t> In,
         RC.RunElements += End - I;
         I = End - 1;
         continue;
+      }
+      if (uint8_t Sp = ST.SpecId[X]; Sp != FastPathPlan::NoRun) {
+        // Two-state speculation: probe for an alternating span through
+        // the partner state.  Both legs are single shared Const/Jump
+        // actions, so a confirmed span bulk-applies both legs' constant
+        // effects; a failed probe (< 4 elements) costs two mask tests
+        // and falls through to ordinary dispatch of this element.
+        const SpecPair &SP = ST.Specs[Sp];
+        size_t End = scanAlternating(In.data(), I, N, SP);
+        size_t K = End - I;
+        if (K >= 4) {
+          for (size_t J = 0; J + 1 < K; J += 2) {
+            Out.insert(Out.end(), SP.Emits1.begin(), SP.Emits1.end());
+            Out.insert(Out.end(), SP.Emits2.begin(), SP.Emits2.end());
+          }
+          if (K & 1) {
+            Out.insert(Out.end(), SP.Emits1.begin(), SP.Emits1.end());
+            // Sequential write order ends ...W2, W1: the span's last
+            // element ran leg 1.
+            for (auto [Slot, V] : SP.Writes2)
+              Slots[Slot] = V;
+            for (auto [Slot, V] : SP.Writes1)
+              Slots[Slot] = V;
+            State = SP.Other;
+          } else {
+            for (auto [Slot, V] : SP.Writes1)
+              Slots[Slot] = V;
+            for (auto [Slot, V] : SP.Writes2)
+              Slots[Slot] = V;
+            // Even-length span: back in this state.
+          }
+          ++RC.SpecRuns;
+          RC.SpecElements += K;
+          I = End - 1;
+          continue;
+        }
       }
       const FastPathPlan::Action &A = ST.Actions[ST.Dispatch[X]];
       switch (A.K) {
@@ -609,8 +1242,20 @@ efc::runFastPath(const FastPathPlan &P, const CompiledTransducer &T,
       "efc_fastpath_runs_total", "Bulk spans driven through run kernels");
   static metrics::Counter &Elems = metrics::Registry::instance().counter(
       "efc_fastpath_run_elements_total", "Elements consumed by run kernels");
+  static metrics::Counter &Wide = metrics::Registry::instance().counter(
+      "efc_fastpath_wide_elements_total",
+      "Elements resolved through wide-domain memo tables");
+  static metrics::Counter &SpecRuns = metrics::Registry::instance().counter(
+      "efc_fastpath_spec_runs_total",
+      "Alternating spans taken by two-state speculation");
+  static metrics::Counter &SpecElems = metrics::Registry::instance().counter(
+      "efc_fastpath_spec_elements_total",
+      "Elements consumed by two-state speculation");
   Runs.inc(C.runCounters().Runs);
   Elems.inc(C.runCounters().RunElements);
+  Wide.inc(C.runCounters().WideElements);
+  SpecRuns.inc(C.runCounters().SpecRuns);
+  SpecElems.inc(C.runCounters().SpecElements);
   if (!Ok)
     return std::nullopt;
   return Out;

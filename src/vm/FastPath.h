@@ -78,6 +78,28 @@ struct ByteClassTable {
 /// type is not scalar or some guard reads a register.
 ByteClassTable classifyDeltaByteClasses(const Bst &A, unsigned Q);
 
+/// Two 16-byte shuffle tables encoding a 256-bit byte set (the
+/// Hyperscan/simdjson "shufti" idiom): byte b is in the set iff
+/// `Lo[b & 15] & Hi[b >> 4] != 0`.  Encodable whenever the set's hi
+/// nibbles fall into at most 8 distinct low-nibble row patterns (each
+/// distinct row gets one bucket bit); beyond that the scan falls back to
+/// the SWAR mask ladder.  Shared between the VM scan kernels and
+/// CppCodeGen, and folded into the codegen classifier hash, so generated
+/// native code classifies with byte-identical tables.
+struct NibbleTable {
+  bool Valid = false;
+  std::array<uint8_t, 16> Lo{};
+  std::array<uint8_t, 16> Hi{};
+
+  bool contains(uint8_t B) const {
+    return (Lo[B & 15] & Hi[B >> 4]) != 0;
+  }
+};
+
+/// Encodes \p Mask as nibble tables; Valid=false when the set needs more
+/// than 8 bucket rows (one pshufb cannot encode it).
+NibbleTable tryEncodeNibbleTable(const std::array<uint64_t, 4> &Mask);
+
 /// One bulk self-loop kernel for a table state: a set of bytes whose
 /// action keeps the machine in the same state with at most constant
 /// register writes and a uniform per-element output effect.  A span of
@@ -108,6 +130,9 @@ struct RunKernel {
   unsigned Bytes = 0;
   /// Byte-class ids folded into this kernel (for --explain-fastpath).
   std::vector<uint16_t> Classes;
+  /// Shuffle-table encoding of Mask (Valid=false when inexpressible);
+  /// the AVX2/AVX-512 scan kernels classify 16/32/64-byte blocks with it.
+  NibbleTable NT;
 
   bool covers(uint64_t X) const {
     return X < 256 && ((Mask[X >> 6] >> (X & 63)) & 1);
@@ -126,13 +151,91 @@ std::vector<RunKernel> classifyRunKernels(const Bst &A, unsigned Q,
 
 /// Returns the first index in [I, N) whose element leaves \p RK's byte
 /// set (value >= 256 or mask miss) — the end of the current run.
-/// SWAR-unrolled, with an SSE2 specialization for single-escape masks.
+/// Dispatched once per process (cpuid) to the widest available kernel:
+/// scalar SWAR, the SSE2 single-escape specialization, or
+/// nibble-table-classified AVX2/AVX-512 blocks; `EFC_SIMD` (vm/Simd.h)
+/// forces a lower level.
 size_t scanRunEnd(const uint64_t *In, size_t I, size_t N, const RunKernel &RK);
+
+/// Two-state speculative transition pair: in state Q, bytes of M1 all
+/// share one Const/Jump action into state P, and in P bytes of M2 all
+/// share one Const/Jump action back into Q.  A block that alternates
+/// M1,M2,M1,... (short alternating runs: delimiter/payload ping-pong)
+/// is then consumed in one span — classify the block against both
+/// states' masks, check the parity pattern, bulk-apply both legs'
+/// constant effects — instead of per-element dispatch that changes
+/// state on every element.
+struct SpecPair {
+  uint32_t Other = 0;                  // partner state P
+  std::array<uint64_t, 4> M1{}, M2{};  // leg masks: Q-side / P-side
+  NibbleTable NT1, NT2;                // SIMD encodings (when expressible)
+  std::vector<uint64_t> Emits1, Emits2;
+  std::vector<std::pair<uint16_t, uint64_t>> Writes1, Writes2;
+  unsigned Bytes1 = 0, Bytes2 = 0; // popcounts, for explain/stats
+
+  static bool maskCovers(const std::array<uint64_t, 4> &M, uint64_t X) {
+    return X < 256 && ((M[X >> 6] >> (X & 63)) & 1);
+  }
+};
+
+/// Returns the end of the longest alternating span starting at \p I:
+/// elements at even offsets from I must be in SP.M1, odd offsets in
+/// SP.M2 (all < 256).  In[I] is required to be in M1.  SIMD-dispatched
+/// like scanRunEnd.
+size_t scanAlternating(const uint64_t *In, size_t I, size_t N,
+                       const SpecPair &SP);
+
+/// Per-element action table for wide scalar inputs (8 < width <= 16,
+/// e.g. the UTF-16 HTML pipelines): the byte tables cover elements
+/// < 256, this covers [256, 2^W).  Same eligibility as the byte table
+/// (guards read only the input), same per-class action resolution, but
+/// with the per-element constant effects memoized into shared pools at
+/// plan-build time, so the hot loop does two offset loads and a memcpy
+/// instead of re-walking the guard tree per element.  This is the
+/// "range-compare ladder" tier of the classification ladder: elements a
+/// 16-byte shuffle cannot reach are still classified in O(1).
+struct WideTable {
+  bool Has = false;
+  uint32_t Limit = 0; // 2^W; ClassOf/EmitOff/WriteOff cover [0, Limit)
+
+  struct Class {
+    enum class Kind : uint8_t {
+      Memo,    // constant effects, memoized per element in the pools
+      Program, // straight-line leaf program (register-reading effects)
+      Reject,  // Undef leaf
+      Fallback // defensive: leaf program would not compile
+    };
+    Kind K = Kind::Fallback;
+    uint32_t Target = 0; // Memo / Program successor state
+    VmProgram Code;      // Program
+  };
+
+  std::vector<uint16_t> ClassOf; // element -> index into Classes
+  std::vector<Class> Classes;
+  /// Memo pools: element X emits EmitPool[EmitOff[X] .. EmitOff[X+1])
+  /// and writes WritePool[WriteOff[X] .. WriteOff[X+1)) (slot <- imm).
+  /// Entries of non-Memo elements are zero-length slices.
+  std::vector<uint32_t> EmitOff; // Limit + 1 prefix offsets
+  std::vector<uint64_t> EmitPool;
+  std::vector<uint32_t> WriteOff; // Limit + 1
+  std::vector<std::pair<uint16_t, uint64_t>> WritePool;
+};
 
 /// Options controlling plan construction (EFC_FASTPATH_ACCEL / A-B
 /// benchmarking disable run acceleration while keeping the tables).
 struct FastPathOptions {
   bool RunAccel = true;
+  /// Build WideTables for 8 < width <= 16 inputs (costs one reference-
+  /// evaluator sweep over the 2^W domain at plan build; disable via
+  /// EFC_FASTPATH_WIDE=0).
+  bool WideTables = true;
+  /// Detect two-state speculative alternating pairs.
+  bool SpecAccel = true;
+
+  /// Reads EFC_FASTPATH_ACCEL / EFC_FASTPATH_WIDE / EFC_FASTPATH_SPEC
+  /// ("0" disables); shared by PipelineCache and the benches so A/B
+  /// switches mean the same thing everywhere.
+  static FastPathOptions fromEnv();
 };
 
 /// Human-readable per-state dump of byte-class eligibility, class counts,
@@ -155,7 +258,14 @@ public:
     unsigned SkipKernels = 0;    // run kernels by kind
     unsigned CopyKernels = 0;
     unsigned ConstAppendKernels = 0;
-    unsigned AccelBytes = 0; // total bytes covered by run kernels
+    unsigned AccelBytes = 0;     // total bytes covered by run kernels
+    unsigned NibbleKernels = 0;  // run kernels with a shufti encoding
+    unsigned WideStates = 0;     // states with a wide-domain table
+    unsigned WideMemoClasses = 0;
+    unsigned WideProgramClasses = 0;
+    unsigned WideRejectClasses = 0;
+    uint64_t WideMemoElements = 0; // elements resolved to memoized effects
+    unsigned SpecPairs = 0;        // two-state speculative pairs
   };
 
   /// Builds the plan for \p A as compiled into \p T.  Always succeeds: a
@@ -190,6 +300,13 @@ public:
     /// every table state (all NoRun when acceleration is disabled).
     std::array<uint8_t, 256> RunId{};
     std::vector<RunKernel> Runs;
+    /// byte -> index into Specs, or NoRun.  Checked after RunId, before
+    /// Dispatch: a hit probes for an alternating two-state span.
+    std::array<uint8_t, 256> SpecId{};
+    std::vector<SpecPair> Specs;
+    /// Wide-domain table for elements in [256, Wide.Limit); Has=false
+    /// when the input width is <= 8 or > 16 or wide tables are disabled.
+    WideTable Wide;
   };
 
   unsigned numStates() const { return unsigned(States.size()); }
@@ -229,6 +346,12 @@ public:
   struct RunCounters {
     uint64_t Runs = 0;
     uint64_t RunElements = 0;
+    /// Elements resolved through the wide-domain memo/program tables
+    /// instead of per-element bytecode.
+    uint64_t WideElements = 0;
+    /// Speculative alternating spans taken, and elements they consumed.
+    uint64_t SpecRuns = 0;
+    uint64_t SpecElements = 0;
   };
 
   FastPathCursor(const FastPathPlan &P, const CompiledTransducer &T)

@@ -1,0 +1,101 @@
+//===- vm/Simd.cpp - Runtime ISA level detection and override -------------===//
+
+#include "vm/Simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace efc;
+
+namespace {
+
+simd::Level probe() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports reads cpuid once per process under the hood
+  // (libgcc caches the feature words).
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512vl"))
+    return simd::Level::AVX512;
+  if (__builtin_cpu_supports("avx2"))
+    return simd::Level::AVX2;
+  return simd::Level::SSE2; // x86-64 baseline
+#else
+  return simd::Level::Scalar;
+#endif
+}
+
+std::atomic<int> GActive{-1};
+
+int resolveActive() {
+  simd::Level Det = simd::detectedLevel();
+  simd::Level L = Det;
+  if (const char *E = std::getenv("EFC_SIMD"); E && *E) {
+    if (auto Req = simd::parseLevel(E)) {
+      if (*Req > Det)
+        std::fprintf(stderr,
+                     "efc: EFC_SIMD=%s not supported by this machine, "
+                     "using %s\n",
+                     E, simd::levelName(Det));
+      else
+        L = *Req;
+    } else {
+      std::fprintf(stderr,
+                   "efc: unrecognized EFC_SIMD=%s "
+                   "(want scalar|sse2|avx2|avx512), using %s\n",
+                   E, simd::levelName(Det));
+    }
+  }
+  return int(L);
+}
+
+} // namespace
+
+simd::Level simd::detectedLevel() {
+  static const Level L = probe();
+  return L;
+}
+
+simd::Level simd::activeLevel() {
+  int L = GActive.load(std::memory_order_acquire);
+  if (L < 0) {
+    L = resolveActive();
+    // Racing first calls resolve to the same value; last store wins.
+    GActive.store(L, std::memory_order_release);
+  }
+  return Level(L);
+}
+
+const char *simd::levelName(Level L) {
+  switch (L) {
+  case Level::Scalar:
+    return "scalar";
+  case Level::SSE2:
+    return "sse2";
+  case Level::AVX2:
+    return "avx2";
+  case Level::AVX512:
+    return "avx512";
+  }
+  return "?";
+}
+
+std::optional<simd::Level> simd::parseLevel(std::string_view S) {
+  if (S == "scalar")
+    return Level::Scalar;
+  if (S == "sse2")
+    return Level::SSE2;
+  if (S == "avx2")
+    return Level::AVX2;
+  if (S == "avx512")
+    return Level::AVX512;
+  return std::nullopt;
+}
+
+simd::Level simd::setActiveLevelForTesting(Level L) {
+  if (L > detectedLevel())
+    L = detectedLevel();
+  GActive.store(int(L), std::memory_order_release);
+  return L;
+}

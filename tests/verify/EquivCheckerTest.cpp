@@ -193,6 +193,156 @@ TEST_F(EquivCheckerTest, RefutesCorruptedBytecodeGuard) {
       << "counterexample must distinguish mutant from intact bytecode";
 }
 
+//===----------------------------------------------------------------------===//
+// Nibble tables, spec pairs, wide tables: the SIMD-era obligations.
+//===----------------------------------------------------------------------===//
+
+// Mutation 4: corrupt a kernel's nibble encoding.  The shufti tables and
+// the 256-bit mask drive different scan ladders (SIMD blocks vs
+// SWAR/scalar tail); any membership disagreement means different ISA
+// levels would find different span ends, so it must be refuted.
+TEST_F(EquivCheckerTest, RefutesCorruptedNibbleTable) {
+  Bst A = makeEchoSwitch(Ctx);
+  Built B = buildFor(A);
+  FastPathPlan::StateTable &ST = B.Plan.mutableStateTable(0);
+  ASSERT_FALSE(ST.Runs.empty());
+  NibbleTable &NT = ST.Runs[0].NT;
+  ASSERT_TRUE(NT.Valid) << "255-byte escape-complement set is 2 rows";
+  ASSERT_FALSE(NT.contains('a'));
+  // Teach the shuffle tables that the escape byte is a member while the
+  // mask still excludes it.
+  NT.Lo['a' & 15] |= NT.Hi['a' >> 4];
+  ASSERT_NE(NT.Hi['a' >> 4], 0) << "escape's hi-nibble row must be nonzero";
+  ASSERT_TRUE(NT.contains('a'));
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  const Counterexample &CE = R.Counterexamples.front();
+  EXPECT_EQ(CE.Part, "kernel");
+  ASSERT_TRUE(CE.HasInput);
+  EXPECT_EQ(CE.Input, uint64_t('a')) << CE.str();
+}
+
+/// Two states that unconditionally ping-pong with constant emits: the
+/// shape detectSpecPairs promotes to a speculative alternating pair.
+Bst makePingPong(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 2, 0, Value::bv(8, 0));
+  TermRef R = A.regVar();
+  A.setDelta(0, Rule::base({Ctx.bvConst(8, 0x11)}, 1, R));
+  A.setDelta(1, Rule::base({Ctx.bvConst(8, 0x22)}, 0, R));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  A.setFinalizer(1, Rule::base({}, 1, R));
+  return A;
+}
+
+TEST_F(EquivCheckerTest, CertifiesSpecPairs) {
+  Bst A = makePingPong(Ctx);
+  Built B = buildFor(A);
+  ASSERT_EQ(B.Plan.stateTable(0).Specs.size(), 1u)
+      << "ping-pong must be detected as a speculative pair";
+  ASSERT_EQ(B.Plan.stateTable(1).Specs.size(), 1u);
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Certified) << R.summary();
+}
+
+// Mutation 5: corrupt a spec pair's bulk-replayed effects.  The
+// alternating scanner commits Emits1/Emits2 without consulting the
+// dispatch table, so a drifted copy must be refuted.
+TEST_F(EquivCheckerTest, RefutesCorruptedSpecEffects) {
+  Bst A = makePingPong(Ctx);
+  Built B = buildFor(A);
+  FastPathPlan::StateTable &ST = B.Plan.mutableStateTable(0);
+  ASSERT_EQ(ST.Specs.size(), 1u);
+  ASSERT_EQ(ST.Specs[0].Emits1, std::vector<uint64_t>{0x11});
+  ST.Specs[0].Emits1 = {0x33};
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  EXPECT_EQ(R.Counterexamples.front().Part, "spec");
+}
+
+// Mutation 5b: a dispatch-map entry pointing at a pair whose leg mask
+// does not cover the byte (the zero-init aliasing bug this obligation
+// originally caught in the planner).
+TEST_F(EquivCheckerTest, RefutesSpecMapOutsideMask) {
+  Bst A = makePingPong(Ctx);
+  Built B = buildFor(A);
+  FastPathPlan::StateTable &ST = B.Plan.mutableStateTable(0);
+  ASSERT_EQ(ST.Specs.size(), 1u);
+  ST.Specs[0].M1[1] &= ~(uint64_t(1) << ('a' & 63)); // un-cover 'a'
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  EXPECT_EQ(R.Counterexamples.front().Part, "spec");
+}
+
+/// bv(16) echo whose wide elements emit x+1: every element of
+/// [256, 2^16) lands in one Memo class with a distinct pool value, so
+/// the checker's wide sweep exercises the per-element pools.
+Bst makeWidePlusOne(TermContext &Ctx) {
+  Bst A(Ctx, Ctx.bv(16), Ctx.bv(16), Ctx.bv(16), 1, 0, Value::bv(16, 0));
+  TermRef X = A.inputVar(), R = A.regVar();
+  A.setDelta(0, Rule::ite(Ctx.mkUlt(X, Ctx.bvConst(16, 256)),
+                          Rule::base({X}, 0, R),
+                          Rule::base({Ctx.mkAdd(X, Ctx.bvConst(16, 1))}, 0,
+                                     R)));
+  A.setFinalizer(0, Rule::base({}, 0, R));
+  return A;
+}
+
+TEST_F(EquivCheckerTest, CertifiesWideTable) {
+  Bst A = makeWidePlusOne(Ctx);
+  Built B = buildFor(A);
+  ASSERT_TRUE(B.Plan.stateTable(0).Wide.Has)
+      << "bv(16) input must get a wide-domain table";
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Certified) << R.summary();
+}
+
+// Mutation 6: corrupt one memoized wide-pool entry.  The driver serves
+// these values without re-evaluating the rules, so a flipped element
+// must be refuted with that element as the witness.
+TEST_F(EquivCheckerTest, RefutesCorruptedWidePool) {
+  Bst A = makeWidePlusOne(Ctx);
+  Built B = buildFor(A);
+  WideTable &WT = B.Plan.mutableStateTable(0).Wide;
+  ASSERT_TRUE(WT.Has);
+  ASSERT_FALSE(WT.EmitOff.empty());
+  const uint32_t V = 300;
+  ASSERT_EQ(WT.EmitOff[V + 1] - WT.EmitOff[V], 1u);
+  ASSERT_EQ(WT.EmitPool[WT.EmitOff[V]], V + 1);
+  WT.EmitPool[WT.EmitOff[V]] = 0xdead;
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  const Counterexample &CE = R.Counterexamples.front();
+  EXPECT_EQ(CE.Part, "wide");
+  ASSERT_TRUE(CE.HasInput);
+  EXPECT_EQ(CE.Input, uint64_t(V)) << CE.str();
+}
+
+// Mutation 6b: retarget a wide class.  Structure is checked per
+// (class, path) pair, so even a class shared by thousands of elements
+// is caught.
+TEST_F(EquivCheckerTest, RefutesCorruptedWideTarget) {
+  Bst A = makeWidePlusOne(Ctx);
+  Built B = buildFor(A);
+  WideTable &WT = B.Plan.mutableStateTable(0).Wide;
+  ASSERT_TRUE(WT.Has);
+  uint16_t CI = WT.ClassOf[300];
+  ASSERT_EQ(WT.Classes[CI].K, WideTable::Class::Kind::Memo);
+  WT.Classes[CI].Target = 7; // out-of-range successor
+
+  CertReport R = certifyPipeline(A, B.T, &B.Plan);
+  EXPECT_EQ(R.Status, CertStatus::Refuted) << R.summary();
+  ASSERT_FALSE(R.Counterexamples.empty());
+  EXPECT_EQ(R.Counterexamples.front().Part, "wide");
+}
+
 // Satellite 3: a zero budget means "no time at all" — every state
 // degrades to unverified (and counts as a timeout), never to certified.
 // The pipeline still has no refutation, so callers may still serve it.

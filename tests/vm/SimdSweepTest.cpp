@@ -1,0 +1,381 @@
+//===- tests/vm/SimdSweepTest.cpp - Forced-ISA differential sweeps --------===//
+//
+// The scan kernels are dispatched by ISA level (vm/Simd.h); on a wide
+// machine only the widest kernel runs, so this suite forces every level
+// the hardware can execute (setActiveLevelForTesting clamps to the
+// detected level — the sweep is safe on any box) and re-runs the same
+// differential checks under each:
+//
+//  * scanRunEnd / scanAlternating against their scalar references, on
+//    exact-size heap buffers so AVX2/AVX-512 block reads past N trip
+//    ASan.  Lengths straddle every block width (16/32/64 +- 1) and
+//    escapes sweep every position, including the vector-tail lanes.
+//  * whole-machine oracles: the fast path (nibble run scans, spec-pair
+//    alternating spans, wide-domain memo tables) against the bytecode
+//    VM on synthetic machines shaped to hit each accelerator tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stdlib/Transducers.h"
+#include "stdlib/Values.h"
+#include "vm/FastPath.h"
+#include "vm/Simd.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace efc;
+
+namespace {
+
+/// Restores the active dispatch level on scope exit, so a failing sweep
+/// cannot leave later tests pinned to a narrow ISA.
+struct LevelGuard {
+  simd::Level Saved = simd::activeLevel();
+  ~LevelGuard() { simd::setActiveLevelForTesting(Saved); }
+};
+
+/// Every level this machine can actually execute, narrowest first.
+std::vector<simd::Level> runnableLevels() {
+  std::vector<simd::Level> Ls;
+  for (int L = 0; L <= int(simd::detectedLevel()); ++L)
+    Ls.push_back(simd::Level(L));
+  return Ls;
+}
+
+size_t refScanRunEnd(const std::vector<uint64_t> &In, size_t I, size_t N,
+                     const RunKernel &RK) {
+  while (I < N && RK.covers(In[I]))
+    ++I;
+  return I;
+}
+
+size_t refScanAlternating(const std::vector<uint64_t> &In, size_t I,
+                          size_t N, const SpecPair &SP) {
+  size_t J = I;
+  while (J < N &&
+         SpecPair::maskCovers(((J - I) & 1) ? SP.M2 : SP.M1, In[J]))
+    ++J;
+  return J;
+}
+
+template <typename Pred> RunKernel makeKernel(Pred Member) {
+  RunKernel RK;
+  int Escape = -1;
+  unsigned Misses = 0;
+  for (unsigned B = 0; B < 256; ++B) {
+    if (Member(B)) {
+      RK.Mask[B >> 6] |= uint64_t(1) << (B & 63);
+      ++RK.Bytes;
+    } else {
+      Escape = int(B);
+      ++Misses;
+    }
+  }
+  if (Misses == 1)
+    RK.SingleEscape = Escape;
+  RK.NT = tryEncodeNibbleTable(RK.Mask);
+  return RK;
+}
+
+template <typename P1, typename P2>
+SpecPair makePair(P1 Leg1, P2 Leg2) {
+  SpecPair SP;
+  for (unsigned B = 0; B < 256; ++B) {
+    if (Leg1(B)) {
+      SP.M1[B >> 6] |= uint64_t(1) << (B & 63);
+      ++SP.Bytes1;
+    }
+    if (Leg2(B)) {
+      SP.M2[B >> 6] |= uint64_t(1) << (B & 63);
+      ++SP.Bytes2;
+    }
+  }
+  SP.NT1 = tryEncodeNibbleTable(SP.M1);
+  SP.NT2 = tryEncodeNibbleTable(SP.M2);
+  return SP;
+}
+
+// Lengths one short of / at / one past every vector block width.
+const size_t BlockLens[] = {0,  1,  7,  8,  15, 16, 17, 31, 32,
+                            33, 63, 64, 65, 95, 96, 100};
+
+TEST(SimdSweep, ScanRunEndEveryLevelExactBuffers) {
+  LevelGuard G;
+  RunKernel Digits =
+      makeKernel([](unsigned B) { return B >= '0' && B <= '9'; });
+  ASSERT_TRUE(Digits.NT.Valid) << "digit set must be shufti-encodable";
+  RunKernel Alnum = makeKernel([](unsigned B) {
+    return (B >= '0' && B <= '9') || (B >= 'A' && B <= 'Z') ||
+           (B >= 'a' && B <= 'z');
+  });
+  for (simd::Level L : runnableLevels()) {
+    ASSERT_EQ(simd::setActiveLevelForTesting(L), L);
+    for (const RunKernel &RK : {Digits, Alnum}) {
+      for (size_t Len : BlockLens) {
+        // All members: the scan must stop exactly at N.
+        std::vector<uint64_t> In(Len, uint64_t('5'));
+        EXPECT_EQ(scanRunEnd(In.data(), 0, Len, RK), Len)
+            << simd::levelName(L) << " len=" << Len;
+        // Escape at every position, start index sweeping the whole
+        // buffer: block-aligned and tail lanes both see the escape.
+        for (size_t Pos = 0; Pos < Len; ++Pos) {
+          std::vector<uint64_t> Esc(Len, uint64_t('7'));
+          Esc[Pos] = ',';
+          for (size_t I = 0; I <= Len; ++I)
+            EXPECT_EQ(scanRunEnd(Esc.data(), I, Len, RK),
+                      refScanRunEnd(Esc, I, Len, RK))
+                << simd::levelName(L) << " len=" << Len << " pos=" << Pos
+                << " I=" << I;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdSweep, ScanRunEndWideElementsEveryLevel) {
+  LevelGuard G;
+  RunKernel Digits =
+      makeKernel([](unsigned B) { return B >= '0' && B <= '9'; });
+  // Low byte aliases an in-set byte: the packed compare must see the
+  // high bits, at every lane of every block width.
+  const uint64_t Alias = uint64_t('5') + 256;
+  const uint64_t High = uint64_t('5') + (1ull << 32);
+  for (simd::Level L : runnableLevels()) {
+    ASSERT_EQ(simd::setActiveLevelForTesting(L), L);
+    for (uint64_t Wide : {uint64_t(256), Alias, High, ~uint64_t(0)}) {
+      for (size_t Len : {size_t(16), size_t(33), size_t(65)}) {
+        for (size_t Pos = 0; Pos < Len; ++Pos) {
+          std::vector<uint64_t> In(Len, uint64_t('5'));
+          In[Pos] = Wide;
+          EXPECT_EQ(scanRunEnd(In.data(), 0, Len, Digits), Pos)
+              << simd::levelName(L) << " wide=" << Wide << " len=" << Len
+              << " pos=" << Pos;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdSweep, ScanAlternatingEveryLevelExactBuffers) {
+  LevelGuard G;
+  SpecPair SP = makePair(
+      [](unsigned B) { return B >= '0' && B <= '9'; }, // leg 1: digits
+      [](unsigned B) { return B == ',' || B == ';'; }); // leg 2: seps
+  ASSERT_TRUE(SP.NT1.Valid);
+  ASSERT_TRUE(SP.NT2.Valid);
+  auto alternating = [](size_t Len) {
+    std::vector<uint64_t> In(Len);
+    for (size_t I = 0; I < Len; ++I)
+      In[I] = (I & 1) ? uint64_t(',') : uint64_t('3');
+    return In;
+  };
+  for (simd::Level L : runnableLevels()) {
+    ASSERT_EQ(simd::setActiveLevelForTesting(L), L);
+    for (size_t Len : BlockLens) {
+      std::vector<uint64_t> In = alternating(Len);
+      // Clean alternation from the front consumes the whole buffer.
+      EXPECT_EQ(scanAlternating(In.data(), 0, Len, SP),
+                refScanAlternating(In, 0, Len, SP))
+          << simd::levelName(L) << " len=" << Len;
+      // Break the parity at every position: with a digit (wrong leg),
+      // with a byte in neither leg, and with a wide element.
+      for (size_t Pos = 0; Pos < Len; ++Pos) {
+        for (uint64_t Bad :
+             {uint64_t('x'), In[Pos] ^ 1, uint64_t(',') + 256}) {
+          std::vector<uint64_t> Broken = alternating(Len);
+          Broken[Pos] = Bad;
+          for (size_t I : {size_t(0), Pos / 2 * 2}) // even starts: leg 1
+            EXPECT_EQ(scanAlternating(Broken.data(), I, Len, SP),
+                      refScanAlternating(Broken, I, Len, SP))
+                << simd::levelName(L) << " len=" << Len << " pos=" << Pos
+                << " bad=" << Bad << " I=" << I;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdSweep, NibbleEncodingMatchesMaskWhenValid) {
+  std::mt19937 Rng(99);
+  std::uniform_int_distribution<uint64_t> Word;
+  unsigned Encodable = 0;
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    std::array<uint64_t, 4> Mask{};
+    // Mix dense random masks with sparse ones (few hi-nibble rows, the
+    // shape that actually encodes).
+    if (Iter % 2) {
+      for (auto &W : Mask)
+        W = Word(Rng);
+    } else {
+      for (int K = 0; K < 6; ++K) {
+        unsigned B = unsigned(Word(Rng) % 256);
+        Mask[B >> 6] |= uint64_t(1) << (B & 63);
+      }
+    }
+    NibbleTable NT = tryEncodeNibbleTable(Mask);
+    if (!NT.Valid)
+      continue;
+    ++Encodable;
+    for (unsigned B = 0; B < 256; ++B)
+      ASSERT_EQ(NT.contains(uint8_t(B)),
+                bool((Mask[B >> 6] >> (B & 63)) & 1))
+          << "iter=" << Iter << " byte=" << B;
+  }
+  EXPECT_GT(Encodable, 0u) << "sweep never exercised a valid encoding";
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-machine oracles under forced levels
+//===----------------------------------------------------------------------===//
+
+class SimdOracleTest : public ::testing::Test {
+protected:
+  TermContext Ctx;
+
+  /// bv(8) copy loop: '\n' emits ';', everything else copies.  The
+  /// not-'\n' class becomes a single-escape Copy kernel with a valid
+  /// nibble encoding.
+  Bst makeCopyLoop() {
+    Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 1, 0, Value::bv(8, 0));
+    TermRef X = A.inputVar(), R = A.regVar();
+    A.setDelta(0, Rule::ite(Ctx.mkEq(X, Ctx.bvConst(8, '\n')),
+                            Rule::base({Ctx.bvConst(8, ';')}, 0, R),
+                            Rule::base({X}, 0, R)));
+    A.setFinalizer(0, Rule::base({}, 0, R));
+    return A;
+  }
+
+  /// Two states that unconditionally ping-pong with constant emits: the
+  /// shape detectSpecPairs promotes to a speculative alternating pair.
+  Bst makePingPong() {
+    Bst A(Ctx, Ctx.bv(8), Ctx.bv(8), Ctx.bv(8), 2, 0, Value::bv(8, 0));
+    TermRef R = A.regVar();
+    A.setDelta(0, Rule::base({Ctx.bvConst(8, 0x11)}, 1, R));
+    A.setDelta(1, Rule::base({Ctx.bvConst(8, 0x22)}, 0, R));
+    A.setFinalizer(0, Rule::base({}, 0, R));
+    A.setFinalizer(1, Rule::base({}, 1, R));
+    return A;
+  }
+
+  /// bv(16) echo whose wide elements emit x+1: [256, 2^16) lands in a
+  /// Memo class with per-element pool values.
+  Bst makeWidePlusOne() {
+    Bst A(Ctx, Ctx.bv(16), Ctx.bv(16), Ctx.bv(16), 1, 0,
+          Value::bv(16, 0));
+    TermRef X = A.inputVar(), R = A.regVar();
+    A.setDelta(0, Rule::ite(Ctx.mkUlt(X, Ctx.bvConst(16, 256)),
+                            Rule::base({X}, 0, R),
+                            Rule::base({Ctx.mkAdd(X, Ctx.bvConst(16, 1))},
+                                       0, R)));
+    A.setFinalizer(0, Rule::base({}, 0, R));
+    return A;
+  }
+
+  /// Fast path vs bytecode VM on \p In, whole-shot and chunked, under
+  /// the currently active level.
+  void expectOracle(const FastPathPlan &P, const CompiledTransducer &T,
+                    const std::vector<uint64_t> &In, const char *What) {
+    auto Ref = T.run(In);
+    auto Fast = runFastPath(P, T, In);
+    ASSERT_EQ(Ref.has_value(), Fast.has_value()) << What;
+    if (Ref) {
+      EXPECT_EQ(*Ref, *Fast) << What;
+    }
+    for (size_t Chunk : {size_t(1), size_t(5), size_t(16), size_t(33)}) {
+      FastPathCursor C(P, T);
+      std::vector<uint64_t> Got;
+      bool Ok = true;
+      for (size_t I = 0; Ok && I < In.size(); I += Chunk) {
+        size_t End = std::min(In.size(), I + Chunk);
+        // Exact-size copy per chunk: reads past the chunk end trip ASan.
+        std::vector<uint64_t> Piece(In.begin() + I, In.begin() + End);
+        Ok = C.feed(Piece, Got);
+      }
+      Ok = Ok && C.finish(Got);
+      ASSERT_EQ(Ok, Ref.has_value()) << What << " chunk=" << Chunk;
+      if (Ref) {
+        EXPECT_EQ(Got, *Ref) << What << " chunk=" << Chunk;
+      }
+    }
+  }
+};
+
+TEST_F(SimdOracleTest, CopyLoopEveryLevel) {
+  LevelGuard G;
+  Bst A = makeCopyLoop();
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  ASSERT_GE(P.stats().NibbleKernels, 1u)
+      << "copy loop must get a shufti-encoded kernel";
+
+  std::mt19937 Rng(7);
+  std::uniform_int_distribution<uint64_t> Val(0, 300);
+  for (simd::Level L : runnableLevels()) {
+    ASSERT_EQ(simd::setActiveLevelForTesting(L), L);
+    std::vector<uint64_t> Text;
+    for (size_t I = 0; I < 200; ++I)
+      Text.push_back(I % 37 == 0 ? uint64_t('\n') : uint64_t('a' + I % 26));
+    expectOracle(P, *T, Text, simd::levelName(L));
+    std::vector<uint64_t> Mixed(150);
+    for (auto &V : Mixed)
+      V = Val(Rng); // includes out-of-range elements (bytecode fallback)
+    expectOracle(P, *T, Mixed, simd::levelName(L));
+  }
+}
+
+TEST_F(SimdOracleTest, SpecPairAlternatingEveryLevel) {
+  LevelGuard G;
+  Bst A = makePingPong();
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  ASSERT_EQ(P.stats().SpecPairs, 2u)
+      << "ping-pong must be detected from both states";
+
+  for (simd::Level L : runnableLevels()) {
+    ASSERT_EQ(simd::setActiveLevelForTesting(L), L);
+    for (size_t Len : BlockLens) {
+      std::vector<uint64_t> In(Len, uint64_t('x'));
+      expectOracle(P, *T, In, simd::levelName(L));
+    }
+    // The accelerated spans must actually engage (not just agree).
+    std::vector<uint64_t> Long(128, uint64_t('q'));
+    FastPathCursor C(P, *T);
+    std::vector<uint64_t> Out;
+    ASSERT_TRUE(C.feed(Long, Out));
+    EXPECT_GT(C.runCounters().SpecElements, 0u) << simd::levelName(L);
+  }
+}
+
+TEST_F(SimdOracleTest, WideTableChunkedFeedsEveryLevel) {
+  LevelGuard G;
+  Bst A = makeWidePlusOne();
+  auto T = CompiledTransducer::compile(A);
+  ASSERT_TRUE(T.has_value());
+  FastPathPlan P = FastPathPlan::build(A, *T);
+  ASSERT_TRUE(P.stateTable(0).Wide.Has)
+      << "bv(16) input must get a wide-domain table";
+
+  std::mt19937 Rng(23);
+  std::uniform_int_distribution<uint64_t> Elem(0, (1u << 16) - 1);
+  std::vector<uint64_t> In(300);
+  for (auto &V : In)
+    V = Elem(Rng);
+  In[17] = 255;   // straddle the byte/wide boundary
+  In[18] = 256;
+  In[19] = 65535; // top of the domain
+  for (simd::Level L : runnableLevels()) {
+    ASSERT_EQ(simd::setActiveLevelForTesting(L), L);
+    expectOracle(P, *T, In, simd::levelName(L));
+  }
+  FastPathCursor C(P, *T);
+  std::vector<uint64_t> Out;
+  ASSERT_TRUE(C.feed(In, Out));
+  EXPECT_GT(C.runCounters().WideElements, 0u)
+      << "wide elements must route through the memo pools";
+}
+
+} // namespace

@@ -62,6 +62,7 @@
 #include "runtime/PipelineCache.h"
 #include "support/Metrics.h"
 #include "verify/EquivChecker.h"
+#include "vm/Simd.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -328,6 +329,14 @@ int main(int argc, char **argv) {
                 "%u const-append kernels over %u bytes)\n",
                 FS.AccelStates, FS.TableStates, FS.SkipKernels,
                 FS.CopyKernels, FS.ConstAppendKernels, FS.AccelBytes);
+        fprintf(stderr,
+                "efcc: simd: detected %s, active %s; %u nibble kernels, "
+                "%u spec pairs, %u wide states (%llu memoized wide "
+                "elements)\n",
+                simd::levelName(simd::detectedLevel()),
+                simd::levelName(simd::activeLevel()), FS.NibbleKernels,
+                FS.SpecPairs, FS.WideStates,
+                (unsigned long long)FS.WideMemoElements);
       }
       if (WantParallel) {
         parallel::ParallelOptions PO;
