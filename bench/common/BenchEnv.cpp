@@ -1,0 +1,35 @@
+//===- bench/common/BenchEnv.cpp ------------------------------------------===//
+
+#include "bench/common/BenchEnv.h"
+
+#include "vm/Simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+std::string efc::bench::gitRevision() {
+  if (const char *E = std::getenv("EFC_GIT_REV"))
+    return E;
+  std::string Rev = "unknown";
+  if (FILE *P = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char Buf[64] = {0};
+    if (fgets(Buf, sizeof(Buf), P)) {
+      Rev = Buf;
+      while (!Rev.empty() && (Rev.back() == '\n' || Rev.back() == '\r'))
+        Rev.pop_back();
+    }
+    pclose(P);
+    if (Rev.empty())
+      Rev = "unknown";
+  }
+  return Rev;
+}
+
+uint64_t efc::bench::hardwareNproc() {
+  return std::thread::hardware_concurrency();
+}
+
+std::string efc::bench::detectedIsaName() {
+  return efc::simd::levelName(efc::simd::detectedLevel());
+}

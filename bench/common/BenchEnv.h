@@ -1,0 +1,32 @@
+//===- bench/common/BenchEnv.h - Measurement-environment stamps -*- C++ -*-===//
+///
+/// \file
+/// The stamps every benchmark JSON row carries so merged files stay
+/// attributable: the measuring git revision, logical core count, and
+/// detected SIMD level.  Shared by the throughput writer
+/// (ThroughputJson.cpp) and the serving-load writer (ServeJson.cpp) so
+/// the ci.sh hardware-mismatch skip logic sees one consistent encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BENCH_COMMON_BENCHENV_H
+#define EFC_BENCH_COMMON_BENCHENV_H
+
+#include <cstdint>
+#include <string>
+
+namespace efc::bench {
+
+/// Short git revision of the working tree (EFC_GIT_REV overrides;
+/// "unknown" when not in a repository).
+std::string gitRevision();
+
+/// Logical core count of this machine.
+uint64_t hardwareNproc();
+
+/// Detected SIMD level name (vm/Simd.h), e.g. "avx2" or "scalar".
+std::string detectedIsaName();
+
+} // namespace efc::bench
+
+#endif // EFC_BENCH_COMMON_BENCHENV_H

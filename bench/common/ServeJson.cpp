@@ -1,0 +1,116 @@
+//===- bench/common/ServeJson.cpp -----------------------------------------===//
+
+#include "bench/common/ServeJson.h"
+
+#include "bench/common/BenchEnv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace efc::bench;
+
+namespace {
+
+// Line-oriented extraction, mirroring ThroughputJson.cpp: this merger
+// is the only reader of the format it writes.
+std::string extractString(const std::string &Line, const std::string &Key) {
+  std::string Pat = "\"" + Key + "\": \"";
+  size_t At = Line.find(Pat);
+  if (At == std::string::npos)
+    return "";
+  At += Pat.size();
+  size_t End = Line.find('"', At);
+  return End == std::string::npos ? "" : Line.substr(At, End - At);
+}
+
+double extractNumber(const std::string &Line, const std::string &Key) {
+  std::string Pat = "\"" + Key + "\": ";
+  size_t At = Line.find(Pat);
+  if (At == std::string::npos)
+    return 0;
+  return atof(Line.c_str() + At + Pat.size());
+}
+
+} // namespace
+
+void efc::bench::writeServeJson(std::string Path, const ServeRow &Fresh) {
+  if (Path.empty()) {
+    Path = "BENCH_serve.json";
+    if (const char *E = std::getenv("EFC_BENCH_SERVE_JSON"))
+      Path = E;
+  }
+
+  ServeRow N = Fresh;
+  N.GitRev = gitRevision();
+  N.Nproc = hardwareNproc();
+  N.Isa = detectedIsaName();
+
+  std::vector<ServeRow> Rows;
+  {
+    std::ifstream F(Path);
+    std::string Line;
+    while (std::getline(F, Line)) {
+      std::string Sc = extractString(Line, "scenario");
+      if (Sc.empty())
+        continue;
+      ServeRow R;
+      R.Scenario = Sc;
+      R.Sessions = uint64_t(extractNumber(Line, "sessions"));
+      R.Shards = uint64_t(extractNumber(Line, "shards"));
+      R.Conns = uint64_t(extractNumber(Line, "conns"));
+      R.Chunk = uint64_t(extractNumber(Line, "chunk"));
+      R.Frames = uint64_t(extractNumber(Line, "frames"));
+      R.P50Ms = extractNumber(Line, "p50_ms");
+      R.P99Ms = extractNumber(Line, "p99_ms");
+      R.MbPerS = extractNumber(Line, "mb_per_s");
+      R.GitRev = extractString(Line, "git_rev");
+      R.Nproc = uint64_t(extractNumber(Line, "nproc"));
+      R.Isa = extractString(Line, "isa");
+      Rows.push_back(std::move(R));
+    }
+  }
+
+  bool Found = false;
+  for (ServeRow &O : Rows)
+    if (O.Scenario == N.Scenario && O.Shards == N.Shards) {
+      O = N;
+      Found = true;
+      break;
+    }
+  if (!Found)
+    Rows.push_back(N);
+
+  std::ostringstream S;
+  S << "{\n  \"git_rev\": \"" << N.GitRev
+    << "\",\n  \"unit\": \"ms / MB/s\",\n  \"results\": [";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ServeRow &R = Rows[I];
+    char Buf[512];
+    snprintf(Buf, sizeof(Buf),
+             "\n    {\"scenario\": \"%s\", \"sessions\": %llu, "
+             "\"shards\": %llu, \"conns\": %llu, \"chunk\": %llu, "
+             "\"frames\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+             "\"mb_per_s\": %.2f, \"git_rev\": \"%s\", \"nproc\": %llu, "
+             "\"isa\": \"%s\"}%s",
+             R.Scenario.c_str(), (unsigned long long)R.Sessions,
+             (unsigned long long)R.Shards, (unsigned long long)R.Conns,
+             (unsigned long long)R.Chunk, (unsigned long long)R.Frames,
+             R.P50Ms, R.P99Ms, R.MbPerS, R.GitRev.c_str(),
+             (unsigned long long)R.Nproc, R.Isa.c_str(),
+             I + 1 < Rows.size() ? "," : "");
+    S << Buf;
+  }
+  S << "\n  ]\n}\n";
+
+  std::ofstream F(Path, std::ios::trunc);
+  if (!F) {
+    fprintf(stderr, "serve-json: cannot write %s\n", Path.c_str());
+    return;
+  }
+  F << S.str();
+  fprintf(stderr, "serve-json: %zu row(s) -> %s\n", Rows.size(),
+          Path.c_str());
+}

@@ -1,0 +1,46 @@
+//===- bench/common/ServeJson.h - BENCH_serve.json writer -------*- C++ -*-===//
+///
+/// \file
+/// Merge-on-write JSON rows for the serving-load benchmark
+/// (bench/serve_load).  Same shape and discipline as
+/// BENCH_throughput.json: rows are keyed (here by scenario + shard
+/// count), refreshed rows replace their key in place, and every row is
+/// stamped with the measuring git revision / core count / SIMD level so
+/// the ci.sh gate can skip rows recorded on different hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_BENCH_COMMON_SERVEJSON_H
+#define EFC_BENCH_COMMON_SERVEJSON_H
+
+#include <cstdint>
+#include <string>
+
+namespace efc::bench {
+
+/// One serving-load measurement.  GitRev/Nproc/Isa are stamped by
+/// writeServeJson; callers fill the rest.
+struct ServeRow {
+  std::string Scenario;
+  uint64_t Sessions = 0; ///< concurrent sessions held open
+  uint64_t Shards = 0;
+  uint64_t Conns = 0;   ///< client connections multiplexing them
+  uint64_t Chunk = 0;   ///< feed-frame payload bytes
+  uint64_t Frames = 0;  ///< total feed frames measured
+  double P50Ms = 0;     ///< feed round-trip latency under load
+  double P99Ms = 0;
+  double MbPerS = 0; ///< aggregate feed payload throughput
+  std::string GitRev;
+  uint64_t Nproc = 0;
+  std::string Isa;
+};
+
+/// Merges \p Fresh into the rows already in \p Path (match on
+/// scenario + shards) and rewrites the file.  Path defaults to
+/// BENCH_serve.json; the EFC_BENCH_SERVE_JSON environment variable
+/// overrides it when \p Path is empty.
+void writeServeJson(std::string Path, const ServeRow &Fresh);
+
+} // namespace efc::bench
+
+#endif // EFC_BENCH_COMMON_SERVEJSON_H

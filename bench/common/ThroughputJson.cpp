@@ -2,7 +2,7 @@
 
 #include "bench/common/ThroughputJson.h"
 
-#include "vm/Simd.h"
+#include "bench/common/BenchEnv.h"
 
 #include <benchmark/benchmark.h>
 
@@ -11,7 +11,6 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
-#include <thread>
 #include <vector>
 
 using namespace efc::bench;
@@ -70,24 +69,6 @@ public:
   }
 };
 
-std::string gitRev() {
-  if (const char *E = std::getenv("EFC_GIT_REV"))
-    return E;
-  std::string Rev = "unknown";
-  if (FILE *P = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-    char Buf[64] = {0};
-    if (fgets(Buf, sizeof(Buf), P)) {
-      Rev = Buf;
-      while (!Rev.empty() && (Rev.back() == '\n' || Rev.back() == '\r'))
-        Rev.pop_back();
-    }
-    pclose(P);
-    if (Rev.empty())
-      Rev = "unknown";
-  }
-  return Rev;
-}
-
 /// Extracts `"Key": "..."` / `"Key": <number>` from one result line of a
 /// file this writer produced (the only reader of the format is this
 /// merger, so line-oriented extraction is enough).
@@ -110,9 +91,9 @@ double extractNumber(const std::string &Line, const std::string &Key) {
 }
 
 void mergeAndWrite(const std::string &Path, std::vector<Row> Fresh) {
-  const std::string Rev = gitRev();
-  const uint64_t Nproc = std::thread::hardware_concurrency();
-  const std::string Isa = efc::simd::levelName(efc::simd::detectedLevel());
+  const std::string Rev = gitRevision();
+  const uint64_t Nproc = hardwareNproc();
+  const std::string Isa = detectedIsaName();
   for (Row &N : Fresh) {
     N.GitRev = Rev;
     N.Nproc = Nproc;

@@ -14,12 +14,25 @@
 #      with EFC_SKIP_ASAN=1 (roughly doubles build time).
 #   4. ThreadSanitizer job: a third build with -DEFC_SANITIZE=thread runs
 #      the `parallel` label — the data-parallel executor's speculation
-#      worker pool and ordered stitch under TSan.  Skippable with
-#      EFC_SKIP_TSAN=1.
+#      worker pool and ordered stitch under TSan — and the `serve` label:
+#      the sharded server's event loops, cross-shard mailboxes and fd
+#      ownership (including the 100+ interleaved-connection test) under
+#      the same build.  Skippable with EFC_SKIP_TSAN=1.
 #   5. efc-serve smoke test: start a server, stream a CSV pipeline at it in
 #      7-byte chunks, and require byte-identical output to one-shot
 #      `efcc --run` on the same file.
-#   6. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
+#   6. Serving-load smoke + latency gate: bench/serve_load drives 1000
+#      concurrent sessions over 50 connections against a 1-shard
+#      in-process server, byte-verifies every reply against the
+#      sequential oracle (exit 1 on any loss or divergence), and merges
+#      the p50/p99/MB/s row into BENCH_serve.json.  The fresh row is
+#      gated against the committed one — p99 regressing by more than
+#      EFC_SERVE_GATE_PCT percent (default 50; latency is noisier than
+#      throughput) or MB/s dropping by more than it fails the script;
+#      EFC_SERVE_GATE_PCT=0 disables.  Rows carry the recording
+#      hardware (nproc + SIMD level) and foreign rows are skipped, same
+#      as the throughput gate.
+#   7. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
 #      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
 #      small fig9 benchmark run refreshes BENCH_throughput.json at the
 #      repo root so the recorded numbers track HEAD.  The fresh numbers
@@ -33,16 +46,16 @@
 #      carry metrics folds and trace-enabled checks, this gate doubles as
 #      the observability overhead gate: instrumentation that slows a
 #      backend past the threshold fails here.
-#   7. Codegen portability check: `efcc --emit-cpp` output (which embeds
+#   8. Codegen portability check: `efcc --emit-cpp` output (which embeds
 #      the AVX2/AVX-512 nibble scanners under GCC target attributes) must
 #      compile both with -mavx2 and with AVX disabled entirely.
-#   8. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
+#   9. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
 #      must be byte-identical to the sequential run of the same file —
 #      the chunk/speculate/replay path end to end at a realistic size.
-#   9. Runtime-cache bench: cache-hit vs cache-miss request latency
+#  10. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
-#  10. Backend-equivalence certification: `efc-verify` proves VM bytecode,
+#  11. Backend-equivalence certification: `efc-verify` proves VM bytecode,
 #      fast-path tables/kernels/nibble encodings/wide tables/spec pairs
 #      and the codegen classifier hash agree for every
 #      fig9/fig10/fig11/fig13 pipeline; any refutation fails the script
@@ -57,19 +70,19 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/10] tier-1 verify =="
+echo "== [1/11] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/10] EFC_SIMD=scalar tier-1 (vector kernels forced off) =="
+echo "== [2/11] EFC_SIMD=scalar tier-1 (vector kernels forced off) =="
 if [ "${EFC_SKIP_SCALAR:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_SCALAR=1)"
 else
   (cd "$BUILD" && EFC_SIMD=scalar ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [3/10] ASan+UBSan tier-1 =="
+echo "== [3/11] ASan+UBSan tier-1 =="
 if [ "${EFC_SKIP_ASAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_ASAN=1)"
 else
@@ -82,23 +95,24 @@ else
      ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [4/10] TSan parallel suite =="
+echo "== [4/11] TSan parallel + serve suites =="
 if [ "${EFC_SKIP_TSAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_TSAN=1)"
 else
   cmake -B "$BUILD-tsan" -S . -DEFC_SANITIZE=thread
-  cmake --build "$BUILD-tsan" -j --target parallel_test
+  cmake --build "$BUILD-tsan" -j --target parallel_test --target serve_test
   (cd "$BUILD-tsan" && ctest --output-on-failure -j -L parallel)
+  (cd "$BUILD-tsan" && ctest --output-on-failure -j -L serve)
 fi
 
-echo "== [5/10] efc-serve smoke test =="
+echo "== [5/11] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
 PATTERN='(?:(?:[^,\n]*,){1}(?<v>\d+),[^\n]*\n)*'
 printf 'a,17,x\nb,99,y\nc,40,z\nd,63,w\n' > "$SCRATCH/rows.csv"
 
-"$BUILD/tools/efc-serve" --socket "$SOCK" --threads 2 &
+"$BUILD/tools/efc-serve" --socket "$SOCK" --shards 2 &
 SERVER=$!
 for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "server never bound $SOCK" >&2; exit 1; }
@@ -117,7 +131,90 @@ if [ "$STREAMED" != "$ONESHOT" ]; then
 fi
 echo "streamed 7-byte chunks == efcc --run: '$STREAMED'"
 
-echo "== [6/10] fast-path divergence gate + throughput smoke =="
+# Hardware identity for the benchmark gates below: committed rows
+# recorded on a different machine are skipped, not compared.  The ISA
+# ladder mirrors src/vm/Simd.cpp detection.
+CUR_NPROC=$(nproc)
+if grep -qw avx512f /proc/cpuinfo && grep -qw avx512bw /proc/cpuinfo \
+    && grep -qw avx512vl /proc/cpuinfo; then CUR_ISA=avx512
+elif grep -qw avx2 /proc/cpuinfo; then CUR_ISA=avx2
+else CUR_ISA=sse2; fi
+
+echo "== [6/11] serving-load smoke + latency gate =="
+# 1000 concurrent sessions over 50 conns on one shard: serve_load exits
+# nonzero on any frame loss or byte divergence from the sequential
+# oracle, so reaching the gate at all certifies a correct run.
+SERVE_GATE_PCT=${EFC_SERVE_GATE_PCT:-50}
+cp BENCH_serve.json "$SCRATCH/serve.json" 2>/dev/null || true
+"$BUILD/bench/serve_load" \
+  --sessions "${EFC_SERVE_SESSIONS:-1000}" --conns 50 --shards 1 \
+  --scenario serve_smoke --timeout-s 120 --json "$SCRATCH/serve.json"
+if [ "$SERVE_GATE_PCT" != "0" ] && [ -f BENCH_serve.json ]; then
+  awk -v pct="$SERVE_GATE_PCT" -v nproc="$CUR_NPROC" -v isa="$CUR_ISA" '
+    function key(line) {
+      match(line, /"scenario": "[^"]*"/)
+      s = substr(line, RSTART + 13, RLENGTH - 14)
+      match(line, /"shards": [0-9]+/)
+      return s "/" substr(line, RSTART + 10, RLENGTH - 10) "-shard"
+    }
+    function num(line, field,  pat) {
+      pat = "\"" field "\": [0-9.]+"
+      if (match(line, pat))
+        return substr(line, RSTART + length(field) + 4,
+                      RLENGTH - length(field) - 4) + 0
+      return 0
+    }
+    function isa_of(line) {
+      if (match(line, /"isa": "[^"]*"/))
+        return substr(line, RSTART + 8, RLENGTH - 9)
+      return ""
+    }
+    function foreign(line,  i, n) {
+      i = isa_of(line); n = num(line, "nproc")
+      return (i != "" && i != isa) || (n != 0 && n != nproc)
+    }
+    NR == FNR {
+      if (/"scenario"/) {
+        if (foreign($0))
+          printf "  %-24s skipped (recorded on %s/%d-core, this machine" \
+                 " %s/%d-core)\n", key($0), isa_of($0), num($0, "nproc"), \
+                 isa, nproc
+        else {
+          oldp99[key($0)] = num($0, "p99_ms")
+          oldmb[key($0)] = num($0, "mb_per_s")
+        }
+      }
+      next
+    }
+    /"scenario"/ {
+      k = key($0)
+      if (k in oldp99 && oldp99[k] > 0) {
+        p99 = num($0, "p99_ms"); mb = num($0, "mb_per_s")
+        rise = (p99 - oldp99[k]) / oldp99[k] * 100
+        printf "  %-24s p99 %8.2f -> %8.2f ms (%+.1f%%)\n", k, oldp99[k], \
+               p99, rise
+        if (rise > pct) bad = bad "\n  " k " (p99 latency)"
+        if (oldmb[k] > 0) {
+          drop = (oldmb[k] - mb) / oldmb[k] * 100
+          printf "  %-24s %8.2f -> %8.2f MB/s (%+.1f%%)\n", k, oldmb[k], \
+                 mb, -drop
+          if (drop > pct) bad = bad "\n  " k " (MB/s)"
+        }
+      }
+    }
+    END {
+      if (bad != "") { printf "serving regression > %s%%:%s\n", pct, bad
+                       exit 1 }
+    }
+  ' BENCH_serve.json "$SCRATCH/serve.json" || {
+    echo "serving gate failed (override: EFC_SERVE_GATE_PCT=0 ./ci.sh," \
+         "or a higher percentage for a known-noisy machine)" >&2
+    exit 1
+  }
+fi
+mv "$SCRATCH/serve.json" BENCH_serve.json
+
+echo "== [7/11] fast-path divergence gate + throughput smoke =="
 # Deterministic fig9-style CSV corpus, big enough to cross chunk and
 # buffer-growth boundaries.
 for i in $(seq 0 4999); do
@@ -148,13 +245,8 @@ EFC_BENCH_MB=1 EFC_BENCH_PIPELINES=CSV-max,UTF8-lines,CC-id \
   --benchmark_filter='/(Fused|FusedFastPath)$' --benchmark_min_time=0.1s
 # The committed rows carry the hardware that measured them; compare only
 # rows recorded on a matching machine (same detected SIMD level, same
-# logical core count) so runs on weaker/stronger boxes skip instead of
-# tripping the gate.  The ISA ladder mirrors src/vm/Simd.cpp detection.
-CUR_NPROC=$(nproc)
-if grep -qw avx512f /proc/cpuinfo && grep -qw avx512bw /proc/cpuinfo \
-    && grep -qw avx512vl /proc/cpuinfo; then CUR_ISA=avx512
-elif grep -qw avx2 /proc/cpuinfo; then CUR_ISA=avx2
-else CUR_ISA=sse2; fi
+# logical core count — CUR_ISA/CUR_NPROC above) so runs on
+# weaker/stronger boxes skip instead of tripping the gate.
 if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
   awk -v pct="$GATE_PCT" -v nproc="$CUR_NPROC" -v isa="$CUR_ISA" '
     function key(line) {
@@ -214,7 +306,7 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
 fi
 mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
-echo "== [7/10] codegen portability (emitted C++ with and without AVX) =="
+echo "== [8/11] codegen portability (emitted C++ with and without AVX) =="
 # The emitted translation unit embeds AVX2/AVX-512 nibble scanners under
 # GCC target attributes plus a scalar fallback; it must build on a plain
 # SSE2 toolchain configuration and under -mavx2 alike.
@@ -227,7 +319,7 @@ CXX_PORT=${CXX:-c++}
   -o "$SCRATCH/emitted_noavx.o"
 echo "emitted C++ compiles under -mavx2 and -mno-avx2 -mno-avx"
 
-echo "== [8/10] parallel executor smoke (8 MB, 4 threads) =="
+echo "== [9/11] parallel executor smoke (8 MB, 4 threads) =="
 awk 'BEGIN { for (i = 0; i < 400000; i++)
   printf "row%d,%d,pad%d\n", i, (i * 37 + 11) % 1000000, i }' \
   > "$SCRATCH/par.csv"
@@ -243,10 +335,10 @@ if [ "$SEQ_OUT" != "$PAR_OUT" ]; then
 fi
 echo "efcc --parallel 4 == sequential on 8 MB CSV: '$PAR_OUT'"
 
-echo "== [9/10] cache-hit vs cache-miss latency =="
+echo "== [10/11] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
 
-echo "== [10/10] backend-equivalence certification =="
+echo "== [11/11] backend-equivalence certification =="
 "$BUILD/tools/efc-verify" --quiet
 
 echo "== ci.sh: all green =="

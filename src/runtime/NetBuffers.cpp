@@ -1,0 +1,135 @@
+//===- runtime/NetBuffers.cpp ---------------------------------------------===//
+
+#include "runtime/NetBuffers.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+using namespace efc::runtime;
+
+void InputSlab::reserveWritable(size_t N) {
+  if (Buf.size() - Tail >= N)
+    return;
+  size_t Live = Tail - Head;
+  // Compact first: if sliding the unparsed remainder to the front frees
+  // enough room, no allocation happens.  memmove, not memcpy — the
+  // ranges overlap whenever less than half the slab is consumed.
+  if (Head > 0) {
+    std::memmove(Buf.data(), Buf.data() + Head, Live);
+    Head = 0;
+    Tail = Live;
+    if (Buf.size() - Tail >= N)
+      return;
+  }
+  size_t Want = Tail + N;
+  size_t Cap = std::max<size_t>(Buf.size() ? Buf.size() * 2 : 4096, Want);
+  Buf.resize(Cap);
+}
+
+InputSlab::ParseResult InputSlab::nextFrame(size_t MaxFrame,
+                                            std::string_view *Out) const {
+  size_t Avail = Tail - Head;
+  if (Avail < 4)
+    return ParseResult::NeedMore;
+  const unsigned char *H =
+      reinterpret_cast<const unsigned char *>(Buf.data() + Head);
+  uint32_t Len = uint32_t(H[0]) | (uint32_t(H[1]) << 8) |
+                 (uint32_t(H[2]) << 16) | (uint32_t(H[3]) << 24);
+  if (Len > MaxFrame)
+    return ParseResult::TooLarge;
+  if (Avail < 4 + size_t(Len))
+    return ParseResult::NeedMore;
+  *Out = std::string_view(Buf.data() + Head + 4, Len);
+  return ParseResult::Frame;
+}
+
+void OutQueue::push(char Status, std::string_view Name, std::string &&Body,
+                    std::string_view Sess) {
+  OutMsg M;
+  uint32_t Len = uint32_t(2 + Name.size() + Body.size());
+  M.Prefix.reserve(4 + 2 + Name.size());
+  M.Prefix.push_back(char(Len & 0xFF));
+  M.Prefix.push_back(char((Len >> 8) & 0xFF));
+  M.Prefix.push_back(char((Len >> 16) & 0xFF));
+  M.Prefix.push_back(char((Len >> 24) & 0xFF));
+  M.Prefix.push_back(Status);
+  M.Prefix.append(Name.data(), Name.size());
+  M.Prefix.push_back('\n');
+  M.Body = std::move(Body);
+  M.Sess.assign(Sess.data(), Sess.size());
+  Bytes += M.Prefix.size() + M.Body.size();
+  Q.push_back(std::move(M));
+}
+
+OutQueue::FlushResult OutQueue::flush(int Fd, uint64_t *WroteOut,
+                                      unsigned MaxIov) {
+  while (!Q.empty()) {
+    iovec Iov[64];
+    unsigned N = 0;
+    unsigned Cap = std::min<unsigned>(MaxIov, 64);
+    for (const OutMsg &M : Q) {
+      if (N + 2 > Cap)
+        break;
+      size_t Off = M.Off;
+      if (Off < M.Prefix.size()) {
+        Iov[N].iov_base = const_cast<char *>(M.Prefix.data()) + Off;
+        Iov[N].iov_len = M.Prefix.size() - Off;
+        ++N;
+        Off = 0;
+      } else {
+        Off -= M.Prefix.size();
+      }
+      if (Off < M.Body.size()) {
+        Iov[N].iov_base = const_cast<char *>(M.Body.data()) + Off;
+        Iov[N].iov_len = M.Body.size() - Off;
+        ++N;
+      }
+    }
+    if (N == 0) { // fully-written empty-body edge: retire and continue
+      Bytes -= Q.front().Prefix.size() + Q.front().Body.size();
+      Q.pop_front();
+      continue;
+    }
+    msghdr Msg{};
+    Msg.msg_iov = Iov;
+    Msg.msg_iovlen = N;
+    ssize_t W = ::sendmsg(Fd, &Msg, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return FlushResult::Blocked;
+      return FlushResult::Error;
+    }
+    if (WroteOut)
+      *WroteOut += uint64_t(W);
+    size_t Left = size_t(W);
+    while (Left && !Q.empty()) {
+      OutMsg &M = Q.front();
+      size_t Total = M.Prefix.size() + M.Body.size();
+      size_t Take = std::min(Left, Total - M.Off);
+      M.Off += Take;
+      Left -= Take;
+      if (M.Off == Total) {
+        Bytes -= Total;
+        Q.pop_front();
+      }
+    }
+  }
+  return FlushResult::Drained;
+}
+
+size_t OutQueue::dropAll(std::vector<std::string> *LostSessions) {
+  size_t N = Q.size();
+  for (OutMsg &M : Q)
+    if (LostSessions && !M.Sess.empty() &&
+        std::find(LostSessions->begin(), LostSessions->end(), M.Sess) ==
+            LostSessions->end())
+      LostSessions->push_back(std::move(M.Sess));
+  Q.clear();
+  Bytes = 0;
+  return N;
+}

@@ -1,0 +1,126 @@
+//===- runtime/NetBuffers.h - Zero-copy frame buffers -----------*- C++ -*-===//
+///
+/// \file
+/// The two per-connection buffers of the sharded event-loop server
+/// (runtime/Server.h).  Both are single-owner: exactly one shard thread
+/// touches a connection's buffers, so neither type carries a lock.
+///
+/// * `InputSlab` — a contiguous grow/compact byte slab the shard reads
+///   socket bytes into.  Length-prefixed frames are parsed *in place*:
+///   `nextFrame` hands out a `string_view` over the slab, so a feed
+///   chunk travels socket → slab → `StreamSession::feed` without ever
+///   being copied into a staging `std::string` (the old server copied
+///   twice: recvFrame into a string, then a substr into the task).
+///   Torn frames are the normal case, not an error: a header or payload
+///   split at any byte simply stays buffered until the rest arrives.
+///
+/// * `OutQueue` — a FIFO of response frames awaiting the socket.  Each
+///   message keeps its 4-byte length prefix + status line separate from
+///   the (moved, never copied) body so a flush can gather many frames
+///   into one `writev`.  The queue is bounded by the server: a slow
+///   client whose backlog passes the cap is doomed rather than allowed
+///   to pin server memory.  Messages carry the session name they answer,
+///   so a doomed connection can doom exactly the sessions whose replies
+///   were lost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFC_RUNTIME_NETBUFFERS_H
+#define EFC_RUNTIME_NETBUFFERS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efc::runtime {
+
+/// Contiguous input slab with in-place frame parsing.  Layout:
+/// [0, Head) consumed, [Head, Tail) buffered unparsed bytes,
+/// [Tail, Buf.size()) writable.  Compaction happens only when more
+/// write room is needed, so a hot connection that keeps up never moves
+/// bytes at all.
+class InputSlab {
+public:
+  /// Guarantees at least \p N writable bytes at writePtr(), compacting
+  /// (memmove of the unparsed remainder to offset 0) and growing
+  /// geometrically as needed.
+  void reserveWritable(size_t N);
+
+  char *writePtr() { return Buf.data() + Tail; }
+  size_t writable() const { return Buf.size() - Tail; }
+  /// Accounts \p N bytes just read into writePtr().
+  void commit(size_t N) { Tail += N; }
+
+  /// Bytes buffered but not yet consumed.
+  size_t pending() const { return Tail - Head; }
+
+  enum class ParseResult {
+    Frame,    ///< *Out is one complete frame payload (in-place view)
+    NeedMore, ///< header or payload incomplete; read more bytes
+    TooLarge, ///< declared length exceeds \p MaxFrame — unrecoverable
+  };
+
+  /// Parses the next length-prefixed frame at Head.  On Frame, *Out
+  /// views the payload inside the slab — valid until the next
+  /// reserveWritable/consumeFrame — and the caller must consumeFrame()
+  /// after dispatching it.
+  ParseResult nextFrame(size_t MaxFrame, std::string_view *Out) const;
+
+  /// Consumes the frame last returned by nextFrame (header + payload).
+  void consumeFrame(size_t PayloadLen) { Head += 4 + PayloadLen; }
+
+private:
+  std::vector<char> Buf;
+  size_t Head = 0, Tail = 0;
+};
+
+/// One queued response frame: Prefix is the 4-byte little-endian length
+/// header plus the status byte, session name and '\n'; Body the payload
+/// (moved from StreamSession::takeOutput, never copied).  Sess tags the
+/// session this frame answers ("" for stats/metrics/shutdown replies).
+struct OutMsg {
+  std::string Prefix;
+  std::string Body;
+  std::string Sess;
+  size_t Off = 0; ///< bytes of (Prefix+Body) already written
+};
+
+/// Bounded FIFO of response frames with gathering writev flush.
+class OutQueue {
+public:
+  /// Builds the wire prefix and enqueues the frame.
+  void push(char Status, std::string_view Name, std::string &&Body,
+            std::string_view Sess);
+
+  bool empty() const { return Q.empty(); }
+  size_t bytes() const { return Bytes; }
+  size_t frames() const { return Q.size(); }
+
+  enum class FlushResult {
+    Drained, ///< queue empty, nothing left to write
+    Blocked, ///< kernel buffer full (EAGAIN) — wait for EPOLLOUT
+    Error,   ///< peer gone (EPIPE/ECONNRESET/...) — doom the connection
+  };
+
+  /// Writes as much of the queue as the socket accepts, gathering up to
+  /// \p MaxIov segments per writev (MSG_NOSIGNAL, so a vanished peer
+  /// surfaces as Error, not SIGPIPE).  \p WroteOut accumulates bytes
+  /// actually written.
+  FlushResult flush(int Fd, uint64_t *WroteOut = nullptr,
+                    unsigned MaxIov = 64);
+
+  /// Drops every queued frame, appending each distinct non-empty session
+  /// tag to \p LostSessions and returning the number of frames dropped.
+  size_t dropAll(std::vector<std::string> *LostSessions);
+
+private:
+  std::deque<OutMsg> Q;
+  size_t Bytes = 0;
+};
+
+} // namespace efc::runtime
+
+#endif // EFC_RUNTIME_NETBUFFERS_H

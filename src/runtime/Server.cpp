@@ -1,15 +1,22 @@
-//===- runtime/Server.cpp -------------------------------------------------===//
+//===- runtime/Server.cpp - Sharded epoll event-loop server ---------------===//
 
 #include "runtime/Server.h"
 
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
 
+#include <algorithm>
+#include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <poll.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -19,10 +26,20 @@ using namespace efc::runtime;
 
 namespace {
 
-/// Registry mirrors of the server counters plus serving-path
-/// distributions.
+constexpr size_t MaxFrame = 64u << 20;
+constexpr size_t ReadChunk = 64u << 10;
+
+uint64_t steadyMs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+/// Registry mirrors of the aggregate server counters plus serving-path
+/// distributions (per-shard families are bound per shard in start()).
 struct ServerMetrics {
   metrics::Counter &SessionsOpened;
+  metrics::Counter &SessionsEvicted;
   metrics::Counter &FramesIn;
   metrics::Counter &Replies;
   metrics::Counter &Errors;
@@ -30,6 +47,7 @@ struct ServerMetrics {
   metrics::Counter &FramesDropped;
   metrics::Counter &BytesIn;
   metrics::Counter &BytesOut;
+  metrics::Counter &CrossForwards;
   metrics::Gauge &QueueDepth;
   metrics::Histogram &FeedLatency;
   metrics::Histogram &FeedBytes;
@@ -37,18 +55,22 @@ struct ServerMetrics {
     auto &R = metrics::Registry::instance();
     static ServerMetrics M{
         R.counter("efc_server_sessions_opened_total", "Sessions opened"),
+        R.counter("efc_server_sessions_evicted_total",
+                  "Sessions reaped by the idle-eviction sweep"),
         R.counter("efc_server_frames_in_total", "Request frames received"),
         R.counter("efc_server_replies_total", "Response frames sent"),
         R.counter("efc_server_errors_total", "Error responses sent"),
         R.counter("efc_server_rejected_total",
                   "Streams rejected by a pipeline"),
         R.counter("efc_server_frames_dropped_total",
-                  "Responses lost to dead connections"),
+                  "Responses lost to dead or over-backlog connections"),
         R.counter("efc_server_bytes_in_total", "Session input bytes fed"),
         R.counter("efc_server_bytes_out_total",
                   "Session output bytes produced"),
+        R.counter("efc_server_cross_shard_forwards_total",
+                  "Frames forwarded to a session's home shard"),
         R.gauge("efc_server_queue_depth",
-                "Tasks queued across all session strands"),
+                "Reply frames queued across all connections"),
         R.histogram("efc_server_feed_latency_seconds",
                     "Per-frame feed execution time",
                     {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1,
@@ -62,12 +84,10 @@ struct ServerMetrics {
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// Framing
+// Blocking-client framing (tools/efc-serve, tests)
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-constexpr size_t MaxFrame = 64u << 20;
 
 bool writeAll(int Fd, const void *Data, size_t N) {
   const char *P = static_cast<const char *>(Data);
@@ -128,15 +148,20 @@ bool efc::runtime::recvFrame(int Fd, std::string &Payload) {
 }
 
 //===----------------------------------------------------------------------===//
-// Server
+// Lifecycle
 //===----------------------------------------------------------------------===//
 
 Server::Server(ServerOptions O)
     : Opts(std::move(O)), Cache(Opts.CacheCapacity) {
-  if (Opts.Threads == 0)
-    Opts.Threads = 1;
-  if (Opts.MaxQueuePerSession == 0)
-    Opts.MaxQueuePerSession = 1;
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+  if (Opts.MaxConnBacklog < (1u << 16))
+    Opts.MaxConnBacklog = 1u << 16;
+  if (Opts.IdleMs == 0)
+    if (const char *E = getenv("EFC_SESSION_IDLE_MS"))
+      Opts.IdleMs = strtoull(E, nullptr, 10);
+  if (const char *E = getenv("EFC_DRAIN_MS"))
+    Opts.DrainMs = strtoull(E, nullptr, 10);
 }
 
 Server::~Server() { stop(); }
@@ -145,72 +170,217 @@ bool Server::start(std::string *Err) {
   auto Fail = [&](const std::string &M) {
     if (Err)
       *Err = M + ": " + strerror(errno);
+    for (auto &S : Shards) {
+      if (S->Ep >= 0)
+        ::close(S->Ep);
+      if (S->WakeFd >= 0)
+        ::close(S->WakeFd);
+      if (S->TcpListen >= 0)
+        ::close(S->TcpListen);
+    }
+    Shards.clear();
+    if (UnixListenFd >= 0) {
+      ::close(UnixListenFd);
+      UnixListenFd = -1;
+      ::unlink(Opts.SocketPath.c_str());
+    }
+    if (TcpListenFd >= 0) {
+      ::close(TcpListenFd);
+      TcpListenFd = -1;
+    }
+    for (int I = 0; I < 2; ++I)
+      if (StopPipe[I] >= 0) {
+        ::close(StopPipe[I]);
+        StopPipe[I] = -1;
+      }
     return false;
   };
-  if (Opts.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path))
-    return Fail("socket path too long");
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0)
-    return Fail("socket");
-  ::unlink(Opts.SocketPath.c_str());
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
-          sizeof(Addr.sun_path) - 1);
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
-      0)
-    return Fail("bind " + Opts.SocketPath);
-  if (::listen(ListenFd, 64) != 0)
-    return Fail("listen");
-  if (::pipe(StopPipe) != 0)
+
+  if (Opts.SocketPath.empty() && !Opts.Tcp) {
+    if (Err)
+      *Err = "no listener configured (need a socket path or TCP)";
+    return false;
+  }
+
+  for (unsigned I = 0; I < Opts.Shards; ++I) {
+    Shards.push_back(std::make_unique<Shard>());
+    Shards.back()->Id = I;
+  }
+
+  // Unix listener: single socket owned by shard 0, accepted fds handed
+  // to shards round-robin (Unix sockets have no SO_REUSEPORT balancing).
+  if (!Opts.SocketPath.empty()) {
+    if (Opts.SocketPath.size() >= sizeof(sockaddr_un{}.sun_path))
+      return Fail("socket path too long");
+    UnixListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (UnixListenFd < 0)
+      return Fail("socket");
+    ::unlink(Opts.SocketPath.c_str());
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+            sizeof(Addr.sun_path) - 1);
+    if (::bind(UnixListenFd, reinterpret_cast<sockaddr *>(&Addr),
+               sizeof(Addr)) != 0)
+      return Fail("bind " + Opts.SocketPath);
+    if (::listen(UnixListenFd, 1024) != 0)
+      return Fail("listen");
+  }
+
+  // TCP listeners: one SO_REUSEPORT socket per shard so the kernel
+  // balances accepts with no handoff at all; when SO_REUSEPORT is
+  // unavailable, one listener on shard 0 hands fds off round-robin.
+  if (Opts.Tcp) {
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Opts.TcpPort);
+    if (::inet_pton(AF_INET, Opts.TcpHost.c_str(), &Addr.sin_addr) != 1)
+      Addr.sin_addr.s_addr = INADDR_ANY;
+    auto makeListener = [&](bool ReusePort) -> int {
+      int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+      if (Fd < 0)
+        return -1;
+      int One = 1;
+      ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+      if (ReusePort &&
+          ::setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof(One)) !=
+              0) {
+        ::close(Fd);
+        return -1;
+      }
+      if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+              0 ||
+          ::listen(Fd, 1024) != 0) {
+        ::close(Fd);
+        return -1;
+      }
+      return Fd;
+    };
+    TcpReusePort = true;
+    for (unsigned I = 0; I < Opts.Shards && TcpReusePort; ++I) {
+      int Fd = makeListener(/*ReusePort=*/true);
+      if (Fd < 0) {
+        TcpReusePort = false;
+        break;
+      }
+      Shards[I]->TcpListen = Fd;
+      if (I == 0) {
+        // Resolve an ephemeral port so the remaining shards bind it too.
+        sockaddr_in Bound{};
+        socklen_t Len = sizeof(Bound);
+        if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) ==
+            0) {
+          BoundTcpPort = ntohs(Bound.sin_port);
+          Addr.sin_port = Bound.sin_port;
+        }
+      }
+    }
+    if (!TcpReusePort) {
+      for (auto &S : Shards)
+        if (S->TcpListen >= 0) {
+          ::close(S->TcpListen);
+          S->TcpListen = -1;
+        }
+      TcpListenFd = makeListener(/*ReusePort=*/false);
+      if (TcpListenFd < 0)
+        return Fail("tcp listen " + Opts.TcpHost);
+      sockaddr_in Bound{};
+      socklen_t Len = sizeof(Bound);
+      if (::getsockname(TcpListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                        &Len) == 0)
+        BoundTcpPort = ntohs(Bound.sin_port);
+    }
+  }
+
+  // O_NONBLOCK on the write end keeps signalStop() safe from a signal
+  // handler even if the pipe were somehow full: the write fails instead
+  // of blocking inside a handler.
+  if (::pipe2(StopPipe, O_NONBLOCK) != 0)
     return Fail("pipe");
 
-  Acceptor = std::thread([this] { acceptLoop(); });
-  for (unsigned I = 0; I < Opts.Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+  auto &R = metrics::Registry::instance();
+  for (auto &SP : Shards) {
+    Shard &S = *SP;
+    S.Ep = ::epoll_create1(EPOLL_CLOEXEC);
+    if (S.Ep < 0)
+      return Fail("epoll_create1");
+    S.WakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (S.WakeFd < 0)
+      return Fail("eventfd");
+    auto Add = [&](int Fd, uint32_t Ev) {
+      epoll_event E{};
+      E.events = Ev;
+      E.data.fd = Fd;
+      return ::epoll_ctl(S.Ep, EPOLL_CTL_ADD, Fd, &E) == 0;
+    };
+    // Level-triggered wake + stop fds: the eventfd is read to clear on
+    // each wake; the stop pipe is never read — it stays readable, and
+    // beginDrain() deregisters it so the drain loop is not spun.
+    if (!Add(S.WakeFd, EPOLLIN) || !Add(StopPipe[0], EPOLLIN))
+      return Fail("epoll_ctl");
+    if (S.TcpListen >= 0 && !Add(S.TcpListen, EPOLLIN | EPOLLET))
+      return Fail("epoll_ctl tcp listener");
+    if (S.Id == 0 && UnixListenFd >= 0 &&
+        !Add(UnixListenFd, EPOLLIN | EPOLLET))
+      return Fail("epoll_ctl unix listener");
+    if (S.Id == 0 && TcpListenFd >= 0 &&
+        !Add(TcpListenFd, EPOLLIN | EPOLLET))
+      return Fail("epoll_ctl tcp listener");
+
+    std::string L = "shard=\"" + std::to_string(S.Id) + "\"";
+    S.MAccepts =
+        &R.counter("efc_server_accepts_total", "Connections accepted", L);
+    S.MWakeups = &R.counter("efc_server_epoll_wakeups_total",
+                            "epoll_wait returns", L);
+    S.MBacklog = &R.gauge("efc_server_out_backlog_bytes",
+                          "Reply bytes queued on this shard's connections",
+                          L);
+    S.MQueueDepth = &R.gauge("efc_server_queue_depth",
+                             "Reply frames queued on this shard", L);
+  }
+
+  for (auto &SP : Shards)
+    SP->Thr = std::thread([this, S = SP.get()] { shardLoop(*S); });
+  Started = true;
   return true;
 }
 
 void Server::signalStop() {
-  {
-    std::lock_guard<std::mutex> L(Mu);
-    if (Stopping)
-      return;
-    Stopping = true;
-    // Unblock readers stuck in recv and the accept loop's poll.
-    for (auto &Cn : Conns)
-      if (Cn->Fd >= 0)
-        ::shutdown(Cn->Fd, SHUT_RDWR);
-  }
+  StopRequested.store(true, std::memory_order_relaxed);
   if (StopPipe[1] >= 0) {
-    // Retry EINTR: a lost wakeup here would leave the accept loop parked
-    // in poll.  The loop also polls with a finite timeout as a backstop,
-    // so even a full pipe (impossible with one byte, but cheap to cover)
-    // cannot wedge shutdown.
     ssize_t W;
     do {
       W = ::write(StopPipe[1], "x", 1);
     } while (W < 0 && errno == EINTR);
   }
-  WorkCv.notify_all();
-  SpaceCv.notify_all();
 }
 
 void Server::wait() {
-  if (Acceptor.joinable())
-    Acceptor.join();
-  for (auto &W : Workers)
-    if (W.joinable())
-      W.join();
-  for (auto &R : Readers)
-    if (R.joinable())
-      R.join();
-  Workers.clear();
-  Readers.clear();
-  if (ListenFd >= 0) {
-    ::close(ListenFd);
-    ListenFd = -1;
+  for (auto &SP : Shards)
+    if (SP->Thr.joinable())
+      SP->Thr.join();
+  for (auto &SP : Shards) {
+    if (SP->Ep >= 0) {
+      ::close(SP->Ep);
+      SP->Ep = -1;
+    }
+    if (SP->WakeFd >= 0) {
+      ::close(SP->WakeFd);
+      SP->WakeFd = -1;
+    }
+    if (SP->TcpListen >= 0) {
+      ::close(SP->TcpListen);
+      SP->TcpListen = -1;
+    }
+  }
+  if (UnixListenFd >= 0) {
+    ::close(UnixListenFd);
+    UnixListenFd = -1;
     ::unlink(Opts.SocketPath.c_str());
+  }
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
   }
   for (int I = 0; I < 2; ++I)
     if (StopPipe[I] >= 0) {
@@ -224,205 +394,436 @@ void Server::stop() {
   wait();
 }
 
-void Server::acceptLoop() {
+void Server::post(unsigned ShardId, std::function<void()> Fn) {
+  Shard &S = *Shards[ShardId];
+  {
+    std::lock_guard<std::mutex> L(S.MailMu);
+    S.Mail.push_back(std::move(Fn));
+  }
+  uint64_t One = 1;
+  ssize_t W;
+  do {
+    W = ::write(S.WakeFd, &One, sizeof(One));
+  } while (W < 0 && errno == EINTR);
+}
+
+void Server::drainMail(Shard &S) {
+  std::vector<std::function<void()>> Batch;
+  {
+    std::lock_guard<std::mutex> L(S.MailMu);
+    Batch.swap(S.Mail);
+  }
+  for (auto &Fn : Batch)
+    Fn();
+}
+
+//===----------------------------------------------------------------------===//
+// Shard event loop
+//===----------------------------------------------------------------------===//
+
+void Server::shardLoop(Shard &S) {
+  epoll_event Events[128];
   for (;;) {
-    pollfd Fds[2] = {{ListenFd, POLLIN, 0}, {StopPipe[0], POLLIN, 0}};
-    if (::poll(Fds, 2, /*timeout=*/200) < 0) {
+    drainMail(S);
+
+    // Resume reads parked by backpressure — iteratively, so a flush
+    // that frees the backlog never recurses back into the read path.
+    while (!S.Resume.empty()) {
+      ConnPtr C = std::move(S.Resume.back());
+      S.Resume.pop_back();
+      if (C->Closed || !C->ReadPaused)
+        continue;
+      if (C->Out.bytes() >= Opts.MaxConnBacklog / 2)
+        continue; // still above watermark; EPOLLOUT will requeue
+      C->ReadPaused = false;
+      updateEpoll(S, C);
+      if (!S.Draining)
+        readAndExecute(S, C);
+    }
+
+    uint64_t Now = steadyMs();
+    if (S.Draining) {
+      // Close every connection with nothing left to deliver; force the
+      // rest once the deadline passes.  Exit only when no connection
+      // lives anywhere — while one does, forwards can still arrive.
+      std::vector<ConnPtr> Open;
+      Open.reserve(S.Conns.size());
+      for (auto &[Fd, C] : S.Conns)
+        Open.push_back(C);
+      for (auto &C : Open)
+        if (Now >= S.DrainByMs || (C->Out.empty() && C->CrossPending == 0))
+          closeConn(S, C, /*CountBacklogDropped=*/Now >= S.DrainByMs);
+      if (S.Conns.empty() &&
+          (TotalConns.load(std::memory_order_acquire) == 0 ||
+           Now >= S.DrainByMs))
+        break;
+    }
+    if (Opts.IdleMs && !S.Draining &&
+        Now - S.LastReapMs >= std::max<uint64_t>(Opts.IdleMs / 4, 10)) {
+      S.LastReapMs = Now;
+      reapIdle(S, Now);
+    }
+
+    int TimeoutMs = S.Draining ? 20
+                    : Opts.IdleMs
+                        ? int(std::clamp<uint64_t>(Opts.IdleMs / 4, 10, 200))
+                        : 200;
+    int N = ::epoll_wait(S.Ep, Events, 128, TimeoutMs);
+    if (N < 0) {
       if (errno == EINTR)
         continue;
       break;
     }
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      if (Stopping)
-        break;
-    }
-    if (!(Fds[0].revents & POLLIN))
-      continue;
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0)
-      continue;
-    auto Cn = std::make_shared<Conn>();
-    Cn->Fd = Fd;
-    std::lock_guard<std::mutex> L(Mu);
-    if (Stopping) {
-      ::close(Fd);
-      break;
-    }
-    Conns.push_back(Cn);
-    Readers.emplace_back([this, Cn] { readerLoop(Cn); });
-  }
-}
-
-bool Server::reply(Conn &Cn, char Status, const std::string &Name,
-                   std::string_view Body) {
-  std::string Out;
-  Out.reserve(2 + Name.size() + Body.size());
-  Out.push_back(Status);
-  Out += Name;
-  Out.push_back('\n');
-  Out.append(Body.data(), Body.size());
-  bool Sent;
-  {
-    std::lock_guard<std::mutex> L(Cn.WriteMu);
-    int Fd = Cn.Fd.load();
-    Sent = Fd >= 0 && sendFrame(Fd, Out);
-    if (!Sent && Fd >= 0) {
-      // The client is gone (EPIPE/ECONNRESET) or the frame was cut short:
-      // nothing further sent on this connection can be framed correctly.
-      // Shut it down so the reader unblocks and tears it down.
-      ::shutdown(Fd, SHUT_RDWR);
-    }
-  }
-  std::lock_guard<std::mutex> G(Mu);
-  if (Sent) {
-    ++C.Replies;
-    ServerMetrics::get().Replies.inc();
-    if (Status == 'e') {
-      ++C.Errors;
-      ServerMetrics::get().Errors.inc();
-    }
-  } else {
-    ++C.FramesDropped;
-    ServerMetrics::get().FramesDropped.inc();
-  }
-  return Sent;
-}
-
-void Server::readerLoop(std::shared_ptr<Conn> Cn) {
-  std::string Frame;
-  while (recvFrame(Cn->Fd, Frame)) {
-    if (Frame.empty())
-      continue;
-    char Op = Frame[0];
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      ++C.FramesIn;
-    }
-    ServerMetrics::get().FramesIn.inc();
-    if (Op == 'S') {
-      reply(*Cn, 'k', "", statsText());
-      continue;
-    }
-    if (Op == 'M') {
-      reply(*Cn, 'k', "", metrics::Registry::instance().renderPrometheus());
-      continue;
-    }
-    if (Op == 'Q') {
-      reply(*Cn, 'k', "", "");
-      signalStop();
-      break;
-    }
-    if (Op != 'O' && Op != 'F' && Op != 'E' && Op != 'C') {
-      reply(*Cn, 'e', "", "unknown opcode");
-      continue;
-    }
-    size_t Nl = Frame.find('\n', 1);
-    std::string Name = Frame.substr(1, Nl == std::string::npos
-                                           ? std::string::npos
-                                           : Nl - 1);
-    std::string Body =
-        Nl == std::string::npos ? std::string() : Frame.substr(Nl + 1);
-    if (Name.empty()) {
-      reply(*Cn, 'e', "", "missing session name");
-      continue;
-    }
-
-    std::shared_ptr<Session> Sess;
-    {
-      std::unique_lock<std::mutex> L(Mu);
-      auto It = Sessions.find(Name);
-      if (Op == 'O') {
-        if (It != Sessions.end() && !It->second->Doomed) {
-          L.unlock();
-          reply(*Cn, 'e', Name, "session already open");
-          continue;
+    S.Ct.Wakeups.fetch_add(1, std::memory_order_relaxed);
+    S.MWakeups->inc();
+    for (int I = 0; I < N; ++I) {
+      int Fd = Events[I].data.fd;
+      uint32_t Ev = Events[I].events;
+      if (Fd == S.WakeFd) {
+        uint64_t Junk;
+        while (::read(S.WakeFd, &Junk, sizeof(Junk)) > 0) {
         }
-        // A doomed predecessor may linger until its strand drains; the
-        // worker's identity-checked erase won't touch the replacement.
-        Sess = std::make_shared<Session>();
-        Sess->Name = Name;
-        Sessions.insert_or_assign(Name, Sess);
-        ++C.SessionsOpened;
-        ServerMetrics::get().SessionsOpened.inc();
-      } else {
-        if (It == Sessions.end() || It->second->Doomed) {
-          L.unlock();
-          reply(*Cn, 'e', Name, "no such session");
-          continue;
-        }
-        Sess = It->second;
+        continue; // mail drained at loop top
       }
-      // Backpressure: a full strand parks this connection's reader until
-      // a worker drains the queue (or the server stops).
-      SpaceCv.wait(L, [&] {
-        return Stopping || Sess->Q.size() < Opts.MaxQueuePerSession;
-      });
-      if (Stopping)
-        break;
-      Sess->Q.push_back(Task{Op, std::move(Body), Cn});
-      ServerMetrics::get().QueueDepth.add(1);
-      if (!Sess->Running && Sess->Q.size() == 1) {
-        Ready.push_back(Sess);
-        WorkCv.notify_one();
-      }
-    }
-  }
-  // Close under WriteMu: a worker may be mid-reply on this connection;
-  // closing the descriptor out from under ::send could hand the fd number
-  // to an unrelated accept.
-  std::lock_guard<std::mutex> L(Cn->WriteMu);
-  int Fd = Cn->Fd.exchange(-1);
-  if (Fd >= 0)
-    ::close(Fd);
-}
-
-void Server::workerLoop() {
-  for (;;) {
-    std::shared_ptr<Session> Sess;
-    Task T{' ', {}, nullptr};
-    {
-      std::unique_lock<std::mutex> L(Mu);
-      WorkCv.wait(L, [&] { return Stopping || !Ready.empty(); });
-      if (Stopping)
-        return;
-      Sess = std::move(Ready.front());
-      Ready.pop_front();
-      if (Sess->Q.empty())
+      if (Fd == StopPipe[0]) {
+        beginDrain(S);
         continue;
-      Sess->Running = true;
-      T = std::move(Sess->Q.front());
-      Sess->Q.pop_front();
-      ServerMetrics::get().QueueDepth.sub(1);
-      SpaceCv.notify_all();
-    }
-
-    execute(Sess, T);
-
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      Sess->Running = false;
-      if (!Sess->Q.empty()) {
-        Ready.push_back(Sess);
-        WorkCv.notify_one();
-      } else if (Sess->Doomed) {
-        auto It = Sessions.find(Sess->Name);
-        if (It != Sessions.end() && It->second == Sess)
-          Sessions.erase(It);
       }
+      if (Fd == S.TcpListen) {
+        acceptReady(S, Fd, /*Tcp=*/true);
+        continue;
+      }
+      if (S.Id == 0 && Fd == UnixListenFd) {
+        acceptReady(S, Fd, /*Tcp=*/false);
+        continue;
+      }
+      if (S.Id == 0 && Fd == TcpListenFd) {
+        acceptReady(S, Fd, /*Tcp=*/true);
+        continue;
+      }
+      auto It = S.Conns.find(Fd);
+      if (It == S.Conns.end())
+        continue; // closed earlier in this batch's mail
+      // Copy out of the map: closeConn erases the map entry, which would
+      // otherwise destroy the very shared_ptr handleConn holds.
+      ConnPtr C = It->second;
+      handleConn(S, C, Ev);
+    }
+  }
+
+  // Shard teardown: surviving connections and sessions die with it.
+  std::vector<ConnPtr> Leftover;
+  for (auto &[Fd, C] : S.Conns)
+    Leftover.push_back(C);
+  for (auto &C : Leftover)
+    closeConn(S, C, /*CountBacklogDropped=*/true);
+  std::vector<std::string> Names;
+  for (auto &[Name, Sess] : S.Sessions)
+    Names.push_back(Name);
+  for (auto &Name : Names)
+    eraseSession(S, Name);
+}
+
+void Server::beginDrain(Shard &S) {
+  if (S.Draining)
+    return;
+  S.Draining = true;
+  S.DrainByMs = steadyMs() + Opts.DrainMs;
+  ::epoll_ctl(S.Ep, EPOLL_CTL_DEL, StopPipe[0], nullptr);
+  if (S.TcpListen >= 0) {
+    ::close(S.TcpListen);
+    S.TcpListen = -1;
+  }
+  if (S.Id == 0) {
+    if (UnixListenFd >= 0) {
+      ::epoll_ctl(S.Ep, EPOLL_CTL_DEL, UnixListenFd, nullptr);
+      ::close(UnixListenFd);
+      UnixListenFd = -1;
+      ::unlink(Opts.SocketPath.c_str());
+    }
+    if (TcpListenFd >= 0) {
+      ::epoll_ctl(S.Ep, EPOLL_CTL_DEL, TcpListenFd, nullptr);
+      ::close(TcpListenFd);
+      TcpListenFd = -1;
+    }
+  }
+  // Final read: everything the kernel already buffered for us counts as
+  // in-flight and is executed before the connection closes — the old
+  // server lost these frames on its stop path.
+  std::vector<ConnPtr> Open;
+  Open.reserve(S.Conns.size());
+  for (auto &[Fd, C] : S.Conns)
+    Open.push_back(C);
+  for (auto &C : Open) {
+    if (C->Closed)
+      continue;
+    if (C->ReadPaused) {
+      C->ReadPaused = false;
+      updateEpoll(S, C);
+    }
+    readAndExecute(S, C);
+    if (!C->Closed)
+      flushConn(S, C);
+  }
+}
+
+void Server::reapIdle(Shard &S, uint64_t NowMs) {
+  std::vector<std::string> Stale;
+  for (auto &[Name, Sess] : S.Sessions)
+    if (NowMs - Sess->LastActiveMs >= Opts.IdleMs)
+      Stale.push_back(Name);
+  for (auto &Name : Stale) {
+    eraseSession(S, Name);
+    S.Ct.SessionsEvicted.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().SessionsEvicted.inc();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accept & connection ownership
+//===----------------------------------------------------------------------===//
+
+void Server::acceptReady(Shard &S, int ListenFd, bool Tcp) {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN or a transient accept error: wait for next edge
+    }
+    if (Tcp) {
+      int One = 1;
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    }
+    // Per-shard SO_REUSEPORT listeners adopt locally; the single-listener
+    // paths (Unix socket, no-REUSEPORT TCP) hand off round-robin.
+    if (ListenFd == S.TcpListen) {
+      adoptConn(S, Fd);
+      continue;
+    }
+    unsigned Target =
+        RoundRobin.fetch_add(1, std::memory_order_relaxed) % Shards.size();
+    if (Target == S.Id)
+      adoptConn(S, Fd);
+    else
+      post(Target, [this, Target, Fd] {
+        Shard &T = *Shards[Target];
+        if (T.Draining)
+          ::close(Fd);
+        else
+          adoptConn(T, Fd);
+      });
+  }
+}
+
+void Server::adoptConn(Shard &S, int Fd) {
+  auto C = std::make_shared<Conn>();
+  C->Fd = Fd;
+  C->Owner = S.Id;
+  epoll_event E{};
+  E.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+  E.data.fd = Fd;
+  if (::epoll_ctl(S.Ep, EPOLL_CTL_ADD, Fd, &E) != 0) {
+    ::close(Fd);
+    return;
+  }
+  S.Conns.emplace(Fd, C);
+  S.Ct.Accepts.fetch_add(1, std::memory_order_relaxed);
+  S.MAccepts->inc();
+  S.Ct.ConnsLive.fetch_add(1, std::memory_order_relaxed);
+  TotalConns.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Server::updateEpoll(Shard &S, const ConnPtr &C) {
+  epoll_event E{};
+  E.events = EPOLLET | (C->ReadPaused ? 0u : (EPOLLIN | EPOLLRDHUP)) |
+             (C->WantWrite ? uint32_t(EPOLLOUT) : 0u);
+  E.data.fd = C->Fd;
+  ::epoll_ctl(S.Ep, EPOLL_CTL_MOD, C->Fd, &E);
+}
+
+void Server::handleConn(Shard &S, const ConnPtr &C, uint32_t Events) {
+  if (C->Closed)
+    return;
+  if (Events & EPOLLOUT) {
+    C->WantWrite = false; // rearmed by flushConn if still blocked
+    flushConn(S, C);
+    if (C->Closed)
+      return;
+  }
+  if (Events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+    if (S.Draining) {
+      // No new input during drain; but a HUP with nothing left queued
+      // means the peer is gone entirely.
+      if ((Events & (EPOLLHUP | EPOLLERR)) && C->Out.empty())
+        closeConn(S, C, false);
+      return;
+    }
+    readAndExecute(S, C);
+  }
+}
+
+void Server::readAndExecute(Shard &S, const ConnPtr &C) {
+  for (;;) {
+    C->In.reserveWritable(ReadChunk);
+    ssize_t N = ::read(C->Fd, C->In.writePtr(), C->In.writable());
+    if (N > 0) {
+      C->In.commit(size_t(N));
+      if (!parseFrames(S, C))
+        return; // protocol error: connection already doomed
+      if (C->Closed || C->ReadPaused)
+        return;
+      continue;
+    }
+    if (N == 0) {
+      C->PeerEof = true;
+      break;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    closeConn(S, C, /*CountBacklogDropped=*/true);
+    return;
+  }
+  if (C->PeerEof && C->Out.empty() && C->CrossPending == 0)
+    closeConn(S, C, false);
+}
+
+bool Server::parseFrames(Shard &S, const ConnPtr &C) {
+  for (;;) {
+    std::string_view Frame;
+    switch (C->In.nextFrame(MaxFrame, &Frame)) {
+    case InputSlab::ParseResult::NeedMore:
+      return true;
+    case InputSlab::ParseResult::TooLarge:
+      // The stream cannot be re-synchronized past a bogus length; say
+      // why, then tear the connection down.
+      reply(S, C, 'e', "", "frame exceeds 64 MB limit", "");
+      closeConn(S, C, /*CountBacklogDropped=*/false);
+      return false;
+    case InputSlab::ParseResult::Frame: {
+      size_t Len = Frame.size();
+      execute(S, C, Frame);
+      C->In.consumeFrame(Len);
+      if (C->Closed)
+        return true;
+      break;
+    }
     }
   }
 }
 
-void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
-  switch (T.Op) {
-  case 'O': {
+//===----------------------------------------------------------------------===//
+// Frame execution
+//===----------------------------------------------------------------------===//
+
+void Server::execute(Shard &S, const ConnPtr &C, std::string_view Frame) {
+  if (Frame.empty())
+    return;
+  S.Ct.FramesIn.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::get().FramesIn.inc();
+  char Op = Frame[0];
+  if (Op == 'S') {
+    reply(S, C, 'k', "", statsText(), "");
+    return;
+  }
+  if (Op == 'M') {
+    reply(S, C, 'k', "", metrics::Registry::instance().renderPrometheus(),
+          "");
+    return;
+  }
+  if (Op == 'Q') {
+    reply(S, C, 'k', "", "", "");
+    signalStop();
+    return;
+  }
+  if (Op != 'O' && Op != 'F' && Op != 'E' && Op != 'C') {
+    reply(S, C, 'e', "", "unknown opcode", "");
+    return;
+  }
+  size_t Nl = Frame.find('\n', 1);
+  std::string_view Name = Nl == std::string_view::npos
+                              ? Frame.substr(1)
+                              : Frame.substr(1, Nl - 1);
+  std::string_view Body =
+      Nl == std::string_view::npos ? std::string_view() : Frame.substr(Nl + 1);
+  if (Name.empty()) {
+    reply(S, C, 'e', "", "missing session name", "");
+    return;
+  }
+  if (Op == 'O') {
+    openSession(S, C, Name, Body);
+    return;
+  }
+
+  std::string NameS(Name);
+  auto It = S.Sessions.find(NameS);
+  if (It != S.Sessions.end()) {
+    executeSessionOp(S, C, Op, Name, Body, *It->second);
+    return;
+  }
+  // Not homed here: route through the session's home shard.  This is
+  // the slow path — a client that opens and feeds on one connection
+  // never takes it.
+  unsigned HomeShard = 0;
+  bool Found = false;
+  {
+    std::lock_guard<std::mutex> L(IndexMu);
+    auto HIt = SessionIndex.find(NameS);
+    if (HIt != SessionIndex.end()) {
+      HomeShard = HIt->second.ShardId;
+      Found = true;
+    }
+  }
+  if (!Found || HomeShard == S.Id) {
+    reply(S, C, 'e', Name, "no such session", "");
+    return;
+  }
+  C->CrossPending++;
+  S.Ct.CrossForwards.fetch_add(1, std::memory_order_relaxed);
+  ServerMetrics::get().CrossForwards.inc();
+  post(HomeShard,
+       [this, HomeShard, Op, NameS = std::move(NameS),
+        BodyS = std::string(Body), C] {
+         Shard &H = *Shards[HomeShard];
+         auto SIt = H.Sessions.find(NameS);
+         if (SIt == H.Sessions.end()) {
+           reply(H, C, 'e', NameS, "no such session", "");
+           return;
+         }
+         executeSessionOp(H, C, Op, NameS, BodyS, *SIt->second);
+       });
+}
+
+void Server::openSession(Shard &S, const ConnPtr &C, std::string_view Name,
+                         std::string_view Body) {
+  std::string NameS(Name);
+  uint64_t Gen = GenCounter.fetch_add(1, std::memory_order_relaxed);
+  bool Claimed;
+  {
+    std::lock_guard<std::mutex> L(IndexMu);
+    Claimed = SessionIndex.try_emplace(NameS, Home{S.Id, Gen}).second;
+  }
+  if (!Claimed) {
+    // Unlocked before the reply: reply may flush.
+    reply(S, C, 'e', Name, "session already open", "");
+    return;
+  }
+  {
+    auto Unclaim = [&] {
+      std::lock_guard<std::mutex> L(IndexMu);
+      auto It = SessionIndex.find(NameS);
+      if (It != SessionIndex.end() && It->second.Gen == Gen)
+        SessionIndex.erase(It);
+    };
     // Body: backend line, then the spec text.
-    size_t Nl = T.Payload.find('\n');
-    std::string BackendStr =
-        Nl == std::string::npos ? T.Payload : T.Payload.substr(0, Nl);
-    std::string SpecText =
-        Nl == std::string::npos ? std::string() : T.Payload.substr(Nl + 1);
+    size_t Nl = Body.find('\n');
+    std::string BackendStr(Nl == std::string_view::npos ? Body
+                                                        : Body.substr(0, Nl));
+    std::string SpecText(Nl == std::string_view::npos ? std::string_view()
+                                                      : Body.substr(Nl + 1));
     // EFC_BACKEND overrides every OPEN's requested backend — operator
     // escape hatch for A/B measurement and for forcing plain bytecode if
     // the fast path ever misbehaves in production.
@@ -436,141 +837,383 @@ void Server::execute(const std::shared_ptr<Session> &Sess, Task &T) {
     else if (BackendStr == "native")
       B = StreamSession::Backend::Native;
     else {
-      dropSession(Sess);
-      reply(*T.C, 'e', Sess->Name, "unknown backend '" + BackendStr + "'");
+      Unclaim();
+      reply(S, C, 'e', Name, "unknown backend '" + BackendStr + "'", "");
       return;
     }
     std::string Err;
     auto Spec = PipelineSpec::parse(SpecText, &Err);
     if (!Spec) {
-      dropSession(Sess);
-      reply(*T.C, 'e', Sess->Name, Err);
+      Unclaim();
+      reply(S, C, 'e', Name, std::move(Err), "");
       return;
     }
+    // The build runs inline on the shard (single-flight through the
+    // shared cache, so N shards opening one spec still fuse once).  A
+    // cold native build can stall this shard's loop for its duration —
+    // the documented tradeoff for a lock-free hot path; warm opens are
+    // a hash lookup.
     auto P = Cache.get(*Spec, B == StreamSession::Backend::Native, &Err);
     if (!P) {
-      dropSession(Sess);
-      reply(*T.C, 'e', Sess->Name, Err);
+      Unclaim();
+      reply(S, C, 'e', Name, std::move(Err), "");
       return;
     }
-    auto S = StreamSession::open(std::move(P), B, &Err);
-    if (!S) {
-      dropSession(Sess);
-      reply(*T.C, 'e', Sess->Name, Err);
+    auto St = StreamSession::open(std::move(P), B, &Err);
+    if (!St) {
+      Unclaim();
+      reply(S, C, 'e', Name, std::move(Err), "");
       return;
     }
-    Sess->Stream.emplace(std::move(*S));
-    if (!reply(*T.C, 'k', Sess->Name, ""))
-      dropSession(Sess);
-    return;
+    auto Sess = std::make_unique<Session>();
+    Sess->Name = NameS;
+    Sess->Gen = Gen;
+    Sess->Stream.emplace(std::move(*St));
+    Sess->LastActiveMs = steadyMs();
+    S.Sessions.emplace(NameS, std::move(Sess));
+    S.Ct.SessionsOpened.fetch_add(1, std::memory_order_relaxed);
+    S.Ct.SessionsLive.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().SessionsOpened.inc();
+    reply(S, C, 'k', Name, "", NameS);
   }
+}
+
+void Server::executeSessionOp(Shard &S, const ConnPtr &C, char Op,
+                              std::string_view Name, std::string_view Body,
+                              Session &Sess) {
+  Sess.LastActiveMs = steadyMs();
+  ServerMetrics &M = ServerMetrics::get();
+  switch (Op) {
   case 'F': {
-    if (!Sess->Stream) {
-      reply(*T.C, 'e', Sess->Name, "session not open");
+    if (!Sess.Stream) {
+      reply(S, C, 'e', Name, "session not open", "");
       return;
     }
     Stopwatch Timer;
-    bool Ok = Sess->Stream->feed(T.Payload);
-    std::string Out = Sess->Stream->takeOutput();
-    ServerMetrics &M = ServerMetrics::get();
+    // Zero-copy: Body views the connection's input slab (or the
+    // forwarded copy); the session consumes it in place.
+    bool Ok = Sess.Stream->feed(Body.data(), Body.size());
+    std::string Out = Sess.Stream->takeOutput();
     M.FeedLatency.observe(Timer.seconds());
-    M.FeedBytes.observe(double(T.Payload.size()));
-    M.BytesIn.inc(T.Payload.size());
+    M.FeedBytes.observe(double(Body.size()));
+    M.BytesIn.inc(Body.size());
     M.BytesOut.inc(Out.size());
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      C.BytesIn += T.Payload.size();
-      C.BytesOut += Out.size();
-      if (!Ok)
-        ++C.Rejected;
-    }
+    S.Ct.BytesIn.fetch_add(Body.size(), std::memory_order_relaxed);
+    S.Ct.BytesOut.fetch_add(Out.size(), std::memory_order_relaxed);
     if (!Ok) {
+      S.Ct.Rejected.fetch_add(1, std::memory_order_relaxed);
       M.Rejected.inc();
-      dropSession(Sess);
-      reply(*T.C, 'e', Sess->Name, "input rejected by the pipeline");
+      eraseSession(S, Sess.Name);
+      reply(S, C, 'e', Name, "input rejected by the pipeline", "");
       return;
     }
-    if (!reply(*T.C, 'k', Sess->Name, Out)) {
-      // The client never saw this output; feeding further chunks would
-      // silently skip a hole in the stream.  Kill the session.
-      dropSession(Sess);
-    }
+    reply(S, C, 'k', Name, std::move(Out), Name);
     return;
   }
   case 'E': {
-    if (!Sess->Stream) {
-      dropSession(Sess);
-      reply(*T.C, 'e', Sess->Name, "session not open");
+    if (!Sess.Stream) {
+      eraseSession(S, Sess.Name);
+      reply(S, C, 'e', Name, "session not open", "");
       return;
     }
-    bool Ok = Sess->Stream->finish();
-    std::string Out = Sess->Stream->takeOutput();
-    ServerMetrics::get().BytesOut.inc(Out.size());
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      C.BytesOut += Out.size();
-      if (!Ok)
-        ++C.Rejected;
+    bool Ok = Sess.Stream->finish();
+    std::string Out = Sess.Stream->takeOutput();
+    M.BytesOut.inc(Out.size());
+    S.Ct.BytesOut.fetch_add(Out.size(), std::memory_order_relaxed);
+    if (!Ok) {
+      S.Ct.Rejected.fetch_add(1, std::memory_order_relaxed);
+      M.Rejected.inc();
     }
+    eraseSession(S, Sess.Name);
     if (!Ok)
-      ServerMetrics::get().Rejected.inc();
-    dropSession(Sess);
-    if (!Ok)
-      reply(*T.C, 'e', Sess->Name, "stream rejected by the finalizer");
+      reply(S, C, 'e', Name, "stream rejected by the finalizer", "");
     else
-      reply(*T.C, 'k', Sess->Name, Out);
+      reply(S, C, 'k', Name, std::move(Out), Name);
     return;
   }
   case 'C':
-    dropSession(Sess);
-    reply(*T.C, 'k', Sess->Name, "");
+    eraseSession(S, Sess.Name);
+    reply(S, C, 'k', Name, "", "");
     return;
   default:
-    reply(*T.C, 'e', Sess->Name, "bad opcode");
+    reply(S, C, 'e', Name, "bad opcode", "");
     return;
   }
 }
 
-void Server::dropSession(const std::shared_ptr<Session> &Sess) {
-  // The worker loop erases it once the strand drains; until then new
-  // frames for the name are refused.
-  std::lock_guard<std::mutex> L(Mu);
-  if (!Sess->Doomed && Sess->Stream) {
-    // Fold the session's run-acceleration telemetry into the server
-    // totals exactly once, at end of life (strand-ordered, so the
+void Server::eraseSession(Shard &S, const std::string &Name) {
+  auto It = S.Sessions.find(Name);
+  if (It == S.Sessions.end())
+    return;
+  Session &Sess = *It->second;
+  if (Sess.Stream) {
+    // Fold the session's run-acceleration telemetry into the shard
+    // totals exactly once, at end of life (home-shard-ordered, so the
     // stream is quiescent here).
-    C.FastRuns += Sess->Stream->fastRuns();
-    C.FastRunElements += Sess->Stream->fastRunElements();
-    C.FastWideElements += Sess->Stream->fastWideElements();
-    C.FastSpecRuns += Sess->Stream->fastSpecRuns();
-    C.FastSpecElements += Sess->Stream->fastSpecElements();
+    S.Ct.FastRuns.fetch_add(Sess.Stream->fastRuns(),
+                            std::memory_order_relaxed);
+    S.Ct.FastRunElements.fetch_add(Sess.Stream->fastRunElements(),
+                                   std::memory_order_relaxed);
+    S.Ct.FastWideElements.fetch_add(Sess.Stream->fastWideElements(),
+                                    std::memory_order_relaxed);
+    S.Ct.FastSpecRuns.fetch_add(Sess.Stream->fastSpecRuns(),
+                                std::memory_order_relaxed);
+    S.Ct.FastSpecElements.fetch_add(Sess.Stream->fastSpecElements(),
+                                    std::memory_order_relaxed);
   }
-  Sess->Doomed = true;
+  uint64_t Gen = Sess.Gen;
+  // Copy before the erase: callers routinely pass the session's own Name
+  // member, which dies with the map entry.
+  std::string Key(Name);
+  S.Sessions.erase(It);
+  S.Ct.SessionsLive.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> L(IndexMu);
+  auto HIt = SessionIndex.find(Key);
+  if (HIt != SessionIndex.end() && HIt->second.Gen == Gen)
+    SessionIndex.erase(HIt);
 }
+
+void Server::doomSessionByName(const std::string &Name, uint64_t Gen) {
+  unsigned HomeShard = 0;
+  uint64_t HomeGen = 0;
+  {
+    std::lock_guard<std::mutex> L(IndexMu);
+    auto It = SessionIndex.find(Name);
+    if (It == SessionIndex.end())
+      return;
+    if (Gen != 0 && It->second.Gen != Gen)
+      return; // the name was reopened; the new epoch is healthy
+    HomeShard = It->second.ShardId;
+    HomeGen = It->second.Gen;
+  }
+  post(HomeShard, [this, HomeShard, Name, HomeGen] {
+    Shard &H = *Shards[HomeShard];
+    auto It = H.Sessions.find(Name);
+    if (It != H.Sessions.end() && It->second->Gen == HomeGen)
+      eraseSession(H, Name);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Replies, flushing, backpressure
+//===----------------------------------------------------------------------===//
+
+void Server::reply(Shard &S, const ConnPtr &C, char Status,
+                   std::string_view Name, std::string &&Body,
+                   std::string_view SessTag) {
+  if (C->Owner == S.Id) {
+    if (C->Closed) {
+      S.Ct.FramesDropped.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().FramesDropped.inc();
+      if (!SessTag.empty())
+        doomSessionByName(std::string(SessTag), 0);
+      return;
+    }
+    size_t BytesBefore = C->Out.bytes();
+    C->Out.push(Status, Name, std::move(Body), SessTag);
+    S.Ct.Replies.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().Replies.inc();
+    if (Status == 'e') {
+      S.Ct.Errors.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().Errors.inc();
+    }
+    int64_t Delta = int64_t(C->Out.bytes()) - int64_t(BytesBefore);
+    S.Ct.BacklogBytes.fetch_add(Delta, std::memory_order_relaxed);
+    S.MBacklog->add(Delta);
+    ServerMetrics::get().QueueDepth.add(1);
+    S.MQueueDepth->add(1);
+    flushConn(S, C);
+    return;
+  }
+  // Cross-shard: hop to the owner, which is the only thread allowed to
+  // touch this connection's queue or descriptor.
+  queueOnOwner(*Shards[C->Owner], C, Status, Name, std::move(Body), SessTag);
+}
+
+void Server::queueOnOwner(Shard &Owner, const ConnPtr &C, char Status,
+                          std::string_view Name, std::string &&Body,
+                          std::string_view SessTag) {
+  post(Owner.Id, [this, OwnerId = Owner.Id, C, Status,
+                  NameS = std::string(Name), BodyS = std::move(Body),
+                  TagS = std::string(SessTag)]() mutable {
+    Shard &O = *Shards[OwnerId];
+    if (C->CrossPending)
+      C->CrossPending--;
+    if (C->Closed) {
+      O.Ct.FramesDropped.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().FramesDropped.inc();
+      if (!TagS.empty())
+        doomSessionByName(TagS, 0);
+      return;
+    }
+    size_t BytesBefore = C->Out.bytes();
+    C->Out.push(Status, NameS, std::move(BodyS), TagS);
+    O.Ct.Replies.fetch_add(1, std::memory_order_relaxed);
+    ServerMetrics::get().Replies.inc();
+    if (Status == 'e') {
+      O.Ct.Errors.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::get().Errors.inc();
+    }
+    int64_t Delta = int64_t(C->Out.bytes()) - int64_t(BytesBefore);
+    O.Ct.BacklogBytes.fetch_add(Delta, std::memory_order_relaxed);
+    O.MBacklog->add(Delta);
+    ServerMetrics::get().QueueDepth.add(1);
+    O.MQueueDepth->add(1);
+    flushConn(O, C);
+  });
+}
+
+void Server::flushConn(Shard &S, const ConnPtr &C) {
+  if (C->Closed)
+    return;
+  size_t BytesBefore = C->Out.bytes();
+  size_t FramesBefore = C->Out.frames();
+  uint64_t Wrote = 0;
+  OutQueue::FlushResult R = C->Out.flush(C->Fd, &Wrote);
+  int64_t ByteDelta = int64_t(C->Out.bytes()) - int64_t(BytesBefore);
+  int64_t FrameDelta = int64_t(C->Out.frames()) - int64_t(FramesBefore);
+  S.Ct.BacklogBytes.fetch_add(ByteDelta, std::memory_order_relaxed);
+  S.MBacklog->add(ByteDelta);
+  ServerMetrics::get().QueueDepth.add(FrameDelta);
+  S.MQueueDepth->add(FrameDelta);
+
+  switch (R) {
+  case OutQueue::FlushResult::Drained:
+    if (C->WantWrite) {
+      C->WantWrite = false;
+      updateEpoll(S, C);
+    }
+    if (C->PeerEof && C->CrossPending == 0) {
+      closeConn(S, C, false);
+      return;
+    }
+    if (C->ReadPaused && !S.Draining)
+      S.Resume.push_back(C);
+    return;
+  case OutQueue::FlushResult::Blocked:
+    if (!C->WantWrite) {
+      C->WantWrite = true;
+      updateEpoll(S, C);
+    }
+    if (C->Out.bytes() > Opts.MaxConnBacklog) {
+      // A client this far behind is dead weight: every queued reply is
+      // undeliverable within bounded memory.  Doom it (and the sessions
+      // whose replies it holds) rather than buffer without bound.
+      closeConn(S, C, /*CountBacklogDropped=*/true);
+      return;
+    }
+    if (!C->ReadPaused && C->Out.bytes() >= Opts.MaxConnBacklog / 2) {
+      C->ReadPaused = true;
+      updateEpoll(S, C);
+    }
+    return;
+  case OutQueue::FlushResult::Error:
+    closeConn(S, C, /*CountBacklogDropped=*/true);
+    return;
+  }
+}
+
+void Server::closeConn(Shard &S, const ConnPtr &C, bool CountBacklogDropped) {
+  if (C->Closed)
+    return;
+  C->Closed = true;
+  std::vector<std::string> Lost;
+  size_t QueuedBytes = C->Out.bytes();
+  size_t QueuedFrames = C->Out.frames();
+  size_t Dropped = C->Out.dropAll(&Lost);
+  S.Ct.BacklogBytes.fetch_sub(int64_t(QueuedBytes),
+                              std::memory_order_relaxed);
+  S.MBacklog->sub(int64_t(QueuedBytes));
+  ServerMetrics::get().QueueDepth.sub(int64_t(QueuedFrames));
+  S.MQueueDepth->sub(int64_t(QueuedFrames));
+  if (CountBacklogDropped && Dropped) {
+    S.Ct.FramesDropped.fetch_add(Dropped, std::memory_order_relaxed);
+    ServerMetrics::get().FramesDropped.inc(Dropped);
+  }
+  // Undelivered replies: those sessions lost output the client can
+  // never recover; discard them so they cannot serve a stream with a
+  // silent hole in it.
+  for (auto &Name : Lost)
+    doomSessionByName(Name, 0);
+  ::close(C->Fd); // shard-owned: no other thread can race this close
+  S.Conns.erase(C->Fd);
+  C->Fd = -1;
+  S.Ct.ConnsLive.fetch_sub(1, std::memory_order_relaxed);
+  TotalConns.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats
+//===----------------------------------------------------------------------===//
 
 std::string Server::statsText() const {
   PipelineCache::Stats CS = Cache.stats();
-  std::lock_guard<std::mutex> L(Mu);
-  char Buf[512];
+  uint64_t Opened = 0, FramesIn = 0, Replies = 0, Errors = 0, Rejected = 0,
+           Dropped = 0, BytesIn = 0, BytesOut = 0, Evicted = 0, Cross = 0,
+           Accepts = 0, FastRuns = 0, FastRunElems = 0, FastWide = 0,
+           FastSpecRuns = 0, FastSpecElems = 0;
+  int64_t Live = 0, Conns = 0;
+  std::string PerShard;
+  for (const auto &SP : Shards) {
+    const ShardCounters &Ct = SP->Ct;
+    Opened += Ct.SessionsOpened.load(std::memory_order_relaxed);
+    FramesIn += Ct.FramesIn.load(std::memory_order_relaxed);
+    Replies += Ct.Replies.load(std::memory_order_relaxed);
+    Errors += Ct.Errors.load(std::memory_order_relaxed);
+    Rejected += Ct.Rejected.load(std::memory_order_relaxed);
+    Dropped += Ct.FramesDropped.load(std::memory_order_relaxed);
+    BytesIn += Ct.BytesIn.load(std::memory_order_relaxed);
+    BytesOut += Ct.BytesOut.load(std::memory_order_relaxed);
+    Evicted += Ct.SessionsEvicted.load(std::memory_order_relaxed);
+    Cross += Ct.CrossForwards.load(std::memory_order_relaxed);
+    Accepts += Ct.Accepts.load(std::memory_order_relaxed);
+    FastRuns += Ct.FastRuns.load(std::memory_order_relaxed);
+    FastRunElems += Ct.FastRunElements.load(std::memory_order_relaxed);
+    FastWide += Ct.FastWideElements.load(std::memory_order_relaxed);
+    FastSpecRuns += Ct.FastSpecRuns.load(std::memory_order_relaxed);
+    FastSpecElems += Ct.FastSpecElements.load(std::memory_order_relaxed);
+    Live += Ct.SessionsLive.load(std::memory_order_relaxed);
+    Conns += Ct.ConnsLive.load(std::memory_order_relaxed);
+    char SBuf[192];
+    snprintf(SBuf, sizeof(SBuf),
+             "\nshard%u: accepts=%llu wakeups=%llu frames=%llu conns=%lld "
+             "sessions=%lld backlog_bytes=%lld forwards=%llu",
+             SP->Id,
+             (unsigned long long)Ct.Accepts.load(std::memory_order_relaxed),
+             (unsigned long long)Ct.Wakeups.load(std::memory_order_relaxed),
+             (unsigned long long)Ct.FramesIn.load(std::memory_order_relaxed),
+             (long long)Ct.ConnsLive.load(std::memory_order_relaxed),
+             (long long)Ct.SessionsLive.load(std::memory_order_relaxed),
+             (long long)Ct.BacklogBytes.load(std::memory_order_relaxed),
+             (unsigned long long)
+                 Ct.CrossForwards.load(std::memory_order_relaxed));
+    PerShard += SBuf;
+  }
+
+  char Buf[640];
   snprintf(Buf, sizeof(Buf),
-           "sessions_opened=%llu sessions_active=%zu frames_in=%llu "
+           "sessions_opened=%llu sessions_active=%lld frames_in=%llu "
            "replies=%llu errors=%llu rejected=%llu frames_dropped=%llu "
+           "evicted=%llu cross_forwards=%llu accepts=%llu conns=%lld "
            "bytes_in=%llu "
            "bytes_out=%llu fast_runs=%llu fast_run_elems=%llu "
            "fast_wide_elems=%llu fast_spec_runs=%llu "
            "fast_spec_elems=%llu "
-           "threads=%u queue_cap=%zu",
-           (unsigned long long)C.SessionsOpened, Sessions.size(),
-           (unsigned long long)C.FramesIn, (unsigned long long)C.Replies,
-           (unsigned long long)C.Errors, (unsigned long long)C.Rejected,
-           (unsigned long long)C.FramesDropped,
-           (unsigned long long)C.BytesIn, (unsigned long long)C.BytesOut,
-           (unsigned long long)C.FastRuns,
-           (unsigned long long)C.FastRunElements,
-           (unsigned long long)C.FastWideElements,
-           (unsigned long long)C.FastSpecRuns,
-           (unsigned long long)C.FastSpecElements, Opts.Threads,
-           Opts.MaxQueuePerSession);
+           "shards=%u backlog_cap=%zu tcp=%s",
+           (unsigned long long)Opened, (long long)Live,
+           (unsigned long long)FramesIn, (unsigned long long)Replies,
+           (unsigned long long)Errors, (unsigned long long)Rejected,
+           (unsigned long long)Dropped, (unsigned long long)Evicted,
+           (unsigned long long)Cross, (unsigned long long)Accepts,
+           (long long)Conns, (unsigned long long)BytesIn,
+           (unsigned long long)BytesOut, (unsigned long long)FastRuns,
+           (unsigned long long)FastRunElems, (unsigned long long)FastWide,
+           (unsigned long long)FastSpecRuns,
+           (unsigned long long)FastSpecElems, Opts.Shards,
+           Opts.MaxConnBacklog,
+           !Opts.Tcp          ? "off"
+           : TcpReusePort     ? "reuseport"
+                              : "handoff");
   // Speculation telemetry, read back from the global registry (the
   // parallel executor folds its counters there; re-registration interns
   // to the same objects).  Convergence distance distribution is in the
@@ -610,5 +1253,5 @@ std::string Server::statsText() const {
              }
              return H.numBounds() ? H.bound(H.numBounds() - 1) : 0.0;
            }());
-  return std::string(Buf) + PBuf + "\ncache: " + CS.str() + "\n";
+  return std::string(Buf) + PerShard + PBuf + "\ncache: " + CS.str() + "\n";
 }

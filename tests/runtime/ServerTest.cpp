@@ -70,8 +70,9 @@ protected:
            ".sock";
     ServerOptions O;
     O.SocketPath = Sock;
-    O.Threads = 3;
-    O.MaxQueuePerSession = 4;
+    // Two shards so the suite exercises the round-robin fd handoff and
+    // cross-shard session forwarding, not just the 1-shard fast path.
+    O.Shards = 2;
     O.CacheCapacity = 8;
     Srv = std::make_unique<Server>(O);
     std::string Err;
@@ -250,22 +251,30 @@ TEST_F(ServerTest, DeadClientCountsDroppedFrames) {
   int Fd = connectTo(Sock);
   ASSERT_GE(Fd, 0);
   Reply R;
-  ASSERT_TRUE(roundTrip(Fd, std::string("Od1\nvm\n") + CsvMaxSpec, R));
+  // An echoing pipeline (no aggregate) makes every feed reply carry the
+  // matched bytes back, so the reply volume tracks the input volume.
+  const char *EchoSpec = "frontend=regex\n"
+                         "pattern=(?<v>\\d+)\n"
+                         "agg=none\n"
+                         "format=lines\n";
+  ASSERT_TRUE(roundTrip(Fd, std::string("Od1\nvm\n") + EchoSpec, R));
   ASSERT_TRUE(R.Ok) << R.Body;
-  // Queue feeds without reading replies, then disappear: the strand is
-  // still draining when the peer goes away, so replies hit a dead
-  // socket.  Large rows keep the workers busy past our close.
-  std::string Row(2048, 'p');
-  Row += ",7,q\n";
-  for (int I = 0; I < 64; ++I)
+  // Pipeline ~2 MB of digit rows without ever reading a reply, then
+  // vanish: the echoed replies overflow the socket buffer, the rest
+  // queue on the connection, and the close turns them into
+  // undeliverable frames.
+  std::string Row;
+  while (Row.size() < 4096)
+    Row += "1234567890\n";
+  for (int I = 0; I < 512; ++I)
     if (!sendFrame(Fd, "Fd1\n" + Row))
       break;
   ::close(Fd);
 
-  // The reader drains the queued frames and the workers hit the dead
-  // socket; poll the public counter rather than sleeping blind.
+  // The shard notices the dead peer on its next flush; poll the public
+  // counter rather than sleeping blind.
   bool Dropped = false;
-  for (int I = 0; I < 200 && !Dropped; ++I) {
+  for (int I = 0; I < 500 && !Dropped; ++I) {
     Dropped = Srv->statsText().find("frames_dropped=0") == std::string::npos;
     if (!Dropped)
       std::this_thread::sleep_for(std::chrono::milliseconds(10));

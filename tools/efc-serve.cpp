@@ -1,32 +1,39 @@
 //===- tools/efc-serve.cpp - Streaming transducer server ------------------===//
 //
-// The serving half of the runtime subsystem: a Unix-socket server hosting
-// many named StreamSessions on a fixed worker pool, with all pipeline
-// builds deduplicated through the PipelineCache (see runtime/Server.h for
-// the frame protocol).  The same binary is also the client, so a shell
-// pipeline can exercise the server end to end:
+// The serving half of the runtime subsystem: a sharded epoll server
+// hosting many named StreamSessions over Unix-domain and/or TCP sockets,
+// with all pipeline builds deduplicated through the PipelineCache (see
+// runtime/Server.h for the frame protocol and DESIGN.md "Serving
+// transport" for the shard model).  The same binary is also the client,
+// so a shell pipeline can exercise the server end to end:
 //
-//   efc-serve --socket /tmp/efc.sock --threads 4 &
+//   efc-serve --socket /tmp/efc.sock --shards 4 --tcp 7333 &
 //   efc-serve --socket /tmp/efc.sock --open s1 --backend native
 //             --regex '(?:(?:[^,]*,){1}(?<v>[0-9]+),[^,]*)' --agg max
 //   efc-serve --socket /tmp/efc.sock --feed s1 --file data.csv --chunk 7
 //   efc-serve --socket /tmp/efc.sock --finish s1
-//   efc-serve --socket /tmp/efc.sock --stats
-//   efc-serve --socket /tmp/efc.sock --metrics
+//   efc-serve --tcp 7333 --stats        # same ops over TCP
 //   efc-serve --socket /tmp/efc.sock --shutdown
 //
 // --run NAME is the one-shot convenience: open + feed + finish.
 // Feed output bytes go to stdout; diagnostics to stderr.
 //
+// SIGTERM/SIGINT trigger the same graceful drain as --shutdown: stop
+// accepting, execute the frames already received, flush replies (bounded
+// by --drain-ms), then exit 0.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Server.h"
 
+#include <arpa/inet.h>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sstream>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -41,25 +48,27 @@ int usage(const char *Msg = nullptr) {
   if (Msg)
     fprintf(stderr, "efc-serve: %s\n", Msg);
   fprintf(stderr,
-          "usage: efc-serve --socket PATH [--threads N] [--queue N] "
-          "[--cache N]\n"
-          "       efc-serve --socket PATH --open NAME (--regex P | --xpath "
+          "usage: efc-serve [--socket PATH] [--tcp PORT [--host ADDR]]\n"
+          "                 [--shards N] [--cache N] [--idle-ms MS] "
+          "[--drain-ms MS]\n"
+          "       efc-serve <endpoint> --open NAME (--regex P | --xpath "
           "Q)\n"
           "                 [--agg max|min|avg|none] [--format "
           "decimal|lines|sql]\n"
           "                 [--backend vm|fastpath|native] [--no-rbbe] "
           "[--minimize]\n"
-          "       efc-serve --socket PATH --feed NAME --file F [--chunk N]\n"
-          "       efc-serve --socket PATH --finish NAME\n"
-          "       efc-serve --socket PATH --close NAME\n"
-          "       efc-serve --socket PATH --run NAME (--regex|--xpath ...) "
+          "       efc-serve <endpoint> --feed NAME --file F [--chunk N]\n"
+          "       efc-serve <endpoint> --finish NAME\n"
+          "       efc-serve <endpoint> --close NAME\n"
+          "       efc-serve <endpoint> --run NAME (--regex|--xpath ...) "
           "--file F [--chunk N]\n"
-          "       efc-serve --socket PATH --stats | --metrics | "
-          "--shutdown\n");
+          "       efc-serve <endpoint> --stats | --metrics | --shutdown\n"
+          "where <endpoint> is --socket PATH or --tcp PORT [--host ADDR].\n"
+          "--threads is accepted as an alias for --shards.\n");
   return 2;
 }
 
-int connectTo(const std::string &Path) {
+int connectUnix(const std::string &Path) {
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0)
     return -1;
@@ -70,6 +79,26 @@ int connectTo(const std::string &Path) {
     ::close(Fd);
     return -1;
   }
+  return Fd;
+}
+
+int connectTcp(const std::string &Host, uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  // A server bound to the wildcard is reached via loopback.
+  const char *Target = Host == "0.0.0.0" ? "127.0.0.1" : Host.c_str();
+  if (::inet_pton(AF_INET, Target, &Addr.sin_addr) != 1 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+          0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   return Fd;
 }
 
@@ -122,14 +151,25 @@ int feedChunks(int Fd, const std::string &Name, const std::string &Data,
   return 0;
 }
 
+Server *ActiveServer = nullptr;
+
+void onStopSignal(int) {
+  // signalStop only writes one byte to the stop pipe: async-signal-safe.
+  if (ActiveServer)
+    ActiveServer->signalStop();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::string Socket, Open, Feed, Finish, Close, Run, File;
   std::string Regex, XPath, Agg = "none", Format = "lines",
               Backend = "fastpath";
-  unsigned Threads = 4;
-  size_t Queue = 16, CacheCap = 32, Chunk = 4096;
+  std::string Host = "0.0.0.0";
+  unsigned Shards = 1;
+  int TcpPort = -1; // -1: no TCP
+  size_t CacheCap = 32, Chunk = 4096;
+  uint64_t IdleMs = 0, DrainMs = 5000;
   bool Stats = false, Metrics = false, Shutdown = false, DoRbbe = true,
        DoMinimize = false;
 
@@ -180,16 +220,37 @@ int main(int argc, char **argv) {
     } else if (A == "--backend") {
       if (!NeedVal(Backend))
         return usage("--backend needs vm|fastpath|native");
-    } else if (A == "--threads") {
+    } else if (A == "--shards" || A == "--threads") {
       const char *V = Next();
       if (!V)
-        return usage("--threads needs a count");
-      Threads = unsigned(std::max(1, atoi(V)));
+        return usage("--shards needs a count");
+      Shards = unsigned(std::max(1, atoi(V)));
+    } else if (A == "--tcp") {
+      const char *V = Next();
+      if (!V)
+        return usage("--tcp needs a port (0 = kernel-assigned)");
+      TcpPort = std::max(0, atoi(V));
+      if (TcpPort > 65535)
+        return usage("--tcp port out of range");
+    } else if (A == "--host") {
+      if (!NeedVal(Host))
+        return usage("--host needs an address");
+    } else if (A == "--idle-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage("--idle-ms needs a duration");
+      IdleMs = strtoull(V, nullptr, 10);
+    } else if (A == "--drain-ms") {
+      const char *V = Next();
+      if (!V)
+        return usage("--drain-ms needs a duration");
+      DrainMs = strtoull(V, nullptr, 10);
     } else if (A == "--queue") {
-      const char *V = Next();
-      if (!V)
+      // Accepted for compatibility with the PR 2 worker-pool server;
+      // backpressure is now byte-bounded per connection (see
+      // ServerOptions::MaxConnBacklog), so the value is ignored.
+      if (!Next())
         return usage("--queue needs a bound");
-      Queue = size_t(std::max(1, atoi(V)));
     } else if (A == "--cache") {
       const char *V = Next();
       if (!V)
@@ -214,8 +275,8 @@ int main(int argc, char **argv) {
       return usage(("unknown option '" + A + "'").c_str());
     }
   }
-  if (Socket.empty())
-    return usage("--socket is required");
+  if (Socket.empty() && TcpPort < 0)
+    return usage("--socket or --tcp is required");
 
   bool ClientMode = !Open.empty() || !Feed.empty() || !Finish.empty() ||
                     !Close.empty() || !Run.empty() || Stats || Metrics ||
@@ -225,9 +286,13 @@ int main(int argc, char **argv) {
     // Serve.
     ServerOptions O;
     O.SocketPath = Socket;
-    O.Threads = Threads;
-    O.MaxQueuePerSession = Queue;
+    O.Tcp = TcpPort >= 0;
+    O.TcpPort = uint16_t(TcpPort < 0 ? 0 : TcpPort);
+    O.TcpHost = Host;
+    O.Shards = Shards;
     O.CacheCapacity = CacheCap;
+    O.IdleMs = IdleMs;
+    O.DrainMs = DrainMs;
     Server S(O);
     std::string Err;
     if (!S.start(&Err)) {
@@ -235,16 +300,35 @@ int main(int argc, char **argv) {
       return 1;
     }
     signal(SIGPIPE, SIG_IGN);
-    fprintf(stderr, "efc-serve: listening on %s (%u workers)\n",
-            Socket.c_str(), O.Threads);
-    S.wait(); // until a --shutdown frame arrives
+    ActiveServer = &S;
+    struct sigaction Sa{};
+    Sa.sa_handler = onStopSignal;
+    sigaction(SIGTERM, &Sa, nullptr);
+    sigaction(SIGINT, &Sa, nullptr);
+    std::string Where;
+    if (!Socket.empty())
+      Where = Socket;
+    if (O.Tcp) {
+      if (!Where.empty())
+        Where += " and ";
+      Where += Host + ":" + std::to_string(S.tcpPort()) +
+               (S.tcpReusePort() ? " (reuseport)" : " (fd handoff)");
+    }
+    fprintf(stderr, "efc-serve: listening on %s (%u shard%s)\n",
+            Where.c_str(), Shards, Shards == 1 ? "" : "s");
+    S.wait(); // until --shutdown / SIGTERM / SIGINT completes the drain
+    ActiveServer = nullptr;
     fprintf(stderr, "efc-serve: shut down\n%s", S.statsText().c_str());
     return 0;
   }
 
-  int Fd = connectTo(Socket);
+  int Fd = Socket.empty() ? connectTcp(Host, uint16_t(TcpPort))
+                          : connectUnix(Socket);
   if (Fd < 0) {
-    fprintf(stderr, "efc-serve: cannot connect to %s\n", Socket.c_str());
+    fprintf(stderr, "efc-serve: cannot connect to %s\n",
+            Socket.empty()
+                ? (Host + ":" + std::to_string(TcpPort)).c_str()
+                : Socket.c_str());
     return 1;
   }
   int Rc = 0;
