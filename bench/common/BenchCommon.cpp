@@ -6,17 +6,17 @@
 #include "frontends/regex/RegexFrontend.h"
 #include "frontends/xpath/XPathFrontend.h"
 #include "stdlib/Transducers.h"
+#include "support/EnvParse.h"
 #include "support/Stopwatch.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 using namespace efc;
 using namespace efc::bench;
 
 size_t efc::bench::benchBytes() {
-  if (const char *E = std::getenv("EFC_BENCH_MB"))
-    return size_t(std::max(1, atoi(E))) * 1024 * 1024;
-  return 2 * 1024 * 1024;
+  return size_t(env::u64("EFC_BENCH_MB", 2, 1, 1 << 20)) * 1024 * 1024;
 }
 
 std::vector<uint64_t> efc::bench::rawOfBytes(const std::string &Bytes) {
@@ -42,43 +42,59 @@ BuiltPipeline efc::bench::buildPipeline(const std::string &Name,
   BuiltPipeline P;
   P.Name = Name;
   P.Ctx = std::move(Owner);
+  (void)Ctx; // stages were assembled in it; P.Ctx keeps it alive
   Stopwatch Total;
 
-  Solver S(Ctx);
-  std::vector<const Bst *> Ptrs;
+  // The shared pass pipeline, in cacheable mode: re-building the same
+  // figure pipeline (or respec'ing only a downstream knob) in one
+  // process adopts the cached upstream artifacts.
+  pipeline::PassContext PC;
+  PC.Chain = std::make_shared<pipeline::IrChain>(P.Ctx);
   for (const Bst &St : Stages)
-    Ptrs.push_back(&St);
-  Bst Fused = fuseChain(Ptrs, S, {}, &P.FStats);
+    PC.Stages.push_back(&St);
 
-  RbbeOptions ROpts;
-  ROpts.MaxSolverChecks = 1200;
-  ROpts.MaxPredicateNodes = 8000;
-  ROpts.ConflictBudget = 0; // cheap procedures only: see DESIGN.md
-  Bst Clean = eliminateUnreachableBranches(Fused, S, ROpts, &P.RStats);
+  pipeline::PipelineOptions PO;
+  PO.Rbbe.MaxSolverChecks = 1200;
+  PO.Rbbe.MaxPredicateNodes = 8000;
+  PO.Rbbe.ConflictBudget = 0; // cheap procedures only: see DESIGN.md
+  // EFC_FASTPATH_ACCEL=0 disables run kernels, EFC_FASTPATH_WIDE=0 the
+  // wide-domain tables, EFC_FASTPATH_SPEC=0 two-state speculation — the
+  // A/B switches for the EXPERIMENTS.md before/after tables.
+  PO.FastPath = FastPathOptions::fromEnv();
+
+  std::string PErr;
+  if (!pipeline::PassManager({"fuse", "rbbe", "vm_compile", "fastpath_plan"})
+           .run(PC, PO, &PErr)) {
+    fprintf(stderr, "bench: pass pipeline failed for %s: %s\n",
+            Name.c_str(), PErr.c_str());
+    abort();
+  }
+  P.Chain = PC.Chain;
+  P.Fused = PC.Ir;
+  P.CompiledFused = PC.Vm;
+  P.FastPlan = PC.Fast;
+  P.FStats = PC.FStats;
+  P.RStats = PC.RStats;
+  P.PassRuns = std::move(PC.Runs);
 
   for (Bst &St : Stages) {
     auto C = CompiledTransducer::compile(St);
     assert(C && "stage must have scalar element types");
     P.CompiledStages.push_back(std::move(*C));
   }
-  auto CF = CompiledTransducer::compile(Clean);
-  assert(CF && "fused pipeline must have scalar element types");
-  P.CompiledFused.emplace(std::move(*CF));
-  // EFC_FASTPATH_ACCEL=0 disables run kernels, EFC_FASTPATH_WIDE=0 the
-  // wide-domain tables, EFC_FASTPATH_SPEC=0 two-state speculation — the
-  // A/B switches for the EXPERIMENTS.md before/after tables.
-  FastPathOptions FOpts = FastPathOptions::fromEnv();
-  P.FastPlan.emplace(FastPathPlan::build(Clean, *P.CompiledFused, FOpts));
 
   std::string Tag = Name;
   for (char &C : Tag)
     if (!isalnum((unsigned char)C))
       C = '_';
-  if (auto N = NativeTransducer::compile(Clean, Tag))
-    P.Native.emplace(std::move(*N));
+  {
+    // Codegen may intern terms in the (possibly shared) chain context.
+    std::lock_guard<std::mutex> ChainLock(P.Chain->Mu);
+    if (auto N = NativeTransducer::compile(*P.Fused, Tag))
+      P.Native.emplace(std::move(*N));
+  }
 
   P.Stages = std::move(Stages);
-  P.Fused.emplace(std::move(Clean));
   P.TotalSeconds = Total.seconds();
   return P;
 }

@@ -20,6 +20,7 @@
 #include "bst/Bst.h"
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
+#include "pipeline/PassManager.h"
 #include "rbbe/Rbbe.h"
 #include "vm/FastPath.h"
 #include "vm/Pipeline.h"
@@ -35,15 +36,20 @@ namespace efc::bench {
 /// A pipeline prepared for benchmarking.
 struct BuiltPipeline {
   std::string Name;
-  std::shared_ptr<TermContext> Ctx; ///< owns all terms the BSTs reference
+  std::shared_ptr<TermContext> Ctx; ///< owns the unfused stages' terms
+  /// Owns the fused artifacts' terms: built via the shared pass pipeline
+  /// (pipeline/PassManager.h), so on a per-pass cache hit the chain — and
+  /// the Bst — are *adopted* from the cache rather than rebuilt, and may
+  /// differ from Ctx.
+  std::shared_ptr<pipeline::IrChain> Chain;
 
   std::vector<Bst> Stages;
-  std::optional<Bst> Fused; ///< fused + RBBE
+  std::shared_ptr<const Bst> Fused; ///< fused + RBBE
 
   std::vector<CompiledTransducer> CompiledStages;
-  std::optional<CompiledTransducer> CompiledFused;
+  std::shared_ptr<const CompiledTransducer> CompiledFused;
   /// Byte-class dispatch tables over CompiledFused (vm/FastPath.h).
-  std::optional<FastPathPlan> FastPlan;
+  std::shared_ptr<const FastPathPlan> FastPlan;
   /// Generated C++ compiled by the host compiler and dlopen'd — the
   /// paper's deployment backend.  Absent when no compiler is available.
   std::optional<NativeTransducer> Native;
@@ -51,6 +57,7 @@ struct BuiltPipeline {
   // Compilation statistics (Figure 11).
   FusionStats FStats;
   RbbeStats RStats;
+  std::vector<pipeline::PassRun> PassRuns; ///< one row per compile pass
   double TotalSeconds = 0; ///< fusion + RBBE + code generation
 
   std::vector<const CompiledTransducer *> stagePtrs() const {

@@ -29,6 +29,7 @@
 #include "runtime/PipelineCache.h"
 #include "runtime/Server.h"
 #include "runtime/StreamSession.h"
+#include "support/EnvParse.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
@@ -419,8 +420,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   Config Cfg;
-  if (const char *E = getenv("EFC_SERVE_SESSIONS"))
-    Cfg.Sessions = strtoull(E, nullptr, 10);
+  Cfg.Sessions = env::u64("EFC_SERVE_SESSIONS", Cfg.Sessions, 1, 1u << 20);
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto Next = [&](uint64_t &Out) {

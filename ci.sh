@@ -8,20 +8,25 @@
 #      spec pairs) down to the portable paths — the SIMD kernels must be
 #      a pure optimization, never load-bearing.  Skippable with
 #      EFC_SKIP_SCALAR=1.
-#   3. Sanitizer job: a second build with -DEFC_SANITIZE=ON (ASan+UBSan)
+#   3. EFC_VERIFY_IR leg: the tier-1 label re-runs with EFC_VERIFY_IR=1,
+#      so every compile in the suite checks the between-pass IR
+#      invariants (well-formedness, classifier-hash determinism, type
+#      preservation, state/branch monotonicity — pipeline/PassManager.h).
+#      Skippable with EFC_SKIP_VERIFYIR=1.
+#   4. Sanitizer job: a second build with -DEFC_SANITIZE=ON (ASan+UBSan)
 #      runs the tier-1 label — the fast-path boundary tests in particular
 #      are written so any vectorized-scan overread trips ASan.  Skippable
 #      with EFC_SKIP_ASAN=1 (roughly doubles build time).
-#   4. ThreadSanitizer job: a third build with -DEFC_SANITIZE=thread runs
+#   5. ThreadSanitizer job: a third build with -DEFC_SANITIZE=thread runs
 #      the `parallel` label — the data-parallel executor's speculation
 #      worker pool and ordered stitch under TSan — and the `serve` label:
 #      the sharded server's event loops, cross-shard mailboxes and fd
 #      ownership (including the 100+ interleaved-connection test) under
 #      the same build.  Skippable with EFC_SKIP_TSAN=1.
-#   5. efc-serve smoke test: start a server, stream a CSV pipeline at it in
+#   6. efc-serve smoke test: start a server, stream a CSV pipeline at it in
 #      7-byte chunks, and require byte-identical output to one-shot
 #      `efcc --run` on the same file.
-#   6. Serving-load smoke + latency gate: bench/serve_load drives 1000
+#   7. Serving-load smoke + latency gate: bench/serve_load drives 1000
 #      concurrent sessions over 50 connections against a 1-shard
 #      in-process server, byte-verifies every reply against the
 #      sequential oracle (exit 1 on any loss or divergence), and merges
@@ -32,7 +37,7 @@
 #      EFC_SERVE_GATE_PCT=0 disables.  Rows carry the recording
 #      hardware (nproc + SIMD level) and foreign rows are skipped, same
 #      as the throughput gate.
-#   7. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
+#   8. Fast-path gate + throughput smoke: `efcc --backend fastpath` must be
 #      byte-identical to `--backend vm` on a fig9-style CSV corpus, then a
 #      small fig9 benchmark run refreshes BENCH_throughput.json at the
 #      repo root so the recorded numbers track HEAD.  The fresh numbers
@@ -46,16 +51,16 @@
 #      carry metrics folds and trace-enabled checks, this gate doubles as
 #      the observability overhead gate: instrumentation that slows a
 #      backend past the threshold fails here.
-#   8. Codegen portability check: `efcc --emit-cpp` output (which embeds
+#   9. Codegen portability check: `efcc --emit-cpp` output (which embeds
 #      the AVX2/AVX-512 nibble scanners under GCC target attributes) must
 #      compile both with -mavx2 and with AVX disabled entirely.
-#   9. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
+#  10. Parallel executor smoke: an 8 MB CSV through `efcc --parallel 4`
 #      must be byte-identical to the sequential run of the same file —
 #      the chunk/speculate/replay path end to end at a realistic size.
-#  10. Runtime-cache bench: cache-hit vs cache-miss request latency
+#  11. Runtime-cache bench: cache-hit vs cache-miss request latency
 #      (asserts internally that a simulated restart hits the on-disk
 #      native artifact cache instead of re-invoking the host compiler).
-#  11. Backend-equivalence certification: `efc-verify` proves VM bytecode,
+#  12. Backend-equivalence certification: `efc-verify` proves VM bytecode,
 #      fast-path tables/kernels/nibble encodings/wide tables/spec pairs
 #      and the codegen classifier hash agree for every
 #      fig9/fig10/fig11/fig13 pipeline; any refutation fails the script
@@ -70,19 +75,26 @@ set -euo pipefail
 cd "$(dirname "$0")"
 BUILD=${1:-build}
 
-echo "== [1/11] tier-1 verify =="
+echo "== [1/12] tier-1 verify =="
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 
-echo "== [2/11] EFC_SIMD=scalar tier-1 (vector kernels forced off) =="
+echo "== [2/12] EFC_SIMD=scalar tier-1 (vector kernels forced off) =="
 if [ "${EFC_SKIP_SCALAR:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_SCALAR=1)"
 else
   (cd "$BUILD" && EFC_SIMD=scalar ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [3/11] ASan+UBSan tier-1 =="
+echo "== [3/12] EFC_VERIFY_IR=1 tier-1 (between-pass IR invariants) =="
+if [ "${EFC_SKIP_VERIFYIR:-0}" = "1" ]; then
+  echo "skipped (EFC_SKIP_VERIFYIR=1)"
+else
+  (cd "$BUILD" && EFC_VERIFY_IR=1 ctest --output-on-failure -j -L tier1)
+fi
+
+echo "== [4/12] ASan+UBSan tier-1 =="
 if [ "${EFC_SKIP_ASAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_ASAN=1)"
 else
@@ -95,7 +107,7 @@ else
      ctest --output-on-failure -j -L tier1)
 fi
 
-echo "== [4/11] TSan parallel + serve suites =="
+echo "== [5/12] TSan parallel + serve suites =="
 if [ "${EFC_SKIP_TSAN:-0}" = "1" ]; then
   echo "skipped (EFC_SKIP_TSAN=1)"
 else
@@ -105,7 +117,7 @@ else
   (cd "$BUILD-tsan" && ctest --output-on-failure -j -L serve)
 fi
 
-echo "== [5/11] efc-serve smoke test =="
+echo "== [6/12] efc-serve smoke test =="
 SCRATCH=$(mktemp -d)
 trap 'rm -rf "$SCRATCH"' EXIT
 SOCK="$SCRATCH/efc.sock"
@@ -140,7 +152,7 @@ if grep -qw avx512f /proc/cpuinfo && grep -qw avx512bw /proc/cpuinfo \
 elif grep -qw avx2 /proc/cpuinfo; then CUR_ISA=avx2
 else CUR_ISA=sse2; fi
 
-echo "== [6/11] serving-load smoke + latency gate =="
+echo "== [7/12] serving-load smoke + latency gate =="
 # 1000 concurrent sessions over 50 conns on one shard: serve_load exits
 # nonzero on any frame loss or byte divergence from the sequential
 # oracle, so reaching the gate at all certifies a correct run.
@@ -214,7 +226,7 @@ if [ "$SERVE_GATE_PCT" != "0" ] && [ -f BENCH_serve.json ]; then
 fi
 mv "$SCRATCH/serve.json" BENCH_serve.json
 
-echo "== [7/11] fast-path divergence gate + throughput smoke =="
+echo "== [8/12] fast-path divergence gate + throughput smoke =="
 # Deterministic fig9-style CSV corpus, big enough to cross chunk and
 # buffer-growth boundaries.
 for i in $(seq 0 4999); do
@@ -306,7 +318,7 @@ if [ "$GATE_PCT" != "0" ] && [ -f BENCH_throughput.json ]; then
 fi
 mv "$SCRATCH/throughput.json" BENCH_throughput.json
 
-echo "== [8/11] codegen portability (emitted C++ with and without AVX) =="
+echo "== [9/12] codegen portability (emitted C++ with and without AVX) =="
 # The emitted translation unit embeds AVX2/AVX-512 nibble scanners under
 # GCC target attributes plus a scalar fallback; it must build on a plain
 # SSE2 toolchain configuration and under -mavx2 alike.
@@ -319,7 +331,7 @@ CXX_PORT=${CXX:-c++}
   -o "$SCRATCH/emitted_noavx.o"
 echo "emitted C++ compiles under -mavx2 and -mno-avx2 -mno-avx"
 
-echo "== [9/11] parallel executor smoke (8 MB, 4 threads) =="
+echo "== [10/12] parallel executor smoke (8 MB, 4 threads) =="
 awk 'BEGIN { for (i = 0; i < 400000; i++)
   printf "row%d,%d,pad%d\n", i, (i * 37 + 11) % 1000000, i }' \
   > "$SCRATCH/par.csv"
@@ -335,10 +347,12 @@ if [ "$SEQ_OUT" != "$PAR_OUT" ]; then
 fi
 echo "efcc --parallel 4 == sequential on 8 MB CSV: '$PAR_OUT'"
 
-echo "== [10/11] cache-hit vs cache-miss latency =="
+echo "== [11/12] cache-hit vs cache-miss latency =="
 "$BUILD/bench/runtime_cache"
 
-echo "== [11/11] backend-equivalence certification =="
+echo "== [12/12] backend-equivalence certification =="
+# efc-verify compiles all 17 pipelines through the pass manager and also
+# prints the per-pass artifact-cache stats line (hits/lookups per pass).
 "$BUILD/tools/efc-verify" --quiet
 
 echo "== ci.sh: all green =="

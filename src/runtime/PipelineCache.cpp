@@ -6,6 +6,7 @@
 #include "frontends/xpath/XPathFrontend.h"
 #include "solver/Solver.h"
 #include "stdlib/Transducers.h"
+#include "support/EnvParse.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
 #include "support/Trace.h"
@@ -34,6 +35,10 @@ std::string PipelineSpec::canonical() const {
   S += "\nminimize=";
   S += Minimize ? '1' : '0';
   S += "\n";
+  // Emitted only when non-default so pre-existing cache keys and OPEN
+  // wire frames are byte-identical.
+  if (RbbeBudget != 0)
+    S += "rbbe_budget=" + std::to_string(RbbeBudget) + "\n";
   return S;
 }
 
@@ -87,6 +92,9 @@ std::optional<PipelineSpec> PipelineSpec::parse(const std::string &Text,
       Spec.Rbbe = Val != "0";
     } else if (Key == "minimize") {
       Spec.Minimize = Val != "0";
+    } else if (Key == "rbbe_budget") {
+      if (!env::parseU64(Val.c_str(), Spec.RbbeBudget))
+        return Fail("malformed rbbe_budget '" + Val + "'");
     } else {
       return Fail("unknown spec key '" + Key + "'");
     }
@@ -174,11 +182,19 @@ CompiledPipeline::native(std::string *Err, NativeOutcome *Outcome,
     NativeErr.clear();
     char Tag[32];
     snprintf(Tag, sizeof(Tag), "p%016llx", (unsigned long long)Spec.hash());
-    Native = NativeTransducer::compile(*Fused, Tag, &NativeErr, &NInfo);
+    {
+      // Codegen walks Fused's rule trees and may intern terms in the
+      // shared TermContext; serialize with any concurrent pass run on
+      // the same chain.  Lock order NativeMu -> Chain->Mu has no cycle:
+      // the pass manager never calls native().
+      std::unique_lock<std::mutex> ChainLock;
+      if (Chain)
+        ChainLock = std::unique_lock(Chain->Mu);
+      Native = NativeTransducer::compile(*Fused, Tag, &NativeErr, &NInfo);
+    }
     if (!Native && NInfo.Transient) {
-      long BaseMs = 1000;
-      if (const char *E = std::getenv("EFC_NATIVE_RETRY_MS"))
-        BaseMs = std::atol(E);
+      long BaseMs =
+          long(env::i64("EFC_NATIVE_RETRY_MS", 1000, 0, 1 << 30));
       unsigned Shift = NativeFailures < 6 ? NativeFailures : 6;
       NativeRetryAt = std::chrono::steady_clock::now() +
                       std::chrono::milliseconds(BaseMs << Shift);
@@ -314,7 +330,11 @@ void PipelineCache::evictOverflow() {
 
 namespace {
 
-/// The build itself: assemble, fuse, optimize, compile for the VM.
+/// The build itself: assemble the stage chain, then drive the registered
+/// compile passes (pipeline/PassManager.h) over it.  Per-pass artifacts
+/// are content-hash cached across specs: a spec differing only in a
+/// downstream option (say RbbeBudget) re-runs `rbbe` but adopts the
+/// cached `fuse` result.
 std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
                                                 std::string *Err) {
   // Root of the compile-phase span tree: fuse/rbbe spans open inside the
@@ -329,70 +349,57 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
 
   auto P = std::make_shared<CompiledPipeline>();
   P->Spec = Spec;
-  P->Ctx = Owner;
   P->NumStages = Stages->size();
   Stopwatch Total;
 
-  Solver S(*Owner);
-  std::vector<const Bst *> Ptrs;
+  pipeline::PassContext PC;
+  PC.Chain = std::make_shared<pipeline::IrChain>(Owner);
   for (const Bst &St : *Stages)
-    Ptrs.push_back(&St);
-  Bst Fused = fuseChain(Ptrs, S, {}, &P->FStats);
-  if (Spec.Rbbe) {
-    RbbeOptions ROpts;
-    ROpts.ConflictBudget = 0;
-    Fused = eliminateUnreachableBranches(Fused, S, ROpts, &P->RStats);
-  }
-  if (Spec.Minimize) {
-    trace::Span MinSp("minimize");
-    Fused = minimizeStates(Fused, &P->MStats);
-  }
+    PC.Stages.push_back(&St);
 
-  std::optional<CompiledTransducer> Vm;
-  {
-    trace::Span VmSp("vm_compile");
-    Vm = CompiledTransducer::compile(Fused);
-  }
-  if (!Vm) {
-    if (Err)
-      *Err = "pipeline has non-scalar element types";
+  pipeline::PipelineOptions PO;
+  PO.Rbbe.ConflictBudget = 0;
+  if (Spec.RbbeBudget != 0)
+    PO.Rbbe.MaxSolverChecks = Spec.RbbeBudget;
+  PO.FastPath = FastPathOptions::fromEnv();
+
+  pipeline::PassManager PM(
+      pipeline::PassManager::defaultPasses(Spec.Rbbe, Spec.Minimize));
+  if (!PM.run(PC, PO, Err))
     return nullptr;
-  }
-  P->Vm.emplace(std::move(*Vm));
-  FastPathOptions FOpts = FastPathOptions::fromEnv();
-  {
-    trace::Span FpSp("fastpath_plan");
-    P->Fast.emplace(FastPathPlan::build(Fused, *P->Vm, FOpts));
-    const FastPathPlan::Stats &FS = P->Fast->stats();
-    FpSp.note("table_states", (uint64_t)FS.TableStates);
-    FpSp.note("accel_states", (uint64_t)FS.AccelStates);
-    FpSp.note("nibble_kernels", (uint64_t)FS.NibbleKernels);
-    FpSp.note("wide_states", (uint64_t)FS.WideStates);
-    FpSp.note("spec_pairs", (uint64_t)FS.SpecPairs);
-    FpSp.note("simd_level", (uint64_t)simd::activeLevel());
-  }
-  {
-    trace::Span PpSp("parallel_plan");
-    P->Par.emplace(parallel::ParallelPlan::build(*P->Vm, *P->Fast));
-    PpSp.note("eligible", (uint64_t)(P->Par->eligible() ? 1 : 0));
-    PpSp.note("table_states", (uint64_t)P->Par->numTableStates());
-  }
+
+  // On a fuse (or deeper) cache hit the context adopted the cached
+  // artifact's chain; the entry must own *that* TermContext, not the one
+  // the stages were assembled in.
+  P->Chain = PC.Chain;
+  P->Ctx = PC.Chain->Ctx;
+  P->Fused = PC.Ir;
+  P->Vm = PC.Vm;
+  P->Fast = PC.Fast;
+  P->Par = PC.Par;
+  P->FStats = PC.FStats;
+  P->RStats = PC.RStats;
+  P->MStats = PC.MStats;
+  P->PassRuns = std::move(PC.Runs);
+
   // Equivalence certification (verify/EquivChecker.h), gated by
   // EFC_CERTIFY=1: prove the bytecode, the fast-path tables, and the
   // codegen classification agree with the fused rules before the entry
-  // can be admitted.  Runs against the local Bst, before it moves into
-  // the entry.  The per-state budget comes from EFC_CERTIFY_BUDGET_MS
-  // (default 2000); exhaustion degrades to "unverified", which still
-  // serves — only "refuted" blocks admission (enforced by the caller).
-  const char *CertEnv = std::getenv("EFC_CERTIFY");
-  if (CertEnv && std::atoi(CertEnv) != 0) {
+  // can be admitted.  The per-state budget comes from
+  // EFC_CERTIFY_BUDGET_MS (default 2000); exhaustion degrades to
+  // "unverified", which still serves — only "refuted" blocks admission
+  // (enforced by the caller).
+  if (env::flag("EFC_CERTIFY", false)) {
     trace::Span CertSp("certify");
     verify::CertOptions COpts;
-    COpts.StateBudgetSeconds = 2.0;
-    if (const char *B = std::getenv("EFC_CERTIFY_BUDGET_MS"))
-      COpts.StateBudgetSeconds = std::atof(B) / 1000.0;
+    COpts.StateBudgetSeconds =
+        env::f64("EFC_CERTIFY_BUDGET_MS", 2000.0, 0.0, 1e9) / 1000.0;
+    // The certifier's solver works over the entry's terms and may intern
+    // new ones; serialize with other pass runs on the shared chain.
+    std::unique_lock<std::mutex> ChainLock(P->Chain->Mu);
     verify::CertReport CR =
-        verify::certifyPipeline(Fused, *P->Vm, &*P->Fast, COpts);
+        verify::certifyPipeline(*P->Fused, *P->Vm, P->Fast.get(), COpts);
+    ChainLock.unlock();
     P->Cert = CR.Status;
     P->CertSummary = CR.summary();
     P->CertifySeconds = CR.Seconds;
@@ -401,7 +408,6 @@ std::shared_ptr<CompiledPipeline> buildPipeline(const PipelineSpec &Spec,
                 std::string_view(verify::certStatusName(CR.Status)));
     CertifyMetrics::get().Seconds.add(CR.Seconds);
   }
-  P->Fused.emplace(std::move(Fused));
   P->BuildSeconds = Total.seconds();
   return P;
 }

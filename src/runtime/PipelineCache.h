@@ -25,6 +25,7 @@
 #include "bst/Minimize.h"
 #include "codegen/NativeCompile.h"
 #include "fusion/Fusion.h"
+#include "pipeline/PassManager.h"
 #include "rbbe/Rbbe.h"
 #include "parallel/ChunkPlanner.h"
 #include "verify/EquivChecker.h"
@@ -55,6 +56,11 @@ struct PipelineSpec {
   std::string Format = "lines"; ///< decimal | lines | sql
   bool Rbbe = true;             ///< reachability-based branch elimination
   bool Minimize = false;        ///< control-state minimization
+  /// RBBE solver-check budget override; 0 keeps RbbeOptions'
+  /// MaxSolverChecks default.  Serialized (and therefore part of the
+  /// cache key / wire format) only when non-zero, so existing keys and
+  /// OPEN frames are unchanged.
+  uint64_t RbbeBudget = 0;
 
   bool operator==(const PipelineSpec &) const = default;
 
@@ -81,22 +87,30 @@ std::optional<std::vector<Bst>> assembleStages(const PipelineSpec &Spec,
 class CompiledPipeline {
 public:
   PipelineSpec Spec;
-  std::shared_ptr<TermContext> Ctx; ///< owns every term the BSTs reference
-  std::optional<Bst> Fused;         ///< fused, optimized per Spec
-  std::optional<CompiledTransducer> Vm;
+  /// Owns the TermContext the artifacts' terms live in plus the lock
+  /// serializing term creation there.  Shared with the per-pass artifact
+  /// cache: entries whose upstream passes hit the cache alias the same
+  /// chain (and the same Bst) rather than re-deriving it.
+  std::shared_ptr<pipeline::IrChain> Chain;
+  std::shared_ptr<TermContext> Ctx; ///< == Chain->Ctx (convenience alias)
+  std::shared_ptr<const Bst> Fused; ///< fused, optimized per Spec
+  std::shared_ptr<const CompiledTransducer> Vm;
   /// Byte-class dispatch tables over Vm (vm/FastPath.h); built with every
   /// entry — states the analysis cannot tabulate just stay on bytecode.
-  std::optional<FastPathPlan> Fast;
+  std::shared_ptr<const FastPathPlan> Fast;
   /// Data-parallel chunking plan over Fast (parallel/ChunkPlanner.h):
   /// per-byte plausible-successor sets and per-action register
   /// footprints.  Built with every entry; ineligible plans make
   /// parallelFeed degrade to the sequential fast path.
-  std::optional<parallel::ParallelPlan> Par;
+  std::shared_ptr<const parallel::ParallelPlan> Par;
 
   FusionStats FStats;
   RbbeStats RStats;
   MinimizeStats MStats;
   size_t NumStages = 0;
+  /// One row per compile pass (pass name, in/out IR hash, seconds,
+  /// cache-hit flag) — `efcc --explain-passes` and diagnostics.
+  std::vector<pipeline::PassRun> PassRuns;
   double BuildSeconds = 0; ///< fusion + optimization + VM compile
 
   /// Backend-equivalence certification verdict for this entry (see

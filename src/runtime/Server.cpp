@@ -2,6 +2,7 @@
 
 #include "runtime/Server.h"
 
+#include "support/EnvParse.h"
 #include "support/Metrics.h"
 #include "support/Stopwatch.h"
 
@@ -158,10 +159,8 @@ Server::Server(ServerOptions O)
   if (Opts.MaxConnBacklog < (1u << 16))
     Opts.MaxConnBacklog = 1u << 16;
   if (Opts.IdleMs == 0)
-    if (const char *E = getenv("EFC_SESSION_IDLE_MS"))
-      Opts.IdleMs = strtoull(E, nullptr, 10);
-  if (const char *E = getenv("EFC_DRAIN_MS"))
-    Opts.DrainMs = strtoull(E, nullptr, 10);
+    Opts.IdleMs = env::u64("EFC_SESSION_IDLE_MS", Opts.IdleMs);
+  Opts.DrainMs = env::u64("EFC_DRAIN_MS", Opts.DrainMs);
 }
 
 Server::~Server() { stop(); }

@@ -3,6 +3,7 @@
 #include "runtime/StreamSession.h"
 
 #include "parallel/Parallel.h"
+#include "support/EnvParse.h"
 
 #include <cstdlib>
 #include <thread>
@@ -109,13 +110,12 @@ StreamSession::open(std::shared_ptr<const CompiledPipeline> P, Backend B,
   // EFC_PARALLEL_MIN_BYTES=0 disables (default 8 MB);
   // EFC_PARALLEL_THREADS defaults to min(4, hardware threads).
   if (S->Kind == Backend::Fast && P->Par && P->Par->eligible()) {
-    size_t MinBytes = 8u << 20;
-    if (const char *E = std::getenv("EFC_PARALLEL_MIN_BYTES"))
-      MinBytes = std::strtoull(E, nullptr, 0);
+    size_t MinBytes =
+        size_t(env::u64("EFC_PARALLEL_MIN_BYTES", 8u << 20, 0,
+                        UINT64_MAX, /*Base=*/0));
     unsigned HW = std::thread::hardware_concurrency();
     unsigned Threads = std::min(4u, HW ? HW : 1u);
-    if (const char *E = std::getenv("EFC_PARALLEL_THREADS"))
-      Threads = unsigned(std::strtoul(E, nullptr, 0));
+    Threads = unsigned(env::u64("EFC_PARALLEL_THREADS", Threads, 1, 1024));
     S->enableParallel(*P->Par, Threads, MinBytes);
   }
   S->Keep = std::move(P);

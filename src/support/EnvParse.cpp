@@ -1,0 +1,151 @@
+//===- support/EnvParse.cpp -----------------------------------------------===//
+
+#include "support/EnvParse.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace efc::env {
+
+namespace {
+
+/// One warning per (variable, value-class) for the process: a bad value in
+/// a hot loop must not flood stderr, but the operator has to see it once.
+std::mutex WarnMu;
+std::set<std::string> Warned;
+
+void warnOnce(const char *Name, const char *Val, const char *Why,
+              const std::string &Def) {
+  std::lock_guard<std::mutex> L(WarnMu);
+  if (!Warned.insert(Name).second)
+    return;
+  fprintf(stderr, "efc: ignoring %s='%s' (%s); using default %s\n", Name,
+          Val, Why, Def.c_str());
+}
+
+bool wholeToken(const char *S, const char *End) {
+  // strto* skips leading whitespace; reject it for flags/env alike so
+  // "  5" and "5 " read as malformed rather than silently truncating.
+  return S && *S && End && *End == '\0' && !isspace((unsigned char)*S);
+}
+
+} // namespace
+
+bool parseU64(const char *S, uint64_t &Out, int Base) {
+  if (!S || !*S || *S == '-')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = strtoull(S, &End, Base);
+  if (!wholeToken(S, End) || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseI64(const char *S, int64_t &Out, int Base) {
+  if (!S || !*S)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = strtoll(S, &End, Base);
+  if (!wholeToken(S, End) || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseF64(const char *S, double &Out) {
+  if (!S || !*S)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double V = strtod(S, &End);
+  if (!wholeToken(S, End) || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+uint64_t u64(const char *Name, uint64_t Def, uint64_t Min, uint64_t Max,
+             int Base) {
+  const char *E = std::getenv(Name);
+  if (!E)
+    return Def;
+  uint64_t V = 0;
+  if (!parseU64(E, V, Base)) {
+    warnOnce(Name, E, "not an unsigned integer", std::to_string(Def));
+    return Def;
+  }
+  if (V < Min || V > Max) {
+    warnOnce(Name, E,
+             ("out of range [" + std::to_string(Min) + ", " +
+              std::to_string(Max) + "]")
+                 .c_str(),
+             std::to_string(Def));
+    return Def;
+  }
+  return V;
+}
+
+int64_t i64(const char *Name, int64_t Def, int64_t Min, int64_t Max) {
+  const char *E = std::getenv(Name);
+  if (!E)
+    return Def;
+  int64_t V = 0;
+  if (!parseI64(E, V)) {
+    warnOnce(Name, E, "not an integer", std::to_string(Def));
+    return Def;
+  }
+  if (V < Min || V > Max) {
+    warnOnce(Name, E,
+             ("out of range [" + std::to_string(Min) + ", " +
+              std::to_string(Max) + "]")
+                 .c_str(),
+             std::to_string(Def));
+    return Def;
+  }
+  return V;
+}
+
+double f64(const char *Name, double Def, double Min, double Max) {
+  const char *E = std::getenv(Name);
+  if (!E)
+    return Def;
+  double V = 0;
+  if (!parseF64(E, V)) {
+    warnOnce(Name, E, "not a number", std::to_string(Def));
+    return Def;
+  }
+  if (!(V >= Min && V <= Max)) { // also rejects NaN
+    warnOnce(Name, E, "out of range", std::to_string(Def));
+    return Def;
+  }
+  return V;
+}
+
+bool flag(const char *Name, bool Def) {
+  const char *E = std::getenv(Name);
+  if (!E)
+    return Def;
+  int64_t V = 0;
+  if (!parseI64(E, V)) {
+    warnOnce(Name, E, "not a 0/1 flag", Def ? "1" : "0");
+    return Def;
+  }
+  return V != 0;
+}
+
+unsigned resetWarnings() {
+  std::lock_guard<std::mutex> L(WarnMu);
+  unsigned N = unsigned(Warned.size());
+  Warned.clear();
+  return N;
+}
+
+} // namespace efc::env

@@ -2,6 +2,7 @@
 
 #include "vm/FastPath.h"
 
+#include "support/EnvParse.h"
 #include "support/Metrics.h"
 
 #include "term/Eval.h"
@@ -79,12 +80,9 @@ Value inputValueAt(const Type *ITy, unsigned W, unsigned B) {
 
 FastPathOptions FastPathOptions::fromEnv() {
   FastPathOptions O;
-  if (const char *E = std::getenv("EFC_FASTPATH_ACCEL"))
-    O.RunAccel = std::atoi(E) != 0;
-  if (const char *E = std::getenv("EFC_FASTPATH_WIDE"))
-    O.WideTables = std::atoi(E) != 0;
-  if (const char *E = std::getenv("EFC_FASTPATH_SPEC"))
-    O.SpecAccel = std::atoi(E) != 0;
+  O.RunAccel = env::flag("EFC_FASTPATH_ACCEL", O.RunAccel);
+  O.WideTables = env::flag("EFC_FASTPATH_WIDE", O.WideTables);
+  O.SpecAccel = env::flag("EFC_FASTPATH_SPEC", O.SpecAccel);
   return O;
 }
 

@@ -17,6 +17,8 @@
 #ifndef EFC_TESTS_COMMON_FUZZSEED_H
 #define EFC_TESTS_COMMON_FUZZSEED_H
 
+#include "support/EnvParse.h"
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -27,9 +29,7 @@ namespace efc::testing {
 /// The suite's fixed default, unless EFC_FUZZ_SEED (decimal or 0x-hex)
 /// overrides it.
 inline uint64_t fuzzSeed(uint64_t Default) {
-  if (const char *E = std::getenv("EFC_FUZZ_SEED"); E && *E)
-    return std::strtoull(E, nullptr, 0);
-  return Default;
+  return env::u64("EFC_FUZZ_SEED", Default, 0, UINT64_MAX, /*Base=*/0);
 }
 
 /// Failure-message suffix making the run reproducible from the log:

@@ -4,12 +4,12 @@
 
 #include "bst/Interp.h"
 #include "bst/Transform.h"
-#include "fusion/Fusion.h"
-#include "rbbe/Rbbe.h"
-#include "solver/Solver.h"
+#include "pipeline/PassManager.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace efc;
 using namespace efc::testing;
@@ -148,24 +148,56 @@ Oracle::Oracle(std::vector<Bst> StagesIn, const OracleOptions &Opts)
   if (!(Backends & NeedFused))
     return;
 
-  Solver S(Stages[0].context());
-  std::vector<const Bst *> Ptrs;
-  for (const Bst &St : Stages)
-    Ptrs.push_back(&St);
-  Fused.emplace(fuseChain(Ptrs, S, Opts.Fusion));
+  // The same pass pipeline the serving cache runs, in raw mode: no
+  // IrChain (this oracle's TermContext is caller-owned, so artifacts
+  // must not outlive it and caching is off) and AllowNonScalar (random
+  // property pipelines may have non-scalar element types — the VM
+  // artifact then stays null and check() reports it per backend, as the
+  // hand-rolled chain did).
+  pipeline::PipelineOptions PO;
+  PO.Fusion = Opts.Fusion;
+  PO.Rbbe = Opts.Rbbe;
+  PO.AllowNonScalar = true;
 
-  if (Backends & (BK_FusedVm | BK_FastPath | BK_FastSkip | BK_Parallel))
-    FusedVm = CompiledTransducer::compile(*Fused);
-  if ((Backends & (BK_FastPath | BK_FastSkip | BK_Parallel)) && FusedVm)
-    FusedFast.emplace(FastPathPlan::build(*Fused, *FusedVm));
-  if ((Backends & BK_Parallel) && FusedVm)
-    FusedPar.emplace(parallel::ParallelPlan::build(*FusedVm, *FusedFast));
+  auto runPasses = [&](pipeline::PassContext &PC,
+                       std::vector<std::string> Passes) {
+    std::string PErr;
+    if (!pipeline::PassManager(std::move(Passes)).run(PC, PO, &PErr)) {
+      fprintf(stderr, "oracle: pass pipeline failed: %s\n", PErr.c_str());
+      abort();
+    }
+  };
+
+  pipeline::PassContext PC;
+  for (const Bst &St : Stages)
+    PC.Stages.push_back(&St);
+  std::vector<std::string> Passes{"fuse"};
+  if (Backends & (BK_FusedVm | BK_FastPath | BK_FastSkip | BK_Parallel)) {
+    Passes.push_back("vm_compile");
+    if (Backends & (BK_FastPath | BK_FastSkip | BK_Parallel))
+      Passes.push_back("fastpath_plan");
+    if (Backends & BK_Parallel)
+      Passes.push_back("parallel_plan");
+  }
+  runPasses(PC, std::move(Passes));
+  Fused = PC.Ir;
+  FusedVm = PC.Vm;
+  FusedFast = PC.Fast;
+  FusedPar = PC.Par;
+
   if (Backends & (BK_Rbbe | BK_RbbeVm | BK_RbbeFast)) {
-    Rbbe.emplace(eliminateUnreachableBranches(*Fused, S, Opts.Rbbe));
+    // Branch the context: RBBE (and its VM/fast-path artifacts) derive
+    // from the same fused IR without rebuilding it.
+    pipeline::PassContext RC = PC;
+    std::vector<std::string> RPasses{"rbbe"};
     if (Backends & (BK_RbbeVm | BK_RbbeFast))
-      RbbeVm = CompiledTransducer::compile(*Rbbe);
-    if ((Backends & BK_RbbeFast) && RbbeVm)
-      RbbeFast.emplace(FastPathPlan::build(*Rbbe, *RbbeVm));
+      RPasses.push_back("vm_compile");
+    if (Backends & BK_RbbeFast)
+      RPasses.push_back("fastpath_plan");
+    runPasses(RC, std::move(RPasses));
+    Rbbe = RC.Ir;
+    RbbeVm = RC.Vm;
+    RbbeFast = RC.Fast;
   }
   if (Backends & BK_Native) {
     static unsigned Counter = 0;

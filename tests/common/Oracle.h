@@ -37,6 +37,7 @@
 #include "vm/Vm.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -135,10 +136,12 @@ private:
   std::vector<Bst> Stages;
   unsigned Backends;
   std::vector<std::optional<CompiledTransducer>> StageVms;
-  std::optional<Bst> Fused, Rbbe;
-  std::optional<CompiledTransducer> FusedVm, RbbeVm;
-  std::optional<FastPathPlan> FusedFast, RbbeFast;
-  std::optional<parallel::ParallelPlan> FusedPar;
+  // Built via the shared pass pipeline (pipeline/PassManager.h) in raw
+  // mode: the caller owns the TermContext, so artifacts are per-oracle.
+  std::shared_ptr<const Bst> Fused, Rbbe;
+  std::shared_ptr<const CompiledTransducer> FusedVm, RbbeVm;
+  std::shared_ptr<const FastPathPlan> FusedFast, RbbeFast;
+  std::shared_ptr<const parallel::ParallelPlan> FusedPar;
   std::optional<NativeTransducer> Native;
   std::string NativeErr;
 };

@@ -298,7 +298,7 @@ TEST(StreamSession, OpenFastBackendUsesCachedPlan) {
   std::string Err;
   auto P = Cache.get(Spec, false, &Err);
   ASSERT_TRUE(P) << Err;
-  ASSERT_TRUE(P->Fast.has_value()) << "cache entries carry a fast-path plan";
+  ASSERT_TRUE(P->Fast != nullptr) << "cache entries carry a fast-path plan";
   auto S = StreamSession::open(P, StreamSession::Backend::Fast, &Err);
   ASSERT_TRUE(S.has_value()) << Err;
   ASSERT_TRUE(S->feed(std::string_view("a,7,x\nb,31,y\n")));

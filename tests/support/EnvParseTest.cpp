@@ -1,0 +1,162 @@
+//===- tests/support/EnvParseTest.cpp - Validated env/flag parsing --------===//
+//
+// The regression surface of the env-parsing hardening: the historical
+// call sites used bare atoi/strtoull and silently mapped garbage to 0
+// (EFC_SESSION_IDLE_MS=abc meant "reap immediately").  These tests pin
+// both disciplines of support/EnvParse.h — strict CLI parses that reject
+// any malformed token, and env readers that warn once and fall back to
+// the documented default.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EnvParse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace efc;
+
+namespace {
+
+/// Sets NAME=VALUE for the test body, restores on destruction, and
+/// clears the warn-once set so each test observes its own warnings.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    env::resetWarnings();
+    if (Value)
+      setenv(Name, Value, /*overwrite=*/1);
+    else
+      unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    unsetenv(Name);
+    env::resetWarnings();
+  }
+
+private:
+  const char *Name;
+};
+
+TEST(EnvParseStrict, U64AcceptsWholeNumbers) {
+  uint64_t V = 99;
+  EXPECT_TRUE(env::parseU64("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(env::parseU64("18446744073709551615", V));
+  EXPECT_EQ(V, UINT64_MAX);
+  EXPECT_TRUE(env::parseU64("0x20", V, /*Base=*/0));
+  EXPECT_EQ(V, 0x20u);
+  EXPECT_TRUE(env::parseU64("ff", V, /*Base=*/16));
+  EXPECT_EQ(V, 0xffu);
+}
+
+TEST(EnvParseStrict, U64RejectsGarbageUntouched) {
+  uint64_t V = 42;
+  // The old strtoull(V, nullptr, 10) call sites accepted every one of
+  // these and read 0 (or a truncated prefix).
+  EXPECT_FALSE(env::parseU64("", V));
+  EXPECT_FALSE(env::parseU64(nullptr, V));
+  EXPECT_FALSE(env::parseU64("abc", V));
+  EXPECT_FALSE(env::parseU64("1M", V));
+  EXPECT_FALSE(env::parseU64("12 ", V));
+  EXPECT_FALSE(env::parseU64(" 12", V));
+  EXPECT_FALSE(env::parseU64("-1", V)); // strtoull would wrap, not fail
+  EXPECT_FALSE(env::parseU64("99999999999999999999999", V)); // ERANGE
+  EXPECT_EQ(V, 42u) << "failed parses must leave Out untouched";
+}
+
+TEST(EnvParseStrict, I64SignsAndRange) {
+  int64_t V = 0;
+  EXPECT_TRUE(env::parseI64("-5", V));
+  EXPECT_EQ(V, -5);
+  EXPECT_TRUE(env::parseI64("+7", V));
+  EXPECT_EQ(V, 7);
+  EXPECT_FALSE(env::parseI64("12x", V));
+  EXPECT_FALSE(env::parseI64("9223372036854775808", V)); // INT64_MAX + 1
+}
+
+TEST(EnvParseStrict, F64WholeTokenOnly) {
+  double V = 0;
+  EXPECT_TRUE(env::parseF64("2.5", V));
+  EXPECT_DOUBLE_EQ(V, 2.5);
+  EXPECT_TRUE(env::parseF64("1e3", V));
+  EXPECT_DOUBLE_EQ(V, 1000.0);
+  EXPECT_FALSE(env::parseF64("2.5ms", V));
+  EXPECT_FALSE(env::parseF64("", V));
+}
+
+TEST(EnvParseEnv, UnsetReturnsDefaultWithoutWarning) {
+  ScopedEnv E("EFC_TEST_KNOB", nullptr);
+  EXPECT_EQ(env::u64("EFC_TEST_KNOB", 17), 17u);
+  EXPECT_EQ(env::resetWarnings(), 0u);
+}
+
+TEST(EnvParseEnv, WellFormedValueWins) {
+  ScopedEnv E("EFC_TEST_KNOB", "123");
+  EXPECT_EQ(env::u64("EFC_TEST_KNOB", 17), 123u);
+  EXPECT_EQ(env::resetWarnings(), 0u);
+}
+
+TEST(EnvParseEnv, MalformedValueWarnsOnceAndFallsBack) {
+  ScopedEnv E("EFC_TEST_KNOB", "abc");
+  EXPECT_EQ(env::u64("EFC_TEST_KNOB", 17), 17u)
+      << "garbage must fall back to the default, not parse as 0";
+  EXPECT_EQ(env::u64("EFC_TEST_KNOB", 17), 17u);
+  // Two reads, one recorded warning: the warn-once set deduplicates.
+  EXPECT_EQ(env::resetWarnings(), 1u);
+}
+
+TEST(EnvParseEnv, OutOfRangeClampsToDefault) {
+  ScopedEnv E("EFC_TEST_KNOB", "5000");
+  EXPECT_EQ(env::u64("EFC_TEST_KNOB", 8, /*Min=*/1, /*Max=*/1024), 8u);
+  EXPECT_EQ(env::resetWarnings(), 1u);
+}
+
+TEST(EnvParseEnv, HexSeedBaseZero) {
+  // EFC_FUZZ_SEED reads base 0 so 0x-prefixed seeds round-trip.
+  ScopedEnv E("EFC_TEST_KNOB", "0xdead");
+  EXPECT_EQ(env::u64("EFC_TEST_KNOB", 0, 0, UINT64_MAX, /*Base=*/0),
+            0xdeadu);
+}
+
+TEST(EnvParseEnv, SignedAndFloatVariants) {
+  {
+    ScopedEnv E("EFC_TEST_KNOB", "-250");
+    EXPECT_EQ(env::i64("EFC_TEST_KNOB", 1000), -250);
+  }
+  {
+    ScopedEnv E("EFC_TEST_KNOB", "2.75");
+    EXPECT_DOUBLE_EQ(env::f64("EFC_TEST_KNOB", 1.0), 2.75);
+  }
+  {
+    ScopedEnv E("EFC_TEST_KNOB", "nan");
+    EXPECT_DOUBLE_EQ(env::f64("EFC_TEST_KNOB", 1.5, 0.0, 10.0), 1.5)
+        << "NaN must not pass a range check";
+    EXPECT_EQ(env::resetWarnings(), 1u);
+  }
+}
+
+TEST(EnvParseEnv, FlagMatchesHistoricalAtoiContract) {
+  {
+    ScopedEnv E("EFC_TEST_FLAG", "0");
+    EXPECT_FALSE(env::flag("EFC_TEST_FLAG", true));
+  }
+  {
+    ScopedEnv E("EFC_TEST_FLAG", "1");
+    EXPECT_TRUE(env::flag("EFC_TEST_FLAG", false));
+  }
+  {
+    // atoi("2") != 0 was true; keep that for well-formed values.
+    ScopedEnv E("EFC_TEST_FLAG", "2");
+    EXPECT_TRUE(env::flag("EFC_TEST_FLAG", false));
+  }
+  {
+    // atoi("yes") read 0 == disabled; now it warns and keeps the default.
+    ScopedEnv E("EFC_TEST_FLAG", "yes");
+    EXPECT_TRUE(env::flag("EFC_TEST_FLAG", true));
+    EXPECT_EQ(env::resetWarnings(), 1u);
+  }
+}
+
+} // namespace

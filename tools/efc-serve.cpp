@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Server.h"
+#include "support/EnvParse.h"
 
 #include <arpa/inet.h>
 #include <csignal>
@@ -224,14 +225,18 @@ int main(int argc, char **argv) {
       const char *V = Next();
       if (!V)
         return usage("--shards needs a count");
-      Shards = unsigned(std::max(1, atoi(V)));
+      uint64_t N = 0;
+      if (!env::parseU64(V, N) || N == 0 || N > 1024)
+        return usage("--shards needs a count in [1, 1024]");
+      Shards = unsigned(N);
     } else if (A == "--tcp") {
       const char *V = Next();
       if (!V)
         return usage("--tcp needs a port (0 = kernel-assigned)");
-      TcpPort = std::max(0, atoi(V));
-      if (TcpPort > 65535)
-        return usage("--tcp port out of range");
+      uint64_t N = 0;
+      if (!env::parseU64(V, N) || N > 65535)
+        return usage("--tcp needs a port in [0, 65535]");
+      TcpPort = int(N);
     } else if (A == "--host") {
       if (!NeedVal(Host))
         return usage("--host needs an address");
@@ -239,12 +244,14 @@ int main(int argc, char **argv) {
       const char *V = Next();
       if (!V)
         return usage("--idle-ms needs a duration");
-      IdleMs = strtoull(V, nullptr, 10);
+      if (!env::parseU64(V, IdleMs))
+        return usage("--idle-ms needs a duration in milliseconds");
     } else if (A == "--drain-ms") {
       const char *V = Next();
       if (!V)
         return usage("--drain-ms needs a duration");
-      DrainMs = strtoull(V, nullptr, 10);
+      if (!env::parseU64(V, DrainMs))
+        return usage("--drain-ms needs a duration in milliseconds");
     } else if (A == "--queue") {
       // Accepted for compatibility with the PR 2 worker-pool server;
       // backpressure is now byte-bounded per connection (see
@@ -255,12 +262,18 @@ int main(int argc, char **argv) {
       const char *V = Next();
       if (!V)
         return usage("--cache needs a capacity");
-      CacheCap = size_t(std::max(1, atoi(V)));
+      uint64_t N = 0;
+      if (!env::parseU64(V, N) || N == 0)
+        return usage("--cache needs a positive capacity");
+      CacheCap = size_t(N);
     } else if (A == "--chunk") {
       const char *V = Next();
       if (!V)
         return usage("--chunk needs a byte count");
-      Chunk = size_t(std::max(1, atoi(V)));
+      uint64_t N = 0;
+      if (!env::parseU64(V, N) || N == 0)
+        return usage("--chunk needs a positive byte count");
+      Chunk = size_t(N);
     } else if (A == "--no-rbbe") {
       DoRbbe = false;
     } else if (A == "--minimize") {

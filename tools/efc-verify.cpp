@@ -205,6 +205,8 @@ int main(int argc, char **argv) {
           "efc-verify: %u pipelines: %u certified, %u unverified, "
           "%u refuted\n",
           Ran, Certified, Unverified, Refuted);
+  fprintf(stderr, "efc-verify: %s\n",
+          pipeline::PassManager::cacheStats().str().c_str());
   if (!Ran) {
     fprintf(stderr, "efc-verify: no pipeline matched\n");
     return 2;

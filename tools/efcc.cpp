@@ -18,6 +18,18 @@
 //   --format K       decimal | lines | sql         (default: lines)
 //   --no-rbbe        skip reachability-based branch elimination
 //   --minimize       run control-state minimization
+//   --opt-level N    0 = fuse only, 1 = fuse+rbbe (default), 2 =
+//                    fuse+rbbe+minimize
+//   --passes LIST    comma-separated IR pass list (fuse[,rbbe][,minimize])
+//                    overriding the flags above; the artifact passes
+//                    (vm_compile, fastpath_plan, parallel_plan) always run
+//   --rbbe-budget N  RBBE solver-check budget override (0 = library
+//                    default); only re-keys the rbbe pass, so the cached
+//                    fusion artifact is reused across budget changes
+//   --explain-passes print the pass plan (name, kind, cacheability,
+//                    options fingerprint) and, per executed pass, the
+//                    entering/leaving IR hash, wall time and cache-hit
+//                    flag to stdout
 //   --run FILE       execute over FILE, write output bytes to stdout
 //   --parallel N     run --run input through the data-parallel executor
 //                    (src/parallel/) with N threads.  Requires the
@@ -60,6 +72,7 @@
 #include "codegen/CppCodeGen.h"
 #include "parallel/Parallel.h"
 #include "runtime/PipelineCache.h"
+#include "support/EnvParse.h"
 #include "support/Metrics.h"
 #include "verify/EquivChecker.h"
 #include "vm/Simd.h"
@@ -81,8 +94,9 @@ int usage(const char *Msg = nullptr) {
   fprintf(stderr,
           "usage: efcc (--regex P | --xpath Q) [--agg max|min|avg|none]\n"
           "            [--format decimal|lines|sql] [--no-rbbe]\n"
-          "            [--minimize] [--stats] [--metrics]\n"
-          "            [--explain-fastpath]\n"
+          "            [--minimize] [--opt-level 0|1|2] [--passes LIST]\n"
+          "            [--rbbe-budget N] [--stats] [--metrics]\n"
+          "            [--explain-fastpath] [--explain-passes]\n"
           "            [--certify] [--certify-budget-ms N]\n"
           "            [--backend vm|fastpath|native] [--native]\n"
           "            [--run FILE [--parallel N]] [--emit-cpp FILE]\n");
@@ -95,8 +109,11 @@ int main(int argc, char **argv) {
   std::string Regex, XPath, Agg = "none", Format = "lines";
   std::string RunFile, EmitFile, Backend = "fastpath";
   bool DoRbbe = true, DoMinimize = false, Stats = false, Metrics = false;
-  bool ExplainFastPath = false, Certify = false;
+  bool ExplainFastPath = false, ExplainPasses = false, Certify = false;
   double CertifyBudgetMs = 5000;
+  uint64_t RbbeBudget = 0;
+  int OptLevel = -1; // -1: not given
+  std::string PassList;
   long Parallel = 0; // thread count; meaningful only when ParallelGiven
   bool ParallelGiven = false;
 
@@ -139,6 +156,23 @@ int main(int argc, char **argv) {
       DoRbbe = false;
     } else if (A == "--minimize") {
       DoMinimize = true;
+    } else if (A == "--opt-level") {
+      const char *V = Next();
+      uint64_t N = 0;
+      if (!V || !env::parseU64(V, N) || N > 2)
+        return usage("--opt-level needs 0, 1 or 2");
+      OptLevel = int(N);
+    } else if (A == "--passes") {
+      const char *V = Next();
+      if (!V)
+        return usage("--passes needs a comma-separated list");
+      PassList = V;
+    } else if (A == "--rbbe-budget") {
+      const char *V = Next();
+      if (!V || !env::parseU64(V, RbbeBudget))
+        return usage("--rbbe-budget needs an unsigned solver-check count");
+    } else if (A == "--explain-passes") {
+      ExplainPasses = true;
     } else if (A == "--backend") {
       if (const char *V = Next())
         Backend = V;
@@ -175,10 +209,52 @@ int main(int argc, char **argv) {
   if (Regex.empty() == XPath.empty())
     return usage("exactly one of --regex / --xpath is required");
   if (RunFile.empty() && EmitFile.empty() && !Stats && !Metrics &&
-      !ExplainFastPath && !Certify)
+      !ExplainFastPath && !ExplainPasses && !Certify)
     return usage(
         "nothing to do: pass --run, --emit-cpp, --stats, --metrics, "
-        "--certify or --explain-fastpath");
+        "--certify, --explain-fastpath or --explain-passes");
+  if (OptLevel >= 0 && !PassList.empty())
+    return usage("--opt-level and --passes are mutually exclusive");
+  if (OptLevel >= 0) {
+    DoRbbe = OptLevel >= 1;
+    DoMinimize = OptLevel >= 2;
+  }
+  if (!PassList.empty()) {
+    // Only the IR passes are selectable; the artifact passes always run.
+    bool SawFuse = false;
+    DoRbbe = DoMinimize = false;
+    size_t Pos = 0;
+    while (Pos <= PassList.size()) {
+      size_t Comma = PassList.find(',', Pos);
+      std::string Tok = PassList.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      Pos = Comma == std::string::npos ? PassList.size() + 1 : Comma + 1;
+      if (Tok.empty())
+        continue;
+      if (Tok == "fuse") {
+        SawFuse = true;
+      } else if (Tok == "rbbe") {
+        DoRbbe = true;
+      } else if (Tok == "minimize") {
+        DoMinimize = true;
+      } else if (pipeline::PassRegistry::instance().lookup(Tok)) {
+        return usage(("pass '" + Tok +
+                      "' is not selectable here (vm_compile, "
+                      "fastpath_plan and parallel_plan always run)")
+                         .c_str());
+      } else {
+        std::string Known;
+        for (const std::string &N :
+             pipeline::PassRegistry::instance().names())
+          Known += (Known.empty() ? "" : ", ") + N;
+        return usage(("unknown pass '" + Tok + "' (registered: " + Known +
+                      ")")
+                         .c_str());
+      }
+    }
+    if (!SawFuse)
+      return usage("--passes must include 'fuse'");
+  }
   if (Backend != "vm" && Backend != "fastpath" && Backend != "native")
     return usage(("unknown backend '" + Backend + "'").c_str());
   bool Native = Backend == "native";
@@ -206,6 +282,7 @@ int main(int argc, char **argv) {
   Spec.Format = Format;
   Spec.Rbbe = DoRbbe;
   Spec.Minimize = DoMinimize;
+  Spec.RbbeBudget = RbbeBudget;
 
   // One-entry cache: efcc is one-shot, but going through the runtime
   // layer keeps assembly/fusion identical to efc-serve and gives --native
@@ -231,6 +308,27 @@ int main(int argc, char **argv) {
     if (DoMinimize)
       fprintf(stderr, "efcc: minimization: %u -> %u states\n",
               P->MStats.StatesBefore, P->MStats.StatesAfter);
+    fprintf(stderr, "efcc: %s\n",
+            pipeline::PassManager::cacheStats().str().c_str());
+  }
+
+  if (ExplainPasses) {
+    pipeline::PipelineOptions PO;
+    PO.Rbbe.ConflictBudget = 0;
+    if (Spec.RbbeBudget != 0)
+      PO.Rbbe.MaxSolverChecks = Spec.RbbeBudget;
+    PO.FastPath = FastPathOptions::fromEnv();
+    std::string Plan =
+        pipeline::PassManager(
+            pipeline::PassManager::defaultPasses(Spec.Rbbe, Spec.Minimize))
+            .explain(PO);
+    fputs(Plan.c_str(), stdout);
+    for (const pipeline::PassRun &R : P->PassRuns)
+      printf("  ran %s: in=%016llx out=%016llx %.3fs%s%s%s\n",
+             R.PassName.c_str(), (unsigned long long)R.InHash,
+             (unsigned long long)R.OutHash, R.Seconds,
+             R.CacheHit ? " (cache hit)" : "",
+             R.Note.empty() ? "" : " ", R.Note.c_str());
   }
 
   if (ExplainFastPath) {
@@ -277,9 +375,9 @@ int main(int argc, char **argv) {
       In.push_back(C);
 
     if (WantParallel) {
-      size_t MinBytes = 1u << 20;
-      if (const char *E = std::getenv("EFC_PARALLEL_MIN_BYTES"))
-        MinBytes = std::strtoull(E, nullptr, 0);
+      size_t MinBytes =
+          size_t(env::u64("EFC_PARALLEL_MIN_BYTES", 1u << 20, 0,
+                          UINT64_MAX, /*Base=*/0));
       if (!P->Par || !P->Par->eligible()) {
         fprintf(stderr,
                 "efcc: no parallel plan for this pipeline (no "
